@@ -1,0 +1,66 @@
+"""Ablation — NUMA process pinning (the paper's taskset detail).
+
+The paper pins its `globus-url-copy` copies "on alternate sockets using
+the taskset system call".  With the NUMA substrate wired into the engine,
+this ablation measures what that buys: the same nm-tuned transfer on the
+dual-socket Nehalem source under alternate pinning, NIC-socket-first
+packing, unpinned (OS default churn), and a NUMA-blind host model.
+"""
+
+from dataclasses import replace
+
+from repro.analysis.stats import steady_state_mean
+from repro.core.nm_tuner import NmTuner
+from repro.endpoint.host import NEHALEM
+from repro.endpoint.load import ExternalLoad
+from repro.endpoint.numa import NEHALEM_LAYOUT, PinningPolicy
+from repro.experiments.report import render_table
+from repro.experiments.runner import run_single
+from repro.experiments.scenarios import ANL_UC
+
+VARIANTS = {
+    "numa-blind": replace(NEHALEM),
+    "alternate (paper)": replace(
+        NEHALEM, sockets=NEHALEM_LAYOUT, pinning=PinningPolicy.ALTERNATE
+    ),
+    "nic-first": replace(
+        NEHALEM, sockets=NEHALEM_LAYOUT, pinning=PinningPolicy.NIC_FIRST
+    ),
+    "unpinned": replace(
+        NEHALEM, sockets=NEHALEM_LAYOUT, pinning=PinningPolicy.UNPINNED
+    ),
+}
+
+
+def test_ablation_numa_pinning(benchmark, report):
+    def _race():
+        out = {}
+        for name, host in VARIANTS.items():
+            scenario = ANL_UC.with_host(host)
+            trace = run_single(
+                scenario, NmTuner(), load=ExternalLoad(ext_tfr=16),
+                duration_s=1800.0, seed=2,
+            )
+            out[name] = steady_state_mean(trace)
+        return out
+
+    results = benchmark.pedantic(_race, rounds=1, iterations=1)
+
+    rows = [[name, mbps] for name, mbps in results.items()]
+    report(
+        render_table(
+            ["placement", "steady MB/s"],
+            rows,
+            title=(
+                "Ablation: process placement on the dual-socket source "
+                "(nm-tuner, ext.tfr=16)"
+            ),
+        )
+    )
+
+    # Modeling NUMA at all costs something vs the blind model, and the
+    # unpinned OS default is the worst of the pinned placements.
+    assert results["numa-blind"] >= results["alternate (paper)"] * 0.95
+    assert results["unpinned"] <= max(
+        results["alternate (paper)"], results["nic-first"]
+    ) + 1e-9

@@ -1,0 +1,60 @@
+"""Figure 1 — impact of parallel TCP streams (concurrency) on throughput.
+
+Paper setup: ANL→UChicago, np=1, concurrency swept in powers of two, five
+repetitions of 10-minute transfers, (a) without external load and (b) with
+ext.tfr = ext.cmp = 16.  Reported shape: throughput rises monotonically to
+a *critical point* (64 streams without load) and falls beyond it; the
+critical point moves right and the peak drops under load.
+"""
+
+from repro.endpoint.load import ExternalLoad
+from repro.experiments.figures import fig1
+from repro.experiments.report import render_comparison, render_table
+
+NC_VALUES = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512]
+LOADS = {
+    "no-load": ExternalLoad(),
+    "high-load": ExternalLoad(ext_cmp=16, ext_tfr=16),
+}
+
+
+def test_fig1_concurrency_boxplots(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: fig1(
+            nc_values=NC_VALUES, loads=LOADS, reps=5, duration_s=600.0,
+            seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for label in LOADS:
+        for nc in NC_VALUES:
+            s = result.stats[label][nc]
+            rows.append(
+                [label, nc, s.minimum, s.q1, s.median, s.q3, s.maximum]
+            )
+    table = render_table(
+        ["load", "nc", "min", "q1", "median", "q3", "max"],
+        rows,
+        title="Fig 1: throughput (MB/s) vs concurrency, np=1, 5 reps",
+    )
+
+    crit_free = result.critical_point("no-load")
+    crit_load = result.critical_point("high-load")
+    peak_free = result.stats["no-load"][crit_free].median
+    peak_load = result.stats["high-load"][crit_load].median
+    comparison = render_comparison(
+        [
+            ("critical nc, no load", 64, crit_free),
+            ("critical nc, high load", "> 64", crit_load),
+            ("peak drops under load", "yes", peak_load < peak_free),
+        ],
+        title="Fig 1: paper vs measured",
+    )
+    report(table + "\n\n" + comparison)
+
+    assert crit_free == 64
+    assert crit_load >= crit_free
+    assert peak_load < peak_free

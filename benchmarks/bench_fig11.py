@@ -1,0 +1,62 @@
+"""Figure 11 — two simultaneously tuned transfers sharing the source NIC.
+
+Paper: ANL→UChicago and ANL→TACC transfers, each independently tuned by
+nm-tuner (or cs-tuner) with no other external load.  The UChicago
+transfer's tuner adopts many streams and claims the larger fraction of the
+shared outgoing NIC; the TACC transfer responds by raising its own stream
+count.  We additionally run the paper's proposed remedy (§IV-D): one
+*joint* tuner for both transfers.
+"""
+
+from repro.core.nm_tuner import NmTuner
+from repro.experiments.figures import fig11
+from repro.experiments.report import downsample, render_comparison, render_series
+from repro.experiments.runner import run_joint
+from repro.experiments.scenarios import ANL_UC
+
+
+def test_fig11_simultaneous_tuning(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: fig11(tuner="nm", duration_s=1800.0, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+
+    uc, tacc = result.traces["anl-uc"], result.traces["anl-tacc"]
+    times = downsample(uc.epoch_times().tolist(), 15)
+    throughput = render_series(
+        times,
+        {
+            "anl-uc": downsample(uc.epoch_observed().tolist(), 15),
+            "anl-tacc": downsample(tacc.epoch_observed().tolist(), 15),
+        },
+        title="Fig 11: simultaneous transfers, observed MB/s (nm-tuner each)",
+    )
+
+    joint = run_joint(
+        ANL_UC,
+        NmTuner(),
+        path_a="anl-uc",
+        path_b="anl-tacc",
+        duration_s=1800.0,
+        seed=0,
+    )
+    joint_total = sum(t.mean_observed(from_time=900.0) for t in joint.values())
+    indep_total = result.mean("anl-uc", from_time=900.0) + result.mean(
+        "anl-tacc", from_time=900.0
+    )
+
+    comparison = render_comparison(
+        [
+            ("UC claims larger share", "yes",
+             f"{100 * result.share_of_uc(from_time=900.0):.0f}% of total"),
+            ("combined <= NIC 5000 MB/s", "yes",
+             f"{indep_total:.0f}"),
+            ("joint tuning total (extension)", "n/a", f"{joint_total:.0f}"),
+        ],
+        title="Fig 11: paper vs measured",
+    )
+    report(throughput + "\n\n" + comparison)
+
+    assert result.share_of_uc(from_time=900.0) > 0.5
+    assert indep_total <= 5000.0

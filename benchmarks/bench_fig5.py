@@ -1,0 +1,75 @@
+"""Figure 5 — observed throughput of the tuners under static external
+loads (ANL→UChicago, tuning nc with np=8, 1800 s transfers).
+
+Paper-reported steady-state observed throughputs (MB/s):
+
+====== ======== ======= ======= ======= =======
+load   default  cd      cs      nm      factor
+====== ======== ======= ======= ======= =======
+none     ~2500   ~3500   ~3500   ~3500   1.4x
+cmp16     ~200    ~400   ~1500   ~1500     7x
+cmp64     ~100      -       -    ~1000    10x
+tfr16    ~1400   ~3000   ~3000   ~3000     2x
+tfr64     ~900   ~1800   ~1800   ~1800     2x
+====== ======== ======= ======= ======= =======
+"""
+
+from repro.experiments.figures import FIG5_LOADS, fig5
+from repro.experiments.report import render_comparison, render_table
+
+PAPER_DEFAULT = {"none": 2500, "cmp16": 200, "cmp64": 100,
+                 "tfr16": 1400, "tfr64": 900}
+PAPER_BEST_TUNER = {"none": 3500, "cmp16": 1500, "cmp64": 1000,
+                    "tfr16": 3000, "tfr64": 1800}
+PAPER_FACTOR = {"none": 1.4, "cmp16": 7.0, "cmp64": 10.0,
+                "tfr16": 2.0, "tfr64": 2.0}
+
+
+def test_fig5_observed_throughput_under_loads(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: fig5(duration_s=1800.0, seed=0), rounds=1, iterations=1
+    )
+
+    rows = []
+    for load in FIG5_LOADS:
+        row = [load]
+        for tuner in ("default", "cd-tuner", "cs-tuner", "nm-tuner"):
+            row.append(result.steady_observed(load, tuner))
+        rows.append(row)
+    table = render_table(
+        ["load", "default", "cd-tuner", "cs-tuner", "nm-tuner"],
+        rows,
+        title="Fig 5: steady-state observed throughput (MB/s), ANL->UChicago",
+    )
+
+    comp_rows = []
+    for load in FIG5_LOADS:
+        best = max(
+            result.steady_observed(load, t)
+            for t in ("cd-tuner", "cs-tuner", "nm-tuner")
+        )
+        factor = best / result.steady_observed(load, "default")
+        comp_rows.append(
+            (f"{load}: default MB/s", PAPER_DEFAULT[load],
+             result.steady_observed(load, "default"))
+        )
+        comp_rows.append(
+            (f"{load}: best tuner MB/s", PAPER_BEST_TUNER[load], best)
+        )
+        comp_rows.append(
+            (f"{load}: improvement", f"{PAPER_FACTOR[load]}x",
+             f"{factor:.1f}x")
+        )
+    report(table + "\n\n" + render_comparison(comp_rows,
+                                              title="Fig 5: paper vs measured"))
+
+    # Shape assertions: tuners beat default everywhere; compute load hurts
+    # default far more than the tuners.
+    for load in FIG5_LOADS:
+        best = max(
+            result.steady_observed(load, t)
+            for t in ("cd-tuner", "cs-tuner", "nm-tuner")
+        )
+        assert best > result.steady_observed(load, "default")
+    assert result.improvement_over_default("cmp16", "nm-tuner") > 2.0
+    assert result.improvement_over_default("cmp64", "nm-tuner") > 3.0

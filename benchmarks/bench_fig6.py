@@ -1,0 +1,58 @@
+"""Figure 6 — concurrency values adopted by the tuners over time.
+
+Paper-reported trajectories (ANL→UChicago): without load the tuners settle
+around nc≈5 (cd within ~100 s, cs/nm after ~500 s of large early steps);
+under ext.cmp load cs/nm adopt nc 50-80; under ext.tfr they settle around
+25 (tfr=16) and 35 (tfr=64).
+"""
+
+import numpy as np
+
+from repro.experiments.figures import fig6
+from repro.experiments.report import downsample, render_comparison, render_series
+
+LOADS_SHOWN = ("none", "cmp16", "tfr64")
+
+
+def test_fig6_nc_trajectories(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: fig6(duration_s=1800.0, seed=0), rounds=1, iterations=1
+    )
+
+    blocks = []
+    for load in LOADS_SHOWN:
+        series = {}
+        times = None
+        for tuner in ("cd-tuner", "cs-tuner", "nm-tuner"):
+            tr = result.traces[load][tuner]
+            t = tr.epoch_times().tolist()
+            v = result.nc_trajectory(load, tuner).tolist()
+            times = downsample(t, 15)
+            series[tuner] = downsample(v, 15)
+        blocks.append(
+            render_series(times, series,
+                          title=f"Fig 6 ({load}): nc adopted over time")
+        )
+
+    def tail_mean_nc(load, tuner):
+        v = result.nc_trajectory(load, tuner)
+        return float(np.mean(v[len(v) // 2:]))
+
+    comparison = render_comparison(
+        [
+            ("none: settled nc (nm)", "~5", tail_mean_nc("none", "nm-tuner")),
+            ("cmp16: settled nc (nm)", "50-80",
+             tail_mean_nc("cmp16", "nm-tuner")),
+            ("tfr64: settled nc (cs)", "~35",
+             tail_mean_nc("tfr64", "cs-tuner")),
+        ],
+        title="Fig 6: paper vs measured",
+    )
+    report("\n\n".join(blocks) + "\n\n" + comparison)
+
+    # Shape: adapted nc grows with compute load; cd moves in unit steps.
+    assert tail_mean_nc("cmp16", "nm-tuner") > 2 * tail_mean_nc(
+        "none", "nm-tuner"
+    )
+    cd = result.nc_trajectory("none", "cd-tuner")
+    assert max(abs(int(b) - int(a)) for a, b in zip(cd, cd[1:])) <= 1

@@ -1,0 +1,64 @@
+"""Figure 8 — ANL→TACC, tuning concurrency AND parallelism under a load
+switch (ext.tfr 64→16 at t=1000 s, ext.cmp=16 throughout).
+
+Paper: cs/nm beat default by ~1.3x before the switch and up to 10x after;
+throughput follows the concurrency trajectory while parallelism has only
+minor impact.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import fig8
+from repro.experiments.report import downsample, render_comparison, render_series
+
+
+def test_fig8_tacc_varying_load(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: fig8(duration_s=1800.0, switch_at_s=1000.0, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+
+    tr = result.traces["nm-tuner"]
+    times = downsample(tr.epoch_times().tolist(), 15)
+    series = {
+        name: downsample(
+            result.traces[name].epoch_observed().tolist(), 15
+        )
+        for name in ("default", "cs-tuner", "nm-tuner")
+    }
+    throughput = render_series(
+        times, series, title="Fig 8: observed throughput (MB/s) over time"
+    )
+    traj = render_series(
+        downsample(tr.epoch_times().tolist(), 15),
+        {
+            "nm nc": downsample(result.trajectory("nm-tuner", 0).tolist(), 15),
+            "nm np": downsample(result.trajectory("nm-tuner", 1).tolist(), 15),
+            "cs nc": downsample(result.trajectory("cs-tuner", 0).tolist(), 15),
+            "cs np": downsample(result.trajectory("cs-tuner", 1).tolist(), 15),
+        },
+        title="Fig 8: nc/np trajectories",
+    )
+
+    comparison = render_comparison(
+        [
+            ("phase-1 improvement (nm)", "~1.3x",
+             f"{result.improvement('nm-tuner', 0):.1f}x"),
+            ("phase-2 improvement (nm)", "up to 10x",
+             f"{result.improvement('nm-tuner', 1):.1f}x"),
+            ("phase-2 improvement (cs)", "up to 10x",
+             f"{result.improvement('cs-tuner', 1):.1f}x"),
+        ],
+        title="Fig 8: paper vs measured",
+    )
+    report(throughput + "\n\n" + traj + "\n\n" + comparison)
+
+    # Shapes: tuners beat default in both phases and concurrency moves
+    # much more than parallelism.
+    for tuner in ("cs-tuner", "nm-tuner"):
+        assert result.improvement(tuner, 0) > 1.0
+        assert result.improvement(tuner, 1) > 1.5
+    nc_range = np.ptp(result.trajectory("nm-tuner", 0))
+    np_range = np.ptp(result.trajectory("nm-tuner", 1))
+    assert nc_range > np_range

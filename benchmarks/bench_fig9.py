@@ -1,0 +1,40 @@
+"""Figure 9 — the Fig. 8 study (nc+np tuning under a load switch) on the
+ANL→UChicago path.  Paper: "We observed a similar trend for ANL to
+UChicago transfers."
+"""
+
+from repro.experiments.figures import fig9
+from repro.experiments.report import downsample, render_comparison, render_series
+
+
+def test_fig9_uchicago_varying_load(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: fig9(duration_s=1800.0, switch_at_s=1000.0, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+
+    tr = result.traces["nm-tuner"]
+    times = downsample(tr.epoch_times().tolist(), 15)
+    series = {
+        name: downsample(result.traces[name].epoch_observed().tolist(), 15)
+        for name in ("default", "cs-tuner", "nm-tuner")
+    }
+    throughput = render_series(
+        times, series, title="Fig 9: observed throughput (MB/s) over time"
+    )
+    comparison = render_comparison(
+        [
+            ("trend similar to Fig 8", "yes", "see below"),
+            ("phase-1 improvement (nm)", "> 1x",
+             f"{result.improvement('nm-tuner', 0):.1f}x"),
+            ("phase-2 improvement (nm)", "> 1x",
+             f"{result.improvement('nm-tuner', 1):.1f}x"),
+        ],
+        title="Fig 9: paper vs measured",
+    )
+    report(throughput + "\n\n" + comparison)
+
+    for tuner in ("cs-tuner", "nm-tuner"):
+        assert result.improvement(tuner, 0) > 1.0
+        assert result.improvement(tuner, 1) > 1.0

@@ -1,0 +1,89 @@
+"""Robustness under random workloads (extension bench).
+
+The paper evaluates one hand-picked load switch (§IV-B).  Production
+endpoints see random job arrivals and traffic bursts; this bench races
+default vs nm-tuner across a population of random workloads from
+:mod:`repro.endpoint.workload` (Poisson compute jobs, bursty traffic) and
+reports paired win rates and mean improvements with confidence intervals.
+"""
+
+import numpy as np
+
+from repro.analysis.stats import steady_state_mean
+from repro.core.base import StaticTuner
+from repro.core.nm_tuner import NmTuner
+from repro.endpoint.workload import BurstyTraffic, PoissonJobMix
+from repro.experiments.replicate import compare, win_rate
+from repro.experiments.report import render_table
+from repro.experiments.runner import run_single
+from repro.experiments.scenarios import ANL_UC
+
+SEEDS = list(range(8))
+DURATION_S = 1800.0
+
+WORKLOADS = {
+    "poisson-jobs": PoissonJobMix(arrival_per_hour=40.0,
+                                  mean_duration_s=600.0, max_jobs=32),
+    "bursty-traffic": BurstyTraffic(burst_streams=64, mean_quiet_s=300.0,
+                                    mean_burst_s=200.0),
+}
+
+
+def _metric(workload, tuner_factory):
+    def run(seed: int) -> float:
+        schedule = workload.schedule(
+            DURATION_S, np.random.default_rng(seed + 10_000)
+        )
+        trace = run_single(
+            ANL_UC, tuner_factory(), load=schedule,
+            duration_s=DURATION_S, seed=seed,
+        )
+        return steady_state_mean(trace, tail_fraction=0.8)
+
+    return run
+
+
+def test_robustness_random_workloads(benchmark, report):
+    def _race():
+        out = {}
+        for name, workload in WORKLOADS.items():
+            out[name] = compare(
+                {
+                    "default": _metric(workload, StaticTuner),
+                    "nm-tuner": _metric(workload, NmTuner),
+                },
+                SEEDS,
+            )
+        return out
+
+    results = benchmark.pedantic(_race, rounds=1, iterations=1)
+
+    rows = []
+    for name, reps in results.items():
+        base, tuned = reps["default"], reps["nm-tuner"]
+        lo, hi = tuned.confidence_interval()
+        rows.append(
+            [
+                name,
+                base.mean,
+                tuned.mean,
+                f"[{lo:.0f}, {hi:.0f}]",
+                f"{tuned.mean / base.mean:.1f}x",
+                f"{100 * win_rate(tuned, base):.0f}%",
+            ]
+        )
+    report(
+        render_table(
+            ["workload", "default MB/s", "nm MB/s", "nm 95% CI",
+             "mean gain", "paired win rate"],
+            rows,
+            title=(
+                f"Robustness: {len(SEEDS)} random workloads per class, "
+                f"{DURATION_S:.0f} s transfers, ANL->UChicago"
+            ),
+        )
+    )
+
+    for name, reps in results.items():
+        assert reps["nm-tuner"].mean > reps["default"].mean, name
+        assert win_rate(reps["nm-tuner"], reps["default"]) >= 0.5, name

@@ -1,0 +1,62 @@
+"""Microbenchmarks of the hot substrate paths.
+
+Not a paper figure: these time the inner loops the figure benches lean on
+(fair-share allocation, CPU scheduling, one engine step) so performance
+regressions in the substrate are caught before they slow every figure.
+"""
+
+import math
+
+from repro.core.base import StaticTuner
+from repro.endpoint.cpu import CpuTask, fair_shares
+from repro.experiments.runner import make_session
+from repro.experiments.scenarios import ANL_UC
+from repro.net.fairshare import max_min_fair_allocation
+from repro.net.flows import FlowGroup
+from repro.net.link import Link, Path
+from repro.sim.engine import Engine, EngineConfig
+
+
+def test_bench_max_min_allocation(benchmark):
+    nic = Link("nic", 5000.0)
+    wans = [Link(f"wan{i}", 2500.0) for i in range(4)]
+    groups = []
+    for i in range(16):
+        path = Path(f"p{i}", (nic, wans[i % 4]), rtt_ms=10.0)
+        groups.append(
+            FlowGroup(f"g{i}", path, n_streams=8 * (i + 1),
+                      group_cap_mbps=900.0 * (1 + i % 3),
+                      stream_cap_mbps=50.0)
+        )
+    alloc = benchmark(max_min_fair_allocation, groups)
+    assert sum(alloc.values()) <= 5000.0 + 1e-6
+
+
+def test_bench_cpu_fair_shares(benchmark):
+    tasks = [
+        CpuTask("xfer", 64),
+        CpuTask("dgemm", 512, weight=0.35),
+        CpuTask("ext", 4),
+    ]
+    shares = benchmark(fair_shares, tasks, 8)
+    assert sum(shares.values()) <= 8 + 1e-6
+
+
+def test_bench_engine_wall_clock(benchmark):
+    """1800 simulated seconds of a default transfer; the figure benches
+    run dozens of these."""
+
+    def _run():
+        session = make_session(
+            "main", "anl-uc", StaticTuner(), duration_s=1800.0, fixed_np=8
+        )
+        engine = Engine(
+            topology=ANL_UC.build_topology(),
+            host=ANL_UC.host,
+            sessions=[session],
+            config=EngineConfig(seed=0),
+        )
+        return engine.run()["main"]
+
+    trace = benchmark(_run)
+    assert math.isfinite(trace.mean_observed())

@@ -1,0 +1,56 @@
+"""Substrate validation — fluid model vs packet-level TCP dynamics.
+
+Not a paper figure: this bench grounds the substrate all figure benches
+run on.  The fluid model summarizes each stream as a steady-state rate
+cap + max-min fair share; the packet-level simulator evolves actual
+congestion windows (slow start, per-CC increase/decrease, buffer
+overflow).  The two must agree on the aggregate-throughput-vs-streams
+envelope — the curve whose shape Fig. 1 measures.
+"""
+
+from repro.experiments.report import render_table
+from repro.net.packetsim import PacketPath, aggregate_goodput_mbps
+from repro.net.tcp import HTCP, TcpModel
+
+#: ANL→UChicago-like bottleneck for the comparison.
+PATH = PacketPath(
+    capacity_mbps=5000.0, rtt_s=0.002, loss_rate=1e-4, buffer_packets=5000
+)
+STREAMS = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+def test_fluid_vs_packet_envelope(benchmark, report):
+    tcp = TcpModel(cc=HTCP, wmax_bytes=1e15)
+    cap = tcp.stream_cap_mbps(PATH.rtt_s, PATH.loss_rate)
+
+    def _measure():
+        return {
+            n: aggregate_goodput_mbps(
+                n, PATH, cc=HTCP, duration_s=120.0, warmup_s=20.0, seed=0
+            )
+            for n in STREAMS
+        }
+
+    packet = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    rows = []
+    for n in STREAMS:
+        fluid = min(n * cap, PATH.capacity_mbps)
+        ratio = packet[n] / fluid
+        rows.append([n, fluid, packet[n], f"{ratio:.2f}"])
+    report(
+        render_table(
+            ["streams", "fluid MB/s", "packet MB/s", "packet/fluid"],
+            rows,
+            title=(
+                "Validation: aggregate goodput, fluid envelope vs "
+                "packet-level simulation (H-TCP, 5000 MB/s, 2 ms RTT)"
+            ),
+        )
+    )
+
+    for n in STREAMS:
+        fluid = min(n * cap, PATH.capacity_mbps)
+        assert 0.5 * fluid < packet[n] < 2.0 * fluid
+    # Both models agree the pipe saturates somewhere below 128 streams.
+    assert packet[128] > 0.9 * PATH.capacity_mbps

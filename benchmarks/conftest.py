@@ -1,0 +1,29 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Each benchmark runs one figure's experiment (full-fidelity scale unless
+noted), times it via pytest-benchmark, and emits the figure's rows/series
+as text — printed to the terminal (visible with ``-s``) and saved under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report(request):
+    """Callable that prints a report block and persists it per-bench."""
+
+    def _report(text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        name = request.node.name.replace("/", "_")
+        out = RESULTS_DIR / f"{name}.txt"
+        out.write_text(text + "\n")
+        print(f"\n{'=' * 72}\n{text}\n{'=' * 72}")
+
+    return _report

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Compare all four methods of the paper across external-load conditions.
+
+Reproduces the headline of the paper's Fig. 5 as a table: the Globus
+default against cd-tuner (coordinate descent), cs-tuner (compass search)
+and nm-tuner (Nelder-Mead), on ANL→UChicago under five source-side loads.
+
+Usage:  python examples/adaptive_vs_default.py [--fast]
+"""
+
+import sys
+
+from repro import ANL_UC, run_single, standard_tuners
+from repro.analysis.stats import steady_state_mean
+from repro.experiments.figures import FIG5_LOADS
+from repro.experiments.report import render_table
+
+
+def main(fast: bool = False) -> None:
+    duration = 600.0 if fast else 1800.0
+    tuners = standard_tuners(seed=0)
+
+    rows = []
+    for load_label, load in FIG5_LOADS.items():
+        row: list[object] = [load_label]
+        base = None
+        for name, tuner in tuners.items():
+            trace = run_single(
+                ANL_UC, tuner, load=load, duration_s=duration, seed=0
+            )
+            mbps = steady_state_mean(trace)
+            if name == "default":
+                base = mbps
+            row.append(mbps)
+        assert base is not None
+        row.append(f"{max(row[2:]) / base:.1f}x")  # best adaptive vs default
+        rows.append(row)
+
+    print(
+        render_table(
+            ["load", "default", "cd-tuner", "cs-tuner", "nm-tuner", "gain"],
+            rows,
+            title=(
+                f"Steady-state observed throughput (MB/s), ANL->UChicago, "
+                f"{duration:.0f} s transfers"
+            ),
+        )
+    )
+    print(
+        "\nReading the table: external compute load (cmp*) collapses the "
+        "default's\nthroughput because its 2 processes lose the CPU-share "
+        "fight against the\ndgemm jobs; the adaptive tuners raise "
+        "concurrency until the transfer\nclaws its share back."
+    )
+
+
+if __name__ == "__main__":
+    main(fast="--fast" in sys.argv[1:])

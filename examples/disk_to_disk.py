@@ -1,0 +1,168 @@
+#!/usr/bin/env python
+"""Disk-to-disk transfers over a lots-of-small-files dataset (extension).
+
+The paper's evaluation is memory-to-memory; its future work item (1) asks
+for "disk-to-disk optimization over sets of transfers with different file
+sizes".  This example runs that scenario on the substrate: a 200k-file
+dataset with lognormal sizes, a parallel file system at the source, and
+the GridFTP *pipelining* depth (pp) as the third knob next to nc and np.
+
+It shows (a) how badly a shallow pipeline hurts small-file workloads,
+(b) how the disk bends the (nc, np) response surface into a ridge, and
+(c) how much of that ridge nm-tuner climbs.
+
+Usage:  python examples/disk_to_disk.py
+"""
+
+from repro import ANL_TACC, NmTuner, StaticTuner
+from repro.analysis.stats import steady_state_mean
+from repro.experiments.report import render_table
+from repro.experiments.runner import make_session
+from repro.gridftp.diskio import DiskSpec, FileSet, disk_rate_cap_mbps
+from repro.sim.engine import Engine, EngineConfig
+from repro.units import MB
+
+#: Source parallel file system (GPFS-ish): fast streaming, costly opens.
+PFS = DiskSpec(
+    streaming_rate_mbps=1200.0,
+    per_file_overhead_s=0.02,
+    parallel_scaling=0.5,
+    max_parallel_accessors=16,
+)
+
+#: 200k files averaging 4 MB — the classic "lots of small files" dataset.
+DATASET = FileSet(n_files=200_000, mean_bytes=4 * MB, sigma=1.2)
+
+RTT_S = ANL_TACC.path("anl-tacc").rtt_s
+
+
+def run(tuner, pp: int, seed: int = 0, duration_s: float = 1800.0):
+    session = make_session(
+        "main", "anl-tacc", tuner, duration_s=duration_s, tune_np=True,
+    )
+    # Fixed pipelining: the session's pp defaults to the given constant.
+    session.disk_cap_fn = lambda nc, np_, _pp: disk_rate_cap_mbps(
+        PFS, DATASET, nc, np_, pp=pp, rtt_s=RTT_S
+    )
+    engine = Engine(
+        topology=ANL_TACC.build_topology(),
+        host=ANL_TACC.host,
+        sessions=[session],
+        config=EngineConfig(seed=seed),
+    )
+    return engine.run()["main"]
+
+
+def main() -> None:
+    print(
+        f"Dataset: {DATASET.n_files} files, mean "
+        f"{DATASET.mean_bytes / MB:.0f} MB, total "
+        f"{DATASET.total_bytes / 1e12:.2f} TB\n"
+    )
+
+    # (a) The pipelining cliff, at the Globus default (nc=2, np=8).
+    rows = []
+    for pp in (1, 4, 16, 64):
+        cap = disk_rate_cap_mbps(PFS, DATASET, 2, 8, pp=pp, rtt_s=RTT_S)
+        rows.append([pp, cap])
+    print(
+        render_table(
+            ["pipeline depth", "disk-side cap MB/s"],
+            rows,
+            title="(a) per-file overhead vs pipelining (nc=2, np=8)",
+        )
+    )
+
+    # (b) The static response surface: unlike the memory-to-memory case,
+    # disk striping rewards processes (nc) while the per-core budget
+    # punishes threads (np) — a curved ridge.
+    grid_rows = []
+    best = (0.0, (0, 0))
+    for nc in (2, 4, 8, 12, 16):
+        row: list[object] = [nc]
+        for np_ in (2, 8, 16):
+            mbps = steady_state_mean(
+                run(StaticTuner(params=(nc, np_)), pp=16, seed=2, duration_s=240.0),
+                tail_fraction=0.75,
+            )
+            row.append(mbps)
+            if mbps > best[0]:
+                best = (mbps, (nc, np_))
+        grid_rows.append(row)
+    print(
+        render_table(
+            ["nc \\ np", "np=2", "np=8", "np=16"],
+            grid_rows,
+            title="\n(b) static sweep: disk-to-disk steady MB/s, pp=16",
+        )
+    )
+
+    # (c) Direct search on that ridge.
+    default = run(StaticTuner(), pp=16)
+    tuned = run(NmTuner(), pp=16, seed=1)
+    print(
+        render_table(
+            ["policy", "steady MB/s", "final (nc, np)"],
+            [
+                ["default (2, 8)", steady_state_mean(default),
+                 str(default.epochs[-1].params)],
+                ["nm-tuner", steady_state_mean(tuned),
+                 str(tuned.epochs[-1].params)],
+                ["static optimum", best[0], str(best[1])],
+            ],
+            title="\n(c) tuning on the disk substrate, ANL->TACC",
+        )
+    )
+    print(
+        "\nThe disk substrate bends the response surface into a ridge "
+        "(striping\nrewards more processes, the per-core budget punishes "
+        "more threads), which\nis harder for direct search than the "
+        "memory-to-memory bowl: nm-tuner\nrecovers part of the "
+        "static-sweep optimum.  Extending the tuners to\nhandle such "
+        "ridges is exactly the paper's future work item (1)."
+    )
+
+    # (d) Full 3-D tuning: pipelining as a third direct-search dimension.
+    tuned3 = run_3d(NmTuner(), seed=1)
+    print(
+        render_table(
+            ["policy", "steady MB/s", "final (nc, np, pp)"],
+            [
+                ["default (2, 8, pp=4)",
+                 steady_state_mean(run(StaticTuner(), pp=4)),
+                 "(2, 8, 4)"],
+                ["nm-tuner 3-D", steady_state_mean(tuned3),
+                 str(tuned3.epochs[-1].params)],
+            ],
+            title="\n(d) tuning nc, np AND pipelining depth (3-D nm-tuner)",
+        )
+    )
+
+
+def run_3d(tuner, seed: int = 0, duration_s: float = 1800.0):
+    """Tune (nc, np, pp) jointly: the session maps dim 2 to pipelining."""
+    from repro.core.params import full_transfer_space
+    from repro.gridftp.transfer import TransferSpec
+    from repro.sim.session import ParamMap, TransferSession
+    import math
+
+    space = full_transfer_space(max_nc=64, max_np=16, max_pp=64)
+    spec = TransferSpec(name="main", path_name="anl-tacc",
+                        total_bytes=math.inf, max_duration_s=duration_s,
+                        epoch_s=30.0)
+    session = TransferSession(
+        spec, tuner, space, (2, 8, 4), param_map=ParamMap.nc_np_pp(),
+        restart_each_epoch=True,
+        disk_cap_fn=lambda nc, np_, pp: disk_rate_cap_mbps(
+            PFS, DATASET, nc, np_, pp=pp, rtt_s=RTT_S
+        ),
+    )
+    engine = Engine(
+        topology=ANL_TACC.build_topology(), host=ANL_TACC.host,
+        sessions=[session], config=EngineConfig(seed=seed),
+    )
+    return engine.run()["main"]
+
+
+if __name__ == "__main__":
+    main()

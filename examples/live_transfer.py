@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Tune a *real* running tool, not the simulator.
+
+Uses the deployment adapter (:mod:`repro.live`): cd-tuner drives actual
+OS processes — the bundled byte-pump stand-in for `globus-url-copy` —
+through short wall-clock control epochs, measuring real bytes moved.
+Swap `BYTE_PUMP` for your mover's command template to tune a real
+transfer, e.g.::
+
+    SubprocessEpochRunner(
+        "globus-url-copy -p {np} ftp://src/dev/zero ftp://dst/dev/null",
+        parse_bytes=parse_gridftp_perf_marker,
+    )
+
+Usage:  python examples/live_transfer.py   (runs ~8 seconds of real time)
+"""
+
+from repro import CdTuner, ParamSpace, SubprocessEpochRunner, tune_live
+from repro.live import BYTE_PUMP
+
+SPACE = ParamSpace(("nc",), (1,), (8,))
+
+
+def main() -> None:
+    runner = SubprocessEpochRunner(
+        BYTE_PUMP, parse_bytes=lambda out: float(out.strip() or 0)
+    )
+    print("driving real processes; one line per 1-second control epoch:")
+    result = tune_live(
+        CdTuner(eps_pct=5.0),
+        SPACE,
+        (1,),
+        runner,
+        epoch_s=1.0,
+        max_epochs=8,
+        fixed_np=4,
+        on_epoch=lambda e: print(
+            f"  epoch {e.index}: nc={e.params[0]}  "
+            f"{e.throughput_mbps:6.1f} MB/s  ({e.bytes_moved / 1e6:.1f} MB)"
+        ),
+    )
+    print(f"\nmoved {result.total_bytes / 1e6:.1f} MB at "
+          f"{result.mean_throughput_mbps:.1f} MB/s mean; final "
+          f"nc={result.epochs[-1].params[0]}")
+
+
+if __name__ == "__main__":
+    main()

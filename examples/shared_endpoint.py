@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Two tuned transfers sharing one source endpoint (paper §IV-D, Fig. 11).
+
+Starts simultaneous ANL→UChicago and ANL→TACC transfers out of the same
+40 Gb/s source NIC and compares two policies:
+
+* **independent** — each transfer runs its own nm-tuner and treats the
+  other as external load (the paper's Fig. 11 setup, where the UChicago
+  transfer grabs most of the NIC);
+* **joint** — the paper's proposed remedy: a single direct-search instance
+  optimizes both transfers' (nc, np) against their combined throughput
+  (implemented by :class:`repro.JointTuner`).
+
+Usage:  python examples/shared_endpoint.py
+"""
+
+from repro import ANL_UC, NmTuner, run_joint, run_pair
+from repro.experiments.report import render_table
+
+DURATION_S = 1800.0
+
+
+def summarize(label: str, traces: dict) -> list[object]:
+    half = DURATION_S / 2
+    uc = traces["xfer-a"].mean_observed(from_time=half)
+    tacc = traces["xfer-b"].mean_observed(from_time=half)
+    return [label, uc, tacc, uc + tacc, f"{100 * uc / (uc + tacc):.0f}%"]
+
+
+def main() -> None:
+    independent = run_pair(
+        ANL_UC,
+        NmTuner(),
+        NmTuner(),
+        path_a="anl-uc",
+        path_b="anl-tacc",
+        duration_s=DURATION_S,
+        seed=0,
+    )
+    joint = run_joint(
+        ANL_UC,
+        NmTuner(),
+        path_a="anl-uc",
+        path_b="anl-tacc",
+        duration_s=DURATION_S,
+        seed=0,
+    )
+
+    print(
+        render_table(
+            ["policy", "anl-uc MB/s", "anl-tacc MB/s", "total", "UC share"],
+            [
+                summarize("independent (Fig. 11)", independent),
+                summarize("joint (extension)", joint),
+            ],
+            title="Simultaneous transfers from one endpoint (steady state)",
+        )
+    )
+
+    nc_uc = independent["xfer-a"].epoch_param(0)
+    nc_tacc = independent["xfer-b"].epoch_param(0)
+    print("\nindependent tuning, adopted concurrency per epoch:")
+    print("  anl-uc  :", " ".join(str(int(v)) for v in nc_uc[:30]))
+    print("  anl-tacc:", " ".join(str(int(v)) for v in nc_tacc[:30]))
+    print(
+        "\nEach tuner sees the other transfer only as 'external load'; the "
+        "UChicago\ntransfer, whose path supports 2x the bandwidth, ends up "
+        "claiming the\nlarger share of the shared NIC — exactly the "
+        "interaction Fig. 11 shows."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+"""repro — reproduction of *Improving Data Transfer Throughput with Direct
+Search Optimization* (Balaprakash et al., ICPP 2016).
+
+The package implements the paper's direct-search stream tuners (cd-tuner,
+cs-tuner, nm-tuner), the baselines it compares against (Globus defaults,
+Balman's heur1, Yildirim's heur2), and every substrate the evaluation
+needs — a fluid WAN/TCP model, a source-host CPU scheduler with external
+load, and a `globus-url-copy` process/restart model — plus the experiment
+harness that regenerates each figure of the paper.
+
+Quickstart::
+
+    from repro import ANL_UC, NmTuner, run_single, ExternalLoad
+
+    trace = run_single(ANL_UC, NmTuner(), load=ExternalLoad(ext_cmp=16),
+                       duration_s=1800, seed=1)
+    print(trace.mean_observed(from_time=900))     # steady-state MB/s
+    print(trace.epoch_param(0))                   # concurrency trajectory
+"""
+
+from repro.core import (
+    AimdTuner,
+    BanditTuner,
+    CdTuner,
+    CsTuner,
+    CusumMonitor,
+    DeltaPctMonitor,
+    EpochHistory,
+    EwmaMonitor,
+    GssTuner,
+    HackerModelTuner,
+    Heur1Tuner,
+    Heur2Tuner,
+    HjTuner,
+    JointTuner,
+    NewtonModelTuner,
+    NmTuner,
+    ParamSpace,
+    SpsaTuner,
+    StaticTuner,
+    Tuner,
+    default_globus_params,
+)
+from repro.endpoint import ExternalLoad, HostSpec, LoadSchedule, NEHALEM
+from repro.experiments import (
+    ANL_TACC,
+    ANL_UC,
+    Scenario,
+    run_joint,
+    run_pair,
+    run_single,
+    standard_tuners,
+)
+from repro.gridftp import ClientModel, GlobusPolicy, RestartModel, TransferSpec
+from repro.live import LiveEpoch, LiveResult, SubprocessEpochRunner, tune_live
+from repro.net import CUBIC, HTCP, RENO, SCALABLE, Link, Path, TcpModel, Topology
+from repro.sim import Engine, EngineConfig, Trace, TransferSession
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # core tuners
+    "Tuner",
+    "StaticTuner",
+    "CdTuner",
+    "CsTuner",
+    "NmTuner",
+    "Heur1Tuner",
+    "Heur2Tuner",
+    "HjTuner",
+    "SpsaTuner",
+    "GssTuner",
+    "BanditTuner",
+    "AimdTuner",
+    "HackerModelTuner",
+    "NewtonModelTuner",
+    "DeltaPctMonitor",
+    "EwmaMonitor",
+    "CusumMonitor",
+    "JointTuner",
+    "ParamSpace",
+    "EpochHistory",
+    "default_globus_params",
+    # substrates
+    "TcpModel",
+    "RENO",
+    "CUBIC",
+    "HTCP",
+    "SCALABLE",
+    "Link",
+    "Path",
+    "Topology",
+    "HostSpec",
+    "NEHALEM",
+    "ExternalLoad",
+    "LoadSchedule",
+    "ClientModel",
+    "RestartModel",
+    "GlobusPolicy",
+    "TransferSpec",
+    # live adapter
+    "tune_live",
+    "SubprocessEpochRunner",
+    "LiveEpoch",
+    "LiveResult",
+    # simulation
+    "Engine",
+    "EngineConfig",
+    "TransferSession",
+    "Trace",
+    # experiments
+    "Scenario",
+    "ANL_UC",
+    "ANL_TACC",
+    "standard_tuners",
+    "run_single",
+    "run_pair",
+    "run_joint",
+    "__version__",
+]

@@ -1,0 +1,44 @@
+"""Tiny transfer-tool stand-in: pump bytes to /dev/null and report.
+
+Usage: ``python -m repro._byte_pump <np> <duration_s>``.  Writes chunks
+whose size scales with ``np`` for ``duration_s`` seconds (or until
+SIGTERM), then prints the total byte count — the interface
+:class:`repro.live.SubprocessEpochRunner` parses.  Exists so the live
+adapter has a dependency-free end-to-end test target.
+"""
+
+from __future__ import annotations
+
+import signal
+import sys
+import time
+
+_stop = False
+
+
+def _on_term(signum, frame):  # pragma: no cover - signal path
+    global _stop
+    _stop = True
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print("usage: _byte_pump <np> <duration_s>", file=sys.stderr)
+        return 2
+    np_ = int(argv[0])
+    duration = float(argv[1])
+    signal.signal(signal.SIGTERM, _on_term)
+    chunk = b"x" * (1024 * max(1, np_))
+    end = time.monotonic() + duration
+    n = 0
+    with open("/dev/null", "wb") as sink:
+        while not _stop and time.monotonic() < end:
+            sink.write(chunk)
+            n += len(chunk)
+            time.sleep(0.001)
+    print(n, flush=True)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main(sys.argv[1:]))

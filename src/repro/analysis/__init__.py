@@ -1,0 +1,42 @@
+"""Analysis utilities: boxplot statistics, steady-state detection,
+improvement factors, and regret/convergence metrics."""
+
+from repro.analysis.stats import (
+    BoxStats,
+    box_stats,
+    steady_state_mean,
+    time_to_steady_state,
+    improvement_factor,
+)
+from repro.analysis.surface import (
+    LuFit,
+    CriticalPointEstimate,
+    fit_lu_model,
+    critical_point,
+    unimodality_score,
+)
+from repro.analysis.convergence import (
+    cumulative_bytes,
+    regret_curve,
+    regret_fraction,
+    search_cost_bytes,
+    epochs_to_fraction_of_oracle,
+)
+
+__all__ = [
+    "BoxStats",
+    "box_stats",
+    "steady_state_mean",
+    "time_to_steady_state",
+    "improvement_factor",
+    "cumulative_bytes",
+    "regret_curve",
+    "regret_fraction",
+    "search_cost_bytes",
+    "epochs_to_fraction_of_oracle",
+    "LuFit",
+    "CriticalPointEstimate",
+    "fit_lu_model",
+    "critical_point",
+    "unimodality_score",
+]

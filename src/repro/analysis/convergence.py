@@ -1,0 +1,86 @@
+"""Convergence and regret metrics for tuner runs.
+
+The paper evaluates tuners by their steady-state throughput and by how
+long they take to get there ("cs-tuner and nm-tuner take 500 s to reach
+steady-state throughput").  These metrics formalize both against an
+oracle reference (the best static setting, from
+:mod:`repro.experiments.oracle`):
+
+* **cumulative regret** — bytes the run left on the table relative to a
+  transfer that ran at the oracle rate from t=0;
+* **regret fraction** — that loss as a fraction of the oracle's volume;
+* **search cost** — bytes lost specifically during the search transient.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.trace import Trace
+from repro.units import MB
+
+
+def cumulative_bytes(trace: Trace) -> np.ndarray:
+    """Cumulative bytes moved at the end of each epoch."""
+    if not trace.epochs:
+        raise ValueError("trace has no epochs")
+    return np.cumsum([e.bytes_moved for e in trace.epochs])
+
+
+def regret_curve(trace: Trace, oracle_mbps: float) -> np.ndarray:
+    """Cumulative regret (bytes) vs the oracle rate, per epoch end.
+
+    ``regret[k] = oracle_rate * t_k - bytes(t_k)``, clipped at zero (a
+    run can transiently beat a noisy oracle estimate).
+    """
+    if oracle_mbps <= 0:
+        raise ValueError("oracle rate must be positive")
+    moved = cumulative_bytes(trace)
+    t = np.cumsum([e.duration for e in trace.epochs])
+    ideal = oracle_mbps * MB * t
+    return np.maximum(0.0, ideal - moved)
+
+
+def regret_fraction(trace: Trace, oracle_mbps: float) -> float:
+    """Final cumulative regret as a fraction of the oracle's volume."""
+    curve = regret_curve(trace, oracle_mbps)
+    total_t = sum(e.duration for e in trace.epochs)
+    ideal = oracle_mbps * MB * total_t
+    return float(curve[-1] / ideal)
+
+
+def search_cost_bytes(trace: Trace, *, tail_fraction: float = 0.5) -> float:
+    """Bytes lost to the search transient.
+
+    Compares each epoch against the run's own steady-state level (the
+    tail mean) and sums the shortfall of the below-steady epochs — the
+    price paid for exploring before settling.
+    """
+    if not 0 < tail_fraction <= 1:
+        raise ValueError("tail_fraction must be in (0, 1]")
+    if not trace.epochs:
+        raise ValueError("trace has no epochs")
+    observed = trace.epoch_observed()
+    start = int(np.floor(observed.size * (1.0 - tail_fraction)))
+    steady = float(observed[start:].mean())
+    shortfall = 0.0
+    for e in trace.epochs:
+        if e.observed < steady:
+            shortfall += (steady - e.observed) * MB * e.duration
+    return shortfall
+
+
+def epochs_to_fraction_of_oracle(
+    trace: Trace, oracle_mbps: float, *, fraction: float = 0.8
+) -> int | None:
+    """Index of the first epoch reaching ``fraction`` of the oracle rate,
+    or None if never reached."""
+    if not 0 < fraction <= 1:
+        raise ValueError("fraction must be in (0, 1]")
+    if oracle_mbps <= 0:
+        raise ValueError("oracle rate must be positive")
+    target = fraction * oracle_mbps
+    for i, e in enumerate(trace.epochs):
+        if e.observed >= target:
+            return i
+    return None

@@ -1,0 +1,106 @@
+"""Statistics used to summarize experiment traces.
+
+The paper reports boxplot statistics (Fig. 1), steady-state throughputs
+("cs-tuner and nm-tuner take 500 s to reach steady-state throughput"), and
+improvement factors over the default ("up to 10x").  This module computes
+exactly those quantities from arrays or traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.sim.trace import Trace
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Five-number summary plus the mean (Tukey boxplot statistics)."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    mean: float
+
+    @property
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+
+def box_stats(samples: Sequence[float]) -> BoxStats:
+    """Boxplot summary of a sample set (requires at least one sample)."""
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        raise ValueError("need at least one sample")
+    if np.any(np.isnan(arr)):
+        raise ValueError("samples contain NaN")
+    q1, med, q3 = np.percentile(arr, [25.0, 50.0, 75.0])
+    return BoxStats(
+        minimum=float(arr.min()),
+        q1=float(q1),
+        median=float(med),
+        q3=float(q3),
+        maximum=float(arr.max()),
+        mean=float(arr.mean()),
+    )
+
+
+def steady_state_mean(
+    trace: Trace, *, tail_fraction: float = 0.5, best_case: bool = False
+) -> float:
+    """Mean epoch throughput over the trailing ``tail_fraction`` of epochs.
+
+    The leading epochs are the tuner's search transient; the paper's
+    "steady-state throughput" statements refer to the level after
+    convergence.
+    """
+    if not 0 < tail_fraction <= 1:
+        raise ValueError("tail_fraction must be in (0, 1]")
+    values = trace.epoch_best_case() if best_case else trace.epoch_observed()
+    if values.size == 0:
+        raise ValueError("trace has no epochs")
+    start = int(np.floor(values.size * (1.0 - tail_fraction)))
+    return float(values[start:].mean())
+
+
+def time_to_steady_state(
+    trace: Trace, *, tolerance_pct: float = 10.0, tail_fraction: float = 0.5
+) -> float:
+    """Seconds until throughput first enters (and the epoch average of the
+    remaining run stays within) ``tolerance_pct`` of the steady level.
+
+    Returns the start time of the first epoch whose observed throughput is
+    within the tolerance band around the steady-state mean.
+    """
+    if tolerance_pct <= 0:
+        raise ValueError("tolerance_pct must be positive")
+    level = steady_state_mean(trace, tail_fraction=tail_fraction)
+    band = abs(level) * tolerance_pct / 100.0
+    for rec in trace.epochs:
+        if abs(rec.observed - level) <= band:
+            return rec.start
+    return trace.epochs[-1].start
+
+
+def improvement_factor(
+    tuned: Trace,
+    baseline: Trace,
+    *,
+    tail_fraction: float = 0.5,
+    best_case: bool = False,
+) -> float:
+    """Steady-state throughput ratio tuned / baseline (the paper's "Nx")."""
+    base = steady_state_mean(
+        baseline, tail_fraction=tail_fraction, best_case=best_case
+    )
+    if base <= 0:
+        raise ValueError("baseline steady-state throughput is zero")
+    return (
+        steady_state_mean(tuned, tail_fraction=tail_fraction, best_case=best_case)
+        / base
+    )

@@ -1,0 +1,152 @@
+"""Response-surface characterization.
+
+The paper's whole premise is the shape of throughput-vs-streams: unimodal
+with a load-dependent critical point.  This module turns measured sweeps
+into that characterization:
+
+* :func:`fit_lu_model` — least-squares fit of the Lu/Yildirim curve
+  ``T(n) = n / sqrt(a n² + b n + c)`` to any number of samples (the
+  three-point special case lives in :mod:`repro.core.model_based`);
+* :func:`critical_point` — the fitted optimum with a bootstrap confidence
+  interval;
+* :func:`unimodality_score` — how unimodal a measured sweep actually is
+  (1.0 = perfectly unimodal), quantifying when direct search's core
+  assumption holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LuFit:
+    """Fitted coefficients of ``T(n) = n / sqrt(a n² + b n + c)``."""
+
+    a: float
+    b: float
+    c: float
+    residual: float  #: RMS error of the fit in throughput units
+
+    def predict(self, n: np.ndarray | float) -> np.ndarray | float:
+        n = np.asarray(n, dtype=float)
+        denom = self.a * n * n + self.b * n + self.c
+        with np.errstate(invalid="ignore", divide="ignore"):
+            out = np.where(denom > 0, n / np.sqrt(np.abs(denom) + 1e-300), 0.0)
+        return out if out.shape else float(out)
+
+    @property
+    def optimum(self) -> float | None:
+        """Interior maximizer ``n* = -2c/b``, or None if none exists.
+
+        ``b`` within numerical noise of zero (relative to the other
+        coefficients) counts as "no interior maximum" — the fit of a
+        monotone surface produces exactly that.
+        """
+        tol = 1e-9 * (abs(self.a) + abs(self.c) + 1.0)
+        if self.b >= -tol or self.c <= 0:
+            return None
+        return -2.0 * self.c / self.b
+
+
+def fit_lu_model(
+    ns: Sequence[float], ts: Sequence[float]
+) -> LuFit:
+    """Least-squares fit of the Lu model to (streams, throughput) samples.
+
+    The substitution ``y = n²/T²`` makes the model linear in (a, b, c);
+    the fit is ordinary least squares on that linearization.  Requires at
+    least three samples with positive throughput.
+    """
+    ns_arr = np.asarray(ns, dtype=float)
+    ts_arr = np.asarray(ts, dtype=float)
+    if ns_arr.shape != ts_arr.shape or ns_arr.size < 3:
+        raise ValueError("need >= 3 paired samples")
+    if np.any(ts_arr <= 0) or np.any(ns_arr <= 0):
+        raise ValueError("samples must be positive")
+    design = np.column_stack([ns_arr**2, ns_arr, np.ones_like(ns_arr)])
+    y = ns_arr**2 / ts_arr**2
+    coeff, *_ = np.linalg.lstsq(design, y, rcond=None)
+    fit = LuFit(a=float(coeff[0]), b=float(coeff[1]), c=float(coeff[2]),
+                residual=0.0)
+    resid = float(np.sqrt(np.mean((fit.predict(ns_arr) - ts_arr) ** 2)))
+    return LuFit(a=fit.a, b=fit.b, c=fit.c, residual=resid)
+
+
+@dataclass(frozen=True)
+class CriticalPointEstimate:
+    """Fitted critical stream count with a bootstrap CI."""
+
+    point: float
+    ci_low: float
+    ci_high: float
+    n_boot: int
+
+
+def critical_point(
+    ns: Sequence[float],
+    ts: Sequence[float],
+    *,
+    n_boot: int = 200,
+    seed: int = 0,
+    ci: float = 0.95,
+) -> CriticalPointEstimate:
+    """Fitted optimum with a resampling confidence interval.
+
+    Bootstraps the samples (with replacement) and refits; replicates
+    whose fit has no interior optimum fall back to the best sampled n.
+    """
+    if not 0 < ci < 1:
+        raise ValueError("ci must be in (0, 1)")
+    if n_boot < 1:
+        raise ValueError("n_boot must be >= 1")
+    ns_arr = np.asarray(ns, dtype=float)
+    ts_arr = np.asarray(ts, dtype=float)
+
+    def estimate(idx: np.ndarray) -> float:
+        sub_n, sub_t = ns_arr[idx], ts_arr[idx]
+        if len(np.unique(sub_n)) < 3:
+            return float(sub_n[np.argmax(sub_t)])
+        fit = fit_lu_model(sub_n, sub_t)
+        opt = fit.optimum
+        if opt is None or not np.isfinite(opt) or opt <= 0:
+            return float(sub_n[np.argmax(sub_t)])
+        return float(np.clip(opt, ns_arr.min(), ns_arr.max()))
+
+    base = estimate(np.arange(ns_arr.size))
+    rng = np.random.default_rng(seed)
+    boots = np.array([
+        estimate(rng.integers(0, ns_arr.size, size=ns_arr.size))
+        for _ in range(n_boot)
+    ])
+    alpha = (1.0 - ci) / 2.0
+    lo, hi = np.quantile(boots, [alpha, 1.0 - alpha])
+    return CriticalPointEstimate(
+        point=base, ci_low=float(lo), ci_high=float(hi), n_boot=n_boot
+    )
+
+
+def unimodality_score(ts: Sequence[float]) -> float:
+    """How unimodal a sweep is, in [0, 1].
+
+    Computes the fraction of the total variation explained by the best
+    rise-then-fall (unimodal) envelope: 1.0 means the samples are exactly
+    non-decreasing up to some peak and non-increasing after it; noisy or
+    multi-modal sweeps score lower.
+    """
+    t = np.asarray(ts, dtype=float)
+    if t.size < 3:
+        raise ValueError("need >= 3 samples")
+    best_err = np.inf
+    for peak in range(t.size):
+        # Isotonic-lite: cummax up to the peak, reversed cummax after.
+        up = np.maximum.accumulate(t[: peak + 1])
+        down = np.maximum.accumulate(t[peak:][::-1])[::-1]
+        envelope = np.concatenate([up, down[1:]])
+        err = float(np.sum(np.abs(envelope - t)))
+        best_err = min(best_err, err)
+    total = float(np.sum(np.abs(t - t.mean()))) or 1.0
+    return max(0.0, 1.0 - best_err / total)

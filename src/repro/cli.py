@@ -1,0 +1,339 @@
+"""Command-line interface.
+
+Four subcommands mirror how the library is used:
+
+* ``run``    — one tuned transfer on a scenario, with a summary and the
+  adopted parameter trajectory;
+* ``sweep``  — the static response surface (throughput vs nc);
+* ``oracle`` — the best static setting by offline sweep;
+* ``figure`` — regenerate one of the paper's figures as text.
+
+Invoke as ``python -m repro ...`` or via the ``repro-transfer`` script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.stats import steady_state_mean, time_to_steady_state
+from repro.analysis.surface import critical_point, unimodality_score
+from repro.core.aimd_tuner import AimdTuner
+from repro.core.bandit import BanditTuner
+from repro.core.base import StaticTuner, Tuner
+from repro.core.cd_tuner import CdTuner
+from repro.core.cs_tuner import CsTuner
+from repro.core.gss_tuner import GssTuner
+from repro.core.heuristics import Heur1Tuner, Heur2Tuner
+from repro.core.hj_tuner import HjTuner
+from repro.core.nm_tuner import NmTuner
+from repro.core.spsa_tuner import SpsaTuner
+from repro.endpoint.load import ExternalLoad
+from repro.experiments import figures
+from repro.experiments.campaign import CampaignScale, run_campaign
+from repro.experiments.oracle import oracle_static_nc
+from repro.experiments.report import ascii_chart, downsample, render_series, render_table
+from repro.experiments.runner import run_single
+from repro.experiments.scenarios import ANL_TACC, ANL_UC, Scenario
+
+SCENARIOS: dict[str, Scenario] = {"anl-uc": ANL_UC, "anl-tacc": ANL_TACC}
+
+
+def make_tuner(name: str, seed: int) -> Tuner:
+    """Construct a tuner by CLI name."""
+    factories = {
+        "default": lambda: StaticTuner(),
+        "cd": lambda: CdTuner(),
+        "cs": lambda: CsTuner(seed=seed),
+        "nm": lambda: NmTuner(),
+        "hj": lambda: HjTuner(),
+        "spsa": lambda: SpsaTuner(seed=seed),
+        "gss": lambda: GssTuner(),
+        "heur1": lambda: Heur1Tuner(),
+        "heur2": lambda: Heur2Tuner(),
+        "bandit": lambda: BanditTuner(seed=seed),
+        "aimd": lambda: AimdTuner(),
+        "mimd": lambda: AimdTuner(multiplicative_increase=True),
+    }
+    try:
+        return factories[name]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown tuner {name!r}; choose from {sorted(factories)}"
+        ) from None
+
+
+def parse_load(text: str) -> ExternalLoad:
+    """Parse ``cmp16``, ``tfr64``, ``cmp16+tfr64``, or ``none``."""
+    if text in ("none", ""):
+        return ExternalLoad()
+    cmp_, tfr = 0, 0
+    for part in text.split("+"):
+        if part.startswith("cmp"):
+            cmp_ = int(part[3:])
+        elif part.startswith("tfr"):
+            tfr = int(part[3:])
+        else:
+            raise SystemExit(
+                f"bad load spec {text!r}; use e.g. 'cmp16', 'tfr64', "
+                "'cmp16+tfr64', or 'none'"
+            )
+    return ExternalLoad(ext_cmp=cmp_, ext_tfr=tfr)
+
+
+def _scenario(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}"
+        ) from None
+
+
+# -- subcommands -------------------------------------------------------------
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    scenario = _scenario(args.scenario)
+    tuner = make_tuner(args.tuner, args.seed)
+    trace = run_single(
+        scenario,
+        tuner,
+        load=parse_load(args.load),
+        duration_s=args.duration,
+        tune_np=args.tune_np,
+        fixed_np=args.np,
+        seed=args.seed,
+    )
+    steady = steady_state_mean(trace)
+    best = steady_state_mean(trace, best_case=True)
+    print(f"scenario   : {scenario.name} ({args.load})")
+    print(f"tuner      : {tuner.name}")
+    print(f"steady observed : {steady:8.0f} MB/s")
+    print(f"steady best-case: {best:8.0f} MB/s "
+          f"(restart overhead {100 * (1 - steady / max(best, 1e-9)):.0f}%)")
+    print(f"time to steady  : {time_to_steady_state(trace):8.0f} s")
+    print(f"bytes moved     : {trace.total_bytes / 1e9:8.1f} GB")
+    names = ["nc"] + (["np"] if args.tune_np else [])
+    for dim, label in enumerate(names):
+        vals = trace.epoch_param(dim).tolist()
+        print(f"{label} per epoch: "
+              + " ".join(str(int(v)) for v in downsample(vals, 30)))
+    if args.chart:
+        print()
+        print(
+            ascii_chart(
+                {
+                    "observed": trace.epoch_observed().tolist(),
+                    "best-case": trace.epoch_best_case().tolist(),
+                },
+                title="throughput (MB/s) per control epoch",
+            )
+        )
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    scenario = _scenario(args.scenario)
+    load = parse_load(args.load)
+    nc_values = [int(v) for v in args.nc.split(",")]
+    rows = []
+    for nc in nc_values:
+        trace = run_single(
+            scenario,
+            StaticTuner(),
+            load=load,
+            duration_s=args.duration,
+            x0=(nc,),
+            fixed_np=args.np,
+            seed=args.seed,
+        )
+        rows.append([nc, steady_state_mean(trace, tail_fraction=0.75)])
+    print(
+        render_table(
+            ["nc", "steady MB/s"],
+            rows,
+            title=(
+                f"{scenario.name}, np={args.np}, load={args.load}: "
+                "static response surface"
+            ),
+        )
+    )
+    if len(rows) >= 3:
+        streams = [r[0] * args.np for r in rows]
+        values = [r[1] for r in rows]
+        est = critical_point(streams, values, n_boot=100, seed=args.seed)
+        print(
+            f"\nfitted critical point: {est.point:.0f} streams "
+            f"(95% CI [{est.ci_low:.0f}, {est.ci_high:.0f}]); "
+            f"unimodality {unimodality_score(values):.2f}"
+        )
+    return 0
+
+
+def cmd_oracle(args: argparse.Namespace) -> int:
+    scenario = _scenario(args.scenario)
+    oracle = oracle_static_nc(
+        scenario,
+        load=parse_load(args.load),
+        fixed_np=args.np,
+        duration_s=args.duration,
+        seed=args.seed,
+    )
+    print(
+        f"oracle static nc = {oracle.params[0]} "
+        f"({oracle.throughput_mbps:.0f} MB/s, "
+        f"{oracle.evaluations} evaluations)"
+    )
+    return 0
+
+
+FIGURES = {
+    "fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+    "tacc",
+}
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    name = args.name
+    if name not in FIGURES:
+        raise SystemExit(
+            f"unknown figure {name!r}; choose from {sorted(FIGURES)}"
+        )
+    if name == "fig1":
+        result = figures.fig1(duration_s=args.duration / 3, reps=3,
+                              seed=args.seed)
+        rows = [
+            [label, nc, result.stats[label][nc].median]
+            for label in result.stats
+            for nc in result.nc_values
+        ]
+        print(render_table(["load", "nc", "median MB/s"], rows,
+                           title="Fig 1"))
+    elif name in ("fig5", "fig6", "fig7"):
+        result = figures.fig5(duration_s=args.duration, seed=args.seed)
+        rows = [
+            [load, tuner, result.steady_observed(load, tuner),
+             result.steady_best_case(load, tuner)]
+            for load in result.traces
+            for tuner in result.traces[load]
+        ]
+        print(render_table(["load", "tuner", "observed", "best-case"],
+                           rows, title="Figs 5-7"))
+    elif name == "tacc":
+        result = figures.tacc_concurrency(duration_s=args.duration,
+                                          seed=args.seed)
+        rows = [
+            [load, tuner, result.steady_observed(load, tuner)]
+            for load in result.traces
+            for tuner in result.traces[load]
+        ]
+        print(render_table(["load", "tuner", "observed"], rows,
+                           title="ANL->TACC study"))
+    elif name in ("fig8", "fig9", "fig10"):
+        fn = {"fig8": figures.fig8, "fig9": figures.fig9,
+              "fig10": figures.fig10}[name]
+        result = fn(duration_s=args.duration, seed=args.seed)
+        times = downsample(
+            next(iter(result.traces.values())).epoch_times().tolist(), 20
+        )
+        series = {
+            tuner: downsample(tr.epoch_observed().tolist(), 20)
+            for tuner, tr in result.traces.items()
+        }
+        print(render_series(times, series, title=name))
+    elif name == "fig11":
+        result = figures.fig11(duration_s=args.duration, seed=args.seed)
+        print(
+            f"anl-uc  : {result.mean('anl-uc', from_time=args.duration / 2):.0f} MB/s"
+        )
+        print(
+            f"anl-tacc: {result.mean('anl-tacc', from_time=args.duration / 2):.0f} MB/s"
+        )
+        print(f"UC share: {100 * result.share_of_uc(from_time=args.duration / 2):.0f}%")
+    return 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    scale = (CampaignScale.quick(args.seed) if args.quick
+             else CampaignScale.full(args.seed))
+    result = run_campaign(scale)
+    doc = result.document()
+    print(doc)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(doc + "\n")
+    return 0
+
+
+# -- parser ------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Direct-search tuning of parallel-stream data transfers "
+            "(ICPP 2016 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--scenario", default="anl-uc",
+                       choices=sorted(SCENARIOS))
+        p.add_argument("--load", default="none",
+                       help="e.g. none, cmp16, tfr64, cmp16+tfr64")
+        p.add_argument("--duration", type=float, default=1800.0,
+                       help="transfer duration in seconds")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--np", type=int, default=8,
+                       help="fixed parallelism when np is not tuned")
+
+    p_run = sub.add_parser("run", help="run one tuned transfer")
+    common(p_run)
+    p_run.add_argument("--tuner", default="nm",
+                       help="default|cd|cs|nm|hj|spsa|gss|bandit|heur1|heur2")
+    p_run.add_argument("--tune-np", action="store_true",
+                       help="tune parallelism too (2-D)")
+    p_run.add_argument("--chart", action="store_true",
+                       help="plot the throughput trace as ASCII art")
+    p_run.set_defaults(func=cmd_run)
+
+    p_sweep = sub.add_parser("sweep", help="static throughput vs nc")
+    common(p_sweep)
+    p_sweep.add_argument("--nc", default="1,2,4,8,16,32,64,128,256",
+                         help="comma-separated concurrency values")
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_oracle = sub.add_parser("oracle", help="best static nc by sweep")
+    common(p_oracle)
+    p_oracle.set_defaults(func=cmd_oracle)
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure")
+    common(p_fig)
+    p_fig.add_argument("name", help="|".join(sorted(FIGURES)))
+    p_fig.set_defaults(func=cmd_figure)
+
+    p_camp = sub.add_parser(
+        "campaign", help="regenerate the whole evaluation as one report"
+    )
+    p_camp.add_argument("--quick", action="store_true",
+                        help="minutes-scale version of the campaign")
+    p_camp.add_argument("--seed", type=int, default=0)
+    p_camp.add_argument("--output", default=None,
+                        help="write the report to this file as well")
+    p_camp.set_defaults(func=cmd_campaign)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

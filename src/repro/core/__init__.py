@@ -1,0 +1,58 @@
+"""Direct-search tuners: the paper's primary contribution.
+
+All tuners are infinite generators over an integer box domain
+(:class:`~repro.core.params.ParamSpace`): they yield a parameter vector for
+each control epoch and receive the epoch's observed throughput back.  The
+surrounding :class:`~repro.sim.session.TransferSession` (or any caller)
+decides when the transfer is finished — mirroring the ``while s' > 0``
+outer loops of Algorithms 1–3.
+"""
+
+from repro.core.params import ParamSpace
+from repro.core.history import EpochHistory, delta_pct
+from repro.core.base import Tuner, StaticTuner
+from repro.core.cd_tuner import CdTuner
+from repro.core.cs_tuner import CsTuner
+from repro.core.nm_tuner import NmTuner
+from repro.core.heuristics import Heur1Tuner, Heur2Tuner, default_globus_params
+from repro.core.aggregate import JointTuner
+from repro.core.hj_tuner import HjTuner
+from repro.core.spsa_tuner import SpsaTuner
+from repro.core.gss_tuner import GssTuner
+from repro.core.model_based import HackerModelTuner, NewtonModelTuner
+from repro.core.bandit import BanditTuner
+from repro.core.aimd_tuner import AimdTuner
+from repro.core.scheduler import WeightedJointController
+from repro.core.monitor import (
+    ChangeMonitor,
+    CusumMonitor,
+    DeltaPctMonitor,
+    EwmaMonitor,
+)
+
+__all__ = [
+    "ParamSpace",
+    "EpochHistory",
+    "delta_pct",
+    "Tuner",
+    "StaticTuner",
+    "CdTuner",
+    "CsTuner",
+    "NmTuner",
+    "Heur1Tuner",
+    "Heur2Tuner",
+    "HjTuner",
+    "SpsaTuner",
+    "GssTuner",
+    "HackerModelTuner",
+    "NewtonModelTuner",
+    "BanditTuner",
+    "AimdTuner",
+    "WeightedJointController",
+    "default_globus_params",
+    "JointTuner",
+    "ChangeMonitor",
+    "DeltaPctMonitor",
+    "EwmaMonitor",
+    "CusumMonitor",
+]

@@ -1,0 +1,98 @@
+"""Endpoint-level joint tuning (extension; paper §IV-D discussion).
+
+Section IV-D shows that two *independently* tuned transfers sharing a
+source endpoint fight each other: each treats the other as external load.
+The paper proposes (as future work) aggregating the transfers at the
+common endpoint and optimizing all their parameters simultaneously with
+one direct-search instance.  :class:`JointTuner` implements exactly that:
+it concatenates the per-transfer parameter spaces into one joint space,
+runs any :class:`~repro.core.base.Tuner` over it, and splits each joint
+proposal back into per-transfer vectors.  The objective fed to the inner
+tuner is the *sum* of the transfers' throughputs (aggregate egress), which
+is what an endpoint operator wants to maximize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.base import Tuner, TunerGen
+from repro.core.params import ParamSpace
+
+
+def concat_spaces(spaces: list[ParamSpace], labels: list[str]) -> ParamSpace:
+    """Concatenate parameter spaces, prefixing names to keep them unique."""
+    if len(spaces) != len(labels):
+        raise ValueError("need one label per space")
+    if len(set(labels)) != len(labels):
+        raise ValueError(f"duplicate labels: {labels}")
+    names: list[str] = []
+    lower: list[int] = []
+    upper: list[int] = []
+    for label, sp in zip(labels, spaces):
+        names.extend(f"{label}.{n}" for n in sp.names)
+        lower.extend(sp.lower)
+        upper.extend(sp.upper)
+    return ParamSpace(tuple(names), tuple(lower), tuple(upper))
+
+
+@dataclass
+class JointTuner(Tuner):
+    """Tune several transfers' parameters as one direct-search problem.
+
+    Parameters
+    ----------
+    inner:
+        The direct-search method used on the joint space (nm-tuner and
+        cs-tuner are the paper's recommendations).
+    subspaces:
+        One :class:`ParamSpace` per controlled transfer, in order.
+    labels:
+        One label per transfer (used to prefix joint parameter names).
+    """
+
+    inner: Tuner
+    subspaces: list[ParamSpace]
+    labels: list[str]
+
+    def __post_init__(self) -> None:
+        # Validates sizes/duplicates as a side effect.
+        self.joint_space = concat_spaces(self.subspaces, self.labels)
+        self.name = f"joint-{self.inner.name}"
+
+    def split(self, x: tuple[int, ...]) -> list[tuple[int, ...]]:
+        """Slice a joint vector into per-transfer parameter vectors."""
+        if len(x) != self.joint_space.ndim:
+            raise ValueError(
+                f"joint vector has {len(x)} coords, expected "
+                f"{self.joint_space.ndim}"
+            )
+        out: list[tuple[int, ...]] = []
+        i = 0
+        for sp in self.subspaces:
+            out.append(tuple(x[i : i + sp.ndim]))
+            i += sp.ndim
+        return out
+
+    def join(self, xs: list[tuple[int, ...]]) -> tuple[int, ...]:
+        """Concatenate per-transfer vectors into a joint vector."""
+        if len(xs) != len(self.subspaces):
+            raise ValueError("need one vector per subspace")
+        flat: list[int] = []
+        for sp, x in zip(self.subspaces, xs):
+            if len(x) != sp.ndim:
+                raise ValueError("vector/subspace dimension mismatch")
+            flat.extend(x)
+        return tuple(flat)
+
+    def propose(self, x0: tuple[int, ...], space: ParamSpace) -> TunerGen:
+        """Run the inner tuner on the joint space.
+
+        ``space`` must equal the joint space built from the subspaces; it
+        is accepted (rather than implied) to satisfy the Tuner protocol.
+        """
+        if space != self.joint_space:
+            raise ValueError(
+                "JointTuner must be driven over its own joint_space"
+            )
+        return self.inner.propose(self.joint_space.fbnd(x0), self.joint_space)

@@ -1,0 +1,112 @@
+"""aimd-tuner — Ito et al.'s adaptation schemes (related-work baseline).
+
+Ito, Ohsaki & Imase [11, 12 in the paper] tuned GridFTP parallelism with
+the congestion-control playbook applied at the control-loop level:
+**additive increase** while throughput improves, **multiplicative
+decrease** when it degrades (AIMD), with a multiplicative-increase (MIMD)
+variant.  The paper groups these with the dynamic ad hoc schemes its
+direct-search methods replace; implementing them completes the §I
+taxonomy alongside heur1 (Balman) and heur2 (Yildirim).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.base import Tuner, TunerGen
+from repro.core.history import delta_pct
+from repro.core.params import ParamSpace
+
+
+@dataclass
+class AimdTuner(Tuner):
+    """Additive-increase / multiplicative-decrease stream tuner.
+
+    Each epoch compares with the previous one: a significant improvement
+    earns ``+increase`` streams, a significant degradation costs a
+    multiplicative cut to ``decrease_factor`` of the current value, and
+    an insignificant change probes upward anyway every
+    ``probe_interval`` epochs (AIMD never sits still — that is its
+    congestion-control heritage).
+
+    Parameters
+    ----------
+    eps_pct:
+        Significance tolerance on the relative throughput change.
+    increase:
+        Additive step on improvement.
+    decrease_factor:
+        Fraction kept on degradation (0.5 = halve, TCP-style).
+    probe_interval:
+        Epochs between upward probes while the throughput is flat.
+    multiplicative_increase:
+        The MIMD variant: grow by ``mi_factor`` instead of adding.
+    mi_factor:
+        Growth factor for the MIMD variant.
+    """
+
+    eps_pct: float = 5.0
+    increase: int = 1
+    decrease_factor: float = 0.5
+    probe_interval: int = 4
+    multiplicative_increase: bool = False
+    mi_factor: float = 1.5
+    name: str = "aimd-tuner"
+
+    def __post_init__(self) -> None:
+        if self.eps_pct < 0:
+            raise ValueError("eps_pct must be non-negative")
+        if self.increase < 1:
+            raise ValueError("increase must be >= 1")
+        if not 0 < self.decrease_factor < 1:
+            raise ValueError("decrease_factor must be in (0, 1)")
+        if self.probe_interval < 1:
+            raise ValueError("probe_interval must be >= 1")
+        if self.mi_factor <= 1:
+            raise ValueError("mi_factor must be > 1")
+        if self.multiplicative_increase:
+            self.name = "mimd-tuner"
+
+    def _grow(self, space: ParamSpace, x: tuple[int, ...]) -> tuple[int, ...]:
+        v = list(x)
+        if self.multiplicative_increase:
+            v[0] = v[0] * self.mi_factor
+        else:
+            v[0] = v[0] + self.increase
+        return space.fbnd(v)
+
+    def _cut(self, space: ParamSpace, x: tuple[int, ...]) -> tuple[int, ...]:
+        v = list(x)
+        v[0] = max(1.0, v[0] * self.decrease_factor)
+        return space.fbnd(v)
+
+    def propose(self, x0: tuple[int, ...], space: ParamSpace) -> TunerGen:
+        x = space.fbnd(x0)
+        f_prev = yield x
+        x_next = self._grow(space, x)
+        flat_epochs = 0
+        while True:
+            f = yield x_next
+            delta = delta_pct(f, f_prev)
+            went_up = x_next[0] > x[0]
+            x = x_next
+            if delta > self.eps_pct:
+                x_next = self._grow(space, x)
+                flat_epochs = 0
+            elif delta < -self.eps_pct and went_up:
+                # The last increase hurt: multiplicative backoff.
+                x_next = self._cut(space, x)
+                flat_epochs = 0
+            elif delta < -self.eps_pct:
+                # Degradation not caused by us (external load): probe up
+                # to reclaim bandwidth, AIMD-style.
+                x_next = self._grow(space, x)
+                flat_epochs = 0
+            else:
+                flat_epochs += 1
+                if flat_epochs >= self.probe_interval:
+                    x_next = self._grow(space, x)
+                    flat_epochs = 0
+                else:
+                    x_next = x
+            f_prev = f

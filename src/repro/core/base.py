@@ -1,0 +1,86 @@
+"""Tuner protocol.
+
+A tuner is a *state machine over control epochs* expressed as a Python
+generator: it yields the parameter vector to use for the next epoch and
+receives the epoch's observed throughput (MB/s) via ``send``.  The
+``runTransfer`` calls in the paper's Algorithms 1–3 become ``f = yield x``;
+the ``while s' > 0`` outer loop lives in whoever drives the generator
+(:class:`repro.sim.session.TransferSession`, or a real transfer wrapper).
+
+This inversion lets the same algorithm code serve a blocking command-line
+driver and the multi-session fluid simulation (Fig. 11) without change.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.core.params import ParamSpace
+
+#: A tuner generator: yields parameter vectors, receives throughputs.
+TunerGen = Generator[tuple[int, ...], float, None]
+
+
+class Tuner(abc.ABC):
+    """Base class for control-epoch tuners.
+
+    Subclasses implement :meth:`propose` as an **infinite** generator —
+    termination is the driver's concern.  Every yielded point must lie in
+    ``space`` (use ``space.fbnd``); this is property-tested against random
+    throughput sequences for every tuner in the suite.
+    """
+
+    #: short identifier used in traces/reports, e.g. "cd-tuner"
+    name: str = "tuner"
+
+    #: whether the driving session must relaunch the transfer tool every
+    #: control epoch (the paper's tuners do; set-and-hold methods only
+    #: restart when their parameters actually change).
+    restarts_every_epoch: bool = True
+
+    @abc.abstractmethod
+    def propose(self, x0: tuple[int, ...], space: ParamSpace) -> TunerGen:
+        """Create a fresh tuning state machine starting from ``x0``."""
+
+    def start(self, x0: tuple[int, ...], space: ParamSpace) -> "TunerDriver":
+        """Convenience: wrap :meth:`propose` in a primed driver."""
+        return TunerDriver(self.propose(space.fbnd(x0), space))
+
+
+class TunerDriver:
+    """Thin wrapper handling the generator send/prime protocol.
+
+    >>> driver = CdTuner().start((2,), space)   # doctest: +SKIP
+    >>> x = driver.current                      # params for epoch 0
+    >>> x = driver.observe(1234.5)              # params for epoch 1
+    """
+
+    def __init__(self, gen: TunerGen) -> None:
+        self._gen = gen
+        self.current: tuple[int, ...] = next(gen)
+
+    def observe(self, throughput: float) -> tuple[int, ...]:
+        """Report an epoch's throughput; returns the next parameter vector."""
+        if throughput < 0:
+            raise ValueError("throughput must be non-negative")
+        self.current = self._gen.send(float(throughput))
+        return self.current
+
+
+@dataclass
+class StaticTuner(Tuner):
+    """Never changes the parameters — the paper's ``default`` baseline.
+
+    If ``params`` is None the starting point is held forever.
+    """
+
+    params: tuple[int, ...] | None = None
+    name: str = "default"
+    restarts_every_epoch: bool = False
+
+    def propose(self, x0: tuple[int, ...], space: ParamSpace) -> TunerGen:
+        x = space.fbnd(self.params if self.params is not None else x0)
+        while True:
+            yield x

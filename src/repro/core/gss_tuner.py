@@ -1,0 +1,94 @@
+"""gss-tuner — golden-section search over concurrency (extension).
+
+When only one parameter is tuned (the paper's §IV-A setting: concurrency,
+with parallelism fixed) and the response surface is unimodal (the paper's
+Fig. 1 observation), golden-section search is the textbook-optimal
+bracketing method: it shrinks the bracket by the golden ratio with one
+new measurement per step.  It serves as a strong specialized baseline the
+general-purpose cd/cs/nm methods can be compared against — and as a
+cautionary one: unimodality is only approximate under measurement noise,
+and gss has no recovery once the bracket collapses on a noise-induced
+local pattern, so the outer Δc monitor restarts it from scratch.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.core.base import Tuner, TunerGen
+from repro.core.history import delta_pct
+from repro.core.params import ParamSpace
+
+#: 1/phi, the golden bracket ratio.
+_INV_PHI = (math.sqrt(5.0) - 1.0) / 2.0
+
+
+@dataclass
+class GssTuner(Tuner):
+    """Golden-section stream tuner (1-D spaces only).
+
+    Parameters
+    ----------
+    eps_pct:
+        Tolerance ε%% for the outer change monitor.
+    """
+
+    eps_pct: float = 5.0
+    name: str = "gss-tuner"
+
+    def __post_init__(self) -> None:
+        if self.eps_pct < 0:
+            raise ValueError("eps_pct must be non-negative")
+
+    def propose(self, x0: tuple[int, ...], space: ParamSpace) -> TunerGen:
+        if space.ndim != 1:
+            raise ValueError(
+                "golden-section search tunes exactly one parameter; got "
+                f"{space.ndim} dimensions"
+            )
+        x_cur, f_cur = yield from self._bracket_search(space)
+        f_prev = f_cur
+        while True:
+            f_new = yield x_cur
+            if abs(delta_pct(f_new, f_prev)) > self.eps_pct:
+                x_cur, f_new = yield from self._bracket_search(space)
+            f_prev = f_new
+
+    def _bracket_search(
+        self, space: ParamSpace
+    ) -> Generator[tuple[int, ...], float, tuple[tuple[int, ...], float]]:
+        """One full golden-section pass over the whole domain."""
+        lo = float(space.lower[0])
+        hi = float(space.upper[0])
+
+        def probe(v: float):
+            return space.fbnd((v,))
+
+        x1 = probe(hi - (hi - lo) * _INV_PHI)
+        x2 = probe(lo + (hi - lo) * _INV_PHI)
+        f1 = yield x1
+        f2 = yield x2
+        best, f_best = (x1, f1) if f1 >= f2 else (x2, f2)
+
+        while hi - lo > 2.0:
+            if f1 >= f2:
+                hi = float(x2[0])
+                x2, f2 = x1, f1
+                x1 = probe(hi - (hi - lo) * _INV_PHI)
+                if x1 == x2:
+                    break
+                f1 = yield x1
+                cand, f_cand = x1, f1
+            else:
+                lo = float(x1[0])
+                x1, f1 = x2, f2
+                x2 = probe(lo + (hi - lo) * _INV_PHI)
+                if x2 == x1:
+                    break
+                f2 = yield x2
+                cand, f_cand = x2, f2
+            if f_cand > f_best:
+                best, f_best = cand, f_cand
+        return best, f_best

@@ -1,0 +1,161 @@
+"""Baseline heuristics the paper compares against (§IV-C).
+
+* :func:`default_globus_params` / ``StaticTuner`` — the Globus transfer
+  service defaults for large files: concurrency 2, parallelism 8.
+* :class:`Heur1Tuner` — Balman & Kosar 2009: compare the two most recent
+  throughputs and additively increase the stream count while the gain is
+  significant.  The paper describes it as "a simplified version of
+  cd-tuner in which the number of streams is incremented by one as long as
+  there is a significant throughput improvement" — crucially, it has **no
+  decrease rule**.  Like cd-tuner, it is extended to several parameters by
+  cycling.
+* :class:`Heur2Tuner` — Yildirim et al. 2016: "exponentially increases
+  parallelism and concurrency values until the maximum achievable
+  throughput is reached".  It doubles the active parameter while the gain
+  is significant and backs off to the *previous* doubling when throughput
+  drops, but never goes below its starting values — the paper's point is
+  that a start above the critical region leaves it stuck there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.base import Tuner, TunerGen
+from repro.core.history import delta_pct
+from repro.core.params import ParamSpace
+
+
+def default_globus_params() -> tuple[int, int]:
+    """Globus transfer large-file defaults: (nc, np) = (2, 8)."""
+    return (2, 8)
+
+
+@dataclass
+class Heur1Tuner(Tuner):
+    """Balman-style additive increase (heur1).
+
+    Parameters
+    ----------
+    eps_pct:
+        Tolerance for a significant improvement (paper: 5).
+    increment:
+        Additive step per control epoch (Balman's "constant factor", 1).
+    """
+
+    eps_pct: float = 5.0
+    increment: int = 1
+    name: str = "heur1"
+
+    def __post_init__(self) -> None:
+        if self.eps_pct < 0:
+            raise ValueError("eps_pct must be non-negative")
+        if self.increment < 1:
+            raise ValueError("increment must be >= 1")
+
+    #: consecutive no-move epochs before cycling to the next parameter,
+    #: matching cd-tuner's multi-parameter extension.
+    stable_epochs_to_switch: int = 3
+
+    def propose(self, x0: tuple[int, ...], space: ParamSpace) -> TunerGen:
+        x_prev2 = space.fbnd(x0)
+        f_prev2 = yield x_prev2
+        dim = 0
+        x_prev = _bump(space, x_prev2, dim, self.increment)
+        f_prev = yield x_prev
+
+        stable = 0
+        while True:
+            moved = x_prev[dim] - x_prev2[dim]
+            improvement = delta_pct(f_prev, f_prev2)
+            # Increase only while the last increase paid off significantly;
+            # unlike cd-tuner there is no decrease rule, so a drop just
+            # freezes the parameter where it is.
+            if moved > 0 and improvement > self.eps_pct:
+                x_next = _bump(space, x_prev, dim, self.increment)
+                stable = 0
+            else:
+                x_next = x_prev
+                stable += 1
+                if space.ndim > 1 and stable >= self.stable_epochs_to_switch:
+                    dim = (dim + 1) % space.ndim
+                    stable = 0
+                    x_next = _bump(space, x_prev, dim, self.increment)
+            f_next = yield x_next
+            x_prev2, f_prev2 = x_prev, f_prev
+            x_prev, f_prev = x_next, f_next
+
+
+@dataclass
+class Heur2Tuner(Tuner):
+    """Yildirim-style exponential increase (heur2).
+
+    Doubles the active parameter while the throughput improvement stays
+    significant; a significant *drop* reverts to the previous value.  No
+    mechanism ever takes a parameter below its starting value, which is
+    the failure mode §IV-C highlights.
+    """
+
+    eps_pct: float = 5.0
+    factor: int = 2
+    name: str = "heur2"
+
+    def __post_init__(self) -> None:
+        if self.eps_pct < 0:
+            raise ValueError("eps_pct must be non-negative")
+        if self.factor < 2:
+            raise ValueError("factor must be >= 2")
+
+    def propose(self, x0: tuple[int, ...], space: ParamSpace) -> TunerGen:
+        x = space.fbnd(x0)
+        f_prev = yield x
+
+        for dim in _cycle_once_then_hold(space.ndim):
+            if dim is None:
+                break
+            # Grow this dimension geometrically.
+            while True:
+                x_next = _scale(space, x, dim, self.factor)
+                if x_next == x:
+                    break  # at the bound
+                f_next = yield x_next
+                d = delta_pct(f_next, f_prev)
+                if d > self.eps_pct:
+                    x, f_prev = x_next, f_next
+                    continue
+                if d < -self.eps_pct:
+                    # Overshot: go back to the previous value (one epoch
+                    # to re-measure it) and stop growing this dimension.
+                    f_prev = yield x
+                else:
+                    # Plateau: keep the larger value, as the heuristic
+                    # only checks for continued improvement.
+                    x, f_prev = x_next, f_next
+                break
+
+        # Terminal: hold the final setting (heur2 has no re-search).
+        while True:
+            f_prev = yield x
+
+
+def _cycle_once_then_hold(ndim: int):
+    """Yield each dimension once, then a single None sentinel."""
+    for d in range(ndim):
+        yield d
+    yield None
+
+
+def _bump(
+    space: ParamSpace, x: tuple[int, ...], dim: int, inc: int
+) -> tuple[int, ...]:
+    v = list(x)
+    v[dim] += inc
+    return space.fbnd(v)
+
+
+def _scale(
+    space: ParamSpace, x: tuple[int, ...], dim: int, factor: int
+) -> tuple[int, ...]:
+    v = list(x)
+    v[dim] *= factor
+    return space.fbnd(v)

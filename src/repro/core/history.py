@@ -1,0 +1,68 @@
+"""Control-epoch history and the significant-change test.
+
+All three algorithms share the same change detector: the relative
+difference between the two most recent epoch throughputs,
+
+.. math:: \\Delta_c = 100 \\cdot \\frac{f_{x_{c-1}} - f_{x_{c-2}}}{f_{x_{c-2}}},
+
+is *significant* when ``|Δc| > ε`` for the user tolerance ``ε %`` (5% in
+the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def delta_pct(f_prev: float, f_prev2: float) -> float:
+    """Relative throughput change in percent, Δc.
+
+    A zero ``f_prev2`` (e.g. an epoch spent entirely restarting) would
+    divide by zero; we treat any change away from zero as infinitely
+    significant, and zero-to-zero as no change.
+    """
+    if f_prev2 == 0.0:
+        return 0.0 if f_prev == 0.0 else float("inf")
+    return 100.0 * (f_prev - f_prev2) / f_prev2
+
+
+@dataclass
+class EpochHistory:
+    """Sequence of (parameter vector, observed throughput) per epoch."""
+
+    points: list[tuple[int, ...]] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def record(self, x: tuple[int, ...], f: float) -> None:
+        if f < 0:
+            raise ValueError("throughput must be non-negative")
+        self.points.append(tuple(x))
+        self.values.append(float(f))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def last_point(self) -> tuple[int, ...]:
+        return self.points[-1]
+
+    @property
+    def last_value(self) -> float:
+        return self.values[-1]
+
+    def delta(self) -> float:
+        """Δc between the two most recent epochs (requires >= 2 epochs)."""
+        if len(self.values) < 2:
+            raise ValueError("need at least two epochs for a delta")
+        return delta_pct(self.values[-1], self.values[-2])
+
+    def significant(self, eps_pct: float) -> bool:
+        """True iff the latest Δc exceeds the tolerance in magnitude."""
+        return abs(self.delta()) > eps_pct
+
+    def best(self) -> tuple[tuple[int, ...], float]:
+        """(point, value) of the best epoch so far."""
+        if not self.values:
+            raise ValueError("history is empty")
+        i = max(range(len(self.values)), key=self.values.__getitem__)
+        return self.points[i], self.values[i]

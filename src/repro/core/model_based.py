@@ -1,0 +1,176 @@
+"""Model-based stream selection baselines (paper §I related work).
+
+The paper positions direct search against two older families:
+
+* **Analytical** (Hacker et al. 2002; Lu et al. 2005; Altman et al.
+  2006): derive the stream count from first-principles TCP models fed
+  with measured path characteristics (RTT, loss, MSS, capacity).
+  :class:`HackerModelTuner` implements the canonical version: aggregate
+  throughput of ``n`` streams is ``n`` Mathis terms, so the count that
+  saturates the bottleneck is ``capacity / mathis_rate``.
+
+* **Empirical** (Yildirim, Yin & Kosar 2011): sample throughput at a few
+  stream counts, fit the Lu-model curve ``T(n) = n / sqrt(a n² + b n +
+  c)``, and jump to its analytic optimum ``n* = -2c / b``.
+  :class:`NewtonModelTuner` implements that three-point fit (the paper
+  of record solves the same system with Newton's iteration; with exactly
+  three samples the system is linear in (a, b, c) and solved directly).
+
+Both share the weaknesses the paper attributes to them — the analytical
+model knows nothing about endpoint CPU load, and the empirical fit is
+only as good as the regime its samples came from — which is precisely
+what `benchmarks/bench_model_based.py` measures against direct search.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.base import Tuner, TunerGen
+from repro.core.history import delta_pct
+from repro.core.params import ParamSpace
+from repro.units import DEFAULT_MSS, MB
+
+
+@dataclass
+class HackerModelTuner(Tuner):
+    """Analytical stream-count selection from path characteristics.
+
+    Parameters
+    ----------
+    rtt_s, loss_rate, capacity_mbps:
+        Path characteristics, measured out-of-band (the instrumentation
+        requirement the paper criticizes).
+    mss:
+        TCP segment size in bytes.
+    np_:
+        Parallelism per process the deployment will use (the model
+        predicts total streams; concurrency = streams / np).
+    headroom:
+        Safety factor on the predicted count (>1 overshoots to be sure
+        the pipe is full, as the original usage recommends).
+    """
+
+    rtt_s: float = 0.033
+    loss_rate: float = 1e-4
+    capacity_mbps: float = 2500.0
+    mss: int = DEFAULT_MSS
+    np_: int = 8
+    headroom: float = 1.0
+    name: str = "hacker-model"
+    restarts_every_epoch: bool = False
+
+    def __post_init__(self) -> None:
+        if self.rtt_s <= 0:
+            raise ValueError("rtt must be positive")
+        if not 0 < self.loss_rate < 1:
+            raise ValueError("loss_rate must be in (0, 1)")
+        if self.capacity_mbps <= 0:
+            raise ValueError("capacity must be positive")
+        if self.mss <= 0 or self.np_ < 1:
+            raise ValueError("mss and np must be positive")
+        if self.headroom <= 0:
+            raise ValueError("headroom must be positive")
+
+    def predicted_streams(self) -> int:
+        """Streams needed to saturate the path per the Mathis model."""
+        mathis_mbps = (
+            self.mss / self.rtt_s * math.sqrt(1.5)
+            / math.sqrt(self.loss_rate) / MB
+        )
+        return max(1, math.ceil(
+            self.headroom * self.capacity_mbps / mathis_mbps
+        ))
+
+    def propose(self, x0: tuple[int, ...], space: ParamSpace) -> TunerGen:
+        nc = max(1, round(self.predicted_streams() / self.np_))
+        target = space.fbnd((nc,) + tuple(x0[1:]))
+        while True:
+            yield target  # the model never revisits its decision
+
+
+@dataclass
+class NewtonModelTuner(Tuner):
+    """Empirical three-point curve fit (Yildirim et al. 2011).
+
+    Samples throughput at three stream counts, fits
+    ``T(n) = n / sqrt(a n² + b n + c)`` (linear in (a, b, c) after the
+    substitution ``y = n² / T²``), and moves to the curve's optimum
+    ``n* = -2c / b``.  If the fit is degenerate or the optimum falls
+    outside the domain, it falls back to the best sampled point.  After
+    the jump it re-fits whenever throughput shifts significantly — the
+    "recollect calibration data" loop such systems need in practice.
+    """
+
+    sample_points: tuple[int, ...] = (1, 8, 24)
+    eps_pct: float = 5.0
+    name: str = "newton-model"
+    restarts_every_epoch: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.sample_points) != 3:
+            raise ValueError("the fit needs exactly three sample points")
+        if len(set(self.sample_points)) != 3:
+            raise ValueError("sample points must be distinct")
+        if any(p < 1 for p in self.sample_points):
+            raise ValueError("sample points must be >= 1")
+        if self.eps_pct < 0:
+            raise ValueError("eps_pct must be non-negative")
+
+    @staticmethod
+    def fit_optimum(
+        ns: tuple[int, int, int], ts: tuple[float, float, float]
+    ) -> float | None:
+        """Optimal stream count from three (n, throughput) samples.
+
+        Returns None when the fit is degenerate (zero throughput, the
+        parabola has no interior maximum, etc.).
+        """
+        if any(t <= 0 for t in ts):
+            return None
+        a_mat = np.array([[n * n, n, 1.0] for n in ns])
+        y = np.array([n * n / (t * t) for n, t in zip(ns, ts)])
+        try:
+            coeff = np.linalg.solve(a_mat, y)
+        except np.linalg.LinAlgError:
+            return None
+        _, b, c = coeff
+        if b >= 0 or c <= 0:
+            return None  # T(n) has no interior maximum
+        return -2.0 * c / b
+
+    def propose(self, x0: tuple[int, ...], space: ParamSpace) -> TunerGen:
+        rest = tuple(x0[1:])
+
+        def clipped(nc: float) -> tuple[int, ...]:
+            return space.fbnd((nc,) + rest)
+
+        while True:
+            # Calibration phase: three sample transfers.
+            samples: list[tuple[int, float]] = []
+            for n in self.sample_points:
+                pt = clipped(n)
+                f = yield pt
+                samples.append((pt[0], f))
+            ns = tuple(s[0] for s in samples)
+            ts = tuple(s[1] for s in samples)
+            opt = None
+            if len(set(ns)) == 3:
+                opt = self.fit_optimum(ns, ts)  # type: ignore[arg-type]
+            if opt is None:
+                best = max(samples, key=lambda s: s[1])
+                target = clipped(best[0])
+            else:
+                target = clipped(opt)
+
+            # Exploitation phase: hold the fitted optimum until the
+            # environment shifts, then recalibrate.
+            f_prev = yield target
+            while True:
+                f_new = yield target
+                if abs(delta_pct(f_new, f_prev)) > self.eps_pct:
+                    break
+                f_prev = f_new

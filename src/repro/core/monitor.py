@@ -1,0 +1,173 @@
+"""Change detectors for the outer monitoring loop (extension).
+
+cs-tuner and nm-tuner re-trigger their search when the environment shifts.
+The paper detects shifts with the two-point relative difference Δc — a
+deliberately simple rule that, as the ε-ablation shows, fires readily on
+measurement noise.  This module makes the detector pluggable and supplies
+two standard alternatives from statistical process control:
+
+* :class:`DeltaPctMonitor` — the paper's rule (two consecutive epochs);
+* :class:`EwmaMonitor` — exponentially weighted moving average with a
+  relative deviation band: robust to single-epoch noise, still fast on
+  sustained level shifts;
+* :class:`CusumMonitor` — two-sided CUSUM on relative deviations from a
+  running reference: the classic quickest-detection scheme, trading a
+  short detection delay for far fewer false alarms.
+
+All monitors share the protocol: ``update(value) -> bool`` (True = change
+detected; the caller re-searches) and ``reset(value)`` after a search
+settles on a new level.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.core.history import delta_pct
+
+
+class ChangeMonitor(abc.ABC):
+    """Detects level shifts in a stream of epoch throughputs."""
+
+    @abc.abstractmethod
+    def update(self, value: float) -> bool:
+        """Feed one epoch value; True if a change is detected."""
+
+    @abc.abstractmethod
+    def reset(self, value: float) -> None:
+        """Restart detection around a new reference level."""
+
+    @abc.abstractmethod
+    def clone(self) -> "ChangeMonitor":
+        """A fresh monitor with the same configuration (no state)."""
+
+
+@dataclass
+class DeltaPctMonitor(ChangeMonitor):
+    """The paper's rule: |Δc| > ε% between consecutive epochs."""
+
+    eps_pct: float = 5.0
+    _prev: float | None = field(default=None, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.eps_pct < 0:
+            raise ValueError("eps_pct must be non-negative")
+
+    def update(self, value: float) -> bool:
+        if self._prev is None:
+            self._prev = value
+            return False
+        fired = abs(delta_pct(value, self._prev)) > self.eps_pct
+        self._prev = value
+        return fired
+
+    def reset(self, value: float) -> None:
+        self._prev = value
+
+    def clone(self) -> "DeltaPctMonitor":
+        return DeltaPctMonitor(eps_pct=self.eps_pct)
+
+
+@dataclass
+class EwmaMonitor(ChangeMonitor):
+    """EWMA level tracking with a relative deviation band.
+
+    Fires when the smoothed level drifts more than ``band_pct`` away from
+    the reference set at the last reset.
+
+    Parameters
+    ----------
+    alpha:
+        Smoothing weight of the newest observation.
+    band_pct:
+        Relative deviation (percent) of the EWMA from the reference that
+        counts as a change.
+    """
+
+    alpha: float = 0.3
+    band_pct: float = 10.0
+    _ewma: float | None = field(default=None, init=False, repr=False)
+    _ref: float | None = field(default=None, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0 < self.alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        if self.band_pct <= 0:
+            raise ValueError("band_pct must be positive")
+
+    def update(self, value: float) -> bool:
+        if self._ewma is None:
+            self._ewma = value
+            self._ref = value
+            return False
+        self._ewma = self.alpha * value + (1 - self.alpha) * self._ewma
+        assert self._ref is not None
+        if self._ref == 0.0:
+            fired = self._ewma != 0.0
+        else:
+            fired = abs(self._ewma - self._ref) / abs(self._ref) > (
+                self.band_pct / 100.0
+            )
+        if fired:
+            self.reset(value)
+        return fired
+
+    def reset(self, value: float) -> None:
+        self._ewma = value
+        self._ref = value
+
+    def clone(self) -> "EwmaMonitor":
+        return EwmaMonitor(alpha=self.alpha, band_pct=self.band_pct)
+
+
+@dataclass
+class CusumMonitor(ChangeMonitor):
+    """Two-sided CUSUM on relative deviations from the reference.
+
+    Accumulates positive/negative relative deviations beyond a drift
+    allowance ``k_pct``; fires when either sum exceeds ``h_pct``.
+
+    Parameters
+    ----------
+    k_pct:
+        Slack per observation (percent) — deviations smaller than this
+        are considered in-control and decay the sums.
+    h_pct:
+        Decision threshold (percent) on the accumulated sums.
+    """
+
+    k_pct: float = 3.0
+    h_pct: float = 12.0
+    _ref: float | None = field(default=None, init=False, repr=False)
+    _pos: float = field(default=0.0, init=False, repr=False)
+    _neg: float = field(default=0.0, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.k_pct < 0:
+            raise ValueError("k_pct must be non-negative")
+        if self.h_pct <= 0:
+            raise ValueError("h_pct must be positive")
+
+    def update(self, value: float) -> bool:
+        if self._ref is None:
+            self._ref = value
+            return False
+        if self._ref == 0.0:
+            dev_pct = 0.0 if value == 0.0 else float("inf")
+        else:
+            dev_pct = 100.0 * (value - self._ref) / abs(self._ref)
+        self._pos = max(0.0, self._pos + dev_pct - self.k_pct)
+        self._neg = max(0.0, self._neg - dev_pct - self.k_pct)
+        if self._pos > self.h_pct or self._neg > self.h_pct:
+            self.reset(value)
+            return True
+        return False
+
+    def reset(self, value: float) -> None:
+        self._ref = value
+        self._pos = 0.0
+        self._neg = 0.0
+
+    def clone(self) -> "CusumMonitor":
+        return CusumMonitor(k_pct=self.k_pct, h_pct=self.h_pct)

@@ -1,0 +1,202 @@
+"""nm-tuner — Nelder-Mead simplex tuner (paper Algorithm 3).
+
+Navigates the m-dimensional parameter space with an (m+1)-vertex simplex,
+replacing the worst vertex through reflection (R), expansion (E),
+contraction (C), and shrink (S) — paper defaults R=1, E=2, C=0.5, S=0.5.
+``fBnd`` rounds every generated vertex to integers inside the bounds, so
+the simplex moves on the integer lattice; shrinking halves edge lengths
+and eventually degenerates the simplex to a single point, which ends the
+inner search.  The outer loop is the same Δc monitor as cs-tuner
+(Algorithm 2 lines 16–24): a significant throughput change re-triggers the
+Nelder-Mead procedure around the incumbent.
+
+One vertex evaluation = one control epoch of real data transfer, so the
+method's bookkeeping is free and its only cost is the epochs it spends on
+non-optimal vertices — the paper's argument for direct search.
+
+Deviations from the pseudocode, all guarded and documented:
+
+* The inner search also stops after ``max_inner_epochs`` evaluations.
+  Under measurement noise an integer simplex can cycle without
+  degenerating; the guard bounds the search and returns the best vertex
+  seen.  The paper's runs effectively have the same bound (the transfer
+  ends).
+* When expansion fails (``f_e < f_r``) we keep the reflected point, as in
+  standard Nelder-Mead; the pseudocode's literal control flow would fall
+  through to contraction and discard an improving reflection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.core.base import Tuner, TunerGen
+from repro.core.monitor import ChangeMonitor, DeltaPctMonitor
+from repro.core.params import ParamSpace
+
+
+@dataclass
+class NmTuner(Tuner):
+    """Nelder-Mead stream tuner.
+
+    Parameters
+    ----------
+    eps_pct:
+        Tolerance ε%% for a significant throughput change (paper: 5).
+    reflection, expansion, contraction, shrink:
+        The four Nelder-Mead coefficients (paper: 1, 2, 0.5, 0.5).
+    init_step:
+        Edge length of the initial simplex along each coordinate; like
+        cs-tuner's λ it gives the method its large early steps (default 8).
+    max_inner_epochs:
+        Safety bound on evaluations per Nelder-Mead invocation.
+    """
+
+    eps_pct: float = 5.0
+    reflection: float = 1.0
+    expansion: float = 2.0
+    contraction: float = 0.5
+    shrink: float = 0.5
+    init_step: int = 8
+    max_inner_epochs: int = 100
+    monitor: ChangeMonitor | None = None
+    name: str = "nm-tuner"
+
+    def __post_init__(self) -> None:
+        if self.eps_pct < 0:
+            raise ValueError("eps_pct must be non-negative")
+        if self.reflection <= 0 or self.expansion <= 1:
+            raise ValueError("need reflection > 0 and expansion > 1")
+        if not 0 < self.contraction < 1 or not 0 < self.shrink < 1:
+            raise ValueError("contraction and shrink must be in (0, 1)")
+        if self.init_step < 1:
+            raise ValueError("init_step must be >= 1")
+        if self.max_inner_epochs < 3:
+            raise ValueError("max_inner_epochs must be >= 3")
+
+    def propose(self, x0: tuple[int, ...], space: ParamSpace) -> TunerGen:
+        x_cur, f_cur = yield from self._nelder_mead(space.fbnd(x0), space)
+
+        mon = (self.monitor.clone() if self.monitor is not None
+               else DeltaPctMonitor(self.eps_pct))
+        mon.reset(f_cur)
+        while True:
+            f_new = yield x_cur
+            if mon.update(f_new):
+                x_cur, f_new = yield from self._nelder_mead(x_cur, space)
+                mon.reset(f_new)
+
+    # -- inner search ----------------------------------------------------
+
+    def _initial_simplex(
+        self, x0: tuple[int, ...], space: ParamSpace
+    ) -> list[tuple[int, ...]]:
+        """x0 plus one offset vertex per dimension, all distinct.
+
+        Offsets go +init_step along each axis, flipping to -init_step when
+        the bound projection would collapse the vertex onto x0.
+        """
+        simplex = [x0]
+        for j in range(space.ndim):
+            for sign in (+1, -1):
+                v = list(x0)
+                v[j] += sign * self.init_step
+                vb = space.fbnd(v)
+                if vb not in simplex:
+                    simplex.append(vb)
+                    break
+            else:
+                # Both directions collapse: dimension is a single point;
+                # duplicate x0 so the simplex stays (m+1)-sized and the
+                # degeneration check ends the search naturally.
+                simplex.append(x0)
+        return simplex
+
+    def _nelder_mead(
+        self, x0: tuple[int, ...], space: ParamSpace
+    ) -> Generator[tuple[int, ...], float, tuple[tuple[int, ...], float]]:
+        """One Nelder-Mead run; returns (best vertex, its throughput)."""
+        m = space.ndim
+        simplex = self._initial_simplex(x0, space)
+        values: list[float] = []
+        budget = self.max_inner_epochs
+        for v in simplex:
+            values.append((yield v))
+            budget -= 1
+
+        while budget > 0:
+            # Step 1: order best-to-worst and compute the centroid of all
+            # vertices except the worst.
+            order = sorted(
+                range(m + 1), key=lambda i: values[i], reverse=True
+            )
+            simplex = [simplex[i] for i in order]
+            values = [values[i] for i in order]
+            if len(set(simplex)) == 1:
+                break  # degenerated to a single point: search over
+            f_best, f_worst = values[0], values[-1]
+            centroid = [
+                sum(v[d] for v in simplex[:-1]) / m for d in range(m)
+            ]
+
+            # Step 2: reflect the worst vertex through the centroid.
+            x_r = space.fbnd(
+                [
+                    cb + self.reflection * (cb - wb)
+                    for cb, wb in zip(centroid, simplex[-1])
+                ]
+            )
+            f_r = yield x_r
+            budget -= 1
+            if f_best >= f_r > f_worst:
+                simplex[-1], values[-1] = x_r, f_r
+                continue
+
+            if f_r > f_best:
+                # Step 3: expand past the reflection point.
+                x_e = space.fbnd(
+                    [
+                        cb + self.expansion * (rb - cb)
+                        for cb, rb in zip(centroid, x_r)
+                    ]
+                )
+                f_e = yield x_e
+                budget -= 1
+                if f_e >= f_r:
+                    simplex[-1], values[-1] = x_e, f_e
+                else:
+                    simplex[-1], values[-1] = x_r, f_r
+                continue
+
+            # Step 4: contract toward the better of (worst, reflected).
+            x_t, f_t = simplex[-1], f_worst
+            if f_r >= f_t:
+                x_t, f_t = x_r, f_r
+            x_c = space.fbnd(
+                [
+                    cb + self.contraction * (tb - cb)
+                    for cb, tb in zip(centroid, x_t)
+                ]
+            )
+            f_c = yield x_c
+            budget -= 1
+            if f_c >= f_worst:
+                simplex[-1], values[-1] = x_c, f_c
+                continue
+
+            # Step 5: shrink everything toward the best vertex.
+            for j in range(1, m + 1):
+                simplex[j] = space.fbnd(
+                    [
+                        bb + self.shrink * (vb - bb)
+                        for bb, vb in zip(simplex[0], simplex[j])
+                    ]
+                )
+                values[j] = yield simplex[j]
+                budget -= 1
+                if budget <= 0:
+                    break
+
+        best = max(range(len(values)), key=values.__getitem__)
+        return simplex[best], values[best]

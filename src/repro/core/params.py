@@ -1,0 +1,149 @@
+"""Integer box parameter domain and the paper's ``fBnd`` operator.
+
+The tunable parameters (concurrency ``nc``, parallelism ``np``) are
+integers with hardware/software bounds.  ``fBnd`` (Algorithms 2 and 3)
+makes continuous search operations usable on this domain by (1) rounding
+each coordinate to the nearest integer — the paper's example rounds
+``(3.8, 9.2)`` to ``(4, 9)`` — and (2) projecting out-of-bound coordinates
+onto the bound — ``(12, -1)`` to ``(12, 1)`` for a lower bound of 1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+
+def _round_half_away(v: float) -> int:
+    """Round to nearest integer, halves away from zero (3.8 -> 4, 9.2 -> 9).
+
+    Python's built-in ``round`` uses banker's rounding, which would make
+    search trajectories depend on parity; half-away is deterministic and
+    matches the paper's example.
+    """
+    return int(math.floor(v + 0.5)) if v >= 0 else -int(math.floor(-v + 0.5))
+
+
+@dataclass(frozen=True)
+class ParamSpace:
+    """Named integer box domain :math:`\\mathcal{D}`.
+
+    Parameters
+    ----------
+    names:
+        One name per dimension, e.g. ``("nc",)`` or ``("nc", "np")``.
+    lower, upper:
+        Inclusive integer bounds per dimension.
+    """
+
+    names: tuple[str, ...]
+    lower: tuple[int, ...]
+    upper: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.names:
+            raise ValueError("parameter space needs at least one dimension")
+        if len(set(self.names)) != len(self.names):
+            raise ValueError(f"duplicate parameter names: {self.names}")
+        if not (len(self.names) == len(self.lower) == len(self.upper)):
+            raise ValueError("names/lower/upper must have equal lengths")
+        for name, lo, hi in zip(self.names, self.lower, self.upper):
+            if int(lo) != lo or int(hi) != hi:
+                raise ValueError(f"bounds of {name!r} must be integers")
+            if lo > hi:
+                raise ValueError(f"empty domain for {name!r}: [{lo}, {hi}]")
+
+    # -- basic geometry --------------------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        return len(self.names)
+
+    def contains(self, x: Sequence[float]) -> bool:
+        """True iff ``x`` is an integer point inside the box."""
+        if len(x) != self.ndim:
+            return False
+        return all(
+            float(v).is_integer() and lo <= v <= hi
+            for v, lo, hi in zip(x, self.lower, self.upper)
+        )
+
+    def fbnd(self, x: Sequence[float]) -> tuple[int, ...]:
+        """The paper's ``fBnd``: round to integers, then project to bounds."""
+        if len(x) != self.ndim:
+            raise ValueError(
+                f"point has {len(x)} coordinates, space has {self.ndim}"
+            )
+        out = []
+        for v, lo, hi in zip(x, self.lower, self.upper):
+            if math.isnan(v):
+                raise ValueError("cannot bound a NaN coordinate")
+            out.append(min(max(_round_half_away(v), lo), hi))
+        return tuple(out)
+
+    def clip_dim(self, dim: int, v: float) -> int:
+        """fBnd applied to a single coordinate."""
+        if not 0 <= dim < self.ndim:
+            raise IndexError(f"dimension {dim} out of range")
+        return min(max(_round_half_away(v), self.lower[dim]), self.upper[dim])
+
+    def unit_directions(self) -> list[tuple[int, ...]]:
+        """The compass direction set ±e_j, j = 1..m (2m directions)."""
+        dirs: list[tuple[int, ...]] = []
+        for j in range(self.ndim):
+            for sign in (+1, -1):
+                d = [0] * self.ndim
+                d[j] = sign
+                dirs.append(tuple(d))
+        return dirs
+
+    def index_of(self, name: str) -> int:
+        try:
+            return self.names.index(name)
+        except ValueError:
+            raise KeyError(
+                f"no parameter named {name!r}; have {self.names}"
+            ) from None
+
+    def iter_grid(self) -> Iterator[tuple[int, ...]]:
+        """Iterate all integer points of the box (small spaces only)."""
+        import itertools
+
+        ranges = [range(lo, hi + 1) for lo, hi in zip(self.lower, self.upper)]
+        return itertools.product(*ranges)
+
+    def size(self) -> int:
+        """Number of integer points in the box."""
+        n = 1
+        for lo, hi in zip(self.lower, self.upper):
+            n *= hi - lo + 1
+        return n
+
+
+#: The domain used throughout the paper's experiments: concurrency up to
+#: 512 processes (Fig. 1 sweeps that far), parallelism up to 32 streams per
+#: process.
+def concurrency_space(max_nc: int = 512) -> ParamSpace:
+    """1-D space over concurrency only (paper §IV-A, np fixed)."""
+    return ParamSpace(names=("nc",), lower=(1,), upper=(max_nc,))
+
+
+def concurrency_parallelism_space(
+    max_nc: int = 512, max_np: int = 32
+) -> ParamSpace:
+    """2-D space over concurrency and parallelism (paper §IV-B)."""
+    return ParamSpace(
+        names=("nc", "np"), lower=(1, 1), upper=(max_nc, max_np)
+    )
+
+
+def full_transfer_space(
+    max_nc: int = 512, max_np: int = 32, max_pp: int = 64
+) -> ParamSpace:
+    """3-D space adding GridFTP pipelining depth (paper future work 1 /
+    the third knob of Yildirim et al. [25])."""
+    return ParamSpace(
+        names=("nc", "np", "pp"), lower=(1, 1, 1),
+        upper=(max_nc, max_np, max_pp),
+    )

@@ -1,0 +1,41 @@
+"""Endpoint (host) substrate: CPU scheduling and external load.
+
+Models the source host of a transfer:
+
+* :mod:`repro.endpoint.host` — host specifications (cores, per-core copy
+  bandwidth) with presets matching the paper's testbed machines.
+* :mod:`repro.endpoint.cpu` — weighted fair-share CPU scheduler and the
+  context-switch-overhead efficiency model.
+* :mod:`repro.endpoint.load` — external load (``ext.cmp`` dgemm copies,
+  ``ext.tfr`` competing transfer streams) and piecewise-constant schedules.
+"""
+
+from repro.endpoint.host import HostSpec, NEHALEM, SANDYBRIDGE_UC, SANDYBRIDGE_TACC
+from repro.endpoint.cpu import CpuTask, fair_shares, context_switch_efficiency
+from repro.endpoint.load import ExternalLoad, LoadSchedule
+from repro.endpoint.memory import MemoryBus, NEHALEM_BUS
+from repro.endpoint.numa import PinnedLayout, PinningPolicy, SocketLayout
+from repro.endpoint.workload import BurstyTraffic, DiurnalTraffic, PoissonJobMix
+from repro.endpoint.cluster import striped_host, striped_nic_capacity
+
+__all__ = [
+    "HostSpec",
+    "NEHALEM",
+    "SANDYBRIDGE_UC",
+    "SANDYBRIDGE_TACC",
+    "CpuTask",
+    "fair_shares",
+    "context_switch_efficiency",
+    "ExternalLoad",
+    "LoadSchedule",
+    "MemoryBus",
+    "NEHALEM_BUS",
+    "SocketLayout",
+    "PinnedLayout",
+    "PinningPolicy",
+    "PoissonJobMix",
+    "DiurnalTraffic",
+    "BurstyTraffic",
+    "striped_host",
+    "striped_nic_capacity",
+]

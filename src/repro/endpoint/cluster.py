@@ -1,0 +1,68 @@
+"""Striped DTN clusters (extension; paper reference [1]).
+
+The GridFTP framework the paper builds on is the *striped* server
+(Allcock et al., SC'05): a logical endpoint backed by several data-transfer
+nodes, with the transfer's processes spread across them.  Under balanced
+distribution — processes round-robined over identical nodes, external
+load replicated per node — the cluster is exactly equivalent to one host
+with every per-node resource scaled by the stripe count:
+
+* CPU: ``stripes × cores`` cores at the same per-core copy rate (the
+  context-switch model already normalizes by core count, so balanced
+  per-node scheduling and aggregate scheduling coincide);
+* memory: ``stripes ×`` bus bandwidth against per-node dgemm traffic;
+* NIC: each node contributes its own link (the scenario's topology must
+  scale the source-NIC capacity to match).
+
+:func:`striped_host` builds that scaled HostSpec, and
+:func:`striped_nic_capacity` the matching link capacity, so a striped
+scenario is three lines of configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.endpoint.host import HostSpec
+from repro.endpoint.memory import MemoryBus
+
+
+def striped_host(node: HostSpec, stripes: int) -> HostSpec:
+    """A logical endpoint of ``stripes`` identical ``node`` machines.
+
+    External compute load semantics: ``ext_cmp`` copies land on *every*
+    node (a site-wide analysis campaign), which the scaled host expresses
+    by keeping the per-copy thread count at ``node.cores`` — i.e. the
+    scaled host sees ``ext_cmp`` copies of ``stripes × node.cores``
+    threads, the same per-node pressure.
+
+    NUMA layouts do not compose across nodes and are dropped; model
+    per-node pinning on the single-node HostSpec if needed.
+    """
+    if stripes < 1:
+        raise ValueError("stripes must be >= 1")
+    if stripes == 1:
+        return node
+    bus: MemoryBus | None = None
+    if node.membus is not None:
+        bus = replace(
+            node.membus,
+            bandwidth_mbps=node.membus.bandwidth_mbps * stripes,
+        )
+    return replace(
+        node,
+        name=f"{node.name}-x{stripes}",
+        cores=node.cores * stripes,
+        sockets=None,
+        pinning=None,
+        membus=bus,
+    )
+
+
+def striped_nic_capacity(node_nic_mbps: float, stripes: int) -> float:
+    """Aggregate NIC capacity of a striped endpoint (one NIC per node)."""
+    if node_nic_mbps <= 0:
+        raise ValueError("node NIC capacity must be positive")
+    if stripes < 1:
+        raise ValueError("stripes must be >= 1")
+    return node_nic_mbps * stripes

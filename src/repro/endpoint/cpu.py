@@ -1,0 +1,139 @@
+"""Weighted fair-share CPU scheduling and context-switch overhead.
+
+Two facts from the paper drive this model:
+
+1. "While [concurrency] exploits multiple CPU cores, [parallelism] does
+   not" — each transfer *process* is single-core-bound regardless of its
+   thread count, so concurrency ``nc`` is the lever that claims CPU time
+   back from external compute load.
+2. "After the critical point ... the benefit of multiple streams is
+   dominated by processing overhead due to context switching and related
+   book-keeping" — total throughput is scaled by an efficiency factor that
+   decays as the number of runnable entities exceeds the core count.
+
+The scheduler is a weighted max-min fair division of ``cores`` among
+schedulable *entities* (processes or threads), each with a per-entity
+demand cap (a single-core-bound process can use at most 1 core however idle
+the machine is).  This mirrors Linux CFS at the granularity the fluid model
+needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class CpuTask:
+    """A group of identical schedulable entities.
+
+    Parameters
+    ----------
+    name:
+        Unique within one scheduling round.
+    n_entities:
+        Number of runnable processes/threads in the group.
+    weight:
+        CFS-like weight of each entity.
+    demand_cores_per_entity:
+        Cap on how much CPU one entity can use (1.0 = a full core).
+    """
+
+    name: str
+    n_entities: int
+    weight: float = 1.0
+    demand_cores_per_entity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("task name must be non-empty")
+        if self.n_entities < 0:
+            raise ValueError("n_entities must be non-negative")
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
+        if self.demand_cores_per_entity < 0:
+            raise ValueError("demand must be non-negative")
+
+
+def fair_shares(tasks: list[CpuTask], cores: float) -> dict[str, float]:
+    """Divide ``cores`` among tasks by weighted max-min fairness.
+
+    Each entity receives ``min(demand, weight * level)`` cores where
+    ``level`` is raised until either the cores are exhausted or every
+    entity's demand is met.  Returns aggregate cores per task name.
+
+    Invariants (property-tested): shares are non-negative, sum to at most
+    ``cores``, never exceed a task's total demand, and when the machine is
+    oversubscribed the per-entity share per unit weight is equal across all
+    tasks that are not demand-capped.
+    """
+    names = [t.name for t in tasks]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate task names: {names}")
+    if cores <= 0:
+        raise ValueError("cores must be positive")
+
+    live = [t for t in tasks if t.n_entities > 0 and t.demand_cores_per_entity > 0]
+    shares = {t.name: 0.0 for t in tasks}
+    if not live:
+        return shares
+
+    total_demand = sum(t.n_entities * t.demand_cores_per_entity for t in live)
+    if total_demand <= cores + _EPS:
+        for t in live:
+            shares[t.name] = t.n_entities * t.demand_cores_per_entity
+        return shares
+
+    # Oversubscribed: water-fill the fair level.  A task saturates at
+    # level >= demand/weight; process candidates in that order.
+    remaining = cores
+    unsat = sorted(live, key=lambda t: t.demand_cores_per_entity / t.weight)
+    active_weight = sum(t.n_entities * t.weight for t in unsat)
+    level = 0.0
+    for t in unsat:
+        sat_level = t.demand_cores_per_entity / t.weight
+        # Cores needed to raise every active entity to sat_level.
+        needed = (sat_level - level) * active_weight
+        if needed >= remaining - _EPS:
+            level += remaining / active_weight
+            remaining = 0.0
+            break
+        remaining -= needed
+        level = sat_level
+        shares[t.name] = t.n_entities * t.demand_cores_per_entity
+        active_weight -= t.n_entities * t.weight
+    # Tasks not yet demand-capped share the final level.
+    for t in unsat:
+        if shares[t.name] == 0.0:
+            shares[t.name] = min(
+                t.n_entities * t.weight * level,
+                t.n_entities * t.demand_cores_per_entity,
+            )
+    return shares
+
+
+def context_switch_efficiency(
+    runnable_entities: float, cores: int, coeff: float
+) -> float:
+    """Throughput efficiency factor under scheduler overhead.
+
+    With at most one runnable entity per core there is no penalty; beyond
+    that, the cost grows with the *oversubscription ratio* — context
+    switches per core per scheduling period — so machines of different
+    sizes with the same per-core crowding lose the same fraction::
+
+        eta = 1 / (1 + coeff * max(0, runnable / cores - 1))
+
+    Monotonically non-increasing in ``runnable_entities``, equal to 1 up
+    to ``cores``, and always in (0, 1].
+    """
+    if runnable_entities < 0:
+        raise ValueError("runnable_entities must be non-negative")
+    if cores < 1:
+        raise ValueError("cores must be >= 1")
+    if coeff < 0:
+        raise ValueError("coeff must be non-negative")
+    excess = max(0.0, runnable_entities / cores - 1.0)
+    return 1.0 / (1.0 + coeff * excess)

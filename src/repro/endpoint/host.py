@@ -1,0 +1,145 @@
+"""Host specifications.
+
+The paper's testbed:
+
+* Source at ANL: dual-socket quad-core Nehalem (Xeon E5530, 2.40 GHz,
+  48 GB), 40 Gb/s NIC.
+* Destination at UChicago: dual-socket 8-core Sandy Bridge (Xeon E5-2670,
+  2.60 GHz, 32 GB), 40 Gb/s NIC.
+* Destination at TACC (Stampede): dual-socket Sandy Bridge (Xeon E5-2680,
+  2.70 GHz, 32 GB).
+
+Only the *source* host's CPU matters in the paper's experiments (all
+external load is applied at the source); destinations are modelled as
+capacity-only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.endpoint.memory import MemoryBus
+    from repro.endpoint.numa import PinningPolicy, SocketLayout
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """Compute capability of one endpoint.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier.
+    cores:
+        Physical cores available to the OS scheduler.
+    core_copy_rate_mbps:
+        MB/s one transfer process can push using a full core (memory copy +
+        syscall + TCP stack cost per byte).  This sets the CPU-limited rate:
+        ``rate = cpu_share_cores * core_copy_rate_mbps``.
+    cs_coeff:
+        Context-switch overhead coefficient per unit of oversubscription
+        ratio; see :func:`repro.endpoint.cpu.context_switch_efficiency`.
+    dgemm_thread_weight:
+        Scheduler weight of one dgemm thread relative to a transfer process
+        (CPU-bound spinners tend to lose a little share to I/O-bound tasks
+        that frequently block and get scheduling boosts).
+    thread_overhead:
+        Per-extra-thread efficiency penalty inside one transfer process
+        (parallelism ``np`` adds threads that share the process's single
+        core); fraction lost per additional thread beyond the first.
+    dgemm_runnable_factor:
+        Weight of one dgemm thread in the context-switch overhead count.
+        CPU-bound spinners run their full quantum and context-switch far
+        less often than I/O-bound transfer streams, so they contribute a
+        fraction of a stream's switching cost.
+    sockets:
+        Optional NUMA topology (:class:`repro.endpoint.numa.SocketLayout`).
+        When set, the engine scales each transfer's CPU capacity by the
+        placement efficiency of its processes under ``pinning``.
+    pinning:
+        Placement policy used when ``sockets`` is set; default is the
+        paper's alternate-socket taskset scheme.
+    membus:
+        Optional shared memory-bandwidth model
+        (:class:`repro.endpoint.memory.MemoryBus`); when set, transfers
+        are additionally capped by their bus grant against dgemm traffic.
+    """
+
+    name: str
+    cores: int
+    core_copy_rate_mbps: float
+    cs_coeff: float = 0.010
+    dgemm_thread_weight: float = 0.60
+    thread_overhead: float = 0.004
+    dgemm_runnable_factor: float = 0.25
+    sockets: "SocketLayout | None" = None
+    pinning: "PinningPolicy | None" = None
+    membus: "MemoryBus | None" = None
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError("cores must be >= 1")
+        if self.core_copy_rate_mbps <= 0:
+            raise ValueError("core_copy_rate_mbps must be positive")
+        if self.cs_coeff < 0:
+            raise ValueError("cs_coeff must be non-negative")
+        if self.dgemm_thread_weight <= 0:
+            raise ValueError("dgemm_thread_weight must be positive")
+        if not 0 <= self.thread_overhead < 1:
+            raise ValueError("thread_overhead must be in [0, 1)")
+        if not 0 <= self.dgemm_runnable_factor <= 1:
+            raise ValueError("dgemm_runnable_factor must be in [0, 1]")
+        if self.pinning is not None and self.sockets is None:
+            raise ValueError("pinning requires a socket layout")
+
+    def pinning_efficiency(self, nc: int) -> float:
+        """Placement multiplier for ``nc`` transfer processes (1.0 when no
+        NUMA topology is modeled)."""
+        if self.sockets is None:
+            return 1.0
+        from repro.endpoint.numa import PinnedLayout, PinningPolicy
+
+        policy = self.pinning if self.pinning is not None else (
+            PinningPolicy.ALTERNATE
+        )
+        return PinnedLayout(self.sockets, policy, nc).efficiency()
+
+    def memory_cap_mbps(self, nc: int, ext_cmp: int) -> float:
+        """Memory-bus rate cap for ``nc`` transfer processes against
+        ``ext_cmp`` dgemm copies (+inf when no bus is modeled)."""
+        if self.membus is None:
+            return float("inf")
+        return self.membus.transfer_cap_mbps(nc, ext_cmp * self.cores)
+
+
+#: Paper's source machine at ANL (dual-socket quad-core Xeon E5530).
+#: core_copy_rate / cs_coeff / dgemm_thread_weight / the memory bus are
+#: calibrated against the paper's measured curves; see EXPERIMENTS.md.
+def _nehalem() -> HostSpec:
+    from repro.endpoint.memory import NEHALEM_BUS
+
+    return HostSpec(
+        name="nehalem-anl",
+        cores=8,
+        core_copy_rate_mbps=1300.0,
+        cs_coeff=0.028,
+        dgemm_thread_weight=0.35,
+        thread_overhead=0.004,
+        dgemm_runnable_factor=0.25,
+        membus=NEHALEM_BUS,
+    )
+
+
+NEHALEM = _nehalem()
+
+#: Destination at UChicago (dual-socket 8-core Xeon E5-2670).
+SANDYBRIDGE_UC = HostSpec(
+    name="sandybridge-uchicago", cores=16, core_copy_rate_mbps=1100.0
+)
+
+#: Destination at TACC Stampede (dual-socket Xeon E5-2680).
+SANDYBRIDGE_TACC = HostSpec(
+    name="sandybridge-tacc", cores=16, core_copy_rate_mbps=1100.0
+)

@@ -1,0 +1,93 @@
+"""External load on the source endpoint and time-varying schedules.
+
+The paper's controlled external load has two knobs, both applied at the
+source host:
+
+* ``ext.cmp`` — copies of a multithreaded dgemm, each configured "to
+  consume all available CPU on all available cores" (i.e. one spinner
+  thread per core, per copy).
+* ``ext.tfr`` — a second `globus-url-copy` transfer with that many parallel
+  TCP streams to the same destination, sharing the source NIC and WAN path.
+
+Both take values in {0, 16, 32, 64} in the paper's experiments.  Section
+IV-B switches the load mid-transfer, which :class:`LoadSchedule` models as
+a piecewise-constant function of time.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ExternalLoad:
+    """External load level at the source endpoint.
+
+    Parameters
+    ----------
+    ext_cmp:
+        Number of dgemm copies running on the source.
+    ext_tfr:
+        Number of TCP streams of the competing external transfer.
+    """
+
+    ext_cmp: int = 0
+    ext_tfr: int = 0
+
+    def __post_init__(self) -> None:
+        if self.ext_cmp < 0:
+            raise ValueError("ext_cmp must be non-negative")
+        if self.ext_tfr < 0:
+            raise ValueError("ext_tfr must be non-negative")
+
+    def __str__(self) -> str:
+        return f"ext.cmp={self.ext_cmp}, ext.tfr={self.ext_tfr}"
+
+
+#: Convenience constant for the unloaded case.
+NO_LOAD = ExternalLoad(0, 0)
+
+
+class LoadSchedule:
+    """Piecewise-constant external load over time.
+
+    Built from ``(start_time, load)`` segments; the load at time ``t`` is
+    that of the last segment whose start is <= t.  The first segment must
+    start at t=0 so the schedule is total.
+
+    >>> sched = LoadSchedule([(0.0, ExternalLoad(16, 64)),
+    ...                       (1000.0, ExternalLoad(16, 16))])
+    >>> sched.at(999.9).ext_tfr
+    64
+    >>> sched.at(1000.0).ext_tfr
+    16
+    """
+
+    def __init__(self, segments: list[tuple[float, ExternalLoad]]):
+        if not segments:
+            raise ValueError("schedule needs at least one segment")
+        starts = [s for s, _ in segments]
+        if starts[0] != 0.0:
+            raise ValueError("first segment must start at t=0")
+        if any(b <= a for a, b in zip(starts, starts[1:])):
+            raise ValueError("segment start times must be strictly increasing")
+        self._starts = starts
+        self._loads = [l for _, l in segments]
+
+    @classmethod
+    def constant(cls, load: ExternalLoad) -> "LoadSchedule":
+        """A schedule that never changes."""
+        return cls([(0.0, load)])
+
+    def at(self, t: float) -> ExternalLoad:
+        """External load in effect at time ``t`` (seconds)."""
+        if t < 0:
+            raise ValueError("time must be non-negative")
+        idx = bisect_right(self._starts, t) - 1
+        return self._loads[idx]
+
+    @property
+    def change_times(self) -> list[float]:
+        """Times (after t=0) at which the load changes."""
+        return self._starts[1:]

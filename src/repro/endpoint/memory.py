@@ -1,0 +1,87 @@
+"""Memory-bus contention model.
+
+dgemm is not only a CPU hog: each copy streams its matrix blocks through
+the memory controllers, and a memory-to-memory transfer is itself almost
+pure memory traffic (read from the source buffer, write to socket
+buffers, NIC DMA).  On the paper's Nehalem the two collide on the same
+DDR3 channels — a second reason (besides CPU share) that the Globus
+default collapses under ``ext.cmp`` while a high-``nc`` transfer, holding
+more bus grant slots, claws back bandwidth.
+
+The arbitration model mirrors the CPU scheduler: when the aggregate
+demand exceeds the bus bandwidth, requesters share it in proportion to
+their weights (per transfer process and per dgemm thread).  The engine
+turns the transfer's grant into a rate cap via ``bytes_on_bus_per_byte``
+(every payload byte crosses the bus about three times).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MemoryBus:
+    """Shared memory-bandwidth resource of one host.
+
+    Parameters
+    ----------
+    bandwidth_mbps:
+        Sustainable aggregate memory bandwidth in MB/s (all channels).
+    bytes_on_bus_per_byte:
+        Bus bytes per transferred payload byte (copy in + copy out + NIC
+        DMA ≈ 3).
+    dgemm_demand_mbps:
+        Bus demand of one dgemm thread in MB/s (blocked GEMM is
+        cache-friendly; this is the part that misses).
+    dgemm_weight:
+        Arbitration weight of a dgemm thread relative to a transfer
+        process (transfer processes issue longer DMA bursts).
+    """
+
+    bandwidth_mbps: float = 20_000.0
+    bytes_on_bus_per_byte: float = 3.0
+    dgemm_demand_mbps: float = 1_000.0
+    dgemm_weight: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_mbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.bytes_on_bus_per_byte < 1:
+            raise ValueError("bytes_on_bus_per_byte must be >= 1")
+        if self.dgemm_demand_mbps < 0:
+            raise ValueError("dgemm_demand_mbps must be non-negative")
+        if self.dgemm_weight <= 0:
+            raise ValueError("dgemm_weight must be positive")
+
+    def transfer_cap_mbps(
+        self, nc: int, dgemm_threads: int
+    ) -> float:
+        """Payload-rate cap of a transfer running ``nc`` processes while
+        ``dgemm_threads`` compute threads stream the bus.
+
+        The dgemm side demands ``threads * dgemm_demand``; whatever that
+        leaves is available to the transfer — but never less than the
+        transfer's weighted arbitration share, because a saturated bus
+        still grants slots round-robin rather than starving anyone.
+        """
+        if nc < 1:
+            raise ValueError("nc must be >= 1")
+        if dgemm_threads < 0:
+            raise ValueError("dgemm_threads must be non-negative")
+        dgemm_demand = dgemm_threads * self.dgemm_demand_mbps
+        leftover = max(0.0, self.bandwidth_mbps - dgemm_demand)
+        weighted_share = self.bandwidth_mbps * nc / (
+            nc + self.dgemm_weight * dgemm_threads
+        )
+        grant = max(leftover, weighted_share)
+        return grant / self.bytes_on_bus_per_byte
+
+
+#: Calibrated bus for the paper's Nehalem source (triple-channel DDR3).
+NEHALEM_BUS = MemoryBus(
+    bandwidth_mbps=20_000.0,
+    bytes_on_bus_per_byte=3.0,
+    dgemm_demand_mbps=1_000.0,
+    dgemm_weight=0.35,
+)

@@ -1,0 +1,167 @@
+"""NUMA socket layout and process pinning (extension).
+
+The paper pins its `globus-url-copy` copies "on alternate sockets using
+the taskset system call" — on the dual-socket Nehalem source, copy *i*
+runs on socket ``i % 2``.  This module models why that matters: a NIC
+hangs off one socket, and a transfer process on the other socket pays a
+QPI/UPI hop for every buffer it sends, while oversubscribing a single
+socket queues processes behind each other.
+
+The model yields a single multiplier,
+:func:`PinnedLayout.efficiency`, composed of:
+
+* **remote-socket penalty** — processes not on the NIC's socket move
+  their payload across the interconnect (``remote_penalty`` throughput
+  fraction lost);
+* **socket oversubscription** — each socket serves at most its own cores;
+  processes beyond that share, exactly like the host-level scheduler but
+  per socket.
+
+An ablation bench compares alternate-socket pinning (the paper's choice),
+NIC-socket-first packing, and no pinning (the OS spreading processes
+evenly, modeled as alternate with a small migration penalty).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+
+class PinningPolicy(enum.Enum):
+    """How transfer processes are placed on sockets."""
+
+    ALTERNATE = "alternate"    #: copy i -> socket i % n (the paper's taskset)
+    NIC_FIRST = "nic-first"    #: fill the NIC's socket, then spill over
+    UNPINNED = "unpinned"      #: OS default: spread + migration churn
+
+
+@dataclass(frozen=True)
+class SocketLayout:
+    """Physical socket topology of one host.
+
+    Parameters
+    ----------
+    n_sockets:
+        Number of CPU sockets.
+    cores_per_socket:
+        Cores on each socket.
+    nic_socket:
+        Socket the NIC is attached to.
+    remote_penalty:
+        Fraction of throughput lost per byte that crosses the
+        interconnect (QPI on the paper's Nehalem).
+    migration_penalty:
+        Extra fraction lost by unpinned processes bouncing between
+        sockets (cache/NUMA locality churn).
+    """
+
+    n_sockets: int = 2
+    cores_per_socket: int = 4
+    nic_socket: int = 0
+    remote_penalty: float = 0.12
+    migration_penalty: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.n_sockets < 1:
+            raise ValueError("n_sockets must be >= 1")
+        if self.cores_per_socket < 1:
+            raise ValueError("cores_per_socket must be >= 1")
+        if not 0 <= self.nic_socket < self.n_sockets:
+            raise ValueError("nic_socket out of range")
+        if not 0 <= self.remote_penalty < 1:
+            raise ValueError("remote_penalty must be in [0, 1)")
+        if not 0 <= self.migration_penalty < 1:
+            raise ValueError("migration_penalty must be in [0, 1)")
+
+    @property
+    def total_cores(self) -> int:
+        return self.n_sockets * self.cores_per_socket
+
+
+@dataclass(frozen=True)
+class PinnedLayout:
+    """A placement of ``nc`` transfer processes on a socket layout."""
+
+    layout: SocketLayout
+    policy: PinningPolicy
+    nc: int
+
+    def __post_init__(self) -> None:
+        if self.nc < 1:
+            raise ValueError("nc must be >= 1")
+
+    def per_socket_processes(self) -> list[int]:
+        """Process count per socket under the policy."""
+        lay = self.layout
+        counts = [0] * lay.n_sockets
+        if self.policy in (PinningPolicy.ALTERNATE, PinningPolicy.UNPINNED):
+            for i in range(self.nc):
+                counts[i % lay.n_sockets] += 1
+        elif self.policy is PinningPolicy.NIC_FIRST:
+            remaining = self.nc
+            order = [lay.nic_socket] + [
+                s for s in range(lay.n_sockets) if s != lay.nic_socket
+            ]
+            for s in order:
+                take = min(remaining, lay.cores_per_socket)
+                counts[s] = take
+                remaining -= take
+            # Spillover beyond all cores round-robins like ALTERNATE.
+            i = 0
+            while remaining > 0:
+                counts[order[i % lay.n_sockets]] += 1
+                remaining -= 1
+                i += 1
+        return counts
+
+    def efficiency(self) -> float:
+        """Throughput multiplier of this placement, in (0, 1].
+
+        Averages the per-process efficiency: a process on socket ``s``
+        delivers ``(1 - remote_penalty if s != nic_socket else 1)``
+        scaled by its socket's oversubscription factor
+        ``min(1, cores / processes_on_socket)``; unpinned placements
+        additionally pay the migration penalty everywhere.
+        """
+        lay = self.layout
+        counts = self.per_socket_processes()
+        total = 0.0
+        for s, n_here in enumerate(counts):
+            if n_here == 0:
+                continue
+            locality = 1.0 if s == lay.nic_socket else 1.0 - lay.remote_penalty
+            crowding = min(1.0, lay.cores_per_socket / n_here)
+            total += n_here * locality * crowding
+        eff = total / self.nc
+        if self.policy is PinningPolicy.UNPINNED:
+            eff *= 1.0 - lay.migration_penalty
+        return eff
+
+    def effective_rate_mbps(self, per_core_rate_mbps: float) -> float:
+        """Aggregate CPU-side rate of the placement.
+
+        ``min(nc, total usable cores)`` full-core process slots scaled by
+        the placement efficiency.
+        """
+        if per_core_rate_mbps <= 0:
+            raise ValueError("per_core_rate must be positive")
+        slots = min(self.nc, self.layout.total_cores)
+        return slots * per_core_rate_mbps * self.efficiency()
+
+
+#: The paper's source host: dual-socket quad-core Nehalem.
+NEHALEM_LAYOUT = SocketLayout(n_sockets=2, cores_per_socket=4, nic_socket=0)
+
+
+def best_policy(
+    layout: SocketLayout, nc: int
+) -> tuple[PinningPolicy, float]:
+    """The placement policy with the highest efficiency for ``nc``."""
+    scored = [
+        (PinnedLayout(layout, policy, nc).efficiency(), policy)
+        for policy in PinningPolicy
+    ]
+    eff, policy = max(scored, key=lambda t: t[0])
+    return policy, eff

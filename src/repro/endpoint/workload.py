@@ -1,0 +1,184 @@
+"""Random external-load workload generators (extension).
+
+The paper controls ``ext.cmp``/``ext.tfr`` at a handful of fixed levels
+and flips them once mid-transfer.  Production endpoints see messier
+patterns: compute jobs arriving and finishing at random, diurnal traffic
+swings, bursts.  These generators build such schedules as ordinary
+:class:`~repro.endpoint.load.LoadSchedule` objects so any experiment can
+swap them in — the robustness bench races the tuners across a population
+of random workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.endpoint.load import ExternalLoad, LoadSchedule
+
+
+@dataclass(frozen=True)
+class PoissonJobMix:
+    """Memoryless compute-job arrivals on the source host.
+
+    Jobs arrive at rate ``arrival_per_hour`` and hold for an exponential
+    duration with mean ``mean_duration_s``; each job contributes one
+    dgemm-equivalent copy of load.  The resulting ``ext.cmp(t)`` is an
+    M/M/∞ occupancy process.
+
+    Parameters
+    ----------
+    arrival_per_hour:
+        Mean job arrivals per hour.
+    mean_duration_s:
+        Mean job runtime.
+    max_jobs:
+        Hard cap on concurrent jobs (batch-queue width).
+    """
+
+    arrival_per_hour: float = 8.0
+    mean_duration_s: float = 600.0
+    max_jobs: int = 64
+
+    def __post_init__(self) -> None:
+        if self.arrival_per_hour < 0:
+            raise ValueError("arrival rate must be non-negative")
+        if self.mean_duration_s <= 0:
+            raise ValueError("mean duration must be positive")
+        if self.max_jobs < 1:
+            raise ValueError("max_jobs must be >= 1")
+
+    def schedule(
+        self, duration_s: float, rng: np.random.Generator
+    ) -> LoadSchedule:
+        """Sample one workload realization covering [0, duration_s]."""
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        events: list[tuple[float, int]] = []  # (time, +1/-1)
+        t = 0.0
+        rate_per_s = self.arrival_per_hour / 3600.0
+        if rate_per_s > 0:
+            while True:
+                t += float(rng.exponential(1.0 / rate_per_s))
+                if t >= duration_s:
+                    break
+                end = t + float(rng.exponential(self.mean_duration_s))
+                events.append((t, +1))
+                if end < duration_s:
+                    events.append((end, -1))
+        events.sort()
+        segments: list[tuple[float, ExternalLoad]] = [(0.0, ExternalLoad())]
+        jobs = 0
+        last_t = 0.0
+        for when, delta in events:
+            jobs = min(max(0, jobs + delta), self.max_jobs)
+            if when > last_t:
+                segments.append((when, ExternalLoad(ext_cmp=jobs)))
+                last_t = when
+            else:
+                # Coincident events: overwrite the previous segment level.
+                segments[-1] = (last_t, ExternalLoad(ext_cmp=jobs))
+        return LoadSchedule(_dedupe(segments))
+
+
+@dataclass(frozen=True)
+class DiurnalTraffic:
+    """Sinusoidal external-transfer traffic with noise.
+
+    External stream count follows a day-night cycle:
+    ``base + amplitude * (1 + sin) / 2`` plus integer noise, quantized
+    into steps of ``step_s`` seconds.
+    """
+
+    base_streams: int = 8
+    amplitude_streams: int = 48
+    period_s: float = 86_400.0
+    step_s: float = 300.0
+    noise_streams: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.base_streams < 0 or self.amplitude_streams < 0:
+            raise ValueError("stream counts must be non-negative")
+        if self.period_s <= 0 or self.step_s <= 0:
+            raise ValueError("period and step must be positive")
+        if self.noise_streams < 0:
+            raise ValueError("noise must be non-negative")
+
+    def schedule(
+        self, duration_s: float, rng: np.random.Generator
+    ) -> LoadSchedule:
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        times = np.arange(0.0, duration_s, self.step_s)
+        phase = 2.0 * np.pi * times / self.period_s
+        level = (
+            self.base_streams
+            + self.amplitude_streams * (1.0 + np.sin(phase)) / 2.0
+            + rng.normal(0.0, self.noise_streams, size=times.size)
+        )
+        streams = np.clip(np.round(level), 0, None).astype(int)
+        segments = [
+            (float(t), ExternalLoad(ext_tfr=int(s)))
+            for t, s in zip(times, streams)
+        ]
+        return LoadSchedule(_dedupe(segments))
+
+
+@dataclass(frozen=True)
+class BurstyTraffic:
+    """On/off traffic bursts (heavy flows that come and go).
+
+    Alternates quiet periods (exponential, mean ``mean_quiet_s``) with
+    bursts of ``burst_streams`` external streams (exponential, mean
+    ``mean_burst_s``).
+    """
+
+    burst_streams: int = 64
+    mean_quiet_s: float = 300.0
+    mean_burst_s: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.burst_streams < 1:
+            raise ValueError("burst_streams must be >= 1")
+        if self.mean_quiet_s <= 0 or self.mean_burst_s <= 0:
+            raise ValueError("means must be positive")
+
+    def schedule(
+        self, duration_s: float, rng: np.random.Generator
+    ) -> LoadSchedule:
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        segments: list[tuple[float, ExternalLoad]] = [(0.0, ExternalLoad())]
+        t = 0.0
+        bursting = False
+        while t < duration_s:
+            hold = float(
+                rng.exponential(
+                    self.mean_burst_s if bursting else self.mean_quiet_s
+                )
+            )
+            t += max(hold, 1.0)
+            if t >= duration_s:
+                break
+            bursting = not bursting
+            segments.append(
+                (t, ExternalLoad(ext_tfr=self.burst_streams if bursting else 0))
+            )
+        return LoadSchedule(_dedupe(segments))
+
+
+def _dedupe(
+    segments: list[tuple[float, ExternalLoad]]
+) -> list[tuple[float, ExternalLoad]]:
+    """Drop segments that repeat the previous level (keeps schedules
+    minimal and start times strictly increasing)."""
+    out: list[tuple[float, ExternalLoad]] = []
+    for when, load in segments:
+        if out and out[-1][1] == load:
+            continue
+        if out and when <= out[-1][0]:
+            out[-1] = (out[-1][0], load)
+            continue
+        out.append((when, load))
+    return out

@@ -1,0 +1,25 @@
+"""Experiment harness: calibrated scenarios, runners, and one function per
+paper figure.
+
+* :mod:`repro.experiments.scenarios` — the ANL→UChicago and ANL→TACC
+  testbed models with calibrated constants.
+* :mod:`repro.experiments.runner` — run (scenario, tuner, load, seed) →
+  trace; single transfers, simultaneous pairs, and joint tuning.
+* :mod:`repro.experiments.figures` — one entry point per figure (1, 5-11)
+  plus the ANL→TACC concurrency study described in §IV-A's text.
+* :mod:`repro.experiments.report` — ASCII tables and paper-vs-measured
+  comparison rows.
+"""
+
+from repro.experiments.scenarios import ANL_UC, ANL_TACC, Scenario, standard_tuners
+from repro.experiments.runner import run_single, run_pair, run_joint
+
+__all__ = [
+    "ANL_UC",
+    "ANL_TACC",
+    "Scenario",
+    "standard_tuners",
+    "run_single",
+    "run_pair",
+    "run_joint",
+]

@@ -1,0 +1,147 @@
+"""Full-evaluation campaign: every figure, one report.
+
+``run_campaign`` regenerates the complete evaluation section (Figs. 1,
+5-11 plus the ANL→TACC text study) at a chosen scale and assembles a
+single markdown-ish report with the paper's reference values inline —
+the programmatic counterpart of running every benchmark and
+concatenating ``benchmarks/results/``.  The CLI exposes it as
+``python -m repro campaign``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments import figures
+from repro.experiments.report import render_comparison, render_table
+
+
+@dataclass(frozen=True)
+class CampaignScale:
+    """How big a campaign to run.
+
+    ``full`` matches the paper's setup (1800 s transfers, 5 reps);
+    ``quick`` is a minutes-scale smoke version with the same structure.
+    """
+
+    duration_s: float = 1800.0
+    fig1_duration_s: float = 600.0
+    fig1_reps: int = 5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 60 or self.fig1_duration_s <= 60:
+            raise ValueError("durations must exceed one control epoch")
+        if self.fig1_reps < 1:
+            raise ValueError("fig1_reps must be >= 1")
+
+    @classmethod
+    def full(cls, seed: int = 0) -> "CampaignScale":
+        return cls(seed=seed)
+
+    @classmethod
+    def quick(cls, seed: int = 0) -> "CampaignScale":
+        return cls(duration_s=600.0, fig1_duration_s=180.0, fig1_reps=2,
+                   seed=seed)
+
+
+@dataclass
+class CampaignResult:
+    """Per-figure report blocks plus the assembled document."""
+
+    sections: dict[str, str] = field(default_factory=dict)
+
+    def document(self) -> str:
+        parts = ["# Campaign report: ICPP 2016 direct-search reproduction"]
+        for name, block in self.sections.items():
+            parts.append(f"\n## {name}\n\n```\n{block}\n```")
+        return "\n".join(parts)
+
+
+def run_campaign(scale: CampaignScale | None = None) -> CampaignResult:
+    """Run every experiment of the evaluation; returns the report."""
+    scale = scale if scale is not None else CampaignScale.full()
+    out = CampaignResult()
+
+    # -- Figure 1 ---------------------------------------------------------
+    f1 = figures.fig1(
+        duration_s=scale.fig1_duration_s, reps=scale.fig1_reps,
+        seed=scale.seed,
+    )
+    rows = [
+        [label, nc, f1.stats[label][nc].median]
+        for label in f1.stats
+        for nc in f1.nc_values
+    ]
+    out.sections["Fig 1 — throughput vs concurrency"] = render_table(
+        ["load", "nc", "median MB/s"], rows
+    ) + "\n\n" + render_comparison(
+        [("critical nc, no load", 64, f1.critical_point("no-load"))]
+    )
+
+    # -- Figures 5-7 -------------------------------------------------------
+    f5 = figures.fig5(duration_s=scale.duration_s, seed=scale.seed)
+    rows = []
+    for load in f5.traces:
+        for tuner in f5.traces[load]:
+            rows.append(
+                [load, tuner, f5.steady_observed(load, tuner),
+                 f5.steady_best_case(load, tuner),
+                 f"{f5.overhead_pct(load, tuner):.0f}%"]
+            )
+    out.sections["Figs 5-7 — tuners under static loads"] = render_table(
+        ["load", "tuner", "observed", "best-case", "overhead"], rows
+    )
+
+    # nc trajectories (Fig 6) as tail means.
+    rows = []
+    for load in f5.traces:
+        for tuner in ("cd-tuner", "cs-tuner", "nm-tuner"):
+            nc = f5.nc_trajectory(load, tuner)
+            rows.append([load, tuner, float(np.mean(nc[len(nc) // 2:]))])
+    out.sections["Fig 6 — settled concurrency"] = render_table(
+        ["load", "tuner", "tail-mean nc"], rows
+    )
+
+    # -- ANL→TACC ----------------------------------------------------------
+    tacc = figures.tacc_concurrency(duration_s=scale.duration_s,
+                                    seed=scale.seed)
+    rows = [
+        [load, tuner, tacc.steady_observed(load, tuner)]
+        for load in tacc.traces
+        for tuner in tacc.traces[load]
+    ]
+    out.sections["§IV-A — ANL→TACC"] = render_table(
+        ["load", "tuner", "observed"], rows
+    )
+
+    # -- Figures 8-10 ------------------------------------------------------
+    for name, fn in (("Fig 8 — TACC, varying load", figures.fig8),
+                     ("Fig 9 — UChicago, varying load", figures.fig9),
+                     ("Fig 10 — heuristics", figures.fig10)):
+        res = fn(duration_s=scale.duration_s,
+                 switch_at_s=scale.duration_s * 5 / 9, seed=scale.seed)
+        rows = [
+            [tuner, res.phase_mean(tuner, 0), res.phase_mean(tuner, 1)]
+            for tuner in res.traces
+        ]
+        out.sections[name] = render_table(
+            ["tuner", "phase-1 MB/s", "phase-2 MB/s"], rows
+        )
+
+    # -- Figure 11 ----------------------------------------------------------
+    f11 = figures.fig11(duration_s=scale.duration_s, seed=scale.seed)
+    out.sections["Fig 11 — simultaneous transfers"] = render_comparison(
+        [
+            ("anl-uc MB/s", "larger share",
+             f"{f11.mean('anl-uc', from_time=scale.duration_s / 2):.0f}"),
+            ("anl-tacc MB/s", "smaller share",
+             f"{f11.mean('anl-tacc', from_time=scale.duration_s / 2):.0f}"),
+            ("UC share", "> 50%",
+             f"{100 * f11.share_of_uc(from_time=scale.duration_s / 2):.0f}%"),
+        ]
+    )
+
+    return out

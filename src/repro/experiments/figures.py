@@ -1,0 +1,348 @@
+"""One entry point per figure of the paper's evaluation.
+
+Each ``figN`` function runs the corresponding experiment on the simulated
+substrate and returns plain data (dataclasses of arrays/dicts) that the
+benchmark harness prints next to the paper's reported values.  All accept
+reduced ``duration_s`` / ``reps`` so benches stay fast; the defaults match
+the paper's setup (30 s epochs, 1800 s transfers, 5 repetitions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.stats import BoxStats, box_stats, steady_state_mean
+from repro.core.base import StaticTuner, Tuner
+from repro.core.cs_tuner import CsTuner
+from repro.core.heuristics import Heur1Tuner, Heur2Tuner
+from repro.core.nm_tuner import NmTuner
+from repro.endpoint.load import ExternalLoad, LoadSchedule
+from repro.sim.trace import Trace
+
+from repro.experiments.runner import run_pair, run_single
+from repro.experiments.scenarios import (
+    ANL_TACC,
+    ANL_UC,
+    Scenario,
+    standard_tuners,
+)
+
+#: The five external-load conditions of Fig. 5 (and Figs. 6-7), in order:
+#: (a) none, (b) ext.cmp=16, (c) ext.cmp=64, (d) ext.tfr=16, (e) ext.tfr=64.
+FIG5_LOADS: dict[str, ExternalLoad] = {
+    "none": ExternalLoad(),
+    "cmp16": ExternalLoad(ext_cmp=16),
+    "cmp64": ExternalLoad(ext_cmp=64),
+    "tfr16": ExternalLoad(ext_tfr=16),
+    "tfr64": ExternalLoad(ext_tfr=64),
+}
+
+#: §IV-B load switch: heavy network load for the first 1000 s, then both
+#: knobs at 16.
+def varying_load_schedule(switch_at_s: float = 1000.0) -> LoadSchedule:
+    return LoadSchedule(
+        [
+            (0.0, ExternalLoad(ext_cmp=16, ext_tfr=64)),
+            (switch_at_s, ExternalLoad(ext_cmp=16, ext_tfr=16)),
+        ]
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 1 — throughput vs concurrency boxplots, np = 1
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig1Result:
+    """Boxplot statistics per (load label, concurrency)."""
+
+    nc_values: list[int]
+    stats: dict[str, dict[int, BoxStats]]
+
+    def critical_point(self, load_label: str) -> int:
+        """Concurrency with the highest median throughput."""
+        by_nc = self.stats[load_label]
+        return max(by_nc, key=lambda nc: by_nc[nc].median)
+
+
+def fig1(
+    scenario: Scenario = ANL_UC,
+    *,
+    nc_values: list[int] | None = None,
+    loads: dict[str, ExternalLoad] | None = None,
+    reps: int = 5,
+    duration_s: float = 600.0,
+    seed: int = 0,
+) -> Fig1Result:
+    """Fig. 1: impact of parallel streams on throughput, with and without
+    external load (np fixed at 1; 5 reps x 10 min in the paper)."""
+    if nc_values is None:
+        nc_values = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512]
+    if loads is None:
+        loads = {
+            "no-load": ExternalLoad(),
+            "high-load": ExternalLoad(ext_cmp=16, ext_tfr=16),
+        }
+    stats: dict[str, dict[int, BoxStats]] = {}
+    for label, load in loads.items():
+        stats[label] = {}
+        for nc in nc_values:
+            samples = []
+            for rep in range(reps):
+                trace = run_single(
+                    scenario,
+                    StaticTuner(),
+                    load=load,
+                    duration_s=duration_s,
+                    x0=(nc,),
+                    fixed_np=1,
+                    seed=seed + 1000 * rep + nc,
+                )
+                samples.append(
+                    steady_state_mean(trace, tail_fraction=0.75)
+                )
+            stats[label][nc] = box_stats(samples)
+    return Fig1Result(nc_values=list(nc_values), stats=stats)
+
+
+# ---------------------------------------------------------------------------
+# Figures 5-7 — tuning concurrency under static external loads
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig5Result:
+    """Traces per (load label, tuner name); basis of Figs. 5, 6 and 7."""
+
+    traces: dict[str, dict[str, Trace]] = field(default_factory=dict)
+
+    def steady_observed(self, load: str, tuner: str) -> float:
+        return steady_state_mean(self.traces[load][tuner])
+
+    def steady_best_case(self, load: str, tuner: str) -> float:
+        return steady_state_mean(self.traces[load][tuner], best_case=True)
+
+    def improvement_over_default(self, load: str, tuner: str) -> float:
+        return self.steady_observed(load, tuner) / self.steady_observed(
+            load, "default"
+        )
+
+    def nc_trajectory(self, load: str, tuner: str) -> np.ndarray:
+        """Fig. 6: concurrency values adopted over time."""
+        return self.traces[load][tuner].epoch_param(0)
+
+    def overhead_pct(self, load: str, tuner: str) -> float:
+        """Fig. 5 vs Fig. 7: throughput lost to tool restarts."""
+        best = self.steady_best_case(load, tuner)
+        if best <= 0:
+            return 0.0
+        return 100.0 * (1.0 - self.steady_observed(load, tuner) / best)
+
+
+def fig5(
+    scenario: Scenario = ANL_UC,
+    *,
+    loads: dict[str, ExternalLoad] | None = None,
+    tuners: dict[str, Tuner] | None = None,
+    duration_s: float = 1800.0,
+    seed: int = 0,
+) -> Fig5Result:
+    """Figs. 5-7: observed throughput / nc trajectory / best-case
+    throughput of default, cd-, cs-, nm-tuner under five static loads
+    (np fixed at 8, tuning nc only)."""
+    if loads is None:
+        loads = dict(FIG5_LOADS)
+    if tuners is None:
+        tuners = standard_tuners(seed=seed)
+    out = Fig5Result()
+    for load_label, load in loads.items():
+        out.traces[load_label] = {}
+        for tuner_name, tuner in tuners.items():
+            out.traces[load_label][tuner_name] = run_single(
+                scenario,
+                tuner,
+                load=load,
+                duration_s=duration_s,
+                fixed_np=8,
+                seed=seed,
+            )
+    return out
+
+
+# Figures 6 and 7 are views over the same runs as Figure 5.
+fig6 = fig5
+fig7 = fig5
+
+
+def tacc_concurrency(
+    *,
+    duration_s: float = 1800.0,
+    seed: int = 0,
+    loads: dict[str, ExternalLoad] | None = None,
+) -> Fig5Result:
+    """§IV-A text: the ANL→TACC variant of the Fig. 5 study."""
+    return fig5(ANL_TACC, loads=loads, duration_s=duration_s, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Figures 8-10 — tuning nc and np under a varying load
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class VaryingLoadResult:
+    """Traces per tuner under the §IV-B load switch."""
+
+    traces: dict[str, Trace]
+    switch_at_s: float
+
+    def phase_mean(self, tuner: str, phase: int) -> float:
+        """Mean observed throughput in phase 0 (before the switch) or 1."""
+        t = self.traces[tuner]
+        if phase == 0:
+            return t.mean_observed(to_time=self.switch_at_s)
+        return t.mean_observed(from_time=self.switch_at_s)
+
+    def improvement(self, tuner: str, phase: int) -> float:
+        return self.phase_mean(tuner, phase) / self.phase_mean(
+            "default", phase
+        )
+
+    def trajectory(self, tuner: str, dim: int) -> np.ndarray:
+        return self.traces[tuner].epoch_param(dim)
+
+
+def _varying_load_run(
+    scenario: Scenario,
+    tuners: dict[str, Tuner],
+    *,
+    duration_s: float,
+    switch_at_s: float,
+    seed: int,
+) -> VaryingLoadResult:
+    schedule = varying_load_schedule(switch_at_s)
+    traces = {
+        name: run_single(
+            scenario,
+            tuner,
+            load=schedule,
+            duration_s=duration_s,
+            tune_np=True,
+            seed=seed,
+        )
+        for name, tuner in tuners.items()
+    }
+    return VaryingLoadResult(traces=traces, switch_at_s=switch_at_s)
+
+
+def fig8(
+    *,
+    duration_s: float = 1800.0,
+    switch_at_s: float = 1000.0,
+    seed: int = 0,
+) -> VaryingLoadResult:
+    """Fig. 8: ANL→TACC, tuning nc and np, load switch at 1000 s;
+    cs-tuner and nm-tuner vs default (cd excluded as in the paper)."""
+    tuners: dict[str, Tuner] = {
+        "default": StaticTuner(),
+        "cs-tuner": CsTuner(seed=seed),
+        "nm-tuner": NmTuner(),
+    }
+    return _varying_load_run(
+        ANL_TACC, tuners, duration_s=duration_s,
+        switch_at_s=switch_at_s, seed=seed,
+    )
+
+
+def fig9(
+    *,
+    duration_s: float = 1800.0,
+    switch_at_s: float = 1000.0,
+    seed: int = 0,
+) -> VaryingLoadResult:
+    """Fig. 9: the Fig. 8 study on ANL→UChicago."""
+    tuners: dict[str, Tuner] = {
+        "default": StaticTuner(),
+        "cs-tuner": CsTuner(seed=seed),
+        "nm-tuner": NmTuner(),
+    }
+    return _varying_load_run(
+        ANL_UC, tuners, duration_s=duration_s,
+        switch_at_s=switch_at_s, seed=seed,
+    )
+
+
+def fig10(
+    *,
+    duration_s: float = 1800.0,
+    switch_at_s: float = 1000.0,
+    seed: int = 0,
+) -> VaryingLoadResult:
+    """Fig. 10: nm-tuner vs heur1 (Balman, additive) and heur2 (Yildirim,
+    exponential) on ANL→TACC under the varying load."""
+    tuners: dict[str, Tuner] = {
+        "default": StaticTuner(),
+        "nm-tuner": NmTuner(),
+        "heur1": Heur1Tuner(),
+        "heur2": Heur2Tuner(),
+    }
+    return _varying_load_run(
+        ANL_TACC, tuners, duration_s=duration_s,
+        switch_at_s=switch_at_s, seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 11 — two simultaneously tuned transfers sharing the source
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig11Result:
+    """Traces of the two coupled transfers, keyed 'anl-uc' / 'anl-tacc'."""
+
+    traces: dict[str, Trace]
+
+    def mean(self, name: str, *, from_time: float = 0.0) -> float:
+        return self.traces[name].mean_observed(from_time=from_time)
+
+    def share_of_uc(self, *, from_time: float = 0.0) -> float:
+        """Fraction of the combined throughput taken by the UChicago
+        transfer (the paper observes it claims the larger share)."""
+        uc = self.mean("anl-uc", from_time=from_time)
+        tacc = self.mean("anl-tacc", from_time=from_time)
+        return uc / (uc + tacc)
+
+
+def fig11(
+    *,
+    tuner: str = "nm",
+    duration_s: float = 1800.0,
+    seed: int = 0,
+) -> Fig11Result:
+    """Fig. 11: simultaneous ANL→UChicago and ANL→TACC transfers, each
+    independently tuned by nm-tuner (or cs-tuner), no other load."""
+    if tuner == "nm":
+        tuner_a: Tuner = NmTuner()
+        tuner_b: Tuner = NmTuner()
+    elif tuner == "cs":
+        tuner_a = CsTuner(seed=seed)
+        tuner_b = CsTuner(seed=seed + 1)
+    else:
+        raise ValueError("tuner must be 'nm' or 'cs'")
+    traces = run_pair(
+        ANL_UC,
+        tuner_a,
+        tuner_b,
+        path_a="anl-uc",
+        path_b="anl-tacc",
+        duration_s=duration_s,
+        tune_np=True,
+        seed=seed,
+    )
+    return Fig11Result(
+        traces={"anl-uc": traces["xfer-a"], "anl-tacc": traces["xfer-b"]}
+    )

@@ -1,0 +1,116 @@
+"""Oracle baselines: the best *static* setting, found by offline sweep.
+
+The tuners' value proposition is reaching (a large fraction of) the best
+static configuration *without knowing it in advance* and re-finding it
+when the load changes.  This module computes that reference point by
+brute force — something only the simulator can afford — so analyses can
+report regret against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.stats import steady_state_mean
+from repro.core.base import StaticTuner
+from repro.endpoint.load import ExternalLoad, LoadSchedule
+
+from repro.experiments.runner import run_single
+from repro.experiments.scenarios import Scenario
+
+#: Default concurrency candidates: dense low end, geometric high end.
+DEFAULT_NC_GRID = (1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 20, 26, 32, 40, 50,
+                   64, 80, 100, 128, 160, 200, 256, 320, 400, 512)
+
+
+@dataclass(frozen=True)
+class OracleResult:
+    """Best static setting found by the sweep."""
+
+    params: tuple[int, ...]
+    throughput_mbps: float
+    evaluations: int
+
+    def regret_fraction(self, achieved_mbps: float) -> float:
+        """Fraction of the oracle's throughput left on the table."""
+        if self.throughput_mbps <= 0:
+            raise ValueError("oracle throughput is zero")
+        return max(0.0, 1.0 - achieved_mbps / self.throughput_mbps)
+
+
+def oracle_static_nc(
+    scenario: Scenario,
+    *,
+    load: ExternalLoad | LoadSchedule | None = None,
+    fixed_np: int = 8,
+    candidates: Sequence[int] = DEFAULT_NC_GRID,
+    duration_s: float = 240.0,
+    seed: int = 0,
+    max_nc: int = 512,
+) -> OracleResult:
+    """Sweep static concurrency values; return the best.
+
+    Each candidate runs a short transfer (no restarts, so the measured
+    level is the best-case surface value) and the steady tail is scored.
+    """
+    if not candidates:
+        raise ValueError("need at least one candidate")
+    best: tuple[float, tuple[int, ...]] | None = None
+    n_evals = 0
+    for nc in candidates:
+        if not 1 <= nc <= max_nc:
+            continue
+        trace = run_single(
+            scenario,
+            StaticTuner(),
+            load=load,
+            duration_s=duration_s,
+            x0=(nc,),
+            fixed_np=fixed_np,
+            seed=seed,
+            max_nc=max_nc,
+        )
+        n_evals += 1
+        score = steady_state_mean(trace, tail_fraction=0.75)
+        if best is None or score > best[0]:
+            best = (score, (nc,))
+    if best is None:
+        raise ValueError("no candidate inside [1, max_nc]")
+    return OracleResult(
+        params=best[1], throughput_mbps=best[0], evaluations=n_evals
+    )
+
+
+def oracle_static_nc_np(
+    scenario: Scenario,
+    *,
+    load: ExternalLoad | LoadSchedule | None = None,
+    nc_candidates: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128),
+    np_candidates: Sequence[int] = (1, 2, 4, 8, 16, 32),
+    duration_s: float = 240.0,
+    seed: int = 0,
+) -> OracleResult:
+    """2-D sweep over (nc, np)."""
+    if not nc_candidates or not np_candidates:
+        raise ValueError("need candidates in both dimensions")
+    best: tuple[float, tuple[int, ...]] | None = None
+    n_evals = 0
+    for nc in nc_candidates:
+        for np_ in np_candidates:
+            trace = run_single(
+                scenario,
+                StaticTuner(params=(nc, np_)),
+                load=load,
+                duration_s=duration_s,
+                tune_np=True,
+                seed=seed,
+            )
+            n_evals += 1
+            score = steady_state_mean(trace, tail_fraction=0.75)
+            if best is None or score > best[0]:
+                best = (score, (nc, np_))
+    assert best is not None
+    return OracleResult(
+        params=best[1], throughput_mbps=best[0], evaluations=n_evals
+    )

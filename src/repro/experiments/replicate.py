@@ -1,0 +1,83 @@
+"""Multi-seed replication utilities.
+
+The paper repeats every Fig. 1 measurement five times and reports boxplot
+statistics.  These helpers run any trace-producing experiment across a
+seed list and aggregate the scalar metric of interest with a confidence
+interval, so benches and examples don't hand-roll the loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.analysis.stats import BoxStats, box_stats
+
+#: An experiment: seed in, scalar metric out.
+Experiment = Callable[[int], float]
+
+
+@dataclass(frozen=True)
+class Replicates:
+    """Samples of one metric across seeds, with summary accessors."""
+
+    values: tuple[float, ...]
+    seeds: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.values) != len(self.seeds):
+            raise ValueError("one value per seed required")
+        if not self.values:
+            raise ValueError("need at least one replicate")
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values))
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (ddof=1); 0 for a single replicate."""
+        if len(self.values) < 2:
+            return 0.0
+        return float(np.std(self.values, ddof=1))
+
+    def confidence_interval(self, *, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation CI of the mean (z=1.96 → 95%)."""
+        if z <= 0:
+            raise ValueError("z must be positive")
+        half = z * self.std / np.sqrt(len(self.values))
+        return (self.mean - half, self.mean + half)
+
+    def box(self) -> BoxStats:
+        return box_stats(self.values)
+
+
+def replicate(
+    experiment: Experiment, seeds: Sequence[int]
+) -> Replicates:
+    """Run ``experiment(seed)`` for every seed; collect the metric."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    values = tuple(float(experiment(int(s))) for s in seeds)
+    return Replicates(values=values, seeds=tuple(int(s) for s in seeds))
+
+
+def compare(
+    experiments: dict[str, Experiment], seeds: Sequence[int]
+) -> dict[str, Replicates]:
+    """Replicate several experiments on a common seed list (paired)."""
+    return {name: replicate(fn, seeds) for name, fn in experiments.items()}
+
+
+def win_rate(a: Replicates, b: Replicates) -> float:
+    """Fraction of paired seeds where ``a`` beats ``b``.
+
+    Requires both replicate sets to come from the same seed list, which
+    makes the comparison paired and variance-reduced.
+    """
+    if a.seeds != b.seeds:
+        raise ValueError("win_rate needs paired (same-seed) replicates")
+    wins = sum(1 for va, vb in zip(a.values, b.values) if va > vb)
+    return wins / len(a.values)

@@ -1,0 +1,140 @@
+"""ASCII rendering of experiment results.
+
+Benches use these helpers to print the same rows/series the paper's
+figures show, side by side with the paper's reported values where the
+text states them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Monospace table with right-aligned numeric columns."""
+    str_rows = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(v: object) -> str:
+    if isinstance(v, float) or isinstance(v, np.floating):
+        if abs(float(v)) >= 100:
+            return f"{float(v):.0f}"
+        return f"{float(v):.2f}"
+    return str(v)
+
+
+def render_series(
+    times: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    title: str | None = None,
+    time_label: str = "t[s]",
+) -> str:
+    """One row per time point, one column per named series (how the
+    paper's line plots read as text)."""
+    headers = [time_label, *series.keys()]
+    cols = list(series.values())
+    for name, col in series.items():
+        if len(col) != len(times):
+            raise ValueError(f"series {name!r} length mismatch")
+    rows = [
+        [times[i], *(col[i] for col in cols)] for i in range(len(times))
+    ]
+    return render_table(headers, rows, title=title)
+
+
+def render_comparison(
+    rows: Iterable[tuple[str, object, object]],
+    *,
+    title: str = "paper vs measured",
+) -> str:
+    """Three-column 'quantity / paper / measured' comparison block."""
+    return render_table(
+        ["quantity", "paper", "measured"], rows, title=title
+    )
+
+
+def downsample(values: Sequence[float], max_points: int = 20) -> list[float]:
+    """Evenly thin a series for compact printing (keeps first and last)."""
+    if max_points < 2:
+        raise ValueError("max_points must be >= 2")
+    arr = list(values)
+    if len(arr) <= max_points:
+        return arr
+    idx = np.linspace(0, len(arr) - 1, max_points).round().astype(int)
+    return [arr[i] for i in idx]
+
+
+def ascii_chart(
+    series: Mapping[str, Sequence[float]],
+    *,
+    height: int = 12,
+    width: int = 72,
+    title: str | None = None,
+) -> str:
+    """Plain-text line chart: one glyph per series, shared y-axis.
+
+    Series are resampled to ``width`` columns; the y-axis is labeled with
+    the data range.  Intended for CLI/bench output where matplotlib is
+    unavailable — a legible shape, not publication graphics.
+    """
+    if height < 3 or width < 8:
+        raise ValueError("chart needs height >= 3 and width >= 8")
+    if not series:
+        raise ValueError("need at least one series")
+    glyphs = "*o+x#@%&"
+    if len(series) > len(glyphs):
+        raise ValueError(f"at most {len(glyphs)} series supported")
+
+    resampled: dict[str, list[float]] = {}
+    for name, values in series.items():
+        vals = list(values)
+        if not vals:
+            raise ValueError(f"series {name!r} is empty")
+        resampled[name] = downsample(vals, width)
+
+    all_vals = [v for vals in resampled.values() for v in vals]
+    lo, hi = min(all_vals), max(all_vals)
+    span = hi - lo or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, vals), glyph in zip(resampled.items(), glyphs):
+        n = len(vals)
+        for i, v in enumerate(vals):
+            col = round(i * (width - 1) / max(n - 1, 1))
+            row = height - 1 - round((v - lo) / span * (height - 1))
+            grid[row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{hi:10.0f} +" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{lo:10.0f} +" + "".join(grid[-1]))
+    legend = "   ".join(
+        f"{glyph}={name}" for (name, _), glyph in zip(resampled.items(), glyphs)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,120 @@
+"""Calibrated testbed scenarios.
+
+Two production WAN settings from the paper:
+
+* **ANL → UChicago** — 40 Gb/s NICs at both ends (5000 MB/s), metro-area
+  RTT, shared path with measurable loss that grows with the stream count.
+  Calibrated so that ~16 streams move ~2500 MB/s (the paper's default),
+  ~40 streams ~4000 MB/s (the tuners' plateau in Fig. 5a), and the Fig. 1
+  unimodal curve peaks at 64 streams.
+* **ANL → TACC** — 20 Gb/s path (2500 MB/s), RTT 33 ms, very clean
+  (ESnet); per-stream rate is socket-buffer-limited to ~120 MB/s, which
+  reproduces the paper's observation that the default's 16 streams reach
+  1900 MB/s and tuning adds little without external load.
+
+Both use the same Nehalem source host whose CPU constants are calibrated
+against the external-compute-load results (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.base import StaticTuner, Tuner
+from repro.core.cd_tuner import CdTuner
+from repro.core.cs_tuner import CsTuner
+from repro.core.heuristics import default_globus_params
+from repro.core.nm_tuner import NmTuner
+from repro.endpoint.host import NEHALEM, HostSpec
+from repro.net.link import Link, Path
+from repro.net.tcp import HTCP, TcpModel
+from repro.net.topology import Topology
+from repro.units import MB
+
+#: Shared source NIC at ANL: 40 Gb/s.
+ANL_NIC = Link(name="anl-nic", capacity_mbps=5000.0)
+#: WAN segment to UChicago: 40 Gb/s end to end.
+WAN_UC = Link(name="wan-uc", capacity_mbps=5000.0)
+#: WAN segment to TACC: 20 Gb/s.
+WAN_TACC = Link(name="wan-tacc", capacity_mbps=2500.0)
+
+#: H-TCP (the paper's endpoints) with 4 MB socket buffers and a 2 s
+#: slow-start ramp time constant.
+_TCP = TcpModel(cc=HTCP, wmax_bytes=4.0 * MB, slow_start_tau=2.0)
+
+PATH_ANL_UC = Path(
+    name="anl-uc",
+    links=(ANL_NIC, WAN_UC),
+    rtt_ms=2.0,
+    loss_rate=1e-6,
+    loss_per_stream=2.7e-6,
+    tcp=_TCP,
+)
+
+PATH_ANL_TACC = Path(
+    name="anl-tacc",
+    links=(ANL_NIC, WAN_TACC),
+    rtt_ms=33.0,
+    loss_rate=1e-8,
+    loss_per_stream=1e-8,
+    tcp=_TCP,
+)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One source host plus the paths reachable from it."""
+
+    name: str
+    host: HostSpec
+    main_path: str
+    paths: tuple[Path, ...] = field(default=(PATH_ANL_UC, PATH_ANL_TACC))
+
+    def __post_init__(self) -> None:
+        if self.main_path not in {p.name for p in self.paths}:
+            raise ValueError(
+                f"main_path {self.main_path!r} not among scenario paths"
+            )
+
+    def build_topology(self) -> Topology:
+        """A fresh Topology (Topology is mutable; never share one)."""
+        topo = Topology()
+        for p in self.paths:
+            topo.add_path(p)
+        return topo
+
+    def path(self, name: str | None = None) -> Path:
+        target = name if name is not None else self.main_path
+        for p in self.paths:
+            if p.name == target:
+                return p
+        raise KeyError(f"no path {target!r} in scenario {self.name!r}")
+
+    def with_host(self, host: HostSpec) -> "Scenario":
+        return replace(self, host=host)
+
+
+ANL_UC = Scenario(name="anl-uc", host=NEHALEM, main_path="anl-uc")
+ANL_TACC = Scenario(name="anl-tacc", host=NEHALEM, main_path="anl-tacc")
+
+
+def standard_tuners(*, seed: int = 0, eps_pct: float = 5.0) -> dict[str, Tuner]:
+    """The four methods of §IV-A with the paper's settings: ε=5%, λ=8,
+    (R, E, C, S) = (1, 2, 0.5, 0.5)."""
+    return {
+        "default": StaticTuner(),
+        "cd-tuner": CdTuner(eps_pct=eps_pct),
+        "cs-tuner": CsTuner(eps_pct=eps_pct, lam0=8.0, seed=seed),
+        "nm-tuner": NmTuner(eps_pct=eps_pct),
+    }
+
+
+def default_start(ndim: int = 1) -> tuple[int, ...]:
+    """Starting point built from the Globus defaults: nc=2 (and np=8 when
+    parallelism is tuned too)."""
+    nc, np_ = default_globus_params()
+    if ndim == 1:
+        return (nc,)
+    if ndim == 2:
+        return (nc, np_)
+    raise ValueError("only 1-D (nc) and 2-D (nc, np) starts are defined")

@@ -1,0 +1,162 @@
+"""The `globus-url-copy` process model.
+
+The paper implements concurrency ``nc`` by launching ``nc`` copies of
+`globus-url-copy` (pinned on alternate sockets) and parallelism ``np`` via
+the tool's ``-p`` flag, so a setting ``(nc, np)`` runs ``nc`` single-core
+processes with ``np`` TCP streams each.  Two consequences the model
+captures:
+
+* **concurrency scales across cores, parallelism does not** — each process
+  is limited to one core; extra streams inside a process share it (with a
+  small per-thread efficiency penalty);
+* **restart overhead** — the tuners stop and relaunch all copies every
+  control epoch ("load the executable, allocate the buffer and required
+  data structures, create the required number of threads"); the dead time
+  grows with the compute contention on the source.  The paper measures the
+  resulting observed-vs-best-case gap at ~17% (no load), ~33%
+  (ext.cmp=16), ~50% (ext.cmp=64) and ~15% (network load only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.endpoint.host import HostSpec
+from repro.noise import lognormal_factor
+
+
+@dataclass(frozen=True)
+class RestartModel:
+    """Dead time incurred when the transfer tool is (re)started.
+
+    ``restart_time = (base_s + per_proc_s * nc) * contention`` with
+    ``contention = min(1 + beta * g / (1 - g), max_contention)``,
+
+    where ``g`` is the fraction of source CPU held by external compute
+    load during the startup window.  Contention saturates at
+    ``max_contention``: process startup is dominated by page-cache reads
+    and memory allocation that degrade only so far under CPU pressure.
+    The result is clamped to ``max_fraction_of_epoch`` of the control
+    epoch so an epoch always moves *some* data, and multiplied by a
+    lognormal jitter.
+
+    Parameters
+    ----------
+    warm_np_factor:
+        Extension (paper future work 2): fraction of the cost paid when
+        only ``np`` changed and processes can be reused.  1.0 = always
+        cold restart (the paper's behaviour).
+    """
+
+    base_s: float = 5.0
+    per_proc_s: float = 0.01
+    cmp_beta: float = 0.8
+    max_contention: float = 3.0
+    max_fraction_of_epoch: float = 0.9
+    jitter_sigma: float = 0.10
+    warm_np_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.base_s < 0 or self.per_proc_s < 0:
+            raise ValueError("restart cost terms must be non-negative")
+        if self.cmp_beta < 0:
+            raise ValueError("cmp_beta must be non-negative")
+        if self.max_contention < 1:
+            raise ValueError("max_contention must be >= 1")
+        if not 0 < self.max_fraction_of_epoch <= 1:
+            raise ValueError("max_fraction_of_epoch must be in (0, 1]")
+        if self.jitter_sigma < 0:
+            raise ValueError("jitter_sigma must be non-negative")
+        if not 0 <= self.warm_np_factor <= 1:
+            raise ValueError("warm_np_factor must be in [0, 1]")
+
+    def restart_time_s(
+        self,
+        nc: int,
+        cmp_core_fraction: float,
+        epoch_s: float,
+        *,
+        warm: bool = False,
+        rng: np.random.Generator | None = None,
+    ) -> float:
+        """Dead time in seconds for starting ``nc`` copies.
+
+        Parameters
+        ----------
+        nc:
+            Number of processes being launched.
+        cmp_core_fraction:
+            Fraction ``g`` in [0, 1) of host CPU held by external compute
+            load while the tool starts.
+        epoch_s:
+            Control epoch length (clamp reference).
+        warm:
+            True when only ``np`` changed and warm restart is enabled.
+        rng:
+            Optional generator for lognormal jitter; None disables jitter.
+        """
+        if nc < 1:
+            raise ValueError("nc must be >= 1")
+        if not 0 <= cmp_core_fraction < 1:
+            raise ValueError("cmp_core_fraction must be in [0, 1)")
+        if epoch_s <= 0:
+            raise ValueError("epoch_s must be positive")
+        base = self.base_s + self.per_proc_s * nc
+        contention = min(
+            1.0 + self.cmp_beta * cmp_core_fraction / (1.0 - cmp_core_fraction),
+            self.max_contention,
+        )
+        t = base * contention
+        if warm:
+            t *= self.warm_np_factor
+        if rng is not None:
+            t *= lognormal_factor(rng, self.jitter_sigma)
+        return min(t, self.max_fraction_of_epoch * epoch_s)
+
+
+@dataclass(frozen=True)
+class ClientModel:
+    """Maps a parameter setting onto processes, threads and CPU demand."""
+
+    restart: RestartModel = RestartModel()
+
+    @staticmethod
+    def processes(nc: int) -> int:
+        """OS processes launched for concurrency ``nc``."""
+        if nc < 1:
+            raise ValueError("nc must be >= 1")
+        return nc
+
+    @staticmethod
+    def streams(nc: int, np_: int) -> int:
+        """Total TCP streams: the product the paper optimizes."""
+        if nc < 1 or np_ < 1:
+            raise ValueError("nc and np must be >= 1")
+        return nc * np_
+
+    @staticmethod
+    def thread_efficiency(np_: int, host: HostSpec) -> float:
+        """Per-process efficiency with ``np`` streams sharing one core.
+
+        1.0 for a single stream, decaying linearly with the host's
+        ``thread_overhead``, floored at 0.5 (a process never loses more
+        than half its core to its own threads).
+        """
+        if np_ < 1:
+            raise ValueError("np must be >= 1")
+        return max(0.5, 1.0 - host.thread_overhead * (np_ - 1))
+
+    def cpu_capacity_mbps(
+        self, np_: int, share_cores: float, host: HostSpec
+    ) -> float:
+        """Aggregate CPU-limited rate of the transfer's processes, MB/s,
+        given the total core share the scheduler granted them."""
+        if share_cores < 0:
+            raise ValueError("share_cores must be non-negative")
+        return (
+            share_cores
+            * host.core_copy_rate_mbps
+            * self.thread_efficiency(np_, host)
+        )

@@ -1,0 +1,138 @@
+"""Disk-to-disk transfers over heterogeneous file sets (extension).
+
+The paper's evaluation is memory-to-memory; its future work item (1) is
+"broadening the approach to enable disk-to-disk optimization over sets of
+transfers with different file sizes".  This module supplies the substrate:
+a storage-rate model and a file-set model with a *pipelining* parameter
+(the third knob of Yildirim et al. [25], alongside parallelism and
+concurrency).  Pipelining keeps ``pp`` file requests in flight per stream,
+amortizing the per-file control-channel round trip that otherwise
+dominates lots-of-small-files workloads.
+
+The engine consumes a single number from here: an extra rate cap
+(:func:`disk_rate_cap_mbps`) layered onto the network/CPU caps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.units import MB
+
+
+@dataclass(frozen=True)
+class DiskSpec:
+    """Storage subsystem at one endpoint.
+
+    Parameters
+    ----------
+    streaming_rate_mbps:
+        Sequential read (or write) bandwidth in MB/s.
+    per_file_overhead_s:
+        Seek/open/close cost charged once per file.
+    parallel_scaling:
+        Fraction of extra streaming bandwidth gained per additional
+        concurrent accessor (parallel file systems scale sublinearly;
+        0 = single-spindle disk, 1 = perfectly striped).
+    max_parallel_accessors:
+        Accessor count beyond which no further scaling happens.
+    """
+
+    streaming_rate_mbps: float = 800.0
+    per_file_overhead_s: float = 0.05
+    parallel_scaling: float = 0.3
+    max_parallel_accessors: int = 16
+
+    def __post_init__(self) -> None:
+        if self.streaming_rate_mbps <= 0:
+            raise ValueError("streaming_rate_mbps must be positive")
+        if self.per_file_overhead_s < 0:
+            raise ValueError("per_file_overhead_s must be non-negative")
+        if not 0 <= self.parallel_scaling <= 1:
+            raise ValueError("parallel_scaling must be in [0, 1]")
+        if self.max_parallel_accessors < 1:
+            raise ValueError("max_parallel_accessors must be >= 1")
+
+    def aggregate_rate_mbps(self, accessors: int) -> float:
+        """Streaming bandwidth available to ``accessors`` concurrent
+        readers/writers."""
+        if accessors < 1:
+            raise ValueError("accessors must be >= 1")
+        eff = min(accessors, self.max_parallel_accessors)
+        return self.streaming_rate_mbps * (
+            1.0 + self.parallel_scaling * (eff - 1)
+        )
+
+
+@dataclass(frozen=True)
+class FileSet:
+    """A dataset of files with a lognormal size distribution.
+
+    Parameters
+    ----------
+    n_files:
+        Number of files.
+    mean_bytes:
+        Mean file size in bytes.
+    sigma:
+        Lognormal shape parameter (0 = all files equal).
+    """
+
+    n_files: int
+    mean_bytes: float = 100 * MB
+    sigma: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_files < 1:
+            raise ValueError("n_files must be >= 1")
+        if self.mean_bytes <= 0:
+            raise ValueError("mean_bytes must be positive")
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+
+    @property
+    def total_bytes(self) -> float:
+        return self.n_files * self.mean_bytes
+
+    def sample_sizes(self, rng: np.random.Generator) -> np.ndarray:
+        """Draw the individual file sizes (mean-preserving lognormal)."""
+        if self.sigma == 0.0:
+            return np.full(self.n_files, self.mean_bytes)
+        mu = np.log(self.mean_bytes) - 0.5 * self.sigma**2
+        return rng.lognormal(mu, self.sigma, size=self.n_files)
+
+
+def disk_rate_cap_mbps(
+    disk: DiskSpec,
+    files: FileSet,
+    nc: int,
+    np_: int,
+    pp: int,
+    rtt_s: float,
+) -> float:
+    """Effective disk-to-disk rate cap for a parameter setting, MB/s.
+
+    Combines the storage bandwidth available to ``nc`` accessors with the
+    per-file cost: each file pays the disk's per-file overhead plus one
+    control-channel RTT, divided by the pipelining depth ``pp`` (``pp``
+    requests in flight hide all but ``1/pp`` of the latency) and spread
+    over ``nc * np`` streams fetching files in parallel.
+
+    The cap is the harmonic combination ``total_bytes / (streaming_time +
+    residual_per_file_time)`` expressed as a rate.
+    """
+    if pp < 1:
+        raise ValueError("pp must be >= 1")
+    if rtt_s < 0:
+        raise ValueError("rtt_s must be non-negative")
+    streams = nc * np_  # validates nc, np via multiplication below
+    if streams < 1:
+        raise ValueError("nc and np must be >= 1")
+    bandwidth = disk.aggregate_rate_mbps(nc)
+    streaming_time = files.total_bytes / (bandwidth * MB)
+    per_file = (disk.per_file_overhead_s + rtt_s) / pp
+    overhead_time = files.n_files * per_file / streams
+    total_time = streaming_time + overhead_time
+    return files.total_bytes / total_time / MB

@@ -1,0 +1,52 @@
+"""WAN network substrate.
+
+A fluid model of TCP flows sharing capacity-constrained links:
+
+* :mod:`repro.net.tcp` — steady-state per-stream rate models for the
+  congestion-control algorithms the paper discusses (Reno/AIMD, CUBIC,
+  H-TCP, Scalable TCP), plus a slow-start ramp model.
+* :mod:`repro.net.link` — links and end-to-end paths (capacity, RTT, loss).
+* :mod:`repro.net.fairshare` — progressive-filling max-min fair allocation
+  of link capacity among flows with individual rate caps.
+* :mod:`repro.net.flows` — flow groups (all streams of one transfer).
+* :mod:`repro.net.topology` — endpoints, NICs, and shared bottlenecks.
+"""
+
+from repro.net.tcp import (
+    CongestionControl,
+    TcpModel,
+    RENO,
+    CUBIC,
+    HTCP,
+    SCALABLE,
+    CC_BY_NAME,
+)
+from repro.net.link import Link, Path
+from repro.net.fairshare import max_min_fair_allocation
+from repro.net.flows import FlowGroup
+from repro.net.topology import Topology
+from repro.net.pathest import (
+    PathEstimate,
+    calibrated_hacker_prediction,
+    estimate_from_samples,
+    probe_path,
+)
+
+__all__ = [
+    "CongestionControl",
+    "TcpModel",
+    "RENO",
+    "CUBIC",
+    "HTCP",
+    "SCALABLE",
+    "CC_BY_NAME",
+    "Link",
+    "Path",
+    "max_min_fair_allocation",
+    "FlowGroup",
+    "Topology",
+    "PathEstimate",
+    "estimate_from_samples",
+    "probe_path",
+    "calibrated_hacker_prediction",
+]

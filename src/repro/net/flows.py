@@ -1,0 +1,65 @@
+"""Flow groups: the unit of bandwidth allocation.
+
+A :class:`FlowGroup` represents *all* TCP streams of one logical transfer
+(for our transfer: ``nc * np`` streams; for external traffic: ``ext.tfr``
+streams).  The fair-share allocator treats each stream as one TCP-fair
+claimant, so a group with more streams receives a proportionally larger
+share of a congested link — the mechanism by which parallel streams "claim
+the majority of available bandwidth" (paper §III-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.link import Path
+
+
+@dataclass(frozen=True)
+class FlowGroup:
+    """A set of identical TCP streams belonging to one transfer.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within one allocation round.
+    path:
+        The route all streams of the group follow.
+    n_streams:
+        Number of parallel TCP streams (>= 1).
+    group_cap_mbps:
+        Aggregate cap on the whole group in MB/s, e.g. the CPU-limited rate
+        of the processes feeding these streams.  ``inf`` if unbounded.
+    stream_cap_mbps:
+        Per-stream cap in MB/s; defaults to the path's TCP model cap when
+        ``None``.
+    """
+
+    name: str
+    path: Path
+    n_streams: int
+    group_cap_mbps: float = float("inf")
+    stream_cap_mbps: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("flow group name must be non-empty")
+        if self.n_streams < 1:
+            raise ValueError("n_streams must be >= 1")
+        if self.group_cap_mbps < 0:
+            raise ValueError("group_cap_mbps must be non-negative")
+        if self.stream_cap_mbps is not None and self.stream_cap_mbps < 0:
+            raise ValueError("stream_cap_mbps must be non-negative")
+
+    @property
+    def effective_stream_cap(self) -> float:
+        """Per-stream cap in MB/s (explicit override or path TCP model)."""
+        if self.stream_cap_mbps is not None:
+            return self.stream_cap_mbps
+        return self.path.stream_cap_mbps()
+
+    @property
+    def max_rate_mbps(self) -> float:
+        """Upper bound on the group's aggregate rate from its own caps only
+        (ignoring link contention)."""
+        return min(self.n_streams * self.effective_stream_cap, self.group_cap_mbps)

@@ -1,0 +1,110 @@
+"""Links and end-to-end paths.
+
+A :class:`Link` is a capacity-constrained resource (a NIC, a WAN segment).
+A :class:`Path` is the ordered set of links a transfer's streams traverse,
+plus path-level properties (RTT, base loss rate, TCP model).  Multiple paths
+may share links — in the paper's testbed, ANL→UChicago and ANL→TACC share
+the source NIC at ANL, which is what couples the two transfers in Fig. 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.tcp import TcpModel
+from repro.units import ms_to_s
+
+
+@dataclass(frozen=True)
+class Link:
+    """A shared capacity constraint.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within a topology.
+    capacity_mbps:
+        Usable capacity in MB/s (bytes).  E.g. a 40 Gb/s NIC is 5000 MB/s.
+    """
+
+    name: str
+    capacity_mbps: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("link name must be non-empty")
+        if self.capacity_mbps <= 0:
+            raise ValueError("capacity must be positive")
+
+
+@dataclass(frozen=True)
+class Path:
+    """An end-to-end route with TCP-relevant properties.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier, e.g. ``"anl-uchicago"``.
+    links:
+        Links traversed, in order.  Sharing a Link object (by name) with
+        another path makes the two paths compete for that capacity.
+    rtt_ms:
+        Round-trip time in milliseconds.
+    loss_rate:
+        Steady background packet-loss probability on the path.
+    loss_per_stream:
+        Self-congestion term: each active TCP stream on the path adds this
+        much to the effective loss probability.  This is what makes the
+        per-stream rate *fall* as streams are added — the paper's Fig. 1
+        observation that aggregate throughput saturates and then the
+        stream count stops paying off.
+    tcp:
+        Per-stream TCP model used on this path.
+    """
+
+    name: str
+    links: tuple[Link, ...]
+    rtt_ms: float
+    loss_rate: float = 0.0
+    loss_per_stream: float = 0.0
+    tcp: TcpModel = field(default_factory=TcpModel)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("path name must be non-empty")
+        if not self.links:
+            raise ValueError("path must traverse at least one link")
+        names = [l.name for l in self.links]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate link in path {self.name}: {names}")
+        if self.rtt_ms <= 0:
+            raise ValueError("rtt must be positive")
+        if not 0 <= self.loss_rate < 1:
+            raise ValueError("loss_rate must be in [0, 1)")
+        if self.loss_per_stream < 0:
+            raise ValueError("loss_per_stream must be non-negative")
+
+    @property
+    def rtt_s(self) -> float:
+        return ms_to_s(self.rtt_ms)
+
+    @property
+    def bottleneck_capacity_mbps(self) -> float:
+        """Capacity of the narrowest link on the path, MB/s."""
+        return min(l.capacity_mbps for l in self.links)
+
+    def effective_loss(self, total_streams: int) -> float:
+        """Loss probability with ``total_streams`` active streams on the
+        path (background loss plus self-congestion), clamped below 1."""
+        if total_streams < 0:
+            raise ValueError("total_streams must be non-negative")
+        return min(
+            0.999, self.loss_rate + self.loss_per_stream * total_streams
+        )
+
+    def stream_cap_mbps(self, total_streams: int = 1) -> float:
+        """Steady-state cap of one TCP stream on this path, MB/s, given the
+        total number of streams currently loading the path."""
+        return self.tcp.stream_cap_mbps(
+            self.rtt_s, self.effective_loss(total_streams)
+        )

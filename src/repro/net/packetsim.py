@@ -1,0 +1,283 @@
+"""Round-based packet-level TCP simulator.
+
+The fluid model (:mod:`repro.net.fairshare` + :mod:`repro.net.tcp`) treats
+per-stream rates as steady-state response functions.  This module provides
+the dynamics those response functions summarize: every stream carries a
+congestion window evolved per RTT round through slow start, congestion
+avoidance (with the increase/decrease rules of Reno, CUBIC, H-TCP and
+Scalable TCP), and loss reactions — both random background loss and
+buffer overflow at the bottleneck queue.
+
+It exists for two reasons:
+
+* **validation** — `tests/net/test_packetsim.py` checks the simulator
+  against the closed-form models (Mathis throughput, per-stream fairness)
+  and `benchmarks/bench_validation.py` compares its aggregate throughput
+  against the fluid allocation across stream counts, grounding the
+  substrate the figure benches run on;
+* **fidelity experiments** — it reproduces the AIMD sawtooth
+  under-utilization story of the paper's §III-A (a single stream leaves
+  bandwidth unused; parallel streams consume it).
+
+The model is round-based: one simulation step = one RTT.  This is the
+classic fluid-window abstraction (packets within a round are not
+individually scheduled), accurate for long flows at the
+tens-of-milliseconds RTTs the paper's paths have.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.net.tcp import CongestionControl, HTCP, RENO
+from repro.units import DEFAULT_MSS, MB
+
+
+@dataclass(frozen=True)
+class PacketPath:
+    """Bottleneck description for the packet simulator.
+
+    Parameters
+    ----------
+    capacity_mbps:
+        Bottleneck bandwidth in MB/s.
+    rtt_s:
+        Base round-trip time (propagation, excluding queueing).
+    buffer_packets:
+        Bottleneck queue size in packets; overflow causes synchronized
+        loss events.
+    loss_rate:
+        Random per-packet background loss probability.
+    mss:
+        Segment size in bytes.
+    """
+
+    capacity_mbps: float
+    rtt_s: float
+    buffer_packets: int = 2000
+    loss_rate: float = 0.0
+    mss: int = DEFAULT_MSS
+
+    def __post_init__(self) -> None:
+        if self.capacity_mbps <= 0:
+            raise ValueError("capacity must be positive")
+        if self.rtt_s <= 0:
+            raise ValueError("rtt must be positive")
+        if self.buffer_packets < 0:
+            raise ValueError("buffer_packets must be non-negative")
+        if not 0 <= self.loss_rate < 1:
+            raise ValueError("loss_rate must be in [0, 1)")
+        if self.mss <= 0:
+            raise ValueError("mss must be positive")
+
+    @property
+    def bdp_packets(self) -> float:
+        """Bandwidth-delay product in packets."""
+        return self.capacity_mbps * MB * self.rtt_s / self.mss
+
+
+#: CC-specific multiplicative decrease factors (fraction kept on loss).
+_BETA = {"reno": 0.5, "cubic": 0.7, "htcp": 0.8, "scalable": 0.875}
+
+#: Scalable TCP per-ACK additive constant (RFC draft value 0.01).
+_SCALABLE_A = 0.01
+
+#: CUBIC scaling constant (packets/s^3), standard value.
+_CUBIC_C = 0.4
+
+
+@dataclass
+class StreamState:
+    """Congestion state of one TCP stream."""
+
+    cc: CongestionControl
+    cwnd: float = 2.0             #: congestion window, packets
+    ssthresh: float = math.inf    #: slow-start threshold, packets
+    in_slow_start: bool = True
+    time_since_loss: float = 0.0  #: seconds since last loss (H-TCP, CUBIC)
+    w_max: float = 0.0            #: window at last loss (CUBIC)
+    delivered_packets: float = 0.0
+
+    def beta(self) -> float:
+        return _BETA[self.cc.name]
+
+    def on_loss(self) -> None:
+        """Multiplicative decrease + state reset."""
+        self.w_max = self.cwnd
+        self.cwnd = max(2.0, self.cwnd * self.beta())
+        self.ssthresh = self.cwnd
+        self.in_slow_start = False
+        self.time_since_loss = 0.0
+
+    def grow(self, rtt_s: float) -> None:
+        """One RTT's worth of window growth without loss."""
+        self.time_since_loss += rtt_s
+        if self.in_slow_start:
+            self.cwnd *= 2.0
+            if self.cwnd >= self.ssthresh:
+                self.cwnd = self.ssthresh
+                self.in_slow_start = False
+            return
+        name = self.cc.name
+        if name == "reno":
+            self.cwnd += 1.0
+        elif name == "scalable":
+            # +a per ACK, cwnd ACKs per RTT -> multiplicative growth.
+            self.cwnd *= 1.0 + _SCALABLE_A
+        elif name == "htcp":
+            # Leith & Shorten: alpha = 1 for the first second after loss,
+            # then 1 + 10(t - 1) + ((t - 1) / 2)^2.
+            t = self.time_since_loss
+            if t <= 1.0:
+                alpha = 1.0
+            else:
+                alpha = 1.0 + 10.0 * (t - 1.0) + ((t - 1.0) / 2.0) ** 2
+            self.cwnd += alpha
+        elif name == "cubic":
+            # w(t) = C (t - K)^3 + w_max, K = cbrt(w_max * (1-beta) / C).
+            t = self.time_since_loss
+            k = ((self.w_max * (1.0 - self.beta())) / _CUBIC_C) ** (1.0 / 3.0)
+            target = _CUBIC_C * (t - k) ** 3 + self.w_max
+            # TCP-friendly floor: at least Reno's +1/RTT.
+            self.cwnd = max(target, self.cwnd + 1.0)
+        else:  # pragma: no cover - registry is closed
+            raise ValueError(f"unknown congestion control {name!r}")
+
+
+@dataclass
+class PacketLevelSimulator:
+    """N TCP streams sharing one bottleneck, advanced one RTT per step.
+
+    Parameters
+    ----------
+    path:
+        Bottleneck parameters.
+    streams:
+        Congestion-control algorithm per stream (one entry per stream; use
+        ``[HTCP] * n`` for homogeneous flows).
+    seed:
+        RNG seed for background-loss draws.
+    """
+
+    path: PacketPath
+    streams: list[CongestionControl] = field(default_factory=lambda: [RENO])
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.streams:
+            raise ValueError("need at least one stream")
+        self.states = [StreamState(cc=cc) for cc in self.streams]
+        self.rng = np.random.default_rng(self.seed)
+        self.round = 0
+
+    # -- stepping ----------------------------------------------------------
+
+    def step(self) -> float:
+        """Advance one RTT; returns aggregate goodput this round in MB/s."""
+        path = self.path
+        capacity_per_round = path.bdp_packets  # packets servable per RTT
+
+        offered = np.array([s.cwnd for s in self.states])
+        total_offered = float(offered.sum())
+
+        # The link serves at most one BDP of packets per round; excess up
+        # to the buffer size queues (delay we fold into the round), and
+        # anything beyond the buffer is dropped.
+        delivered = offered.copy()
+        if total_offered > capacity_per_round:
+            delivered *= capacity_per_round / total_offered
+        overflow = total_offered - (capacity_per_round + path.buffer_packets)
+        congested = overflow > 0
+
+        # Loss decisions per stream: buffer overflow hits the streams
+        # proportionally (each stream's overflow-loss probability grows
+        # with its share), and background loss hits any packet.
+        for i, s in enumerate(self.states):
+            s.delivered_packets += float(delivered[i])
+            lost = False
+            if congested:
+                # P[at least one drop] for this stream this round.
+                drop_frac = overflow / total_offered
+                p_overflow = 1.0 - (1.0 - min(drop_frac, 1.0)) ** max(
+                    offered[i], 1.0
+                )
+                lost = bool(self.rng.random() < p_overflow)
+            if not lost and path.loss_rate > 0:
+                p_bg = 1.0 - (1.0 - path.loss_rate) ** max(offered[i], 1.0)
+                lost = bool(self.rng.random() < p_bg)
+            if lost:
+                s.on_loss()
+            else:
+                s.grow(path.rtt_s)
+
+        self.round += 1
+        delivered_bytes = float(delivered.sum()) * path.mss
+        return delivered_bytes / path.rtt_s / MB
+
+    def run(self, duration_s: float, *, warmup_s: float = 0.0) -> "PacketRunResult":
+        """Simulate ``duration_s`` seconds; returns goodput statistics.
+
+        ``warmup_s`` rounds are simulated but excluded from the averages
+        (slow-start transient).
+        """
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        if warmup_s < 0:
+            raise ValueError("warmup must be non-negative")
+        warmup_rounds = int(warmup_s / self.path.rtt_s)
+        rounds = max(1, int(duration_s / self.path.rtt_s))
+        per_round = np.empty(rounds)
+        baseline = [s.delivered_packets for s in self.states]
+        for _ in range(warmup_rounds):
+            self.step()
+            baseline = [s.delivered_packets for s in self.states]
+        for r in range(rounds):
+            per_round[r] = self.step()
+        per_stream_packets = np.array(
+            [s.delivered_packets - b for s, b in zip(self.states, baseline)]
+        )
+        elapsed = rounds * self.path.rtt_s
+        per_stream = per_stream_packets * self.path.mss / elapsed / MB
+        return PacketRunResult(
+            aggregate_mbps=float(per_round.mean()),
+            per_stream_mbps=per_stream,
+            rounds=rounds,
+        )
+
+
+@dataclass(frozen=True)
+class PacketRunResult:
+    """Goodput measured over a packet-level run."""
+
+    aggregate_mbps: float
+    per_stream_mbps: np.ndarray
+    rounds: int
+
+    @property
+    def jain_fairness(self) -> float:
+        """Jain's fairness index of the per-stream goodputs (1 = equal)."""
+        x = self.per_stream_mbps
+        denom = len(x) * float((x**2).sum())
+        if denom == 0:
+            return 1.0
+        return float(x.sum()) ** 2 / denom
+
+
+def aggregate_goodput_mbps(
+    n_streams: int,
+    path: PacketPath,
+    *,
+    cc: CongestionControl = HTCP,
+    duration_s: float = 120.0,
+    warmup_s: float = 20.0,
+    seed: int = 0,
+) -> float:
+    """Convenience: steady-state aggregate goodput of ``n_streams``
+    identical flows on ``path``."""
+    if n_streams < 1:
+        raise ValueError("n_streams must be >= 1")
+    sim = PacketLevelSimulator(path=path, streams=[cc] * n_streams, seed=seed)
+    return sim.run(duration_s, warmup_s=warmup_s).aggregate_mbps

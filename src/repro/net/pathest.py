@@ -1,0 +1,104 @@
+"""Path characterization from probe transfers (extension).
+
+The analytical tuners of the paper's related work need measured path
+characteristics (RTT, loss, capacity) from external instrumentation —
+their key practical drawback.  This module recovers the two quantities
+the Hacker-style model actually consumes from a handful of *probe
+transfers* the mover itself can run (the calibration transfers of Yin et
+al. [28], done with the transfer tool instead of Iperf):
+
+* the **per-stream rate** ``r`` from the low-stream-count samples, where
+  aggregate throughput grows linearly (``T ≈ r·n``);
+* the **capacity** ``C`` from the plateau of the high-stream-count
+  samples.
+
+The predicted saturating stream count is then ``C / r``, which
+:func:`calibrated_hacker_prediction` rounds to a concurrency value — a
+self-calibrating analytical baseline that needs no out-of-band tools.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+#: A probe: stream count in, epoch-average throughput (MB/s) out.
+ProbeRunner = Callable[[int], float]
+
+
+@dataclass(frozen=True)
+class PathEstimate:
+    """Characteristics recovered from probe transfers."""
+
+    per_stream_mbps: float
+    capacity_mbps: float
+    samples: tuple[tuple[int, float], ...]
+
+    @property
+    def saturating_streams(self) -> int:
+        """Streams needed to fill the estimated capacity."""
+        return max(1, int(np.ceil(self.capacity_mbps / self.per_stream_mbps)))
+
+
+def estimate_from_samples(
+    ns: Sequence[int], ts: Sequence[float]
+) -> PathEstimate:
+    """Estimate per-stream rate and capacity from (streams, MB/s) samples.
+
+    Uses the smallest stream counts for the linear slope (regression
+    through the origin) and the largest observed throughput as the
+    capacity floor — deliberately simple and monotone-robust, as probes
+    are few and noisy.
+    """
+    if len(ns) != len(ts) or len(ns) < 2:
+        raise ValueError("need >= 2 paired samples")
+    if any(n < 1 for n in ns) or any(t <= 0 for t in ts):
+        raise ValueError("samples must be positive")
+    order = np.argsort(ns)
+    ns_arr = np.asarray(ns, dtype=float)[order]
+    ts_arr = np.asarray(ts, dtype=float)[order]
+    if len(np.unique(ns_arr)) < 2:
+        raise ValueError("need at least two distinct stream counts")
+
+    # Slope from the lowest half of the stream counts (linear regime),
+    # least squares through the origin: r = sum(n t) / sum(n^2).
+    k = max(2, len(ns_arr) // 2)
+    low_n, low_t = ns_arr[:k], ts_arr[:k]
+    per_stream = float((low_n * low_t).sum() / (low_n * low_n).sum())
+
+    capacity = float(ts_arr.max())
+    # A path is at least one stream wide.
+    per_stream = min(per_stream, capacity)
+    return PathEstimate(
+        per_stream_mbps=per_stream,
+        capacity_mbps=capacity,
+        samples=tuple((int(n), float(t)) for n, t in zip(ns_arr, ts_arr)),
+    )
+
+
+def probe_path(
+    run_probe: ProbeRunner,
+    *,
+    stream_counts: Sequence[int] = (1, 2, 4, 16, 64, 128),
+) -> PathEstimate:
+    """Run probe transfers at the given stream counts and estimate."""
+    if len(stream_counts) < 2:
+        raise ValueError("need >= 2 probe points")
+    samples = [(n, float(run_probe(int(n)))) for n in stream_counts]
+    return estimate_from_samples(
+        [n for n, _ in samples], [t for _, t in samples]
+    )
+
+
+def calibrated_hacker_prediction(
+    estimate: PathEstimate, *, np_: int = 8, headroom: float = 1.0
+) -> int:
+    """Concurrency the self-calibrated analytical model would pick."""
+    if np_ < 1:
+        raise ValueError("np must be >= 1")
+    if headroom <= 0:
+        raise ValueError("headroom must be positive")
+    streams = headroom * estimate.saturating_streams
+    return max(1, round(streams / np_))

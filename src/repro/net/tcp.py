@@ -1,0 +1,172 @@
+"""Steady-state TCP throughput models per congestion-control algorithm.
+
+The paper attributes the rising branch of the throughput-vs-streams curve to
+AIMD leaving bandwidth unused: a single stream's steady-state rate is capped
+by its congestion-control response to loss and by the socket-buffer-limited
+window, so parallel streams are needed to fill a fat long pipe.  We model
+each stream's cap as::
+
+    r_stream = min(buffer_limit, loss_limit)
+
+    buffer_limit = wmax_bytes / rtt
+    loss_limit   = (mss / rtt) * C / p**e        # response-function form
+
+with the response-function constant ``C`` and loss exponent ``e`` taken per
+algorithm from the literature:
+
+* **Reno/AIMD** — Mathis et al.: ``sqrt(3/2) / sqrt(p)`` (C≈1.22, e=0.5).
+* **CUBIC** — Ha et al. 2008: rate ∝ ``(b/RTT)^0.75 / p^0.75``; we use the
+  standard response function with RTT entering at the 0.25 power overall
+  (less RTT-sensitive than Reno).
+* **H-TCP** — Leith & Shorten: aggressive additive increase as a function of
+  time-since-loss; behaves close to ``1/sqrt(p)`` but with a larger constant
+  on high-BDP paths.
+* **Scalable TCP** — Kelly 2003: multiplicative increase gives rate
+  ∝ ``1/p`` (e=1) with a small constant.
+
+These are *models of caps*, not packet-level simulations: the fluid engine
+combines them with max-min fair sharing (:mod:`repro.net.fairshare`) to get
+aggregate rates.  An ``aimd_efficiency`` factor (<1) models the sawtooth
+under-utilization that parallel streams progressively recover — the paper's
+§III-A explanation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import DEFAULT_MSS, MB
+
+
+@dataclass(frozen=True)
+class CongestionControl:
+    """Response-function description of one TCP congestion-control algorithm.
+
+    ``rate = (mss / rtt_eff) * constant / p**loss_exponent`` where
+    ``rtt_eff = rtt**rtt_exponent`` scaled so Reno (rtt_exponent=1) is the
+    reference.  ``aimd_efficiency`` is the fraction of its cap a single
+    stream achieves on average due to the sawtooth (window oscillating
+    between W*beta and W).
+    """
+
+    name: str
+    constant: float
+    loss_exponent: float
+    rtt_exponent: float
+    aimd_efficiency: float
+
+    def __post_init__(self) -> None:
+        if self.constant <= 0:
+            raise ValueError("constant must be positive")
+        if not 0 < self.loss_exponent <= 1.5:
+            raise ValueError("loss_exponent out of range")
+        if not 0 < self.aimd_efficiency <= 1:
+            raise ValueError("aimd_efficiency must be in (0, 1]")
+
+
+#: Classic Reno/NewReno AIMD.  Sawtooth between W/2 and W averages 75%.
+RENO = CongestionControl(
+    name="reno", constant=1.22, loss_exponent=0.5, rtt_exponent=1.0,
+    aimd_efficiency=0.75,
+)
+
+#: CUBIC (Linux default).  Less RTT-sensitive, gentler backoff (beta=0.7).
+CUBIC = CongestionControl(
+    name="cubic", constant=1.17, loss_exponent=0.75, rtt_exponent=0.25,
+    aimd_efficiency=0.85,
+)
+
+#: Hamilton TCP (used on the paper's testbed endpoints).
+HTCP = CongestionControl(
+    name="htcp", constant=1.80, loss_exponent=0.5, rtt_exponent=1.0,
+    aimd_efficiency=0.80,
+)
+
+#: Scalable TCP (Kelly).  MIMD; rate scales like 1/p.
+SCALABLE = CongestionControl(
+    name="scalable", constant=0.075, loss_exponent=1.0, rtt_exponent=1.0,
+    aimd_efficiency=0.90,
+)
+
+CC_BY_NAME: dict[str, CongestionControl] = {
+    cc.name: cc for cc in (RENO, CUBIC, HTCP, SCALABLE)
+}
+
+
+@dataclass(frozen=True)
+class TcpModel:
+    """Per-stream TCP rate model on a concrete path.
+
+    Parameters
+    ----------
+    cc:
+        Congestion-control algorithm.
+    mss:
+        Maximum segment size in bytes.
+    wmax_bytes:
+        Socket-buffer-limited maximum window in bytes (send/receive buffer).
+    slow_start_tau:
+        Time constant, in seconds, of the exponential ramp a restarted
+        stream follows toward its steady-state rate.
+    """
+
+    cc: CongestionControl = HTCP
+    mss: int = DEFAULT_MSS
+    wmax_bytes: float = 4.0 * MB
+    slow_start_tau: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.mss <= 0:
+            raise ValueError("mss must be positive")
+        if self.wmax_bytes <= 0:
+            raise ValueError("wmax_bytes must be positive")
+        if self.slow_start_tau <= 0:
+            raise ValueError("slow_start_tau must be positive")
+
+    def buffer_limit_mbps(self, rtt_s: float) -> float:
+        """Window-limited rate in MB/s: one window per RTT."""
+        if rtt_s <= 0:
+            raise ValueError("rtt must be positive")
+        return (self.wmax_bytes / rtt_s) / MB
+
+    def loss_limit_mbps(self, rtt_s: float, loss_rate: float) -> float:
+        """Congestion-control response-function rate in MB/s.
+
+        ``loss_rate`` is the steady background packet-loss probability; zero
+        loss means the loss limit does not bind (returns +inf).
+        """
+        if rtt_s <= 0:
+            raise ValueError("rtt must be positive")
+        if loss_rate < 0 or loss_rate >= 1:
+            raise ValueError("loss_rate must be in [0, 1)")
+        if loss_rate == 0.0:
+            return float("inf")
+        rtt_eff = rtt_s ** self.cc.rtt_exponent
+        rate_bytes = (self.mss / rtt_eff) * self.cc.constant / (
+            loss_rate ** self.cc.loss_exponent
+        )
+        return rate_bytes / MB
+
+    def stream_cap_mbps(self, rtt_s: float, loss_rate: float) -> float:
+        """Steady-state cap of a single stream in MB/s.
+
+        ``min(buffer limit, aimd_efficiency * loss limit)``: the sawtooth
+        efficiency applies only to the loss-limited branch — a stream whose
+        window is pinned at the socket-buffer maximum sees no losses and no
+        sawtooth.  This is the quantity the fair-share allocator uses as
+        the per-flow cap.
+        """
+        return min(
+            self.buffer_limit_mbps(rtt_s),
+            self.cc.aimd_efficiency * self.loss_limit_mbps(rtt_s, loss_rate),
+        )
+
+    def ramp_fraction(self, time_since_start: float) -> float:
+        """Fraction of steady-state rate reached ``time_since_start`` s after
+        a (re)start, following an exponential slow-start ramp.
+        """
+        if time_since_start < 0:
+            raise ValueError("time_since_start must be non-negative")
+        import math
+
+        return 1.0 - math.exp(-time_since_start / self.slow_start_tau)

@@ -1,0 +1,60 @@
+"""Endpoint/NIC topology.
+
+The testbed in the paper has one source NIC at ANL shared by everything
+leaving that host (our transfer, external transfers, and in Fig. 11 a second
+tuned transfer), plus distinct WAN paths to UChicago and TACC.  A
+:class:`Topology` owns the links and named paths and builds
+:class:`~repro.net.flows.FlowGroup` lists for the allocator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.link import Link, Path
+
+
+@dataclass
+class Topology:
+    """A named collection of links and paths.
+
+    Links shared between paths (same object / name) couple those paths in
+    the fair-share allocation.
+    """
+
+    links: dict[str, Link] = field(default_factory=dict)
+    paths: dict[str, Path] = field(default_factory=dict)
+
+    def add_link(self, link: Link) -> Link:
+        if link.name in self.links:
+            raise ValueError(f"duplicate link name {link.name!r}")
+        self.links[link.name] = link
+        return link
+
+    def add_path(self, path: Path) -> Path:
+        if path.name in self.paths:
+            raise ValueError(f"duplicate path name {path.name!r}")
+        for l in path.links:
+            known = self.links.get(l.name)
+            if known is None:
+                self.links[l.name] = l
+            elif known != l:
+                raise ValueError(
+                    f"path {path.name!r} redefines link {l.name!r}"
+                )
+        self.paths[path.name] = path
+        return path
+
+    def path(self, name: str) -> Path:
+        try:
+            return self.paths[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown path {name!r}; available: {sorted(self.paths)}"
+            ) from None
+
+    def shared_links(self, a: str, b: str) -> set[str]:
+        """Names of links common to paths ``a`` and ``b``."""
+        la = {l.name for l in self.path(a).links}
+        lb = {l.name for l in self.path(b).links}
+        return la & lb

@@ -1,0 +1,18 @@
+"""Shared stochastic helpers (dependency-free leaf module)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def lognormal_factor(rng: np.random.Generator, sigma: float) -> float:
+    """Draw a mean-one multiplicative lognormal noise factor.
+
+    The underlying normal has mean ``-sigma**2 / 2`` so that
+    ``E[factor] == 1`` for any ``sigma``; ``sigma == 0`` returns exactly 1.
+    """
+    if sigma < 0:
+        raise ValueError("sigma must be non-negative")
+    if sigma == 0.0:
+        return 1.0
+    return float(np.exp(rng.normal(-0.5 * sigma * sigma, sigma)))

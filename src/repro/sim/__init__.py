@@ -1,0 +1,23 @@
+"""Simulation kernel: clock, seeded RNG streams, trace recording, engine.
+
+The kernel advances a fluid network + CPU model in fixed time steps and
+drives one or more tuner-controlled transfer sessions at control-epoch
+granularity.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.rng import RngStreams
+from repro.sim.trace import EpochRecord, StepRecord, Trace
+from repro.sim.session import TransferSession
+from repro.sim.engine import Engine, EngineConfig
+
+__all__ = [
+    "SimClock",
+    "RngStreams",
+    "Trace",
+    "StepRecord",
+    "EpochRecord",
+    "TransferSession",
+    "Engine",
+    "EngineConfig",
+]

@@ -1,0 +1,55 @@
+"""Discrete simulation clock.
+
+The fluid model advances in fixed steps of ``dt`` seconds.  Using an integer
+tick counter (rather than accumulating floats) keeps epoch boundaries exact:
+``now == tick * dt`` with no drift over long runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SimClock:
+    """Fixed-step simulation clock.
+
+    Parameters
+    ----------
+    dt:
+        Step length in seconds.  Must be positive.
+    """
+
+    dt: float = 1.0
+    tick: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.dt <= 0:
+            raise ValueError(f"dt must be positive, got {self.dt}")
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self.tick * self.dt
+
+    def advance(self, nticks: int = 1) -> float:
+        """Advance the clock by ``nticks`` steps and return the new time."""
+        if nticks < 0:
+            raise ValueError("cannot advance the clock backwards")
+        self.tick += nticks
+        return self.now
+
+    def ticks_for(self, seconds: float) -> int:
+        """Number of whole ticks spanning ``seconds`` (rounded to nearest).
+
+        Raises if ``seconds`` is not an integral multiple of ``dt`` to within
+        floating-point tolerance; epoch lengths must align with the step size
+        so that epoch averages cover whole steps.
+        """
+        ratio = seconds / self.dt
+        n = round(ratio)
+        if abs(ratio - n) > 1e-9:
+            raise ValueError(
+                f"{seconds} s is not a multiple of dt={self.dt} s"
+            )
+        return n

@@ -1,0 +1,420 @@
+"""The fluid simulation engine.
+
+Advances all transfer sessions, external load, CPU scheduling, and network
+allocation in fixed time steps, and drives each session's tuner at control
+epoch boundaries.  The per-step pipeline is:
+
+1. look up the external load from the schedule;
+2. divide the source host's cores among transfer processes, dgemm threads
+   and the external transfer (:func:`repro.endpoint.cpu.fair_shares`);
+3. compute per-path effective loss from the total stream count, build one
+   :class:`~repro.net.flows.FlowGroup` per running transfer (group cap =
+   CPU-limited rate; per-stream cap = TCP model), and allocate bandwidth
+   max-min fairly (:func:`repro.net.fairshare.max_min_fair_allocation`);
+4. scale by the context-switch efficiency and the session's noise factors,
+   apply the slow-start ramp and restart dead time, move bytes;
+5. at each session's epoch boundary, report the epoch throughput to its
+   tuner (or joint controller), adopt the proposed parameters, and charge
+   the restart cost.
+
+Fig. 11's coupled transfers need no special handling: two sessions whose
+paths share the source NIC link compete in step 3 automatically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.aggregate import JointTuner
+from repro.core.base import TunerDriver
+from repro.endpoint.cpu import CpuTask, context_switch_efficiency, fair_shares
+from repro.endpoint.host import HostSpec
+from repro.endpoint.load import ExternalLoad, LoadSchedule
+from repro.gridftp.client import ClientModel
+from repro.net.fairshare import max_min_fair_allocation
+from repro.net.flows import FlowGroup
+from repro.net.topology import Topology
+from repro.sim.clock import SimClock
+from repro.noise import lognormal_factor
+from repro.sim.rng import RngStreams
+from repro.sim.session import TransferSession
+from repro.sim.trace import Trace
+from repro.units import MB
+
+#: Reserved flow-group / CPU-task names for external load.
+EXT_CMP = "ext.cmp"
+EXT_TFR = "ext.tfr"
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Simulation-wide knobs.
+
+    Parameters
+    ----------
+    dt:
+        Step length in seconds.
+    seed:
+        Root RNG seed; runs with equal seeds are bit-identical.
+    noise_sigma_epoch:
+        Lognormal sigma of the per-session, per-epoch throughput factor
+        (slow network weather the tuners must tolerate).
+    noise_sigma_step:
+        Lognormal sigma of the per-step jitter on top.
+    ext_tfr_path:
+        Path the external transfer uses; defaults to the first session's.
+    ext_streams_per_proc:
+        The external transfer runs ``max(1, ext_tfr // this)`` processes
+        (a realistic globus-url-copy invocation for large stream counts).
+    """
+
+    dt: float = 1.0
+    seed: int = 0
+    noise_sigma_epoch: float = 0.03
+    noise_sigma_step: float = 0.02
+    ext_tfr_path: str | None = None
+    ext_streams_per_proc: int = 16
+
+    def __post_init__(self) -> None:
+        if self.dt <= 0:
+            raise ValueError("dt must be positive")
+        if self.noise_sigma_epoch < 0 or self.noise_sigma_step < 0:
+            raise ValueError("noise sigmas must be non-negative")
+        if self.ext_streams_per_proc < 1:
+            raise ValueError("ext_streams_per_proc must be >= 1")
+
+
+class JointController:
+    """Drives several sessions from one joint direct-search instance.
+
+    The controller waits until *all* its sessions closed their (aligned)
+    epochs, feeds the **sum** of their observed throughputs to the joint
+    tuner, and splits the proposal back per session.
+    """
+
+    def __init__(
+        self,
+        joint: JointTuner,
+        session_names: list[str],
+        x0: tuple[int, ...],
+    ) -> None:
+        if len(session_names) != len(joint.subspaces):
+            raise ValueError("one session per subspace required")
+        if len(set(session_names)) != len(session_names):
+            raise ValueError(f"duplicate session names: {session_names}")
+        self.joint = joint
+        self.session_names = list(session_names)
+        self.driver = TunerDriver(joint.propose(
+            joint.joint_space.fbnd(x0), joint.joint_space
+        ))
+        self._pending: dict[str, float] = {}
+
+    def initial_params(self) -> dict[str, tuple[int, ...]]:
+        parts = self.joint.split(self.driver.current)
+        return dict(zip(self.session_names, parts))
+
+    def observe(
+        self, name: str, observed: float
+    ) -> dict[str, tuple[int, ...]] | None:
+        """Report one session's epoch; returns new params for all sessions
+        once every session has reported, else ``None``."""
+        if name not in self.session_names:
+            raise KeyError(f"session {name!r} not under this controller")
+        if name in self._pending:
+            raise RuntimeError(f"session {name!r} reported twice this epoch")
+        self._pending[name] = observed
+        if len(self._pending) < len(self.session_names):
+            return None
+        total = sum(self._pending.values())
+        self._pending.clear()
+        parts = self.joint.split(self.driver.observe(total))
+        return dict(zip(self.session_names, parts))
+
+
+@dataclass
+class Engine:
+    """Coupled network + CPU + tuner simulation."""
+
+    topology: Topology
+    host: HostSpec
+    sessions: list[TransferSession]
+    schedule: LoadSchedule = field(
+        default_factory=lambda: LoadSchedule.constant(ExternalLoad())
+    )
+    controllers: list[JointController] = field(default_factory=list)
+    client: ClientModel = field(default_factory=ClientModel)
+    config: EngineConfig = field(default_factory=EngineConfig)
+
+    def __post_init__(self) -> None:
+        names = [s.name for s in self.sessions]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate session names: {names}")
+        if EXT_CMP in names or EXT_TFR in names:
+            raise ValueError(
+                f"session names {EXT_CMP!r}/{EXT_TFR!r} are reserved"
+            )
+        self._by_name = {s.name: s for s in self.sessions}
+        for s in self.sessions:
+            self.topology.path(s.spec.path_name)  # validates existence
+
+        self._controller_of: dict[str, JointController] = {}
+        for ctl in self.controllers:
+            for name in ctl.session_names:
+                if name not in self._by_name:
+                    raise ValueError(f"controller references unknown {name!r}")
+                if self._by_name[name].driver is not None:
+                    raise ValueError(
+                        f"session {name!r} has its own tuner and a controller"
+                    )
+                if name in self._controller_of:
+                    raise ValueError(f"session {name!r} has two controllers")
+                self._controller_of[name] = ctl
+        for s in self.sessions:
+            if s.driver is None and s.name not in self._controller_of:
+                raise ValueError(
+                    f"session {s.name!r} has neither a tuner nor a controller"
+                )
+
+        self.clock = SimClock(self.config.dt)
+        self.rng = RngStreams(self.config.seed)
+        self._started = False
+        self._last_cmp_frac = 0.0
+
+    # -- public API ------------------------------------------------------
+
+    def run(self, until_s: float | None = None) -> dict[str, Trace]:
+        """Advance until all sessions finish (or ``until_s``); returns the
+        per-session traces."""
+        if not self._started:
+            self._initialize()
+        while not all(s.done for s in self.sessions):
+            if until_s is not None and self.clock.now >= until_s - 1e-9:
+                break
+            self._step()
+        for s in self.sessions:
+            if s.epoch_elapsed > 0:
+                s.close_epoch(start_time=self.clock.now - s.epoch_elapsed)
+        return {s.name: s.trace for s in self.sessions}
+
+    # -- setup -----------------------------------------------------------
+
+    def _initialize(self) -> None:
+        self._started = True
+        for ctl in self.controllers:
+            for name, params in ctl.initial_params().items():
+                self._by_name[name].params = params
+        # Every tool pays its initial startup cost, baseline included.
+        load = self.schedule.at(0.0)
+        shares = self._cpu_shares(load)
+        cmp_frac = shares.get(EXT_CMP, 0.0) / self.host.cores
+        for s in self.sessions:
+            s.noise_factor = lognormal_factor(
+                self.rng.throughput_noise, self.config.noise_sigma_epoch
+            )
+            s.begin_restart(
+                self.client.restart.restart_time_s(
+                    s.nc,
+                    cmp_frac,
+                    s.spec.epoch_s,
+                    rng=self.rng.restart_jitter,
+                )
+            )
+
+    # -- one step ----------------------------------------------------------
+
+    def _cpu_shares(self, load: ExternalLoad) -> dict[str, float]:
+        tasks = [
+            CpuTask(s.name, n_entities=s.nc, weight=1.0)
+            for s in self.sessions
+            if not s.done
+        ]
+        if load.ext_cmp > 0:
+            tasks.append(
+                CpuTask(
+                    EXT_CMP,
+                    n_entities=load.ext_cmp * self.host.cores,
+                    weight=self.host.dgemm_thread_weight,
+                )
+            )
+        if load.ext_tfr > 0:
+            tasks.append(
+                CpuTask(EXT_TFR, n_entities=self._ext_procs(load), weight=1.0)
+            )
+        if not tasks:
+            return {}
+        return fair_shares(tasks, self.host.cores)
+
+    def _ext_procs(self, load: ExternalLoad) -> int:
+        return max(1, load.ext_tfr // self.config.ext_streams_per_proc)
+
+    def _ext_path_name(self) -> str:
+        if self.config.ext_tfr_path is not None:
+            return self.config.ext_tfr_path
+        return self.sessions[0].spec.path_name
+
+    def _step(self) -> None:
+        dt = self.config.dt
+        t = self.clock.now
+        load = self.schedule.at(t)
+
+        shares = self._cpu_shares(load)
+        cmp_frac = shares.get(EXT_CMP, 0.0) / self.host.cores
+        self._last_cmp_frac = cmp_frac
+
+        # Sessions that will push bytes during (part of) this step.
+        live = [
+            s
+            for s in self.sessions
+            if not s.done and s.restart_remaining < dt
+        ]
+
+        # Total streams per path -> effective loss -> per-stream caps.
+        path_streams: dict[str, int] = {}
+        for s in live:
+            pn = s.spec.path_name
+            path_streams[pn] = path_streams.get(pn, 0) + s.streams
+        if load.ext_tfr > 0:
+            pn = self._ext_path_name()
+            path_streams[pn] = path_streams.get(pn, 0) + load.ext_tfr
+
+        groups: list[FlowGroup] = []
+        for s in live:
+            path = self.topology.path(s.spec.path_name)
+            stream_cap = path.stream_cap_mbps(path_streams[s.spec.path_name])
+            cpu_cap = self.client.cpu_capacity_mbps(
+                s.np_, shares.get(s.name, 0.0), self.host
+            ) * self.host.pinning_efficiency(s.nc)
+            mem_cap = self.host.memory_cap_mbps(s.nc, load.ext_cmp)
+            groups.append(
+                FlowGroup(
+                    name=s.name,
+                    path=path,
+                    n_streams=s.streams,
+                    group_cap_mbps=min(cpu_cap, mem_cap, s.disk_cap()),
+                    stream_cap_mbps=stream_cap,
+                )
+            )
+        if load.ext_tfr > 0:
+            path = self.topology.path(self._ext_path_name())
+            procs = self._ext_procs(load)
+            per_proc_streams = max(1, math.ceil(load.ext_tfr / procs))
+            cpu_cap = self.client.cpu_capacity_mbps(
+                per_proc_streams, shares.get(EXT_TFR, 0.0), self.host
+            )
+            groups.append(
+                FlowGroup(
+                    name=EXT_TFR,
+                    path=path,
+                    n_streams=load.ext_tfr,
+                    group_cap_mbps=cpu_cap,
+                    stream_cap_mbps=path.stream_cap_mbps(
+                        path_streams[self._ext_path_name()]
+                    ),
+                )
+            )
+
+        alloc = max_min_fair_allocation(groups) if groups else {}
+
+        runnable = (
+            sum(s.streams for s in live)
+            + load.ext_cmp * self.host.cores * self.host.dgemm_runnable_factor
+            + load.ext_tfr
+        )
+        eta = (
+            context_switch_efficiency(
+                runnable, self.host.cores, self.host.cs_coeff
+            )
+            if runnable > 0
+            else 1.0
+        )
+
+        # Move bytes and advance per-session clocks.
+        for s in self.sessions:
+            if s.done:
+                continue
+            run_s = dt - max(0.0, min(s.restart_remaining, dt))
+            moved = 0.0
+            if run_s > 0 and s.name in alloc:
+                tau = self.topology.path(s.spec.path_name).tcp.slow_start_tau
+                ramp = _ramp_average(tau, s.time_since_start, run_s)
+                jitter = lognormal_factor(
+                    self.rng.throughput_noise, self.config.noise_sigma_step
+                )
+                rate = alloc[s.name] * eta * s.noise_factor * jitter * ramp
+                moved = s.state.account(rate * MB * run_s, dt)
+                s.time_since_start += run_s
+            else:
+                s.state.account(0.0, dt)
+            s.record_step(time=t, rate=moved / MB / dt, bytes_moved=moved)
+            s.restart_remaining = max(0.0, s.restart_remaining - dt)
+            s.epoch_elapsed += dt
+            s.epoch_run_s += run_s
+            s.epoch_bytes += moved
+
+        self.clock.advance()
+        now = self.clock.now
+
+        # Epoch boundaries (and transfer completion) close out epochs.
+        for s in self.sessions:
+            if s.epoch_elapsed <= 0:
+                continue
+            target = s.spec.epoch_s
+            if s.epoch_index == 0:
+                target += s.spec.epoch_offset_s
+            boundary = s.epoch_elapsed >= target - 1e-9
+            if not boundary and not s.done:
+                continue
+            rec = s.close_epoch(start_time=now - s.epoch_elapsed)
+            if s.done:
+                continue
+            self._dispatch_epoch(s, rec.observed)
+
+    def _dispatch_epoch(self, s: TransferSession, observed: float) -> None:
+        """Feed the tuner/controller and apply restarts + fresh noise."""
+        if s.driver is not None:
+            self._adopt(s, s.driver.observe(observed))
+        else:
+            ctl = self._controller_of[s.name]
+            result = ctl.observe(s.name, observed)
+            if result is not None:
+                for name, params in result.items():
+                    self._adopt(self._by_name[name], params)
+
+    def _adopt(self, s: TransferSession, params: tuple[int, ...]) -> None:
+        needs_restart, warm = s.apply_params(params)
+        s.noise_factor = lognormal_factor(
+            self.rng.throughput_noise, self.config.noise_sigma_epoch
+        )
+        dead = 0.0
+        if needs_restart:
+            dead = self.client.restart.restart_time_s(
+                s.nc,
+                self._last_cmp_frac,
+                s.spec.epoch_s,
+                warm=warm,
+                rng=self.rng.restart_jitter,
+            )
+        if s.fault_model is not None and s.fault_model.draw_fault(
+            self.rng.faults
+        ):
+            dead += self.client.restart.restart_time_s(
+                s.nc,
+                self._last_cmp_frac,
+                s.spec.epoch_s,
+                rng=self.rng.restart_jitter,
+            )
+        if dead > 0:
+            s.begin_restart(
+                min(dead, s.spec.epoch_s * self.client.restart.max_fraction_of_epoch)
+            )
+
+
+def _ramp_average(tau: float, t0: float, run_s: float) -> float:
+    """Mean of the slow-start ramp ``1 - exp(-t/tau)`` over
+    ``[t0, t0 + run_s]``."""
+    if run_s <= 0:
+        return 0.0
+    return 1.0 - (tau / run_s) * (
+        math.exp(-t0 / tau) - math.exp(-(t0 + run_s) / tau)
+    )

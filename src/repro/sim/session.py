@@ -1,0 +1,247 @@
+"""Tuner-driven transfer sessions.
+
+A :class:`TransferSession` binds together one transfer
+(:class:`~repro.gridftp.transfer.TransferSpec`), the tuner controlling it,
+the mapping from tuner parameters to ``(nc, np)``, and the per-epoch
+runtime state the engine advances (restart window, ramp clock, epoch
+accumulators, trace).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.base import Tuner, TunerDriver
+from repro.core.params import ParamSpace
+from repro.gridftp.globus import FaultModel
+from repro.gridftp.transfer import TransferSpec, TransferState
+from repro.sim.trace import EpochRecord, StepRecord, Trace
+
+
+@dataclass(frozen=True)
+class ParamMap:
+    """How a tuner's parameter vector maps to the tool's (nc, np, pp).
+
+    Each of nc/np/pp either comes from a dimension of the tuned vector or
+    is fixed.  The paper's §IV-A tunes nc with np fixed at 8; §IV-B tunes
+    nc and np; the disk-to-disk extension adds pipelining depth pp.
+    """
+
+    nc_dim: int | None = 0
+    np_dim: int | None = None
+    pp_dim: int | None = None
+    fixed_nc: int = 1
+    fixed_np: int = 1
+    fixed_pp: int = 1
+
+    def __post_init__(self) -> None:
+        if self.nc_dim is None and self.fixed_nc < 1:
+            raise ValueError("fixed_nc must be >= 1")
+        if self.np_dim is None and self.fixed_np < 1:
+            raise ValueError("fixed_np must be >= 1")
+        if self.pp_dim is None and self.fixed_pp < 1:
+            raise ValueError("fixed_pp must be >= 1")
+        dims = [d for d in (self.nc_dim, self.np_dim, self.pp_dim)
+                if d is not None]
+        if len(set(dims)) != len(dims):
+            raise ValueError("nc/np/pp cannot share a dimension")
+
+    @classmethod
+    def nc_only(cls, fixed_np: int = 8) -> "ParamMap":
+        """Tune concurrency, parallelism fixed (paper §IV-A default np=8)."""
+        return cls(nc_dim=0, np_dim=None, fixed_np=fixed_np)
+
+    @classmethod
+    def nc_np(cls) -> "ParamMap":
+        """Tune concurrency (dim 0) and parallelism (dim 1), paper §IV-B."""
+        return cls(nc_dim=0, np_dim=1)
+
+    @classmethod
+    def nc_np_pp(cls) -> "ParamMap":
+        """Tune concurrency, parallelism, and pipelining (disk extension)."""
+        return cls(nc_dim=0, np_dim=1, pp_dim=2)
+
+    def nc(self, x: tuple[int, ...]) -> int:
+        return x[self.nc_dim] if self.nc_dim is not None else self.fixed_nc
+
+    def np(self, x: tuple[int, ...]) -> int:
+        return x[self.np_dim] if self.np_dim is not None else self.fixed_np
+
+    def pp(self, x: tuple[int, ...]) -> int:
+        return x[self.pp_dim] if self.pp_dim is not None else self.fixed_pp
+
+
+class TransferSession:
+    """Runtime state of one transfer under tuner control.
+
+    Parameters
+    ----------
+    spec:
+        The transfer job (name, path, size/duration, epoch length).
+    tuner:
+        Direct-search method (or ``StaticTuner`` for the default baseline).
+        ``None`` when the session is driven by a joint controller.
+    space, x0:
+        The tuned parameter domain and starting point.
+    param_map:
+        Mapping from tuned vector to (nc, np).
+    restart_each_epoch:
+        True for the paper's tuners (the tool is relaunched every control
+        epoch); False for ``default`` which launches once and runs.
+    warm_restart:
+        Extension (future work 2): reuse processes when only np changes.
+    fault_model:
+        Optional per-epoch fault injection.
+    disk_cap_fn:
+        Optional extra rate cap (MB/s) as a function of (nc, np, pp),
+        used by the disk-to-disk extension.
+    """
+
+    def __init__(
+        self,
+        spec: TransferSpec,
+        tuner: Tuner | None,
+        space: ParamSpace,
+        x0: tuple[int, ...],
+        *,
+        param_map: ParamMap | None = None,
+        restart_each_epoch: bool = True,
+        warm_restart: bool = False,
+        fault_model: FaultModel | None = None,
+        disk_cap_fn: Callable[[int, int, int], float] | None = None,
+    ) -> None:
+        self.spec = spec
+        self.space = space
+        self.param_map = param_map if param_map is not None else ParamMap()
+        self.restart_each_epoch = restart_each_epoch
+        self.warm_restart = warm_restart
+        self.fault_model = fault_model
+        self.disk_cap_fn = disk_cap_fn
+
+        self.driver: TunerDriver | None = (
+            tuner.start(x0, space) if tuner is not None else None
+        )
+        self.params: tuple[int, ...] = (
+            self.driver.current if self.driver is not None else space.fbnd(x0)
+        )
+        self._check_dims()
+
+        self.state = TransferState(spec)
+        self.trace = Trace(label=spec.name)
+
+        # Restart / ramp clocks (seconds).
+        self.restart_remaining: float = 0.0
+        self.time_since_start: float = 0.0
+
+        # Epoch accumulators.
+        self.epoch_index: int = 0
+        self.epoch_elapsed: float = 0.0
+        self.epoch_run_s: float = 0.0
+        self.epoch_bytes: float = 0.0
+        self.noise_factor: float = 1.0
+
+    def _check_dims(self) -> None:
+        for dim in (self.param_map.nc_dim, self.param_map.np_dim,
+                    self.param_map.pp_dim):
+            if dim is not None and not 0 <= dim < self.space.ndim:
+                raise ValueError(
+                    f"param_map dimension {dim} outside the {self.space.ndim}"
+                    "-dimensional space"
+                )
+
+    # -- derived quantities ------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def nc(self) -> int:
+        return self.param_map.nc(self.params)
+
+    @property
+    def np_(self) -> int:
+        return self.param_map.np(self.params)
+
+    @property
+    def pp(self) -> int:
+        return self.param_map.pp(self.params)
+
+    @property
+    def streams(self) -> int:
+        return self.nc * self.np_
+
+    @property
+    def done(self) -> bool:
+        return self.state.done
+
+    @property
+    def restarting(self) -> bool:
+        return self.restart_remaining > 0.0
+
+    def disk_cap(self) -> float:
+        """Extra cap from the disk model, or +inf when memory-to-memory."""
+        if self.disk_cap_fn is None:
+            return math.inf
+        return self.disk_cap_fn(self.nc, self.np_, self.pp)
+
+    # -- step/epoch bookkeeping (driven by the engine) ----------------------
+
+    def record_step(self, time: float, rate: float, bytes_moved: float) -> None:
+        self.trace.add_step(
+            StepRecord(
+                time=time,
+                rate=rate,
+                restarting=self.restarting,
+                bytes_moved=bytes_moved,
+            )
+        )
+
+    def close_epoch(self, start_time: float) -> EpochRecord:
+        """Summarize the finished epoch into the trace and return it."""
+        if self.epoch_elapsed <= 0:
+            raise ValueError("cannot close an empty epoch")
+        mb = self.epoch_bytes / 1e6
+        observed = mb / self.epoch_elapsed
+        best = mb / self.epoch_run_s if self.epoch_run_s > 0 else 0.0
+        rec = EpochRecord(
+            index=self.epoch_index,
+            start=start_time,
+            duration=self.epoch_elapsed,
+            params=self.params,
+            observed=observed,
+            best_case=best,
+            bytes_moved=self.epoch_bytes,
+        )
+        self.trace.add_epoch(rec)
+        self.epoch_index += 1
+        self.epoch_elapsed = 0.0
+        self.epoch_run_s = 0.0
+        self.epoch_bytes = 0.0
+        return rec
+
+    def apply_params(self, new_params: tuple[int, ...]) -> tuple[bool, bool]:
+        """Adopt the next epoch's parameters.
+
+        Returns ``(needs_restart, warm)``: whether the tool must be
+        relaunched, and whether the relaunch may reuse processes (warm).
+        """
+        if not self.space.contains(new_params):
+            raise ValueError(
+                f"tuner proposed {new_params} outside the domain"
+            )
+        old_nc, old_np = self.nc, self.np_
+        self.params = tuple(new_params)
+        changed = (self.nc, self.np_) != (old_nc, old_np)
+        if self.restart_each_epoch or changed:
+            warm = self.warm_restart and self.nc == old_nc
+            return True, warm
+        return False, False
+
+    def begin_restart(self, dead_time_s: float) -> None:
+        if dead_time_s < 0:
+            raise ValueError("dead_time_s must be non-negative")
+        self.restart_remaining = dead_time_s
+        self.time_since_start = 0.0

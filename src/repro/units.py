@@ -1,0 +1,58 @@
+"""Unit conversions and physical constants used throughout the library.
+
+The paper reports link capacities in Gb/s and throughputs in MB/s.  All
+internal rates in this library are expressed in **MB/s** (decimal megabytes,
+1 MB = 1e6 bytes) and all sizes in **bytes** unless a name says otherwise.
+Times are in **seconds**.
+"""
+
+from __future__ import annotations
+
+#: Bytes per (decimal) megabyte.
+MB = 1_000_000
+#: Bytes per (decimal) gigabyte.
+GB = 1_000_000_000
+#: Bytes per (decimal) terabyte.
+TB = 1_000_000_000_000
+
+#: Bits per byte.
+BITS_PER_BYTE = 8
+
+#: Default TCP maximum segment size in bytes (Ethernet MTU minus headers).
+DEFAULT_MSS = 1460
+
+#: Seconds per minute, for readability of scenario definitions.
+MINUTE = 60.0
+
+
+def gbps_to_mbps(gbps: float) -> float:
+    """Convert a link rate in Gb/s (bits) to MB/s (bytes).
+
+    >>> gbps_to_mbps(40.0)
+    5000.0
+    """
+    return gbps * 1000.0 / BITS_PER_BYTE
+
+
+def mbps_to_gbps(mbps: float) -> float:
+    """Convert MB/s (bytes) to Gb/s (bits).
+
+    >>> mbps_to_gbps(5000.0)
+    40.0
+    """
+    return mbps * BITS_PER_BYTE / 1000.0
+
+
+def mb_per_s_to_bytes_per_s(mbps: float) -> float:
+    """Convert MB/s to bytes/s."""
+    return mbps * MB
+
+
+def bytes_to_mb(nbytes: float) -> float:
+    """Convert a byte count to (decimal) megabytes."""
+    return nbytes / MB
+
+
+def ms_to_s(ms: float) -> float:
+    """Convert milliseconds to seconds."""
+    return ms / 1000.0

@@ -1,0 +1,149 @@
+"""Unit tests for regret/convergence metrics and the oracle sweep."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import (
+    cumulative_bytes,
+    epochs_to_fraction_of_oracle,
+    regret_curve,
+    regret_fraction,
+    search_cost_bytes,
+)
+from repro.core.base import StaticTuner
+from repro.endpoint.load import ExternalLoad
+from repro.experiments.oracle import (
+    OracleResult,
+    oracle_static_nc,
+    oracle_static_nc_np,
+)
+from repro.experiments.runner import run_single
+from repro.experiments.scenarios import ANL_UC
+from repro.sim.trace import EpochRecord, Trace
+from repro.units import MB
+
+
+def _trace(observed):
+    t = Trace()
+    for i, v in enumerate(observed):
+        t.add_epoch(
+            EpochRecord(index=i, start=30.0 * i, duration=30.0, params=(2,),
+                        observed=v, best_case=v, bytes_moved=v * 30 * MB)
+        )
+    return t
+
+
+class TestRegret:
+    def test_cumulative_bytes(self):
+        t = _trace([100.0, 200.0])
+        np.testing.assert_allclose(
+            cumulative_bytes(t), [100 * 30 * MB, 300 * 30 * MB]
+        )
+
+    def test_perfect_run_has_zero_regret(self):
+        t = _trace([500.0, 500.0, 500.0])
+        assert regret_fraction(t, 500.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_half_rate_run_has_half_regret(self):
+        t = _trace([250.0] * 4)
+        assert regret_fraction(t, 500.0) == pytest.approx(0.5)
+
+    def test_regret_curve_monotone_for_below_oracle_runs(self):
+        t = _trace([100.0, 200.0, 300.0])
+        curve = regret_curve(t, 400.0)
+        assert all(b >= a for a, b in zip(curve, curve[1:]))
+
+    def test_beating_the_oracle_clips_to_zero(self):
+        t = _trace([600.0, 600.0])
+        assert regret_fraction(t, 500.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            regret_curve(_trace([1.0]), 0.0)
+        with pytest.raises(ValueError):
+            cumulative_bytes(Trace())
+
+
+class TestSearchCost:
+    def test_transient_shortfall_counted(self):
+        t = _trace([100.0, 300.0, 500.0, 500.0, 500.0, 500.0])
+        cost = search_cost_bytes(t, tail_fraction=0.5)
+        assert cost == pytest.approx((400 + 200) * 30 * MB)
+
+    def test_flat_run_has_zero_cost(self):
+        t = _trace([500.0] * 6)
+        assert search_cost_bytes(t) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            search_cost_bytes(_trace([1.0]), tail_fraction=0.0)
+
+
+class TestEpochsToFraction:
+    def test_finds_first_crossing(self):
+        t = _trace([100.0, 300.0, 450.0, 500.0])
+        assert epochs_to_fraction_of_oracle(t, 500.0, fraction=0.8) == 2
+
+    def test_never_reached_returns_none(self):
+        t = _trace([100.0, 100.0])
+        assert epochs_to_fraction_of_oracle(t, 500.0) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            epochs_to_fraction_of_oracle(_trace([1.0]), 500.0, fraction=0.0)
+        with pytest.raises(ValueError):
+            epochs_to_fraction_of_oracle(_trace([1.0]), 0.0)
+
+
+class TestOracle:
+    def test_oracle_result_regret_fraction(self):
+        o = OracleResult(params=(8,), throughput_mbps=1000.0, evaluations=5)
+        assert o.regret_fraction(800.0) == pytest.approx(0.2)
+        assert o.regret_fraction(1200.0) == 0.0
+        with pytest.raises(ValueError):
+            OracleResult((1,), 0.0, 1).regret_fraction(1.0)
+
+    def test_oracle_finds_interior_optimum_no_load(self):
+        oracle = oracle_static_nc(
+            ANL_UC, candidates=(2, 4, 8, 16, 32), duration_s=120.0
+        )
+        # The calibrated no-load surface peaks around nc=8 at np=8.
+        assert oracle.params[0] in (4, 8)
+        assert oracle.evaluations == 5
+
+    def test_oracle_optimum_shifts_under_load(self):
+        free = oracle_static_nc(
+            ANL_UC, candidates=(2, 8, 32, 80), duration_s=120.0
+        )
+        loaded = oracle_static_nc(
+            ANL_UC, load=ExternalLoad(ext_cmp=16),
+            candidates=(2, 8, 32, 80), duration_s=120.0,
+        )
+        assert loaded.params[0] > free.params[0]
+
+    def test_oracle_beats_default(self):
+        oracle = oracle_static_nc(
+            ANL_UC, candidates=(2, 4, 8, 16), duration_s=120.0
+        )
+        default = run_single(ANL_UC, StaticTuner(), duration_s=120.0)
+        from repro.analysis.stats import steady_state_mean
+
+        assert oracle.throughput_mbps >= steady_state_mean(
+            default, tail_fraction=0.75
+        ) - 1e-6
+
+    def test_oracle_2d(self):
+        oracle = oracle_static_nc_np(
+            ANL_UC, nc_candidates=(2, 8), np_candidates=(4, 8),
+            duration_s=90.0,
+        )
+        assert len(oracle.params) == 2
+        assert oracle.evaluations == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            oracle_static_nc(ANL_UC, candidates=())
+        with pytest.raises(ValueError):
+            oracle_static_nc(ANL_UC, candidates=(9999,))
+        with pytest.raises(ValueError):
+            oracle_static_nc_np(ANL_UC, nc_candidates=())

@@ -1,0 +1,88 @@
+"""Unit tests for analysis statistics."""
+
+import pytest
+
+from repro.analysis.stats import (
+    box_stats,
+    improvement_factor,
+    steady_state_mean,
+    time_to_steady_state,
+)
+from repro.sim.trace import EpochRecord, Trace
+
+
+def _trace(observed, best=None):
+    t = Trace()
+    for i, v in enumerate(observed):
+        b = best[i] if best is not None else v
+        t.add_epoch(
+            EpochRecord(index=i, start=30.0 * i, duration=30.0, params=(2,),
+                        observed=v, best_case=b, bytes_moved=v * 30e6)
+        )
+    return t
+
+
+class TestBoxStats:
+    def test_five_numbers(self):
+        s = box_stats([1, 2, 3, 4, 5])
+        assert (s.minimum, s.median, s.maximum) == (1, 3, 5)
+        assert s.q1 == 2 and s.q3 == 4
+        assert s.mean == 3
+        assert s.iqr == 2
+
+    def test_single_sample(self):
+        s = box_stats([7.0])
+        assert s.minimum == s.median == s.maximum == 7.0
+
+    def test_rejects_empty_and_nan(self):
+        with pytest.raises(ValueError):
+            box_stats([])
+        with pytest.raises(ValueError):
+            box_stats([1.0, float("nan")])
+
+
+class TestSteadyStateMean:
+    def test_uses_tail_only(self):
+        t = _trace([0, 0, 100, 100])
+        assert steady_state_mean(t, tail_fraction=0.5) == 100.0
+
+    def test_full_trace(self):
+        t = _trace([50, 150])
+        assert steady_state_mean(t, tail_fraction=1.0) == 100.0
+
+    def test_best_case_flag(self):
+        t = _trace([100, 100], best=[200, 200])
+        assert steady_state_mean(t, best_case=True) == 200.0
+
+    def test_validation(self):
+        t = _trace([1.0])
+        with pytest.raises(ValueError):
+            steady_state_mean(t, tail_fraction=0.0)
+        with pytest.raises(ValueError):
+            steady_state_mean(Trace())
+
+
+class TestTimeToSteadyState:
+    def test_detects_transient_length(self):
+        t = _trace([10, 50, 95, 100, 102, 99, 101])
+        # Steady level ~ 100; the first epoch within 10% is index 2.
+        assert time_to_steady_state(t) == 60.0
+
+    def test_immediate_steady(self):
+        t = _trace([100, 100, 100])
+        assert time_to_steady_state(t) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            time_to_steady_state(_trace([1.0]), tolerance_pct=0.0)
+
+
+class TestImprovementFactor:
+    def test_ratio(self):
+        tuned = _trace([0, 400])
+        base = _trace([0, 100])
+        assert improvement_factor(tuned, base) == 4.0
+
+    def test_zero_baseline_raises(self):
+        with pytest.raises(ValueError):
+            improvement_factor(_trace([0, 10]), _trace([0, 0]))

@@ -1,0 +1,98 @@
+"""Shared helpers for driving tuner generators against synthetic
+throughput surfaces."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.base import Tuner
+from repro.core.params import ParamSpace
+
+Surface = Callable[[tuple[int, ...]], float]
+
+
+def drive(
+    tuner: Tuner,
+    space: ParamSpace,
+    x0: tuple[int, ...],
+    surface: Surface,
+    epochs: int,
+    *,
+    noise_sigma: float = 0.0,
+    seed: int = 0,
+) -> tuple[list[tuple[int, ...]], list[float]]:
+    """Run ``epochs`` control epochs of a tuner over a synthetic surface.
+
+    Returns the sequence of evaluated points and observed values.
+    """
+    rng = np.random.default_rng(seed)
+    driver = tuner.start(x0, space)
+    xs: list[tuple[int, ...]] = []
+    fs: list[float] = []
+    for _ in range(epochs):
+        x = driver.current
+        f = surface(x)
+        if noise_sigma > 0:
+            f *= float(np.exp(rng.normal(0.0, noise_sigma)))
+        xs.append(x)
+        fs.append(f)
+        driver.observe(f)
+    return xs, fs
+
+
+def unimodal_1d(peak: int, height: float = 1000.0, width: float = 20.0) -> Surface:
+    """Concave 1-D surface with its maximum at ``peak``."""
+
+    def f(x: tuple[int, ...]) -> float:
+        return height * float(np.exp(-((x[0] - peak) ** 2) / (2 * width**2)))
+
+    return f
+
+
+def unimodal_2d(
+    peak: tuple[int, int], height: float = 1000.0, widths: tuple[float, float] = (15.0, 5.0)
+) -> Surface:
+    """Concave 2-D surface peaked at ``peak``."""
+
+    def f(x: tuple[int, ...]) -> float:
+        z = sum(
+            ((xi - pi) ** 2) / (2 * wi**2)
+            for xi, pi, wi in zip(x, peak, widths)
+        )
+        return height * float(np.exp(-z))
+
+    return f
+
+
+def switching_surface(
+    before: Surface, after: Surface, switch_epoch: int
+) -> Callable[[int], Surface]:
+    """Time-dependent surface: ``before`` until ``switch_epoch``, then
+    ``after`` — models an external-load change."""
+
+    def at(epoch: int) -> Surface:
+        return before if epoch < switch_epoch else after
+
+    return at
+
+
+def drive_switching(
+    tuner: Tuner,
+    space: ParamSpace,
+    x0: tuple[int, ...],
+    surface_at: Callable[[int], Surface],
+    epochs: int,
+) -> tuple[list[tuple[int, ...]], list[float]]:
+    """Like :func:`drive` but the surface changes over epochs."""
+    driver = tuner.start(x0, space)
+    xs: list[tuple[int, ...]] = []
+    fs: list[float] = []
+    for c in range(epochs):
+        x = driver.current
+        f = surface_at(c)(x)
+        xs.append(x)
+        fs.append(f)
+        driver.observe(f)
+    return xs, fs

@@ -1,0 +1,78 @@
+"""Unit tests for endpoint-level joint tuning (JointTuner)."""
+
+import pytest
+
+from repro.core.aggregate import JointTuner, concat_spaces
+from repro.core.nm_tuner import NmTuner
+from repro.core.params import ParamSpace
+
+from tests.core.helpers import drive, unimodal_2d
+
+SP_A = ParamSpace(("nc", "np"), (1, 1), (64, 16))
+SP_B = ParamSpace(("nc",), (1,), (32,))
+
+
+class TestConcatSpaces:
+    def test_names_are_prefixed(self):
+        sp = concat_spaces([SP_A, SP_B], ["a", "b"])
+        assert sp.names == ("a.nc", "a.np", "b.nc")
+        assert sp.lower == (1, 1, 1)
+        assert sp.upper == (64, 16, 32)
+
+    def test_rejects_mismatched_labels(self):
+        with pytest.raises(ValueError):
+            concat_spaces([SP_A], ["a", "b"])
+
+    def test_rejects_duplicate_labels(self):
+        with pytest.raises(ValueError):
+            concat_spaces([SP_A, SP_B], ["a", "a"])
+
+
+class TestJointTuner:
+    def _joint(self):
+        return JointTuner(
+            inner=NmTuner(), subspaces=[SP_A, SP_B], labels=["a", "b"]
+        )
+
+    def test_split_and_join_roundtrip(self):
+        j = self._joint()
+        xs = [(3, 4), (7,)]
+        assert j.split(j.join(xs)) == xs
+
+    def test_split_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            self._joint().split((1, 2))
+
+    def test_join_rejects_wrong_shapes(self):
+        with pytest.raises(ValueError):
+            self._joint().join([(1, 2)])
+        with pytest.raises(ValueError):
+            self._joint().join([(1,), (2,)])
+
+    def test_propose_requires_joint_space(self):
+        j = self._joint()
+        with pytest.raises(ValueError):
+            j.propose((1, 1, 1), SP_A)
+
+    def test_name_composes_inner(self):
+        assert self._joint().name == "joint-nm-tuner"
+
+    def test_optimizes_sum_objective(self):
+        # Joint surface: transfer a peaks at (10, 4), transfer b at 20.
+        j = JointTuner(
+            inner=NmTuner(),
+            subspaces=[ParamSpace(("nc",), (1,), (64,)), SP_B],
+            labels=["a", "b"],
+        )
+        sp = j.joint_space
+        surface = unimodal_2d(peak=(10, 20), widths=(5.0, 8.0))
+        xs, _ = drive(j, sp, (2, 2), surface, epochs=80)
+        assert surface(xs[-1]) > 0.7 * surface((10, 20))
+
+    def test_proposals_stay_in_joint_space(self):
+        j = self._joint()
+        sp = j.joint_space
+        xs, _ = drive(j, sp, (2, 8, 2),
+                      unimodal_2d(peak=(100, 20, 60), widths=(20., 6., 15.)),
+                      epochs=60)
+        assert all(sp.contains(x) for x in xs)

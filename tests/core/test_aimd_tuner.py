@@ -1,0 +1,75 @@
+"""Unit tests for the Ito et al. AIMD/MIMD adaptation baseline."""
+
+import pytest
+
+from repro.core.aimd_tuner import AimdTuner
+from repro.core.params import ParamSpace
+
+from tests.core.helpers import drive, drive_switching, unimodal_1d
+
+SPACE = ParamSpace(("nc",), (1,), (128,))
+
+
+class TestAimd:
+    def test_additive_climb(self):
+        xs, _ = drive(AimdTuner(), SPACE, (2,),
+                      unimodal_1d(peak=40, width=15), epochs=30)
+        diffs = [b[0] - a[0] for a, b in zip(xs, xs[1:])]
+        assert max(diffs) == 1  # additive increase only
+
+    def test_multiplicative_backoff_after_overshoot(self):
+        # Sharp peak: pushing past it triggers a halving.
+        xs, _ = drive(AimdTuner(), SPACE, (20,),
+                      unimodal_1d(peak=10, width=3), epochs=20)
+        values = [x[0] for x in xs]
+        drops = [b / a for a, b in zip(values, values[1:]) if b < a]
+        assert drops and min(drops) <= 0.6
+
+    def test_sawtooth_around_peak(self):
+        # AIMD never settles: expect continued movement late in the run.
+        xs, _ = drive(AimdTuner(probe_interval=2), SPACE, (2,),
+                      unimodal_1d(peak=20, width=8), epochs=80)
+        tail = xs[-15:]
+        assert len(set(tail)) > 1
+
+    def test_probes_up_when_flat(self):
+        xs, _ = drive(AimdTuner(probe_interval=3), SPACE, (10,),
+                      lambda x: 500.0, epochs=20)
+        assert max(x[0] for x in xs) > 11
+
+    def test_reclaims_after_external_change(self):
+        before = unimodal_1d(peak=15, width=6)
+        after = unimodal_1d(peak=60, width=20)
+        xs, _ = drive_switching(
+            AimdTuner(), SPACE, (2,),
+            lambda c: before if c < 30 else after, epochs=150,
+        )
+        assert max(x[0] for x in xs[30:]) > 30
+
+    def test_mimd_variant_grows_faster(self):
+        surface = unimodal_1d(peak=100, width=40)
+        a, _ = drive(AimdTuner(), SPACE, (2,), surface, epochs=12)
+        m, _ = drive(AimdTuner(multiplicative_increase=True), SPACE, (2,),
+                     surface, epochs=12)
+        assert max(x[0] for x in m) > max(x[0] for x in a)
+
+    def test_names(self):
+        assert AimdTuner().name == "aimd-tuner"
+        assert AimdTuner(multiplicative_increase=True).name == "mimd-tuner"
+
+    def test_bounds(self):
+        xs, _ = drive(AimdTuner(multiplicative_increase=True), SPACE, (100,),
+                      unimodal_1d(peak=500), epochs=30)
+        assert all(SPACE.contains(x) for x in xs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AimdTuner(eps_pct=-1)
+        with pytest.raises(ValueError):
+            AimdTuner(increase=0)
+        with pytest.raises(ValueError):
+            AimdTuner(decrease_factor=1.0)
+        with pytest.raises(ValueError):
+            AimdTuner(probe_interval=0)
+        with pytest.raises(ValueError):
+            AimdTuner(mi_factor=1.0)

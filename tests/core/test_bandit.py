@@ -1,0 +1,92 @@
+"""Unit tests for the discounted-UCB bandit tuner."""
+
+import pytest
+
+from repro.core.bandit import BanditTuner, geometric_grid
+from repro.core.params import ParamSpace
+
+from tests.core.helpers import drive, drive_switching, unimodal_1d
+
+SPACE = ParamSpace(("nc",), (1,), (128,))
+
+
+class TestGeometricGrid:
+    def test_endpoints_included(self):
+        g = geometric_grid(1, 128, 8)
+        assert g[0] == 1 and g[-1] == 128
+
+    def test_strictly_increasing_and_deduped(self):
+        g = geometric_grid(1, 10, 20)  # more arms than integers
+        assert all(b > a for a, b in zip(g, g[1:]))
+        assert len(g) <= 10
+
+    def test_single_arm(self):
+        assert geometric_grid(4, 100, 1) == (4,)
+        assert geometric_grid(5, 5, 7) == (5,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            geometric_grid(0, 10, 3)
+        with pytest.raises(ValueError):
+            geometric_grid(10, 5, 3)
+        with pytest.raises(ValueError):
+            geometric_grid(1, 10, 0)
+
+
+class TestBanditTuner:
+    def test_initial_phase_plays_every_arm(self):
+        t = BanditTuner(n_arms=6)
+        xs, _ = drive(t, SPACE, (2,), unimodal_1d(peak=30), epochs=6)
+        assert len(set(xs)) == 6
+
+    def test_concentrates_on_the_best_arm(self):
+        t = BanditTuner(n_arms=8, discount=1.0, exploration=0.3)
+        surface = unimodal_1d(peak=30, width=10, height=1000)
+        xs, _ = drive(t, SPACE, (2,), surface, epochs=120)
+        tail = xs[-40:]
+        # The modal arm of the tail should score near the peak.
+        modal = max(set(tail), key=tail.count)
+        assert surface(modal) > 0.6 * surface((30,))
+
+    def test_discounting_tracks_a_moving_peak(self):
+        before = unimodal_1d(peak=8, width=4, height=1000)
+        after = unimodal_1d(peak=64, width=20, height=1000)
+        t = BanditTuner(n_arms=8, discount=0.9, exploration=0.8, seed=1)
+        xs, _ = drive_switching(
+            t, SPACE, (2,), lambda c: before if c < 60 else after,
+            epochs=200,
+        )
+        tail = xs[-30:]
+        modal = max(set(tail), key=tail.count)
+        assert after(modal) > 0.5 * after((64,))
+
+    def test_all_plays_inside_domain(self):
+        t = BanditTuner(n_arms=12, seed=3)
+        xs, _ = drive(t, SPACE, (1,), unimodal_1d(peak=500), epochs=80,
+                      noise_sigma=0.2, seed=3)
+        assert all(SPACE.contains(x) for x in xs)
+
+    def test_second_dimension_stays_fixed(self):
+        space2 = ParamSpace(("nc", "np"), (1, 1), (64, 32))
+        t = BanditTuner(n_arms=5)
+        xs, _ = drive(t, space2, (2, 8), lambda x: float(x[0]), epochs=30)
+        assert {x[1] for x in xs} == {8}
+
+    def test_zero_throughput_everywhere_is_survivable(self):
+        t = BanditTuner(n_arms=4)
+        xs, _ = drive(t, SPACE, (2,), lambda x: 0.0, epochs=30)
+        assert all(SPACE.contains(x) for x in xs)
+
+    def test_deterministic_under_seed(self):
+        surface = unimodal_1d(peak=20, width=8)
+        a, _ = drive(BanditTuner(seed=5), SPACE, (2,), surface, epochs=50)
+        b, _ = drive(BanditTuner(seed=5), SPACE, (2,), surface, epochs=50)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BanditTuner(n_arms=0)
+        with pytest.raises(ValueError):
+            BanditTuner(discount=0.0)
+        with pytest.raises(ValueError):
+            BanditTuner(exploration=-1)

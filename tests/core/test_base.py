@@ -1,0 +1,44 @@
+"""Unit tests for the Tuner protocol, TunerDriver, and StaticTuner."""
+
+import pytest
+
+from repro.core.base import StaticTuner, TunerDriver
+from repro.core.params import ParamSpace
+
+SPACE = ParamSpace(("nc",), (1,), (100,))
+
+
+class TestStaticTuner:
+    def test_holds_starting_point_forever(self):
+        d = StaticTuner().start((7,), SPACE)
+        assert d.current == (7,)
+        for _ in range(5):
+            assert d.observe(100.0) == (7,)
+
+    def test_explicit_params_override_x0(self):
+        d = StaticTuner(params=(2,)).start((50,), SPACE)
+        assert d.current == (2,)
+        assert d.observe(1.0) == (2,)
+
+    def test_params_are_bounded(self):
+        d = StaticTuner(params=(9999,)).start((1,), SPACE)
+        assert d.current == (100,)
+
+    def test_x0_is_bounded(self):
+        d = StaticTuner().start((0,), SPACE)
+        assert d.current == (1,)
+
+    def test_name(self):
+        assert StaticTuner().name == "default"
+
+
+class TestTunerDriver:
+    def test_rejects_negative_throughput(self):
+        d = StaticTuner().start((5,), SPACE)
+        with pytest.raises(ValueError):
+            d.observe(-1.0)
+
+    def test_current_tracks_last_proposal(self):
+        d = StaticTuner().start((5,), SPACE)
+        out = d.observe(10.0)
+        assert out == d.current

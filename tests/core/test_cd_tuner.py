@@ -1,0 +1,101 @@
+"""Unit tests for cd-tuner (Algorithm 1)."""
+
+import pytest
+
+from repro.core.cd_tuner import CdTuner
+from repro.core.params import ParamSpace
+
+from tests.core.helpers import drive, drive_switching, unimodal_1d, unimodal_2d
+
+SPACE = ParamSpace(("nc",), (1,), (128,))
+SPACE_2D = ParamSpace(("nc", "np"), (1, 1), (128, 32))
+
+
+class TestUnitSteps:
+    def test_first_two_evaluations_are_x0_and_x0_plus_one(self):
+        xs, _ = drive(CdTuner(), SPACE, (2,), unimodal_1d(peak=40), epochs=2)
+        assert xs == [(2,), (3,)]
+
+    def test_moves_by_at_most_one_per_epoch(self):
+        xs, _ = drive(CdTuner(), SPACE, (2,), unimodal_1d(peak=40), epochs=30)
+        for a, b in zip(xs, xs[1:]):
+            assert abs(b[0] - a[0]) <= 1
+
+    def test_climbs_toward_peak(self):
+        xs, _ = drive(CdTuner(), SPACE, (2,), unimodal_1d(peak=20, width=8),
+                      epochs=40)
+        assert xs[-1][0] >= 17
+
+    def test_descends_when_started_above_peak(self):
+        xs, _ = drive(CdTuner(), SPACE, (60,), unimodal_1d(peak=20, width=8),
+                      epochs=60)
+        assert xs[-1][0] <= 25
+
+    def test_holds_on_flat_surface(self):
+        xs, _ = drive(CdTuner(), SPACE, (10,), lambda x: 500.0, epochs=20)
+        # After the initial probe (10 -> 11), nothing is significant, so
+        # the value never moves again.
+        assert set(xs[2:]) == {(11,)}
+
+    def test_reacts_to_external_change_while_holding(self):
+        # Flat at first, then the surface level shifts by 50% -> the
+        # "same x, significant delta" rule must trigger an increase.
+        surface_at = lambda c: (
+            (lambda x: 500.0) if c < 10 else (lambda x: 750.0)
+        )
+        xs, _ = drive_switching(CdTuner(), SPACE, (10,), surface_at, epochs=14)
+        assert xs[11][0] == xs[10][0] + 1
+
+    def test_never_leaves_bounds(self):
+        xs, _ = drive(CdTuner(), SPACE, (1,), unimodal_1d(peak=500),
+                      epochs=200)
+        assert all(SPACE.contains(x) for x in xs)
+        xs, _ = drive(CdTuner(), SPACE, (128,), unimodal_1d(peak=1),
+                      epochs=50)
+        assert all(SPACE.contains(x) for x in xs)
+
+
+class TestMultiParameter:
+    def test_cycles_to_second_dimension_when_stable(self):
+        # dim 0 is nearly flat around the start (unit steps insignificant),
+        # so it goes stable and the tuner must eventually probe dim 1.
+        xs, _ = drive(
+            CdTuner(stable_epochs_to_switch=2),
+            SPACE_2D,
+            (2, 1),
+            unimodal_2d(peak=(2, 10), widths=(12.0, 5.0)),
+            epochs=40,
+        )
+        np_values = {x[1] for x in xs}
+        assert len(np_values) > 1
+
+    def test_improves_both_dimensions(self):
+        xs, fs = drive(
+            CdTuner(stable_epochs_to_switch=2),
+            SPACE_2D,
+            (2, 2),
+            unimodal_2d(peak=(10, 6), widths=(5.0, 3.0)),
+            epochs=80,
+        )
+        surface = unimodal_2d(peak=(10, 6), widths=(5.0, 3.0))
+        assert surface(xs[-1]) > surface((2, 2)) * 1.5
+
+    def test_2d_points_stay_in_bounds(self):
+        xs, _ = drive(
+            CdTuner(), SPACE_2D, (1, 1),
+            unimodal_2d(peak=(200, 50)), epochs=100,
+        )
+        assert all(SPACE_2D.contains(x) for x in xs)
+
+
+class TestValidation:
+    def test_rejects_bad_eps(self):
+        with pytest.raises(ValueError):
+            CdTuner(eps_pct=-1.0)
+
+    def test_rejects_bad_switch_horizon(self):
+        with pytest.raises(ValueError):
+            CdTuner(stable_epochs_to_switch=0)
+
+    def test_name(self):
+        assert CdTuner().name == "cd-tuner"

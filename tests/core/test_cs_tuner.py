@@ -1,0 +1,101 @@
+"""Unit tests for cs-tuner (Algorithm 2)."""
+
+import pytest
+
+from repro.core.cs_tuner import CsTuner
+from repro.core.params import ParamSpace
+
+from tests.core.helpers import drive, drive_switching, unimodal_1d, unimodal_2d
+
+SPACE = ParamSpace(("nc",), (1,), (128,))
+SPACE_2D = ParamSpace(("nc", "np"), (1, 1), (128, 32))
+
+
+class TestCompassSearch:
+    def test_first_probe_is_lambda_away(self):
+        xs, _ = drive(CsTuner(lam0=8.0), SPACE, (2,), unimodal_1d(peak=40),
+                      epochs=2)
+        assert xs[0] == (2,)
+        assert abs(xs[1][0] - 2) == 8
+
+    def test_converges_near_peak(self):
+        xs, _ = drive(CsTuner(lam0=8.0, seed=3), SPACE, (2,),
+                      unimodal_1d(peak=40, width=12), epochs=40)
+        assert abs(xs[-1][0] - 40) <= 4
+
+    def test_large_lambda_beats_unit_steps_early(self):
+        # From x0=2 to a peak at 60, compass reaches >=30 within 10 epochs.
+        xs, _ = drive(CsTuner(lam0=8.0, seed=0), SPACE, (2,),
+                      unimodal_1d(peak=60, width=20), epochs=10)
+        assert max(x[0] for x in xs) >= 30
+
+    def test_settles_and_monitors_at_incumbent(self):
+        xs, _ = drive(CsTuner(seed=1), SPACE, (2,),
+                      unimodal_1d(peak=30, width=10), epochs=60)
+        # Once lambda collapses, the tuner repeats the incumbent.
+        tail = xs[-5:]
+        assert len(set(tail)) == 1
+
+    def test_retriggers_search_on_surface_change(self):
+        before = unimodal_1d(peak=20, width=8, height=1000)
+        after = unimodal_1d(peak=60, width=8, height=1000)
+        surface_at = lambda c: before if c < 40 else after
+        xs, _ = drive_switching(CsTuner(seed=2), SPACE, (2,), surface_at,
+                                epochs=110)
+        assert abs(xs[-1][0] - 60) <= 8
+
+    def test_never_leaves_bounds(self):
+        for seed in range(5):
+            xs, _ = drive(CsTuner(seed=seed), SPACE, (1,),
+                          unimodal_1d(peak=500), epochs=80)
+            assert all(SPACE.contains(x) for x in xs)
+
+    def test_skips_degenerate_probes_at_corner(self):
+        # x0 at the lower bound: -lambda probes project back onto x0 and
+        # must be skipped, not evaluated (no duplicate consecutive points
+        # while searching).
+        xs, _ = drive(CsTuner(seed=0), SPACE, (1,),
+                      unimodal_1d(peak=1, width=3), epochs=20)
+        assert all(SPACE.contains(x) for x in xs)
+
+    def test_2d_converges(self):
+        xs, _ = drive(CsTuner(seed=4), SPACE_2D, (2, 8),
+                      unimodal_2d(peak=(30, 4), widths=(10.0, 3.0)),
+                      epochs=80)
+        surface = unimodal_2d(peak=(30, 4), widths=(10.0, 3.0))
+        assert surface(xs[-1]) > 0.8 * surface((30, 4))
+
+
+class TestRestartFrom:
+    def test_restart_from_x0_returns_to_origin(self):
+        before = unimodal_1d(peak=40, width=10)
+        after = unimodal_1d(peak=40, width=10, height=2000)
+        surface_at = lambda c: before if c < 50 else after
+        tuner = CsTuner(seed=0, restart_from="x0")
+        xs, _ = drive_switching(tuner, SPACE, (2,), surface_at, epochs=60)
+        # After the jump in level, the search restarts at x0=2.
+        assert (2,) in xs[50:]
+
+    def test_invalid_restart_from(self):
+        with pytest.raises(ValueError):
+            CsTuner(restart_from="elsewhere")
+
+
+class TestValidation:
+    def test_rejects_bad_lambda(self):
+        with pytest.raises(ValueError):
+            CsTuner(lam0=0.5)
+
+    def test_rejects_bad_eps(self):
+        with pytest.raises(ValueError):
+            CsTuner(eps_pct=-1.0)
+
+    def test_name(self):
+        assert CsTuner().name == "cs-tuner"
+
+    def test_seed_reproducibility(self):
+        a, _ = drive(CsTuner(seed=7), SPACE, (2,), unimodal_1d(peak=33),
+                     epochs=40)
+        b, _ = drive(CsTuner(seed=7), SPACE, (2,), unimodal_1d(peak=33),
+                     epochs=40)
+        assert a == b

@@ -1,0 +1,142 @@
+"""Unit tests for the extension tuners: Hooke-Jeeves, SPSA,
+golden-section."""
+
+import pytest
+
+from repro.core.gss_tuner import GssTuner
+from repro.core.hj_tuner import HjTuner
+from repro.core.params import ParamSpace
+from repro.core.spsa_tuner import SpsaTuner, recommended_gains
+
+from tests.core.helpers import drive, drive_switching, unimodal_1d, unimodal_2d
+
+SPACE = ParamSpace(("nc",), (1,), (128,))
+SPACE_2D = ParamSpace(("nc", "np"), (1, 1), (128, 32))
+
+
+class TestHjTuner:
+    def test_converges_near_1d_peak(self):
+        xs, _ = drive(HjTuner(), SPACE, (2,), unimodal_1d(peak=40, width=12),
+                      epochs=60)
+        assert abs(xs[-1][0] - 40) <= 6
+
+    def test_pattern_move_accelerates_across_ridges(self):
+        # A far peak: the pattern move should reach it markedly faster
+        # than 1-per-epoch coordinate descent would.
+        xs, _ = drive(HjTuner(), SPACE, (2,), unimodal_1d(peak=100, width=30),
+                      epochs=25)
+        assert max(x[0] for x in xs) >= 60
+
+    def test_2d_convergence(self):
+        surface = unimodal_2d(peak=(30, 6), widths=(10.0, 4.0))
+        xs, _ = drive(HjTuner(), SPACE_2D, (2, 8), surface, epochs=80)
+        assert surface(xs[-1]) > 0.75 * surface((30, 6))
+
+    def test_monitors_and_retriggers(self):
+        before = unimodal_1d(peak=15, width=6)
+        after = unimodal_1d(peak=70, width=10)
+        xs, _ = drive_switching(
+            HjTuner(), SPACE, (2,),
+            lambda c: before if c < 40 else after, epochs=120,
+        )
+        assert abs(xs[-1][0] - 70) <= 12
+
+    def test_bounds(self):
+        xs, _ = drive(HjTuner(), SPACE_2D, (128, 32),
+                      unimodal_2d(peak=(1, 1)), epochs=80)
+        assert all(SPACE_2D.contains(x) for x in xs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HjTuner(eps_pct=-1)
+        with pytest.raises(ValueError):
+            HjTuner(step0=0.5)
+
+
+class TestSpsaTuner:
+    def test_climbs_1d_peak(self):
+        xs, _ = drive(SpsaTuner(seed=1), SPACE, (2,),
+                      unimodal_1d(peak=60, width=25), epochs=120)
+        tail = [x[0] for x in xs[-20:]]
+        assert sum(tail) / len(tail) > 35
+
+    def test_tracks_2d_surface(self):
+        surface = unimodal_2d(peak=(40, 8), widths=(15.0, 6.0))
+        xs, _ = drive(SpsaTuner(seed=2), SPACE_2D, (2, 2), surface,
+                      epochs=160)
+        tail = xs[-20:]
+        mean_val = sum(surface(x) for x in tail) / len(tail)
+        assert mean_val > 0.5 * surface((40, 8))
+
+    def test_stays_adaptive_after_many_epochs(self):
+        # Floored gains: the perturbation never collapses to zero, so the
+        # proposals keep moving even late in the run.
+        xs, _ = drive(SpsaTuner(seed=3), SPACE, (30,),
+                      unimodal_1d(peak=30, width=10), epochs=300)
+        assert len(set(xs[-30:])) > 1
+
+    def test_robust_to_noise(self):
+        xs, _ = drive(SpsaTuner(seed=4), SPACE, (2,),
+                      unimodal_1d(peak=50, width=20), epochs=200,
+                      noise_sigma=0.1, seed=4)
+        tail = [x[0] for x in xs[-30:]]
+        assert sum(tail) / len(tail) > 25
+
+    def test_bounds(self):
+        xs, _ = drive(SpsaTuner(seed=5), SPACE_2D, (1, 1),
+                      unimodal_2d(peak=(500, 100)), epochs=100)
+        assert all(SPACE_2D.contains(x) for x in xs)
+
+    def test_recommended_gains_scale_with_domain(self):
+        small = recommended_gains(ParamSpace(("x",), (1,), (8,)))
+        large = recommended_gains(ParamSpace(("x",), (1,), (512,)))
+        assert large["a0"] > small["a0"]
+        point = recommended_gains(ParamSpace(("x",), (3,), (3,)))
+        assert point["a0"] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpsaTuner(a0=0)
+        with pytest.raises(ValueError):
+            SpsaTuner(alpha=0)
+        with pytest.raises(ValueError):
+            SpsaTuner(a_min=-1)
+
+
+class TestGssTuner:
+    def test_rejects_multidimensional_spaces(self):
+        driver_gen = GssTuner().propose((1, 1), SPACE_2D)
+        with pytest.raises(ValueError):
+            next(driver_gen)
+
+    def test_finds_unimodal_peak(self):
+        xs, _ = drive(GssTuner(), SPACE, (2,),
+                      unimodal_1d(peak=45, width=15), epochs=40)
+        assert abs(xs[-1][0] - 45) <= 5
+
+    def test_golden_bracketing_is_frugal(self):
+        # log_phi(128) ~ 10: the bracket collapses within ~14 epochs and
+        # the tuner settles into monitoring.
+        xs, _ = drive(GssTuner(), SPACE, (2,),
+                      unimodal_1d(peak=90, width=25), epochs=30)
+        tail = xs[-10:]
+        assert len(set(tail)) == 1
+        assert abs(tail[0][0] - 90) <= 8
+
+    def test_retriggers_on_change(self):
+        before = unimodal_1d(peak=20, width=8)
+        after = unimodal_1d(peak=100, width=20)
+        xs, _ = drive_switching(
+            GssTuner(), SPACE, (2,),
+            lambda c: before if c < 30 else after, epochs=80,
+        )
+        assert abs(xs[-1][0] - 100) <= 10
+
+    def test_bounds(self):
+        xs, _ = drive(GssTuner(), SPACE, (1,), unimodal_1d(peak=1, width=4),
+                      epochs=40)
+        assert all(SPACE.contains(x) for x in xs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GssTuner(eps_pct=-1)

@@ -1,0 +1,103 @@
+"""Unit tests for the baseline heuristics (heur1, heur2, defaults)."""
+
+import pytest
+
+from repro.core.heuristics import (
+    Heur1Tuner,
+    Heur2Tuner,
+    default_globus_params,
+)
+from repro.core.params import ParamSpace
+
+from tests.core.helpers import drive, unimodal_1d, unimodal_2d
+
+SPACE = ParamSpace(("nc",), (1,), (128,))
+SPACE_2D = ParamSpace(("nc", "np"), (1, 1), (128, 32))
+
+
+def test_globus_defaults_match_paper():
+    assert default_globus_params() == (2, 8)
+
+
+class TestHeur1:
+    def test_additive_climb_while_improving(self):
+        xs, _ = drive(Heur1Tuner(), SPACE, (2,), unimodal_1d(peak=30, width=6),
+                      epochs=25)
+        diffs = [b[0] - a[0] for a, b in zip(xs, xs[1:])]
+        assert all(d in (0, 1) for d in diffs)       # never decreases
+        assert xs[-1][0] > 10                        # did climb
+
+    def test_no_decrease_rule(self):
+        # Start above the peak: additive increase never helps, and heur1
+        # has no decrement, so it freezes near the start.
+        xs, _ = drive(Heur1Tuner(), SPACE, (60,), unimodal_1d(peak=10, width=5),
+                      epochs=30)
+        assert min(x[0] for x in xs) >= 60
+
+    def test_slower_than_exponential_rampup(self):
+        surface = unimodal_1d(peak=100, width=40)
+        xs1, _ = drive(Heur1Tuner(), SPACE, (2,), surface, epochs=15)
+        xs2, _ = drive(Heur2Tuner(), SPACE, (2,), surface, epochs=15)
+        assert max(x[0] for x in xs2) > max(x[0] for x in xs1)
+
+    def test_2d_cycles_dimensions(self):
+        xs, _ = drive(Heur1Tuner(stable_epochs_to_switch=2), SPACE_2D, (2, 2),
+                      unimodal_2d(peak=(20, 10), widths=(8.0, 4.0)),
+                      epochs=60)
+        assert len({x[1] for x in xs}) > 1
+
+    def test_bounds_respected(self):
+        xs, _ = drive(Heur1Tuner(), SPACE, (127,), unimodal_1d(peak=500),
+                      epochs=20)
+        assert all(SPACE.contains(x) for x in xs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Heur1Tuner(eps_pct=-1)
+        with pytest.raises(ValueError):
+            Heur1Tuner(increment=0)
+
+
+class TestHeur2:
+    def test_doubles_while_improving(self):
+        xs, _ = drive(Heur2Tuner(), SPACE, (2,),
+                      unimodal_1d(peak=100, width=40), epochs=8)
+        values = [x[0] for x in xs]
+        assert values[:4] == [2, 4, 8, 16]
+
+    def test_reverts_one_step_on_significant_drop(self):
+        # Sharp peak at 16: doubling 16 -> 32 collapses throughput, and the
+        # heuristic must fall back to 16 and hold.
+        xs, _ = drive(Heur2Tuner(), SPACE, (2,),
+                      unimodal_1d(peak=16, width=4), epochs=20)
+        assert xs[-1] == (16,)
+
+    def test_never_goes_below_start(self):
+        # The paper's criticism: started above the critical value, heur2
+        # cannot decrease.
+        xs, _ = drive(Heur2Tuner(), SPACE, (64,),
+                      unimodal_1d(peak=4, width=2), epochs=20)
+        assert min(x[0] for x in xs) >= 64
+
+    def test_terminal_hold(self):
+        xs, _ = drive(Heur2Tuner(), SPACE, (2,),
+                      unimodal_1d(peak=10, width=3), epochs=30)
+        assert len(set(xs[-5:])) == 1
+
+    def test_2d_tunes_both_dimensions(self):
+        xs, _ = drive(Heur2Tuner(), SPACE_2D, (2, 2),
+                      unimodal_2d(peak=(16, 8), widths=(8.0, 4.0)),
+                      epochs=40)
+        assert len({x[0] for x in xs}) > 1
+        assert len({x[1] for x in xs}) > 1
+
+    def test_bounds_respected(self):
+        xs, _ = drive(Heur2Tuner(), SPACE, (100,), unimodal_1d(peak=500),
+                      epochs=20)
+        assert all(SPACE.contains(x) for x in xs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Heur2Tuner(eps_pct=-1)
+        with pytest.raises(ValueError):
+            Heur2Tuner(factor=1)

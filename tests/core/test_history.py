@@ -1,0 +1,70 @@
+"""Unit tests for EpochHistory and the Δc significant-change test."""
+
+import math
+
+import pytest
+
+from repro.core.history import EpochHistory, delta_pct
+
+
+class TestDeltaPct:
+    def test_positive_change(self):
+        assert delta_pct(110.0, 100.0) == pytest.approx(10.0)
+
+    def test_negative_change(self):
+        assert delta_pct(90.0, 100.0) == pytest.approx(-10.0)
+
+    def test_no_change(self):
+        assert delta_pct(100.0, 100.0) == 0.0
+
+    def test_zero_baseline_with_change_is_infinite(self):
+        assert math.isinf(delta_pct(5.0, 0.0))
+
+    def test_zero_to_zero_is_no_change(self):
+        assert delta_pct(0.0, 0.0) == 0.0
+
+
+class TestEpochHistory:
+    def test_record_and_access(self):
+        h = EpochHistory()
+        h.record((2,), 100.0)
+        h.record((3,), 120.0)
+        assert len(h) == 2
+        assert h.last_point == (3,)
+        assert h.last_value == 120.0
+
+    def test_delta_needs_two_epochs(self):
+        h = EpochHistory()
+        h.record((2,), 100.0)
+        with pytest.raises(ValueError):
+            h.delta()
+
+    def test_delta_and_significance(self):
+        h = EpochHistory()
+        h.record((2,), 100.0)
+        h.record((3,), 104.0)
+        assert h.delta() == pytest.approx(4.0)
+        assert not h.significant(5.0)
+        h.record((4,), 120.0)
+        assert h.significant(5.0)
+
+    def test_significance_is_two_sided(self):
+        h = EpochHistory()
+        h.record((2,), 100.0)
+        h.record((2,), 80.0)
+        assert h.significant(5.0)
+
+    def test_best(self):
+        h = EpochHistory()
+        h.record((2,), 100.0)
+        h.record((5,), 300.0)
+        h.record((9,), 200.0)
+        assert h.best() == ((5,), 300.0)
+
+    def test_best_empty_raises(self):
+        with pytest.raises(ValueError):
+            EpochHistory().best()
+
+    def test_negative_throughput_rejected(self):
+        with pytest.raises(ValueError):
+            EpochHistory().record((1,), -1.0)

@@ -1,0 +1,115 @@
+"""Unit tests for the analytical/empirical model-based baselines."""
+
+import math
+
+import pytest
+
+from repro.core.model_based import HackerModelTuner, NewtonModelTuner
+from repro.core.params import ParamSpace
+
+from tests.core.helpers import drive, unimodal_1d
+
+SPACE = ParamSpace(("nc",), (1,), (128,))
+
+
+class TestHackerModel:
+    def test_predicted_streams_matches_mathis_algebra(self):
+        t = HackerModelTuner(rtt_s=0.033, loss_rate=1e-4,
+                             capacity_mbps=2500.0)
+        mathis = 1460 / 0.033 * math.sqrt(1.5) / math.sqrt(1e-4) / 1e6
+        assert t.predicted_streams() == math.ceil(2500.0 / mathis)
+
+    def test_more_loss_needs_more_streams(self):
+        low = HackerModelTuner(loss_rate=1e-5).predicted_streams()
+        high = HackerModelTuner(loss_rate=1e-3).predicted_streams()
+        assert high > low
+
+    def test_holds_prediction_forever(self):
+        t = HackerModelTuner(rtt_s=0.002, loss_rate=1e-4,
+                             capacity_mbps=5000.0, np_=8)
+        xs, _ = drive(t, SPACE, (2,), unimodal_1d(peak=10), epochs=20)
+        assert len(set(xs)) == 1  # never adapts — the model's weakness
+
+    def test_prediction_is_bounded(self):
+        t = HackerModelTuner(loss_rate=0.5, capacity_mbps=1e6, np_=1)
+        xs, _ = drive(t, SPACE, (2,), unimodal_1d(peak=10), epochs=3)
+        assert SPACE.contains(xs[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HackerModelTuner(rtt_s=0.0)
+        with pytest.raises(ValueError):
+            HackerModelTuner(loss_rate=0.0)
+        with pytest.raises(ValueError):
+            HackerModelTuner(capacity_mbps=0)
+        with pytest.raises(ValueError):
+            HackerModelTuner(headroom=0)
+
+
+class TestNewtonFit:
+    def test_recovers_known_curve_optimum(self):
+        # Build samples from T(n) = n / sqrt(a n^2 + b n + c) with a known
+        # interior optimum n* = -2c/b.
+        a, b, c = 1.0, -0.4, 4.0   # n* = 20
+        def model(n):
+            return n / math.sqrt(a * n * n + b * n + c)
+
+        ns = (2, 10, 30)
+        ts = tuple(model(n) for n in ns)
+        opt = NewtonModelTuner.fit_optimum(ns, ts)
+        assert opt == pytest.approx(20.0, rel=1e-6)
+
+    def test_degenerate_fits_return_none(self):
+        assert NewtonModelTuner.fit_optimum((1, 2, 3), (0.0, 1.0, 2.0)) is None
+        # Monotone-increasing samples -> b >= 0 -> no interior optimum.
+        assert NewtonModelTuner.fit_optimum((1, 2, 3), (1.0, 2.0, 3.0)) is None
+
+    def test_tuner_jumps_near_surface_optimum(self):
+        surface = unimodal_1d(peak=40, width=30, height=1000)
+        t = NewtonModelTuner(sample_points=(2, 16, 48))
+        xs, _ = drive(t, SPACE, (2,), surface, epochs=20)
+        # After the 3 calibration epochs it should sit at one value in
+        # the right neighborhood.
+        tail = xs[6:]
+        assert len(set(tail)) == 1
+        assert surface(tail[0]) > 0.6 * surface((40,))
+
+    def test_recalibrates_on_shift(self):
+        from tests.core.helpers import drive_switching
+
+        before = unimodal_1d(peak=20, width=10)
+        after = unimodal_1d(peak=20, width=10, height=3000)
+        t = NewtonModelTuner()
+        xs, _ = drive_switching(
+            t, SPACE, (2,), lambda c: before if c < 10 else after, epochs=20
+        )
+        # The level shift triggers a fresh calibration pass: the sample
+        # points reappear after epoch 10.
+        assert (1,) in xs[10:]
+
+    def test_fallback_to_best_sample(self, monkeypatch):
+        # When the fit is degenerate the tuner must settle on the best of
+        # its sampled points.
+        monkeypatch.setattr(
+            NewtonModelTuner, "fit_optimum", staticmethod(lambda ns, ts: None)
+        )
+        t = NewtonModelTuner()
+        surface = lambda x: {1: 100.0, 8: 900.0, 24: 300.0}.get(x[0], 0.0)
+        xs, _ = drive(t, SPACE, (2,), surface, epochs=10)
+        assert xs[4] == (8,)
+
+    def test_points_stay_in_domain(self):
+        tiny = ParamSpace(("nc",), (1,), (4,))
+        t = NewtonModelTuner(sample_points=(1, 2, 64))
+        xs, _ = drive(t, tiny, (1,), unimodal_1d(peak=2), epochs=12)
+        assert all(tiny.contains(x) for x in xs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NewtonModelTuner(sample_points=(1, 2))
+        with pytest.raises(ValueError):
+            NewtonModelTuner(sample_points=(1, 1, 2))
+        with pytest.raises(ValueError):
+            NewtonModelTuner(sample_points=(0, 1, 2))
+        with pytest.raises(ValueError):
+            NewtonModelTuner(eps_pct=-1)

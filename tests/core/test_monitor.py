@@ -1,0 +1,141 @@
+"""Unit tests for the pluggable change monitors."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cs_tuner import CsTuner
+from repro.core.monitor import CusumMonitor, DeltaPctMonitor, EwmaMonitor
+from repro.core.params import ParamSpace
+
+from tests.core.helpers import drive_switching, unimodal_1d
+
+
+class TestDeltaPctMonitor:
+    def test_first_observation_never_fires(self):
+        m = DeltaPctMonitor(eps_pct=5.0)
+        assert not m.update(100.0)
+
+    def test_fires_on_large_jump(self):
+        m = DeltaPctMonitor(eps_pct=5.0)
+        m.update(100.0)
+        assert m.update(110.0)
+        assert m.update(100.0)  # 9% down from 110
+
+    def test_tolerates_small_changes(self):
+        m = DeltaPctMonitor(eps_pct=5.0)
+        m.update(100.0)
+        assert not m.update(104.0)
+
+    def test_reset_rebases(self):
+        m = DeltaPctMonitor(eps_pct=5.0)
+        m.update(100.0)
+        m.reset(500.0)
+        assert not m.update(510.0)
+
+    def test_clone_is_fresh(self):
+        m = DeltaPctMonitor(eps_pct=7.0)
+        m.update(1.0)
+        c = m.clone()
+        assert c.eps_pct == 7.0
+        assert not c.update(100.0)  # no carried state
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeltaPctMonitor(eps_pct=-1)
+
+
+class TestEwmaMonitor:
+    def test_single_outlier_does_not_fire(self):
+        m = EwmaMonitor(alpha=0.3, band_pct=10.0)
+        m.update(100.0)
+        assert not m.update(125.0)   # one noisy epoch
+        assert not m.update(100.0)
+
+    def test_sustained_shift_fires(self):
+        m = EwmaMonitor(alpha=0.3, band_pct=10.0)
+        m.update(100.0)
+        fired = [m.update(150.0) for _ in range(10)]
+        assert any(fired)
+
+    def test_rebases_after_firing(self):
+        m = EwmaMonitor(alpha=0.5, band_pct=10.0)
+        m.update(100.0)
+        while not m.update(200.0):
+            pass
+        # Now 200 is the reference; staying there must not re-fire.
+        assert not any(m.update(200.0) for _ in range(5))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EwmaMonitor(alpha=0.0)
+        with pytest.raises(ValueError):
+            EwmaMonitor(band_pct=0.0)
+
+
+class TestCusumMonitor:
+    def test_small_oscillations_never_fire(self):
+        m = CusumMonitor(k_pct=3.0, h_pct=12.0)
+        m.update(100.0)
+        for v in (102.0, 98.0, 101.0, 99.0) * 10:
+            assert not m.update(v)
+
+    def test_sustained_upward_shift_fires(self):
+        m = CusumMonitor(k_pct=3.0, h_pct=12.0)
+        m.update(100.0)
+        fired = [m.update(110.0) for _ in range(5)]
+        assert any(fired)
+
+    def test_sustained_downward_shift_fires(self):
+        m = CusumMonitor(k_pct=3.0, h_pct=12.0)
+        m.update(100.0)
+        fired = [m.update(88.0) for _ in range(5)]
+        assert any(fired)
+
+    def test_fires_later_than_delta_rule(self):
+        """CUSUM trades detection delay for fewer false alarms."""
+        d = DeltaPctMonitor(eps_pct=5.0)
+        c = CusumMonitor(k_pct=3.0, h_pct=12.0)
+        d.update(100.0)
+        c.update(100.0)
+        seq = [108.0] * 6
+        d_first = next(i for i, v in enumerate(seq) if d.update(v))
+        c_first = next(i for i, v in enumerate(seq) if c.update(v))
+        assert d_first <= c_first
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CusumMonitor(k_pct=-1)
+        with pytest.raises(ValueError):
+            CusumMonitor(h_pct=0)
+
+
+class TestMonitorsInTuners:
+    SPACE = ParamSpace(("nc",), (1,), (128,))
+
+    @pytest.mark.parametrize(
+        "monitor",
+        [DeltaPctMonitor(5.0), EwmaMonitor(0.4, 8.0), CusumMonitor(3.0, 10.0)],
+    )
+    def test_cs_tuner_retriggers_with_any_monitor(self, monitor):
+        before = unimodal_1d(peak=20, width=8)
+        after = unimodal_1d(peak=70, width=10)
+        tuner = CsTuner(seed=2, monitor=monitor)
+        xs, _ = drive_switching(
+            tuner, self.SPACE, (2,),
+            lambda c: before if c < 40 else after, epochs=120,
+        )
+        assert abs(xs[-1][0] - 70) <= 10
+
+
+@given(
+    values=st.lists(st.floats(0.1, 1e6), min_size=2, max_size=50),
+)
+@settings(max_examples=100, deadline=None)
+def test_monitors_never_crash_and_clone_matches(values):
+    for proto in (DeltaPctMonitor(5.0), EwmaMonitor(0.3, 10.0),
+                  CusumMonitor(3.0, 12.0)):
+        a = proto.clone()
+        b = proto.clone()
+        for v in values:
+            assert a.update(v) == b.update(v)

@@ -1,0 +1,107 @@
+"""Unit tests for nm-tuner (Algorithm 3)."""
+
+import pytest
+
+from repro.core.nm_tuner import NmTuner
+from repro.core.params import ParamSpace
+
+from tests.core.helpers import drive, drive_switching, unimodal_1d, unimodal_2d
+
+SPACE = ParamSpace(("nc",), (1,), (128,))
+SPACE_2D = ParamSpace(("nc", "np"), (1, 1), (128, 32))
+
+
+class TestInitialSimplex:
+    def test_simplex_has_m_plus_one_distinct_vertices(self):
+        t = NmTuner(init_step=8)
+        s = t._initial_simplex((2, 8), SPACE_2D)
+        assert len(s) == 3
+        assert len(set(s)) == 3
+        assert s[0] == (2, 8)
+
+    def test_simplex_flips_direction_at_upper_bound(self):
+        t = NmTuner(init_step=8)
+        s = t._initial_simplex((128,), SPACE)
+        assert s == [(128,), (120,)]
+
+    def test_degenerate_dimension_duplicates_x0(self):
+        tiny = ParamSpace(("x",), (5,), (5,))
+        t = NmTuner()
+        s = t._initial_simplex((5,), tiny)
+        assert s == [(5,), (5,)]
+
+
+class TestSearch:
+    def test_converges_near_1d_peak(self):
+        xs, _ = drive(NmTuner(), SPACE, (2,), unimodal_1d(peak=40, width=12),
+                      epochs=60)
+        assert abs(xs[-1][0] - 40) <= 6
+
+    def test_converges_near_2d_peak(self):
+        surface = unimodal_2d(peak=(30, 6), widths=(10.0, 4.0))
+        xs, _ = drive(NmTuner(), SPACE_2D, (2, 8), surface, epochs=100)
+        assert surface(xs[-1]) > 0.75 * surface((30, 6))
+
+    def test_monitors_after_degeneration(self):
+        xs, _ = drive(NmTuner(), SPACE, (2,), unimodal_1d(peak=20, width=8),
+                      epochs=80)
+        tail = xs[-5:]
+        assert len(set(tail)) == 1
+
+    def test_retriggers_on_surface_change(self):
+        before = unimodal_1d(peak=15, width=6)
+        after = unimodal_1d(peak=70, width=10)
+        surface_at = lambda c: before if c < 40 else after
+        xs, _ = drive_switching(NmTuner(), SPACE, (2,), surface_at,
+                                epochs=130)
+        assert abs(xs[-1][0] - 70) <= 12
+
+    def test_never_leaves_bounds(self):
+        xs, _ = drive(NmTuner(), SPACE_2D, (1, 1),
+                      unimodal_2d(peak=(500, 100)), epochs=120)
+        assert all(SPACE_2D.contains(x) for x in xs)
+        xs, _ = drive(NmTuner(), SPACE_2D, (128, 32),
+                      unimodal_2d(peak=(1, 1)), epochs=120)
+        assert all(SPACE_2D.contains(x) for x in xs)
+
+    def test_expansion_reaches_far_peaks_fast(self):
+        # Repeated expansion should cover x0=2 -> peak 100 in well under
+        # 100 unit steps' worth of epochs.
+        xs, _ = drive(NmTuner(), SPACE, (2,), unimodal_1d(peak=100, width=30),
+                      epochs=25)
+        assert max(x[0] for x in xs) >= 60
+
+    def test_inner_budget_bounds_search_length(self):
+        # An adversarial (noisy) surface cannot trap the inner search
+        # beyond max_inner_epochs: afterwards the tuner monitors.
+        t = NmTuner(max_inner_epochs=12)
+        xs, _ = drive(t, SPACE, (2,), unimodal_1d(peak=64, width=20),
+                      epochs=40, noise_sigma=0.3, seed=5)
+        assert len(xs) == 40  # and did not raise / hang
+
+
+class TestValidation:
+    def test_coefficient_validation(self):
+        with pytest.raises(ValueError):
+            NmTuner(reflection=0.0)
+        with pytest.raises(ValueError):
+            NmTuner(expansion=1.0)
+        with pytest.raises(ValueError):
+            NmTuner(contraction=1.0)
+        with pytest.raises(ValueError):
+            NmTuner(shrink=0.0)
+        with pytest.raises(ValueError):
+            NmTuner(init_step=0)
+        with pytest.raises(ValueError):
+            NmTuner(max_inner_epochs=2)
+        with pytest.raises(ValueError):
+            NmTuner(eps_pct=-0.1)
+
+    def test_paper_defaults(self):
+        t = NmTuner()
+        assert (t.reflection, t.expansion, t.contraction, t.shrink) == (
+            1.0, 2.0, 0.5, 0.5,
+        )
+
+    def test_name(self):
+        assert NmTuner().name == "nm-tuner"

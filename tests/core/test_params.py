@@ -1,0 +1,118 @@
+"""Unit and property tests for ParamSpace / fBnd."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import (
+    ParamSpace,
+    concurrency_parallelism_space,
+    concurrency_space,
+)
+
+SPACE_2D = ParamSpace(("nc", "np"), (1, 1), (12, 9))
+
+
+class TestFbnd:
+    def test_paper_rounding_example(self):
+        # "(3.8, 9.2) is rounded off to (4, 9)"
+        assert SPACE_2D.fbnd((3.8, 9.2)) == (4, 9)
+
+    def test_paper_projection_example(self):
+        # "(12, -1) is projected to (12, 1)"
+        assert SPACE_2D.fbnd((12.0, -1.0)) == (12, 1)
+
+    def test_upper_projection(self):
+        assert SPACE_2D.fbnd((99.0, 99.0)) == (12, 9)
+
+    def test_half_rounds_away_from_zero(self):
+        sp = ParamSpace(("x",), (-10,), (10,))
+        assert sp.fbnd((2.5,)) == (3,)
+        assert sp.fbnd((3.5,)) == (4,)   # banker's rounding would give 4 too
+        assert sp.fbnd((1.5,)) == (2,)   # ... but 1.5 -> 2 distinguishes
+        assert sp.fbnd((-1.5,)) == (-2,)
+
+    def test_rejects_wrong_dimension(self):
+        with pytest.raises(ValueError):
+            SPACE_2D.fbnd((1.0,))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            SPACE_2D.fbnd((float("nan"), 1.0))
+
+    def test_idempotent(self):
+        pt = SPACE_2D.fbnd((7.3, 4.9))
+        assert SPACE_2D.fbnd(pt) == pt
+
+
+class TestSpaceGeometry:
+    def test_contains(self):
+        assert SPACE_2D.contains((1, 1))
+        assert SPACE_2D.contains((12, 9))
+        assert not SPACE_2D.contains((0, 1))
+        assert not SPACE_2D.contains((1, 10))
+        assert not SPACE_2D.contains((1.5, 2))
+        assert not SPACE_2D.contains((1,))
+
+    def test_unit_directions(self):
+        dirs = SPACE_2D.unit_directions()
+        assert set(dirs) == {(1, 0), (-1, 0), (0, 1), (0, -1)}
+
+    def test_clip_dim(self):
+        assert SPACE_2D.clip_dim(0, 99.0) == 12
+        assert SPACE_2D.clip_dim(1, 0.2) == 1
+        with pytest.raises(IndexError):
+            SPACE_2D.clip_dim(2, 1.0)
+
+    def test_index_of(self):
+        assert SPACE_2D.index_of("np") == 1
+        with pytest.raises(KeyError):
+            SPACE_2D.index_of("zz")
+
+    def test_size_and_grid(self):
+        sp = ParamSpace(("a", "b"), (1, 1), (3, 2))
+        assert sp.size() == 6
+        assert len(list(sp.iter_grid())) == 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParamSpace((), (), ())
+        with pytest.raises(ValueError):
+            ParamSpace(("a", "a"), (1, 1), (2, 2))
+        with pytest.raises(ValueError):
+            ParamSpace(("a",), (5,), (1,))
+        with pytest.raises(ValueError):
+            ParamSpace(("a",), (1, 2), (3,))
+
+    def test_factories(self):
+        assert concurrency_space().names == ("nc",)
+        assert concurrency_space(64).upper == (64,)
+        sp = concurrency_parallelism_space(128, 16)
+        assert sp.names == ("nc", "np")
+        assert sp.upper == (128, 16)
+
+
+@given(
+    st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=2),
+)
+@settings(max_examples=200, deadline=None)
+def test_fbnd_always_lands_inside(coords):
+    pt = SPACE_2D.fbnd(coords)
+    assert SPACE_2D.contains(pt)
+
+
+@given(st.integers(1, 12), st.integers(1, 9))
+def test_fbnd_fixes_interior_integers(a, b):
+    assert SPACE_2D.fbnd((a, b)) == (a, b)
+
+
+@given(
+    st.floats(-100, 100),
+    st.floats(-100, 100),
+)
+@settings(max_examples=100, deadline=None)
+def test_fbnd_is_idempotent_property(a, b):
+    once = SPACE_2D.fbnd((a, b))
+    assert SPACE_2D.fbnd(once) == once

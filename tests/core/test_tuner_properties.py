@@ -1,0 +1,126 @@
+"""Property tests shared by every tuner.
+
+Whatever throughput sequence reality feeds back — noisy, adversarial,
+zero — a tuner must only ever propose integer points inside the domain,
+never raise, and keep responding.  These invariants hold for all methods
+and all starting points.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aimd_tuner import AimdTuner
+from repro.core.bandit import BanditTuner
+from repro.core.base import StaticTuner
+from repro.core.cd_tuner import CdTuner
+from repro.core.cs_tuner import CsTuner
+from repro.core.gss_tuner import GssTuner
+from repro.core.heuristics import Heur1Tuner, Heur2Tuner
+from repro.core.hj_tuner import HjTuner
+from repro.core.nm_tuner import NmTuner
+from repro.core.params import ParamSpace
+from repro.core.spsa_tuner import SpsaTuner
+
+TUNER_FACTORIES = [
+    lambda: StaticTuner(),
+    lambda: CdTuner(),
+    lambda: CsTuner(seed=0),
+    lambda: NmTuner(),
+    lambda: Heur1Tuner(),
+    lambda: Heur2Tuner(),
+    lambda: HjTuner(),
+    lambda: SpsaTuner(seed=0),
+    lambda: BanditTuner(seed=0),
+    lambda: AimdTuner(),
+    lambda: AimdTuner(multiplicative_increase=True),
+]
+
+#: gss is 1-D-only, so it gets its own strategy below.
+GSS_FACTORY = lambda: GssTuner()  # noqa: E731
+
+
+@st.composite
+def tuner_runs(draw):
+    factory = draw(st.sampled_from(TUNER_FACTORIES))
+    ndim = draw(st.integers(1, 3))
+    lower = tuple(draw(st.integers(1, 3)) for _ in range(ndim))
+    upper = tuple(
+        lo + draw(st.integers(0, 60)) for lo in lower
+    )
+    space = ParamSpace(
+        tuple(f"p{i}" for i in range(ndim)), lower, upper
+    )
+    x0 = tuple(
+        draw(st.integers(lo, hi)) for lo, hi in zip(lower, upper)
+    )
+    throughputs = draw(
+        st.lists(
+            st.floats(0.0, 1e5, allow_nan=False, allow_infinity=False),
+            min_size=5,
+            max_size=60,
+        )
+    )
+    return factory(), space, x0, throughputs
+
+
+@given(tuner_runs())
+@settings(max_examples=200, deadline=None)
+def test_proposals_always_inside_domain(run):
+    tuner, space, x0, throughputs = run
+    driver = tuner.start(x0, space)
+    assert space.contains(driver.current)
+    for f in throughputs:
+        x = driver.observe(f)
+        assert space.contains(x), (tuner.name, x, space)
+
+
+@given(tuner_runs())
+@settings(max_examples=100, deadline=None)
+def test_tuners_are_deterministic_given_observations(run):
+    tuner_a, space, x0, throughputs = run
+    tuner_b = type(tuner_a)(**{
+        k: getattr(tuner_a, k)
+        for k in tuner_a.__dataclass_fields__  # type: ignore[attr-defined]
+    })
+    da, db = tuner_a.start(x0, space), tuner_b.start(x0, space)
+    assert da.current == db.current
+    for f in throughputs:
+        assert da.observe(f) == db.observe(f)
+
+
+@pytest.mark.parametrize("factory", TUNER_FACTORIES)
+def test_all_zero_throughput_does_not_crash(factory):
+    space = ParamSpace(("nc",), (1,), (16,))
+    driver = factory().start((2,), space)
+    for _ in range(30):
+        x = driver.observe(0.0)
+        assert space.contains(x)
+
+
+@pytest.mark.parametrize("factory", TUNER_FACTORIES)
+def test_single_point_domain_is_fixed_point(factory):
+    space = ParamSpace(("nc", "np"), (3, 5), (3, 5))
+    driver = factory().start((3, 5), space)
+    assert driver.current == (3, 5)
+    for f in (10.0, 500.0, 0.0, 250.0, 250.0, 9.0):
+        assert driver.observe(f) == (3, 5)
+
+
+@given(
+    lower=st.integers(1, 3),
+    width=st.integers(0, 120),
+    x0_off=st.integers(0, 120),
+    throughputs=st.lists(
+        st.floats(0.0, 1e5, allow_nan=False, allow_infinity=False),
+        min_size=5, max_size=60,
+    ),
+)
+@settings(max_examples=100, deadline=None)
+def test_gss_proposals_inside_1d_domain(lower, width, x0_off, throughputs):
+    space = ParamSpace(("nc",), (lower,), (lower + width,))
+    x0 = (min(lower + x0_off, lower + width),)
+    driver = GSS_FACTORY().start(x0, space)
+    assert space.contains(driver.current)
+    for f in throughputs:
+        assert space.contains(driver.observe(f))

@@ -1,0 +1,168 @@
+"""Unit and property tests for the CPU fair-share scheduler."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.endpoint.cpu import CpuTask, context_switch_efficiency, fair_shares
+
+
+class TestFairShares:
+    def test_undersubscribed_everyone_gets_demand(self):
+        shares = fair_shares(
+            [CpuTask("a", 2), CpuTask("b", 3)], cores=8
+        )
+        assert shares == {"a": 2.0, "b": 3.0}
+
+    def test_oversubscribed_equal_weights_split_evenly(self):
+        shares = fair_shares(
+            [CpuTask("a", 8), CpuTask("b", 8)], cores=8
+        )
+        assert shares["a"] == pytest.approx(4.0)
+        assert shares["b"] == pytest.approx(4.0)
+
+    def test_weighted_split(self):
+        shares = fair_shares(
+            [CpuTask("heavy", 4, weight=3.0), CpuTask("light", 4, weight=1.0)],
+            cores=4,
+        )
+        assert shares["heavy"] == pytest.approx(3.0)
+        assert shares["light"] == pytest.approx(1.0)
+
+    def test_demand_cap_redistributes_to_others(self):
+        # "capped" can use at most 0.25 cores per entity even though its
+        # fair share would be 1 core.
+        shares = fair_shares(
+            [
+                CpuTask("capped", 2, demand_cores_per_entity=0.25),
+                CpuTask("greedy", 8),
+            ],
+            cores=4,
+        )
+        assert shares["capped"] == pytest.approx(0.5)
+        assert shares["greedy"] == pytest.approx(3.5)
+
+    def test_single_core_bound_process_cannot_exceed_one_core(self):
+        # 2 transfer processes on 8 idle cores: each still <= 1 core.
+        shares = fair_shares([CpuTask("xfer", 2)], cores=8)
+        assert shares["xfer"] == pytest.approx(2.0)
+
+    def test_paper_scenario_concurrency_claws_back_cpu(self):
+        """Raising nc increases the transfer's aggregate share against a
+        fixed dgemm load — the paper's Fig. 5b/5c mechanism."""
+        dgemm = CpuTask("dgemm", n_entities=16 * 8, weight=0.35)
+        s2 = fair_shares([CpuTask("xfer", 2), dgemm], cores=8)["xfer"]
+        s50 = fair_shares([CpuTask("xfer", 50), dgemm], cores=8)["xfer"]
+        assert s50 > 5 * s2
+
+    def test_zero_entities_task_gets_zero(self):
+        shares = fair_shares(
+            [CpuTask("none", 0), CpuTask("some", 4)], cores=2
+        )
+        assert shares["none"] == 0.0
+        assert shares["some"] == pytest.approx(2.0)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            fair_shares([CpuTask("a", 1), CpuTask("a", 1)], cores=1)
+
+    def test_nonpositive_cores_rejected(self):
+        with pytest.raises(ValueError):
+            fair_shares([CpuTask("a", 1)], cores=0)
+
+    def test_task_validation(self):
+        with pytest.raises(ValueError):
+            CpuTask("", 1)
+        with pytest.raises(ValueError):
+            CpuTask("a", -1)
+        with pytest.raises(ValueError):
+            CpuTask("a", 1, weight=0.0)
+        with pytest.raises(ValueError):
+            CpuTask("a", 1, demand_cores_per_entity=-0.5)
+
+
+@st.composite
+def scheduling_problems(draw):
+    n_tasks = draw(st.integers(1, 6))
+    tasks = [
+        CpuTask(
+            f"t{i}",
+            n_entities=draw(st.integers(0, 200)),
+            weight=draw(st.floats(0.05, 5.0)),
+            demand_cores_per_entity=draw(st.floats(0.0, 2.0)),
+        )
+        for i in range(n_tasks)
+    ]
+    cores = draw(st.integers(1, 64))
+    return tasks, cores
+
+
+TOL = 1e-6
+
+
+@given(scheduling_problems())
+@settings(max_examples=200, deadline=None)
+def test_fair_share_invariants(problem):
+    tasks, cores = problem
+    shares = fair_shares(tasks, cores)
+
+    total = sum(shares.values())
+    assert total <= cores + TOL
+
+    total_demand = sum(t.n_entities * t.demand_cores_per_entity for t in tasks)
+    for t in tasks:
+        assert shares[t.name] >= -TOL
+        assert shares[t.name] <= t.n_entities * t.demand_cores_per_entity + TOL
+
+    # Work-conserving: all cores used unless total demand is lower.
+    assert total >= min(cores, total_demand) - 1e-4
+
+    # Oversubscribed fairness: per-entity share per unit weight is equal
+    # across tasks that are not demand-capped.
+    if total_demand > cores + TOL:
+        levels = []
+        for t in tasks:
+            if t.n_entities == 0:
+                continue
+            per_entity = shares[t.name] / t.n_entities
+            if per_entity < t.demand_cores_per_entity - TOL:
+                levels.append(per_entity / t.weight)
+        for a in levels:
+            for b in levels:
+                assert a == pytest.approx(b, abs=1e-4)
+
+
+class TestContextSwitchEfficiency:
+    def test_no_penalty_up_to_core_count(self):
+        assert context_switch_efficiency(0, 8, 0.01) == 1.0
+        assert context_switch_efficiency(8, 8, 0.01) == 1.0
+
+    def test_monotone_decreasing(self):
+        vals = [
+            context_switch_efficiency(r, 8, 0.01)
+            for r in (8, 16, 64, 256, 1024)
+        ]
+        assert all(a >= b for a, b in zip(vals, vals[1:]))
+        assert vals[-1] > 0.0
+
+    def test_matches_formula(self):
+        assert context_switch_efficiency(108, 8, 0.01) == pytest.approx(
+            1.0 / (1.0 + 0.01 * (108 / 8 - 1))
+        )
+
+    def test_size_invariance(self):
+        # Same per-core crowding -> same efficiency, any machine size.
+        assert context_switch_efficiency(80, 8, 0.03) == pytest.approx(
+            context_switch_efficiency(320, 32, 0.03)
+        )
+
+    def test_zero_coeff_is_free(self):
+        assert context_switch_efficiency(10_000, 1, 0.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            context_switch_efficiency(-1, 8, 0.01)
+        with pytest.raises(ValueError):
+            context_switch_efficiency(1, 0, 0.01)
+        with pytest.raises(ValueError):
+            context_switch_efficiency(1, 8, -0.01)

@@ -1,0 +1,79 @@
+"""Unit tests for external load schedules and host specs."""
+
+import pytest
+
+from repro.endpoint.host import NEHALEM, SANDYBRIDGE_TACC, SANDYBRIDGE_UC, HostSpec
+from repro.endpoint.load import ExternalLoad, LoadSchedule
+
+
+class TestExternalLoad:
+    def test_defaults_are_unloaded(self):
+        load = ExternalLoad()
+        assert load.ext_cmp == 0 and load.ext_tfr == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ExternalLoad(ext_cmp=-1)
+        with pytest.raises(ValueError):
+            ExternalLoad(ext_tfr=-1)
+
+    def test_str_is_readable(self):
+        assert str(ExternalLoad(16, 64)) == "ext.cmp=16, ext.tfr=64"
+
+    def test_frozen_and_hashable(self):
+        assert ExternalLoad(1, 2) == ExternalLoad(1, 2)
+        assert hash(ExternalLoad(1, 2)) == hash(ExternalLoad(1, 2))
+
+
+class TestLoadSchedule:
+    def test_constant(self):
+        sched = LoadSchedule.constant(ExternalLoad(16, 0))
+        assert sched.at(0.0).ext_cmp == 16
+        assert sched.at(1e6).ext_cmp == 16
+        assert sched.change_times == []
+
+    def test_piecewise_switch_is_left_closed(self):
+        sched = LoadSchedule(
+            [(0.0, ExternalLoad(16, 64)), (1000.0, ExternalLoad(16, 16))]
+        )
+        assert sched.at(999.999).ext_tfr == 64
+        assert sched.at(1000.0).ext_tfr == 16
+        assert sched.change_times == [1000.0]
+
+    def test_requires_t0_segment(self):
+        with pytest.raises(ValueError):
+            LoadSchedule([(10.0, ExternalLoad())])
+
+    def test_requires_increasing_starts(self):
+        with pytest.raises(ValueError):
+            LoadSchedule(
+                [(0.0, ExternalLoad()), (5.0, ExternalLoad()), (5.0, ExternalLoad())]
+            )
+
+    def test_requires_nonempty(self):
+        with pytest.raises(ValueError):
+            LoadSchedule([])
+
+    def test_rejects_negative_time(self):
+        sched = LoadSchedule.constant(ExternalLoad())
+        with pytest.raises(ValueError):
+            sched.at(-1.0)
+
+
+class TestHostSpec:
+    def test_presets_match_testbed(self):
+        assert NEHALEM.cores == 8          # dual-socket quad-core
+        assert SANDYBRIDGE_UC.cores == 16  # dual-socket 8-core
+        assert SANDYBRIDGE_TACC.cores == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HostSpec("h", cores=0, core_copy_rate_mbps=100.0)
+        with pytest.raises(ValueError):
+            HostSpec("h", cores=1, core_copy_rate_mbps=0.0)
+        with pytest.raises(ValueError):
+            HostSpec("h", cores=1, core_copy_rate_mbps=1.0, cs_coeff=-1.0)
+        with pytest.raises(ValueError):
+            HostSpec("h", cores=1, core_copy_rate_mbps=1.0, thread_overhead=1.0)
+        with pytest.raises(ValueError):
+            HostSpec("h", cores=1, core_copy_rate_mbps=1.0, dgemm_thread_weight=0.0)

@@ -1,0 +1,81 @@
+"""Unit tests for the memory-bus contention model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.endpoint.host import NEHALEM, HostSpec
+from repro.endpoint.memory import NEHALEM_BUS, MemoryBus
+
+
+class TestMemoryBus:
+    def test_idle_bus_cap_is_bandwidth_over_multiplier(self):
+        bus = MemoryBus(bandwidth_mbps=21_000.0, bytes_on_bus_per_byte=3.0)
+        assert bus.transfer_cap_mbps(2, 0) == pytest.approx(7000.0)
+
+    def test_cap_shrinks_with_dgemm_threads(self):
+        caps = [NEHALEM_BUS.transfer_cap_mbps(2, t) for t in (0, 64, 256, 512)]
+        assert all(a >= b for a, b in zip(caps, caps[1:]))
+
+    def test_more_processes_reclaim_bus_share(self):
+        # The same mechanism as CPU share: concurrency wins arbitration
+        # slots back from dgemm.
+        low = NEHALEM_BUS.transfer_cap_mbps(2, 128)
+        high = NEHALEM_BUS.transfer_cap_mbps(50, 128)
+        assert high > 5 * low
+
+    def test_grant_never_below_weighted_share(self):
+        # Even a fully demanded bus grants the transfer its weighted slice.
+        bus = MemoryBus(bandwidth_mbps=10_000.0, dgemm_demand_mbps=1e6)
+        cap = bus.transfer_cap_mbps(10, 10)
+        expect = 10_000.0 * 10 / (10 + 0.35 * 10) / 3.0
+        assert cap == pytest.approx(expect)
+
+    def test_leftover_used_when_dgemm_demand_is_light(self):
+        bus = MemoryBus(bandwidth_mbps=10_000.0, dgemm_demand_mbps=10.0)
+        # 8 dgemm threads demand only 80 -> leftover 9920 dominates the
+        # tiny weighted share of one process.
+        assert bus.transfer_cap_mbps(1, 8) == pytest.approx(9920.0 / 3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryBus(bandwidth_mbps=0)
+        with pytest.raises(ValueError):
+            MemoryBus(bytes_on_bus_per_byte=0.5)
+        with pytest.raises(ValueError):
+            MemoryBus(dgemm_demand_mbps=-1)
+        with pytest.raises(ValueError):
+            MemoryBus(dgemm_weight=0)
+        with pytest.raises(ValueError):
+            NEHALEM_BUS.transfer_cap_mbps(0, 0)
+        with pytest.raises(ValueError):
+            NEHALEM_BUS.transfer_cap_mbps(1, -1)
+
+
+class TestHostIntegration:
+    def test_nehalem_preset_has_bus(self):
+        assert NEHALEM.membus is not None
+        assert math.isfinite(NEHALEM.memory_cap_mbps(2, 16))
+
+    def test_busless_host_is_uncapped(self):
+        host = HostSpec("h", cores=8, core_copy_rate_mbps=1000.0)
+        assert host.memory_cap_mbps(2, 64) == math.inf
+
+    def test_cap_uses_threads_per_copy(self):
+        # ext_cmp copies spawn one thread per core.
+        direct = NEHALEM.membus.transfer_cap_mbps(4, 16 * NEHALEM.cores)
+        assert NEHALEM.memory_cap_mbps(4, 16) == pytest.approx(direct)
+
+
+@given(
+    nc=st.integers(1, 256),
+    threads=st.integers(0, 1024),
+    bw=st.floats(100.0, 1e6),
+)
+@settings(max_examples=200, deadline=None)
+def test_cap_bounds_property(nc, threads, bw):
+    bus = MemoryBus(bandwidth_mbps=bw)
+    cap = bus.transfer_cap_mbps(nc, threads)
+    assert 0.0 < cap <= bw / bus.bytes_on_bus_per_byte + 1e-9

@@ -1,0 +1,124 @@
+"""Unit tests for the NUMA pinning model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.endpoint.numa import (
+    NEHALEM_LAYOUT,
+    PinnedLayout,
+    PinningPolicy,
+    SocketLayout,
+    best_policy,
+)
+
+
+class TestSocketLayout:
+    def test_nehalem_preset(self):
+        assert NEHALEM_LAYOUT.total_cores == 8
+        assert NEHALEM_LAYOUT.n_sockets == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SocketLayout(n_sockets=0)
+        with pytest.raises(ValueError):
+            SocketLayout(cores_per_socket=0)
+        with pytest.raises(ValueError):
+            SocketLayout(nic_socket=5)
+        with pytest.raises(ValueError):
+            SocketLayout(remote_penalty=1.0)
+        with pytest.raises(ValueError):
+            SocketLayout(migration_penalty=-0.1)
+
+
+class TestPlacement:
+    def test_alternate_round_robins(self):
+        p = PinnedLayout(NEHALEM_LAYOUT, PinningPolicy.ALTERNATE, nc=5)
+        assert p.per_socket_processes() == [3, 2]
+
+    def test_nic_first_fills_nic_socket(self):
+        p = PinnedLayout(NEHALEM_LAYOUT, PinningPolicy.NIC_FIRST, nc=3)
+        assert p.per_socket_processes() == [3, 0]
+
+    def test_nic_first_spills_over(self):
+        p = PinnedLayout(NEHALEM_LAYOUT, PinningPolicy.NIC_FIRST, nc=6)
+        assert p.per_socket_processes() == [4, 2]
+
+    def test_nic_first_beyond_all_cores_round_robins(self):
+        p = PinnedLayout(NEHALEM_LAYOUT, PinningPolicy.NIC_FIRST, nc=10)
+        counts = p.per_socket_processes()
+        assert sum(counts) == 10
+        assert counts[0] >= counts[1]
+
+    def test_counts_conserve_processes(self):
+        for policy in PinningPolicy:
+            for nc in (1, 4, 7, 16, 33):
+                p = PinnedLayout(NEHALEM_LAYOUT, policy, nc)
+                assert sum(p.per_socket_processes()) == nc
+
+
+class TestEfficiency:
+    def test_single_process_on_nic_socket_is_free(self):
+        for policy in (PinningPolicy.ALTERNATE, PinningPolicy.NIC_FIRST):
+            p = PinnedLayout(NEHALEM_LAYOUT, policy, nc=1)
+            assert p.efficiency() == pytest.approx(1.0)
+
+    def test_remote_socket_pays_penalty(self):
+        # 2 processes, alternate: one local, one remote.
+        p = PinnedLayout(NEHALEM_LAYOUT, PinningPolicy.ALTERNATE, nc=2)
+        expect = (1.0 + (1.0 - NEHALEM_LAYOUT.remote_penalty)) / 2.0
+        assert p.efficiency() == pytest.approx(expect)
+
+    def test_nic_first_beats_alternate_at_low_nc(self):
+        # Up to one socket's worth of copies, keeping them NIC-local wins.
+        alt = PinnedLayout(NEHALEM_LAYOUT, PinningPolicy.ALTERNATE, nc=4)
+        nic = PinnedLayout(NEHALEM_LAYOUT, PinningPolicy.NIC_FIRST, nc=4)
+        assert nic.efficiency() > alt.efficiency()
+
+    def test_policies_converge_when_both_sockets_full(self):
+        # Beyond both sockets' capacity the placements even out and only
+        # the locality mix matters; with symmetric counts they tie.
+        alt = PinnedLayout(NEHALEM_LAYOUT, PinningPolicy.ALTERNATE, nc=10)
+        nic = PinnedLayout(NEHALEM_LAYOUT, PinningPolicy.NIC_FIRST, nc=10)
+        assert alt.per_socket_processes() == nic.per_socket_processes()
+        assert alt.efficiency() == pytest.approx(nic.efficiency())
+
+    def test_unpinned_always_pays_migration(self):
+        pinned = PinnedLayout(NEHALEM_LAYOUT, PinningPolicy.ALTERNATE, nc=4)
+        loose = PinnedLayout(NEHALEM_LAYOUT, PinningPolicy.UNPINNED, nc=4)
+        assert loose.efficiency() == pytest.approx(
+            pinned.efficiency() * (1 - NEHALEM_LAYOUT.migration_penalty)
+        )
+
+    def test_effective_rate_scales_and_validates(self):
+        p = PinnedLayout(NEHALEM_LAYOUT, PinningPolicy.ALTERNATE, nc=4)
+        assert p.effective_rate_mbps(1000.0) == pytest.approx(
+            4 * 1000.0 * p.efficiency()
+        )
+        with pytest.raises(ValueError):
+            p.effective_rate_mbps(0.0)
+
+    def test_best_policy_matches_manual_comparison(self):
+        policy, eff = best_policy(NEHALEM_LAYOUT, 4)
+        assert policy is PinningPolicy.NIC_FIRST
+        assert eff == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PinnedLayout(NEHALEM_LAYOUT, PinningPolicy.ALTERNATE, nc=0)
+
+
+@given(
+    nc=st.integers(1, 200),
+    sockets=st.integers(1, 4),
+    cores=st.integers(1, 16),
+    policy=st.sampled_from(list(PinningPolicy)),
+)
+@settings(max_examples=200, deadline=None)
+def test_efficiency_bounds_property(nc, sockets, cores, policy):
+    layout = SocketLayout(n_sockets=sockets, cores_per_socket=cores,
+                          nic_socket=0)
+    p = PinnedLayout(layout, policy, nc)
+    eff = p.efficiency()
+    assert 0.0 < eff <= 1.0
+    assert sum(p.per_socket_processes()) == nc

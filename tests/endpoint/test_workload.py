@@ -1,0 +1,117 @@
+"""Unit and property tests for the random workload generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.endpoint.workload import BurstyTraffic, DiurnalTraffic, PoissonJobMix
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestPoissonJobMix:
+    def test_schedule_starts_at_zero_load(self):
+        sched = PoissonJobMix().schedule(3600.0, _rng())
+        assert sched.at(0.0).ext_cmp == 0
+
+    def test_occupancy_tracks_littles_law(self):
+        # M/M/inf mean occupancy = lambda * mean service time.
+        mix = PoissonJobMix(arrival_per_hour=36.0, mean_duration_s=600.0,
+                            max_jobs=1000)
+        sched = mix.schedule(200_000.0, _rng(1))
+        times = np.arange(0.0, 200_000.0, 60.0)
+        mean_jobs = np.mean([sched.at(float(t)).ext_cmp for t in times])
+        expect = 36.0 / 3600.0 * 600.0  # = 6 concurrent jobs
+        assert mean_jobs == pytest.approx(expect, rel=0.3)
+
+    def test_max_jobs_cap(self):
+        mix = PoissonJobMix(arrival_per_hour=3600.0, mean_duration_s=3600.0,
+                            max_jobs=4)
+        sched = mix.schedule(7200.0, _rng(2))
+        times = np.arange(0.0, 7200.0, 30.0)
+        assert max(sched.at(float(t)).ext_cmp for t in times) <= 4
+
+    def test_zero_rate_is_always_idle(self):
+        sched = PoissonJobMix(arrival_per_hour=0.0).schedule(3600.0, _rng())
+        assert sched.at(1800.0).ext_cmp == 0
+
+    def test_reproducible_under_seed(self):
+        a = PoissonJobMix().schedule(3600.0, _rng(7))
+        b = PoissonJobMix().schedule(3600.0, _rng(7))
+        times = np.arange(0.0, 3600.0, 10.0)
+        assert all(a.at(float(t)) == b.at(float(t)) for t in times)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonJobMix(arrival_per_hour=-1)
+        with pytest.raises(ValueError):
+            PoissonJobMix(mean_duration_s=0)
+        with pytest.raises(ValueError):
+            PoissonJobMix(max_jobs=0)
+        with pytest.raises(ValueError):
+            PoissonJobMix().schedule(0.0, _rng())
+
+
+class TestDiurnalTraffic:
+    def test_cycle_peaks_and_troughs(self):
+        dt = DiurnalTraffic(base_streams=8, amplitude_streams=48,
+                            period_s=86_400.0, noise_streams=0.0)
+        sched = dt.schedule(86_400.0, _rng())
+        quarter = sched.at(86_400.0 / 4).ext_tfr     # sin peak
+        three_q = sched.at(3 * 86_400.0 / 4).ext_tfr  # sin trough
+        assert quarter == pytest.approx(8 + 48, abs=2)
+        assert three_q == pytest.approx(8, abs=2)
+
+    def test_levels_never_negative(self):
+        dt = DiurnalTraffic(base_streams=0, amplitude_streams=8,
+                            noise_streams=20.0)
+        sched = dt.schedule(7200.0, _rng(3))
+        times = np.arange(0.0, 7200.0, 60.0)
+        assert all(sched.at(float(t)).ext_tfr >= 0 for t in times)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalTraffic(period_s=0)
+        with pytest.raises(ValueError):
+            DiurnalTraffic(noise_streams=-1)
+
+
+class TestBurstyTraffic:
+    def test_alternates_quiet_and_burst(self):
+        bt = BurstyTraffic(burst_streams=64, mean_quiet_s=100.0,
+                           mean_burst_s=100.0)
+        sched = bt.schedule(50_000.0, _rng(4))
+        times = np.arange(0.0, 50_000.0, 20.0)
+        levels = {sched.at(float(t)).ext_tfr for t in times}
+        assert levels == {0, 64}
+
+    def test_burst_fraction_roughly_matches_duty_cycle(self):
+        bt = BurstyTraffic(burst_streams=10, mean_quiet_s=300.0,
+                           mean_burst_s=100.0)
+        sched = bt.schedule(400_000.0, _rng(5))
+        times = np.arange(0.0, 400_000.0, 20.0)
+        frac = np.mean([sched.at(float(t)).ext_tfr > 0 for t in times])
+        assert frac == pytest.approx(0.25, abs=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstyTraffic(burst_streams=0)
+        with pytest.raises(ValueError):
+            BurstyTraffic(mean_quiet_s=0)
+
+
+@given(seed=st.integers(0, 1000), duration=st.floats(60.0, 20_000.0))
+@settings(max_examples=50, deadline=None)
+def test_all_generators_produce_valid_schedules(seed, duration):
+    rng = np.random.default_rng(seed)
+    for gen in (PoissonJobMix(), DiurnalTraffic(), BurstyTraffic()):
+        sched = gen.schedule(duration, rng)
+        # Total (defined everywhere) and consistent at probe points.
+        for t in (0.0, duration / 3, duration):
+            load = sched.at(t)
+            assert load.ext_cmp >= 0 and load.ext_tfr >= 0
+        starts = [0.0] + sched.change_times
+        assert all(b > a for a, b in zip(starts, starts[1:]))

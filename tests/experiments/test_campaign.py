@@ -1,0 +1,53 @@
+"""Tests for the full-evaluation campaign runner."""
+
+import pytest
+
+from repro.experiments.campaign import CampaignResult, CampaignScale, run_campaign
+
+
+class TestCampaignScale:
+    def test_full_matches_paper_setup(self):
+        s = CampaignScale.full()
+        assert s.duration_s == 1800.0
+        assert s.fig1_reps == 5
+
+    def test_quick_is_smaller(self):
+        q = CampaignScale.quick()
+        assert q.duration_s < CampaignScale.full().duration_s
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CampaignScale(duration_s=30.0)
+        with pytest.raises(ValueError):
+            CampaignScale(fig1_reps=0)
+
+
+class TestCampaignRun:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # One tiny campaign shared by all assertions in this class.
+        return run_campaign(
+            CampaignScale(duration_s=300.0, fig1_duration_s=120.0,
+                          fig1_reps=1, seed=0)
+        )
+
+    def test_covers_every_figure(self, result):
+        titles = " ".join(result.sections)
+        for token in ("Fig 1", "Figs 5-7", "Fig 6", "ANL→TACC", "Fig 8",
+                      "Fig 9", "Fig 10", "Fig 11"):
+            assert token in titles
+
+    def test_document_assembles_all_sections(self, result):
+        doc = result.document()
+        assert doc.startswith("# Campaign report")
+        for name in result.sections:
+            assert f"## {name}" in doc
+
+    def test_sections_are_nonempty_tables(self, result):
+        for name, block in result.sections.items():
+            assert len(block.splitlines()) >= 3, name
+
+
+def test_empty_result_document():
+    doc = CampaignResult().document()
+    assert doc.startswith("# Campaign report")

@@ -1,0 +1,93 @@
+"""Structural tests for the figure entry points (small-scale runs)."""
+
+import numpy as np
+import pytest
+
+from repro.endpoint.load import ExternalLoad
+from repro.experiments import figures
+
+
+class TestFig1:
+    def test_result_structure(self):
+        res = figures.fig1(
+            nc_values=[2, 8, 32], reps=2, duration_s=120.0, seed=0
+        )
+        assert res.nc_values == [2, 8, 32]
+        assert set(res.stats) == {"no-load", "high-load"}
+        for label in res.stats:
+            assert set(res.stats[label]) == {2, 8, 32}
+            s = res.stats[label][8]
+            assert s.minimum <= s.median <= s.maximum
+
+    def test_critical_point_picks_max_median(self):
+        res = figures.fig1(
+            nc_values=[2, 8, 32],
+            loads={"no-load": ExternalLoad()},
+            reps=1, duration_s=120.0, seed=0,
+        )
+        by_nc = res.stats["no-load"]
+        assert by_nc[res.critical_point("no-load")].median == max(
+            s.median for s in by_nc.values()
+        )
+
+
+class TestFig5Result:
+    @pytest.fixture(scope="class")
+    def res(self):
+        return figures.fig5(
+            loads={"none": ExternalLoad(), "cmp16": ExternalLoad(ext_cmp=16)},
+            duration_s=240.0, seed=0,
+        )
+
+    def test_traces_cover_grid(self, res):
+        assert set(res.traces) == {"none", "cmp16"}
+        for load in res.traces:
+            assert set(res.traces[load]) == {
+                "default", "cd-tuner", "cs-tuner", "nm-tuner",
+            }
+
+    def test_accessors_consistent(self, res):
+        obs = res.steady_observed("none", "default")
+        best = res.steady_best_case("none", "default")
+        assert 0 < obs <= best + 1e-9
+        assert res.improvement_over_default("none", "default") == 1.0
+        assert 0 <= res.overhead_pct("none", "nm-tuner") < 100
+
+    def test_nc_trajectory_shape(self, res):
+        nc = res.nc_trajectory("cmp16", "nm-tuner")
+        assert nc.shape == (8,)  # 240 s / 30 s epochs
+        assert (nc >= 1).all()
+
+
+class TestVaryingLoadResult:
+    def test_fig8_structure(self):
+        res = figures.fig8(duration_s=300.0, switch_at_s=150.0, seed=0)
+        assert set(res.traces) == {"default", "cs-tuner", "nm-tuner"}
+        for tuner in res.traces:
+            assert res.phase_mean(tuner, 0) > 0
+            assert res.phase_mean(tuner, 1) > 0
+        assert res.improvement("default", 0) == pytest.approx(1.0)
+        assert res.trajectory("nm-tuner", 1).shape == (10,)
+
+    def test_fig10_includes_heuristics(self):
+        res = figures.fig10(duration_s=240.0, switch_at_s=120.0, seed=0)
+        assert {"heur1", "heur2", "nm-tuner", "default"} == set(res.traces)
+
+
+class TestFig11Result:
+    def test_structure_and_share(self):
+        res = figures.fig11(tuner="cs", duration_s=300.0, seed=0)
+        assert set(res.traces) == {"anl-uc", "anl-tacc"}
+        share = res.share_of_uc(from_time=150.0)
+        assert 0.0 < share < 1.0
+
+    def test_rejects_unknown_tuner(self):
+        with pytest.raises(ValueError):
+            figures.fig11(tuner="zz", duration_s=120.0)
+
+
+class TestVaryingSchedule:
+    def test_schedule_switch_point(self):
+        sched = figures.varying_load_schedule(777.0)
+        assert sched.at(776.9) == ExternalLoad(ext_cmp=16, ext_tfr=64)
+        assert sched.at(777.0) == ExternalLoad(ext_cmp=16, ext_tfr=16)

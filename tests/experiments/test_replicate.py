@@ -1,0 +1,67 @@
+"""Unit tests for multi-seed replication utilities."""
+
+import pytest
+
+from repro.experiments.replicate import Replicates, compare, replicate, win_rate
+
+
+class TestReplicate:
+    def test_runs_experiment_per_seed(self):
+        calls = []
+
+        def exp(seed):
+            calls.append(seed)
+            return float(seed * 2)
+
+        r = replicate(exp, [1, 2, 3])
+        assert calls == [1, 2, 3]
+        assert r.values == (2.0, 4.0, 6.0)
+        assert r.mean == 4.0
+
+    def test_empty_seed_list_rejected(self):
+        with pytest.raises(ValueError):
+            replicate(lambda s: 1.0, [])
+
+    def test_std_single_sample_is_zero(self):
+        r = replicate(lambda s: 5.0, [0])
+        assert r.std == 0.0
+
+    def test_confidence_interval_contains_mean(self):
+        r = replicate(lambda s: float(s), [1, 2, 3, 4, 5])
+        lo, hi = r.confidence_interval()
+        assert lo < r.mean < hi
+
+    def test_ci_validation(self):
+        r = replicate(lambda s: 1.0, [0, 1])
+        with pytest.raises(ValueError):
+            r.confidence_interval(z=0.0)
+
+    def test_box_stats(self):
+        r = replicate(lambda s: float(s), [1, 2, 3, 4, 5])
+        assert r.box().median == 3.0
+
+    def test_replicates_shape_validation(self):
+        with pytest.raises(ValueError):
+            Replicates(values=(1.0,), seeds=(1, 2))
+        with pytest.raises(ValueError):
+            Replicates(values=(), seeds=())
+
+
+class TestCompareAndWinRate:
+    def test_compare_uses_common_seeds(self):
+        out = compare(
+            {"a": lambda s: float(s), "b": lambda s: float(-s)},
+            [1, 2],
+        )
+        assert out["a"].seeds == out["b"].seeds == (1, 2)
+
+    def test_win_rate(self):
+        a = Replicates(values=(3.0, 1.0, 5.0), seeds=(0, 1, 2))
+        b = Replicates(values=(2.0, 2.0, 2.0), seeds=(0, 1, 2))
+        assert win_rate(a, b) == pytest.approx(2 / 3)
+
+    def test_win_rate_requires_pairing(self):
+        a = Replicates(values=(1.0,), seeds=(0,))
+        b = Replicates(values=(1.0,), seeds=(1,))
+        with pytest.raises(ValueError):
+            win_rate(a, b)

@@ -1,0 +1,145 @@
+"""Unit tests for scenarios, runner plumbing, and report rendering."""
+
+import pytest
+
+from repro.core.base import StaticTuner
+from repro.experiments.report import (
+    downsample,
+    render_comparison,
+    render_series,
+    render_table,
+)
+from repro.experiments.runner import make_session, run_single
+from repro.experiments.scenarios import (
+    ANL_TACC,
+    ANL_UC,
+    default_start,
+    standard_tuners,
+)
+from repro.units import gbps_to_mbps
+
+
+class TestScenarios:
+    def test_link_capacities_match_testbed(self):
+        # 40 Gb/s to UChicago, 20 Gb/s to TACC.
+        uc = ANL_UC.path("anl-uc")
+        tacc = ANL_TACC.path("anl-tacc")
+        assert uc.bottleneck_capacity_mbps == gbps_to_mbps(40.0)
+        assert tacc.bottleneck_capacity_mbps == gbps_to_mbps(20.0)
+
+    def test_tacc_rtt_is_33ms(self):
+        assert ANL_TACC.path("anl-tacc").rtt_ms == 33.0
+
+    def test_paths_share_source_nic(self):
+        topo = ANL_UC.build_topology()
+        assert topo.shared_links("anl-uc", "anl-tacc") == {"anl-nic"}
+
+    def test_fresh_topology_each_call(self):
+        assert ANL_UC.build_topology() is not ANL_UC.build_topology()
+
+    def test_unknown_path_raises(self):
+        with pytest.raises(KeyError):
+            ANL_UC.path("nowhere")
+
+    def test_standard_tuners_names(self):
+        assert set(standard_tuners()) == {
+            "default", "cd-tuner", "cs-tuner", "nm-tuner",
+        }
+
+    def test_default_start(self):
+        assert default_start(1) == (2,)
+        assert default_start(2) == (2, 8)
+        with pytest.raises(ValueError):
+            default_start(3)
+
+
+class TestRunnerPlumbing:
+    def test_make_session_static_does_not_restart(self):
+        s = make_session("x", "anl-uc", StaticTuner(), duration_s=60.0)
+        assert not s.restart_each_epoch
+
+    def test_make_session_adaptive_restarts(self):
+        from repro.core.nm_tuner import NmTuner
+
+        s = make_session("x", "anl-uc", NmTuner(), duration_s=60.0)
+        assert s.restart_each_epoch
+
+    def test_run_single_returns_epochs(self):
+        t = run_single(ANL_UC, StaticTuner(), duration_s=90.0, seed=0)
+        assert len(t.epochs) == 3
+        assert t.epochs[0].params == (2,)
+
+    def test_run_single_2d(self):
+        t = run_single(ANL_UC, StaticTuner(), duration_s=60.0, tune_np=True)
+        assert t.epochs[0].params == (2, 8)
+
+
+class TestReport:
+    def test_render_table_alignment(self):
+        out = render_table(["a", "bb"], [[1, 2.5], [30, 4567.0]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "4567" in lines[-1]
+
+    def test_render_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [[1, 2]])
+
+    def test_render_series(self):
+        out = render_series(
+            [0.0, 30.0], {"default": [1.0, 2.0], "nm": [3.0, 4.0]},
+            title="fig",
+        )
+        assert out.startswith("fig")
+        assert "default" in out and "nm" in out
+
+    def test_render_series_length_check(self):
+        with pytest.raises(ValueError):
+            render_series([0.0], {"x": [1.0, 2.0]})
+
+    def test_render_comparison(self):
+        out = render_comparison([("peak MB/s", 4000, 3900.0)])
+        assert "paper" in out and "measured" in out
+
+    def test_downsample(self):
+        vals = list(range(100))
+        ds = downsample(vals, 10)
+        assert len(ds) == 10
+        assert ds[0] == 0 and ds[-1] == 99
+        assert downsample([1, 2], 10) == [1, 2]
+        with pytest.raises(ValueError):
+            downsample(vals, 1)
+
+
+class TestAsciiChart:
+    def test_renders_with_legend_and_range(self):
+        from repro.experiments.report import ascii_chart
+
+        out = ascii_chart(
+            {"a": [0.0, 50.0, 100.0], "b": [100.0, 50.0, 0.0]},
+            height=5, width=20, title="demo",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        assert "100" in lines[1]
+        assert "*=a" in lines[-1] and "o=b" in lines[-1]
+
+    def test_flat_series_does_not_divide_by_zero(self):
+        from repro.experiments.report import ascii_chart
+
+        out = ascii_chart({"flat": [5.0] * 10}, height=4, width=12)
+        assert "*" in out
+
+    def test_validation(self):
+        from repro.experiments.report import ascii_chart
+
+        with pytest.raises(ValueError):
+            ascii_chart({}, height=5, width=20)
+        with pytest.raises(ValueError):
+            ascii_chart({"a": [1.0]}, height=2, width=20)
+        with pytest.raises(ValueError):
+            ascii_chart({"a": []}, height=5, width=20)
+        with pytest.raises(ValueError):
+            ascii_chart(
+                {str(i): [1.0, 2.0] for i in range(9)}, height=5, width=20
+            )

@@ -1,0 +1,106 @@
+"""Unit tests for the globus-url-copy client and restart models."""
+
+import numpy as np
+import pytest
+
+from repro.endpoint.host import NEHALEM
+from repro.gridftp.client import ClientModel, RestartModel
+
+
+class TestRestartModel:
+    def test_base_cost_without_contention(self):
+        m = RestartModel(base_s=3.0, per_proc_s=0.025, jitter_sigma=0.0)
+        assert m.restart_time_s(2, 0.0, 30.0) == pytest.approx(3.05)
+
+    def test_grows_with_process_count(self):
+        m = RestartModel(jitter_sigma=0.0)
+        assert m.restart_time_s(64, 0.0, 30.0) > m.restart_time_s(2, 0.0, 30.0)
+
+    def test_grows_with_compute_contention(self):
+        m = RestartModel(jitter_sigma=0.0)
+        t_idle = m.restart_time_s(8, 0.0, 30.0)
+        t_half = m.restart_time_s(8, 0.5, 30.0)
+        t_heavy = m.restart_time_s(8, 0.8, 30.0)
+        assert t_idle < t_half < t_heavy
+
+    def test_clamped_to_fraction_of_epoch(self):
+        m = RestartModel(base_s=100.0, jitter_sigma=0.0,
+                         max_fraction_of_epoch=0.9)
+        assert m.restart_time_s(1, 0.0, 30.0) == pytest.approx(27.0)
+
+    def test_warm_restart_discount(self):
+        m = RestartModel(jitter_sigma=0.0, warm_np_factor=0.2)
+        cold = m.restart_time_s(8, 0.0, 30.0)
+        warm = m.restart_time_s(8, 0.0, 30.0, warm=True)
+        assert warm == pytest.approx(0.2 * cold)
+
+    def test_warm_factor_one_means_no_discount(self):
+        m = RestartModel(jitter_sigma=0.0)
+        assert m.restart_time_s(8, 0.0, 30.0) == pytest.approx(
+            m.restart_time_s(8, 0.0, 30.0, warm=True)
+        )
+
+    def test_jitter_is_applied_with_rng(self):
+        m = RestartModel(jitter_sigma=0.5)
+        rng = np.random.default_rng(0)
+        draws = {m.restart_time_s(2, 0.0, 30.0, rng=rng) for _ in range(5)}
+        assert len(draws) > 1
+
+    def test_no_rng_is_deterministic(self):
+        m = RestartModel(jitter_sigma=0.5)
+        assert m.restart_time_s(2, 0.0, 30.0) == m.restart_time_s(2, 0.0, 30.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RestartModel(base_s=-1.0)
+        with pytest.raises(ValueError):
+            RestartModel(cmp_beta=-1.0)
+        with pytest.raises(ValueError):
+            RestartModel(max_fraction_of_epoch=0.0)
+        with pytest.raises(ValueError):
+            RestartModel(warm_np_factor=2.0)
+        m = RestartModel()
+        with pytest.raises(ValueError):
+            m.restart_time_s(0, 0.0, 30.0)
+        with pytest.raises(ValueError):
+            m.restart_time_s(1, 1.0, 30.0)
+        with pytest.raises(ValueError):
+            m.restart_time_s(1, 0.0, 0.0)
+
+
+class TestClientModel:
+    def test_streams_is_nc_times_np(self):
+        # "The number of TCP streams used by Globus GridFTP is the product
+        # of concurrency and parallelism" — e.g. 2 x 4 = 8.
+        assert ClientModel.streams(2, 4) == 8
+
+    def test_processes_equals_nc(self):
+        assert ClientModel.processes(5) == 5
+
+    def test_thread_efficiency_single_stream_is_one(self):
+        assert ClientModel.thread_efficiency(1, NEHALEM) == 1.0
+
+    def test_thread_efficiency_decreases_and_floors(self):
+        e8 = ClientModel.thread_efficiency(8, NEHALEM)
+        e32 = ClientModel.thread_efficiency(32, NEHALEM)
+        assert 0.5 <= e32 < e8 < 1.0
+        assert ClientModel.thread_efficiency(10_000, NEHALEM) == 0.5
+
+    def test_cpu_capacity_scales_with_share(self):
+        c = ClientModel()
+        r1 = c.cpu_capacity_mbps(8, 1.0, NEHALEM)
+        r2 = c.cpu_capacity_mbps(8, 2.0, NEHALEM)
+        assert r2 == pytest.approx(2 * r1)
+
+    def test_cpu_capacity_zero_share(self):
+        assert ClientModel().cpu_capacity_mbps(8, 0.0, NEHALEM) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClientModel.streams(0, 1)
+        with pytest.raises(ValueError):
+            ClientModel.processes(0)
+        with pytest.raises(ValueError):
+            ClientModel.thread_efficiency(0, NEHALEM)
+        with pytest.raises(ValueError):
+            ClientModel().cpu_capacity_mbps(1, -1.0, NEHALEM)

@@ -1,0 +1,94 @@
+"""Unit tests for the disk-to-disk extension."""
+
+import numpy as np
+import pytest
+
+from repro.gridftp.diskio import DiskSpec, FileSet, disk_rate_cap_mbps
+from repro.units import GB, MB
+
+
+class TestDiskSpec:
+    def test_aggregate_rate_scales_with_accessors(self):
+        d = DiskSpec(streaming_rate_mbps=100.0, parallel_scaling=0.5)
+        assert d.aggregate_rate_mbps(1) == 100.0
+        assert d.aggregate_rate_mbps(3) == pytest.approx(200.0)
+
+    def test_scaling_saturates(self):
+        d = DiskSpec(max_parallel_accessors=4, parallel_scaling=1.0,
+                     streaming_rate_mbps=100.0)
+        assert d.aggregate_rate_mbps(4) == d.aggregate_rate_mbps(100)
+
+    def test_single_spindle_no_scaling(self):
+        d = DiskSpec(parallel_scaling=0.0, streaming_rate_mbps=100.0)
+        assert d.aggregate_rate_mbps(32) == 100.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiskSpec(streaming_rate_mbps=0.0)
+        with pytest.raises(ValueError):
+            DiskSpec(per_file_overhead_s=-0.1)
+        with pytest.raises(ValueError):
+            DiskSpec(parallel_scaling=1.5)
+        with pytest.raises(ValueError):
+            DiskSpec().aggregate_rate_mbps(0)
+
+
+class TestFileSet:
+    def test_total_bytes(self):
+        fs = FileSet(n_files=10, mean_bytes=1 * GB)
+        assert fs.total_bytes == 10 * GB
+
+    def test_sample_sizes_mean_preserving(self):
+        fs = FileSet(n_files=20_000, mean_bytes=100 * MB, sigma=1.0)
+        sizes = fs.sample_sizes(np.random.default_rng(0))
+        assert sizes.shape == (20_000,)
+        assert sizes.mean() == pytest.approx(100 * MB, rel=0.05)
+
+    def test_sigma_zero_is_uniform(self):
+        fs = FileSet(n_files=5, mean_bytes=10.0, sigma=0.0)
+        assert (fs.sample_sizes(np.random.default_rng(0)) == 10.0).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FileSet(n_files=0)
+        with pytest.raises(ValueError):
+            FileSet(n_files=1, mean_bytes=0)
+        with pytest.raises(ValueError):
+            FileSet(n_files=1, sigma=-1)
+
+
+class TestDiskRateCap:
+    DISK = DiskSpec(streaming_rate_mbps=500.0, per_file_overhead_s=0.05)
+
+    def test_few_large_files_reach_streaming_rate(self):
+        files = FileSet(n_files=10, mean_bytes=10 * GB)
+        cap = disk_rate_cap_mbps(self.DISK, files, nc=1, np_=1, pp=1,
+                                 rtt_s=0.03)
+        assert cap == pytest.approx(500.0, rel=0.01)
+
+    def test_many_small_files_are_overhead_bound(self):
+        files = FileSet(n_files=100_000, mean_bytes=1 * MB)
+        cap = disk_rate_cap_mbps(self.DISK, files, nc=1, np_=1, pp=1,
+                                 rtt_s=0.03)
+        assert cap < 20.0
+
+    def test_pipelining_recovers_small_file_throughput(self):
+        files = FileSet(n_files=100_000, mean_bytes=1 * MB)
+        shallow = disk_rate_cap_mbps(self.DISK, files, 1, 1, pp=1, rtt_s=0.03)
+        deep = disk_rate_cap_mbps(self.DISK, files, 1, 1, pp=32, rtt_s=0.03)
+        assert deep > 10 * shallow
+
+    def test_streams_amortize_per_file_cost(self):
+        files = FileSet(n_files=100_000, mean_bytes=1 * MB)
+        one = disk_rate_cap_mbps(self.DISK, files, 1, 1, pp=1, rtt_s=0.03)
+        many = disk_rate_cap_mbps(self.DISK, files, 8, 4, pp=1, rtt_s=0.03)
+        assert many > 5 * one
+
+    def test_validation(self):
+        files = FileSet(n_files=1, mean_bytes=1 * MB)
+        with pytest.raises(ValueError):
+            disk_rate_cap_mbps(self.DISK, files, 1, 1, pp=0, rtt_s=0.03)
+        with pytest.raises(ValueError):
+            disk_rate_cap_mbps(self.DISK, files, 1, 1, pp=1, rtt_s=-1.0)
+        with pytest.raises(ValueError):
+            disk_rate_cap_mbps(self.DISK, files, 0, 1, pp=1, rtt_s=0.0)

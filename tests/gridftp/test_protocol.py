@@ -1,0 +1,203 @@
+"""Unit and property tests for the GridFTP protocol emulation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gridftp.client import RestartModel
+from repro.gridftp.protocol import (
+    EBLOCK_HEADER_BYTES,
+    ControlSession,
+    ProtocolError,
+    Reply,
+    SessionState,
+    distribute_blocks,
+    eblock_efficiency,
+    startup_time_s,
+)
+
+
+def _configured_session() -> ControlSession:
+    s = ControlSession()
+    s.auth("/DC=org/CN=test-user")
+    s.set_type("I")
+    s.set_mode("E")
+    s.set_buffer(4 * 1024 * 1024)
+    s.set_parallelism(8)
+    s.spas(n_nodes=2)
+    return s
+
+
+class TestControlSequencing:
+    def test_happy_path_full_transfer(self):
+        s = _configured_session()
+        assert s.retr("/dev/zero").code == 150
+        assert s.state is SessionState.TRANSFERRING
+        assert s.complete().code == 226
+        assert s.state is SessionState.CONFIGURED
+        assert s.quit().code == 221
+        assert s.state is SessionState.CLOSED
+
+    def test_commands_require_auth_first(self):
+        s = ControlSession()
+        with pytest.raises(ProtocolError):
+            s.set_mode("E")
+        with pytest.raises(ProtocolError):
+            s.retr("/x")
+
+    def test_cannot_auth_twice(self):
+        s = ControlSession()
+        s.auth("/CN=u")
+        with pytest.raises(ProtocolError):
+            s.auth("/CN=u")
+
+    def test_parallelism_requires_mode_e(self):
+        s = ControlSession()
+        s.auth("/CN=u")
+        s.set_type("I")  # CONFIGURED, but still MODE S
+        with pytest.raises(ProtocolError):
+            s.set_parallelism(8)
+
+    def test_retr_requires_data_channels(self):
+        s = ControlSession()
+        s.auth("/CN=u")
+        s.set_mode("E")
+        with pytest.raises(ProtocolError):
+            s.retr("/x")
+
+    def test_abort_returns_to_configured(self):
+        s = _configured_session()
+        s.retr("/x")
+        s.abort()
+        assert s.state is SessionState.CONFIGURED
+        # A new transfer can start on the same session.
+        assert s.retr("/y").ok is False or True  # 150 is preliminary
+        assert s.state is SessionState.TRANSFERRING
+
+    def test_complete_only_while_transferring(self):
+        s = _configured_session()
+        with pytest.raises(ProtocolError):
+            s.complete()
+
+    def test_quit_twice_rejected(self):
+        s = ControlSession()
+        s.auth("/CN=u")
+        s.quit()
+        with pytest.raises(ProtocolError):
+            s.quit()
+
+    def test_invalid_arguments(self):
+        s = ControlSession()
+        with pytest.raises(ProtocolError):
+            s.auth("")
+        s.auth("/CN=u")
+        with pytest.raises(ProtocolError):
+            s.set_mode("X")
+        with pytest.raises(ProtocolError):
+            s.set_type("E")
+        with pytest.raises(ProtocolError):
+            s.set_buffer(0)
+        s.set_mode("E")
+        with pytest.raises(ProtocolError):
+            s.set_parallelism(0)
+        with pytest.raises(ProtocolError):
+            s.spas(0)
+
+    def test_spas_allocates_per_node_addresses(self):
+        s = ControlSession(server_name="dtn1")
+        s.auth("/CN=u")
+        s.set_mode("E")
+        s.spas(n_nodes=4)
+        assert len(s.stripes) == 4
+        assert len(set(s.stripes)) == 4
+        assert all(a.startswith("dtn1-dn") for a in s.stripes)
+
+    def test_round_trips_accumulate(self):
+        s = _configured_session()
+        # auth = 1 command + 2 ADAT legs; 4 config; 1 spas.
+        assert s.round_trips == 1 + 2 + 4 + 1
+
+    def test_reply_ok_semantics(self):
+        assert Reply(226, "done").ok
+        assert Reply(235, "auth").ok
+        assert not Reply(550, "no such file").ok
+
+
+class TestEblock:
+    def test_header_size_matches_spec(self):
+        assert EBLOCK_HEADER_BYTES == 17
+
+    def test_efficiency_default_block_negligible(self):
+        assert eblock_efficiency(256 * 1024) > 0.9999
+
+    def test_efficiency_small_blocks_hurt(self):
+        assert eblock_efficiency(64) < 0.8
+
+    def test_efficiency_validation(self):
+        with pytest.raises(ValueError):
+            eblock_efficiency(0)
+
+
+class TestDistributeBlocks:
+    def test_conserves_bytes(self):
+        parts = distribute_blocks(10_000_000, 256 * 1024, 8)
+        assert sum(parts) == 10_000_000
+
+    def test_imbalance_below_one_block(self):
+        parts = distribute_blocks(10_000_000, 256 * 1024, 8)
+        assert max(parts) - min(parts) <= 256 * 1024
+
+    def test_single_stream_gets_everything(self):
+        assert distribute_blocks(999, 256, 1) == [999]
+
+    def test_zero_bytes(self):
+        assert distribute_blocks(0, 256, 4) == [0, 0, 0, 0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            distribute_blocks(-1, 256, 1)
+        with pytest.raises(ValueError):
+            distribute_blocks(1, 0, 1)
+        with pytest.raises(ValueError):
+            distribute_blocks(1, 256, 0)
+
+    @given(
+        total=st.integers(0, 10**9),
+        block=st.integers(1, 10**6),
+        n=st.integers(1, 64),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_conservation_and_balance_property(self, total, block, n):
+        parts = distribute_blocks(total, block, n)
+        assert len(parts) == n
+        assert sum(parts) == total
+        assert all(p >= 0 for p in parts)
+        assert max(parts) - min(parts) <= block
+
+
+class TestStartupTime:
+    def test_round_trip_count(self):
+        assert ControlSession.startup_round_trips() == 10
+        assert ControlSession.startup_round_trips(striped=True) == 11
+
+    def test_grows_with_rtt_and_nc(self):
+        assert startup_time_s(0.05) > startup_time_s(0.002)
+        assert startup_time_s(0.002, nc=64) > startup_time_s(0.002, nc=2)
+
+    def test_protocol_plausibility_of_restart_model(self):
+        """The calibrated RestartModel's no-load cost should be within the
+        range the protocol derivation produces for the paper's setups."""
+        model = RestartModel()
+        calibrated = model.restart_time_s(8, 0.0, 30.0)
+        derived = startup_time_s(
+            0.033, nc=8, exec_load_s=1.0, per_channel_connect_s=0.05
+        )
+        assert 0.3 * calibrated < derived < 3.0 * calibrated
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            startup_time_s(0.0)
+        with pytest.raises(ValueError):
+            startup_time_s(0.01, nc=0)
+        with pytest.raises(ValueError):
+            startup_time_s(0.01, exec_load_s=-1)

@@ -1,0 +1,299 @@
+"""Integration tests: the paper's qualitative results must hold end-to-end.
+
+Each test runs the calibrated scenarios through the full engine and checks
+the *shape* claims of the evaluation section — who wins, roughly by what
+factor, and how the critical point moves.  Absolute MB/s values are
+substrate-dependent and asserted only loosely.
+"""
+
+import pytest
+
+from repro.analysis.stats import improvement_factor, steady_state_mean
+from repro.core.base import StaticTuner
+from repro.core.cd_tuner import CdTuner
+from repro.core.cs_tuner import CsTuner
+from repro.core.heuristics import Heur2Tuner
+from repro.core.nm_tuner import NmTuner
+from repro.endpoint.load import ExternalLoad
+from repro.experiments.figures import varying_load_schedule
+from repro.experiments.runner import run_joint, run_pair, run_single
+from repro.experiments.scenarios import ANL_TACC, ANL_UC
+
+
+def _sweep(scenario, nc_values, load, *, fixed_np=1, duration=240.0, seed=3):
+    out = {}
+    for nc in nc_values:
+        t = run_single(scenario, StaticTuner(), load=load, x0=(nc,),
+                       fixed_np=fixed_np, duration_s=duration, seed=seed)
+        out[nc] = steady_state_mean(t, tail_fraction=0.75)
+    return out
+
+
+class TestFig1Surface:
+    """Fig. 1 / §III-A observations 1-3."""
+
+    NC = [1, 4, 16, 64, 128, 256, 512]
+
+    def test_unimodal_with_critical_point_at_64_no_load(self):
+        curve = _sweep(ANL_UC, self.NC, None)
+        peak = max(curve, key=curve.get)
+        assert peak == 64
+        # Monotone rise before, fall after (observation 1).
+        assert curve[1] < curve[4] < curve[16] < curve[64]
+        assert curve[64] > curve[256] > curve[512]
+
+    def test_critical_point_shifts_right_under_transfer_load(self):
+        # "when the external traffic rises to 64 streams, the critical
+        # point increases" (§III-A observation 2).
+        free = _sweep(ANL_UC, self.NC, None)
+        loaded = _sweep(ANL_UC, self.NC, ExternalLoad(ext_tfr=64))
+        assert max(loaded, key=loaded.get) > max(free, key=free.get)
+
+    def test_peak_throughput_drops_under_load(self):
+        free = _sweep(ANL_UC, self.NC, None)
+        loaded = _sweep(ANL_UC, self.NC, ExternalLoad(ext_cmp=16, ext_tfr=16))
+        assert max(loaded.values()) < 0.9 * max(free.values())
+
+
+class TestFig5Improvements:
+    """Fig. 5: adaptive concurrency beats the Globus default."""
+
+    def _run(self, tuner, load, seed=0, duration=1800.0):
+        return run_single(ANL_UC, tuner, load=load, duration_s=duration,
+                          fixed_np=8, seed=seed)
+
+    def test_tuners_beat_default_without_load(self):
+        base = self._run(StaticTuner(), None)
+        for tuner in (CdTuner(), CsTuner(seed=0), NmTuner()):
+            tuned = self._run(tuner, None)
+            assert improvement_factor(tuned, base) > 1.15
+
+    def test_large_improvement_under_compute_load(self):
+        # Paper: 7x (cmp=16) and 10x (cmp=64) for cs/nm.  Our substrate's
+        # default fares relatively better (see EXPERIMENTS.md), so the
+        # asserted floors are looser; the ordering and "multiples, not
+        # percent" scale of the win is the reproduced shape.
+        for cmp_, min_factor in ((16, 2.0), (64, 3.0)):
+            load = ExternalLoad(ext_cmp=cmp_)
+            base = self._run(StaticTuner(), load)
+            tuned = self._run(NmTuner(), load)
+            assert improvement_factor(tuned, base) > min_factor
+
+    def test_improvement_under_transfer_load(self):
+        # Paper: ~2x for ext.tfr in {16, 64}.
+        for tfr in (16, 64):
+            load = ExternalLoad(ext_tfr=tfr)
+            base = self._run(StaticTuner(), load)
+            tuned = self._run(CsTuner(seed=1), load)
+            assert improvement_factor(tuned, base) > 1.3
+
+    def test_cd_improves_but_lags_under_compute_load(self):
+        # Paper: cd only ~2x where cs/nm reach 7x (cmp=16).
+        load = ExternalLoad(ext_cmp=16)
+        base = self._run(StaticTuner(), load)
+        cd = self._run(CdTuner(), load)
+        nm = self._run(NmTuner(), load)
+        f_cd = improvement_factor(cd, base)
+        f_nm = improvement_factor(nm, base)
+        assert f_cd > 1.5
+        assert f_nm > f_cd
+
+    def test_adapted_nc_grows_with_compute_load(self):
+        # Fig. 6: nc ends near 5-10 with no load, 25+ under cmp load.
+        free = self._run(NmTuner(), None)
+        loaded = self._run(NmTuner(), ExternalLoad(ext_cmp=16))
+        tail = len(free.epochs) // 2
+        nc_free = float(free.epoch_param(0)[tail:].mean())
+        nc_loaded = float(loaded.epoch_param(0)[tail:].mean())
+        assert nc_loaded > 2 * nc_free
+
+
+class TestFig7Overhead:
+    """Fig. 5 vs Fig. 7: restart overhead."""
+
+    def test_best_case_exceeds_observed_for_tuners(self):
+        t = run_single(ANL_UC, NmTuner(), duration_s=1200.0, seed=0)
+        obs = steady_state_mean(t)
+        best = steady_state_mean(t, best_case=True)
+        assert best > obs
+        # Paper: ~17% overhead without load; allow a broad band.
+        overhead = 1 - obs / best
+        assert 0.05 < overhead < 0.35
+
+    def test_overhead_grows_with_compute_load(self):
+        t_free = run_single(ANL_UC, NmTuner(), duration_s=1200.0, seed=0)
+        t_cmp = run_single(ANL_UC, NmTuner(), load=ExternalLoad(ext_cmp=64),
+                           duration_s=1200.0, seed=0)
+        ov_free = 1 - steady_state_mean(t_free) / steady_state_mean(
+            t_free, best_case=True)
+        ov_cmp = 1 - steady_state_mean(t_cmp) / steady_state_mean(
+            t_cmp, best_case=True)
+        assert ov_cmp > ov_free
+
+    def test_default_has_negligible_steady_overhead(self):
+        t = run_single(ANL_UC, StaticTuner(), duration_s=1200.0, seed=0)
+        obs = steady_state_mean(t)
+        best = steady_state_mean(t, best_case=True)
+        assert obs == pytest.approx(best, rel=0.02)
+
+
+class TestTaccNoLoad:
+    """§IV-A text: on ANL→TACC without load, tuning adds little."""
+
+    def test_default_reaches_most_of_tuned_throughput(self):
+        base = run_single(ANL_TACC, StaticTuner(), duration_s=1800.0, seed=0)
+        tuned = run_single(ANL_TACC, NmTuner(), duration_s=1800.0, seed=0)
+        assert improvement_factor(tuned, base) < 1.5
+
+    def test_default_observed_near_1900(self):
+        base = run_single(ANL_TACC, StaticTuner(), duration_s=900.0, seed=0)
+        assert steady_state_mean(base) == pytest.approx(1900.0, rel=0.15)
+
+
+class TestVaryingLoad:
+    """Figs. 8-9: adaptation to a load switch at t=1000 s."""
+
+    def test_tuner_recovers_after_load_drop(self):
+        sched = varying_load_schedule(1000.0)
+        t = run_single(ANL_TACC, CsTuner(seed=2), load=sched,
+                       duration_s=1800.0, tune_np=True, seed=2)
+        before = t.mean_observed(from_time=600.0, to_time=1000.0)
+        after = t.mean_observed(from_time=1400.0)
+        assert after > before
+
+    def test_tuners_beat_default_in_both_phases(self):
+        sched = varying_load_schedule(1000.0)
+        base = run_single(ANL_TACC, StaticTuner(), load=sched,
+                          duration_s=1800.0, tune_np=True, seed=1)
+        for tuner in (CsTuner(seed=1), NmTuner()):
+            tuned = run_single(ANL_TACC, tuner, load=sched,
+                               duration_s=1800.0, tune_np=True, seed=1)
+            assert tuned.mean_observed(
+                from_time=300.0, to_time=1000.0
+            ) > base.mean_observed(from_time=300.0, to_time=1000.0)
+            assert tuned.mean_observed(from_time=1300.0) > base.mean_observed(
+                from_time=1300.0
+            )
+
+
+class TestFig10Heuristics:
+    """Fig. 10: nm ~ heur2 >> heur1 ramp; heur2 stuck above critical."""
+
+    def test_heur2_cannot_recover_from_high_start(self):
+        # Start way above the critical point on the TACC path.
+        high = (100, 16)
+        h2 = run_single(ANL_TACC, Heur2Tuner(), x0=high, duration_s=900.0,
+                        tune_np=True, seed=0)
+        nm = run_single(ANL_TACC, NmTuner(), x0=high, duration_s=900.0,
+                        tune_np=True, seed=0)
+        assert steady_state_mean(nm) > 1.3 * steady_state_mean(h2)
+        # heur2 never reduced nc below its start.
+        assert min(h2.epoch_param(0)) >= 100
+
+    def test_nm_and_heur2_ramp_faster_than_heur1(self):
+        from repro.core.heuristics import Heur1Tuner
+
+        sched = varying_load_schedule(1000.0)
+        early = {}
+        for name, tuner in (
+            ("heur1", Heur1Tuner()),
+            ("heur2", Heur2Tuner()),
+            ("nm", NmTuner()),
+        ):
+            t = run_single(ANL_TACC, tuner, load=sched, duration_s=600.0,
+                           tune_np=True, seed=4)
+            early[name] = t.mean_observed(from_time=120.0, to_time=600.0)
+        assert early["heur2"] > early["heur1"]
+        assert early["nm"] > early["heur1"]
+
+
+class TestFig11Simultaneous:
+    """Fig. 11: two independently tuned transfers sharing the ANL NIC."""
+
+    def test_both_transfers_make_progress_and_uc_wins(self):
+        traces = run_pair(
+            ANL_UC, NmTuner(), NmTuner(), path_a="anl-uc",
+            path_b="anl-tacc", duration_s=1800.0, seed=0,
+        )
+        uc = traces["xfer-a"].mean_observed(from_time=900.0)
+        tacc = traces["xfer-b"].mean_observed(from_time=900.0)
+        assert uc > 0 and tacc > 0
+        # The UChicago transfer claims the larger share (its path supports
+        # 2x the bandwidth).
+        assert uc > tacc
+
+    def test_combined_rate_bounded_by_nic(self):
+        traces = run_pair(
+            ANL_UC, CsTuner(seed=0), CsTuner(seed=1), path_a="anl-uc",
+            path_b="anl-tacc", duration_s=1200.0, seed=0,
+        )
+        total = sum(tr.mean_observed(from_time=600.0) for tr in traces.values())
+        assert total <= 5000.0
+
+
+class TestJointTuningExtension:
+    def test_joint_tuning_runs_and_moves_both(self):
+        traces = run_joint(
+            ANL_UC, NmTuner(), path_a="anl-uc", path_b="anl-tacc",
+            duration_s=1200.0, seed=0,
+        )
+        assert len(set(traces["xfer-a"].epoch_param(0))) > 1
+        assert len(set(traces["xfer-b"].epoch_param(0))) > 1
+
+    def test_joint_tuning_competitive_with_independent(self):
+        joint = run_joint(ANL_UC, NmTuner(), path_a="anl-uc",
+                          path_b="anl-tacc", duration_s=1800.0, seed=0)
+        indep = run_pair(ANL_UC, NmTuner(), NmTuner(), path_a="anl-uc",
+                         path_b="anl-tacc", duration_s=1800.0, seed=0)
+        joint_total = sum(
+            t.mean_observed(from_time=900.0) for t in joint.values()
+        )
+        indep_total = sum(
+            t.mean_observed(from_time=900.0) for t in indep.values()
+        )
+        assert joint_total > 0.5 * indep_total
+
+
+class TestThreeDimensionalTuning:
+    """Extension: pipelining depth as a third direct-search dimension."""
+
+    def test_nm_tunes_nc_np_pp_jointly(self):
+        import math
+
+        from repro.core.params import full_transfer_space
+        from repro.gridftp.diskio import DiskSpec, FileSet, disk_rate_cap_mbps
+        from repro.gridftp.transfer import TransferSpec
+        from repro.sim.engine import Engine, EngineConfig
+        from repro.sim.session import ParamMap, TransferSession
+        from repro.units import MB
+
+        disk = DiskSpec(streaming_rate_mbps=1200.0, per_file_overhead_s=0.02,
+                        parallel_scaling=0.5)
+        files = FileSet(n_files=200_000, mean_bytes=4 * MB, sigma=1.0)
+        rtt = ANL_TACC.path("anl-tacc").rtt_s
+
+        def build(tuner, x0):
+            spec = TransferSpec(name="main", path_name="anl-tacc",
+                                total_bytes=math.inf, max_duration_s=1500.0,
+                                epoch_s=30.0)
+            return TransferSession(
+                spec, tuner, full_transfer_space(64, 16, 64), x0,
+                param_map=ParamMap.nc_np_pp(),
+                restart_each_epoch=tuner.restarts_every_epoch,
+                disk_cap_fn=lambda nc, np_, pp: disk_rate_cap_mbps(
+                    disk, files, nc, np_, pp=pp, rtt_s=rtt
+                ),
+            )
+
+        def run(tuner, x0):
+            engine = Engine(
+                topology=ANL_TACC.build_topology(), host=ANL_TACC.host,
+                sessions=[build(tuner, x0)], config=EngineConfig(seed=1),
+            )
+            return engine.run()["main"]
+
+        base = run(StaticTuner(), (2, 8, 4))
+        tuned = run(NmTuner(), (2, 8, 4))
+        assert steady_state_mean(tuned) > steady_state_mean(base)
+        # The tuner moved in the pipelining dimension too.
+        assert len(set(tuned.epoch_param(2))) > 1

@@ -1,0 +1,223 @@
+"""Unit and property tests for the max-min fair allocator."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.fairshare import max_min_fair_allocation
+from repro.net.flows import FlowGroup
+from repro.net.link import Link, Path
+
+LINK_A = Link("A", 1000.0)
+LINK_B = Link("B", 400.0)
+
+
+def _path(name, links, **kw):
+    return Path(name=name, links=links, rtt_ms=10.0, **kw)
+
+
+def _group(name, path, n, *, cap=math.inf, stream_cap=50.0):
+    return FlowGroup(
+        name=name,
+        path=path,
+        n_streams=n,
+        group_cap_mbps=cap,
+        stream_cap_mbps=stream_cap,
+    )
+
+
+PA = _path("pa", (LINK_A,))
+PB = _path("pb", (LINK_A, LINK_B))
+
+
+class TestBasicAllocation:
+    def test_empty_input(self):
+        assert max_min_fair_allocation([]) == {}
+
+    def test_single_group_stream_capped(self):
+        alloc = max_min_fair_allocation([_group("g", PA, 4, stream_cap=50.0)])
+        assert alloc["g"] == pytest.approx(200.0)
+
+    def test_single_group_link_capped(self):
+        alloc = max_min_fair_allocation(
+            [_group("g", PA, 100, stream_cap=50.0)]
+        )
+        assert alloc["g"] == pytest.approx(1000.0)
+
+    def test_single_group_group_capped(self):
+        alloc = max_min_fair_allocation(
+            [_group("g", PA, 4, cap=120.0, stream_cap=50.0)]
+        )
+        assert alloc["g"] == pytest.approx(120.0)
+
+    def test_per_stream_fairness_on_shared_link(self):
+        # 30 vs 10 streams on a 1000 MB/s link, no other caps binding:
+        # shares split 3:1.
+        alloc = max_min_fair_allocation(
+            [
+                _group("big", PA, 30, stream_cap=1000.0),
+                _group("small", PA, 10, stream_cap=1000.0),
+            ]
+        )
+        assert alloc["big"] == pytest.approx(750.0)
+        assert alloc["small"] == pytest.approx(250.0)
+
+    def test_capped_group_leaves_capacity_to_other(self):
+        alloc = max_min_fair_allocation(
+            [
+                _group("capped", PA, 10, cap=100.0, stream_cap=1000.0),
+                _group("free", PA, 10, stream_cap=1000.0),
+            ]
+        )
+        assert alloc["capped"] == pytest.approx(100.0)
+        assert alloc["free"] == pytest.approx(900.0)
+
+    def test_multi_link_path_respects_narrow_link(self):
+        alloc = max_min_fair_allocation(
+            [_group("g", PB, 100, stream_cap=50.0)]
+        )
+        assert alloc["g"] == pytest.approx(400.0)
+
+    def test_shared_first_link_couples_two_paths(self):
+        # Both cross A (1000); pb also crosses B (400).  pb freezes at B's
+        # saturation; pa picks up the rest of A.
+        alloc = max_min_fair_allocation(
+            [
+                _group("ga", PA, 50, stream_cap=1000.0),
+                _group("gb", PB, 50, stream_cap=1000.0),
+            ]
+        )
+        assert alloc["gb"] == pytest.approx(400.0)
+        assert alloc["ga"] == pytest.approx(600.0)
+
+    def test_zero_cap_group_gets_nothing(self):
+        alloc = max_min_fair_allocation(
+            [
+                _group("dead", PA, 10, cap=0.0, stream_cap=10.0),
+                _group("live", PA, 10, stream_cap=10.0),
+            ]
+        )
+        assert alloc["dead"] == 0.0
+        assert alloc["live"] == pytest.approx(100.0)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            max_min_fair_allocation([_group("g", PA, 1), _group("g", PA, 1)])
+
+    def test_conflicting_link_capacities_rejected(self):
+        pa2 = _path("pa2", (Link("A", 999.0),))
+        with pytest.raises(ValueError):
+            max_min_fair_allocation(
+                [_group("g1", PA, 1), _group("g2", pa2, 1)]
+            )
+
+
+# -- property tests ---------------------------------------------------------
+
+
+@st.composite
+def allocation_problems(draw):
+    n_links = draw(st.integers(1, 4))
+    links = [
+        Link(f"L{i}", draw(st.floats(10.0, 2000.0)))
+        for i in range(n_links)
+    ]
+    n_groups = draw(st.integers(1, 6))
+    groups = []
+    for g in range(n_groups):
+        # Each path uses a nonempty subset of links, in index order.
+        subset = draw(
+            st.sets(st.integers(0, n_links - 1), min_size=1, max_size=n_links)
+        )
+        path = _path(f"p{g}", tuple(links[i] for i in sorted(subset)))
+        groups.append(
+            FlowGroup(
+                name=f"g{g}",
+                path=path,
+                n_streams=draw(st.integers(1, 64)),
+                group_cap_mbps=draw(
+                    st.one_of(st.just(math.inf), st.floats(0.0, 3000.0))
+                ),
+                stream_cap_mbps=draw(st.floats(0.1, 500.0)),
+            )
+        )
+    return links, groups
+
+
+TOL = 1e-6
+
+
+@given(allocation_problems())
+@settings(max_examples=150, deadline=None)
+def test_allocation_invariants(problem):
+    links, groups = problem
+    alloc = max_min_fair_allocation(groups)
+
+    # Non-negative and never above the group's own maximum.
+    for g in groups:
+        assert alloc[g.name] >= -TOL
+        assert alloc[g.name] <= g.max_rate_mbps + TOL
+
+    # No link oversubscribed.
+    for link in links:
+        load = sum(
+            alloc[g.name]
+            for g in groups
+            if any(l.name == link.name for l in g.path.links)
+        )
+        assert load <= link.capacity_mbps + TOL
+
+    # Every group is blocked: at its own cap or on a saturated link.
+    for g in groups:
+        at_own_cap = alloc[g.name] >= g.max_rate_mbps - TOL
+        on_saturated = any(
+            sum(
+                alloc[h.name]
+                for h in groups
+                if any(l.name == link.name for l in h.path.links)
+            )
+            >= link.capacity_mbps - TOL
+            for link in g.path.links
+        )
+        assert at_own_cap or on_saturated
+
+
+@given(allocation_problems())
+@settings(max_examples=100, deadline=None)
+def test_allocation_fairness_on_shared_bottleneck(problem):
+    """Groups blocked only by the same link get equal per-stream rates,
+    unless individually capped lower."""
+    _, groups = problem
+    alloc = max_min_fair_allocation(groups)
+    per_stream = {g.name: alloc[g.name] / g.n_streams for g in groups}
+    for a in groups:
+        for b in groups:
+            shared = {l.name for l in a.path.links} & {
+                l.name for l in b.path.links
+            }
+            if not shared:
+                continue
+            # If a's per-stream rate is *strictly below* b's, then a must
+            # be at one of its own caps (fairness would otherwise have
+            # given it b's level).
+            if per_stream[a.name] < per_stream[b.name] - TOL:
+                at_cap = alloc[a.name] >= a.max_rate_mbps - TOL
+                # ... or a is blocked by a link b doesn't cross.
+                other_links = {l.name for l in a.path.links} - shared
+                assert at_cap or other_links
+
+
+@given(st.integers(1, 100), st.integers(0, 100))
+@settings(max_examples=50, deadline=None)
+def test_share_grows_with_stream_count(n_ours, n_ext):
+    """More parallel streams claim a larger share of a congested link —
+    the paper's core mechanism."""
+    groups = [_group("us", PA, n_ours, stream_cap=1000.0)]
+    if n_ext:
+        groups.append(_group("ext", PA, n_ext, stream_cap=1000.0))
+    base = max_min_fair_allocation(groups)["us"]
+    groups[0] = _group("us", PA, n_ours + 1, stream_cap=1000.0)
+    more = max_min_fair_allocation(groups)["us"]
+    assert more >= base - TOL

@@ -1,0 +1,91 @@
+"""Unit tests for FlowGroup and Topology."""
+
+import math
+
+import pytest
+
+from repro.net.flows import FlowGroup
+from repro.net.link import Link, Path
+from repro.net.tcp import TcpModel
+from repro.net.topology import Topology
+from repro.units import MB
+
+NIC = Link("nic", 5000.0)
+WAN1 = Link("wan1", 5000.0)
+WAN2 = Link("wan2", 2500.0)
+
+P1 = Path("p1", (NIC, WAN1), rtt_ms=2.0)
+P2 = Path("p2", (NIC, WAN2), rtt_ms=33.0)
+
+
+class TestFlowGroup:
+    def test_effective_stream_cap_prefers_override(self):
+        g = FlowGroup("g", P1, 4, stream_cap_mbps=42.0)
+        assert g.effective_stream_cap == 42.0
+
+    def test_effective_stream_cap_falls_back_to_path(self):
+        g = FlowGroup("g", P1, 4)
+        assert g.effective_stream_cap == pytest.approx(P1.stream_cap_mbps(1))
+
+    def test_max_rate_combines_caps(self):
+        g = FlowGroup("g", P1, 4, group_cap_mbps=100.0, stream_cap_mbps=42.0)
+        assert g.max_rate_mbps == pytest.approx(100.0)
+        g2 = FlowGroup("g", P1, 2, group_cap_mbps=1000.0, stream_cap_mbps=42.0)
+        assert g2.max_rate_mbps == pytest.approx(84.0)
+
+    def test_unbounded_group_cap(self):
+        g = FlowGroup("g", P1, 2, stream_cap_mbps=10.0)
+        assert g.group_cap_mbps == math.inf
+        assert g.max_rate_mbps == pytest.approx(20.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlowGroup("", P1, 1)
+        with pytest.raises(ValueError):
+            FlowGroup("g", P1, 0)
+        with pytest.raises(ValueError):
+            FlowGroup("g", P1, 1, group_cap_mbps=-1.0)
+        with pytest.raises(ValueError):
+            FlowGroup("g", P1, 1, stream_cap_mbps=-1.0)
+
+
+class TestTopology:
+    def test_add_and_lookup_path(self):
+        topo = Topology()
+        topo.add_path(P1)
+        assert topo.path("p1") is P1
+
+    def test_links_registered_from_paths(self):
+        topo = Topology()
+        topo.add_path(P1)
+        topo.add_path(P2)
+        assert set(topo.links) == {"nic", "wan1", "wan2"}
+
+    def test_shared_links(self):
+        topo = Topology()
+        topo.add_path(P1)
+        topo.add_path(P2)
+        assert topo.shared_links("p1", "p2") == {"nic"}
+
+    def test_duplicate_path_rejected(self):
+        topo = Topology()
+        topo.add_path(P1)
+        with pytest.raises(ValueError):
+            topo.add_path(P1)
+
+    def test_conflicting_link_redefinition_rejected(self):
+        topo = Topology()
+        topo.add_path(P1)
+        bad = Path("p3", (Link("nic", 123.0),), rtt_ms=1.0)
+        with pytest.raises(ValueError):
+            topo.add_path(bad)
+
+    def test_unknown_path_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            Topology().path("nope")
+
+    def test_duplicate_link_add_rejected(self):
+        topo = Topology()
+        topo.add_link(NIC)
+        with pytest.raises(ValueError):
+            topo.add_link(Link("nic", 5000.0))

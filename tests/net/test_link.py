@@ -1,0 +1,80 @@
+"""Unit tests for links and paths."""
+
+import pytest
+
+from repro.net.link import Link, Path
+from repro.net.tcp import TcpModel
+from repro.units import MB
+
+
+def _path(**kw):
+    defaults = dict(
+        name="p",
+        links=(Link("a", 1000.0), Link("b", 500.0)),
+        rtt_ms=10.0,
+    )
+    defaults.update(kw)
+    return Path(**defaults)
+
+
+class TestLink:
+    def test_requires_positive_capacity(self):
+        with pytest.raises(ValueError):
+            Link("x", 0.0)
+
+    def test_requires_name(self):
+        with pytest.raises(ValueError):
+            Link("", 100.0)
+
+
+class TestPath:
+    def test_bottleneck_is_min_capacity(self):
+        assert _path().bottleneck_capacity_mbps == 500.0
+
+    def test_rtt_seconds_conversion(self):
+        assert _path(rtt_ms=33.0).rtt_s == pytest.approx(0.033)
+
+    def test_rejects_duplicate_links(self):
+        l = Link("a", 100.0)
+        with pytest.raises(ValueError):
+            _path(links=(l, l))
+
+    def test_rejects_empty_links(self):
+        with pytest.raises(ValueError):
+            _path(links=())
+
+    def test_rejects_bad_loss(self):
+        with pytest.raises(ValueError):
+            _path(loss_rate=-0.1)
+        with pytest.raises(ValueError):
+            _path(loss_per_stream=-1e-9)
+
+    def test_effective_loss_grows_with_streams(self):
+        p = _path(loss_rate=1e-5, loss_per_stream=1e-6)
+        assert p.effective_loss(0) == pytest.approx(1e-5)
+        assert p.effective_loss(100) == pytest.approx(1.1e-4)
+
+    def test_effective_loss_clamped_below_one(self):
+        p = _path(loss_rate=0.5, loss_per_stream=0.1)
+        assert p.effective_loss(1000) == pytest.approx(0.999)
+
+    def test_effective_loss_rejects_negative_streams(self):
+        with pytest.raises(ValueError):
+            _path().effective_loss(-1)
+
+    def test_stream_cap_decreases_with_total_streams(self):
+        p = _path(
+            loss_rate=1e-5,
+            loss_per_stream=1e-6,
+            tcp=TcpModel(wmax_bytes=1000 * MB),  # never buffer-limited
+        )
+        assert p.stream_cap_mbps(1) > p.stream_cap_mbps(100)
+
+    def test_stream_cap_buffer_limited_insensitive_to_streams(self):
+        p = _path(
+            rtt_ms=100.0,
+            loss_rate=1e-9,
+            loss_per_stream=1e-10,
+            tcp=TcpModel(wmax_bytes=1 * MB),
+        )
+        assert p.stream_cap_mbps(1) == pytest.approx(p.stream_cap_mbps(50))

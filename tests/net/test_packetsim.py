@@ -1,0 +1,185 @@
+"""Unit and validation tests for the packet-level TCP simulator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.net.packetsim import (
+    PacketLevelSimulator,
+    PacketPath,
+    StreamState,
+    aggregate_goodput_mbps,
+)
+from repro.net.tcp import CUBIC, HTCP, RENO, SCALABLE, TcpModel
+from repro.units import MB
+
+
+def _lossy_path(**kw):
+    defaults = dict(capacity_mbps=10_000.0, rtt_s=0.05, loss_rate=1e-4,
+                    buffer_packets=100_000)
+    defaults.update(kw)
+    return PacketPath(**defaults)
+
+
+class TestPacketPath:
+    def test_bdp(self):
+        p = PacketPath(capacity_mbps=100.0, rtt_s=0.01, mss=1000)
+        # 100 MB/s * 10 ms = 1 MB = 1000 packets of 1000 B.
+        assert p.bdp_packets == pytest.approx(1000.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PacketPath(capacity_mbps=0, rtt_s=0.01)
+        with pytest.raises(ValueError):
+            PacketPath(capacity_mbps=1, rtt_s=0)
+        with pytest.raises(ValueError):
+            PacketPath(capacity_mbps=1, rtt_s=0.01, loss_rate=1.0)
+        with pytest.raises(ValueError):
+            PacketPath(capacity_mbps=1, rtt_s=0.01, buffer_packets=-1)
+        with pytest.raises(ValueError):
+            PacketPath(capacity_mbps=1, rtt_s=0.01, mss=0)
+
+
+class TestStreamState:
+    def test_slow_start_doubles_until_ssthresh(self):
+        s = StreamState(cc=RENO, cwnd=2.0, ssthresh=16.0)
+        s.grow(0.01)
+        assert s.cwnd == 4.0 and s.in_slow_start
+        s.grow(0.01)
+        s.grow(0.01)
+        assert s.cwnd == 16.0 and not s.in_slow_start
+
+    def test_reno_linear_in_congestion_avoidance(self):
+        s = StreamState(cc=RENO, cwnd=10.0, in_slow_start=False)
+        s.grow(0.01)
+        assert s.cwnd == 11.0
+
+    def test_loss_halves_reno(self):
+        s = StreamState(cc=RENO, cwnd=100.0, in_slow_start=False)
+        s.on_loss()
+        assert s.cwnd == 50.0
+        assert s.ssthresh == 50.0
+        assert s.time_since_loss == 0.0
+
+    def test_cubic_backoff_gentler_than_reno(self):
+        r = StreamState(cc=RENO, cwnd=100.0)
+        c = StreamState(cc=CUBIC, cwnd=100.0)
+        r.on_loss()
+        c.on_loss()
+        assert c.cwnd > r.cwnd
+
+    def test_htcp_alpha_ramps_after_one_second(self):
+        s = StreamState(cc=HTCP, cwnd=100.0, in_slow_start=False)
+        s.grow(0.5)       # within the low-alpha window
+        assert s.cwnd == pytest.approx(101.0)
+        s.time_since_loss = 2.0
+        before = s.cwnd
+        s.grow(0.5)       # t = 2.5 s -> alpha = 1 + 15 + 0.5625
+        assert s.cwnd - before == pytest.approx(1 + 10 * 1.5 + 0.5625)
+
+    def test_scalable_multiplicative_growth(self):
+        s = StreamState(cc=SCALABLE, cwnd=100.0, in_slow_start=False)
+        s.grow(0.01)
+        assert s.cwnd == pytest.approx(101.0)
+
+    def test_cwnd_floor_after_loss(self):
+        s = StreamState(cc=RENO, cwnd=2.0)
+        s.on_loss()
+        assert s.cwnd >= 2.0
+
+
+class TestSimulator:
+    def test_single_reno_matches_mathis_within_20pct(self):
+        # The inverse-sqrt(p) law the fluid model uses.
+        path = _lossy_path()
+        measured = aggregate_goodput_mbps(1, path, cc=RENO,
+                                          duration_s=600, warmup_s=60)
+        mathis = TcpModel(cc=RENO, wmax_bytes=1e15).loss_limit_mbps(
+            path.rtt_s, path.loss_rate
+        )
+        assert measured == pytest.approx(mathis, rel=0.20)
+
+    def test_loss_scaling_follows_inverse_sqrt(self):
+        lo = aggregate_goodput_mbps(1, _lossy_path(loss_rate=1e-4), cc=RENO,
+                                    duration_s=600, warmup_s=60)
+        hi = aggregate_goodput_mbps(1, _lossy_path(loss_rate=4e-4), cc=RENO,
+                                    duration_s=600, warmup_s=60)
+        assert lo / hi == pytest.approx(2.0, rel=0.3)
+
+    def test_identical_streams_are_fair(self):
+        sim = PacketLevelSimulator(
+            PacketPath(1000.0, 0.02, loss_rate=1e-5), [HTCP] * 8, seed=1
+        )
+        result = sim.run(120.0, warmup_s=20.0)
+        assert result.jain_fairness > 0.9
+
+    def test_goodput_never_exceeds_capacity(self):
+        path = PacketPath(5000.0, 0.002, loss_rate=1e-4, buffer_packets=5000)
+        for n in (16, 64, 256):
+            g = aggregate_goodput_mbps(n, path, duration_s=30, warmup_s=5)
+            assert g <= path.capacity_mbps + 1e-6
+
+    def test_parallel_streams_fill_the_pipe(self):
+        # The paper's core §III-A observation: a single AIMD stream leaves
+        # bandwidth unused, parallel streams consume it.
+        path = PacketPath(5000.0, 0.002, loss_rate=1e-4, buffer_packets=5000)
+        one = aggregate_goodput_mbps(1, path, duration_s=60, warmup_s=10)
+        many = aggregate_goodput_mbps(64, path, duration_s=60, warmup_s=10)
+        assert one < 0.2 * path.capacity_mbps
+        assert many > 0.9 * path.capacity_mbps
+
+    def test_aggressive_cc_wins_on_high_bdp(self):
+        # Scalable > H-TCP > CUBIC > Reno on a long fat lossy pipe — the
+        # reason the paper's testbed runs H-TCP instead of Reno.
+        p = PacketPath(2500.0, 0.05, loss_rate=1e-5, buffer_packets=20_000)
+        rates = {
+            cc.name: aggregate_goodput_mbps(1, p, cc=cc, duration_s=600,
+                                            warmup_s=60)
+            for cc in (RENO, CUBIC, HTCP, SCALABLE)
+        }
+        assert rates["reno"] < rates["cubic"] < rates["htcp"] < rates["scalable"]
+
+    def test_buffer_overflow_causes_losses_without_background_loss(self):
+        # Zero background loss, tiny buffer: windows must still stabilize.
+        sim = PacketLevelSimulator(
+            PacketPath(100.0, 0.02, loss_rate=0.0, buffer_packets=50),
+            [RENO] * 4,
+            seed=0,
+        )
+        result = sim.run(60.0, warmup_s=10.0)
+        assert 0 < result.aggregate_mbps <= 100.0
+        # Some loss happened: windows did not grow unboundedly.
+        assert all(s.cwnd < 1e5 for s in sim.states)
+
+    def test_seed_reproducibility(self):
+        a = aggregate_goodput_mbps(4, _lossy_path(), duration_s=30,
+                                   warmup_s=5, seed=7)
+        b = aggregate_goodput_mbps(4, _lossy_path(), duration_s=30,
+                                   warmup_s=5, seed=7)
+        assert a == b
+
+    def test_run_validation(self):
+        sim = PacketLevelSimulator(_lossy_path(), [RENO])
+        with pytest.raises(ValueError):
+            sim.run(0.0)
+        with pytest.raises(ValueError):
+            sim.run(1.0, warmup_s=-1.0)
+        with pytest.raises(ValueError):
+            aggregate_goodput_mbps(0, _lossy_path())
+        with pytest.raises(ValueError):
+            PacketLevelSimulator(_lossy_path(), [])
+
+
+class TestFluidAgreement:
+    def test_aggregate_tracks_fluid_allocation(self):
+        """The fluid model's min(n * stream_cap, capacity) envelope should
+        match the packet simulator within a factor band across n."""
+        path = PacketPath(5000.0, 0.002, loss_rate=1e-4, buffer_packets=5000)
+        tcp = TcpModel(cc=HTCP, wmax_bytes=1e15)
+        cap = tcp.stream_cap_mbps(path.rtt_s, path.loss_rate)
+        for n in (2, 8, 32):
+            fluid = min(n * cap, path.capacity_mbps)
+            packet = aggregate_goodput_mbps(n, path, duration_s=120,
+                                            warmup_s=20)
+            assert 0.5 * fluid < packet < 2.0 * fluid

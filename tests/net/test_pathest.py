@@ -1,0 +1,99 @@
+"""Tests for probe-based path characterization."""
+
+import pytest
+
+from repro.analysis.stats import steady_state_mean
+from repro.core.base import StaticTuner
+from repro.experiments.runner import run_single
+from repro.experiments.scenarios import ANL_UC
+from repro.net.pathest import (
+    PathEstimate,
+    calibrated_hacker_prediction,
+    estimate_from_samples,
+    probe_path,
+)
+
+
+class TestEstimateFromSamples:
+    def test_recovers_linear_plus_plateau(self):
+        # T(n) = min(50 n, 1000): slope 50, capacity 1000.
+        ns = [1, 2, 4, 8, 32, 64]
+        ts = [min(50.0 * n, 1000.0) for n in ns]
+        est = estimate_from_samples(ns, ts)
+        assert est.per_stream_mbps == pytest.approx(50.0, rel=0.05)
+        assert est.capacity_mbps == pytest.approx(1000.0)
+        assert est.saturating_streams == 20
+
+    def test_robust_to_declining_tail(self):
+        # Overhead decline past the peak must not lower the capacity
+        # estimate below the observed maximum.
+        ns = [1, 2, 4, 16, 64, 256]
+        ts = [50.0, 100.0, 200.0, 800.0, 1000.0, 700.0]
+        est = estimate_from_samples(ns, ts)
+        assert est.capacity_mbps == pytest.approx(1000.0)
+
+    def test_per_stream_never_exceeds_capacity(self):
+        est = estimate_from_samples([1, 2], [500.0, 400.0])
+        assert est.per_stream_mbps <= est.capacity_mbps
+        assert est.saturating_streams >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_from_samples([1], [10.0])
+        with pytest.raises(ValueError):
+            estimate_from_samples([1, 2], [10.0])
+        with pytest.raises(ValueError):
+            estimate_from_samples([1, 2], [10.0, -1.0])
+        with pytest.raises(ValueError):
+            estimate_from_samples([2, 2], [10.0, 10.0])
+
+
+class TestProbePath:
+    def test_runs_probes_in_order(self):
+        seen = []
+
+        def probe(n):
+            seen.append(n)
+            return min(10.0 * n, 200.0)
+
+        est = probe_path(probe, stream_counts=(1, 4, 16, 64))
+        assert seen == [1, 4, 16, 64]
+        assert est.capacity_mbps == pytest.approx(200.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            probe_path(lambda n: 1.0, stream_counts=(4,))
+
+    def test_on_the_substrate(self):
+        """Probing the calibrated UC scenario recovers sane parameters."""
+
+        def probe(n):
+            trace = run_single(
+                ANL_UC, StaticTuner(), x0=(n,), fixed_np=1,
+                duration_s=120.0, seed=5,
+            )
+            return steady_state_mean(trace, tail_fraction=0.5)
+
+        est = probe_path(probe, stream_counts=(1, 2, 4, 16, 64))
+        # At very low stream counts the self-congestion loss term is
+        # negligible, so single streams run fast (~400-550 MB/s) and the
+        # estimated saturating count is small; capacity ~ 4000+.
+        assert 250 < est.per_stream_mbps < 600
+        assert est.capacity_mbps > 3000
+        assert 5 <= est.saturating_streams <= 40
+
+
+class TestCalibratedPrediction:
+    def test_rounds_streams_to_concurrency(self):
+        est = PathEstimate(per_stream_mbps=100.0, capacity_mbps=5000.0,
+                           samples=((1, 100.0),))
+        assert calibrated_hacker_prediction(est, np_=8) == 6  # 50 streams
+        assert calibrated_hacker_prediction(est, np_=1) == 50
+        assert calibrated_hacker_prediction(est, np_=8, headroom=2.0) in (12, 13)
+
+    def test_validation(self):
+        est = PathEstimate(1.0, 2.0, ((1, 1.0),))
+        with pytest.raises(ValueError):
+            calibrated_hacker_prediction(est, np_=0)
+        with pytest.raises(ValueError):
+            calibrated_hacker_prediction(est, headroom=0.0)

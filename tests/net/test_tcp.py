@@ -1,0 +1,110 @@
+"""Unit tests for the TCP congestion-control rate models."""
+
+import math
+
+import pytest
+
+from repro.net.tcp import (
+    CC_BY_NAME,
+    CUBIC,
+    HTCP,
+    RENO,
+    SCALABLE,
+    CongestionControl,
+    TcpModel,
+)
+from repro.units import MB
+
+
+class TestCongestionControl:
+    def test_registry_contains_all_four_algorithms(self):
+        assert set(CC_BY_NAME) == {"reno", "cubic", "htcp", "scalable"}
+
+    def test_reno_matches_mathis_constant(self):
+        assert RENO.constant == pytest.approx(math.sqrt(1.5), rel=0.01)
+        assert RENO.loss_exponent == 0.5
+
+    def test_scalable_rate_scales_inverse_in_loss(self):
+        assert SCALABLE.loss_exponent == 1.0
+
+    def test_invalid_constant_rejected(self):
+        with pytest.raises(ValueError):
+            CongestionControl("bad", constant=0.0, loss_exponent=0.5,
+                              rtt_exponent=1.0, aimd_efficiency=0.8)
+
+    def test_invalid_efficiency_rejected(self):
+        with pytest.raises(ValueError):
+            CongestionControl("bad", constant=1.0, loss_exponent=0.5,
+                              rtt_exponent=1.0, aimd_efficiency=1.5)
+
+
+class TestTcpModel:
+    def test_buffer_limit_is_window_per_rtt(self):
+        m = TcpModel(wmax_bytes=4 * MB)
+        # 4 MB window over 40 ms RTT = 100 MB/s.
+        assert m.buffer_limit_mbps(0.040) == pytest.approx(100.0)
+
+    def test_buffer_limit_rejects_nonpositive_rtt(self):
+        with pytest.raises(ValueError):
+            TcpModel().buffer_limit_mbps(0.0)
+
+    def test_loss_limit_zero_loss_is_unbounded(self):
+        assert math.isinf(TcpModel().loss_limit_mbps(0.01, 0.0))
+
+    def test_loss_limit_decreases_with_loss(self):
+        m = TcpModel(cc=RENO)
+        assert m.loss_limit_mbps(0.01, 1e-4) > m.loss_limit_mbps(0.01, 1e-3)
+
+    def test_loss_limit_reno_inverse_sqrt(self):
+        m = TcpModel(cc=RENO)
+        r1 = m.loss_limit_mbps(0.01, 1e-4)
+        r2 = m.loss_limit_mbps(0.01, 4e-4)
+        assert r1 / r2 == pytest.approx(2.0, rel=1e-6)
+
+    def test_loss_limit_rejects_bad_loss(self):
+        with pytest.raises(ValueError):
+            TcpModel().loss_limit_mbps(0.01, 1.0)
+        with pytest.raises(ValueError):
+            TcpModel().loss_limit_mbps(0.01, -0.1)
+
+    def test_stream_cap_buffer_branch_has_no_sawtooth_penalty(self):
+        # Tiny loss: buffer-limited, so the cap equals the raw buffer rate.
+        m = TcpModel(cc=HTCP, wmax_bytes=4 * MB)
+        cap = m.stream_cap_mbps(0.033, 1e-9)
+        assert cap == pytest.approx(m.buffer_limit_mbps(0.033))
+
+    def test_stream_cap_loss_branch_applies_efficiency(self):
+        m = TcpModel(cc=HTCP, wmax_bytes=64 * MB)
+        loss = 1e-3
+        cap = m.stream_cap_mbps(0.010, loss)
+        assert cap == pytest.approx(
+            HTCP.aimd_efficiency * m.loss_limit_mbps(0.010, loss)
+        )
+
+    def test_cubic_less_rtt_sensitive_than_reno(self):
+        cubic = TcpModel(cc=CUBIC, wmax_bytes=1000 * MB)
+        reno = TcpModel(cc=RENO, wmax_bytes=1000 * MB)
+        loss = 1e-4
+        cubic_ratio = cubic.loss_limit_mbps(0.01, loss) / cubic.loss_limit_mbps(0.08, loss)
+        reno_ratio = reno.loss_limit_mbps(0.01, loss) / reno.loss_limit_mbps(0.08, loss)
+        assert cubic_ratio < reno_ratio
+
+    def test_ramp_fraction_monotone_and_bounded(self):
+        m = TcpModel(slow_start_tau=2.0)
+        fs = [m.ramp_fraction(t) for t in (0.0, 1.0, 2.0, 10.0)]
+        assert fs[0] == 0.0
+        assert all(a < b for a, b in zip(fs, fs[1:]))
+        assert fs[-1] < 1.0
+        assert m.ramp_fraction(100.0) == pytest.approx(1.0, abs=1e-9)
+
+    def test_ramp_fraction_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            TcpModel().ramp_fraction(-1.0)
+
+    def test_validation_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            TcpModel(mss=0)
+        with pytest.raises(ValueError):
+            TcpModel(wmax_bytes=0)
+        with pytest.raises(ValueError):
+            TcpModel(slow_start_tau=0)

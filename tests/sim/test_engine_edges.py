@@ -1,0 +1,167 @@
+"""Engine edge cases: step sizes, epoch alignment, warm restarts,
+external-path routing, and controller misuse."""
+
+import math
+
+import pytest
+
+from repro.core.aggregate import JointTuner
+from repro.core.base import StaticTuner
+from repro.core.nm_tuner import NmTuner
+from repro.core.params import ParamSpace
+from repro.endpoint.host import HostSpec
+from repro.endpoint.load import ExternalLoad, LoadSchedule
+from repro.gridftp.client import ClientModel, RestartModel
+from repro.gridftp.transfer import TransferSpec
+from repro.net.link import Link, Path
+from repro.net.tcp import TcpModel
+from repro.net.topology import Topology
+from repro.sim.engine import Engine, EngineConfig, JointController
+from repro.sim.session import ParamMap, TransferSession
+from repro.units import MB
+
+HOST = HostSpec(name="h", cores=8, core_copy_rate_mbps=1000.0, cs_coeff=0.0)
+SPACE = ParamSpace(("nc",), (1,), (64,))
+
+
+def _topo_two_paths():
+    tcp = TcpModel(wmax_bytes=4 * MB, slow_start_tau=0.5)
+    nic = Link("nic", 1000.0)
+    topo = Topology()
+    topo.add_path(Path("pa", (nic, Link("wa", 800.0)), rtt_ms=40.0,
+                       loss_rate=1e-9, tcp=tcp))
+    topo.add_path(Path("pb", (nic, Link("wb", 300.0)), rtt_ms=40.0,
+                       loss_rate=1e-9, tcp=tcp))
+    return topo
+
+
+def _session(name="s", path="pa", nc=4, duration=90.0, epoch=30.0,
+             tuner=None, restart=False):
+    spec = TransferSpec(name=name, path_name=path, total_bytes=math.inf,
+                        max_duration_s=duration, epoch_s=epoch)
+    return TransferSession(
+        spec, tuner if tuner is not None else StaticTuner(), SPACE, (nc,),
+        param_map=ParamMap.nc_only(fixed_np=1), restart_each_epoch=restart,
+    )
+
+
+def _engine(sessions, *, dt=1.0, load=None, ext_path=None):
+    return Engine(
+        topology=_topo_two_paths(),
+        host=HOST,
+        sessions=sessions,
+        schedule=LoadSchedule.constant(load or ExternalLoad()),
+        client=ClientModel(restart=RestartModel(base_s=2.0, per_proc_s=0.0,
+                                                jitter_sigma=0.0)),
+        config=EngineConfig(dt=dt, noise_sigma_epoch=0.0,
+                            noise_sigma_step=0.0, ext_tfr_path=ext_path),
+    )
+
+
+class TestStepSizes:
+    def test_subsecond_dt_matches_unit_dt(self):
+        coarse = _engine([_session(duration=90.0)]).run()["s"]
+        fine = _engine([_session(duration=90.0)], dt=0.5).run()["s"]
+        assert fine.epochs[-1].best_case == pytest.approx(
+            coarse.epochs[-1].best_case, rel=0.02
+        )
+        assert len(fine.epochs) == len(coarse.epochs)
+
+    def test_fractional_restart_consumes_partial_step(self):
+        # restart base 2.0 s with dt = 0.8: the third step is partly dead.
+        trace = _engine([_session(duration=40.0, epoch=40.0)], dt=0.8).run()["s"]
+        rates = trace.step_rates()
+        assert rates[0] == 0.0 and rates[1] == 0.0
+        assert 0.0 < rates[2] < rates[10]
+
+    def test_epoch_not_multiple_of_duration_partial_final_epoch(self):
+        # 100 s run with 30 s epochs: final epoch lasts 10 s.
+        trace = _engine([_session(duration=100.0)]).run()["s"]
+        assert len(trace.epochs) == 4
+        assert trace.epochs[-1].duration == pytest.approx(10.0)
+
+
+class TestExternalPathRouting:
+    def test_ext_traffic_on_other_path_couples_exactly_via_nic(self):
+        # Our transfer on pa; ext traffic explicitly on pb.  pb's WAN
+        # link caps the external flow at 300 MB/s, and that much — no
+        # more — comes out of the shared 1000 MB/s NIC: we get 700.
+        routed = _engine(
+            [_session(nc=8)], load=ExternalLoad(ext_tfr=16), ext_path="pb",
+        ).run()["s"]
+        assert routed.epochs[-1].best_case == pytest.approx(700.0, rel=0.02)
+
+    def test_ext_traffic_on_same_path_competes(self):
+        free = _engine([_session(nc=8)]).run()["s"]
+        contended = _engine(
+            [_session(nc=8)], load=ExternalLoad(ext_tfr=64), ext_path="pa",
+        ).run()["s"]
+        assert contended.epochs[-1].best_case < 0.8 * free.epochs[-1].best_case
+
+
+class TestWarmRestart:
+    def test_warm_restart_reduces_dead_time(self):
+        def run(warm):
+            s = _session(tuner=NmTuner(), duration=600.0, restart=True)
+            s.warm_restart = warm
+            engine = Engine(
+                topology=_topo_two_paths(), host=HOST, sessions=[s],
+                client=ClientModel(restart=RestartModel(
+                    base_s=6.0, per_proc_s=0.0, jitter_sigma=0.0,
+                    warm_np_factor=0.1)),
+                config=EngineConfig(noise_sigma_epoch=0.0,
+                                    noise_sigma_step=0.0),
+            )
+            return engine.run()["s"]
+
+        cold = run(False)
+        warm = run(True)
+        # Warm restarts apply whenever nc is unchanged (monitoring
+        # epochs), so total dead time shrinks.
+        dead_cold = sum(1 for st in cold.steps if st.restarting)
+        dead_warm = sum(1 for st in warm.steps if st.restarting)
+        assert dead_warm < dead_cold
+
+
+class TestControllerMisuse:
+    def _joint(self, names):
+        return JointTuner(
+            inner=NmTuner(),
+            subspaces=[SPACE] * len(names),
+            labels=[f"l{i}" for i in range(len(names))],
+        )
+
+    def test_controller_requires_matching_subspaces(self):
+        with pytest.raises(ValueError):
+            JointController(self._joint(["a"]), ["a", "b"], (2,))
+
+    def test_duplicate_controller_sessions_rejected(self):
+        with pytest.raises(ValueError):
+            JointController(self._joint(["a", "b"]), ["a", "a"], (2, 2))
+
+    def test_observe_unknown_session(self):
+        ctl = JointController(self._joint(["a"]), ["a"], (2,))
+        with pytest.raises(KeyError):
+            ctl.observe("zz", 1.0)
+
+    def test_double_report_rejected(self):
+        ctl = JointController(self._joint(["a", "b"]), ["a", "b"], (2, 2))
+        ctl.observe("a", 1.0)
+        with pytest.raises(RuntimeError):
+            ctl.observe("a", 2.0)
+
+    def test_partial_report_returns_none(self):
+        ctl = JointController(self._joint(["a", "b"]), ["a", "b"], (2, 2))
+        assert ctl.observe("a", 1.0) is None
+        out = ctl.observe("b", 2.0)
+        assert out is not None and set(out) == {"a", "b"}
+
+
+class TestRunIdempotence:
+    def test_second_run_call_continues_not_restarts(self):
+        s = _session(duration=120.0)
+        engine = _engine([s])
+        engine.run(until_s=60.0)
+        traces = engine.run()
+        assert traces["s"].epochs[-1].start >= 60.0
+        assert engine.clock.now == pytest.approx(120.0)

@@ -1,0 +1,119 @@
+"""Hypothesis property tests for the full engine.
+
+Whatever the configuration — tuner, load, topology scale, step size —
+certain invariants must hold for every run: bytes are conserved between
+step and epoch records, no epoch's best-case rate exceeds the physics
+(link capacity), observed never exceeds best-case, and equal seeds give
+equal traces.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.base import StaticTuner
+from repro.core.cd_tuner import CdTuner
+from repro.core.cs_tuner import CsTuner
+from repro.core.nm_tuner import NmTuner
+from repro.core.params import ParamSpace
+from repro.endpoint.host import HostSpec
+from repro.endpoint.load import ExternalLoad, LoadSchedule
+from repro.gridftp.client import ClientModel, RestartModel
+from repro.gridftp.transfer import TransferSpec
+from repro.net.link import Link, Path
+from repro.net.tcp import TcpModel
+from repro.net.topology import Topology
+from repro.sim.engine import Engine, EngineConfig
+from repro.sim.session import ParamMap, TransferSession
+from repro.units import MB
+
+TUNERS = [
+    lambda: StaticTuner(),
+    lambda: CdTuner(),
+    lambda: CsTuner(seed=1),
+    lambda: NmTuner(),
+]
+
+
+@st.composite
+def engine_setups(draw):
+    capacity = draw(st.floats(100.0, 8000.0))
+    rtt_ms = draw(st.floats(1.0, 100.0))
+    loss = draw(st.floats(0.0, 1e-3))
+    cores = draw(st.integers(1, 32))
+    tuner = draw(st.sampled_from(TUNERS))()
+    nc0 = draw(st.integers(1, 32))
+    np_fixed = draw(st.integers(1, 8))
+    load = ExternalLoad(
+        ext_cmp=draw(st.integers(0, 32)),
+        ext_tfr=draw(st.integers(0, 64)),
+    )
+    epoch_s = draw(st.sampled_from([10.0, 30.0]))
+    duration = draw(st.sampled_from([60.0, 90.0, 150.0]))
+    seed = draw(st.integers(0, 100))
+    return (capacity, rtt_ms, loss, cores, tuner, nc0, np_fixed, load,
+            epoch_s, duration, seed)
+
+
+def _build(setup):
+    (capacity, rtt_ms, loss, cores, tuner, nc0, np_fixed, load,
+     epoch_s, duration, seed) = setup
+    topo = Topology()
+    topo.add_path(
+        Path(
+            name="p",
+            links=(Link("l", capacity),),
+            rtt_ms=rtt_ms,
+            loss_rate=loss,
+            loss_per_stream=loss / 10.0,
+            tcp=TcpModel(wmax_bytes=4 * MB, slow_start_tau=1.0),
+        )
+    )
+    host = HostSpec(name="h", cores=cores, core_copy_rate_mbps=1000.0)
+    spec = TransferSpec(name="s", path_name="p", total_bytes=math.inf,
+                        max_duration_s=duration, epoch_s=epoch_s)
+    session = TransferSession(
+        spec, tuner, ParamSpace(("nc",), (1,), (64,)), (nc0,),
+        param_map=ParamMap.nc_only(fixed_np=np_fixed),
+        restart_each_epoch=tuner.restarts_every_epoch,
+    )
+    return Engine(
+        topology=topo, host=host, sessions=[session],
+        schedule=LoadSchedule.constant(load),
+        client=ClientModel(restart=RestartModel(jitter_sigma=0.05)),
+        config=EngineConfig(seed=seed),
+    ), capacity
+
+
+@given(engine_setups())
+@settings(max_examples=60, deadline=None)
+def test_engine_invariants(setup):
+    engine, capacity = _build(setup)
+    trace = engine.run()["s"]
+
+    # Bytes conserved between granularities.
+    step_total = trace.total_bytes
+    epoch_total = sum(e.bytes_moved for e in trace.epochs)
+    assert abs(step_total - epoch_total) <= 1e-6 * max(step_total, 1.0)
+
+    # Physics: never faster than the bottleneck; observed <= best-case.
+    for e in trace.epochs:
+        assert e.observed <= capacity * 1.5 + 1e-6  # 1.5: noise headroom
+        assert e.observed <= e.best_case + 1e-9
+        assert e.bytes_moved >= 0
+    for s in trace.steps:
+        assert s.rate >= 0
+        assert s.bytes_moved >= 0
+
+    # Time accounting: epochs tile the run.
+    assert sum(e.duration for e in trace.epochs) == len(trace.steps) * 1.0
+
+
+@given(engine_setups())
+@settings(max_examples=20, deadline=None)
+def test_engine_determinism(setup):
+    t1 = _build(setup)[0].run()["s"]
+    t2 = _build(setup)[0].run()["s"]
+    assert t1.epoch_observed().tolist() == t2.epoch_observed().tolist()
+    assert [e.params for e in t1.epochs] == [e.params for e in t2.epochs]

@@ -1,0 +1,91 @@
+"""Unit tests for trace persistence."""
+
+import json
+
+import pytest
+
+from repro.core.base import StaticTuner
+from repro.experiments.runner import run_single
+from repro.experiments.scenarios import ANL_UC
+from repro.sim.trace import EpochRecord, StepRecord, Trace
+from repro.sim.traceio import (
+    epochs_to_csv,
+    load_trace,
+    save_trace,
+    trace_from_dict,
+    trace_to_dict,
+)
+
+
+def _sample_trace() -> Trace:
+    t = Trace(label="sample")
+    t.add_step(StepRecord(time=0.0, rate=100.0, restarting=True,
+                          bytes_moved=0.0))
+    t.add_step(StepRecord(time=1.0, rate=150.0, restarting=False,
+                          bytes_moved=150e6))
+    t.add_epoch(EpochRecord(index=0, start=0.0, duration=30.0, params=(2, 8),
+                            observed=120.0, best_case=140.0,
+                            bytes_moved=3.6e9))
+    return t
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_everything(self):
+        t = _sample_trace()
+        back = trace_from_dict(trace_to_dict(t))
+        assert back.label == t.label
+        assert back.steps == t.steps
+        assert back.epochs == t.epochs
+
+    def test_file_round_trip(self, tmp_path):
+        t = _sample_trace()
+        path = tmp_path / "trace.json"
+        save_trace(t, path)
+        back = load_trace(path)
+        assert back.epochs == t.epochs
+
+    def test_real_engine_trace_round_trips(self, tmp_path):
+        t = run_single(ANL_UC, StaticTuner(), duration_s=90.0, seed=0)
+        path = tmp_path / "run.json"
+        save_trace(t, path)
+        back = load_trace(path)
+        assert back.epoch_observed().tolist() == t.epoch_observed().tolist()
+        assert back.total_bytes == t.total_bytes
+
+    def test_rejects_wrong_format_version(self):
+        data = trace_to_dict(_sample_trace())
+        data["format"] = 99
+        with pytest.raises(ValueError):
+            trace_from_dict(data)
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(ValueError):
+            trace_from_dict([1, 2, 3])  # type: ignore[arg-type]
+
+    def test_json_is_plain(self, tmp_path):
+        path = tmp_path / "t.json"
+        save_trace(_sample_trace(), path)
+        data = json.loads(path.read_text())
+        assert data["format"] == 1
+        assert data["epochs"][0]["params"] == [2, 8]
+
+
+class TestCsv:
+    def test_csv_columns_and_rows(self):
+        text = epochs_to_csv(_sample_trace())
+        lines = text.strip().splitlines()
+        assert lines[0] == (
+            "index,start_s,duration_s,param0,param1,"
+            "observed_mbps,best_case_mbps,bytes_moved"
+        )
+        assert len(lines) == 2
+        assert lines[1].startswith("0,0.0,30.0,2,8,")
+
+    def test_csv_writes_file(self, tmp_path):
+        path = tmp_path / "epochs.csv"
+        epochs_to_csv(_sample_trace(), path)
+        assert path.read_text().startswith("index,")
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            epochs_to_csv(Trace())

@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main, make_tuner, parse_load
+from repro.core.base import StaticTuner
+from repro.core.nm_tuner import NmTuner
+
+
+class TestParseLoad:
+    def test_none(self):
+        load = parse_load("none")
+        assert load.ext_cmp == 0 and load.ext_tfr == 0
+
+    def test_cmp_only(self):
+        assert parse_load("cmp16").ext_cmp == 16
+
+    def test_tfr_only(self):
+        assert parse_load("tfr64").ext_tfr == 64
+
+    def test_combined(self):
+        load = parse_load("cmp16+tfr64")
+        assert (load.ext_cmp, load.ext_tfr) == (16, 64)
+
+    def test_bad_spec(self):
+        with pytest.raises(SystemExit):
+            parse_load("lots")
+
+
+class TestMakeTuner:
+    def test_known_names(self):
+        assert isinstance(make_tuner("default", 0), StaticTuner)
+        assert isinstance(make_tuner("nm", 0), NmTuner)
+        for name in ("cd", "cs", "hj", "spsa", "gss", "heur1", "heur2"):
+            assert make_tuner(name, 0).name  # constructs fine
+
+    def test_unknown_name(self):
+        with pytest.raises(SystemExit):
+            make_tuner("bogus", 0)
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.scenario == "anl-uc"
+        assert args.tuner == "nm"
+        assert args.duration == 1800.0
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scenario", "mars"])
+
+
+class TestCommands:
+    def test_run_prints_summary(self, capsys):
+        rc = main(["run", "--tuner", "cd", "--duration", "120",
+                   "--load", "none"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "steady observed" in out
+        assert "nc per epoch" in out
+
+    def test_run_tune_np_prints_both_trajectories(self, capsys):
+        rc = main(["run", "--tuner", "nm", "--duration", "120",
+                   "--tune-np"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "np per epoch" in out
+
+    def test_sweep(self, capsys):
+        rc = main(["sweep", "--nc", "2,8", "--duration", "90"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "static response surface" in out
+
+    def test_oracle(self, capsys):
+        rc = main(["oracle", "--duration", "60"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "oracle static nc" in out
+
+    def test_figure_fig11(self, capsys):
+        rc = main(["figure", "fig11", "--duration", "300"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "UC share" in out
+
+    def test_figure_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])
+
+    def test_bad_tuner_exits(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--tuner", "bogus", "--duration", "60"])

@@ -1,0 +1,20 @@
+"""Run the doctest examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.core.params
+import repro.endpoint.load
+import repro.units
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro.units, repro.endpoint.load, repro.core.params],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    result = doctest.testmod(module)
+    # Modules without examples are fine; failures are not.
+    assert result.failed == 0

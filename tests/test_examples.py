@@ -1,0 +1,86 @@
+"""Smoke tests: every example script runs end to end.
+
+Examples are loaded as modules and their duration constants shrunk so the
+whole file stays fast; the assertion is "runs and prints something
+sensible", not specific numbers.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _load(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = mod
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def test_examples_directory_contents():
+    names = {p.stem for p in EXAMPLES_DIR.glob("*.py")}
+    assert {
+        "quickstart", "adaptive_vs_default", "shared_endpoint",
+        "custom_site", "disk_to_disk", "method_zoo", "noisy_endpoint",
+        "live_transfer",
+    } <= names
+
+
+def test_quickstart_runs(capsys):
+    mod = _load("quickstart")
+    mod.DURATION_S = 240.0
+    mod.main()
+    out = capsys.readouterr().out
+    assert "improvement" in out
+    assert "nm-tuner" in out
+
+
+def test_shared_endpoint_runs(capsys):
+    mod = _load("shared_endpoint")
+    mod.DURATION_S = 300.0
+    mod.main()
+    out = capsys.readouterr().out
+    assert "independent" in out and "joint" in out
+
+
+def test_custom_site_builds_valid_site(capsys):
+    mod = _load("custom_site")
+    # Full run is ~2400 simulated seconds x 2; shrink via run().
+    trace = mod.run(mod.StaticTuner(), seed=0)
+    assert trace.total_bytes > 0
+    assert mod.DTN.cores == 32
+
+
+def test_noisy_endpoint_runs_and_exports(tmp_path, capsys):
+    mod = _load("noisy_endpoint")
+    mod.DURATION_S = 600.0
+    mod.main(str(tmp_path))
+    out = capsys.readouterr().out
+    assert "nm+CUSUM" in out
+    assert (tmp_path / "nm_cusum.json").exists()
+    assert (tmp_path / "nm_cusum_epochs.csv").exists()
+
+
+def test_live_transfer_runs(capsys):
+    mod = _load("live_transfer")
+    result = mod.tune_live(
+        mod.CdTuner(), mod.SPACE, (1,),
+        mod.SubprocessEpochRunner(
+            mod.BYTE_PUMP, parse_bytes=lambda o: float(o.strip() or 0)
+        ),
+        epoch_s=0.3, max_epochs=2, fixed_np=2,
+    )
+    assert result.total_bytes > 0
+
+
+def test_disk_to_disk_3d_runner(capsys):
+    mod = _load("disk_to_disk")
+    trace = mod.run_3d(mod.NmTuner(), seed=0, duration_s=300.0)
+    assert len(trace.epochs) == 10
+    assert len(trace.epochs[0].params) == 3

@@ -1,0 +1,148 @@
+"""Tests for the live (real-tool) adapter."""
+
+import pytest
+
+from repro.core.base import StaticTuner
+from repro.core.cd_tuner import CdTuner
+from repro.core.params import ParamSpace
+from repro.live import (
+    BYTE_PUMP,
+    LiveEpoch,
+    LiveResult,
+    SubprocessEpochRunner,
+    tune_live,
+)
+
+SPACE = ParamSpace(("nc",), (1,), (32,))
+
+
+def _fake_runner(rate_per_stream: float = 10e6):
+    """Deterministic epoch runner: bytes = nc * np * rate * duration."""
+
+    def run(nc: int, np_: int, duration_s: float) -> float:
+        return nc * np_ * rate_per_stream * duration_s
+
+    return run
+
+
+class TestTuneLive:
+    def test_stops_on_max_epochs(self):
+        result = tune_live(
+            StaticTuner(), SPACE, (2,), _fake_runner(), epoch_s=1.0,
+            max_epochs=5,
+        )
+        assert len(result.epochs) == 5
+
+    def test_stops_on_total_bytes(self):
+        # 2 streams x 10 MB/s x 1 s = 20 MB per epoch; 50 MB needs 3.
+        result = tune_live(
+            StaticTuner(), SPACE, (2,), _fake_runner(), epoch_s=1.0,
+            total_bytes=50e6,
+        )
+        assert len(result.epochs) == 3
+        assert result.total_bytes == pytest.approx(50e6)
+
+    def test_stops_on_duration(self):
+        result = tune_live(
+            StaticTuner(), SPACE, (2,), _fake_runner(), epoch_s=2.0,
+            max_duration_s=7.0,
+        )
+        assert len(result.epochs) == 4  # 0,2,4,6 start times
+
+    def test_tuner_actually_drives_parameters(self):
+        result = tune_live(
+            CdTuner(), SPACE, (2,), _fake_runner(), epoch_s=1.0,
+            max_epochs=10,
+        )
+        traj = result.params_trajectory()
+        # Throughput grows linearly in nc, so cd-tuner must climb.
+        assert traj[-1][0] > traj[0][0]
+
+    def test_on_epoch_callback_sees_every_epoch(self):
+        seen = []
+        tune_live(
+            StaticTuner(), SPACE, (2,), _fake_runner(), epoch_s=1.0,
+            max_epochs=3, on_epoch=seen.append,
+        )
+        assert [e.index for e in seen] == [0, 1, 2]
+
+    def test_throughput_accounting(self):
+        result = tune_live(
+            StaticTuner(), SPACE, (2,), _fake_runner(10e6), epoch_s=2.0,
+            max_epochs=2, fixed_np=1,
+        )
+        assert result.mean_throughput_mbps == pytest.approx(20.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tune_live(StaticTuner(), SPACE, (2,), _fake_runner())
+        with pytest.raises(ValueError):
+            tune_live(StaticTuner(), SPACE, (2,), _fake_runner(),
+                      epoch_s=0.0, max_epochs=1)
+        with pytest.raises(ValueError):
+            tune_live(StaticTuner(), SPACE, (2,), _fake_runner(),
+                      total_bytes=0.0)
+        with pytest.raises(ValueError):
+            tune_live(StaticTuner(), SPACE, (2,),
+                      lambda nc, np_, d: -1.0, max_epochs=1)
+
+
+class TestLiveRecords:
+    def test_epoch_throughput(self):
+        e = LiveEpoch(index=0, params=(2,), duration_s=2.0, bytes_moved=4e6)
+        assert e.throughput_mbps == pytest.approx(2.0)
+
+    def test_empty_result_is_zero(self):
+        r = LiveResult()
+        assert r.total_bytes == 0.0
+        assert r.mean_throughput_mbps == 0.0
+
+
+class TestSubprocessRunner:
+    @staticmethod
+    def _runner():
+        return SubprocessEpochRunner(
+            BYTE_PUMP, parse_bytes=lambda out: float(out.strip() or 0)
+        )
+
+    def test_byte_pump_moves_bytes(self):
+        moved = self._runner()(nc=1, np_=1, duration_s=0.4)
+        assert moved > 0
+
+    def test_more_copies_move_more_bytes(self):
+        # Wall-clock subprocess timing is noisy on a loaded CI machine:
+        # use a generous window, a loose factor, and a few attempts.
+        runner = self._runner()
+        for attempt in range(3):
+            one = runner(nc=1, np_=2, duration_s=0.8)
+            four = runner(nc=4, np_=2, duration_s=0.8)
+            if four > 1.2 * one:
+                return
+        pytest.fail(f"4 copies moved {four} vs 1 copy {one}")
+
+    def test_build_command_substitutes_template(self):
+        r = SubprocessEpochRunner(
+            "mover -p {np} --copy {copy} --time {duration}",
+            parse_bytes=float,
+        )
+        cmd = r.build_command(np_=8, copy=3, duration_s=30.0)
+        assert cmd == ["mover", "-p", "8", "--copy", "3", "--time", "30.0"]
+
+    def test_end_to_end_with_cd_tuner(self):
+        result = tune_live(
+            CdTuner(), ParamSpace(("nc",), (1,), (4,)), (1,),
+            self._runner(), epoch_s=0.3, max_epochs=4,
+        )
+        assert len(result.epochs) == 4
+        assert result.total_bytes > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SubprocessEpochRunner("", parse_bytes=float)
+        with pytest.raises(ValueError):
+            SubprocessEpochRunner("x", parse_bytes=float,
+                                  terminate_grace_s=-1.0)
+        with pytest.raises(ValueError):
+            self._runner()(nc=0, np_=1, duration_s=1.0)
+        with pytest.raises(ValueError):
+            self._runner()(nc=1, np_=1, duration_s=0.0)
