@@ -1,10 +1,15 @@
-"""Robustness under random workloads (extension bench).
+"""Robustness under random workloads and fault campaigns (extension bench).
 
 The paper evaluates one hand-picked load switch (§IV-B).  Production
 endpoints see random job arrivals and traffic bursts; this bench races
 default vs nm-tuner across a population of random workloads from
 :mod:`repro.endpoint.workload` (Poisson compute jobs, bursty traffic) and
 reports paired win rates and mean improvements with confidence intervals.
+
+The fault-campaign bench injects seeded bursty fault schedules
+(:mod:`repro.faults`) at increasing fault rates and compares the tuned
+transfer's throughput with retry/backoff alone against retry/backoff plus
+the circuit breaker.
 """
 
 import numpy as np
@@ -17,6 +22,7 @@ from repro.experiments.replicate import compare, win_rate
 from repro.experiments.report import render_table
 from repro.experiments.runner import run_single
 from repro.experiments.scenarios import ANL_UC
+from repro.faults import CircuitBreaker, FaultSchedule, RetryPolicy
 
 SEEDS = list(range(8))
 DURATION_S = 1800.0
@@ -87,3 +93,84 @@ def test_robustness_random_workloads(benchmark, report):
     for name, reps in results.items():
         assert reps["nm-tuner"].mean > reps["default"].mean, name
         assert win_rate(reps["nm-tuner"], reps["default"]) >= 0.5, name
+
+
+#: Fault-rate grid: (label, bursts, burst length) over 60 epochs.
+FAULT_GRID = [
+    ("0%", 0, 1),
+    ("10%", 2, 3),
+    ("20%", 3, 4),
+    ("30%", 3, 6),
+]
+FAULT_SEEDS = list(range(6))
+
+
+def _fault_metric(n_bursts, burst_len, with_breaker):
+    n_epochs = int(DURATION_S // 30)
+
+    def run(seed: int) -> float:
+        schedule = FaultSchedule.bursts(
+            seed, n_epochs=n_epochs, n_bursts=n_bursts, burst_len=burst_len
+        )
+        trace = run_single(
+            ANL_UC, NmTuner(), duration_s=DURATION_S, seed=seed,
+            fault_schedule=schedule,
+            retry_policy=RetryPolicy(base_backoff_s=2.0),
+            breaker=(
+                CircuitBreaker(failure_threshold=2, cooldown_epochs=2)
+                if with_breaker else None
+            ),
+        )
+        return trace.total_bytes / 1e6 / DURATION_S
+
+    return run
+
+
+def test_fault_campaign_breaker_value(benchmark, report):
+    def _race():
+        out = {}
+        for label, n_bursts, burst_len in FAULT_GRID:
+            out[label] = compare(
+                {
+                    "retries": _fault_metric(n_bursts, burst_len, False),
+                    "breaker": _fault_metric(n_bursts, burst_len, True),
+                },
+                FAULT_SEEDS,
+            )
+        return out
+
+    results = benchmark.pedantic(_race, rounds=1, iterations=1)
+
+    rows = []
+    for label, n_bursts, burst_len in FAULT_GRID:
+        reps = results[label]
+        retries, breaker = reps["retries"], reps["breaker"]
+        rate = n_bursts * burst_len / (DURATION_S / 30)
+        rows.append(
+            [
+                label,
+                f"{100 * rate:.0f}%" if n_bursts else "0%",
+                retries.mean,
+                breaker.mean,
+                f"{100 * (breaker.mean / retries.mean - 1):+.1f}%",
+                f"{100 * win_rate(breaker, retries):.0f}%",
+            ]
+        )
+    report(
+        render_table(
+            ["campaign", "faulted epochs", "retries MB/s", "breaker MB/s",
+             "breaker gain", "paired win rate"],
+            rows,
+            title=(
+                f"Fault campaigns: nm-tuner, {len(FAULT_SEEDS)} seeded "
+                f"bursty schedules per rate, {DURATION_S:.0f} s transfers, "
+                "ANL->UChicago"
+            ),
+        )
+    )
+
+    # At the 20% fault rate the breaker must strictly beat retries alone.
+    assert results["20%"]["breaker"].mean > results["20%"]["retries"].mean
+    # With no faults the breaker never trips, so the arms must agree.
+    clean = results["0%"]
+    assert clean["breaker"].mean == clean["retries"].mean

@@ -27,6 +27,7 @@ from repro.core import (
     DeltaPctMonitor,
     EpochHistory,
     EwmaMonitor,
+    FaultFilterMonitor,
     GssTuner,
     HackerModelTuner,
     Heur1Tuner,
@@ -50,6 +51,15 @@ from repro.experiments import (
     run_pair,
     run_single,
     standard_tuners,
+)
+from repro.faults import (
+    CircuitBreaker,
+    EpochFault,
+    FaultError,
+    FaultEvent,
+    FaultSchedule,
+    RetryPolicy,
+    SessionAborted,
 )
 from repro.gridftp import ClientModel, GlobusPolicy, RestartModel, TransferSpec
 from repro.live import LiveEpoch, LiveResult, SubprocessEpochRunner, tune_live
@@ -77,6 +87,7 @@ __all__ = [
     "DeltaPctMonitor",
     "EwmaMonitor",
     "CusumMonitor",
+    "FaultFilterMonitor",
     "JointTuner",
     "ParamSpace",
     "EpochHistory",
@@ -98,6 +109,14 @@ __all__ = [
     "RestartModel",
     "GlobusPolicy",
     "TransferSpec",
+    # resilience layer
+    "FaultEvent",
+    "FaultSchedule",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "FaultError",
+    "EpochFault",
+    "SessionAborted",
     # live adapter
     "tune_live",
     "SubprocessEpochRunner",

@@ -1,10 +1,16 @@
 """Tiny transfer-tool stand-in: pump bytes to /dev/null and report.
 
-Usage: ``python -m repro._byte_pump <np> <duration_s>``.  Writes chunks
-whose size scales with ``np`` for ``duration_s`` seconds (or until
-SIGTERM), then prints the total byte count — the interface
+Usage: ``python -m repro._byte_pump <np> <duration_s> [progress_s]``.
+Writes chunks whose size scales with ``np`` for ``duration_s`` seconds
+(or until SIGTERM), then prints the total byte count — the interface
 :class:`repro.live.SubprocessEpochRunner` parses.  Exists so the live
 adapter has a dependency-free end-to-end test target.
+
+With ``progress_s > 0`` the running total is also printed every
+``progress_s`` seconds, one count per line.  A parser that takes the
+*last* line (:func:`repro.live.parse_last_count`) then still credits the
+bytes a copy moved before being SIGKILLed mid-epoch — the partial-epoch
+accounting the fault tests exercise.
 """
 
 from __future__ import annotations
@@ -22,19 +28,25 @@ def _on_term(signum, frame):  # pragma: no cover - signal path
 
 
 def main(argv: list[str]) -> int:
-    if len(argv) != 2:
-        print("usage: _byte_pump <np> <duration_s>", file=sys.stderr)
+    if len(argv) not in (2, 3):
+        print("usage: _byte_pump <np> <duration_s> [progress_s]",
+              file=sys.stderr)
         return 2
     np_ = int(argv[0])
     duration = float(argv[1])
+    progress = float(argv[2]) if len(argv) == 3 else 0.0
     signal.signal(signal.SIGTERM, _on_term)
     chunk = b"x" * (1024 * max(1, np_))
     end = time.monotonic() + duration
+    next_report = (time.monotonic() + progress) if progress > 0 else None
     n = 0
     with open("/dev/null", "wb") as sink:
         while not _stop and time.monotonic() < end:
             sink.write(chunk)
             n += len(chunk)
+            if next_report is not None and time.monotonic() >= next_report:
+                print(n, flush=True)
+                next_report = time.monotonic() + progress
             time.sleep(0.001)
     print(n, flush=True)
     return 0

@@ -28,6 +28,7 @@ from repro.core.monitor import (
     CusumMonitor,
     DeltaPctMonitor,
     EwmaMonitor,
+    FaultFilterMonitor,
 )
 
 __all__ = [
@@ -55,4 +56,5 @@ __all__ = [
     "DeltaPctMonitor",
     "EwmaMonitor",
     "CusumMonitor",
+    "FaultFilterMonitor",
 ]

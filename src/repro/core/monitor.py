@@ -17,6 +17,12 @@ two standard alternatives from statistical process control:
 All monitors share the protocol: ``update(value) -> bool`` (True = change
 detected; the caller re-searches) and ``reset(value)`` after a search
 settles on a new level.
+
+:class:`FaultFilterMonitor` wraps any of them for fault-aware tuning: a
+faulted epoch's throughput (zero, or whatever a dying tool managed) is a
+*measurement outage*, not a level shift — feeding it to a change
+detector triggers a pointless re-search.  The wrapper drops marked
+epochs before they reach the inner monitor.
 """
 
 from __future__ import annotations
@@ -171,3 +177,41 @@ class CusumMonitor(ChangeMonitor):
 
     def clone(self) -> "CusumMonitor":
         return CusumMonitor(k_pct=self.k_pct, h_pct=self.h_pct)
+
+
+@dataclass
+class FaultFilterMonitor(ChangeMonitor):
+    """Shield a change detector from faulted-epoch observations.
+
+    Call :meth:`mark_faulted` when an epoch was lost to a fault (before
+    the corresponding :meth:`update`): the next ``n`` updates are
+    swallowed — the inner monitor's state is untouched and no change
+    fires.  Clean updates pass straight through.
+
+    Parameters
+    ----------
+    inner:
+        The wrapped detector.
+    """
+
+    inner: ChangeMonitor
+    _skip: int = field(default=0, init=False, repr=False)
+
+    def mark_faulted(self, n: int = 1) -> None:
+        """The next ``n`` observations are fault artifacts: drop them."""
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        self._skip += n
+
+    def update(self, value: float) -> bool:
+        if self._skip > 0:
+            self._skip -= 1
+            return False
+        return self.inner.update(value)
+
+    def reset(self, value: float) -> None:
+        self._skip = 0
+        self.inner.reset(value)
+
+    def clone(self) -> "FaultFilterMonitor":
+        return FaultFilterMonitor(inner=self.inner.clone())

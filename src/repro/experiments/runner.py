@@ -13,6 +13,7 @@ from repro.core.params import (
     concurrency_space,
 )
 from repro.endpoint.load import ExternalLoad, LoadSchedule
+from repro.faults import CircuitBreaker, FaultSchedule, RetryPolicy
 from repro.gridftp.transfer import TransferSpec
 from repro.sim.engine import Engine, EngineConfig, JointController
 from repro.sim.session import ParamMap, TransferSession
@@ -53,6 +54,9 @@ def make_session(
     fixed_np: int = 8,
     max_nc: int = 512,
     x0: tuple[int, ...] | None = None,
+    fault_schedule: FaultSchedule | None = None,
+    retry_policy: RetryPolicy | None = None,
+    breaker: CircuitBreaker | None = None,
 ) -> TransferSession:
     """Build a session with the paper's conventions.
 
@@ -77,6 +81,9 @@ def make_session(
         start,
         param_map=pmap,
         restart_each_epoch=tuner.restarts_every_epoch,
+        fault_schedule=fault_schedule,
+        retry_policy=retry_policy,
+        breaker=breaker,
     )
 
 
@@ -92,8 +99,14 @@ def run_single(
     x0: tuple[int, ...] | None = None,
     seed: int = 0,
     max_nc: int = 512,
+    fault_schedule: FaultSchedule | None = None,
+    retry_policy: RetryPolicy | None = None,
+    breaker: CircuitBreaker | None = None,
 ) -> Trace:
-    """One transfer on the scenario's main path; returns its trace."""
+    """One transfer on the scenario's main path; returns its trace.
+
+    ``fault_schedule``/``retry_policy``/``breaker`` inject a fault
+    campaign and its recovery machinery (:mod:`repro.faults`)."""
     session = make_session(
         "main",
         scenario.main_path,
@@ -104,6 +117,9 @@ def run_single(
         fixed_np=fixed_np,
         max_nc=max_nc,
         x0=x0,
+        fault_schedule=fault_schedule,
+        retry_policy=retry_policy,
+        breaker=breaker,
     )
     engine = Engine(
         topology=scenario.build_topology(),

@@ -1,0 +1,117 @@
+"""Circuit breaker: stop chasing a failing transfer, fall back, probe.
+
+Retry-with-backoff is the right response to *transient* faults; under a
+sustained bad period (a flapping link, an overloaded endpoint) it just
+burns every epoch on restart overhead and backoff dead time while the
+tuner's search state chases noise.  The breaker cuts that loss:
+
+* **closed** — normal operation; consecutive faulted epochs are counted.
+* **open** — after ``failure_threshold`` consecutive failures: the
+  session is pinned to the safe Globus default (nc=2, np=8 — the
+  paper's ``default`` baseline), the tuner is bypassed (its search
+  state is frozen, not polluted), and no retry backoff is charged: the
+  tool is left running rather than hammered with relaunches.
+* **half-open** — after ``cooldown_epochs`` at the fallback, one probe
+  epoch runs with the tuner's parameters again.  A clean probe closes
+  the breaker; a faulted probe re-opens it for another cooldown.
+
+The breaker is a pure epoch-state machine: feed it one
+``record_epoch(faulted)`` per control epoch and read ``state`` — both
+the simulator and the live loop drive it the same way, so a seeded
+campaign replays its breaker transitions exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.faults.retry import SAFE_DEFAULT_NC, SAFE_DEFAULT_NP
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+STATES = (CLOSED, OPEN, HALF_OPEN)
+
+
+@dataclass
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with a safe-default fallback.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive faulted epochs (while closed) that open the breaker.
+    cooldown_epochs:
+        Epochs spent at the fallback before a probe is allowed.
+    fallback_nc / fallback_np:
+        The safe parameters served while open (Globus large-file
+        default).
+    """
+
+    failure_threshold: int = 3
+    cooldown_epochs: int = 5
+    fallback_nc: int = SAFE_DEFAULT_NC
+    fallback_np: int = SAFE_DEFAULT_NP
+
+    state: str = field(default=CLOSED, init=False)
+    consecutive_failures: int = field(default=0, init=False)
+    opens: int = field(default=0, init=False)  #: times the breaker tripped
+    _cooldown_left: int = field(default=0, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.cooldown_epochs < 1:
+            raise ValueError("cooldown_epochs must be >= 1")
+        if self.fallback_nc < 1 or self.fallback_np < 1:
+            raise ValueError("fallback parameters must be >= 1")
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def is_open(self) -> bool:
+        return self.state == OPEN
+
+    @property
+    def suppresses_tuner(self) -> bool:
+        """True while the tuner must not receive observations (open)."""
+        return self.state == OPEN
+
+    # -- transitions -----------------------------------------------------
+
+    def record_epoch(self, faulted: bool) -> str:
+        """Feed one finished epoch's outcome; returns the state that will
+        govern the *next* epoch."""
+        if self.state == CLOSED:
+            if faulted:
+                self.consecutive_failures += 1
+                if self.consecutive_failures >= self.failure_threshold:
+                    self._trip()
+            else:
+                self.consecutive_failures = 0
+        elif self.state == OPEN:
+            # Faults during cooldown neither extend nor shorten it: the
+            # session is already at the safe default and simply waits.
+            self._cooldown_left -= 1
+            if self._cooldown_left <= 0:
+                self.state = HALF_OPEN
+        else:  # HALF_OPEN: the epoch just recorded was the probe.
+            if faulted:
+                self._trip()
+            else:
+                self.state = CLOSED
+                self.consecutive_failures = 0
+        return self.state
+
+    def _trip(self) -> None:
+        self.state = OPEN
+        self.opens += 1
+        self._cooldown_left = self.cooldown_epochs
+
+    def reset(self) -> None:
+        """Back to a fresh closed breaker (configuration kept)."""
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.opens = 0
+        self._cooldown_left = 0

@@ -1,0 +1,29 @@
+"""Exceptions raised by the resilience layer."""
+
+from __future__ import annotations
+
+
+class FaultError(RuntimeError):
+    """Base class for injected or detected transfer faults."""
+
+
+class EpochFault(FaultError):
+    """One control epoch failed (tool crash, launch failure, blackout).
+
+    ``kind`` carries the fault vocabulary of :mod:`repro.faults.events`
+    (or a free-form tag for real-world failures); ``partial_bytes`` is
+    whatever the epoch managed to move before dying, so callers can keep
+    the partial byte accounting.
+    """
+
+    def __init__(
+        self, message: str, *, kind: str = "epoch-fault",
+        partial_bytes: float = 0.0,
+    ) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.partial_bytes = float(partial_bytes)
+
+
+class SessionAborted(FaultError):
+    """The whole transfer died and the retry budget is exhausted."""

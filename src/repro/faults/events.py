@@ -1,0 +1,111 @@
+"""Fault event vocabulary.
+
+Every injectable failure is a :class:`FaultEvent` — *what* goes wrong,
+*when* (a control-epoch window), and *how badly*.  Six kinds cover the
+failure modes the paper's setting exposes (§IV restarts, the Globus
+service's "monitors and retries transfers when there are faults", and
+the external-load interference of Figs. 5–9):
+
+========================  ====================================================
+kind                      effect while active
+========================  ====================================================
+``STREAM_CRASH``          the tool dies partway through the epoch
+                          (``at_fraction``); bytes before the crash count,
+                          the rest of the epoch is dead, the epoch is faulted
+``SESSION_ABORT``         the whole transfer is killed; it only continues if
+                          the retry budget allows a relaunch
+``BLACKOUT``              zero-byte epoch(s): the path is dark but the tool
+                          survives (route flap, head-of-line stall)
+``LINK_DEGRADE``          throughput scaled by ``1 - severity`` (lossy or
+                          flapping link)
+``OBS_LOSS``              the epoch runs normally but the control channel
+                          drops the measurement — the tuner observes nothing
+``LOAD_SPIKE``            an endpoint load burst scales throughput by
+                          ``1 / (1 + severity)``
+========================  ====================================================
+
+Hard kinds (crash/abort/blackout) mark the epoch *faulted*; soft kinds
+(degrade/spike) only bend the rate; ``OBS_LOSS`` touches neither bytes
+nor fault state — only what the tuner sees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+STREAM_CRASH = "stream-crash"
+SESSION_ABORT = "session-abort"
+BLACKOUT = "blackout"
+LINK_DEGRADE = "link-degrade"
+OBS_LOSS = "obs-loss"
+LOAD_SPIKE = "load-spike"
+
+#: All recognized kinds.
+KINDS = (
+    STREAM_CRASH,
+    SESSION_ABORT,
+    BLACKOUT,
+    LINK_DEGRADE,
+    OBS_LOSS,
+    LOAD_SPIKE,
+)
+
+#: Kinds that kill (part of) the epoch's byte flow and mark it faulted.
+HARD_KINDS = (SESSION_ABORT, STREAM_CRASH, BLACKOUT)
+
+#: Kinds that only scale the achievable rate.
+SOFT_KINDS = (LINK_DEGRADE, LOAD_SPIKE)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One failure, pinned to a window of control epochs.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`KINDS`.
+    epoch:
+        First control epoch (0-based) the event affects.
+    duration:
+        Number of consecutive epochs affected (>= 1).
+    severity:
+        For ``LINK_DEGRADE``: fraction of throughput lost, in [0, 1].
+        For ``LOAD_SPIKE``: load multiplier >= 0 (rate scales by
+        ``1/(1+severity)``).  Ignored by the other kinds.
+    at_fraction:
+        For ``STREAM_CRASH``: how far through the epoch the crash hits,
+        in [0, 1).  Ignored by the other kinds.
+    """
+
+    kind: str
+    epoch: int
+    duration: int = 1
+    severity: float = 1.0
+    at_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; one of {KINDS}")
+        if self.epoch < 0:
+            raise ValueError("epoch must be non-negative")
+        if self.duration < 1:
+            raise ValueError("duration must be >= 1")
+        if self.kind == LINK_DEGRADE and not 0 <= self.severity <= 1:
+            raise ValueError("link-degrade severity must be in [0, 1]")
+        if self.kind == LOAD_SPIKE and self.severity < 0:
+            raise ValueError("load-spike severity must be non-negative")
+        if not 0 <= self.at_fraction < 1:
+            raise ValueError("at_fraction must be in [0, 1)")
+
+    @property
+    def last_epoch(self) -> int:
+        return self.epoch + self.duration - 1
+
+    def active_at(self, epoch: int) -> bool:
+        """True if this event affects control epoch ``epoch``."""
+        return self.epoch <= epoch <= self.last_epoch
+
+    @property
+    def hard(self) -> bool:
+        return self.kind in HARD_KINDS

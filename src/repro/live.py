@@ -17,6 +17,19 @@ Two layers:
   ``globus-url-copy -p <np> ...``), lets them run for the control epoch,
   terminates them, and sums the bytes each reported.
 
+Resilience: :func:`tune_live` accepts the same fault-campaign triple as
+the simulator (:class:`~repro.faults.FaultSchedule`,
+:class:`~repro.faults.RetryPolicy`,
+:class:`~repro.faults.CircuitBreaker`), and drives retry backoff and the
+breaker state machine in exactly the same per-epoch order as
+:meth:`repro.sim.engine.Engine._dispatch_epoch` — so a campaign hardened
+in simulation replays its fault/retry/breaker transitions identically
+against a real tool.  A raising ``run_epoch`` never crashes the loop:
+the epoch is recorded as faulted (crediting any
+:attr:`~repro.faults.EpochFault.partial_bytes`) and the transfer
+continues per the retry policy.  The core guarantee holds here as in the
+simulator: a faulted or absent observation is never fed to the tuner.
+
 The subprocess runner is fully tested against a bundled byte-pump child
 process, so the adapter's process handling works out of the box; pointing
 it at a real mover is a one-line command template.
@@ -31,10 +44,22 @@ import subprocess
 import sys
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Callable
+
+import numpy as np
 
 from repro.core.base import Tuner
 from repro.core.params import ParamSpace
+from repro.faults.breaker import CLOSED, OPEN, CircuitBreaker
+from repro.faults.errors import EpochFault, SessionAborted
+from repro.faults.events import (
+    BLACKOUT,
+    OBS_LOSS,
+    SESSION_ABORT,
+    STREAM_CRASH,
+)
+from repro.faults.retry import RetryPolicy
+from repro.faults.schedule import FaultSchedule
 
 #: Epoch runner contract: (nc, np, duration_s) -> bytes moved.
 EpochRunner = Callable[[int, int, float], float]
@@ -42,12 +67,25 @@ EpochRunner = Callable[[int, int, float], float]
 
 @dataclass(frozen=True)
 class LiveEpoch:
-    """One completed control epoch of a live run."""
+    """One completed control epoch of a live run.
+
+    The fault/recovery fields mirror
+    :class:`repro.sim.trace.EpochRecord`: ``faulted`` marks an epoch the
+    tool lost (crash, abort, blackout, launch failure), ``fault`` names
+    the kind, ``retries`` is the session-cumulative retry count,
+    ``breaker`` the breaker state that governed the epoch, and ``tuned``
+    whether the tuner received this epoch's throughput.
+    """
 
     index: int
     params: tuple[int, ...]
     duration_s: float
     bytes_moved: float
+    faulted: bool = False
+    fault: str | None = None
+    retries: int = 0
+    breaker: str = CLOSED
+    tuned: bool = True
 
     @property
     def throughput_mbps(self) -> float:
@@ -61,6 +99,8 @@ class LiveResult:
     """All epochs of a live run."""
 
     epochs: list[LiveEpoch] = field(default_factory=list)
+    #: Set when a session abort exhausted the retry budget.
+    failed: bool = False
 
     @property
     def total_bytes(self) -> float:
@@ -75,6 +115,29 @@ class LiveResult:
 
     def params_trajectory(self) -> list[tuple[int, ...]]:
         return [e.params for e in self.epochs]
+
+    def faulted_epochs(self) -> list[LiveEpoch]:
+        return [e for e in self.epochs if e.faulted]
+
+    def transitions(self) -> list[tuple[str | None, str, bool]]:
+        """The (fault, breaker, tuned) sequence — the replayable part of
+        a campaign (real throughput varies run to run; these must not)."""
+        return [(e.fault, e.breaker, e.tuned) for e in self.epochs]
+
+
+def _fallback_params(
+    space: ParamSpace,
+    params: tuple[int, ...],
+    breaker: CircuitBreaker,
+    nc_dim: int,
+    np_dim: int | None,
+) -> tuple[int, ...]:
+    """The breaker's safe default mapped into the tuned space."""
+    p = list(params)
+    p[nc_dim] = breaker.fallback_nc
+    if np_dim is not None:
+        p[np_dim] = breaker.fallback_np
+    return space.fbnd(tuple(p))
 
 
 def tune_live(
@@ -91,12 +154,37 @@ def tune_live(
     np_dim: int | None = None,
     fixed_np: int = 1,
     on_epoch: Callable[[LiveEpoch], None] | None = None,
+    fault_schedule: FaultSchedule | None = None,
+    retry_policy: RetryPolicy | None = None,
+    breaker: CircuitBreaker | None = None,
+    rng: np.random.Generator | None = None,
+    sleep: Callable[[float], None] = time.sleep,
 ) -> LiveResult:
     """The paper's control loop around a real epoch runner.
 
     Stops when ``total_bytes`` have moved, ``max_duration_s`` wall-clock
     elapsed, or ``max_epochs`` epochs completed — whichever comes first
     (at least one stop condition is required).
+
+    Fault handling
+    --------------
+    ``fault_schedule`` injects the deterministic campaign: blackout and
+    abort epochs skip the runner entirely (the tool is unreachable; the
+    epoch's wall-clock still passes via ``sleep``), a stream crash runs
+    the runner for ``at_fraction`` of the epoch and credits the partial
+    bytes, observation loss runs normally but withholds the measurement
+    from the tuner, and soft faults scale the credited bytes by the
+    schedule's rate factor.  Independent of any schedule, an exception
+    from ``run_epoch`` records a faulted epoch (``EpochFault`` carries
+    its kind and partial bytes) instead of crashing the loop.
+
+    ``retry_policy`` charges exponential backoff (served through
+    ``sleep``, counted into the elapsed wall-clock) after each faulted
+    epoch while budgets allow; a session abort with no budget left sets
+    ``LiveResult.failed`` and ends the run.  ``breaker`` pins the run at
+    the safe default after repeated faulted epochs, exactly as in the
+    simulator.  ``rng`` jitters the backoff (``None`` = deterministic
+    midpoint).  ``sleep`` is injectable so tests run instantly.
     """
     if epoch_s <= 0:
         raise ValueError("epoch_s must be positive")
@@ -109,10 +197,12 @@ def tune_live(
         raise ValueError("total_bytes must be positive")
 
     driver = tuner.start(x0, space)
+    retry_state = retry_policy.start() if retry_policy is not None else None
     result = LiveResult()
     remaining = total_bytes
     elapsed = 0.0
     index = 0
+    params = driver.current
     while True:
         if max_epochs is not None and index >= max_epochs:
             break
@@ -120,26 +210,117 @@ def tune_live(
             break
         if remaining is not None and remaining <= 0:
             break
-        params = driver.current
         nc = params[nc_dim]
         np_ = params[np_dim] if np_dim is not None else fixed_np
-        moved = float(run_epoch(nc, np_, epoch_s))
+
+        scheduled = None
+        hard = None
+        if fault_schedule is not None:
+            hard = fault_schedule.hard_fault_at(index)
+            if hard is not None:
+                scheduled = hard.kind
+            elif fault_schedule.observation_lost(index):
+                scheduled = OBS_LOSS
+
+        moved, fault = 0.0, scheduled
+        try:
+            if scheduled in (BLACKOUT, SESSION_ABORT):
+                # Tool dead or session gone: nothing to launch, the
+                # epoch's wall-clock still passes.
+                sleep(epoch_s)
+            elif scheduled == STREAM_CRASH:
+                frac = hard.at_fraction
+                if frac > 0:
+                    moved = float(run_epoch(nc, np_, epoch_s * frac))
+                sleep(epoch_s * (1.0 - frac))
+            else:
+                moved = float(run_epoch(nc, np_, epoch_s))
+                if fault_schedule is not None:
+                    moved *= fault_schedule.rate_factor(index)
+        except EpochFault as exc:
+            moved, fault = exc.partial_bytes, exc.kind
+        except SessionAborted:
+            moved, fault = 0.0, SESSION_ABORT
+        except Exception:
+            # A dying tool must not kill the control loop: record the
+            # epoch as faulted and continue per the retry policy.
+            moved, fault = 0.0, "epoch-fault"
         if moved < 0:
             raise ValueError("epoch runner reported negative bytes")
         if remaining is not None:
             moved = min(moved, remaining)
             remaining -= moved
+
+        faulted = fault is not None and fault != OBS_LOSS
+        breaker_state = breaker.state if breaker is not None else CLOSED
         epoch = LiveEpoch(
             index=index, params=params, duration_s=epoch_s,
             bytes_moved=moved,
+            faulted=faulted,
+            fault=fault,
+            retries=(retry_state.total_retries
+                     if retry_state is not None else 0),
+            breaker=breaker_state,
+            # Same rule as the simulator: a faulted or absent observation
+            # never reaches the tuner, and fallback throughput while the
+            # breaker is open must not steer the search.
+            tuned=fault is None and breaker_state != OPEN,
         )
         result.epochs.append(epoch)
         if on_epoch is not None:
             on_epoch(epoch)
-        driver.observe(epoch.throughput_mbps)
+
+        # Per-epoch dispatch, same order as the simulator's
+        # Engine._dispatch_epoch so campaigns replay identically.
+        if retry_state is not None:
+            retry_state.next_epoch()
+        prev_state = breaker.state if breaker is not None else None
+        if breaker is not None:
+            breaker.record_epoch(faulted)
+
+        if (fault == SESSION_ABORT and retry_state is not None
+                and not retry_state.can_retry()):
+            result.failed = True
+            break
+
+        if breaker is not None and breaker.state == OPEN:
+            params = _fallback_params(space, params, breaker, nc_dim, np_dim)
+        elif breaker is not None and prev_state == OPEN:
+            params = driver.current  # probe with the standing proposal
+        elif faulted:
+            if retry_state is not None and retry_state.can_retry():
+                backoff = retry_state.record_failure(rng=rng)
+                if backoff > 0:
+                    sleep(backoff)
+                    elapsed += backoff
+            # relaunch with the same parameters
+        elif fault == OBS_LOSS:
+            if retry_state is not None:
+                retry_state.record_success()
+            # hold parameters; the tuner observes nothing
+        else:
+            if retry_state is not None:
+                retry_state.record_success()
+            params = driver.observe(epoch.throughput_mbps)
+
         elapsed += epoch_s
         index += 1
     return result
+
+
+def parse_last_count(text: str) -> float:
+    """Bytes from the *last* parseable line of a progress-mode child.
+
+    A copy SIGKILLed mid-epoch leaves its most recent progress line as
+    the partial-byte record (a final line truncated mid-write is
+    skipped); a copy that never printed counts as zero.
+    """
+    for line in reversed(text.strip().splitlines()):
+        try:
+            return float(line.strip())
+        except ValueError:
+            continue
+    return 0.0
 
 
 @dataclass
@@ -153,20 +334,43 @@ class SubprocessEpochRunner:
         ``{np}``, ``{copy}`` and ``{duration}`` are substituted
         (e.g. ``"globus-url-copy -p {np} src dst"``).
     parse_bytes:
-        Extracts the bytes this copy moved from its stdout text.
+        Extracts the bytes this copy moved from its stdout text.  A
+        parse failure on a copy that died (nonzero/signaled exit) counts
+        that copy as zero instead of losing the epoch.
     terminate_grace_s:
-        Seconds between SIGTERM and SIGKILL at epoch end.
+        Per-child timeout between SIGTERM and SIGKILL at epoch end.
+    launch_retries / launch_backoff_s:
+        Relaunch attempts (exponential backoff) when spawning a copy
+        fails.  Exhausting them raises
+        :class:`~repro.faults.EpochFault` with the bytes the
+        already-running copies managed as ``partial_bytes``.
+    on_launch:
+        Test/observability hook called as ``on_launch(copy, proc)``
+        right after each copy starts.
+    sleep:
+        Injectable delay function used for launch backoff.
+
+    Every child is reaped before :meth:`__call__` returns, whatever
+    failed mid-epoch — no orphans survive the epoch.
     """
 
     command_template: str
     parse_bytes: Callable[[str], float]
     terminate_grace_s: float = 2.0
+    launch_retries: int = 0
+    launch_backoff_s: float = 0.5
+    on_launch: Callable[[int, subprocess.Popen], None] | None = None
+    sleep: Callable[[float], None] = time.sleep
 
     def __post_init__(self) -> None:
         if not self.command_template:
             raise ValueError("command_template must be non-empty")
         if self.terminate_grace_s < 0:
             raise ValueError("terminate_grace_s must be non-negative")
+        if self.launch_retries < 0:
+            raise ValueError("launch_retries must be non-negative")
+        if self.launch_backoff_s < 0:
+            raise ValueError("launch_backoff_s must be non-negative")
 
     def build_command(self, np_: int, copy: int, duration_s: float) -> list[str]:
         return shlex.split(
@@ -175,39 +379,87 @@ class SubprocessEpochRunner:
             )
         )
 
+    def _launch(
+        self, np_: int, copy: int, duration_s: float
+    ) -> subprocess.Popen:
+        attempt = 0
+        while True:
+            try:
+                return subprocess.Popen(
+                    self.build_command(np_, copy, duration_s),
+                    stdout=subprocess.PIPE,
+                    stderr=subprocess.DEVNULL,
+                    text=True,
+                )
+            except OSError:
+                if attempt >= self.launch_retries:
+                    raise
+                self.sleep(self.launch_backoff_s * 2.0 ** attempt)
+                attempt += 1
+
     def __call__(self, nc: int, np_: int, duration_s: float) -> float:
         if nc < 1 or np_ < 1:
             raise ValueError("nc and np must be >= 1")
         if duration_s <= 0:
             raise ValueError("duration must be positive")
         procs: list[subprocess.Popen] = []
+        outs: list[str] = []
+        launch_error: OSError | None = None
         try:
-            for copy in range(nc):
-                procs.append(
-                    subprocess.Popen(
-                        self.build_command(np_, copy, duration_s),
-                        stdout=subprocess.PIPE,
-                        stderr=subprocess.DEVNULL,
-                        text=True,
+            try:
+                for copy in range(nc):
+                    p = self._launch(np_, copy, duration_s)
+                    procs.append(p)
+                    if self.on_launch is not None:
+                        self.on_launch(copy, p)
+            except OSError as exc:
+                launch_error = exc
+            if launch_error is None:
+                deadline = time.monotonic() + duration_s
+                while time.monotonic() < deadline:
+                    if all(p.poll() is not None for p in procs):
+                        break  # everyone finished early
+                    time.sleep(
+                        min(0.05, max(0.0, deadline - time.monotonic()))
                     )
-                )
-            deadline = time.monotonic() + duration_s
-            while time.monotonic() < deadline:
-                if all(p.poll() is not None for p in procs):
-                    break  # everyone finished early
-                time.sleep(min(0.05, max(0.0, deadline - time.monotonic())))
-        finally:
             for p in procs:
                 if p.poll() is None:
                     p.send_signal(signal.SIGTERM)
+            for p in procs:
+                try:
+                    out, _ = p.communicate(timeout=self.terminate_grace_s)
+                except subprocess.TimeoutExpired:
+                    p.kill()
+                    out, _ = p.communicate()
+                outs.append(out or "")
+        finally:
+            # Orphan reaping: no child outlives the epoch, whatever
+            # failed above.
+            for p in procs:
+                if p.poll() is None:
+                    p.kill()
+            for p in procs:
+                if p.returncode is None:
+                    try:
+                        p.wait(timeout=self.terminate_grace_s)
+                    except Exception:  # pragma: no cover - defensive
+                        pass
         total = 0.0
-        for p in procs:
+        for p, out in zip(procs, outs):
             try:
-                out, _ = p.communicate(timeout=self.terminate_grace_s)
-            except subprocess.TimeoutExpired:
-                p.kill()
-                out, _ = p.communicate()
-            total += float(self.parse_bytes(out or ""))
+                total += float(self.parse_bytes(out))
+            except (TypeError, ValueError):
+                if p.returncode == 0:
+                    raise
+                # killed/crashed copy with unparseable output: partial
+                # credit is whatever parse_bytes could read — here, none.
+        if launch_error is not None:
+            raise EpochFault(
+                f"failed to launch copy {len(procs)} of {nc}: "
+                f"{launch_error}",
+                kind="launch-failure",
+                partial_bytes=total,
+            ) from launch_error
         return total
 
 
@@ -217,3 +469,10 @@ class SubprocessEpochRunner:
 #: path (not ``-m``) so child startup skips the package import.
 _BYTE_PUMP_PATH = pathlib.Path(__file__).with_name("_byte_pump.py")
 BYTE_PUMP = f"{sys.executable} {_BYTE_PUMP_PATH} {{np}} {{duration}}"
+
+#: Progress-mode byte pump: prints the running total every 0.2 s, so a
+#: copy killed mid-epoch still leaves its partial count for
+#: :func:`parse_last_count`.
+BYTE_PUMP_PROGRESS = (
+    f"{sys.executable} {_BYTE_PUMP_PATH} {{np}} {{duration}} 0.2"
+)

@@ -31,6 +31,8 @@ from repro.core.base import TunerDriver
 from repro.endpoint.cpu import CpuTask, context_switch_efficiency, fair_shares
 from repro.endpoint.host import HostSpec
 from repro.endpoint.load import ExternalLoad, LoadSchedule
+from repro.faults.breaker import OPEN
+from repro.faults.events import OBS_LOSS, SESSION_ABORT
 from repro.gridftp.client import ClientModel
 from repro.net.fairshare import max_min_fair_allocation
 from repro.net.flows import FlowGroup
@@ -169,6 +171,15 @@ class Engine:
                     )
                 if name in self._controller_of:
                     raise ValueError(f"session {name!r} has two controllers")
+                if (self._by_name[name].fault_schedule is not None
+                        or self._by_name[name].breaker is not None):
+                    # Skipping one member's report would deadlock the
+                    # controller's aligned-epoch barrier.
+                    raise ValueError(
+                        f"session {name!r}: fault schedules and circuit "
+                        "breakers are not supported on jointly controlled "
+                        "sessions"
+                    )
                 self._controller_of[name] = ctl
         for s in self.sessions:
             if s.driver is None and s.name not in self._controller_of:
@@ -341,7 +352,8 @@ class Engine:
                 jitter = lognormal_factor(
                     self.rng.throughput_noise, self.config.noise_sigma_step
                 )
-                rate = alloc[s.name] * eta * s.noise_factor * jitter * ramp
+                rate = (alloc[s.name] * eta * s.noise_factor * jitter
+                        * ramp * s.fault_rate_factor())
                 moved = s.state.account(rate * MB * run_s, dt)
                 s.time_since_start += run_s
             else:
@@ -368,42 +380,141 @@ class Engine:
             rec = s.close_epoch(start_time=now - s.epoch_elapsed)
             if s.done:
                 continue
-            self._dispatch_epoch(s, rec.observed)
+            self._dispatch_epoch(s, rec)
 
-    def _dispatch_epoch(self, s: TransferSession, observed: float) -> None:
-        """Feed the tuner/controller and apply restarts + fresh noise."""
-        if s.driver is not None:
-            self._adopt(s, s.driver.observe(observed))
-        else:
+    def _dispatch_epoch(self, s: TransferSession, rec) -> None:
+        """Close out one control epoch: drive the retry policy and circuit
+        breaker, and feed the tuner/controller — but never with a faulted
+        or absent observation."""
+        if s.driver is None:
+            # Jointly controlled sessions carry no fault machinery
+            # (enforced at construction); keep the original path.
             ctl = self._controller_of[s.name]
-            result = ctl.observe(s.name, observed)
+            result = ctl.observe(s.name, rec.observed)
             if result is not None:
                 for name, params in result.items():
                     self._adopt(self._by_name[name], params)
+            return
 
-    def _adopt(self, s: TransferSession, params: tuple[int, ...]) -> None:
-        needs_restart, warm = s.apply_params(params)
-        s.noise_factor = lognormal_factor(
+        # Fixed per-epoch draw pattern: one value from each stream no
+        # matter which recovery path runs below, so fault policies are
+        # compared on identical noise realizations.
+        noise = lognormal_factor(
             self.rng.throughput_noise, self.config.noise_sigma_epoch
         )
-        dead = 0.0
-        if needs_restart:
-            dead = self.client.restart.restart_time_s(
-                s.nc,
-                self._last_cmp_frac,
-                s.spec.epoch_s,
-                warm=warm,
-                rng=self.rng.restart_jitter,
+        rjit = lognormal_factor(
+            self.rng.restart_jitter, self.client.restart.jitter_sigma
+        )
+        backoff_u = float(self.rng.faults.uniform(-1.0, 1.0))
+
+        if s.retry_state is not None:
+            s.retry_state.next_epoch()
+        prev_state = s.breaker.state if s.breaker is not None else None
+        if s.breaker is not None:
+            s.breaker.record_epoch(rec.faulted)
+
+        # A session abort continues only while the retry budget allows.
+        if (rec.fault == SESSION_ABORT and s.retry_state is not None
+                and not s.retry_state.can_retry()):
+            s.failed = True
+            return
+
+        if s.breaker is not None and s.breaker.state == OPEN:
+            # Pinned at the safe default: tuner bypassed (its search
+            # state frozen), no retry hammering, the tool left running.
+            self._enter_fallback(s, entering=prev_state != OPEN,
+                                 noise=noise, rjit=rjit)
+            return
+
+        if s.breaker is not None and prev_state == OPEN:
+            # Cooldown over: probe with the tuner's standing proposal.
+            # The fallback epochs' throughput is never observed.
+            self._adopt(s, s.driver.current, force_restart=True,
+                        noise=noise, rjit=rjit)
+            return
+
+        if rec.faulted:
+            # The tool died mid-epoch: the tuner must not see this
+            # epoch's throughput.  Relaunch, charging the restart window
+            # plus the policy's backoff.
+            backoff = 0.0
+            if s.retry_state is not None and s.retry_state.can_retry():
+                backoff = s.retry_state.record_failure(u=backoff_u)
+            self._adopt(s, s.params, force_restart=True,
+                        extra_dead_s=backoff, noise=noise, rjit=rjit)
+            return
+
+        if s.retry_state is not None:
+            s.retry_state.record_success()
+
+        if rec.fault == OBS_LOSS:
+            # Control channel dropped the measurement: hold the current
+            # parameters; the tuner observes nothing.
+            self._adopt(s, s.params, noise=noise, rjit=rjit)
+            return
+
+        self._adopt(s, s.driver.observe(rec.observed), noise=noise, rjit=rjit)
+
+    def _restart_dead_s(
+        self, s: TransferSession, *, warm: bool = False,
+        rjit: float | None = None,
+    ) -> float:
+        """Restart dead time; jitter comes from ``rjit`` when pre-drawn,
+        else from the stream (legacy paths)."""
+        dead = self.client.restart.restart_time_s(
+            s.nc,
+            self._last_cmp_frac,
+            s.spec.epoch_s,
+            warm=warm,
+            rng=self.rng.restart_jitter if rjit is None else None,
+        )
+        if rjit is not None:
+            dead = min(
+                dead * rjit,
+                self.client.restart.max_fraction_of_epoch * s.spec.epoch_s,
             )
+        return dead
+
+    def _enter_fallback(
+        self, s: TransferSession, *, entering: bool,
+        noise: float, rjit: float,
+    ) -> None:
+        """Hold the session at the breaker's safe default (set-and-hold:
+        only the transition pays a relaunch)."""
+        params = s.fallback_params()
+        changed = params != s.params
+        s.params = params
+        s.noise_factor = noise
+        if entering or changed:
+            dead = self._restart_dead_s(s, rjit=rjit)
+            s.begin_restart(
+                min(dead,
+                    s.spec.epoch_s * self.client.restart.max_fraction_of_epoch)
+            )
+
+    def _adopt(
+        self,
+        s: TransferSession,
+        params: tuple[int, ...],
+        *,
+        force_restart: bool = False,
+        extra_dead_s: float = 0.0,
+        noise: float | None = None,
+        rjit: float | None = None,
+    ) -> None:
+        needs_restart, warm = s.apply_params(params)
+        if force_restart:
+            needs_restart, warm = True, False
+        s.noise_factor = noise if noise is not None else lognormal_factor(
+            self.rng.throughput_noise, self.config.noise_sigma_epoch
+        )
+        dead = extra_dead_s
+        if needs_restart:
+            dead += self._restart_dead_s(s, warm=warm, rjit=rjit)
         if s.fault_model is not None and s.fault_model.draw_fault(
             self.rng.faults
         ):
-            dead += self.client.restart.restart_time_s(
-                s.nc,
-                self._last_cmp_frac,
-                s.spec.epoch_s,
-                rng=self.rng.restart_jitter,
-            )
+            dead += self._restart_dead_s(s, rjit=rjit)
         if dead > 0:
             s.begin_restart(
                 min(dead, s.spec.epoch_s * self.client.restart.max_fraction_of_epoch)

@@ -15,6 +15,11 @@ from typing import Callable
 
 from repro.core.base import Tuner, TunerDriver
 from repro.core.params import ParamSpace
+from repro.faults.breaker import OPEN as OPEN_STATE
+from repro.faults.breaker import CircuitBreaker
+from repro.faults.events import OBS_LOSS, STREAM_CRASH
+from repro.faults.retry import RetryPolicy, RetryState
+from repro.faults.schedule import FaultSchedule
 from repro.gridftp.globus import FaultModel
 from repro.gridftp.transfer import TransferSpec, TransferState
 from repro.sim.trace import EpochRecord, StepRecord, Trace
@@ -93,7 +98,20 @@ class TransferSession:
     warm_restart:
         Extension (future work 2): reuse processes when only np changes.
     fault_model:
-        Optional per-epoch fault injection.
+        Optional legacy per-epoch Bernoulli fault injection (deprecated;
+        use ``fault_schedule``).
+    fault_schedule:
+        Optional deterministic fault campaign (:mod:`repro.faults`):
+        crashes, aborts, blackouts, link degradation, observation loss
+        and load spikes, indexed by control epoch.
+    retry_policy:
+        How faulted epochs are retried: backoff dead time and retry
+        budgets.  A session abort with no retry budget left ends the
+        transfer (``failed`` is set).
+    breaker:
+        Optional circuit breaker: after repeated faulted epochs the
+        session is pinned to the safe Globus default and the tuner is
+        bypassed until a probe epoch succeeds.
     disk_cap_fn:
         Optional extra rate cap (MB/s) as a function of (nc, np, pp),
         used by the disk-to-disk extension.
@@ -110,6 +128,9 @@ class TransferSession:
         restart_each_epoch: bool = True,
         warm_restart: bool = False,
         fault_model: FaultModel | None = None,
+        fault_schedule: FaultSchedule | None = None,
+        retry_policy: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
         disk_cap_fn: Callable[[int, int, int], float] | None = None,
     ) -> None:
         self.spec = spec
@@ -118,6 +139,12 @@ class TransferSession:
         self.restart_each_epoch = restart_each_epoch
         self.warm_restart = warm_restart
         self.fault_model = fault_model
+        self.fault_schedule = fault_schedule
+        self.retry_policy = retry_policy
+        self.retry_state: RetryState | None = (
+            retry_policy.start() if retry_policy is not None else None
+        )
+        self.breaker = breaker
         self.disk_cap_fn = disk_cap_fn
 
         self.driver: TunerDriver | None = (
@@ -141,6 +168,9 @@ class TransferSession:
         self.epoch_run_s: float = 0.0
         self.epoch_bytes: float = 0.0
         self.noise_factor: float = 1.0
+
+        #: Set when a session abort exhausted the retry budget.
+        self.failed: bool = False
 
     def _check_dims(self) -> None:
         for dim in (self.param_map.nc_dim, self.param_map.np_dim,
@@ -175,7 +205,7 @@ class TransferSession:
 
     @property
     def done(self) -> bool:
-        return self.state.done
+        return self.failed or self.state.done
 
     @property
     def restarting(self) -> bool:
@@ -186,6 +216,59 @@ class TransferSession:
         if self.disk_cap_fn is None:
             return math.inf
         return self.disk_cap_fn(self.nc, self.np_, self.pp)
+
+    # -- fault injection ---------------------------------------------------
+
+    def epoch_target_s(self) -> float:
+        """Length of the current control epoch (the first one may carry a
+        phase offset)."""
+        target = self.spec.epoch_s
+        if self.epoch_index == 0:
+            target += self.spec.epoch_offset_s
+        return target
+
+    def fault_rate_factor(self) -> float:
+        """Throughput multiplier the fault schedule imposes on the current
+        step: 0 during blackouts/aborts and after a stream crash's hit
+        point, ``1 - severity`` on degraded links, ``1/(1+severity)``
+        during load spikes, 1 otherwise."""
+        if self.fault_schedule is None:
+            return 1.0
+        idx = self.epoch_index
+        factor = self.fault_schedule.rate_factor(idx)
+        hard = self.fault_schedule.hard_fault_at(idx)
+        if hard is not None:
+            if hard.kind == STREAM_CRASH:
+                frac = self.epoch_elapsed / self.epoch_target_s()
+                if frac >= hard.at_fraction - 1e-12:
+                    factor = 0.0
+            else:
+                factor = 0.0
+        return factor
+
+    def epoch_fault_kind(self) -> str | None:
+        """Fault affecting the current epoch: a hard kind, ``"obs-loss"``
+        when only the measurement is dropped, else None."""
+        if self.fault_schedule is None:
+            return None
+        hard = self.fault_schedule.hard_fault_at(self.epoch_index)
+        if hard is not None:
+            return hard.kind
+        if self.fault_schedule.observation_lost(self.epoch_index):
+            return OBS_LOSS
+        return None
+
+    def fallback_params(self) -> tuple[int, ...]:
+        """The breaker's safe default mapped into this session's space
+        (dimensions the map fixes are left at their current value)."""
+        if self.breaker is None:
+            raise RuntimeError("session has no circuit breaker")
+        params = list(self.params)
+        if self.param_map.nc_dim is not None:
+            params[self.param_map.nc_dim] = self.breaker.fallback_nc
+        if self.param_map.np_dim is not None:
+            params[self.param_map.np_dim] = self.breaker.fallback_np
+        return self.space.fbnd(tuple(params))
 
     # -- step/epoch bookkeeping (driven by the engine) ----------------------
 
@@ -206,6 +289,9 @@ class TransferSession:
         mb = self.epoch_bytes / 1e6
         observed = mb / self.epoch_elapsed
         best = mb / self.epoch_run_s if self.epoch_run_s > 0 else 0.0
+        fault = self.epoch_fault_kind()
+        faulted = fault is not None and fault != OBS_LOSS
+        breaker_state = self.breaker.state if self.breaker is not None else "closed"
         rec = EpochRecord(
             index=self.epoch_index,
             start=start_time,
@@ -214,6 +300,15 @@ class TransferSession:
             observed=observed,
             best_case=best,
             bytes_moved=self.epoch_bytes,
+            faulted=faulted,
+            fault=fault,
+            retries=(self.retry_state.total_retries
+                     if self.retry_state is not None else 0),
+            breaker=breaker_state,
+            # A clean epoch is fed to the tuner unless the breaker is
+            # open (fallback throughput must not steer the search); a
+            # clean half-open probe *is* observed.
+            tuned=fault is None and breaker_state != OPEN_STATE,
         )
         self.trace.add_epoch(rec)
         self.epoch_index += 1

@@ -29,7 +29,12 @@ class StepRecord:
 
 @dataclass(frozen=True)
 class EpochRecord:
-    """Aggregate of one control epoch of a tuner-driven session."""
+    """Aggregate of one control epoch of a tuner-driven session.
+
+    The fault/recovery fields default to the clean-epoch values so
+    records from fault-free runs (and pre-fault trace files) read
+    unchanged.
+    """
 
     index: int  #: epoch counter c
     start: float  #: epoch start time, seconds
@@ -38,6 +43,11 @@ class EpochRecord:
     observed: float  #: epoch-average throughput with restart overhead, MB/s
     best_case: float  #: epoch-average throughput excluding restart dead time
     bytes_moved: float  #: bytes transferred during the epoch
+    faulted: bool = False  #: a hard fault (crash/abort/blackout) hit the epoch
+    fault: str | None = None  #: fault kind (see repro.faults.events), if any
+    retries: int = 0  #: cumulative retries the session consumed so far
+    breaker: str = "closed"  #: circuit-breaker state governing the epoch
+    tuned: bool = True  #: observation was fed to the tuner as genuine
 
 
 @dataclass
@@ -86,6 +96,18 @@ class Trace:
     def epoch_param(self, dim: int) -> np.ndarray:
         """Trajectory of one parameter (e.g. dim 0 = nc) across epochs."""
         return np.array([e.params[dim] for e in self.epochs])
+
+    def faulted_epochs(self) -> list[int]:
+        """Indices of epochs a hard fault hit."""
+        return [e.index for e in self.epochs if e.faulted]
+
+    def breaker_states(self) -> list[str]:
+        """Circuit-breaker state per epoch (all "closed" without one)."""
+        return [e.breaker for e in self.epochs]
+
+    def tuner_fed_epochs(self) -> list[int]:
+        """Indices of epochs whose throughput reached the tuner."""
+        return [e.index for e in self.epochs if e.tuned]
 
     def mean_observed(self, *, from_time: float = 0.0, to_time: float | None = None) -> float:
         """Time-weighted mean observed throughput over [from_time, to_time)."""

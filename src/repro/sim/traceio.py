@@ -41,6 +41,11 @@ def trace_to_dict(trace: Trace) -> dict:
                 "observed": e.observed,
                 "best_case": e.best_case,
                 "bytes_moved": e.bytes_moved,
+                "faulted": e.faulted,
+                "fault": e.fault,
+                "retries": e.retries,
+                "breaker": e.breaker,
+                "tuned": e.tuned,
             }
             for e in trace.epochs
         ],
@@ -68,6 +73,7 @@ def trace_from_dict(data: dict) -> Trace:
             )
         )
     for e in data.get("epochs", []):
+        fault = e.get("fault")
         trace.add_epoch(
             EpochRecord(
                 index=int(e["index"]),
@@ -77,6 +83,13 @@ def trace_from_dict(data: dict) -> Trace:
                 observed=float(e["observed"]),
                 best_case=float(e["best_case"]),
                 bytes_moved=float(e["bytes_moved"]),
+                # Fault/recovery fields appeared after format 1 froze;
+                # absent keys mean a clean pre-fault trace.
+                faulted=bool(e.get("faulted", False)),
+                fault=None if fault is None else str(fault),
+                retries=int(e.get("retries", 0)),
+                breaker=str(e.get("breaker", "closed")),
+                tuned=bool(e.get("tuned", True)),
             )
         )
     return trace
@@ -107,14 +120,17 @@ def epochs_to_csv(trace: Trace, path: str | Path | None = None) -> str:
     writer.writerow(
         ["index", "start_s", "duration_s"]
         + [f"param{i}" for i in range(ndim)]
-        + ["observed_mbps", "best_case_mbps", "bytes_moved"]
+        + ["observed_mbps", "best_case_mbps", "bytes_moved",
+           "faulted", "fault", "retries", "breaker", "tuned"]
     )
     for e in trace.epochs:
         if len(e.params) != ndim:
             raise ValueError("inconsistent parameter dimensionality")
         writer.writerow(
             [e.index, e.start, e.duration, *e.params,
-             e.observed, e.best_case, e.bytes_moved]
+             e.observed, e.best_case, e.bytes_moved,
+             int(e.faulted), e.fault or "", e.retries, e.breaker,
+             int(e.tuned)]
         )
     text = buf.getvalue()
     if path is not None:

@@ -5,7 +5,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.cs_tuner import CsTuner
-from repro.core.monitor import CusumMonitor, DeltaPctMonitor, EwmaMonitor
+from repro.core.monitor import (
+    CusumMonitor,
+    DeltaPctMonitor,
+    EwmaMonitor,
+    FaultFilterMonitor,
+)
 from repro.core.params import ParamSpace
 
 from tests.core.helpers import drive_switching, unimodal_1d
@@ -126,6 +131,51 @@ class TestMonitorsInTuners:
             lambda c: before if c < 40 else after, epochs=120,
         )
         assert abs(xs[-1][0] - 70) <= 10
+
+
+class TestFaultFilterMonitor:
+    def test_marked_epochs_never_reach_the_inner_monitor(self):
+        mon = FaultFilterMonitor(inner=DeltaPctMonitor(5.0))
+        assert not mon.update(1000.0)
+        mon.mark_faulted()
+        # a blackout epoch observes ~0 MB/s — a 100% drop that would fire
+        # the Δc rule, but it is a fault artifact, not a level shift
+        assert not mon.update(0.0)
+        assert not mon.update(1010.0)  # back to the old level: no change
+
+    def test_unfiltered_monitor_fires_on_the_same_sequence(self):
+        mon = DeltaPctMonitor(5.0)
+        mon.update(1000.0)
+        assert mon.update(0.0)
+
+    def test_mark_faulted_accumulates(self):
+        mon = FaultFilterMonitor(inner=DeltaPctMonitor(5.0))
+        mon.update(100.0)
+        mon.mark_faulted(2)
+        assert not mon.update(0.0)
+        assert not mon.update(0.0)
+        assert mon.update(500.0)  # filter exhausted; real shift fires
+
+    def test_clean_updates_pass_through(self):
+        mon = FaultFilterMonitor(inner=DeltaPctMonitor(5.0))
+        mon.update(100.0)
+        assert mon.update(200.0)
+
+    def test_reset_clears_pending_skips(self):
+        mon = FaultFilterMonitor(inner=DeltaPctMonitor(5.0))
+        mon.update(100.0)
+        mon.mark_faulted(3)
+        mon.reset(100.0)
+        assert mon.update(500.0)
+
+    def test_clone_is_fresh_and_validation(self):
+        mon = FaultFilterMonitor(inner=EwmaMonitor(0.3, 10.0))
+        mon.mark_faulted(4)
+        fresh = mon.clone()
+        assert isinstance(fresh.inner, EwmaMonitor)
+        assert fresh._skip == 0
+        with pytest.raises(ValueError):
+            mon.mark_faulted(0)
 
 
 @given(

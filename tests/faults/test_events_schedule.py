@@ -1,0 +1,124 @@
+"""Unit tests for the fault vocabulary and deterministic schedules."""
+
+import pytest
+
+from repro.faults import (
+    BLACKOUT,
+    HARD_KINDS,
+    LINK_DEGRADE,
+    LOAD_SPIKE,
+    OBS_LOSS,
+    SESSION_ABORT,
+    STREAM_CRASH,
+    FaultEvent,
+    FaultSchedule,
+)
+
+
+class TestFaultEvent:
+    def test_window_and_activity(self):
+        e = FaultEvent(BLACKOUT, epoch=3, duration=2)
+        assert e.last_epoch == 4
+        assert not e.active_at(2)
+        assert e.active_at(3)
+        assert e.active_at(4)
+        assert not e.active_at(5)
+
+    def test_hard_classification(self):
+        assert FaultEvent(SESSION_ABORT, 0).hard
+        assert FaultEvent(STREAM_CRASH, 0).hard
+        assert FaultEvent(BLACKOUT, 0).hard
+        assert not FaultEvent(LINK_DEGRADE, 0, severity=0.5).hard
+        assert not FaultEvent(OBS_LOSS, 0).hard
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultEvent("meteor-strike", 0)
+        with pytest.raises(ValueError):
+            FaultEvent(BLACKOUT, epoch=-1)
+        with pytest.raises(ValueError):
+            FaultEvent(BLACKOUT, 0, duration=0)
+        with pytest.raises(ValueError):
+            FaultEvent(LINK_DEGRADE, 0, severity=1.5)
+        with pytest.raises(ValueError):
+            FaultEvent(LOAD_SPIKE, 0, severity=-0.1)
+        with pytest.raises(ValueError):
+            FaultEvent(STREAM_CRASH, 0, at_fraction=1.0)
+
+
+class TestFaultSchedule:
+    def test_hard_fault_priority_abort_beats_crash_beats_blackout(self):
+        sched = FaultSchedule((
+            FaultEvent(BLACKOUT, 5),
+            FaultEvent(SESSION_ABORT, 5),
+            FaultEvent(STREAM_CRASH, 5, at_fraction=0.5),
+        ))
+        hard = sched.hard_fault_at(5)
+        assert hard is not None and hard.kind == SESSION_ABORT
+        assert HARD_KINDS[0] == SESSION_ABORT
+
+    def test_rate_factor_compounds_soft_faults(self):
+        sched = FaultSchedule.degradation(2, 3, severity=0.5).merge(
+            FaultSchedule.load_spike(3, 1, severity=1.0)
+        )
+        assert sched.rate_factor(1) == 1.0
+        assert sched.rate_factor(2) == pytest.approx(0.5)
+        assert sched.rate_factor(3) == pytest.approx(0.25)
+        assert sched.rate_factor(4) == pytest.approx(0.5)
+
+    def test_observation_loss_query(self):
+        sched = FaultSchedule((FaultEvent(OBS_LOSS, 7),))
+        assert sched.observation_lost(7)
+        assert not sched.observation_lost(6)
+        assert sched.fault_epochs() == ()  # obs-loss is not a hard fault
+
+    def test_merge_and_shift(self):
+        a = FaultSchedule.blackout(2)
+        b = FaultSchedule.abort(9)
+        merged = a.merge(b).shifted(10)
+        assert merged.fault_epochs() == (12, 19)
+
+    def test_events_sorted_regardless_of_construction_order(self):
+        fwd = FaultSchedule((FaultEvent(BLACKOUT, 1), FaultEvent(BLACKOUT, 8)))
+        rev = FaultSchedule((FaultEvent(BLACKOUT, 8), FaultEvent(BLACKOUT, 1)))
+        assert fwd == rev
+
+    def test_bernoulli_is_seed_deterministic(self):
+        a = FaultSchedule.bernoulli(42, 200, fault_rate=0.2)
+        b = FaultSchedule.bernoulli(42, 200, fault_rate=0.2)
+        c = FaultSchedule.bernoulli(43, 200, fault_rate=0.2)
+        assert a == b
+        assert a != c
+
+    def test_bernoulli_rate_is_respected(self):
+        sched = FaultSchedule.bernoulli(
+            0, 2000, fault_rate=0.2, kinds=(BLACKOUT,)
+        )
+        rate = len(sched.fault_epochs()) / 2000
+        assert rate == pytest.approx(0.2, abs=0.03)
+
+    def test_bernoulli_extremes(self):
+        assert FaultSchedule.bernoulli(0, 50, fault_rate=0.0).events == ()
+        full = FaultSchedule.bernoulli(0, 50, fault_rate=1.0, kinds=(BLACKOUT,))
+        assert full.fault_epochs() == tuple(range(50))
+
+    def test_bursts_are_contiguous_windows(self):
+        sched = FaultSchedule.bursts(1, n_epochs=60, n_bursts=3, burst_len=4)
+        epochs = sched.fault_epochs()
+        assert len(sched.events) == 3
+        for e in sched.events:
+            assert e.duration == 4
+            assert set(range(e.epoch, e.epoch + 4)) <= set(epochs)
+            assert e.last_epoch < 60
+
+    def test_builders_validate(self):
+        with pytest.raises(ValueError):
+            FaultSchedule.bernoulli(0, -1, fault_rate=0.5)
+        with pytest.raises(ValueError):
+            FaultSchedule.bernoulli(0, 10, fault_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultSchedule.bernoulli(0, 10, fault_rate=0.5, kinds=())
+        with pytest.raises(ValueError):
+            FaultSchedule.bursts(0, 60, 3, burst_len=0)
+        with pytest.raises(ValueError):
+            FaultSchedule.blackout(0).shifted(-1)

@@ -1,0 +1,142 @@
+"""Unit tests for the retry policy and circuit breaker state machines."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    SAFE_DEFAULT_NC,
+    SAFE_DEFAULT_NP,
+    CircuitBreaker,
+    RetryPolicy,
+)
+
+
+class TestRetryPolicy:
+    def test_backoff_is_exponential_and_clamped(self):
+        pol = RetryPolicy(base_backoff_s=1.0, backoff_factor=2.0,
+                          max_backoff_s=30.0, jitter_frac=0.0)
+        assert [pol.backoff_s(k) for k in range(6)] == [1, 2, 4, 8, 16, 30]
+
+    def test_jitter_bounds(self):
+        pol = RetryPolicy(base_backoff_s=10.0, jitter_frac=0.2)
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            d = pol.backoff_s(0, rng=rng)
+            assert 8.0 <= d <= 12.0
+
+    def test_predrawn_u_bypasses_rng(self):
+        pol = RetryPolicy(base_backoff_s=10.0, jitter_frac=0.5)
+        assert pol.backoff_s(0, u=1.0) == pytest.approx(15.0)
+        assert pol.backoff_s(0, u=-1.0) == pytest.approx(5.0)
+        with pytest.raises(ValueError):
+            pol.backoff_s(0, u=2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries_per_epoch=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_backoff_s=5.0, max_backoff_s=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter_frac=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff_s(-1)
+
+
+class TestRetryState:
+    def test_epoch_budget_refills_each_epoch(self):
+        st = RetryPolicy(max_retries_per_epoch=2, jitter_frac=0.0).start()
+        assert st.can_retry()
+        st.record_failure()
+        st.record_failure()
+        assert not st.can_retry()
+        st.next_epoch()
+        assert st.can_retry()
+
+    def test_session_budget_never_refills(self):
+        st = RetryPolicy(max_retries_per_epoch=10,
+                         max_retries_per_session=2,
+                         jitter_frac=0.0).start()
+        st.record_failure()
+        st.next_epoch()
+        st.record_failure()
+        st.next_epoch()
+        assert not st.can_retry()
+        with pytest.raises(RuntimeError):
+            st.record_failure()
+
+    def test_backoff_escalates_across_consecutive_failed_epochs(self):
+        st = RetryPolicy(base_backoff_s=1.0, backoff_factor=2.0,
+                         jitter_frac=0.0).start()
+        delays = []
+        for _ in range(3):
+            st.next_epoch()
+            delays.append(st.record_failure())
+        assert delays == [1.0, 2.0, 4.0]
+        st.record_success()
+        st.next_epoch()
+        assert st.record_failure() == 1.0  # streak reset by clean epoch
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_consecutive_failures(self):
+        br = CircuitBreaker(failure_threshold=3, cooldown_epochs=2)
+        br.record_epoch(True)
+        br.record_epoch(True)
+        assert br.state == CLOSED
+        br.record_epoch(True)
+        assert br.state == OPEN
+        assert br.is_open and br.suppresses_tuner
+        assert br.opens == 1
+
+    def test_clean_epoch_resets_the_count(self):
+        br = CircuitBreaker(failure_threshold=2)
+        br.record_epoch(True)
+        br.record_epoch(False)
+        br.record_epoch(True)
+        assert br.state == CLOSED
+
+    def test_cooldown_then_half_open_then_close_on_clean_probe(self):
+        br = CircuitBreaker(failure_threshold=1, cooldown_epochs=2)
+        br.record_epoch(True)
+        assert br.state == OPEN
+        br.record_epoch(True)   # cooldown epoch 1 (faults don't extend it)
+        assert br.state == OPEN
+        br.record_epoch(False)  # cooldown epoch 2
+        assert br.state == HALF_OPEN
+        br.record_epoch(False)  # clean probe
+        assert br.state == CLOSED
+        assert br.consecutive_failures == 0
+
+    def test_faulted_probe_reopens(self):
+        br = CircuitBreaker(failure_threshold=1, cooldown_epochs=1)
+        br.record_epoch(True)
+        br.record_epoch(True)
+        assert br.state == HALF_OPEN
+        br.record_epoch(True)
+        assert br.state == OPEN
+        assert br.opens == 2
+
+    def test_reset_restores_fresh_closed(self):
+        br = CircuitBreaker(failure_threshold=1)
+        br.record_epoch(True)
+        br.reset()
+        assert br.state == CLOSED
+        assert br.opens == 0
+
+    def test_fallback_defaults_are_the_globus_large_file_settings(self):
+        br = CircuitBreaker()
+        assert (br.fallback_nc, br.fallback_np) == (2, 8)
+        assert (SAFE_DEFAULT_NC, SAFE_DEFAULT_NP) == (2, 8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_epochs=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(fallback_nc=0)

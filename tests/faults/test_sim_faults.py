@@ -1,0 +1,221 @@
+"""Fault campaigns on the simulation path: determinism, tuner guarding,
+breaker value, abort semantics."""
+
+import math
+
+import pytest
+
+from repro.core import JointTuner, NmTuner, StaticTuner, Tuner
+from repro.core.params import concurrency_space
+from repro.experiments.runner import run_single
+from repro.experiments.scenarios import ANL_UC
+from repro.faults import (
+    BLACKOUT,
+    OBS_LOSS,
+    OPEN,
+    CircuitBreaker,
+    FaultEvent,
+    FaultSchedule,
+    RetryPolicy,
+)
+from repro.gridftp.transfer import TransferSpec
+from repro.sim.engine import Engine, EngineConfig, JointController
+from repro.sim.session import ParamMap, TransferSession
+from repro.sim.traceio import trace_to_dict
+
+
+class SpyTuner(Tuner):
+    """Static proposals; records every throughput it is fed."""
+
+    name = "spy"
+    restarts_every_epoch = True
+
+    def __init__(self):
+        self.seen: list[float] = []
+
+    def propose(self, x0, space):
+        while True:
+            f = yield x0
+            self.seen.append(f)
+
+
+def _campaign_run(seed, *, tuner=None, breaker=None, duration_s=600.0,
+                  schedule=None, retry_policy=None):
+    n_epochs = int(duration_s // 30)
+    if schedule is None:
+        schedule = FaultSchedule.bursts(
+            seed, n_epochs=n_epochs, n_bursts=2, burst_len=3
+        )
+    return run_single(
+        ANL_UC,
+        tuner if tuner is not None else NmTuner(),
+        duration_s=duration_s,
+        seed=seed,
+        fault_schedule=schedule,
+        retry_policy=retry_policy,
+        breaker=breaker,
+    )
+
+
+class TestCampaignDeterminism:
+    def test_identical_traces_including_fault_retry_breaker_fields(self):
+        kw = dict(
+            breaker=CircuitBreaker(failure_threshold=2, cooldown_epochs=2),
+            retry_policy=RetryPolicy(base_backoff_s=2.0),
+        )
+        a = trace_to_dict(_campaign_run(3, **kw))
+        b = trace_to_dict(_campaign_run(3, **kw))
+        assert a == b
+        assert any(e["faulted"] for e in a["epochs"])
+        assert any(e["breaker"] == "open" for e in a["epochs"])
+        assert any(e["retries"] > 0 for e in a["epochs"])
+
+    def test_fault_epochs_land_exactly_where_scheduled(self):
+        sched = FaultSchedule.blackout(4, duration=2)
+        trace = _campaign_run(0, schedule=sched,
+                              retry_policy=RetryPolicy(jitter_frac=0.0))
+        marked = [e.index for e in trace.epochs if e.faulted]
+        assert marked == [4, 5]
+        for e in trace.epochs:
+            if e.index in (4, 5):
+                assert e.fault == BLACKOUT
+                assert e.observed == pytest.approx(0.0, abs=1e-9)
+
+
+class TestTunerGuard:
+    def test_tuner_never_sees_faulted_or_lost_epochs(self):
+        spy = SpyTuner()
+        sched = FaultSchedule.blackout(2, duration=2).merge(
+            FaultSchedule((FaultEvent(OBS_LOSS, 6),))
+        )
+        trace = _campaign_run(1, tuner=spy, schedule=sched,
+                              retry_policy=RetryPolicy(jitter_frac=0.0),
+                              duration_s=300.0)
+        n_epochs = len(trace.epochs)
+        fed = [e.index for e in trace.epochs if e.tuned]
+        # blackout epochs 2-3 and obs-loss epoch 6 are withheld; the last
+        # epoch closes after the run so it is never dispatched.
+        assert set(fed) == set(range(n_epochs)) - {2, 3, 6}
+        assert len(spy.seen) == len(fed) - 1
+        clean = {
+            e.observed for e in trace.epochs if e.tuned
+        }
+        for f in spy.seen:
+            assert f in clean
+        faulted_values = {e.observed for e in trace.epochs if not e.tuned}
+        assert not faulted_values & set(spy.seen)
+
+    def test_breaker_open_epochs_do_not_feed_the_tuner(self):
+        spy = SpyTuner()
+        sched = FaultSchedule.blackout(2, duration=2)
+        trace = _campaign_run(
+            0, tuner=spy, schedule=sched, duration_s=450.0,
+            retry_policy=RetryPolicy(jitter_frac=0.0),
+            breaker=CircuitBreaker(failure_threshold=2, cooldown_epochs=3),
+        )
+        open_epochs = [e.index for e in trace.epochs if e.breaker == "open"]
+        assert open_epochs == [4, 5, 6]  # trips after epochs 2+3 fault
+        for e in trace.epochs:
+            if e.breaker == "open":
+                assert not e.tuned
+                assert e.observed not in spy.seen
+
+
+class TestBreakerValue:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_breaker_beats_retries_alone_at_20pct_fault_rate(self, seed):
+        """Acceptance: under a 20%-fault-rate bursty campaign the circuit
+        breaker strictly improves mean throughput over retries alone."""
+        duration = 1800.0
+        sched = FaultSchedule.bursts(seed, n_epochs=60, n_bursts=3,
+                                     burst_len=4)
+        assert len(sched.fault_epochs()) / 60 >= 0.15
+        pol = RetryPolicy(base_backoff_s=2.0)
+        retries = run_single(ANL_UC, NmTuner(), duration_s=duration,
+                             seed=seed, fault_schedule=sched,
+                             retry_policy=pol)
+        breaker = run_single(
+            ANL_UC, NmTuner(), duration_s=duration, seed=seed,
+            fault_schedule=sched, retry_policy=pol,
+            breaker=CircuitBreaker(failure_threshold=2, cooldown_epochs=2),
+        )
+        assert breaker.total_bytes > retries.total_bytes
+
+    def test_breaker_serves_fallback_params_while_open(self):
+        sched = FaultSchedule.blackout(2, duration=3)
+        br = CircuitBreaker(failure_threshold=2, cooldown_epochs=2,
+                            fallback_nc=2, fallback_np=8)
+        trace = _campaign_run(0, schedule=sched, duration_s=450.0,
+                              retry_policy=RetryPolicy(jitter_frac=0.0),
+                              breaker=br)
+        for e in trace.epochs:
+            if e.breaker == "open":
+                assert e.params[0] == 2  # nc pinned at the safe default
+        assert br.opens >= 1
+
+
+class TestAbortAndRetries:
+    def test_abort_with_budget_continues(self):
+        sched = FaultSchedule.abort(3)
+        trace = _campaign_run(
+            0, schedule=sched, duration_s=300.0,
+            retry_policy=RetryPolicy(max_retries_per_session=5,
+                                     jitter_frac=0.0),
+        )
+        assert len(trace.epochs) == 10  # ran to the full duration
+        assert trace.epochs[3].faulted
+
+    def test_abort_without_budget_fails_the_session(self):
+        sched = FaultSchedule.abort(3)
+        trace = _campaign_run(
+            0, schedule=sched, duration_s=300.0,
+            retry_policy=RetryPolicy(max_retries_per_session=0,
+                                     jitter_frac=0.0),
+        )
+        # the session ends at the abort epoch instead of running out the
+        # clock
+        assert len(trace.epochs) == 4
+        assert trace.epochs[-1].fault == "session-abort"
+
+    def test_retries_accumulate_in_the_trace(self):
+        sched = FaultSchedule.blackout(1).merge(FaultSchedule.blackout(5))
+        trace = _campaign_run(0, schedule=sched, duration_s=300.0,
+                              retry_policy=RetryPolicy(jitter_frac=0.0))
+        assert trace.epochs[-1].retries == 2
+
+    def test_backoff_costs_throughput(self):
+        sched = FaultSchedule.blackout(3, duration=2)
+        cheap = _campaign_run(
+            0, tuner=StaticTuner(), schedule=sched, duration_s=600.0,
+            retry_policy=RetryPolicy(base_backoff_s=0.0, max_backoff_s=0.0,
+                                     jitter_frac=0.0),
+        )
+        dear = _campaign_run(
+            0, tuner=StaticTuner(), schedule=sched, duration_s=600.0,
+            retry_policy=RetryPolicy(base_backoff_s=20.0, max_backoff_s=20.0,
+                                     jitter_frac=0.0),
+        )
+        assert dear.total_bytes < cheap.total_bytes
+
+
+class TestEngineGuards:
+    def test_controller_sessions_reject_fault_machinery(self):
+        spec = TransferSpec(name="a", path_name=ANL_UC.main_path,
+                            total_bytes=math.inf, max_duration_s=120.0,
+                            epoch_s=30.0)
+        space = concurrency_space(max_nc=32)
+        session = TransferSession(
+            spec, None, space, (2,), param_map=ParamMap.nc_only(fixed_np=8),
+            fault_schedule=FaultSchedule.blackout(1),
+        )
+        joint = JointTuner(inner=StaticTuner(), subspaces=[space],
+                           labels=["a"])
+        controller = JointController(joint, ["a"], (2,))
+        with pytest.raises(ValueError, match="fault"):
+            Engine(
+                topology=ANL_UC.build_topology(),
+                host=ANL_UC.host,
+                sessions=[session],
+                controllers=[controller],
+                config=EngineConfig(seed=0),
+            )

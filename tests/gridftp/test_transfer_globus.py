@@ -96,6 +96,7 @@ class TestGlobusPolicy:
             GlobusPolicy().choose(0)
 
 
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 class TestFaultModel:
     def test_zero_probability_never_faults(self):
         fm = FaultModel(fault_prob_per_epoch=0.0)
@@ -108,8 +109,33 @@ class TestFaultModel:
         rate = sum(fm.draw_fault(rng) for _ in range(5000)) / 5000
         assert rate == pytest.approx(0.3, abs=0.03)
 
-    def test_validation(self):
+    def test_certain_fault_probability_allowed(self):
+        fm = FaultModel(fault_prob_per_epoch=1.0)
+        rng = np.random.default_rng(2)
+        assert all(fm.draw_fault(rng) for _ in range(100))
+
+    def test_validation_message_names_the_interval(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            FaultModel(fault_prob_per_epoch=1.5)
         with pytest.raises(ValueError):
-            FaultModel(fault_prob_per_epoch=1.0)
+            FaultModel(fault_prob_per_epoch=-0.1)
         with pytest.raises(ValueError):
             FaultModel(max_retries=-1)
+
+    def test_nonzero_probability_warns_deprecated(self):
+        with pytest.warns(DeprecationWarning):
+            FaultModel(fault_prob_per_epoch=0.2)
+
+    def test_zero_probability_stays_silent(self, recwarn):
+        FaultModel(fault_prob_per_epoch=0.0)
+        assert not any(
+            isinstance(w.message, DeprecationWarning) for w in recwarn.list
+        )
+
+    def test_as_schedule_matches_rate_and_replays(self):
+        fm = FaultModel(fault_prob_per_epoch=0.25)
+        sched = fm.as_schedule(seed=7, n_epochs=400)
+        again = fm.as_schedule(seed=7, n_epochs=400)
+        assert sched == again
+        rate = len(sched.fault_epochs()) / 400
+        assert rate == pytest.approx(0.25, abs=0.06)

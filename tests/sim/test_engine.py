@@ -191,6 +191,7 @@ class TestSharedBottleneck:
 
 
 class TestFaults:
+    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
     def test_faults_inject_extra_dead_time(self):
         clean = _engine([_session(duration=300.0)], seed=3).run()["s"]
         s = _session(duration=300.0, fault_model=FaultModel(0.8))

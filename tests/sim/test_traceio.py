@@ -52,6 +52,30 @@ class TestRoundTrip:
         assert back.epoch_observed().tolist() == t.epoch_observed().tolist()
         assert back.total_bytes == t.total_bytes
 
+    def test_fault_fields_round_trip(self):
+        t = Trace(label="faulty")
+        t.add_epoch(EpochRecord(index=0, start=0.0, duration=30.0,
+                                params=(2,), observed=0.0, best_case=0.0,
+                                bytes_moved=0.0, faulted=True,
+                                fault="blackout", retries=2,
+                                breaker="open", tuned=False))
+        back = trace_from_dict(trace_to_dict(t))
+        assert back.epochs == t.epochs
+        assert back.faulted_epochs() == [0]
+        assert back.breaker_states() == ["open"]
+        assert back.tuner_fed_epochs() == []
+
+    def test_pre_fault_trace_dicts_load_with_clean_defaults(self):
+        data = trace_to_dict(_sample_trace())
+        for e in data["epochs"]:
+            for key in ("faulted", "fault", "retries", "breaker", "tuned"):
+                del e[key]
+        back = trace_from_dict(data)
+        e = back.epochs[0]
+        assert (e.faulted, e.fault, e.retries, e.breaker, e.tuned) == (
+            False, None, 0, "closed", True
+        )
+
     def test_rejects_wrong_format_version(self):
         data = trace_to_dict(_sample_trace())
         data["format"] = 99
@@ -76,7 +100,8 @@ class TestCsv:
         lines = text.strip().splitlines()
         assert lines[0] == (
             "index,start_s,duration_s,param0,param1,"
-            "observed_mbps,best_case_mbps,bytes_moved"
+            "observed_mbps,best_case_mbps,bytes_moved,"
+            "faulted,fault,retries,breaker,tuned"
         )
         assert len(lines) == 2
         assert lines[1].startswith("0,0.0,30.0,2,8,")

@@ -28,7 +28,7 @@ def test_examples_directory_contents():
     assert {
         "quickstart", "adaptive_vs_default", "shared_endpoint",
         "custom_site", "disk_to_disk", "method_zoo", "noisy_endpoint",
-        "live_transfer",
+        "live_transfer", "fault_survival",
     } <= names
 
 
@@ -77,6 +77,17 @@ def test_live_transfer_runs(capsys):
         epoch_s=0.3, max_epochs=2, fixed_np=2,
     )
     assert result.total_bytes > 0
+
+
+def test_fault_survival_runs(capsys):
+    mod = _load("fault_survival")
+    mod.DURATION_S = 900.0
+    mod.BLACKOUT_EPOCH = 10
+    mod.main()
+    out = capsys.readouterr().out
+    assert "blackout" in out
+    assert "breaker=open" in out
+    assert "survived" in out
 
 
 def test_disk_to_disk_3d_runner(capsys):
