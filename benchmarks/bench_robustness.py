@@ -10,13 +10,21 @@ The fault-campaign bench injects seeded bursty fault schedules
 (:mod:`repro.faults`) at increasing fault rates and compares the tuned
 transfer's throughput with retry/backoff alone against retry/backoff plus
 the circuit breaker.
+
+The warm-start bench quantifies checkpoint/resume's third leg
+(:mod:`repro.checkpoint`): after a crash that loses the tuner, a restart
+seeded from the best journaled configuration must recover steady-state
+throughput within a few control epochs, where a cold restart re-climbs
+from the Globus default.
 """
 
 import numpy as np
 
 from repro.analysis.stats import steady_state_mean
+from repro.checkpoint import run_journaled, warm_start_x0
 from repro.core.base import StaticTuner
 from repro.core.nm_tuner import NmTuner
+from repro.core.registry import make_tuner
 from repro.endpoint.workload import BurstyTraffic, PoissonJobMix
 from repro.experiments.replicate import compare, win_rate
 from repro.experiments.report import render_table
@@ -174,3 +182,89 @@ def test_fault_campaign_breaker_value(benchmark, report):
     # With no faults the breaker never trips, so the arms must agree.
     clean = results["0%"]
     assert clean["breaker"].mean == clean["retries"].mean
+
+
+# -- warm-started restarts ----------------------------------------------------
+
+# gss is excluded: golden-section search always probes its full bracket
+# before narrowing, so a warm x0 cannot shorten its climb.
+WARM_TUNERS = ["cd", "nm", "hj"]
+WARM_SEEDS = list(range(6))
+WARM_DURATION_S = 900.0
+
+
+def _epochs_to_steady(trace, frac: float = 0.9) -> int:
+    """Control epochs until observed throughput first reaches ``frac`` of
+    the run's own steady-state mean."""
+    steady = steady_state_mean(trace, tail_fraction=0.5)
+    for i, e in enumerate(trace.epochs):
+        if e.observed >= frac * steady:
+            return i + 1
+    return len(trace.epochs)
+
+
+def test_warm_start_recovery(benchmark, report, tmp_path):
+    """A restart seeded from the best journaled configuration must be
+    back within 10% of steady state in <= 3 epochs; a cold restart
+    re-climbs from the Globus default."""
+
+    def _race():
+        out = {}
+        for tuner_name in WARM_TUNERS:
+            cold_epochs, warm_epochs = [], []
+            for seed in WARM_SEEDS:
+                journal = tmp_path / f"{tuner_name}-{seed}.jnl"
+                run_journaled(
+                    journal, scenario="anl-uc", tuner=tuner_name,
+                    seed=seed, duration_s=WARM_DURATION_S,
+                )
+                best = warm_start_x0(journal)
+                assert best is not None
+                # The crashed process is gone; restart the transfer with
+                # a *fresh* tuner, cold (Globus default x0) vs warm
+                # (x0 from the journal).
+                cold = run_single(
+                    ANL_UC, make_tuner(tuner_name, seed + 100),
+                    duration_s=WARM_DURATION_S, seed=seed + 100,
+                )
+                warm = run_single(
+                    ANL_UC, make_tuner(tuner_name, seed + 100),
+                    duration_s=WARM_DURATION_S, seed=seed + 100, x0=best,
+                )
+                cold_epochs.append(_epochs_to_steady(cold))
+                warm_epochs.append(_epochs_to_steady(warm))
+            out[tuner_name] = (cold_epochs, warm_epochs)
+        return out
+
+    results = benchmark.pedantic(_race, rounds=1, iterations=1)
+
+    rows = []
+    for tuner_name, (cold_epochs, warm_epochs) in results.items():
+        rows.append(
+            [
+                tuner_name,
+                f"{float(np.mean(cold_epochs)):.1f}",
+                f"{float(np.mean(warm_epochs)):.1f}",
+                max(warm_epochs),
+                f"{100 * np.mean([w <= 3 for w in warm_epochs]):.0f}%",
+            ]
+        )
+    report(
+        render_table(
+            ["tuner", "cold epochs to 90%", "warm epochs to 90%",
+             "warm worst case", "warm <= 3 epochs"],
+            rows,
+            title=(
+                "Warm-started restarts: epochs to reach 90% of "
+                f"steady-state throughput, {len(WARM_SEEDS)} seeds, "
+                f"{WARM_DURATION_S:.0f} s transfers, ANL->UChicago"
+            ),
+        )
+    )
+
+    for tuner_name, (cold_epochs, warm_epochs) in results.items():
+        # The headline guarantee: warm start is back within 10% of
+        # steady state in at most 3 control epochs, on every seed.
+        assert max(warm_epochs) <= 3, (tuner_name, warm_epochs)
+        # And it never recovers slower than the cold restart.
+        assert np.mean(warm_epochs) <= np.mean(cold_epochs), tuner_name

@@ -42,6 +42,13 @@ from repro.core import (
     Tuner,
     default_globus_params,
 )
+from repro.checkpoint import (
+    JournalWriter,
+    read_journal,
+    resume_run,
+    run_journaled,
+    warm_start_x0,
+)
 from repro.endpoint import ExternalLoad, HostSpec, LoadSchedule, NEHALEM
 from repro.experiments import (
     ANL_TACC,
@@ -117,6 +124,12 @@ __all__ = [
     "FaultError",
     "EpochFault",
     "SessionAborted",
+    # checkpoint/resume
+    "JournalWriter",
+    "read_journal",
+    "run_journaled",
+    "resume_run",
+    "warm_start_x0",
     # live adapter
     "tune_live",
     "SubprocessEpochRunner",

@@ -1,0 +1,59 @@
+"""Crash-safe checkpoint/resume for tuned transfers.
+
+Every control epoch is appended to an fsynced JSONL *journal* together
+with a state snapshot (RNG streams, sim clock, per-session transfer /
+retry / breaker state).  Tuners are opaque generators and cannot be
+pickled, so resume reconstructs tuner state by *replaying* the
+journaled ``(params, observed, faulted)`` observations through a fresh
+driver — verifying at every epoch that the replayed proposals match
+what the journal recorded.  A resumed simulation run is bit-identical
+to the same run uninterrupted; a resumed live run continues the search
+from the last completed epoch instead of the Globus default.
+
+Entry points: :func:`run_journaled` / :func:`resume_run` for the
+single-transfer flow (CLI ``repro run --journal`` / ``repro resume``),
+:func:`warm_start_x0` to seed a new session from the best journaled
+configuration, and the lower-level :class:`JournalWriter` /
+:func:`read_journal` / :func:`replay_epochs` / :func:`resume_engine`
+for embedding.
+"""
+
+from repro.checkpoint.journal import (
+    JOURNAL_FORMAT,
+    Journal,
+    JournalEpoch,
+    JournalWriter,
+    read_journal,
+    trim_to_last_snapshot,
+)
+from repro.checkpoint.replay import (
+    ReplayMismatchError,
+    ReplayResult,
+    replay_epochs,
+)
+from repro.checkpoint.resume import (
+    resume_engine,
+    resume_live_state,
+    resume_run,
+    run_journaled,
+    trace_from_journal,
+    warm_start_x0,
+)
+
+__all__ = [
+    "JOURNAL_FORMAT",
+    "Journal",
+    "JournalEpoch",
+    "JournalWriter",
+    "ReplayMismatchError",
+    "ReplayResult",
+    "read_journal",
+    "replay_epochs",
+    "resume_engine",
+    "resume_live_state",
+    "resume_run",
+    "run_journaled",
+    "trace_from_journal",
+    "trim_to_last_snapshot",
+    "warm_start_x0",
+]

@@ -1,0 +1,328 @@
+"""Crash-safe epoch journal: append-only JSONL with atomic framing.
+
+The journal is the durable backbone of checkpoint/resume: both the sim
+:class:`~repro.sim.engine.Engine` and the live loop
+(:func:`repro.live.tune_live`) append one record per closed control
+epoch, plus a state snapshot after each epoch-dispatch round, so a
+killed process loses at most the epoch it was inside.
+
+Framing and durability
+----------------------
+Each record is one JSON object on one ``\\n``-terminated line, written
+with a single ``write`` call, flushed, and ``fsync``\\ ed before the
+writer returns — a record either reaches the disk whole or not at all
+from the reader's point of view.  The reader treats a missing trailing
+newline (or an unparseable final line) as a *torn record* from a crash
+mid-append: it is dropped with a warning and the journal resumes from
+the last complete record.  Damage anywhere *before* the final record is
+not a crash artifact and raises
+:class:`~repro.sim.traceio.CorruptTraceError` with the file and byte
+offset.
+
+Record kinds
+------------
+``header``
+    Run configuration (written once, first): everything needed to
+    rebuild the engine/loop for resume, plus ``format`` (this module's
+    :data:`JOURNAL_FORMAT`).
+``epoch``
+    One closed control epoch of one session: the trace-v1 epoch fields
+    (params, observed, best_case, faulted/fault/retries/breaker/tuned)
+    and, for sim runs, the epoch's per-step records.
+``snapshot``
+    Mutable run state at a consistent point (after all of a step's
+    epoch dispatches): RNG stream states, sim clock, per-session
+    runtime (restart window, ramp clock, partial-epoch accumulators),
+    retry counters and breaker state.  Resume restores the *last*
+    snapshot; tuner state is never snapshotted — it is reconstructed by
+    replaying the journaled epochs (see :mod:`repro.checkpoint.replay`).
+``section``
+    A completed campaign unit (used by ``repro campaign --journal``).
+``end``
+    The run finished; a resume of an ended journal is a no-op.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.sim.trace import EpochRecord, StepRecord
+from repro.sim.traceio import (
+    CorruptTraceError,
+    epoch_from_dict,
+    epoch_to_dict,
+    step_from_dict,
+    step_to_dict,
+)
+
+#: Journal format tag, written into the header record.
+JOURNAL_FORMAT = 1
+
+HEADER = "header"
+EPOCH = "epoch"
+SNAPSHOT = "snapshot"
+SECTION = "section"
+END = "end"
+
+
+class JournalWriter:
+    """Append-only JSONL journal writer with per-record fsync.
+
+    Opened in append mode, so resuming a run keeps extending the same
+    file and the concatenated epoch stream stays contiguous.  Use as a
+    context manager or call :meth:`close`.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        _drop_torn_tail(self.path)
+        self._f = open(self.path, "a", encoding="utf-8")
+
+    # -- low-level -------------------------------------------------------
+
+    def write(self, record: dict) -> None:
+        """Append one record: single write, flush, fsync."""
+        if "kind" not in record:
+            raise ValueError("journal records need a 'kind' field")
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        self._f.write(line)
+        self._f.flush()
+        os.fsync(self._f.fileno())
+
+    # -- record helpers --------------------------------------------------
+
+    def write_header(self, config: dict) -> None:
+        self.write({"kind": HEADER, "format": JOURNAL_FORMAT, **config})
+
+    def write_epoch(
+        self,
+        session: str,
+        rec: EpochRecord,
+        steps: list[StepRecord] | None = None,
+    ) -> None:
+        record = {"kind": EPOCH, "session": session,
+                  "epoch": epoch_to_dict(rec)}
+        if steps is not None:
+            record["steps"] = [step_to_dict(s) for s in steps]
+        self.write(record)
+
+    def write_snapshot(self, state: dict) -> None:
+        self.write({"kind": SNAPSHOT, "state": state})
+
+    def write_section(self, name: str, payload: dict) -> None:
+        self.write({"kind": SECTION, "name": name, **payload})
+
+    def write_end(self) -> None:
+        self.write({"kind": END})
+
+    def close(self) -> None:
+        if not self._f.closed:
+            self._f.close()
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+@dataclass(frozen=True)
+class JournalEpoch:
+    """One journaled control epoch of one session."""
+
+    session: str
+    record: EpochRecord
+    steps: tuple[StepRecord, ...] = ()
+
+
+@dataclass
+class Journal:
+    """Parsed journal contents.
+
+    ``epochs`` holds every complete epoch record in file order;
+    ``snapshot`` is the *last* complete state snapshot and
+    ``snapshot_epochs`` the epochs written before it (the ones the
+    snapshot's state accounts for — later epochs, if any, were closed
+    after the last snapshot survived and are ignored by resume).
+    """
+
+    path: str = ""
+    header: dict | None = None
+    epochs: list[JournalEpoch] = field(default_factory=list)
+    snapshot: dict | None = None
+    sections: dict[str, dict] = field(default_factory=dict)
+    ended: bool = False
+    truncated: bool = False
+    _snapshot_mark: int = 0
+
+    @property
+    def snapshot_epochs(self) -> list[JournalEpoch]:
+        """Epochs covered by the last snapshot (resume's replay input)."""
+        return self.epochs[: self._snapshot_mark]
+
+    def epochs_for(self, session: str) -> list[JournalEpoch]:
+        return [e for e in self.epochs if e.session == session]
+
+    def snapshot_epochs_for(self, session: str) -> list[JournalEpoch]:
+        return [e for e in self.snapshot_epochs if e.session == session]
+
+    def sessions(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for e in self.epochs:
+            seen.setdefault(e.session, None)
+        return list(seen)
+
+    def best_params(self, session: str | None = None) -> tuple[int, ...] | None:
+        """Parameters of the best *clean, tuner-observed* journaled epoch
+        (the warm-start seed), or None if no such epoch exists."""
+        candidates = [
+            e.record
+            for e in self.epochs
+            if (session is None or e.session == session) and e.record.tuned
+        ]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda r: r.observed).params
+
+
+def _drop_torn_tail(path: Path) -> None:
+    """Truncate an unterminated final line (a crash mid-append).
+
+    Appending after a torn record would concatenate the next record onto
+    the partial line and turn a recoverable crash artifact into mid-file
+    corruption, so the writer trims it before its first append.
+    """
+    try:
+        size = path.stat().st_size
+    except FileNotFoundError:
+        return
+    if size == 0:
+        return
+    raw = path.read_bytes()
+    if raw.endswith(b"\n"):
+        return
+    keep = raw.rfind(b"\n") + 1
+    with open(path, "r+b") as f:
+        f.truncate(keep)
+
+
+def trim_to_last_snapshot(path: str | Path) -> int:
+    """Truncate a run journal to its last complete snapshot record.
+
+    Epochs closed after the last surviving snapshot are not accounted
+    for by the snapshot's state: resume re-runs them, and leaving their
+    records in place would make the journal's epoch stream contain
+    superseded duplicates.  Called by resume before it reopens the
+    writer.  A journal with no snapshot keeps only its header (resume
+    runs from scratch).  Returns the number of bytes dropped.
+    """
+    path = Path(path)
+    raw = path.read_bytes()
+    keep = offset = 0
+    for line in raw.splitlines(keepends=True):
+        if not line.endswith(b"\n"):
+            break  # torn tail; dropped along with the dead records
+        offset += len(line)
+        try:
+            kind = json.loads(line).get("kind")
+        except ValueError:
+            break  # unreadable tail record: nothing past it survives
+        if kind in (HEADER, SNAPSHOT):
+            keep = offset
+    if keep < len(raw):
+        with open(path, "r+b") as f:
+            f.truncate(keep)
+    return len(raw) - keep
+
+
+def read_journal(path: str | Path) -> Journal:
+    """Parse a journal, tolerating a torn final record.
+
+    A final line that is unterminated or fails to parse is dropped with
+    a :class:`UserWarning` (the crash cost one record); a bad line
+    anywhere else raises :class:`~repro.sim.traceio.CorruptTraceError`
+    with the byte offset of the offending line.
+    """
+    path = Path(path)
+    raw = path.read_bytes()
+    journal = Journal(path=str(path))
+    offset = 0
+    lines: list[tuple[int, bytes]] = []
+    for line in raw.split(b"\n"):
+        lines.append((offset, line))
+        offset += len(line) + 1
+    # A well-formed journal ends with "\n", leaving one empty tail field.
+    if lines and lines[-1][1] == b"":
+        lines.pop()
+    else:
+        journal.truncated = True  # unterminated tail below
+
+    n = len(lines)
+    for i, (off, line) in enumerate(lines):
+        last = i == n - 1
+        try:
+            record = json.loads(line.decode("utf-8"))
+            if not isinstance(record, dict) or "kind" not in record:
+                raise ValueError("not a journal record")
+        except (ValueError, UnicodeDecodeError) as exc:
+            if last:
+                journal.truncated = True
+                warnings.warn(
+                    f"journal {path}: dropping torn final record at byte "
+                    f"offset {off} ({exc}); resuming from the last "
+                    "complete epoch",
+                    stacklevel=2,
+                )
+                break
+            raise CorruptTraceError(path, off, str(exc)) from exc
+        if last and journal.truncated:
+            # The file did not end in a newline, so even a line that
+            # happens to parse cannot be trusted to be complete.
+            warnings.warn(
+                f"journal {path}: dropping unterminated final record at "
+                f"byte offset {off}; resuming from the last complete "
+                "epoch",
+                stacklevel=2,
+            )
+            break
+        _absorb(journal, record, path, off)
+    return journal
+
+
+def _absorb(journal: Journal, record: dict, path: Path, off: int) -> None:
+    kind = record["kind"]
+    if kind == HEADER:
+        fmt = record.get("format")
+        if fmt != JOURNAL_FORMAT:
+            raise CorruptTraceError(
+                path, off,
+                f"unsupported journal format {fmt!r} "
+                f"(expected {JOURNAL_FORMAT})",
+            )
+        journal.header = {
+            k: v for k, v in record.items() if k not in ("kind",)
+        }
+    elif kind == EPOCH:
+        journal.epochs.append(
+            JournalEpoch(
+                session=str(record["session"]),
+                record=epoch_from_dict(record["epoch"]),
+                steps=tuple(
+                    step_from_dict(s) for s in record.get("steps", [])
+                ),
+            )
+        )
+    elif kind == SNAPSHOT:
+        journal.snapshot = record["state"]
+        journal._snapshot_mark = len(journal.epochs)
+    elif kind == SECTION:
+        journal.sections[str(record["name"])] = {
+            k: v for k, v in record.items() if k not in ("kind", "name")
+        }
+    elif kind == END:
+        journal.ended = True
+    # Unknown kinds are skipped: newer writers stay readable.

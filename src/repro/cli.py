@@ -1,12 +1,15 @@
 """Command-line interface.
 
-Four subcommands mirror how the library is used:
+The subcommands mirror how the library is used:
 
 * ``run``    — one tuned transfer on a scenario, with a summary and the
-  adopted parameter trajectory;
+  adopted parameter trajectory; ``--journal`` makes it crash-safe;
+* ``resume`` — continue a killed journaled run (bit-identical result);
 * ``sweep``  — the static response surface (throughput vs nc);
 * ``oracle`` — the best static setting by offline sweep;
-* ``figure`` — regenerate one of the paper's figures as text.
+* ``figure`` — regenerate one of the paper's figures as text;
+* ``campaign`` — the whole evaluation; ``--journal`` resumes at the
+  granularity of completed figures.
 
 Invoke as ``python -m repro ...`` or via the ``repro-transfer`` script.
 """
@@ -19,67 +22,32 @@ from typing import Sequence
 
 from repro.analysis.stats import steady_state_mean, time_to_steady_state
 from repro.analysis.surface import critical_point, unimodality_score
-from repro.core.aimd_tuner import AimdTuner
-from repro.core.bandit import BanditTuner
 from repro.core.base import StaticTuner, Tuner
-from repro.core.cd_tuner import CdTuner
-from repro.core.cs_tuner import CsTuner
-from repro.core.gss_tuner import GssTuner
-from repro.core.heuristics import Heur1Tuner, Heur2Tuner
-from repro.core.hj_tuner import HjTuner
-from repro.core.nm_tuner import NmTuner
-from repro.core.spsa_tuner import SpsaTuner
+from repro.core import registry
 from repro.endpoint.load import ExternalLoad
 from repro.experiments import figures
 from repro.experiments.campaign import CampaignScale, run_campaign
 from repro.experiments.oracle import oracle_static_nc
 from repro.experiments.report import ascii_chart, downsample, render_series, render_table
 from repro.experiments.runner import run_single
-from repro.experiments.scenarios import ANL_TACC, ANL_UC, Scenario
-
-SCENARIOS: dict[str, Scenario] = {"anl-uc": ANL_UC, "anl-tacc": ANL_TACC}
+from repro.experiments.scenarios import SCENARIOS, Scenario
+from repro.sim.trace import Trace
 
 
 def make_tuner(name: str, seed: int) -> Tuner:
-    """Construct a tuner by CLI name."""
-    factories = {
-        "default": lambda: StaticTuner(),
-        "cd": lambda: CdTuner(),
-        "cs": lambda: CsTuner(seed=seed),
-        "nm": lambda: NmTuner(),
-        "hj": lambda: HjTuner(),
-        "spsa": lambda: SpsaTuner(seed=seed),
-        "gss": lambda: GssTuner(),
-        "heur1": lambda: Heur1Tuner(),
-        "heur2": lambda: Heur2Tuner(),
-        "bandit": lambda: BanditTuner(seed=seed),
-        "aimd": lambda: AimdTuner(),
-        "mimd": lambda: AimdTuner(multiplicative_increase=True),
-    }
+    """Construct a tuner by CLI name (see :mod:`repro.core.registry`)."""
     try:
-        return factories[name]()
-    except KeyError:
-        raise SystemExit(
-            f"unknown tuner {name!r}; choose from {sorted(factories)}"
-        ) from None
+        return registry.make_tuner(name, seed)
+    except KeyError as exc:
+        raise SystemExit(exc.args[0]) from None
 
 
 def parse_load(text: str) -> ExternalLoad:
     """Parse ``cmp16``, ``tfr64``, ``cmp16+tfr64``, or ``none``."""
-    if text in ("none", ""):
-        return ExternalLoad()
-    cmp_, tfr = 0, 0
-    for part in text.split("+"):
-        if part.startswith("cmp"):
-            cmp_ = int(part[3:])
-        elif part.startswith("tfr"):
-            tfr = int(part[3:])
-        else:
-            raise SystemExit(
-                f"bad load spec {text!r}; use e.g. 'cmp16', 'tfr64', "
-                "'cmp16+tfr64', or 'none'"
-            )
-    return ExternalLoad(ext_cmp=cmp_, ext_tfr=tfr)
+    try:
+        return ExternalLoad.parse(text)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
 
 
 def _scenario(name: str) -> Scenario:
@@ -94,33 +62,25 @@ def _scenario(name: str) -> Scenario:
 # -- subcommands -------------------------------------------------------------
 
 
-def cmd_run(args: argparse.Namespace) -> int:
-    scenario = _scenario(args.scenario)
-    tuner = make_tuner(args.tuner, args.seed)
-    trace = run_single(
-        scenario,
-        tuner,
-        load=parse_load(args.load),
-        duration_s=args.duration,
-        tune_np=args.tune_np,
-        fixed_np=args.np,
-        seed=args.seed,
-    )
+def _print_summary(
+    trace: Trace, *, scenario: str, load: str, tuner: str,
+    tune_np: bool, chart: bool,
+) -> None:
     steady = steady_state_mean(trace)
     best = steady_state_mean(trace, best_case=True)
-    print(f"scenario   : {scenario.name} ({args.load})")
-    print(f"tuner      : {tuner.name}")
+    print(f"scenario   : {scenario} ({load})")
+    print(f"tuner      : {tuner}")
     print(f"steady observed : {steady:8.0f} MB/s")
     print(f"steady best-case: {best:8.0f} MB/s "
           f"(restart overhead {100 * (1 - steady / max(best, 1e-9)):.0f}%)")
     print(f"time to steady  : {time_to_steady_state(trace):8.0f} s")
     print(f"bytes moved     : {trace.total_bytes / 1e9:8.1f} GB")
-    names = ["nc"] + (["np"] if args.tune_np else [])
+    names = ["nc"] + (["np"] if tune_np else [])
     for dim, label in enumerate(names):
         vals = trace.epoch_param(dim).tolist()
         print(f"{label} per epoch: "
               + " ".join(str(int(v)) for v in downsample(vals, 30)))
-    if args.chart:
+    if chart:
         print()
         print(
             ascii_chart(
@@ -131,6 +91,81 @@ def cmd_run(args: argparse.Namespace) -> int:
                 title="throughput (MB/s) per control epoch",
             )
         )
+
+
+def _save_trace(trace: Trace, path: str) -> None:
+    from repro.sim.traceio import save_trace
+
+    save_trace(trace, path)
+    print(f"trace written   : {path}")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    scenario = _scenario(args.scenario)
+    tuner = make_tuner(args.tuner, args.seed)
+    if args.journal is not None:
+        from repro.checkpoint import run_journaled
+
+        parse_load(args.load)  # fail fast with the CLI message
+        try:
+            trace = run_journaled(
+                args.journal,
+                scenario=scenario.name,
+                tuner=args.tuner,
+                seed=args.seed,
+                load=args.load,
+                duration_s=args.duration,
+                tune_np=args.tune_np,
+                fixed_np=args.np,
+                warm_start_from=args.warm_start,
+            )
+        except FileExistsError as exc:
+            raise SystemExit(str(exc)) from None
+    else:
+        if args.warm_start is not None:
+            raise SystemExit("--warm-start needs a journal-based run; "
+                             "pass --journal as well")
+        trace = run_single(
+            scenario,
+            tuner,
+            load=parse_load(args.load),
+            duration_s=args.duration,
+            tune_np=args.tune_np,
+            fixed_np=args.np,
+            seed=args.seed,
+        )
+    _print_summary(trace, scenario=scenario.name, load=args.load,
+                   tuner=tuner.name, tune_np=args.tune_np, chart=args.chart)
+    if args.trace_out:
+        _save_trace(trace, args.trace_out)
+    return 0
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    from repro.checkpoint import read_journal, resume_run
+
+    try:
+        journal = read_journal(args.journal)
+    except FileNotFoundError:
+        raise SystemExit(f"no journal at {args.journal}") from None
+    if journal.header is None or "run" not in journal.header:
+        raise SystemExit(
+            f"{args.journal} is not a `repro run --journal` journal"
+        )
+    config = journal.header["run"]
+    if journal.ended:
+        print(f"journal {args.journal} already complete; reconstructing")
+    else:
+        print(f"resuming {args.journal} from epoch "
+              f"{len(journal.snapshot_epochs)}")
+    trace = resume_run(args.journal)
+    _print_summary(
+        trace, scenario=config["scenario"], load=config["load"],
+        tuner=config["tuner"], tune_np=bool(config["tune_np"]),
+        chart=args.chart,
+    )
+    if args.trace_out:
+        _save_trace(trace, args.trace_out)
     return 0
 
 
@@ -258,13 +293,19 @@ def cmd_figure(args: argparse.Namespace) -> int:
 def cmd_campaign(args: argparse.Namespace) -> int:
     scale = (CampaignScale.quick(args.seed) if args.quick
              else CampaignScale.full(args.seed))
-    result = run_campaign(scale)
+    try:
+        result = run_campaign(scale, journal_path=args.journal)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    if result.resumed_units:
+        print(f"(resumed from journal: skipped "
+              f"{', '.join(result.resumed_units)})\n")
     doc = result.document()
     print(doc)
     if args.output:
-        from pathlib import Path
+        from repro.sim.traceio import atomic_write_text
 
-        Path(args.output).write_text(doc + "\n")
+        atomic_write_text(args.output, doc + "\n")
     return 0
 
 
@@ -295,12 +336,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="run one tuned transfer")
     common(p_run)
     p_run.add_argument("--tuner", default="nm",
-                       help="default|cd|cs|nm|hj|spsa|gss|bandit|heur1|heur2")
+                       help="|".join(registry.tuner_names()))
     p_run.add_argument("--tune-np", action="store_true",
                        help="tune parallelism too (2-D)")
     p_run.add_argument("--chart", action="store_true",
                        help="plot the throughput trace as ASCII art")
+    p_run.add_argument("--journal", default=None, metavar="PATH",
+                       help="crash-safe journal; continue a killed run "
+                            "with `repro resume PATH`")
+    p_run.add_argument("--warm-start", default=None, metavar="JOURNAL",
+                       help="seed the search from the best configuration "
+                            "in an earlier journal (needs --journal)")
+    p_run.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="save the trace as JSON (atomic write)")
     p_run.set_defaults(func=cmd_run)
+
+    p_res = sub.add_parser(
+        "resume", help="continue a killed `run --journal` transfer"
+    )
+    p_res.add_argument("journal", help="journal written by run --journal")
+    p_res.add_argument("--chart", action="store_true",
+                       help="plot the throughput trace as ASCII art")
+    p_res.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="save the trace as JSON (atomic write)")
+    p_res.set_defaults(func=cmd_resume)
 
     p_sweep = sub.add_parser("sweep", help="static throughput vs nc")
     common(p_sweep)
@@ -325,6 +384,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument("--seed", type=int, default=0)
     p_camp.add_argument("--output", default=None,
                         help="write the report to this file as well")
+    p_camp.add_argument("--journal", default=None, metavar="PATH",
+                        help="crash-safe campaign journal; rerunning with "
+                             "the same path skips completed figures")
     p_camp.set_defaults(func=cmd_campaign)
 
     return parser

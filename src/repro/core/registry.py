@@ -1,0 +1,60 @@
+"""Tuner registry: construct any tuner by its short name.
+
+One table maps the short names used by the CLI, journal headers, and the
+replay tests to tuner factories.  Checkpoint/resume depends on this
+being *stable*: a journal header records the tuner by name, and resume
+must rebuild the identical algorithm (same class, same seed) for the
+observation replay to land in the same state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.aimd_tuner import AimdTuner
+from repro.core.bandit import BanditTuner
+from repro.core.base import StaticTuner, Tuner
+from repro.core.cd_tuner import CdTuner
+from repro.core.cs_tuner import CsTuner
+from repro.core.gss_tuner import GssTuner
+from repro.core.heuristics import Heur1Tuner, Heur2Tuner
+from repro.core.hj_tuner import HjTuner
+from repro.core.nm_tuner import NmTuner
+from repro.core.spsa_tuner import SpsaTuner
+
+#: name -> factory(seed).  Seeded tuners receive the run seed so a
+#: journaled run can be rebuilt exactly; the rest ignore it.
+TUNER_FACTORIES: dict[str, Callable[[int], Tuner]] = {
+    "default": lambda seed: StaticTuner(),
+    "cd": lambda seed: CdTuner(),
+    "cs": lambda seed: CsTuner(seed=seed),
+    "nm": lambda seed: NmTuner(),
+    "hj": lambda seed: HjTuner(),
+    "spsa": lambda seed: SpsaTuner(seed=seed),
+    "gss": lambda seed: GssTuner(),
+    "heur1": lambda seed: Heur1Tuner(),
+    "heur2": lambda seed: Heur2Tuner(),
+    "bandit": lambda seed: BanditTuner(seed=seed),
+    "aimd": lambda seed: AimdTuner(),
+    "mimd": lambda seed: AimdTuner(multiplicative_increase=True),
+}
+
+
+def tuner_names() -> list[str]:
+    """All registered short names, sorted."""
+    return sorted(TUNER_FACTORIES)
+
+
+def make_tuner(name: str, seed: int = 0) -> Tuner:
+    """Construct a registered tuner by short name.
+
+    Raises ``KeyError`` with the valid names for an unknown name (the
+    CLI wraps this into a ``SystemExit``).
+    """
+    try:
+        factory = TUNER_FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown tuner {name!r}; choose from {tuner_names()}"
+        ) from None
+    return factory(seed)

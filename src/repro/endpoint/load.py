@@ -44,6 +44,34 @@ class ExternalLoad:
     def __str__(self) -> str:
         return f"ext.cmp={self.ext_cmp}, ext.tfr={self.ext_tfr}"
 
+    def spec(self) -> str:
+        """Compact load spec (``none``, ``cmp16``, ``tfr64``,
+        ``cmp16+tfr64``) — the CLI/journal-header notation."""
+        parts = []
+        if self.ext_cmp:
+            parts.append(f"cmp{self.ext_cmp}")
+        if self.ext_tfr:
+            parts.append(f"tfr{self.ext_tfr}")
+        return "+".join(parts) if parts else "none"
+
+    @classmethod
+    def parse(cls, text: str) -> "ExternalLoad":
+        """Inverse of :meth:`spec`; raises ``ValueError`` on bad input."""
+        if text in ("none", ""):
+            return cls()
+        cmp_, tfr = 0, 0
+        for part in text.split("+"):
+            if part.startswith("cmp"):
+                cmp_ = int(part[3:])
+            elif part.startswith("tfr"):
+                tfr = int(part[3:])
+            else:
+                raise ValueError(
+                    f"bad load spec {text!r}; use e.g. 'cmp16', 'tfr64', "
+                    "'cmp16+tfr64', or 'none'"
+                )
+        return cls(ext_cmp=cmp_, ext_tfr=tfr)
+
 
 #: Convenience constant for the unloaded case.
 NO_LOAD = ExternalLoad(0, 0)

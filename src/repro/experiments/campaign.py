@@ -6,11 +6,20 @@ single markdown-ish report with the paper's reference values inline —
 the programmatic counterpart of running every benchmark and
 concatenating ``benchmarks/results/``.  The CLI exposes it as
 ``python -m repro campaign``.
+
+The campaign is built from named *units* (one per figure/study).  With
+``journal_path`` each completed unit's report blocks are appended to a
+crash-safe journal (``section`` records, see :mod:`repro.checkpoint`);
+rerunning with the same path skips the units already journaled and
+recomputes only the rest — a multi-hour full campaign killed between
+figures loses at most the unit it was inside.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable
 
 import numpy as np
 
@@ -52,6 +61,8 @@ class CampaignResult:
     """Per-figure report blocks plus the assembled document."""
 
     sections: dict[str, str] = field(default_factory=dict)
+    #: Unit names restored from a journal instead of recomputed.
+    resumed_units: list[str] = field(default_factory=list)
 
     def document(self) -> str:
         parts = ["# Campaign report: ICPP 2016 direct-search reproduction"]
@@ -60,12 +71,15 @@ class CampaignResult:
         return "\n".join(parts)
 
 
-def run_campaign(scale: CampaignScale | None = None) -> CampaignResult:
-    """Run every experiment of the evaluation; returns the report."""
-    scale = scale if scale is not None else CampaignScale.full()
-    out = CampaignResult()
+# -- campaign units ----------------------------------------------------------
+#
+# Each unit regenerates one figure/study and returns its report blocks
+# (section title -> text).  Units are the granularity of campaign
+# journaling: a unit either completes and is durably recorded, or is
+# recomputed on resume.
 
-    # -- Figure 1 ---------------------------------------------------------
+
+def _unit_fig1(scale: CampaignScale) -> dict[str, str]:
     f1 = figures.fig1(
         duration_s=scale.fig1_duration_s, reps=scale.fig1_reps,
         seed=scale.seed,
@@ -75,13 +89,15 @@ def run_campaign(scale: CampaignScale | None = None) -> CampaignResult:
         for label in f1.stats
         for nc in f1.nc_values
     ]
-    out.sections["Fig 1 — throughput vs concurrency"] = render_table(
+    block = render_table(
         ["load", "nc", "median MB/s"], rows
     ) + "\n\n" + render_comparison(
         [("critical nc, no load", 64, f1.critical_point("no-load"))]
     )
+    return {"Fig 1 — throughput vs concurrency": block}
 
-    # -- Figures 5-7 -------------------------------------------------------
+
+def _unit_fig5(scale: CampaignScale) -> dict[str, str]:
     f5 = figures.fig5(duration_s=scale.duration_s, seed=scale.seed)
     rows = []
     for load in f5.traces:
@@ -91,21 +107,24 @@ def run_campaign(scale: CampaignScale | None = None) -> CampaignResult:
                  f5.steady_best_case(load, tuner),
                  f"{f5.overhead_pct(load, tuner):.0f}%"]
             )
-    out.sections["Figs 5-7 — tuners under static loads"] = render_table(
-        ["load", "tuner", "observed", "best-case", "overhead"], rows
-    )
-
+    blocks = {
+        "Figs 5-7 — tuners under static loads": render_table(
+            ["load", "tuner", "observed", "best-case", "overhead"], rows
+        )
+    }
     # nc trajectories (Fig 6) as tail means.
     rows = []
     for load in f5.traces:
         for tuner in ("cd-tuner", "cs-tuner", "nm-tuner"):
             nc = f5.nc_trajectory(load, tuner)
             rows.append([load, tuner, float(np.mean(nc[len(nc) // 2:]))])
-    out.sections["Fig 6 — settled concurrency"] = render_table(
+    blocks["Fig 6 — settled concurrency"] = render_table(
         ["load", "tuner", "tail-mean nc"], rows
     )
+    return blocks
 
-    # -- ANL→TACC ----------------------------------------------------------
+
+def _unit_tacc(scale: CampaignScale) -> dict[str, str]:
     tacc = figures.tacc_concurrency(duration_s=scale.duration_s,
                                     seed=scale.seed)
     rows = [
@@ -113,27 +132,31 @@ def run_campaign(scale: CampaignScale | None = None) -> CampaignResult:
         for load in tacc.traces
         for tuner in tacc.traces[load]
     ]
-    out.sections["§IV-A — ANL→TACC"] = render_table(
+    return {"§IV-A — ANL→TACC": render_table(
         ["load", "tuner", "observed"], rows
-    )
+    )}
 
-    # -- Figures 8-10 ------------------------------------------------------
-    for name, fn in (("Fig 8 — TACC, varying load", figures.fig8),
-                     ("Fig 9 — UChicago, varying load", figures.fig9),
-                     ("Fig 10 — heuristics", figures.fig10)):
+
+def _switching_unit(
+    title: str, fn: Callable
+) -> Callable[[CampaignScale], dict[str, str]]:
+    def unit(scale: CampaignScale) -> dict[str, str]:
         res = fn(duration_s=scale.duration_s,
                  switch_at_s=scale.duration_s * 5 / 9, seed=scale.seed)
         rows = [
             [tuner, res.phase_mean(tuner, 0), res.phase_mean(tuner, 1)]
             for tuner in res.traces
         ]
-        out.sections[name] = render_table(
+        return {title: render_table(
             ["tuner", "phase-1 MB/s", "phase-2 MB/s"], rows
-        )
+        )}
 
-    # -- Figure 11 ----------------------------------------------------------
+    return unit
+
+
+def _unit_fig11(scale: CampaignScale) -> dict[str, str]:
     f11 = figures.fig11(duration_s=scale.duration_s, seed=scale.seed)
-    out.sections["Fig 11 — simultaneous transfers"] = render_comparison(
+    return {"Fig 11 — simultaneous transfers": render_comparison(
         [
             ("anl-uc MB/s", "larger share",
              f"{f11.mean('anl-uc', from_time=scale.duration_s / 2):.0f}"),
@@ -142,6 +165,69 @@ def run_campaign(scale: CampaignScale | None = None) -> CampaignResult:
             ("UC share", "> 50%",
              f"{100 * f11.share_of_uc(from_time=scale.duration_s / 2):.0f}%"),
         ]
-    )
+    )}
 
+
+#: The campaign, in report order: (unit name, runner).  Names are the
+#: journal keys, so they must stay stable across versions.
+CAMPAIGN_UNITS: list[tuple[str, Callable[[CampaignScale], dict[str, str]]]] = [
+    ("fig1", _unit_fig1),
+    ("fig5-7", _unit_fig5),
+    ("tacc", _unit_tacc),
+    ("fig8", _switching_unit("Fig 8 — TACC, varying load", figures.fig8)),
+    ("fig9", _switching_unit("Fig 9 — UChicago, varying load",
+                             figures.fig9)),
+    ("fig10", _switching_unit("Fig 10 — heuristics", figures.fig10)),
+    ("fig11", _unit_fig11),
+]
+
+
+def run_campaign(
+    scale: CampaignScale | None = None,
+    *,
+    journal_path: str | Path | None = None,
+) -> CampaignResult:
+    """Run every experiment of the evaluation; returns the report.
+
+    With ``journal_path``, completed units are journaled (their report
+    blocks ride in ``section`` records) and a rerun against the same
+    path resumes: journaled units are restored, the remaining ones
+    computed.  A journal written at a different scale/seed is refused.
+    """
+    scale = scale if scale is not None else CampaignScale.full()
+    out = CampaignResult()
+    if journal_path is None:
+        for name, unit in CAMPAIGN_UNITS:
+            out.sections.update(unit(scale))
+        return out
+
+    from repro.checkpoint.journal import JournalWriter, read_journal
+
+    journal_path = Path(journal_path)
+    done: dict[str, dict] = {}
+    if journal_path.exists() and journal_path.stat().st_size > 0:
+        journal = read_journal(journal_path)
+        if journal.header is None or "campaign" not in journal.header:
+            raise ValueError(
+                f"journal {journal_path} has no campaign header"
+            )
+        if journal.header["campaign"] != asdict(scale):
+            raise ValueError(
+                f"journal {journal_path} was written at scale "
+                f"{journal.header['campaign']}, not {asdict(scale)}; "
+                "resume with the matching scale or use a fresh journal"
+            )
+        done = journal.sections
+    with JournalWriter(journal_path) as writer:
+        if not done and journal_path.stat().st_size == 0:
+            writer.write_header({"campaign": asdict(scale)})
+        for name, unit in CAMPAIGN_UNITS:
+            if name in done:
+                out.sections.update(done[name]["blocks"])
+                out.resumed_units.append(name)
+                continue
+            blocks = unit(scale)
+            writer.write_section(name, {"blocks": blocks})
+            out.sections.update(blocks)
+        writer.write_end()
     return out

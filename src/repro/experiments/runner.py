@@ -4,6 +4,7 @@ set, on a scenario under a load schedule."""
 from __future__ import annotations
 
 import math
+from typing import TYPE_CHECKING
 
 from repro.core.aggregate import JointTuner
 from repro.core.base import Tuner
@@ -20,6 +21,9 @@ from repro.sim.session import ParamMap, TransferSession
 from repro.sim.trace import Trace
 
 from repro.experiments.scenarios import Scenario, default_start
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.checkpoint.journal import JournalWriter
 
 #: Paper control epoch: 30 s.
 EPOCH_S = 30.0
@@ -102,11 +106,15 @@ def run_single(
     fault_schedule: FaultSchedule | None = None,
     retry_policy: RetryPolicy | None = None,
     breaker: CircuitBreaker | None = None,
+    journal: "JournalWriter | None" = None,
 ) -> Trace:
     """One transfer on the scenario's main path; returns its trace.
 
     ``fault_schedule``/``retry_policy``/``breaker`` inject a fault
-    campaign and its recovery machinery (:mod:`repro.faults`)."""
+    campaign and its recovery machinery (:mod:`repro.faults`);
+    ``journal`` makes the run crash-safe (the caller owns the writer —
+    use :func:`repro.checkpoint.run_journaled` for the turnkey header +
+    resume flow)."""
     session = make_session(
         "main",
         scenario.main_path,
@@ -127,6 +135,7 @@ def run_single(
         sessions=[session],
         schedule=_schedule(load),
         config=EngineConfig(seed=seed),
+        journal=journal,
     )
     return engine.run()["main"]
 

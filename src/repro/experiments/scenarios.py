@@ -97,6 +97,10 @@ class Scenario:
 ANL_UC = Scenario(name="anl-uc", host=NEHALEM, main_path="anl-uc")
 ANL_TACC = Scenario(name="anl-tacc", host=NEHALEM, main_path="anl-tacc")
 
+#: Named scenarios — shared by the CLI and checkpoint/resume (a journal
+#: header records the scenario by name, so the registry must be stable).
+SCENARIOS: dict[str, Scenario] = {s.name: s for s in (ANL_UC, ANL_TACC)}
+
 
 def standard_tuners(*, seed: int = 0, eps_pct: float = 5.0) -> dict[str, Tuner]:
     """The four methods of §IV-A with the paper's settings: ε=5%, λ=8,

@@ -115,3 +115,39 @@ class CircuitBreaker:
         self.consecutive_failures = 0
         self.opens = 0
         self._cooldown_left = 0
+
+    # -- checkpoint support ----------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready configuration (for journal headers)."""
+        return {
+            "failure_threshold": self.failure_threshold,
+            "cooldown_epochs": self.cooldown_epochs,
+            "fallback_nc": self.fallback_nc,
+            "fallback_np": self.fallback_np,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CircuitBreaker":
+        """Inverse of :meth:`to_dict` (a fresh closed breaker)."""
+        return cls(**data)
+
+    def snapshot(self) -> dict:
+        """JSON-ready mutable state (configuration travels separately)."""
+        if self.state not in STATES:
+            raise ValueError(f"unknown breaker state {self.state!r}")
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "opens": self.opens,
+            "cooldown_left": self._cooldown_left,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Inverse of :meth:`snapshot`."""
+        if state["state"] not in STATES:
+            raise ValueError(f"unknown breaker state {state['state']!r}")
+        self.state = str(state["state"])
+        self.consecutive_failures = int(state["consecutive_failures"])
+        self.opens = int(state["opens"])
+        self._cooldown_left = int(state["cooldown_left"])

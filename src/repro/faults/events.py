@@ -109,3 +109,24 @@ class FaultEvent:
     @property
     def hard(self) -> bool:
         return self.kind in HARD_KINDS
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (for journal headers)."""
+        return {
+            "kind": self.kind,
+            "epoch": self.epoch,
+            "duration": self.duration,
+            "severity": self.severity,
+            "at_fraction": self.at_fraction,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultEvent":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            kind=str(data["kind"]),
+            epoch=int(data["epoch"]),
+            duration=int(data.get("duration", 1)),
+            severity=float(data.get("severity", 1.0)),
+            at_fraction=float(data.get("at_fraction", 0.0)),
+        )

@@ -97,6 +97,22 @@ class RetryPolicy:
         """A fresh per-session counter set for this policy."""
         return RetryState(policy=self)
 
+    def to_dict(self) -> dict:
+        """JSON-ready configuration (for journal headers)."""
+        return {
+            "max_retries_per_epoch": self.max_retries_per_epoch,
+            "max_retries_per_session": self.max_retries_per_session,
+            "base_backoff_s": self.base_backoff_s,
+            "backoff_factor": self.backoff_factor,
+            "max_backoff_s": self.max_backoff_s,
+            "jitter_frac": self.jitter_frac,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RetryPolicy":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)
+
 
 @dataclass
 class RetryState:
@@ -143,3 +159,19 @@ class RetryState:
     def next_epoch(self) -> None:
         """A new control epoch begins: the per-epoch budget refills."""
         self._epoch_attempts = 0
+
+    # -- checkpoint support ----------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-ready counters (the policy itself travels separately)."""
+        return {
+            "consecutive_failures": self.consecutive_failures,
+            "total_retries": self.total_retries,
+            "epoch_attempts": self._epoch_attempts,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Inverse of :meth:`snapshot`."""
+        self.consecutive_failures = int(state["consecutive_failures"])
+        self.total_retries = int(state["total_retries"])
+        self._epoch_attempts = int(state["epoch_attempts"])

@@ -97,6 +97,17 @@ class FaultSchedule:
                 hit.update(range(e.epoch, e.last_epoch + 1))
         return tuple(sorted(hit))
 
+    # -- serialization ---------------------------------------------------
+
+    def to_list(self) -> list[dict]:
+        """JSON-ready event list (for journal headers)."""
+        return [e.to_dict() for e in self.events]
+
+    @classmethod
+    def from_list(cls, data: list[dict]) -> "FaultSchedule":
+        """Inverse of :meth:`to_list`."""
+        return cls(tuple(FaultEvent.from_dict(d) for d in data))
+
     # -- composition -----------------------------------------------------
 
     def merge(self, other: "FaultSchedule") -> "FaultSchedule":

@@ -94,3 +94,19 @@ class TransferState:
         self.remaining_bytes -= moved
         self.elapsed_s += dt
         return moved
+
+    # -- checkpoint support ----------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-ready progress state (``inf`` survives the round trip —
+        Python's ``json`` writes/reads it as ``Infinity``)."""
+        return {
+            "remaining_bytes": self.remaining_bytes,
+            "elapsed_s": self.elapsed_s,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Inverse of :meth:`snapshot` (the spec is immutable and
+        travels with the run configuration instead)."""
+        self.remaining_bytes = float(state["remaining_bytes"])
+        self.elapsed_s = float(state["elapsed_s"])

@@ -44,11 +44,11 @@ import subprocess
 import sys
 import time
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
-from repro.core.base import Tuner
+from repro.core.base import Tuner, TunerDriver
 from repro.core.params import ParamSpace
 from repro.faults.breaker import CLOSED, OPEN, CircuitBreaker
 from repro.faults.errors import EpochFault, SessionAborted
@@ -58,8 +58,12 @@ from repro.faults.events import (
     SESSION_ABORT,
     STREAM_CRASH,
 )
-from repro.faults.retry import RetryPolicy
+from repro.faults.retry import RetryPolicy, RetryState
 from repro.faults.schedule import FaultSchedule
+from repro.sim.trace import EpochRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.checkpoint.journal import JournalWriter
 
 #: Epoch runner contract: (nc, np, duration_s) -> bytes moved.
 EpochRunner = Callable[[int, int, float], float]
@@ -92,6 +96,61 @@ class LiveEpoch:
         if self.duration_s <= 0:
             return 0.0
         return self.bytes_moved / 1e6 / self.duration_s
+
+    def to_record(self, start: float) -> EpochRecord:
+        """The journal/trace form of this epoch (live has no restart
+        decomposition, so ``best_case`` equals ``observed``)."""
+        return EpochRecord(
+            index=self.index,
+            start=start,
+            duration=self.duration_s,
+            params=self.params,
+            observed=self.throughput_mbps,
+            best_case=self.throughput_mbps,
+            bytes_moved=self.bytes_moved,
+            faulted=self.faulted,
+            fault=self.fault,
+            retries=self.retries,
+            breaker=self.breaker,
+            tuned=self.tuned,
+        )
+
+    @classmethod
+    def from_record(cls, rec: EpochRecord) -> "LiveEpoch":
+        return cls(
+            index=rec.index,
+            params=rec.params,
+            duration_s=rec.duration,
+            bytes_moved=rec.bytes_moved,
+            faulted=rec.faulted,
+            fault=rec.fault,
+            retries=rec.retries,
+            breaker=rec.breaker,
+            tuned=rec.tuned,
+        )
+
+
+@dataclass
+class LiveResumeState:
+    """Control-loop state reconstructed from a journal.
+
+    Built by :func:`repro.checkpoint.resume_live_state` (replay of the
+    journaled epochs + the last live snapshot) and handed to
+    :func:`tune_live` via ``resume=`` so the loop continues where the
+    killed run stopped: same driver state, same standing parameters,
+    same retry counters, same epoch index and wall-clock/byte ledgers.
+    The already-completed epochs pre-populate the new
+    :class:`LiveResult`.
+    """
+
+    epochs: list[LiveEpoch]
+    driver: TunerDriver
+    params: tuple[int, ...]
+    retry_state: RetryState | None
+    index: int
+    elapsed: float
+    moved_bytes: float
+    failed: bool = False
 
 
 @dataclass
@@ -159,6 +218,9 @@ def tune_live(
     breaker: CircuitBreaker | None = None,
     rng: np.random.Generator | None = None,
     sleep: Callable[[float], None] = time.sleep,
+    journal: "JournalWriter | None" = None,
+    journal_session: str = "live",
+    resume: LiveResumeState | None = None,
 ) -> LiveResult:
     """The paper's control loop around a real epoch runner.
 
@@ -185,6 +247,16 @@ def tune_live(
     the safe default after repeated faulted epochs, exactly as in the
     simulator.  ``rng`` jitters the backoff (``None`` = deterministic
     midpoint).  ``sleep`` is injectable so tests run instantly.
+
+    Crash safety
+    ------------
+    ``journal`` appends every closed epoch plus a state snapshot to an
+    fsynced journal (see :mod:`repro.checkpoint`); ``resume`` starts the
+    loop from state reconstructed out of such a journal
+    (:func:`repro.checkpoint.resume_live_state`) — the tuner continues
+    its search from the last completed epoch instead of restarting from
+    ``x0``, and the journaled epochs pre-populate the returned result so
+    it covers the whole transfer.
     """
     if epoch_s <= 0:
         raise ValueError("epoch_s must be positive")
@@ -196,13 +268,40 @@ def tune_live(
     if total_bytes is not None and total_bytes <= 0:
         raise ValueError("total_bytes must be positive")
 
-    driver = tuner.start(x0, space)
-    retry_state = retry_policy.start() if retry_policy is not None else None
     result = LiveResult()
     remaining = total_bytes
-    elapsed = 0.0
-    index = 0
-    params = driver.current
+    if resume is not None:
+        driver = resume.driver
+        retry_state = resume.retry_state
+        result.epochs.extend(resume.epochs)
+        result.failed = resume.failed
+        elapsed = resume.elapsed
+        index = resume.index
+        params = tuple(resume.params)
+        if remaining is not None:
+            remaining = max(0.0, remaining - resume.moved_bytes)
+        if result.failed:
+            # The journaled run already ended in exhaustion; nothing to
+            # continue.
+            return result
+    else:
+        driver = tuner.start(x0, space)
+        retry_state = (retry_policy.start()
+                       if retry_policy is not None else None)
+        elapsed = 0.0
+        index = 0
+        params = driver.current
+
+    def _write_snapshot() -> None:
+        journal.write_snapshot({
+            "format": 1,
+            "live": {
+                "index": index,
+                "elapsed": elapsed,
+                "moved_bytes": result.total_bytes,
+                "failed": result.failed,
+            },
+        })
     while True:
         if max_epochs is not None and index >= max_epochs:
             break
@@ -267,6 +366,8 @@ def tune_live(
             tuned=fault is None and breaker_state != OPEN,
         )
         result.epochs.append(epoch)
+        if journal is not None:
+            journal.write_epoch(journal_session, epoch.to_record(elapsed))
         if on_epoch is not None:
             on_epoch(epoch)
 
@@ -281,6 +382,10 @@ def tune_live(
         if (fault == SESSION_ABORT and retry_state is not None
                 and not retry_state.can_retry()):
             result.failed = True
+            elapsed += epoch_s
+            index += 1
+            if journal is not None:
+                _write_snapshot()
             break
 
         if breaker is not None and breaker.state == OPEN:
@@ -305,6 +410,10 @@ def tune_live(
 
         elapsed += epoch_s
         index += 1
+        if journal is not None:
+            _write_snapshot()
+    if journal is not None:
+        journal.write_end()
     return result
 
 

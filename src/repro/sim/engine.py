@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.aggregate import JointTuner
 from repro.core.base import TunerDriver
@@ -41,8 +42,11 @@ from repro.sim.clock import SimClock
 from repro.noise import lognormal_factor
 from repro.sim.rng import RngStreams
 from repro.sim.session import TransferSession
-from repro.sim.trace import Trace
+from repro.sim.trace import EpochRecord, StepRecord, Trace
 from repro.units import MB
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.checkpoint.journal import JournalWriter
 
 #: Reserved flow-group / CPU-task names for external load.
 EXT_CMP = "ext.cmp"
@@ -136,7 +140,14 @@ class JointController:
 
 @dataclass
 class Engine:
-    """Coupled network + CPU + tuner simulation."""
+    """Coupled network + CPU + tuner simulation.
+
+    With a ``journal``, every closed control epoch (and a full state
+    snapshot after each epoch-dispatch round) is fsynced to an
+    append-only JSONL file, making the run crash-safe: a killed process
+    resumes from the last complete epoch bit-identically
+    (:mod:`repro.checkpoint`).
+    """
 
     topology: Topology
     host: HostSpec
@@ -147,8 +158,16 @@ class Engine:
     controllers: list[JointController] = field(default_factory=list)
     client: ClientModel = field(default_factory=ClientModel)
     config: EngineConfig = field(default_factory=EngineConfig)
+    journal: "JournalWriter | None" = None
 
     def __post_init__(self) -> None:
+        if self.journal is not None and self.controllers:
+            # A joint controller's driver state spans sessions; replay
+            # reconstruction is per-session, so journaling is limited to
+            # independently tuned sessions for now.
+            raise ValueError(
+                "journaling jointly controlled sessions is not supported"
+            )
         names = [s.name for s in self.sessions]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate session names: {names}")
@@ -203,10 +222,73 @@ class Engine:
             if until_s is not None and self.clock.now >= until_s - 1e-9:
                 break
             self._step()
+        finished = all(s.done for s in self.sessions)
         for s in self.sessions:
             if s.epoch_elapsed > 0:
-                s.close_epoch(start_time=self.clock.now - s.epoch_elapsed)
+                rec = s.close_epoch(start_time=self.clock.now - s.epoch_elapsed)
+                # A partial epoch flushed by an early ``until_s`` stop is
+                # not journaled: the journal must hold only epochs the
+                # uninterrupted run would also close, so a later resume
+                # re-runs that span in full.
+                if self.journal is not None and finished:
+                    self.journal.write_epoch(s.name, rec, s.last_epoch_steps)
+        if self.journal is not None and finished:
+            self.journal.write_end()
         return {s.name: s.trace for s in self.sessions}
+
+    # -- checkpoint support ----------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-ready mutable run state at the current instant.
+
+        Captures the sim clock, every RNG stream's exact bit-generator
+        state, and each session's runtime (including retry counters,
+        breaker state, and partial-epoch steps).  Tuner drivers are
+        excluded by design — resume reconstructs them by replaying the
+        journal (:mod:`repro.checkpoint.replay`).
+        """
+        return {
+            "format": 1,
+            "tick": self.clock.tick,
+            "last_cmp_frac": self._last_cmp_frac,
+            "rng": self.rng.get_state(),
+            "sessions": {s.name: s.snapshot() for s in self.sessions},
+        }
+
+    def restore_snapshot(
+        self,
+        state: dict,
+        epochs_by_session: dict[
+            str, list[tuple[EpochRecord, list[StepRecord]]]
+        ],
+    ) -> None:
+        """Restore a :meth:`snapshot` onto a freshly built engine.
+
+        The engine must be constructed with the same configuration
+        (topology, host, sessions, seed) as the journaled run;
+        ``epochs_by_session`` supplies the journaled epochs (with step
+        records) used to rebuild the traces.  Replace each session's
+        driver with a replayed one *before* calling this (the snapshot
+        carries no tuner state).
+        """
+        if state.get("format") != 1:
+            raise ValueError(
+                f"unsupported snapshot format {state.get('format')!r}"
+            )
+        names = set(state["sessions"])
+        if names != set(self._by_name):
+            raise ValueError(
+                f"snapshot sessions {sorted(names)} do not match engine "
+                f"sessions {sorted(self._by_name)}"
+            )
+        self._started = True
+        self.clock.tick = int(state["tick"])
+        self._last_cmp_frac = float(state["last_cmp_frac"])
+        self.rng.set_state(state["rng"])
+        for name, sess_state in state["sessions"].items():
+            self._by_name[name].restore_snapshot(
+                sess_state, epochs_by_session.get(name, [])
+            )
 
     # -- setup -----------------------------------------------------------
 
@@ -368,6 +450,7 @@ class Engine:
         now = self.clock.now
 
         # Epoch boundaries (and transfer completion) close out epochs.
+        closed: list[tuple[TransferSession, EpochRecord]] = []
         for s in self.sessions:
             if s.epoch_elapsed <= 0:
                 continue
@@ -378,9 +461,18 @@ class Engine:
             if not boundary and not s.done:
                 continue
             rec = s.close_epoch(start_time=now - s.epoch_elapsed)
+            closed.append((s, rec))
             if s.done:
                 continue
             self._dispatch_epoch(s, rec)
+
+        # Journal the step's closed epochs, then one snapshot at this
+        # consistent point (after every dispatch above consumed its RNG
+        # draws) — the resume anchor.
+        if self.journal is not None and closed:
+            for s, rec in closed:
+                self.journal.write_epoch(s.name, rec, s.last_epoch_steps)
+            self.journal.write_snapshot(self.snapshot())
 
     def _dispatch_epoch(self, s: TransferSession, rec) -> None:
         """Close out one control epoch: drive the retry policy and circuit

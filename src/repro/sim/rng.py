@@ -57,3 +57,28 @@ class RngStreams:
                 f"no RNG stream named {name!r}; available: {STREAM_NAMES}"
             )
         return self._streams[name]
+
+    # -- checkpoint support ----------------------------------------------
+
+    def get_state(self) -> dict:
+        """JSON-ready state of every stream (exact, bit-preserving).
+
+        The bit-generator state dicts hold plain Python ints (arbitrary
+        precision), so a JSON round-trip restores the streams exactly.
+        """
+        return {
+            name: gen.bit_generator.state
+            for name, gen in self._streams.items()
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore the streams captured by :meth:`get_state`.
+
+        Every known stream must be present; restoring an incomplete
+        snapshot would silently desynchronize a subsystem.
+        """
+        missing = [n for n in STREAM_NAMES if n not in state]
+        if missing:
+            raise KeyError(f"rng snapshot is missing streams: {missing}")
+        for name in STREAM_NAMES:
+            self._streams[name].bit_generator.state = state[name]

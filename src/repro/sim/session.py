@@ -23,6 +23,7 @@ from repro.faults.schedule import FaultSchedule
 from repro.gridftp.globus import FaultModel
 from repro.gridftp.transfer import TransferSpec, TransferState
 from repro.sim.trace import EpochRecord, StepRecord, Trace
+from repro.sim.traceio import step_from_dict, step_to_dict
 
 
 @dataclass(frozen=True)
@@ -147,6 +148,11 @@ class TransferSession:
         self.breaker = breaker
         self.disk_cap_fn = disk_cap_fn
 
+        #: Kept so checkpoint/resume can rebuild a fresh driver by
+        #: replaying journaled observations (seeded tuners build their
+        #: RNG inside ``propose``, so a re-``start`` replays exactly).
+        self.tuner = tuner
+        self.x0 = tuple(x0)
         self.driver: TunerDriver | None = (
             tuner.start(x0, space) if tuner is not None else None
         )
@@ -171,6 +177,12 @@ class TransferSession:
 
         #: Set when a session abort exhausted the retry budget.
         self.failed: bool = False
+
+        #: Step records belonging to the most recently closed epoch (for
+        #: the checkpoint journal); index into ``trace.steps`` where the
+        #: current (partial) epoch begins.
+        self.last_epoch_steps: list[StepRecord] = []
+        self._epoch_step_mark: int = 0
 
     def _check_dims(self) -> None:
         for dim in (self.param_map.nc_dim, self.param_map.np_dim,
@@ -311,6 +323,8 @@ class TransferSession:
             tuned=fault is None and breaker_state != OPEN_STATE,
         )
         self.trace.add_epoch(rec)
+        self.last_epoch_steps = self.trace.steps[self._epoch_step_mark:]
+        self._epoch_step_mark = len(self.trace.steps)
         self.epoch_index += 1
         self.epoch_elapsed = 0.0
         self.epoch_run_s = 0.0
@@ -340,3 +354,89 @@ class TransferSession:
             raise ValueError("dead_time_s must be non-negative")
         self.restart_remaining = dead_time_s
         self.time_since_start = 0.0
+
+    # -- checkpoint support --------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-ready runtime state (everything the engine mutates that a
+        replayed tuner driver cannot reconstruct).
+
+        ``partial_steps`` carries the step records of the *current*
+        (unfinished) epoch, so a resumed multi-session run rebuilds even
+        mid-epoch traces bit-identically.  Tuner state is deliberately
+        absent — it is rebuilt by observation replay
+        (:mod:`repro.checkpoint.replay`).
+        """
+        return {
+            "params": list(self.params),
+            "epoch_index": self.epoch_index,
+            "epoch_elapsed": self.epoch_elapsed,
+            "epoch_run_s": self.epoch_run_s,
+            "epoch_bytes": self.epoch_bytes,
+            "noise_factor": self.noise_factor,
+            "restart_remaining": self.restart_remaining,
+            "time_since_start": self.time_since_start,
+            "failed": self.failed,
+            "transfer": self.state.snapshot(),
+            "partial_steps": [
+                step_to_dict(s)
+                for s in self.trace.steps[self._epoch_step_mark:]
+            ],
+            "retry": (self.retry_state.snapshot()
+                      if self.retry_state is not None else None),
+            "breaker": (self.breaker.snapshot()
+                        if self.breaker is not None else None),
+        }
+
+    def restore_snapshot(
+        self,
+        state: dict,
+        epochs: "list[tuple[EpochRecord, list[StepRecord]]]",
+    ) -> None:
+        """Restore runtime state and rebuild the trace from journaled
+        epochs (each with its step records) plus the snapshot's
+        partial-epoch steps.
+
+        The tuner driver is *not* restored here — resume replaces it
+        with a replayed one first (see :mod:`repro.checkpoint.resume`).
+        """
+        if epochs and epochs[-1][0].index + 1 != int(state["epoch_index"]):
+            raise ValueError(
+                f"snapshot epoch_index {state['epoch_index']} does not "
+                f"follow the last journaled epoch {epochs[-1][0].index}"
+            )
+        self.params = tuple(int(v) for v in state["params"])
+        self.epoch_index = int(state["epoch_index"])
+        self.epoch_elapsed = float(state["epoch_elapsed"])
+        self.epoch_run_s = float(state["epoch_run_s"])
+        self.epoch_bytes = float(state["epoch_bytes"])
+        self.noise_factor = float(state["noise_factor"])
+        self.restart_remaining = float(state["restart_remaining"])
+        self.time_since_start = float(state["time_since_start"])
+        self.failed = bool(state["failed"])
+        self.state.restore(state["transfer"])
+
+        if (state["retry"] is None) != (self.retry_state is None):
+            raise ValueError(
+                "retry-policy presence differs between snapshot and session"
+            )
+        if self.retry_state is not None:
+            self.retry_state.restore(state["retry"])
+        if (state["breaker"] is None) != (self.breaker is None):
+            raise ValueError(
+                "breaker presence differs between snapshot and session"
+            )
+        if self.breaker is not None:
+            self.breaker.restore(state["breaker"])
+
+        self.trace = Trace(label=self.spec.name)
+        for rec, steps in epochs:
+            for s in steps:
+                self.trace.add_step(s)
+            self.trace.add_epoch(rec)
+        self._epoch_step_mark = len(self.trace.steps)
+        self.last_epoch_steps = (
+            epochs[-1][1] if epochs else []
+        )
+        for s in state["partial_steps"]:
+            self.trace.add_step(step_from_dict(s))

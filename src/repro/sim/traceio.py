@@ -3,6 +3,14 @@
 Long parameter studies want to separate *running* experiments from
 *analyzing* them.  Traces serialize losslessly to JSON (both step and
 epoch records) and export to flat CSV for spreadsheet/pandas analysis.
+
+Crash safety: every file written here goes through
+:func:`atomic_write_text` — the text lands in a temporary file in the
+target directory, is fsynced, and is atomically renamed over the
+destination, so a process killed mid-write can never leave a
+truncated or corrupt trace behind.  A file that *is* damaged some other
+way (partial copy, disk fault) raises :class:`CorruptTraceError` naming
+the file and byte offset instead of a bare ``json.JSONDecodeError``.
 """
 
 from __future__ import annotations
@@ -10,6 +18,8 @@ from __future__ import annotations
 import csv
 import io
 import json
+import os
+import tempfile
 from pathlib import Path
 
 from repro.sim.trace import EpochRecord, StepRecord, Trace
@@ -18,37 +28,115 @@ from repro.sim.trace import EpochRecord, StepRecord, Trace
 FORMAT_VERSION = 1
 
 
+class CorruptTraceError(ValueError):
+    """A trace/journal file is truncated or not valid JSON.
+
+    Carries the offending file and the byte offset where decoding
+    failed, so a damaged file in a long campaign can be located and
+    triaged without a debugger.
+    """
+
+    def __init__(self, path: str | Path, offset: int, reason: str) -> None:
+        self.path = str(path)
+        self.offset = int(offset)
+        self.reason = reason
+        super().__init__(
+            f"corrupt trace data in {self.path!s} at byte offset "
+            f"{self.offset}: {reason}"
+        )
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The temporary file is created in the *target* directory so the final
+    rename never crosses a filesystem boundary; the data is fsynced
+    before the rename, so after a crash the destination holds either the
+    old content or the complete new content — never a torn write.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as f:
+            f.write(text)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+# -- record <-> dict helpers (shared with the checkpoint journal) ----------
+
+
+def step_to_dict(s: StepRecord) -> dict:
+    return {
+        "time": s.time,
+        "rate": s.rate,
+        "restarting": s.restarting,
+        "bytes_moved": s.bytes_moved,
+    }
+
+
+def step_from_dict(d: dict) -> StepRecord:
+    return StepRecord(
+        time=float(d["time"]),
+        rate=float(d["rate"]),
+        restarting=bool(d["restarting"]),
+        bytes_moved=float(d["bytes_moved"]),
+    )
+
+
+def epoch_to_dict(e: EpochRecord) -> dict:
+    return {
+        "index": e.index,
+        "start": e.start,
+        "duration": e.duration,
+        "params": list(e.params),
+        "observed": e.observed,
+        "best_case": e.best_case,
+        "bytes_moved": e.bytes_moved,
+        "faulted": e.faulted,
+        "fault": e.fault,
+        "retries": e.retries,
+        "breaker": e.breaker,
+        "tuned": e.tuned,
+    }
+
+
+def epoch_from_dict(e: dict) -> EpochRecord:
+    fault = e.get("fault")
+    return EpochRecord(
+        index=int(e["index"]),
+        start=float(e["start"]),
+        duration=float(e["duration"]),
+        params=tuple(int(v) for v in e["params"]),
+        observed=float(e["observed"]),
+        best_case=float(e["best_case"]),
+        bytes_moved=float(e["bytes_moved"]),
+        # Fault/recovery fields appeared after format 1 froze;
+        # absent keys mean a clean pre-fault trace.
+        faulted=bool(e.get("faulted", False)),
+        fault=None if fault is None else str(fault),
+        retries=int(e.get("retries", 0)),
+        breaker=str(e.get("breaker", "closed")),
+        tuned=bool(e.get("tuned", True)),
+    )
+
+
 def trace_to_dict(trace: Trace) -> dict:
     """Plain-dict representation (JSON-ready)."""
     return {
         "format": FORMAT_VERSION,
         "label": trace.label,
-        "steps": [
-            {
-                "time": s.time,
-                "rate": s.rate,
-                "restarting": s.restarting,
-                "bytes_moved": s.bytes_moved,
-            }
-            for s in trace.steps
-        ],
-        "epochs": [
-            {
-                "index": e.index,
-                "start": e.start,
-                "duration": e.duration,
-                "params": list(e.params),
-                "observed": e.observed,
-                "best_case": e.best_case,
-                "bytes_moved": e.bytes_moved,
-                "faulted": e.faulted,
-                "fault": e.fault,
-                "retries": e.retries,
-                "breaker": e.breaker,
-                "tuned": e.tuned,
-            }
-            for e in trace.epochs
-        ],
+        "steps": [step_to_dict(s) for s in trace.steps],
+        "epochs": [epoch_to_dict(e) for e in trace.epochs],
     }
 
 
@@ -64,50 +152,34 @@ def trace_from_dict(data: dict) -> Trace:
         )
     trace = Trace(label=data.get("label", ""))
     for s in data.get("steps", []):
-        trace.add_step(
-            StepRecord(
-                time=float(s["time"]),
-                rate=float(s["rate"]),
-                restarting=bool(s["restarting"]),
-                bytes_moved=float(s["bytes_moved"]),
-            )
-        )
+        trace.add_step(step_from_dict(s))
     for e in data.get("epochs", []):
-        fault = e.get("fault")
-        trace.add_epoch(
-            EpochRecord(
-                index=int(e["index"]),
-                start=float(e["start"]),
-                duration=float(e["duration"]),
-                params=tuple(int(v) for v in e["params"]),
-                observed=float(e["observed"]),
-                best_case=float(e["best_case"]),
-                bytes_moved=float(e["bytes_moved"]),
-                # Fault/recovery fields appeared after format 1 froze;
-                # absent keys mean a clean pre-fault trace.
-                faulted=bool(e.get("faulted", False)),
-                fault=None if fault is None else str(fault),
-                retries=int(e.get("retries", 0)),
-                breaker=str(e.get("breaker", "closed")),
-                tuned=bool(e.get("tuned", True)),
-            )
-        )
+        trace.add_epoch(epoch_from_dict(e))
     return trace
 
 
 def save_trace(trace: Trace, path: str | Path) -> None:
-    """Write a trace as JSON."""
-    Path(path).write_text(json.dumps(trace_to_dict(trace)))
+    """Write a trace as JSON (atomically; see :func:`atomic_write_text`)."""
+    atomic_write_text(path, json.dumps(trace_to_dict(trace)))
 
 
 def load_trace(path: str | Path) -> Trace:
-    """Read a JSON trace written by :func:`save_trace`."""
-    return trace_from_dict(json.loads(Path(path).read_text()))
+    """Read a JSON trace written by :func:`save_trace`.
+
+    Raises :class:`CorruptTraceError` (with the file and byte offset)
+    when the file is truncated or not valid JSON.
+    """
+    text = Path(path).read_text()
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CorruptTraceError(path, exc.pos, exc.msg) from exc
+    return trace_from_dict(data)
 
 
 def epochs_to_csv(trace: Trace, path: str | Path | None = None) -> str:
-    """Export epoch records as CSV; returns the text (and writes it when
-    ``path`` is given).
+    """Export epoch records as CSV; returns the text (and writes it
+    atomically when ``path`` is given).
 
     Parameter columns are expanded as ``param0, param1, ...`` so mixed
     1-D/2-D traces stay machine-readable.
@@ -134,5 +206,5 @@ def epochs_to_csv(trace: Trace, path: str | Path | None = None) -> str:
         )
     text = buf.getvalue()
     if path is not None:
-        Path(path).write_text(text)
+        atomic_write_text(path, text)
     return text

@@ -1,0 +1,79 @@
+"""Campaign journaling: completed figure units survive a crash and are
+skipped on resume.  The real units are hours-scale, so these tests run
+the campaign machinery over stub units."""
+
+import pytest
+
+import repro.experiments.campaign as campaign_mod
+from repro.checkpoint import read_journal
+from repro.experiments.campaign import CampaignScale, run_campaign
+
+SCALE = CampaignScale(duration_s=120.0, fig1_duration_s=90.0,
+                      fig1_reps=1, seed=0)
+
+
+@pytest.fixture
+def stub_units(monkeypatch):
+    """Three tiny units; the middle one can be armed to crash."""
+    calls = []
+    state = {"crash_on": None}
+
+    def unit(name):
+        def run(scale):
+            if name == state["crash_on"]:
+                raise KeyboardInterrupt
+            calls.append(name)
+            return {f"Sect {name}": f"block {name} @{scale.seed}"}
+
+        return run
+
+    units = [("u1", unit("u1")), ("u2", unit("u2")), ("u3", unit("u3"))]
+    monkeypatch.setattr(campaign_mod, "CAMPAIGN_UNITS", units)
+    return calls, state
+
+
+class TestCampaignJournal:
+    def test_crash_then_resume_skips_completed_units(self, tmp_path,
+                                                     stub_units):
+        calls, state = stub_units
+        path = tmp_path / "camp.jnl"
+        state["crash_on"] = "u2"
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(SCALE, journal_path=path)
+        assert calls == ["u1"]
+        assert sorted(read_journal(path).sections) == ["u1"]
+
+        state["crash_on"] = None
+        result = run_campaign(SCALE, journal_path=path)
+        assert result.resumed_units == ["u1"]
+        assert calls == ["u1", "u2", "u3"]  # u1 not recomputed
+        assert result.sections == {
+            "Sect u1": "block u1 @0",
+            "Sect u2": "block u2 @0",
+            "Sect u3": "block u3 @0",
+        }
+        assert read_journal(path).ended
+
+    def test_journaled_equals_unjournaled(self, tmp_path, stub_units):
+        ref = run_campaign(SCALE)
+        res = run_campaign(SCALE, journal_path=tmp_path / "camp.jnl")
+        assert res.sections == ref.sections
+        assert res.resumed_units == []
+
+    def test_scale_mismatch_is_refused(self, tmp_path, stub_units):
+        path = tmp_path / "camp.jnl"
+        run_campaign(SCALE, journal_path=path)
+        other = CampaignScale(duration_s=240.0, fig1_duration_s=90.0,
+                              fig1_reps=1, seed=0)
+        with pytest.raises(ValueError, match="scale"):
+            run_campaign(other, journal_path=path)
+
+    def test_journal_without_campaign_header_is_refused(self, tmp_path,
+                                                        stub_units):
+        from repro.checkpoint import JournalWriter
+
+        path = tmp_path / "other.jnl"
+        with JournalWriter(path) as w:
+            w.write_header({"run": {}})
+        with pytest.raises(ValueError, match="campaign header"):
+            run_campaign(SCALE, journal_path=path)

@@ -1,0 +1,247 @@
+"""Unit tests for the crash-safe epoch journal: framing, torn-tail
+tolerance, corruption detection, and the parsed-journal accessors."""
+
+import json
+
+import pytest
+
+from repro.checkpoint.journal import (
+    JOURNAL_FORMAT,
+    Journal,
+    JournalWriter,
+    read_journal,
+    trim_to_last_snapshot,
+)
+from repro.sim.trace import EpochRecord, StepRecord
+from repro.sim.traceio import CorruptTraceError
+
+
+def _epoch(index, params=(2,), observed=100.0, **kw) -> EpochRecord:
+    return EpochRecord(
+        index=index, start=index * 30.0, duration=30.0, params=params,
+        observed=observed, best_case=observed, bytes_moved=observed * 30e6,
+        **kw,
+    )
+
+
+def _write_sample(path) -> None:
+    with JournalWriter(path) as w:
+        w.write_header({"run": {"tuner": "nm", "seed": 0}})
+        w.write_epoch("main", _epoch(0), [
+            StepRecord(time=0.0, rate=90.0, restarting=True,
+                       bytes_moved=0.0),
+        ])
+        w.write_snapshot({"format": 1, "tick": 30})
+        w.write_epoch("main", _epoch(1, observed=120.0))
+        w.write_snapshot({"format": 1, "tick": 60})
+        w.write_section("fig1", {"blocks": {"Fig 1": "table"}})
+        w.write_end()
+
+
+class TestFraming:
+    def test_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "j.jnl"
+        _write_sample(path)
+        lines = path.read_bytes().splitlines()
+        assert len(lines) == 7
+        for line in lines:
+            assert isinstance(json.loads(line), dict)
+
+    def test_file_ends_with_newline(self, tmp_path):
+        path = tmp_path / "j.jnl"
+        _write_sample(path)
+        assert path.read_bytes().endswith(b"\n")
+
+    def test_records_need_a_kind(self, tmp_path):
+        with JournalWriter(tmp_path / "j.jnl") as w:
+            with pytest.raises(ValueError, match="kind"):
+                w.write({"data": 1})
+
+    def test_append_mode_extends_existing_journal(self, tmp_path):
+        path = tmp_path / "j.jnl"
+        with JournalWriter(path) as w:
+            w.write_header({"run": {}})
+            w.write_epoch("main", _epoch(0))
+        with JournalWriter(path) as w:
+            w.write_epoch("main", _epoch(1))
+        j = read_journal(path)
+        assert [e.record.index for e in j.epochs] == [0, 1]
+
+
+class TestReadJournal:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "j.jnl"
+        _write_sample(path)
+        j = read_journal(path)
+        assert j.header == {"format": JOURNAL_FORMAT,
+                            "run": {"tuner": "nm", "seed": 0}}
+        assert [e.record.index for e in j.epochs] == [0, 1]
+        assert j.epochs[0].steps[0].rate == 90.0
+        assert j.epochs[1].record.observed == 120.0
+        assert j.snapshot == {"format": 1, "tick": 60}
+        assert j.sections == {"fig1": {"blocks": {"Fig 1": "table"}}}
+        assert j.ended and not j.truncated
+
+    def test_snapshot_epochs_stop_at_last_snapshot(self, tmp_path):
+        path = tmp_path / "j.jnl"
+        with JournalWriter(path) as w:
+            w.write_epoch("main", _epoch(0))
+            w.write_snapshot({"tick": 30})
+            w.write_epoch("main", _epoch(1))  # closed after the snapshot
+        j = read_journal(path)
+        assert len(j.epochs) == 2
+        assert [e.record.index for e in j.snapshot_epochs] == [0]
+        assert [e.record.index for e in j.snapshot_epochs_for("main")] == [0]
+
+    def test_sessions_in_first_seen_order(self, tmp_path):
+        path = tmp_path / "j.jnl"
+        with JournalWriter(path) as w:
+            w.write_epoch("b", _epoch(0))
+            w.write_epoch("a", _epoch(0))
+            w.write_epoch("b", _epoch(1))
+        j = read_journal(path)
+        assert j.sessions() == ["b", "a"]
+        assert [e.record.index for e in j.epochs_for("b")] == [0, 1]
+
+    def test_unknown_kinds_are_skipped(self, tmp_path):
+        path = tmp_path / "j.jnl"
+        with JournalWriter(path) as w:
+            w.write({"kind": "future-extension", "x": 1})
+            w.write_epoch("main", _epoch(0))
+        j = read_journal(path)
+        assert len(j.epochs) == 1
+
+
+class TestTornTail:
+    """A crash mid-append costs exactly the record being written."""
+
+    def test_unterminated_final_line_is_dropped_with_warning(self, tmp_path):
+        path = tmp_path / "j.jnl"
+        _write_sample(path)
+        with open(path, "ab") as f:
+            f.write(b'{"kind":"epoch","session":"main"')  # torn write
+        with pytest.warns(UserWarning, match="torn|unterminated"):
+            j = read_journal(path)
+        assert j.truncated
+        assert len(j.epochs) == 2  # the torn record is gone, nothing else
+
+    def test_parseable_but_unterminated_tail_is_still_dropped(self, tmp_path):
+        # No trailing newline means the write may not have finished even
+        # if the bytes happen to parse.
+        path = tmp_path / "j.jnl"
+        with JournalWriter(path) as w:
+            w.write_epoch("main", _epoch(0))
+        with open(path, "ab") as f:
+            f.write(b'{"kind":"end"}')  # no newline
+        with pytest.warns(UserWarning, match="unterminated"):
+            j = read_journal(path)
+        assert j.truncated and not j.ended
+
+    def test_reopening_after_a_torn_tail_does_not_corrupt(self, tmp_path):
+        # Appending after an unterminated line must not concatenate the
+        # new record onto the partial one (that would turn a recoverable
+        # crash artifact into mid-file corruption).
+        path = tmp_path / "j.jnl"
+        with JournalWriter(path) as w:
+            w.write_epoch("main", _epoch(0))
+        with open(path, "ab") as f:
+            f.write(b'{"kind":"epo')
+        with JournalWriter(path) as w:
+            w.write_epoch("main", _epoch(1))
+        j = read_journal(path)  # no warning, no corruption
+        assert [e.record.index for e in j.epochs] == [0, 1]
+        assert not j.truncated
+
+    def test_trim_to_last_snapshot_drops_dead_records(self, tmp_path):
+        path = tmp_path / "j.jnl"
+        with JournalWriter(path) as w:
+            w.write_header({"run": {}})
+            w.write_epoch("main", _epoch(0))
+            w.write_snapshot({"tick": 30})
+            w.write_epoch("main", _epoch(1))  # snapshot never landed
+        with open(path, "ab") as f:
+            f.write(b'{"kind":"snapsh')  # ... and a torn tail
+        dropped = trim_to_last_snapshot(path)
+        assert dropped > 0
+        j = read_journal(path)
+        assert [e.record.index for e in j.epochs] == [0]
+        assert j.snapshot == {"tick": 30}
+        assert not j.truncated
+
+    def test_trim_without_snapshot_keeps_only_the_header(self, tmp_path):
+        path = tmp_path / "j.jnl"
+        with JournalWriter(path) as w:
+            w.write_header({"run": {}})
+            w.write_epoch("main", _epoch(0))
+        trim_to_last_snapshot(path)
+        j = read_journal(path)
+        assert j.header is not None
+        assert j.epochs == []
+
+    def test_torn_final_snapshot_falls_back_to_previous(self, tmp_path):
+        path = tmp_path / "j.jnl"
+        with JournalWriter(path) as w:
+            w.write_epoch("main", _epoch(0))
+            w.write_snapshot({"tick": 30})
+            w.write_epoch("main", _epoch(1))
+        with open(path, "ab") as f:
+            f.write(b'{"kind":"snapshot","state":{"tick":')
+        with pytest.warns(UserWarning):
+            j = read_journal(path)
+        assert j.snapshot == {"tick": 30}
+        assert [e.record.index for e in j.snapshot_epochs] == [0]
+
+
+class TestCorruption:
+    """Damage before the final record is not a crash artifact."""
+
+    def test_mid_file_garbage_raises_with_offset(self, tmp_path):
+        path = tmp_path / "j.jnl"
+        _write_sample(path)
+        raw = path.read_bytes().splitlines(keepends=True)
+        offset = len(raw[0]) + len(raw[1])
+        raw[2] = b"@@not json@@\n"
+        path.write_bytes(b"".join(raw))
+        with pytest.raises(CorruptTraceError) as exc:
+            read_journal(path)
+        assert exc.value.offset == offset
+        assert str(path) in str(exc.value)
+
+    def test_mid_file_non_record_json_raises(self, tmp_path):
+        path = tmp_path / "j.jnl"
+        _write_sample(path)
+        raw = path.read_bytes().splitlines(keepends=True)
+        raw[1] = b'[1, 2, 3]\n'  # valid JSON, not a journal record
+        path.write_bytes(b"".join(raw))
+        with pytest.raises(CorruptTraceError):
+            read_journal(path)
+
+    def test_unsupported_format_raises(self, tmp_path):
+        path = tmp_path / "j.jnl"
+        with JournalWriter(path) as w:
+            w.write({"kind": "header", "format": 999})
+            w.write_epoch("main", _epoch(0))
+        with pytest.raises(CorruptTraceError, match="format"):
+            read_journal(path)
+
+
+class TestBestParams:
+    def test_best_params_is_max_observed_tuned_epoch(self, tmp_path):
+        path = tmp_path / "j.jnl"
+        with JournalWriter(path) as w:
+            w.write_epoch("main", _epoch(0, params=(2,), observed=100.0))
+            w.write_epoch("main", _epoch(1, params=(8,), observed=300.0))
+            # Higher observed but not fed to the tuner: must not win.
+            w.write_epoch("main", _epoch(2, params=(64,), observed=900.0,
+                                         tuned=False))
+        j = read_journal(path)
+        assert j.best_params() == (8,)
+        assert j.best_params("main") == (8,)
+
+    def test_best_params_none_without_tuned_epochs(self, tmp_path):
+        path = tmp_path / "j.jnl"
+        with JournalWriter(path) as w:
+            w.write_epoch("main", _epoch(0, faulted=True, fault="blackout",
+                                         tuned=False))
+        assert read_journal(path).best_params() is None
+        assert Journal().best_params() is None

@@ -1,0 +1,129 @@
+"""Crash-safety under a real SIGKILL.
+
+A child process runs a journaled simulation campaign; the parent
+SIGKILLs it mid-run (no atexit, no cleanup — the journal is all that
+survives), resumes from the journal in-process, and asserts the final
+trace is bit-identical to an uninterrupted reference run.  The child
+slows the journal writes down (a slow disk, in effect) so the kill
+reliably lands mid-run; everything else is the production code path.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.checkpoint import read_journal, resume_run
+from repro.core.registry import make_tuner
+from repro.experiments.runner import run_single
+from repro.experiments.scenarios import SCENARIOS
+from repro.faults import (
+    STREAM_CRASH,
+    CircuitBreaker,
+    FaultEvent,
+    FaultSchedule,
+    RetryPolicy,
+)
+
+SEED = 13
+TUNER = "cs"
+DURATION = 1800.0
+
+CHILD_SCRIPT = """
+import sys, time
+import repro.checkpoint.resume as resume_mod
+from repro.checkpoint.journal import JournalWriter
+from repro.faults import (STREAM_CRASH, CircuitBreaker, FaultEvent,
+                          FaultSchedule, RetryPolicy)
+
+
+class SlowDiskWriter(JournalWriter):
+    def write(self, record):
+        super().write(record)
+        time.sleep(0.05)
+
+
+resume_mod.JournalWriter = SlowDiskWriter
+resume_mod.run_journaled(
+    sys.argv[1], scenario="anl-uc", tuner={tuner!r}, seed={seed},
+    duration_s={duration},
+    fault_schedule=FaultSchedule(
+        [FaultEvent(kind=STREAM_CRASH, epoch=5, duration=2)]
+    ),
+    retry_policy=RetryPolicy(), breaker=CircuitBreaker(),
+)
+"""
+
+
+def _count_epochs(path) -> int:
+    try:
+        raw = path.read_bytes()
+    except FileNotFoundError:
+        return 0
+    return sum(
+        1 for line in raw.split(b"\n")
+        if line.startswith(b'{"kind":"epoch"')
+    )
+
+
+@pytest.mark.slow
+def test_sigkill_mid_run_then_resume_is_bit_identical(tmp_path):
+    journal_path = tmp_path / "killed.jnl"
+    child = subprocess.Popen(
+        [sys.executable, "-c",
+         CHILD_SCRIPT.format(tuner=TUNER, seed=SEED, duration=DURATION),
+         str(journal_path)],
+        env={**os.environ,
+             "PYTHONPATH": os.pathsep.join(sys.path)},
+    )
+    try:
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            if _count_epochs(journal_path) >= 8:
+                break
+            if child.poll() is not None:
+                pytest.fail(
+                    f"child exited early with {child.returncode} before "
+                    "the journal reached 8 epochs"
+                )
+            time.sleep(0.02)
+        else:
+            pytest.fail("journal never reached 8 epochs")
+        child.send_signal(signal.SIGKILL)
+        child.wait(timeout=30.0)
+    finally:
+        if child.poll() is None:  # pragma: no cover - cleanup
+            child.kill()
+            child.wait()
+
+    journal = read_journal(journal_path)
+    assert not journal.ended, "child finished before the kill"
+    # The kill may land between an epoch record and its snapshot, in
+    # which case the last epoch is re-run on resume rather than replayed.
+    assert len(journal.snapshot_epochs) >= 7
+    killed_at = len(journal.epochs)
+
+    resumed = resume_run(journal_path)
+
+    reference = run_single(
+        SCENARIOS["anl-uc"], make_tuner(TUNER, SEED),
+        duration_s=DURATION, seed=SEED,
+        fault_schedule=FaultSchedule(
+            [FaultEvent(kind=STREAM_CRASH, epoch=5, duration=2)]
+        ),
+        retry_policy=RetryPolicy(), breaker=CircuitBreaker(),
+    )
+    assert len(reference.epochs) > killed_at, "kill landed after the end"
+    assert resumed.epochs == reference.epochs
+    assert resumed.steps == reference.steps
+
+    final = read_journal(journal_path)
+    assert final.ended
+    assert len(final.epochs) == len(reference.epochs)
+    # The journal alone reconstructs the full trace.
+    rebuilt = [e.record for e in final.epochs_for("main")]
+    assert rebuilt == reference.epochs

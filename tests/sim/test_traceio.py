@@ -114,3 +114,70 @@ class TestCsv:
     def test_empty_trace_rejected(self):
         with pytest.raises(ValueError):
             epochs_to_csv(Trace())
+
+
+class TestCrashSafety:
+    """Atomic writes and corruption diagnosis (crash-safe persistence)."""
+
+    def test_truncated_file_raises_corrupt_trace_error(self, tmp_path):
+        from repro.sim.traceio import CorruptTraceError
+
+        path = tmp_path / "t.json"
+        save_trace(_sample_trace(), path)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(CorruptTraceError) as exc:
+            load_trace(path)
+        assert exc.value.path == str(path)
+        assert exc.value.offset > 0
+        assert "byte offset" in str(exc.value)
+
+    def test_garbage_file_reports_offset_zero_region(self, tmp_path):
+        from repro.sim.traceio import CorruptTraceError
+
+        path = tmp_path / "t.json"
+        path.write_text("not json at all")
+        with pytest.raises(CorruptTraceError):
+            load_trace(path)
+
+    def test_corrupt_trace_error_is_a_value_error(self):
+        from repro.sim.traceio import CorruptTraceError
+
+        assert issubclass(CorruptTraceError, ValueError)
+
+    def test_atomic_write_replaces_not_appends(self, tmp_path):
+        from repro.sim.traceio import atomic_write_text
+
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "first")
+        atomic_write_text(path, "second")
+        assert path.read_text() == "second"
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        from repro.sim.traceio import atomic_write_text
+
+        atomic_write_text(tmp_path / "out.txt", "data")
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_failed_write_preserves_old_content(self, tmp_path, monkeypatch):
+        import repro.sim.traceio as traceio
+
+        path = tmp_path / "out.txt"
+        traceio.atomic_write_text(path, "precious")
+
+        def boom(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(traceio.os, "replace", boom)
+        with pytest.raises(OSError):
+            traceio.atomic_write_text(path, "overwrite")
+        assert path.read_text() == "precious"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_save_trace_is_atomic_over_existing(self, tmp_path):
+        path = tmp_path / "t.json"
+        save_trace(_sample_trace(), path)
+        first = path.read_text()
+        save_trace(_sample_trace(), path)
+        assert path.read_text() == first
+        assert [p.name for p in tmp_path.iterdir()] == ["t.json"]

@@ -96,3 +96,65 @@ class TestCommands:
     def test_bad_tuner_exits(self):
         with pytest.raises(SystemExit):
             main(["run", "--tuner", "bogus", "--duration", "60"])
+
+
+class TestJournalCommands:
+    def _run_journaled(self, tmp_path, capsys):
+        journal = tmp_path / "run.jnl"
+        rc = main(["run", "--tuner", "nm", "--duration", "150",
+                   "--journal", str(journal)])
+        capsys.readouterr()
+        assert rc == 0
+        return journal
+
+    def test_run_journal_then_resume(self, tmp_path, capsys):
+        journal = self._run_journaled(tmp_path, capsys)
+        assert journal.exists()
+        rc = main(["resume", str(journal)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "already complete" in out
+        assert "steady observed" in out
+
+    def test_resume_continues_a_truncated_journal(self, tmp_path, capsys):
+        journal = self._run_journaled(tmp_path, capsys)
+        # keep header + first epoch + snapshot: a "killed" run
+        lines = journal.read_bytes().splitlines(keepends=True)
+        journal.write_bytes(b"".join(lines[:3]))
+        rc = main(["resume", str(journal)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "resuming" in out
+
+    def test_run_refuses_existing_journal(self, tmp_path, capsys):
+        journal = self._run_journaled(tmp_path, capsys)
+        with pytest.raises(SystemExit, match="resume"):
+            main(["run", "--duration", "150", "--journal", str(journal)])
+
+    def test_resume_missing_journal_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="no journal"):
+            main(["resume", str(tmp_path / "nope.jnl")])
+
+    def test_warm_start_requires_journal(self, tmp_path, capsys):
+        first = self._run_journaled(tmp_path, capsys)
+        with pytest.raises(SystemExit, match="journal"):
+            main(["run", "--duration", "150", "--warm-start", str(first)])
+
+    def test_warm_start_run(self, tmp_path, capsys):
+        first = self._run_journaled(tmp_path, capsys)
+        rc = main(["run", "--tuner", "nm", "--duration", "150",
+                   "--journal", str(tmp_path / "second.jnl"),
+                   "--warm-start", str(first)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "steady observed" in out
+
+    def test_trace_out_writes_loadable_trace(self, tmp_path, capsys):
+        from repro.sim.traceio import load_trace
+
+        out_path = tmp_path / "trace.json"
+        rc = main(["run", "--tuner", "cd", "--duration", "150",
+                   "--trace-out", str(out_path)])
+        capsys.readouterr()
+        assert rc == 0
+        assert load_trace(out_path).epochs
