@@ -1,0 +1,150 @@
+"""Observability overhead: bus throughput, span cost, and the 2% gate.
+
+Three measurements:
+
+* raw event-bus fan-out rate (events/sec into a bounded subscriber);
+* per-span recording cost (the fixed price of one timed phase);
+* end-to-end control-loop overhead for 1000-epoch runs across the
+  cd/cs/nm tuners, in three modes — ``off`` (obs=None, the default),
+  ``noop`` (fully wired call sites publishing into the NullBus) and
+  ``full`` (bus + metrics + spans + one ring subscriber).
+
+The gate this file enforces (and CI runs): the no-op-bus mode must stay
+within 2% of the obs=None baseline, best-of-3 — i.e. wiring the
+instrumentation through the hot path costs nothing when nobody listens.
+"""
+
+import time
+
+from repro.core.registry import make_tuner
+from repro.experiments.report import render_table
+from repro.experiments.runner import run_single
+from repro.experiments.scenarios import SCENARIOS
+from repro.obs import EpochStart, EventBus, Instrumentation, SpanRecorder
+from repro.obs.metrics import MetricsRegistry
+
+EPOCHS = 1000
+DURATION_S = EPOCHS * 30.0
+TUNERS = ("cd", "cs", "nm")
+ROUNDS = 3
+GATE = 0.02  # no-op bus must cost < 2% end to end
+
+
+def _one_run(tuner: str, mode: str) -> tuple[float, Instrumentation | None]:
+    if mode == "off":
+        obs = None
+    elif mode == "noop":
+        obs = Instrumentation.noop()
+    else:
+        obs = Instrumentation.on()
+        obs.bus.subscribe(maxlen=4096)
+    t0 = time.perf_counter()
+    trace = run_single(
+        SCENARIOS["anl-uc"], make_tuner(tuner, 0),
+        duration_s=DURATION_S, seed=0, obs=obs,
+    )
+    dt = time.perf_counter() - t0
+    assert len(trace.epochs) == EPOCHS
+    return dt, obs
+
+
+def _best_of(tuner: str, mode: str) -> tuple[float, Instrumentation | None]:
+    best, kept = min(
+        (_one_run(tuner, mode) for _ in range(ROUNDS)),
+        key=lambda pair: pair[0],
+    )
+    return best, kept
+
+
+def test_obs_event_bus_throughput(benchmark, report):
+    n = 200_000
+    bus = EventBus()
+    bus.subscribe(maxlen=1024)
+    events = [
+        EpochStart(time=float(i), session="main", index=i, params=(2, 8))
+        for i in range(n)
+    ]
+
+    def _emit_all():
+        for ev in events:
+            bus.emit(ev)
+        return n
+
+    benchmark.pedantic(_emit_all, rounds=3, iterations=1)
+    rate = n / benchmark.stats.stats.min
+    report(
+        "event bus fan-out (1 bounded subscriber)\n"
+        f"events/sec (best of 3): {rate:,.0f}\n"
+        f"per-event cost: {1e9 / rate:,.0f} ns"
+    )
+    assert rate > 100_000  # anything slower would show up per epoch
+
+
+def test_obs_span_cost(benchmark, report):
+    n = 100_000
+    spans = SpanRecorder(MetricsRegistry())
+
+    def _record_all():
+        for _ in range(n):
+            with spans.span("epoch"):
+                pass
+        return n
+
+    benchmark.pedantic(_record_all, rounds=3, iterations=1)
+    per_span_ns = 1e9 * benchmark.stats.stats.min / n
+    report(
+        "span recording cost (context-manager form, empty body)\n"
+        f"per-span: {per_span_ns:,.0f} ns\n"
+        f"per 1000-epoch run at 3 spans/epoch: "
+        f"{3 * EPOCHS * per_span_ns / 1e6:.1f} ms"
+    )
+    assert per_span_ns < 100_000  # 0.1 ms/span would be pathological
+
+
+def test_obs_overhead_gate(benchmark, report):
+    def _sweep():
+        results = {}
+        for tuner in TUNERS:
+            for mode in ("off", "noop", "full"):
+                results[tuner, mode] = _best_of(tuner, mode)
+        return results
+
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    rows = []
+    for tuner in TUNERS:
+        off, _ = results[tuner, "off"]
+        noop, _ = results[tuner, "noop"]
+        full, inst = results[tuner, "full"]
+        rows.append([
+            tuner, f"{off * 1e3:.0f}", f"{noop * 1e3:.0f}",
+            f"{100 * (noop / off - 1):+.1f}%",
+            f"{full * 1e3:.0f}", f"{100 * (full / off - 1):+.1f}%",
+            f"{inst.bus.total_emitted}",
+        ])
+    off_total = sum(results[t, "off"][0] for t in TUNERS)
+    noop_total = sum(results[t, "noop"][0] for t in TUNERS)
+    overhead = noop_total / off_total - 1
+
+    full_inst = results["nm", "full"][1]
+    span_hist = full_inst.metrics.collect()["repro_span_seconds"]
+    transfer = next(
+        h for k, h in span_hist.items() if dict(k)["phase"] == "epoch/transfer"
+    )
+    report(
+        render_table(
+            ["tuner", "off ms", "noop ms", "noop Δ", "full ms", "full Δ",
+             "events"],
+            rows,
+            title=f"observability overhead, {EPOCHS}-epoch runs "
+                  f"(best of {ROUNDS})",
+        )
+        + f"\n\naggregate no-op-bus overhead: {100 * overhead:+.2f}% "
+        f"(gate: < {100 * GATE:.0f}%)\n"
+        f"epoch/transfer span (nm, full): mean "
+        f"{transfer.mean * 1e6:.1f} us over {transfer.count} epochs"
+    )
+    assert overhead < GATE, (
+        f"no-op bus costs {100 * overhead:.2f}% end to end "
+        f"(gate {100 * GATE:.0f}%)"
+    )

@@ -49,6 +49,7 @@ import os
 import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Callable
 
 from repro.sim.trace import EpochRecord, StepRecord
 from repro.sim.traceio import (
@@ -81,6 +82,9 @@ class JournalWriter:
         self.path = Path(path)
         _drop_torn_tail(self.path)
         self._f = open(self.path, "a", encoding="utf-8")
+        #: Optional ``(kind)`` callback fired after each durable append —
+        #: telemetry only (set by the observability wiring, never here).
+        self.on_record: "Callable[[str], None] | None" = None
 
     # -- low-level -------------------------------------------------------
 
@@ -92,6 +96,8 @@ class JournalWriter:
         self._f.write(line)
         self._f.flush()
         os.fsync(self._f.fileno())
+        if self.on_record is not None:
+            self.on_record(record["kind"])
 
     # -- record helpers --------------------------------------------------
 

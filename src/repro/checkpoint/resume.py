@@ -20,6 +20,7 @@ High-level glue over :mod:`repro.checkpoint.journal` and
 from __future__ import annotations
 
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.checkpoint.journal import (
     Journal,
@@ -35,6 +36,9 @@ from repro.experiments.scenarios import SCENARIOS
 from repro.faults import CircuitBreaker, FaultSchedule, RetryPolicy
 from repro.sim.engine import Engine, EngineConfig
 from repro.sim.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.instrument import Instrumentation
 
 
 def warm_start_x0(
@@ -238,7 +242,11 @@ def _run_config(
     }
 
 
-def _build_engine(config: dict, journal: JournalWriter | None) -> Engine:
+def _build_engine(
+    config: dict,
+    journal: JournalWriter | None,
+    obs: "Instrumentation | None" = None,
+) -> Engine:
     try:
         scenario = SCENARIOS[config["scenario"]]
     except KeyError:
@@ -284,6 +292,7 @@ def _build_engine(config: dict, journal: JournalWriter | None) -> Engine:
         schedule=LoadSchedule.constant(ExternalLoad.parse(config["load"])),
         config=EngineConfig(seed=int(config["seed"])),
         journal=journal,
+        obs=obs,
     )
 
 
@@ -304,6 +313,7 @@ def run_journaled(
     retry_policy: RetryPolicy | None = None,
     breaker: CircuitBreaker | None = None,
     warm_start_from: str | Path | None = None,
+    obs: "Instrumentation | None" = None,
 ) -> Trace:
     """One crash-safe tuned transfer: journal header + epochs + snapshots.
 
@@ -330,11 +340,14 @@ def run_journaled(
     )
     with JournalWriter(journal_path) as writer:
         writer.write_header({"run": config})
-        engine = _build_engine(config, writer)
+        engine = _build_engine(config, writer, obs=obs)
         return engine.run()["main"]
 
 
-def resume_run(journal_path: str | Path) -> Trace:
+def resume_run(
+    journal_path: str | Path,
+    obs: "Instrumentation | None" = None,
+) -> Trace:
     """Continue a killed :func:`run_journaled` from its last complete
     epoch; the returned trace is bit-identical to the uninterrupted run.
 
@@ -354,6 +367,6 @@ def resume_run(journal_path: str | Path) -> Trace:
     # stream stays free of superseded duplicates.
     trim_to_last_snapshot(journal_path)
     with JournalWriter(journal_path) as writer:
-        engine = _build_engine(journal.header["run"], writer)
+        engine = _build_engine(journal.header["run"], writer, obs=obs)
         resume_engine(engine, journal)
         return engine.run()["main"]

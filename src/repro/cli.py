@@ -9,7 +9,10 @@ The subcommands mirror how the library is used:
 * ``oracle`` — the best static setting by offline sweep;
 * ``figure`` — regenerate one of the paper's figures as text;
 * ``campaign`` — the whole evaluation; ``--journal`` resumes at the
-  granularity of completed figures.
+  granularity of completed figures;
+* ``info``   — registered tuners, scenarios, and load profiles;
+* ``top``    — ANSI dashboard over a journal or saved trace
+  (``--follow`` re-renders live while a journaled run progresses).
 
 Invoke as ``python -m repro ...`` or via the ``repro-transfer`` script.
 """
@@ -62,6 +65,34 @@ def _scenario(name: str) -> Scenario:
 # -- subcommands -------------------------------------------------------------
 
 
+def _make_obs(args: argparse.Namespace):
+    """Build the observability bundle for ``--events``/``--metrics-out``.
+
+    Returns ``(obs, event_log)`` — both ``None`` when neither flag is
+    set, so uninstrumented runs stay on the zero-overhead path.
+    """
+    if not (args.events or args.metrics_out):
+        return None, None
+    from repro.obs import Instrumentation, JsonlEventLog
+
+    obs = Instrumentation.on()
+    log = None
+    if args.events:
+        log = JsonlEventLog(args.events).attach_to(obs.bus)
+    return obs, log
+
+
+def _finish_obs(args: argparse.Namespace, obs, log) -> None:
+    if log is not None:
+        log.close()
+        print(f"events written  : {args.events} ({log.written} events)")
+    if obs is not None and args.metrics_out:
+        from repro.obs import write_prometheus
+
+        write_prometheus(obs.metrics, args.metrics_out)
+        print(f"metrics written : {args.metrics_out}")
+
+
 def _print_summary(
     trace: Trace, *, scenario: str, load: str, tuner: str,
     tune_np: bool, chart: bool,
@@ -103,6 +134,7 @@ def _save_trace(trace: Trace, path: str) -> None:
 def cmd_run(args: argparse.Namespace) -> int:
     scenario = _scenario(args.scenario)
     tuner = make_tuner(args.tuner, args.seed)
+    obs, event_log = _make_obs(args)
     if args.journal is not None:
         from repro.checkpoint import run_journaled
 
@@ -118,6 +150,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                 tune_np=args.tune_np,
                 fixed_np=args.np,
                 warm_start_from=args.warm_start,
+                obs=obs,
             )
         except FileExistsError as exc:
             raise SystemExit(str(exc)) from None
@@ -133,11 +166,13 @@ def cmd_run(args: argparse.Namespace) -> int:
             tune_np=args.tune_np,
             fixed_np=args.np,
             seed=args.seed,
+            obs=obs,
         )
     _print_summary(trace, scenario=scenario.name, load=args.load,
                    tuner=tuner.name, tune_np=args.tune_np, chart=args.chart)
     if args.trace_out:
         _save_trace(trace, args.trace_out)
+    _finish_obs(args, obs, event_log)
     return 0
 
 
@@ -158,7 +193,20 @@ def cmd_resume(args: argparse.Namespace) -> int:
     else:
         print(f"resuming {args.journal} from epoch "
               f"{len(journal.snapshot_epochs)}")
-    trace = resume_run(args.journal)
+    obs, event_log = _make_obs(args)
+    if event_log is not None:
+        # Resume replays the snapshot-covered prefix instead of
+        # re-running it, so reconstruct those epochs' events from the
+        # journal; the engine emits the re-run remainder live.  The
+        # combined stream matches an uninterrupted run's exactly.
+        from repro.obs import events_from_records
+
+        for session in journal.sessions():
+            recs = [je.record
+                    for je in journal.snapshot_epochs_for(session)]
+            for ev in events_from_records(session, recs):
+                event_log(ev)
+    trace = resume_run(args.journal, obs=obs)
     _print_summary(
         trace, scenario=config["scenario"], load=config["load"],
         tuner=config["tuner"], tune_np=bool(config["tune_np"]),
@@ -166,6 +214,40 @@ def cmd_resume(args: argparse.Namespace) -> int:
     )
     if args.trace_out:
         _save_trace(trace, args.trace_out)
+    _finish_obs(args, obs, event_log)
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    print(render_table(["tuner", "description"], registry.tuner_info(),
+                       title="registered tuners"))
+    print()
+    print(render_table(["scenario", "description"],
+                       registry.scenario_info(),
+                       title="registered scenarios"))
+    print()
+    print(render_table(["load", "description"],
+                       registry.load_profile_info(),
+                       title="standard load profiles (any cmpN/tfrN "
+                             "combination is accepted)"))
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs import follow, render_path
+
+    try:
+        if args.follow:
+            follow(args.path, interval_s=args.interval, width=args.width,
+                   max_frames=args.frames)
+        else:
+            print(render_path(args.path, width=args.width))
+    except FileNotFoundError:
+        raise SystemExit(f"no journal or trace at {args.path}") from None
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
     return 0
 
 
@@ -349,6 +431,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "in an earlier journal (needs --journal)")
     p_run.add_argument("--trace-out", default=None, metavar="PATH",
                        help="save the trace as JSON (atomic write)")
+    p_run.add_argument("--events", default=None, metavar="PATH",
+                       help="append the structured event stream "
+                            "(epochs, tuner decisions, faults) as JSONL")
+    p_run.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write final metrics as a Prometheus "
+                            "text-format snapshot")
     p_run.set_defaults(func=cmd_run)
 
     p_res = sub.add_parser(
@@ -359,6 +447,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="plot the throughput trace as ASCII art")
     p_res.add_argument("--trace-out", default=None, metavar="PATH",
                        help="save the trace as JSON (atomic write)")
+    p_res.add_argument("--events", default=None, metavar="PATH",
+                       help="append the resumed run's event stream as JSONL")
+    p_res.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write final metrics as a Prometheus "
+                            "text-format snapshot")
     p_res.set_defaults(func=cmd_resume)
 
     p_sweep = sub.add_parser("sweep", help="static throughput vs nc")
@@ -388,6 +481,25 @@ def build_parser() -> argparse.ArgumentParser:
                         help="crash-safe campaign journal; rerunning with "
                              "the same path skips completed figures")
     p_camp.set_defaults(func=cmd_campaign)
+
+    p_info = sub.add_parser(
+        "info", help="list registered tuners, scenarios, and load profiles"
+    )
+    p_info.set_defaults(func=cmd_info)
+
+    p_top = sub.add_parser(
+        "top", help="ANSI dashboard over a journal or saved trace"
+    )
+    p_top.add_argument("path", help="journal (run --journal) or trace JSON")
+    p_top.add_argument("--follow", action="store_true",
+                       help="re-render until the run ends (live view)")
+    p_top.add_argument("--interval", type=float, default=2.0,
+                       help="refresh period in seconds with --follow")
+    p_top.add_argument("--width", type=int, default=72,
+                       help="dashboard width in characters")
+    p_top.add_argument("--frames", type=int, default=None,
+                       help="stop --follow after this many frames")
+    p_top.set_defaults(func=cmd_top)
 
     return parser
 

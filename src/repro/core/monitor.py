@@ -18,6 +18,10 @@ All monitors share the protocol: ``update(value) -> bool`` (True = change
 detected; the caller re-searches) and ``reset(value)`` after a search
 settles on a new level.
 
+:class:`NotifyingMonitor` wraps any of them with a trip callback so an
+observability layer can count and timestamp re-search triggers without
+the detectors knowing about telemetry.
+
 :class:`FaultFilterMonitor` wraps any of them for fault-aware tuning: a
 faulted epoch's throughput (zero, or whatever a dying tool managed) is a
 *measurement outage*, not a level shift — feeding it to a change
@@ -29,6 +33,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.core.history import delta_pct
 
@@ -177,6 +182,32 @@ class CusumMonitor(ChangeMonitor):
 
     def clone(self) -> "CusumMonitor":
         return CusumMonitor(k_pct=self.k_pct, h_pct=self.h_pct)
+
+
+@dataclass
+class NotifyingMonitor(ChangeMonitor):
+    """Invoke a callback whenever the wrapped detector fires.
+
+    The callback receives the observation that tripped the detector.
+    Detection behavior is unchanged; the wrapper only adds the side
+    channel (used by :func:`repro.obs.instrument.instrument_monitor`).
+    """
+
+    inner: ChangeMonitor
+    on_trip: Callable[[float], None] | None = None
+
+    def update(self, value: float) -> bool:
+        fired = self.inner.update(value)
+        if fired and self.on_trip is not None:
+            self.on_trip(value)
+        return fired
+
+    def reset(self, value: float) -> None:
+        self.inner.reset(value)
+
+    def clone(self) -> "NotifyingMonitor":
+        return NotifyingMonitor(inner=self.inner.clone(),
+                                on_trip=self.on_trip)
 
 
 @dataclass

@@ -40,9 +40,68 @@ TUNER_FACTORIES: dict[str, Callable[[int], Tuner]] = {
 }
 
 
+#: Docs for names whose class docstring is ambiguous (two short names
+#: sharing one class) or too paper-internal for a CLI listing.
+_TUNER_DOC_OVERRIDES: dict[str, str] = {
+    "default": "Fixed globus-url-copy defaults (nc=2, np=8); never tunes.",
+    "aimd": "Additive-increase / multiplicative-decrease stream tuner.",
+    "mimd": "Multiplicative-increase / multiplicative-decrease variant "
+            "of aimd.",
+}
+
+
 def tuner_names() -> list[str]:
     """All registered short names, sorted."""
     return sorted(TUNER_FACTORIES)
+
+
+def tuner_info() -> list[tuple[str, str]]:
+    """``(name, one-line doc)`` per registered tuner, sorted by name.
+
+    The doc is the tuner class docstring's first line unless a name
+    needs an override (e.g. ``aimd``/``mimd`` share one class).
+    """
+    rows = []
+    for name in tuner_names():
+        doc = _TUNER_DOC_OVERRIDES.get(name)
+        if doc is None:
+            cls_doc = type(TUNER_FACTORIES[name](0)).__doc__ or ""
+            doc = cls_doc.strip().splitlines()[0] if cls_doc.strip() else ""
+        rows.append((name, doc))
+    return rows
+
+
+#: The paper's external-load settings (§IV): dgemm copies (``cmpN``)
+#: and competing-transfer streams (``tfrN``) at the source endpoint,
+#: in the spec notation :meth:`repro.endpoint.load.ExternalLoad.parse`
+#: accepts.  Any ``cmpN``/``tfrN`` combination is valid; these are the
+#: levels the experiments use.
+LOAD_PROFILES: dict[str, str] = {
+    "none": "Unloaded source endpoint (the paper's baseline).",
+    "cmp16": "16 dgemm copies saturating the source CPUs.",
+    "cmp32": "32 dgemm copies (2x oversubscribed CPUs).",
+    "cmp64": "64 dgemm copies (4x oversubscribed CPUs).",
+    "tfr16": "Competing external transfer with 16 TCP streams.",
+    "tfr32": "Competing external transfer with 32 TCP streams.",
+    "tfr64": "Competing external transfer with 64 TCP streams.",
+    "cmp16+tfr64": "Combined CPU and network contention (Fig. 7).",
+}
+
+
+def load_profile_info() -> list[tuple[str, str]]:
+    """``(spec, one-line doc)`` per standard load profile."""
+    return list(LOAD_PROFILES.items())
+
+
+def scenario_info() -> list[tuple[str, str]]:
+    """``(name, one-line doc)`` per registered scenario.
+
+    Imported lazily: the scenario table lives in
+    :mod:`repro.experiments.scenarios`, a layer above :mod:`repro.core`.
+    """
+    from repro.experiments.scenarios import SCENARIOS
+
+    return [(name, s.doc) for name, s in sorted(SCENARIOS.items())]
 
 
 def make_tuner(name: str, seed: int = 0) -> Tuner:

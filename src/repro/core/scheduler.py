@@ -70,5 +70,10 @@ class WeightedJointController(JointController):
             self.priorities[n] * f for n, f in self._pending.items()
         ) / self._weight_sum
         self._pending.clear()
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "repro_joint_objective_mbps",
+                sessions="+".join(self.session_names),
+            ).set(weighted)
         parts = self.joint.split(self.driver.observe(weighted))
         return dict(zip(self.session_names, parts))

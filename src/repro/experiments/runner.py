@@ -24,6 +24,7 @@ from repro.experiments.scenarios import Scenario, default_start
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.checkpoint.journal import JournalWriter
+    from repro.obs.instrument import Instrumentation
 
 #: Paper control epoch: 30 s.
 EPOCH_S = 30.0
@@ -107,6 +108,7 @@ def run_single(
     retry_policy: RetryPolicy | None = None,
     breaker: CircuitBreaker | None = None,
     journal: "JournalWriter | None" = None,
+    obs: "Instrumentation | None" = None,
 ) -> Trace:
     """One transfer on the scenario's main path; returns its trace.
 
@@ -114,7 +116,8 @@ def run_single(
     campaign and its recovery machinery (:mod:`repro.faults`);
     ``journal`` makes the run crash-safe (the caller owns the writer —
     use :func:`repro.checkpoint.run_journaled` for the turnkey header +
-    resume flow)."""
+    resume flow); ``obs`` attaches the observability bundle
+    (:mod:`repro.obs`)."""
     session = make_session(
         "main",
         scenario.main_path,
@@ -136,6 +139,7 @@ def run_single(
         schedule=_schedule(load),
         config=EngineConfig(seed=seed),
         journal=journal,
+        obs=obs,
     )
     return engine.run()["main"]
 

@@ -69,6 +69,8 @@ class Scenario:
     host: HostSpec
     main_path: str
     paths: tuple[Path, ...] = field(default=(PATH_ANL_UC, PATH_ANL_TACC))
+    #: One-line description for ``repro info`` listings.
+    doc: str = ""
 
     def __post_init__(self) -> None:
         if self.main_path not in {p.name for p in self.paths}:
@@ -94,8 +96,15 @@ class Scenario:
         return replace(self, host=host)
 
 
-ANL_UC = Scenario(name="anl-uc", host=NEHALEM, main_path="anl-uc")
-ANL_TACC = Scenario(name="anl-tacc", host=NEHALEM, main_path="anl-tacc")
+ANL_UC = Scenario(
+    name="anl-uc", host=NEHALEM, main_path="anl-uc",
+    doc="ANL -> UChicago: 40 Gb/s metro path, lossy when oversubscribed.",
+)
+ANL_TACC = Scenario(
+    name="anl-tacc", host=NEHALEM, main_path="anl-tacc",
+    doc="ANL -> TACC: clean 20 Gb/s ESnet path, RTT 33 ms, "
+        "buffer-limited streams.",
+)
 
 #: Named scenarios — shared by the CLI and checkpoint/resume (a journal
 #: header records the scenario by name, so the registry must be stable).

@@ -24,6 +24,7 @@ campaign replays its breaker transitions exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.faults.retry import SAFE_DEFAULT_NC, SAFE_DEFAULT_NP
 
@@ -58,6 +59,11 @@ class CircuitBreaker:
     consecutive_failures: int = field(default=0, init=False)
     opens: int = field(default=0, init=False)  #: times the breaker tripped
     _cooldown_left: int = field(default=0, init=False, repr=False)
+    #: Optional ``(old, new)`` callback fired on every state change —
+    #: telemetry only, never part of snapshots or config round-trips.
+    on_transition: Callable[[str, str], None] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.failure_threshold < 1:
@@ -83,6 +89,7 @@ class CircuitBreaker:
     def record_epoch(self, faulted: bool) -> str:
         """Feed one finished epoch's outcome; returns the state that will
         govern the *next* epoch."""
+        old = self.state
         if self.state == CLOSED:
             if faulted:
                 self.consecutive_failures += 1
@@ -102,6 +109,8 @@ class CircuitBreaker:
             else:
                 self.state = CLOSED
                 self.consecutive_failures = 0
+        if self.state != old and self.on_transition is not None:
+            self.on_transition(old, self.state)
         return self.state
 
     def _trip(self) -> None:

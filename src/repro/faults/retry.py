@@ -17,6 +17,7 @@ midpoint).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -122,6 +123,11 @@ class RetryState:
     consecutive_failures: int = 0
     total_retries: int = 0
     _epoch_attempts: int = field(default=0, repr=False)
+    #: Optional ``(total_retries, backoff_s)`` callback fired when a
+    #: retry is charged — telemetry only, excluded from snapshots.
+    on_retry: Callable[[int, float], None] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def can_retry(self) -> bool:
         """True while both the per-epoch and session budgets allow another
@@ -149,6 +155,8 @@ class RetryState:
         self._epoch_attempts += 1
         self.consecutive_failures += 1
         self.total_retries += 1
+        if self.on_retry is not None:
+            self.on_retry(self.total_retries, delay)
         return delay
 
     def record_success(self) -> None:

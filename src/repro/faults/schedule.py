@@ -97,6 +97,14 @@ class FaultSchedule:
                 hit.update(range(e.epoch, e.last_epoch + 1))
         return tuple(sorted(hit))
 
+    def counts_by_kind(self) -> dict[str, int]:
+        """Scheduled event count per fault kind (sorted by kind) — what
+        ``repro info`` and the telemetry layer summarize a campaign by."""
+        counts: dict[str, int] = {}
+        for e in self.events:
+            counts[e.kind] = counts.get(e.kind, 0) + 1
+        return dict(sorted(counts.items()))
+
     # -- serialization ---------------------------------------------------
 
     def to_list(self) -> list[dict]:

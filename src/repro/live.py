@@ -60,10 +60,22 @@ from repro.faults.events import (
 )
 from repro.faults.retry import RetryPolicy, RetryState
 from repro.faults.schedule import FaultSchedule
+from repro.obs.clock import Clock, WallClock
+from repro.obs.events import (
+    BreakerTransition,
+    EpochStart,
+    RetryAttempt,
+    SnapshotWritten,
+    TunerAccept,
+    TunerProposal,
+    TunerReject,
+)
+from repro.obs.instrument import publish_epoch_record
 from repro.sim.trace import EpochRecord
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.checkpoint.journal import JournalWriter
+    from repro.obs.instrument import Instrumentation
 
 #: Epoch runner contract: (nc, np, duration_s) -> bytes moved.
 EpochRunner = Callable[[int, int, float], float]
@@ -218,9 +230,11 @@ def tune_live(
     breaker: CircuitBreaker | None = None,
     rng: np.random.Generator | None = None,
     sleep: Callable[[float], None] = time.sleep,
+    clock: Clock | None = None,
     journal: "JournalWriter | None" = None,
     journal_session: str = "live",
     resume: LiveResumeState | None = None,
+    obs: "Instrumentation | None" = None,
 ) -> LiveResult:
     """The paper's control loop around a real epoch runner.
 
@@ -240,13 +254,31 @@ def tune_live(
     from ``run_epoch`` records a faulted epoch (``EpochFault`` carries
     its kind and partial bytes) instead of crashing the loop.
 
-    ``retry_policy`` charges exponential backoff (served through
-    ``sleep``, counted into the elapsed wall-clock) after each faulted
+    ``retry_policy`` charges exponential backoff (served through the
+    clock, counted into the elapsed wall-clock) after each faulted
     epoch while budgets allow; a session abort with no budget left sets
     ``LiveResult.failed`` and ends the run.  ``breaker`` pins the run at
     the safe default after repeated faulted epochs, exactly as in the
     simulator.  ``rng`` jitters the backoff (``None`` = deterministic
-    midpoint).  ``sleep`` is injectable so tests run instantly.
+    midpoint).
+
+    Timing
+    ------
+    Every wait the loop serves goes through one injectable ``clock``
+    (:class:`repro.obs.clock.Clock`): pass a
+    :class:`~repro.obs.clock.FakeClock` and the loop runs instantly with
+    exact time accounting.  ``sleep`` is the legacy spelling — when
+    ``clock`` is omitted it becomes the sleep side of a
+    :class:`~repro.obs.clock.WallClock`; when both are given, ``clock``
+    wins.
+
+    Observability
+    -------------
+    ``obs`` publishes the same typed event stream as the simulator
+    (epoch starts/ends, tuner decisions, faults, retries, breaker
+    transitions, snapshots), timed by the loop's deterministic elapsed
+    ledger — so two runs of the same campaign emit identical streams
+    even though real throughput varies.
 
     Crash safety
     ------------
@@ -267,6 +299,14 @@ def tune_live(
         )
     if total_bytes is not None and total_bytes <= 0:
         raise ValueError("total_bytes must be positive")
+    if clock is None:
+        clock = WallClock(sleep_fn=sleep)
+    if obs is not None and not obs.active:
+        # An inert bundle (NullBus, no metrics/spans) is dropped so the
+        # loop never constructs event objects — Instrumentation.noop()
+        # must cost nothing.
+        obs = None
+    spans = obs.spans if obs is not None else None
 
     result = LiveResult()
     remaining = total_bytes
@@ -302,6 +342,46 @@ def tune_live(
                 "failed": result.failed,
             },
         })
+        if obs is not None:
+            obs.bus.emit(SnapshotWritten(
+                time=elapsed, session=journal_session, epochs=index,
+            ))
+
+    # Event context (end time / index of the epoch being dispatched) for
+    # hooks fired from inside the fault machinery.
+    _ev = [0.0, 0]
+    if obs is not None:
+        _bus, _metrics = obs.bus, obs.metrics
+        if breaker is not None:
+            def _on_transition(old: str, new: str) -> None:
+                _bus.emit(BreakerTransition(
+                    time=_ev[0], session=journal_session, index=_ev[1],
+                    old=old, new=new,
+                ))
+                if _metrics is not None:
+                    _metrics.counter(
+                        "repro_breaker_transitions_total",
+                        session=journal_session, to=new,
+                    ).inc()
+            breaker.on_transition = _on_transition
+        if retry_state is not None:
+            def _on_retry(attempt: int, backoff_s: float) -> None:
+                _bus.emit(RetryAttempt(
+                    time=_ev[0], session=journal_session, index=_ev[1],
+                    attempt=attempt, backoff_s=backoff_s,
+                ))
+                if _metrics is not None:
+                    _metrics.counter(
+                        "repro_retries_total", session=journal_session
+                    ).inc()
+            retry_state.on_retry = _on_retry
+        if journal is not None and _metrics is not None:
+            def _on_record(kind: str) -> None:
+                _metrics.counter(
+                    "repro_journal_records_total", record_kind=kind
+                ).inc()
+            journal.on_record = _on_record
+
     while True:
         if max_epochs is not None and index >= max_epochs:
             break
@@ -311,6 +391,13 @@ def tune_live(
             break
         nc = params[nc_dim]
         np_ = params[np_dim] if np_dim is not None else fixed_np
+        if obs is not None:
+            _ev[0] = elapsed + epoch_s
+            _ev[1] = index
+            obs.bus.emit(EpochStart(
+                time=elapsed, session=journal_session, index=index,
+                params=tuple(params),
+            ))
 
         scheduled = None
         hard = None
@@ -322,16 +409,18 @@ def tune_live(
                 scheduled = OBS_LOSS
 
         moved, fault = 0.0, scheduled
+        if spans is not None:
+            _t0 = spans.now()
         try:
             if scheduled in (BLACKOUT, SESSION_ABORT):
                 # Tool dead or session gone: nothing to launch, the
                 # epoch's wall-clock still passes.
-                sleep(epoch_s)
+                clock.sleep(epoch_s)
             elif scheduled == STREAM_CRASH:
                 frac = hard.at_fraction
                 if frac > 0:
                     moved = float(run_epoch(nc, np_, epoch_s * frac))
-                sleep(epoch_s * (1.0 - frac))
+                clock.sleep(epoch_s * (1.0 - frac))
             else:
                 moved = float(run_epoch(nc, np_, epoch_s))
                 if fault_schedule is not None:
@@ -344,6 +433,8 @@ def tune_live(
             # A dying tool must not kill the control loop: record the
             # epoch as faulted and continue per the retry policy.
             moved, fault = 0.0, "epoch-fault"
+        if spans is not None:
+            spans.record("epoch/transfer", max(0.0, spans.now() - _t0))
         if moved < 0:
             raise ValueError("epoch runner reported negative bytes")
         if remaining is not None:
@@ -366,8 +457,11 @@ def tune_live(
             tuned=fault is None and breaker_state != OPEN,
         )
         result.epochs.append(epoch)
+        rec = epoch.to_record(elapsed)
         if journal is not None:
-            journal.write_epoch(journal_session, epoch.to_record(elapsed))
+            journal.write_epoch(journal_session, rec)
+        if obs is not None:
+            publish_epoch_record(obs, journal_session, rec)
         if on_epoch is not None:
             on_epoch(epoch)
 
@@ -382,6 +476,11 @@ def tune_live(
         if (fault == SESSION_ABORT and retry_state is not None
                 and not retry_state.can_retry()):
             result.failed = True
+            if obs is not None:
+                obs.bus.emit(TunerReject(
+                    time=_ev[0], session=journal_session, index=index,
+                    params=tuple(params), reason="budget-exhausted",
+                ))
             elapsed += epoch_s
             index += 1
             if journal is not None:
@@ -390,23 +489,60 @@ def tune_live(
 
         if breaker is not None and breaker.state == OPEN:
             params = _fallback_params(space, params, breaker, nc_dim, np_dim)
+            if obs is not None:
+                obs.bus.emit(TunerReject(
+                    time=_ev[0], session=journal_session, index=index,
+                    params=tuple(params), reason="breaker-open",
+                ))
         elif breaker is not None and prev_state == OPEN:
             params = driver.current  # probe with the standing proposal
+            if obs is not None:
+                obs.bus.emit(TunerProposal(
+                    time=_ev[0], session=journal_session, index=index,
+                    params=tuple(params), observed=None,
+                ))
+                obs.bus.emit(TunerAccept(
+                    time=_ev[0], session=journal_session, index=index,
+                    params=tuple(params),
+                ))
         elif faulted:
             if retry_state is not None and retry_state.can_retry():
                 backoff = retry_state.record_failure(rng=rng)
                 if backoff > 0:
-                    sleep(backoff)
+                    clock.sleep(backoff)
                     elapsed += backoff
             # relaunch with the same parameters
+            if obs is not None:
+                obs.bus.emit(TunerReject(
+                    time=_ev[0], session=journal_session, index=index,
+                    params=tuple(params), reason="faulted",
+                ))
         elif fault == OBS_LOSS:
             if retry_state is not None:
                 retry_state.record_success()
             # hold parameters; the tuner observes nothing
+            if obs is not None:
+                obs.bus.emit(TunerReject(
+                    time=_ev[0], session=journal_session, index=index,
+                    params=tuple(params), reason="obs-loss",
+                ))
         else:
             if retry_state is not None:
                 retry_state.record_success()
+            if spans is not None:
+                _tp = spans.now()
             params = driver.observe(epoch.throughput_mbps)
+            if spans is not None:
+                spans.record("epoch/propose", max(0.0, spans.now() - _tp))
+            if obs is not None:
+                obs.bus.emit(TunerProposal(
+                    time=_ev[0], session=journal_session, index=index,
+                    params=tuple(params), observed=epoch.throughput_mbps,
+                ))
+                obs.bus.emit(TunerAccept(
+                    time=_ev[0], session=journal_session, index=index,
+                    params=tuple(params),
+                ))
 
         elapsed += epoch_s
         index += 1
@@ -458,6 +594,10 @@ class SubprocessEpochRunner:
         right after each copy starts.
     sleep:
         Injectable delay function used for launch backoff.
+    clock:
+        The single time source for epoch deadlines and poll waits
+        (defaults to a real :class:`~repro.obs.clock.WallClock`); the
+        runner never reads ``time.monotonic``/``time.sleep`` directly.
 
     Every child is reaped before :meth:`__call__` returns, whatever
     failed mid-epoch — no orphans survive the epoch.
@@ -470,6 +610,7 @@ class SubprocessEpochRunner:
     launch_backoff_s: float = 0.5
     on_launch: Callable[[int, subprocess.Popen], None] | None = None
     sleep: Callable[[float], None] = time.sleep
+    clock: Clock = field(default_factory=WallClock)
 
     def __post_init__(self) -> None:
         if not self.command_template:
@@ -524,13 +665,20 @@ class SubprocessEpochRunner:
             except OSError as exc:
                 launch_error = exc
             if launch_error is None:
-                deadline = time.monotonic() + duration_s
-                while time.monotonic() < deadline:
-                    if all(p.poll() is not None for p in procs):
-                        break  # everyone finished early
-                    time.sleep(
-                        min(0.05, max(0.0, deadline - time.monotonic()))
-                    )
+                deadline = self.clock.now() + duration_s
+            else:
+                # A launch failure ends the epoch early, but copies that
+                # did start get a short grace window to flush whatever
+                # partial output they produced before teardown.
+                deadline = self.clock.now() + min(
+                    duration_s, self.terminate_grace_s
+                )
+            while self.clock.now() < deadline:
+                if all(p.poll() is not None for p in procs):
+                    break  # everyone finished early
+                self.clock.sleep(
+                    min(0.05, max(0.0, deadline - self.clock.now()))
+                )
             for p in procs:
                 if p.poll() is None:
                     p.send_signal(signal.SIGTERM)

@@ -1,0 +1,83 @@
+"""Observability subsystem: event bus, metrics, spans, exporters, top.
+
+Everything here is optional and off-by-default-cheap: the control loops
+accept one :class:`Instrumentation` bundle (default ``None``), and even
+a fully wired loop publishing into the :data:`NULL_BUS` costs almost
+nothing.  Event streams are deterministic under the sim clock — see
+:mod:`repro.obs.events` for the contract.
+"""
+
+from repro.obs.bus import NULL_BUS, EventBus, NullBus, RingSubscriber
+from repro.obs.clock import Clock, FakeClock, WallClock
+from repro.obs.events import (
+    EVENT_TYPES,
+    BreakerTransition,
+    EpochEnd,
+    EpochStart,
+    Event,
+    FaultInjected,
+    MonitorTrip,
+    RetryAttempt,
+    SnapshotWritten,
+    TunerAccept,
+    TunerProposal,
+    TunerReject,
+    event_from_dict,
+    events_from_records,
+)
+from repro.obs.exporters import (
+    JsonlEventLog,
+    read_event_log,
+    write_prometheus,
+)
+from repro.obs.instrument import Instrumentation, instrument_monitor
+from repro.obs.metrics import (
+    LATENCY_BUCKETS_S,
+    THROUGHPUT_BUCKETS_MBPS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.spans import SPAN_METRIC, SpanRecorder
+
+#: Dashboard symbols, loaded lazily (PEP 562): ``repro.obs.top`` pulls in
+#: the checkpoint layer, which imports the engine — which imports
+#: ``repro.obs.events``.  Deferring the dashboard breaks that cycle
+#: without pushing lazy imports into the engine's hot path.
+_TOP_EXPORTS = (
+    "TopView", "sparkline", "render", "render_path", "load_view",
+    "view_from_journal", "view_from_trace", "follow",
+)
+
+
+def __getattr__(name: str):
+    if name in _TOP_EXPORTS:
+        from repro.obs import top
+
+        return getattr(top, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    # bus
+    "EventBus", "NullBus", "NULL_BUS", "RingSubscriber",
+    # clock
+    "Clock", "WallClock", "FakeClock",
+    # events
+    "Event", "EpochStart", "EpochEnd", "TunerProposal", "TunerAccept",
+    "TunerReject", "FaultInjected", "RetryAttempt", "BreakerTransition",
+    "SnapshotWritten", "MonitorTrip", "EVENT_TYPES", "event_from_dict",
+    "events_from_records",
+    # exporters
+    "JsonlEventLog", "read_event_log", "write_prometheus",
+    # instrumentation bundle
+    "Instrumentation", "instrument_monitor",
+    # metrics
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "LATENCY_BUCKETS_S", "THROUGHPUT_BUCKETS_MBPS",
+    # spans
+    "SpanRecorder", "SPAN_METRIC",
+    # top
+    "TopView", "sparkline", "render", "render_path", "load_view",
+    "view_from_journal", "view_from_trace", "follow",
+]

@@ -1,0 +1,141 @@
+"""Zero-dependency structured event bus with bounded subscribers.
+
+The bus decouples the control loop (the producer) from telemetry
+consumers: each subscriber owns a bounded ring buffer, so a slow or
+stuck consumer can never stall an epoch — the bus drops that
+subscriber's *oldest* events instead and counts the loss.
+
+Two consumption styles:
+
+* :meth:`EventBus.subscribe` — a :class:`RingSubscriber` the consumer
+  drains at its leisure (the dashboard, tests).  Overflow is explicit:
+  ``dropped`` counts events the ring evicted unread.
+* :meth:`EventBus.attach` — a synchronous sink called inline on every
+  emit (the JSONL exporter).  Sinks must be fast and must not raise; a
+  raising sink is detached after its first exception and counted in
+  :attr:`EventBus.sink_errors`, so one broken exporter cannot poison
+  the run.
+
+:data:`NULL_BUS` is the off-by-default stand-in: ``emit`` is a no-op,
+making fully wired instrumentation nearly free when nobody listens.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable
+
+from repro.obs.events import Event
+
+
+class RingSubscriber:
+    """A bounded, drop-oldest event buffer owned by one consumer."""
+
+    def __init__(
+        self,
+        maxlen: int = 1024,
+        kinds: Iterable[str] | None = None,
+    ) -> None:
+        if maxlen < 1:
+            raise ValueError("maxlen must be >= 1")
+        self.maxlen = maxlen
+        self.kinds = frozenset(kinds) if kinds is not None else None
+        self._buffer: deque[Event] = deque(maxlen=maxlen)
+        #: Events evicted unread because the ring was full.
+        self.dropped = 0
+        #: Events accepted (matched the kind filter), dropped or not.
+        self.received = 0
+
+    def accept(self, event: Event) -> None:
+        """Called by the bus; never blocks, never grows unboundedly."""
+        if self.kinds is not None and event.kind not in self.kinds:
+            return
+        self.received += 1
+        if len(self._buffer) == self.maxlen:
+            self.dropped += 1
+        self._buffer.append(event)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def peek(self) -> list[Event]:
+        """Buffered events, oldest first, without consuming them."""
+        return list(self._buffer)
+
+    def drain(self) -> list[Event]:
+        """Remove and return all buffered events, oldest first."""
+        out = list(self._buffer)
+        self._buffer.clear()
+        return out
+
+
+class EventBus:
+    """Synchronous fan-out of events to bounded subscribers and sinks."""
+
+    def __init__(self) -> None:
+        self._subscribers: list[RingSubscriber] = []
+        self._sinks: list[Callable[[Event], None]] = []
+        #: Events emitted, by kind tag.
+        self.counts: dict[str, int] = {}
+        #: Sinks detached because they raised.
+        self.sink_errors = 0
+
+    # -- wiring ----------------------------------------------------------
+
+    def subscribe(
+        self,
+        maxlen: int = 1024,
+        kinds: Iterable[str] | None = None,
+    ) -> RingSubscriber:
+        """A new ring-buffer subscriber (optionally kind-filtered)."""
+        sub = RingSubscriber(maxlen=maxlen, kinds=kinds)
+        self._subscribers.append(sub)
+        return sub
+
+    def unsubscribe(self, sub: RingSubscriber) -> None:
+        if sub in self._subscribers:
+            self._subscribers.remove(sub)
+
+    def attach(self, sink: Callable[[Event], None]) -> Callable[[Event], None]:
+        """Register a synchronous sink; returns it for later :meth:`detach`."""
+        self._sinks.append(sink)
+        return sink
+
+    def detach(self, sink: Callable[[Event], None]) -> None:
+        if sink in self._sinks:
+            self._sinks.remove(sink)
+
+    # -- publishing ------------------------------------------------------
+
+    def emit(self, event: Event) -> None:
+        """Publish one event to every subscriber and sink."""
+        self.counts[event.kind] = self.counts.get(event.kind, 0) + 1
+        for sub in self._subscribers:
+            sub.accept(event)
+        for sink in list(self._sinks):
+            try:
+                sink(event)
+            except Exception:
+                # Telemetry must never kill the transfer: drop the sink.
+                self.detach(sink)
+                self.sink_errors += 1
+
+    @property
+    def total_emitted(self) -> int:
+        return sum(self.counts.values())
+
+
+class NullBus(EventBus):
+    """A bus that drops everything — the off-by-default fast path."""
+
+    def emit(self, event: Event) -> None:  # noqa: ARG002 - intentional no-op
+        pass
+
+    def subscribe(self, maxlen: int = 1024, kinds=None) -> RingSubscriber:
+        raise RuntimeError(
+            "NullBus drops all events; subscribe to a real EventBus"
+        )
+
+
+#: Shared no-op bus instance.
+NULL_BUS = NullBus()

@@ -1,0 +1,68 @@
+"""Injectable clocks: one timing source per control loop.
+
+The live loop used to mix wall-clock sources — ``time.monotonic`` inside
+the subprocess runner, an injectable ``sleep`` in the loop, and nominal
+epoch lengths in the records — which made timing assertions in tests
+depend on the real scheduler.  A :class:`Clock` bundles *now* and
+*sleep* into one object the whole loop shares: production code uses
+:class:`WallClock`; tests use :class:`FakeClock`, where sleeping simply
+advances ``now`` — so span durations, backoff accounting and epoch
+ledgers all agree exactly.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+
+class Clock:
+    """Protocol: ``now() -> float`` (monotonic seconds) and ``sleep(s)``."""
+
+    def now(self) -> float:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class WallClock(Clock):
+    """Real time: ``time.monotonic`` + ``time.sleep`` (both injectable)."""
+
+    def __init__(
+        self,
+        now_fn: Callable[[], float] = time.monotonic,
+        sleep_fn: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self._now = now_fn
+        self._sleep = sleep_fn
+
+    def now(self) -> float:
+        return self._now()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            self._sleep(seconds)
+
+
+class FakeClock(Clock):
+    """Deterministic test clock: sleeping advances ``now`` instantly."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._t = float(start)
+        self.sleeps: list[float] = []
+
+    def now(self) -> float:
+        return self._t
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot sleep a negative duration")
+        self.sleeps.append(seconds)
+        self._t += seconds
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward without recording a sleep."""
+        if seconds < 0:
+            raise ValueError("cannot advance backwards")
+        self._t += seconds

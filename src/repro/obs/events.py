@@ -1,0 +1,239 @@
+"""Typed observability events.
+
+Every interesting state change in the control loop — epoch boundaries,
+tuner decisions, faults, retries, breaker transitions, journal
+snapshots, monitor trips — is one immutable event object published on an
+:class:`~repro.obs.bus.EventBus`.  Events are pure data (frozen, slotted
+dataclasses) with a stable ``kind`` tag and a lossless dict form, so the
+JSONL exporter, the ``repro top`` dashboard and the tests all consume
+the same stream.
+
+Determinism contract
+--------------------
+Event payloads and ordering are derived exclusively from the simulation
+clock and the control-loop state (never from wall-clock reads), so two
+runs with the same seed — or a crashed run resumed from its journal —
+publish identical streams.  :func:`events_from_records` reconstructs the
+``EpochEnd`` / ``FaultInjected`` / ``BreakerTransition`` subsequence
+from journaled epochs alone, which is what lets ``repro top`` replay a
+finished (or in-progress) journal and lets the determinism tests compare
+a resumed run against an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import ClassVar, Iterable
+
+from repro.sim.trace import EpochRecord
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class Event:
+    """Base event: when it happened and which session it concerns.
+
+    ``time`` is simulation time for sim runs and the live loop's elapsed
+    wall-clock ledger for live runs; run-level events (e.g. snapshots)
+    leave ``session`` empty.
+    """
+
+    kind: ClassVar[str] = "event"
+
+    time: float
+    session: str = ""
+
+    def to_dict(self) -> dict:
+        """JSON-ready form; tuples become lists."""
+        out: dict = {"kind": self.kind}
+        for f in fields(self):
+            v = getattr(self, f.name)
+            out[f.name] = list(v) if isinstance(v, tuple) else v
+        return out
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class EpochStart(Event):
+    """A control epoch began with these parameters."""
+
+    kind: ClassVar[str] = "epoch-start"
+
+    index: int
+    params: tuple[int, ...]
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class EpochEnd(Event):
+    """A control epoch closed; mirrors the trace's epoch record."""
+
+    kind: ClassVar[str] = "epoch-end"
+
+    index: int
+    params: tuple[int, ...]
+    observed: float
+    best_case: float
+    bytes_moved: float
+    faulted: bool = False
+    fault: str | None = None
+    retries: int = 0
+    breaker: str = "closed"
+    tuned: bool = True
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class TunerProposal(Event):
+    """The tuner proposed parameters for the next epoch.
+
+    ``observed`` is the throughput fed to the search, or ``None`` when
+    the standing proposal was reused (a half-open breaker probe).
+    """
+
+    kind: ClassVar[str] = "tuner-proposal"
+
+    index: int
+    params: tuple[int, ...]
+    observed: float | None = None
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class TunerAccept(Event):
+    """The session adopted the tuner's proposal for the next epoch."""
+
+    kind: ClassVar[str] = "tuner-accept"
+
+    index: int
+    params: tuple[int, ...]
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class TunerReject(Event):
+    """The tuner was bypassed this epoch; ``params`` is what the session
+    runs instead (held or fallback parameters).
+
+    Reasons: ``faulted`` (lost epoch), ``obs-loss`` (measurement
+    dropped), ``breaker-open`` (pinned at the safe default),
+    ``budget-exhausted`` (session abort ended the run).
+    """
+
+    kind: ClassVar[str] = "tuner-reject"
+
+    index: int
+    params: tuple[int, ...]
+    reason: str
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class FaultInjected(Event):
+    """A fault (hard or observation loss) hit this epoch."""
+
+    kind: ClassVar[str] = "fault-injected"
+
+    index: int
+    fault: str
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class RetryAttempt(Event):
+    """The retry policy charged one relaunch."""
+
+    kind: ClassVar[str] = "retry-attempt"
+
+    index: int
+    attempt: int  #: session-cumulative retry count after this attempt
+    backoff_s: float
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class BreakerTransition(Event):
+    """The circuit breaker changed state after this epoch."""
+
+    kind: ClassVar[str] = "breaker-transition"
+
+    index: int
+    old: str
+    new: str
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class SnapshotWritten(Event):
+    """A checkpoint snapshot reached the journal (fsynced)."""
+
+    kind: ClassVar[str] = "snapshot-written"
+
+    epochs: int  #: closed epochs the snapshot accounts for (all sessions)
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class MonitorTrip(Event):
+    """A change monitor fired (the tuner will re-search)."""
+
+    kind: ClassVar[str] = "monitor-trip"
+
+    value: float
+
+
+#: kind tag -> event class, for deserialization and kind filters.
+EVENT_TYPES: dict[str, type[Event]] = {
+    cls.kind: cls
+    for cls in (
+        EpochStart, EpochEnd, TunerProposal, TunerAccept, TunerReject,
+        FaultInjected, RetryAttempt, BreakerTransition, SnapshotWritten,
+        MonitorTrip,
+    )
+}
+
+_TUPLE_FIELDS = ("params",)
+
+
+def event_from_dict(data: dict) -> Event:
+    """Inverse of :meth:`Event.to_dict`."""
+    kind = data.get("kind")
+    try:
+        cls = EVENT_TYPES[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown event kind {kind!r}; known: {sorted(EVENT_TYPES)}"
+        ) from None
+    kwargs = {k: v for k, v in data.items() if k != "kind"}
+    for name in _TUPLE_FIELDS:
+        if name in kwargs and isinstance(kwargs[name], list):
+            kwargs[name] = tuple(kwargs[name])
+    return cls(**kwargs)
+
+
+def events_from_records(
+    session: str, records: Iterable[EpochRecord]
+) -> list[Event]:
+    """Reconstruct one session's replayable event subsequence from its
+    epoch records (a journal or a trace).
+
+    Emits, in stream order: ``FaultInjected`` (when the epoch carried a
+    fault), ``EpochEnd``, and the ``BreakerTransition`` that followed —
+    derived from consecutive records' governing breaker states, exactly
+    the subsequence a live run emits for the same epochs.  A transition
+    after the final record (if any) is unknowable from records alone and
+    is never emitted; live runs match because a finished session skips
+    its last dispatch.
+    """
+    out: list[Event] = []
+    prev: EpochRecord | None = None
+    for rec in records:
+        end_t = rec.start + rec.duration
+        if prev is not None and prev.breaker != rec.breaker:
+            out.append(BreakerTransition(
+                time=prev.start + prev.duration, session=session,
+                index=prev.index, old=prev.breaker, new=rec.breaker,
+            ))
+        if rec.fault is not None:
+            out.append(FaultInjected(
+                time=end_t, session=session, index=rec.index,
+                fault=rec.fault,
+            ))
+        out.append(EpochEnd(
+            time=end_t, session=session, index=rec.index,
+            params=tuple(rec.params), observed=rec.observed,
+            best_case=rec.best_case, bytes_moved=rec.bytes_moved,
+            faulted=rec.faulted, fault=rec.fault, retries=rec.retries,
+            breaker=rec.breaker, tuned=rec.tuned,
+        ))
+        prev = rec
+    return out

@@ -1,0 +1,78 @@
+"""Exporters: JSONL event log and Prometheus text-format snapshots.
+
+Telemetry exports are *best-effort observers*, not the durability layer:
+the JSONL event log buffers and flushes without fsync (the crash-safe
+record of a run is the checkpoint journal), and the Prometheus snapshot
+is an atomically replaced text file a scraper or ``promtool`` can read
+at any instant.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.bus import EventBus
+from repro.obs.events import Event, event_from_dict
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.traceio import atomic_write_text
+
+
+class JsonlEventLog:
+    """Writes every bus event as one JSON line.
+
+    Attach to a bus (``log.attach_to(bus)``) or call directly as a sink.
+    Use as a context manager or call :meth:`close`.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._f = open(self.path, "a", encoding="utf-8")
+        self.written = 0
+
+    def __call__(self, event: Event) -> None:
+        self._f.write(
+            json.dumps(event.to_dict(), separators=(",", ":")) + "\n"
+        )
+        self.written += 1
+
+    def attach_to(self, bus: EventBus) -> "JsonlEventLog":
+        bus.attach(self)
+        return self
+
+    def flush(self) -> None:
+        self._f.flush()
+
+    def close(self) -> None:
+        if not self._f.closed:
+            self._f.close()
+
+    def __enter__(self) -> "JsonlEventLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_event_log(path: str | Path) -> list[Event]:
+    """Parse a JSONL event log back into events.
+
+    An unterminated final line (the process died mid-write) is dropped;
+    the log is telemetry, not a journal.
+    """
+    raw = Path(path).read_text(encoding="utf-8")
+    lines = [ln for ln in raw.splitlines() if ln.strip()]
+    events: list[Event] = []
+    for i, line in enumerate(lines):
+        try:
+            events.append(event_from_dict(json.loads(line)))
+        except ValueError:
+            if i == len(lines) - 1:
+                break
+            raise
+    return events
+
+
+def write_prometheus(registry: MetricsRegistry, path: str | Path) -> None:
+    """Atomically write the registry as a Prometheus text-format file."""
+    atomic_write_text(path, registry.render_prometheus())

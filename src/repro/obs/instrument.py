@@ -1,0 +1,193 @@
+"""The instrumentation bundle the control loops carry.
+
+One :class:`Instrumentation` object groups the three telemetry surfaces
+— event bus, metrics registry, span recorder — so the engine and the
+live loop take a single optional argument.  Three operating points:
+
+* ``None`` (the default everywhere): zero overhead — no event objects
+  are ever constructed.
+* :meth:`Instrumentation.noop`: fully wired call sites publishing into
+  a :class:`~repro.obs.bus.NullBus` with metrics and spans disabled —
+  the baseline the overhead benchmark gates against.
+* :meth:`Instrumentation.on`: everything live.
+
+The module also hosts the bridges that hook the fault machinery and the
+change monitors into the bus without making :mod:`repro.faults` or
+:mod:`repro.core` depend on :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.monitor import ChangeMonitor, NotifyingMonitor
+from repro.obs.bus import NULL_BUS, EventBus, NullBus
+from repro.obs.events import EpochEnd, FaultInjected, MonitorTrip
+from repro.obs.metrics import (
+    THROUGHPUT_BUCKETS_MBPS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.spans import SpanRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.trace import EpochRecord
+
+
+@dataclass
+class Instrumentation:
+    """Event bus + metrics + spans, with any part individually off."""
+
+    bus: EventBus = field(default_factory=EventBus)
+    metrics: MetricsRegistry | None = None
+    spans: SpanRecorder | None = None
+    #: Per-session metric handles, resolved once per session — label-key
+    #: hashing is too dear to repeat every epoch.
+    _epoch_metrics: dict = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+
+    @property
+    def active(self) -> bool:
+        """False when nothing can observe anything — a :class:`NullBus`
+        with no metrics and no spans.  The control loops check this once
+        at entry and run the bare (obs=None) path, which is what keeps
+        the no-op bundle within the overhead gate."""
+        return (
+            not isinstance(self.bus, NullBus)
+            or self.metrics is not None
+            or self.spans is not None
+        )
+
+    @classmethod
+    def on(
+        cls,
+        clock: Callable[[], float] | None = None,
+        **span_labels: str,
+    ) -> "Instrumentation":
+        """Everything enabled; ``clock`` overrides the span timer."""
+        metrics = MetricsRegistry()
+        kwargs = {} if clock is None else {"clock": clock}
+        return cls(
+            bus=EventBus(),
+            metrics=metrics,
+            spans=SpanRecorder(metrics, **kwargs, **span_labels),
+        )
+
+    @classmethod
+    def noop(cls) -> "Instrumentation":
+        """Fully wired but inert (:attr:`active` is False): the control
+        loops detect this at entry and run the bare obs=None path — the
+        overhead-benchmark baseline."""
+        return cls(bus=NULL_BUS, metrics=None, spans=None)
+
+
+class _EpochMetrics:
+    """One session's per-epoch metric handles, looked up once."""
+
+    __slots__ = (
+        "epochs", "bytes_moved", "throughput", "params", "faults",
+        "_registry", "_session",
+    )
+
+    def __init__(self, registry: MetricsRegistry, session: str) -> None:
+        self._registry = registry
+        self._session = session
+        self.epochs: Counter = registry.counter(
+            "repro_epochs_total", session=session)
+        self.bytes_moved: Counter = registry.counter(
+            "repro_bytes_moved_total", session=session)
+        self.throughput: Histogram = registry.histogram(
+            "repro_epoch_throughput_mbps",
+            buckets=THROUGHPUT_BUCKETS_MBPS, session=session)
+        self.params: list[Gauge] = []
+        self.faults: dict[str, Counter] = {}
+
+    def param_gauge(self, dim: int) -> Gauge:
+        while len(self.params) <= dim:
+            self.params.append(self._registry.gauge(
+                "repro_params", session=self._session,
+                dim=str(len(self.params)),
+            ))
+        return self.params[dim]
+
+    def fault_counter(self, kind: str) -> Counter:
+        counter = self.faults.get(kind)
+        if counter is None:
+            counter = self.faults[kind] = self._registry.counter(
+                "repro_faults_total", session=self._session,
+                fault_kind=kind,
+            )
+        return counter
+
+
+def publish_epoch_record(
+    instrumentation: Instrumentation,
+    session: str,
+    rec: "EpochRecord",
+) -> None:
+    """Publish one closed epoch: ``FaultInjected`` (if any) then
+    ``EpochEnd``, plus the per-epoch metrics.
+
+    Events are timed by the epoch's own ``start + duration`` boundary —
+    never a wall-clock read — so live emission matches
+    :func:`repro.obs.events.events_from_records` reconstruction
+    float-exactly.  Shared by the sim engine and the live loop.
+    """
+    bus = instrumentation.bus
+    metrics = instrumentation.metrics
+    if not isinstance(bus, NullBus):
+        end_t = rec.start + rec.duration
+        if rec.fault is not None:
+            bus.emit(FaultInjected(
+                time=end_t, session=session, index=rec.index,
+                fault=rec.fault,
+            ))
+        bus.emit(EpochEnd(
+            time=end_t, session=session, index=rec.index,
+            params=tuple(rec.params), observed=rec.observed,
+            best_case=rec.best_case, bytes_moved=rec.bytes_moved,
+            faulted=rec.faulted, fault=rec.fault, retries=rec.retries,
+            breaker=rec.breaker, tuned=rec.tuned,
+        ))
+    if metrics is not None:
+        em = instrumentation._epoch_metrics.get(session)
+        if em is None:
+            em = _EpochMetrics(metrics, session)
+            instrumentation._epoch_metrics[session] = em
+        em.epochs.inc()
+        em.bytes_moved.inc(rec.bytes_moved)
+        em.throughput.observe(rec.observed)
+        for dim, value in enumerate(rec.params):
+            em.param_gauge(dim).set(float(value))
+        if rec.fault is not None:
+            em.fault_counter(rec.fault).inc()
+
+
+def instrument_monitor(
+    monitor: ChangeMonitor,
+    instrumentation: Instrumentation,
+    *,
+    session: str = "",
+    clock: Callable[[], float] = lambda: 0.0,
+) -> NotifyingMonitor:
+    """Wrap a change monitor so every trip publishes a
+    :class:`~repro.obs.events.MonitorTrip` event (and counts it).
+
+    ``clock`` supplies the event timestamp — pass the loop's time source
+    (e.g. ``lambda: engine.clock.now``) for deterministic streams.
+    """
+    bus = instrumentation.bus
+    metrics = instrumentation.metrics
+
+    def _on_trip(value: float) -> None:
+        bus.emit(MonitorTrip(time=clock(), session=session, value=value))
+        if metrics is not None:
+            metrics.counter(
+                "repro_monitor_trips_total", session=session
+            ).inc()
+
+    return NotifyingMonitor(inner=monitor, on_trip=_on_trip)

@@ -1,0 +1,273 @@
+"""Labeled metrics: counters, gauges, and mergeable fixed-bucket histograms.
+
+A :class:`MetricsRegistry` keys every metric by ``(name, labels)`` —
+e.g. ``repro_epochs_total{session="main", tuner="nm"}`` — and renders
+the whole set as a Prometheus text-format snapshot
+(:meth:`MetricsRegistry.render_prometheus`).
+
+Histograms use *fixed* bucket boundaries chosen at creation, which makes
+them mergeable across sessions, shards, or resumed runs: adding two
+histograms bucket-wise is exact, and any quantile estimated from the
+merged counts is within one bucket width of the true sample quantile
+(the property the tests pin down).  No numpy, no locks, no background
+threads — plain dicts and lists, cheap enough for per-epoch updates.
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_left
+from typing import Iterable
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram buckets for throughput in MB/s.
+THROUGHPUT_BUCKETS_MBPS = (
+    25.0, 50.0, 100.0, 200.0, 400.0, 800.0, 1600.0, 3200.0, 6400.0,
+)
+
+#: Default histogram buckets for code-path latencies in seconds.
+LATENCY_BUCKETS_S = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 30.0,
+)
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, str]) -> LabelKey:
+    for k in labels:
+        if not _LABEL_RE.match(k):
+            raise ValueError(f"bad label name {k!r}")
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _format_labels(key: LabelKey) -> str:
+    if not key:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in key)
+    return "{" + body + "}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with mergeable quantile estimates.
+
+    ``buckets`` are strictly increasing finite upper bounds; an implicit
+    overflow bucket catches everything above the last bound.  A value
+    ``v`` lands in the first bucket whose bound is ``>= v``.
+    """
+
+    __slots__ = ("buckets", "counts", "count", "total", "overflow")
+
+    def __init__(self, buckets: Iterable[float]) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("need at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError("bucket bounds must be strictly increasing")
+        if any(b != b or b in (float("inf"), float("-inf")) for b in bounds):
+            raise ValueError("bucket bounds must be finite")
+        self.buckets = bounds
+        self.counts = [0] * len(bounds)
+        self.overflow = 0
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        self.count += 1
+        self.total += v
+        i = bisect_left(self.buckets, v)
+        if i == len(self.buckets):
+            self.overflow += 1
+        else:
+            self.counts[i] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile by linear interpolation within the
+        containing bucket; exact to within one bucket width.
+
+        Values in the overflow bucket are reported as the last finite
+        bound (the estimate saturates there).  Returns 0.0 when empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cum = 0.0
+        lo = 0.0 if self.buckets[0] > 0 else self.buckets[0]
+        for bound, n in zip(self.buckets, self.counts):
+            if n and cum + n >= target:
+                frac = (target - cum) / n
+                return lo + frac * (bound - lo)
+            cum += n
+            lo = bound
+        return self.buckets[-1]
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Bucket-wise sum; both histograms must share bounds."""
+        if self.buckets != other.buckets:
+            raise ValueError(
+                "cannot merge histograms with different buckets: "
+                f"{self.buckets} vs {other.buckets}"
+            )
+        out = Histogram(self.buckets)
+        out.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        out.overflow = self.overflow + other.overflow
+        out.count = self.count + other.count
+        out.total = self.total + other.total
+        return out
+
+
+class MetricsRegistry:
+    """All metrics of one run, keyed by labeled names."""
+
+    def __init__(self) -> None:
+        # name -> kind tag ("counter"/"gauge"/"histogram")
+        self._kinds: dict[str, str] = {}
+        # name -> label key -> metric object
+        self._families: dict[str, dict[LabelKey, object]] = {}
+
+    def _get(
+        self, name: str, kind: str, factory, labels: dict[str, str]
+    ):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"bad metric name {name!r}")
+        have = self._kinds.get(name)
+        if have is None:
+            self._kinds[name] = kind
+            self._families[name] = {}
+        elif have != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as a {have}"
+            )
+        family = self._families[name]
+        key = _label_key(labels)
+        metric = family.get(key)
+        if metric is None:
+            metric = family[key] = factory()
+        return metric
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get(name, "counter", Counter, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._get(name, "gauge", Gauge, labels)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Iterable[float] = LATENCY_BUCKETS_S,
+        **labels: str,
+    ) -> Histogram:
+        bounds = tuple(buckets)
+        hist = self._get(name, "histogram", lambda: Histogram(bounds), labels)
+        if hist.buckets != tuple(float(b) for b in bounds):
+            raise ValueError(
+                f"histogram {name!r} already registered with buckets "
+                f"{hist.buckets}"
+            )
+        return hist
+
+    # -- introspection ---------------------------------------------------
+
+    def names(self) -> list[str]:
+        return sorted(self._families)
+
+    def collect(self) -> dict[str, dict[LabelKey, object]]:
+        """The raw families (name -> label key -> metric)."""
+        return {n: dict(f) for n, f in self._families.items()}
+
+    def snapshot(self) -> dict:
+        """JSON-ready dump of every metric's current value."""
+        out: dict = {}
+        for name in self.names():
+            kind = self._kinds[name]
+            series = []
+            for key, metric in sorted(self._families[name].items()):
+                labels = dict(key)
+                if kind == "histogram":
+                    assert isinstance(metric, Histogram)
+                    series.append({
+                        "labels": labels,
+                        "count": metric.count,
+                        "sum": metric.total,
+                        "buckets": dict(
+                            zip((str(b) for b in metric.buckets),
+                                metric.counts)
+                        ),
+                        "overflow": metric.overflow,
+                        "p50": metric.quantile(0.5),
+                        "p99": metric.quantile(0.99),
+                    })
+                else:
+                    series.append({"labels": labels, "value": metric.value})
+            out[name] = {"kind": kind, "series": series}
+        return out
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format (0.0.4) of all metrics."""
+        lines: list[str] = []
+        for name in self.names():
+            kind = self._kinds[name]
+            lines.append(f"# TYPE {name} {kind}")
+            for key, metric in sorted(self._families[name].items()):
+                if kind == "histogram":
+                    assert isinstance(metric, Histogram)
+                    cum = 0
+                    for bound, n in zip(metric.buckets, metric.counts):
+                        cum += n
+                        labels = _format_labels(
+                            key + (("le", repr(bound)),)
+                        )
+                        lines.append(f"{name}_bucket{labels} {cum}")
+                    labels = _format_labels(key + (("le", "+Inf"),))
+                    lines.append(f"{name}_bucket{labels} {metric.count}")
+                    lines.append(
+                        f"{name}_sum{_format_labels(key)} {metric.total}"
+                    )
+                    lines.append(
+                        f"{name}_count{_format_labels(key)} {metric.count}"
+                    )
+                else:
+                    lines.append(
+                        f"{name}{_format_labels(key)} {metric.value}"
+                    )
+        return "\n".join(lines) + "\n"

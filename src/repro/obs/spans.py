@@ -1,0 +1,84 @@
+"""Epoch spans: nested timing contexts for per-phase latency.
+
+A :class:`SpanRecorder` times named phases of the control loop —
+``epoch/propose`` (tuner compute), ``epoch/transfer`` (moving bytes),
+``epoch/observe`` (closing the epoch) — and records each duration into a
+labeled histogram in a :class:`~repro.obs.metrics.MetricsRegistry`, so
+per-phase cost is attributable and mergeable across runs.
+
+Span durations are *measurements of the controller's own code*, not of
+simulated time, so they are deliberately **not** published on the event
+bus: the event stream stays deterministic under the sim clock while the
+spans capture real latency.  The clock is injectable — production uses
+``time.perf_counter``; tests pass a :class:`~repro.obs.clock.FakeClock`
+``now`` so durations are exact.
+
+Use either the context-manager form::
+
+    with spans.span("epoch"):
+        with spans.span("propose"):
+            ...
+
+or, on hot paths where a generator frame per step is too dear, the
+explicit form: ``t0 = spans.now(); ...; spans.record("epoch/transfer",
+spans.now() - t0)``.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+from repro.obs.metrics import LATENCY_BUCKETS_S, MetricsRegistry
+
+#: Metric name span durations are recorded under (label: ``phase``).
+SPAN_METRIC = "repro_span_seconds"
+
+
+class SpanRecorder:
+    """Records nested phase timings into a metrics registry."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        clock: Callable[[], float] = time.perf_counter,
+        buckets: tuple[float, ...] = LATENCY_BUCKETS_S,
+        **labels: str,
+    ) -> None:
+        self.registry = registry
+        self.now = clock
+        self.buckets = buckets
+        self.labels = labels
+        self._stack: list[str] = []
+        #: Most recent duration per phase path (cheap test/CLI access).
+        self.last: dict[str, float] = {}
+
+    def record(self, phase: str, seconds: float) -> None:
+        """Record one finished phase duration (explicit form)."""
+        if seconds < 0:
+            raise ValueError("span duration must be non-negative")
+        self.last[phase] = seconds
+        self.registry.histogram(
+            SPAN_METRIC, buckets=self.buckets, phase=phase, **self.labels
+        ).observe(seconds)
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Time a phase; nesting joins names with ``/``."""
+        if "/" in name:
+            raise ValueError("span names must not contain '/'")
+        self._stack.append(name)
+        path = "/".join(self._stack)
+        t0 = self.now()
+        try:
+            yield
+        finally:
+            dt = self.now() - t0
+            self._stack.pop()
+            self.record(path, max(0.0, dt))
+
+    @property
+    def current_path(self) -> str:
+        """The open span path (empty outside any span)."""
+        return "/".join(self._stack)

@@ -1,0 +1,215 @@
+"""``repro top`` — a curses-free ANSI dashboard for transfer runs.
+
+Renders the live state of a tuned transfer from either source of truth:
+
+* a **checkpoint journal** (``repro run --journal``) — including one a
+  run is *still writing*: the reader tolerates the torn tail a
+  concurrent fsynced append leaves behind, so ``repro top --follow``
+  works as a live monitor against the same file that makes the run
+  crash-safe;
+* a **completed trace** file (``repro run --trace-out``).
+
+Each frame shows, per session: a throughput sparkline over the recent
+control epochs, the current ``(nc, np)``, the circuit-breaker state,
+fault counts by kind, retry totals, and how many epochs actually fed
+the tuner.  Pure string rendering (:func:`render`) is separated from
+the terminal loop (:func:`follow`) so tests can pin frames exactly.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, TextIO
+
+from repro.checkpoint.journal import read_journal
+from repro.sim.trace import EpochRecord
+from repro.sim.traceio import CorruptTraceError, load_trace
+
+#: Unicode eighth-block ramp for sparklines (space = zero).
+SPARK_CHARS = " ▁▂▃▄▅▆▇█"
+
+#: ANSI: cursor home + clear to end of screen (no curses, no altscreen).
+CLEAR = "\x1b[H\x1b[J"
+
+
+def sparkline(values: list[float], width: int = 60) -> str:
+    """The last ``width`` values as a unicode block sparkline, scaled to
+    the window's maximum."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    window = [max(0.0, float(v)) for v in values[-width:]]
+    if not window:
+        return ""
+    top = max(window)
+    if top <= 0:
+        return SPARK_CHARS[0] * len(window)
+    n = len(SPARK_CHARS) - 1
+    return "".join(
+        SPARK_CHARS[min(n, round(v / top * n))] for v in window
+    )
+
+
+@dataclass
+class TopView:
+    """Everything one dashboard frame needs, source-agnostic."""
+
+    source: str
+    kind: str  #: "journal" or "trace"
+    sessions: dict[str, list[EpochRecord]] = field(default_factory=dict)
+    config: dict | None = None  #: run header (journal source only)
+    ended: bool = False
+
+    @property
+    def live(self) -> bool:
+        return self.kind == "journal" and not self.ended
+
+
+def view_from_journal(path: str | Path) -> TopView:
+    """Build a view from a (possibly in-progress) journal."""
+    with warnings.catch_warnings():
+        # A torn tail just means the writer is mid-append; the dashboard
+        # renders the complete prefix without complaint.
+        warnings.simplefilter("ignore")
+        journal = read_journal(path)
+    view = TopView(source=str(path), kind="journal", ended=journal.ended)
+    if journal.header is not None:
+        view.config = journal.header.get("run")
+    for je in journal.epochs:
+        view.sessions.setdefault(je.session, []).append(je.record)
+    return view
+
+
+def view_from_trace(path: str | Path) -> TopView:
+    """Build a view from a completed trace JSON file."""
+    trace = load_trace(path)
+    label = trace.label or "main"
+    return TopView(
+        source=str(path), kind="trace",
+        sessions={label: list(trace.epochs)}, ended=True,
+    )
+
+
+def load_view(path: str | Path) -> TopView:
+    """Sniff ``path`` as a journal first, then as a trace file."""
+    try:
+        view = view_from_journal(path)
+    except (CorruptTraceError, ValueError):
+        return view_from_trace(path)
+    if view.config is None and not view.sessions:
+        # Parsed but empty-as-a-journal: either a journal whose header
+        # is still being appended, or not a journal at all — a trace
+        # file is one JSON line, which torn-tail tolerance swallows
+        # whole.  Try the trace reader; fall back to the empty journal.
+        try:
+            return view_from_trace(path)
+        except (CorruptTraceError, ValueError, KeyError, TypeError):
+            return view
+    return view
+
+
+def _fault_summary(epochs: list[EpochRecord]) -> str:
+    counts: dict[str, int] = {}
+    for rec in epochs:
+        if rec.fault is not None:
+            counts[rec.fault] = counts.get(rec.fault, 0) + 1
+    if not counts:
+        return "none"
+    return " ".join(f"{k}×{n}" for k, n in sorted(counts.items()))
+
+
+def _current_np(rec: EpochRecord, config: dict | None) -> str:
+    if len(rec.params) >= 2:
+        return str(rec.params[1])
+    if config is not None and "fixed_np" in config:
+        return str(config["fixed_np"])
+    return "-"
+
+
+def render(view: TopView, width: int = 72) -> str:
+    """One dashboard frame as plain text (no cursor control)."""
+    spark_w = max(16, width - 12)
+    state = "LIVE" if view.live else (
+        "complete" if view.ended else "static"
+    )
+    lines = [f"repro top — {view.source} [{state}]"]
+    if view.config:
+        c = view.config
+        lines.append(
+            f"run: scenario={c.get('scenario')} tuner={c.get('tuner')} "
+            f"load={c.get('load')} seed={c.get('seed')}"
+        )
+    lines.append("─" * width)
+    if not view.sessions:
+        lines.append("(no epochs journaled yet)")
+    for name, epochs in view.sessions.items():
+        last = epochs[-1]
+        observed = [e.observed for e in epochs]
+        mean = sum(observed) / len(observed)
+        tuned = sum(1 for e in epochs if e.tuned)
+        retries = last.retries
+        lines.append(
+            f"{name}: epoch {last.index}  nc={last.params[0]} "
+            f"np={_current_np(last, view.config)}  "
+            f"obs {last.observed:.0f} MB/s  mean {mean:.0f}  "
+            f"breaker {last.breaker}"
+        )
+        lines.append(
+            f"  tput │{sparkline(observed, spark_w)}│ "
+            f"peak {max(observed):.0f}"
+        )
+        lines.append(
+            f"  faults: {_fault_summary(epochs)}  retries: {retries}  "
+            f"tuner-fed {tuned}/{len(epochs)}  "
+            f"moved {sum(e.bytes_moved for e in epochs) / 1e9:.1f} GB"
+        )
+    lines.append("─" * width)
+    return "\n".join(lines)
+
+
+def render_path(path: str | Path, width: int = 72) -> str:
+    """Load ``path`` (journal or trace) and render one frame."""
+    return render(load_view(path), width=width)
+
+
+def follow(
+    path: str | Path,
+    *,
+    interval_s: float = 2.0,
+    width: int = 72,
+    out: TextIO | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+    max_frames: int | None = None,
+) -> int:
+    """Re-render ``path`` every ``interval_s`` until the run ends.
+
+    Returns the number of frames drawn.  ``max_frames`` bounds the loop
+    (tests); a missing file is reported and polled for, so ``repro top
+    --follow`` can be started before the run.
+    """
+    if interval_s <= 0:
+        raise ValueError("interval_s must be positive")
+    if out is None:
+        # Resolved per call, not at import: the process's stdout may be
+        # redirected/replaced after this module loads (pytest capture).
+        out = sys.stdout
+    frames = 0
+    while True:
+        try:
+            view = load_view(path)
+        except FileNotFoundError:
+            out.write(f"{CLEAR}repro top — waiting for {path}\n")
+            out.flush()
+            view = None
+        frames += 1
+        if view is not None:
+            out.write(CLEAR + render(view, width=width) + "\n")
+            out.flush()
+            if view.ended:
+                return frames
+        if max_frames is not None and frames >= max_frames:
+            return frames
+        sleep(interval_s)

@@ -38,6 +38,16 @@ from repro.gridftp.client import ClientModel
 from repro.net.fairshare import max_min_fair_allocation
 from repro.net.flows import FlowGroup
 from repro.net.topology import Topology
+from repro.obs.events import (
+    BreakerTransition,
+    EpochStart,
+    RetryAttempt,
+    SnapshotWritten,
+    TunerAccept,
+    TunerProposal,
+    TunerReject,
+)
+from repro.obs.instrument import publish_epoch_record
 from repro.sim.clock import SimClock
 from repro.noise import lognormal_factor
 from repro.sim.rng import RngStreams
@@ -47,6 +57,7 @@ from repro.units import MB
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.checkpoint.journal import JournalWriter
+    from repro.obs.instrument import Instrumentation
 
 #: Reserved flow-group / CPU-task names for external load.
 EXT_CMP = "ext.cmp"
@@ -115,6 +126,9 @@ class JointController:
             joint.joint_space.fbnd(x0), joint.joint_space
         ))
         self._pending: dict[str, float] = {}
+        #: Optional metrics registry: when set, each completed joint
+        #: round records the objective the tuner saw (telemetry only).
+        self.metrics = None
 
     def initial_params(self) -> dict[str, tuple[int, ...]]:
         parts = self.joint.split(self.driver.current)
@@ -134,6 +148,11 @@ class JointController:
             return None
         total = sum(self._pending.values())
         self._pending.clear()
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "repro_joint_objective_mbps",
+                sessions="+".join(self.session_names),
+            ).set(total)
         parts = self.joint.split(self.driver.observe(total))
         return dict(zip(self.session_names, parts))
 
@@ -159,6 +178,7 @@ class Engine:
     client: ClientModel = field(default_factory=ClientModel)
     config: EngineConfig = field(default_factory=EngineConfig)
     journal: "JournalWriter | None" = None
+    obs: "Instrumentation | None" = None
 
     def __post_init__(self) -> None:
         if self.journal is not None and self.controllers:
@@ -210,12 +230,24 @@ class Engine:
         self.rng = RngStreams(self.config.seed)
         self._started = False
         self._last_cmp_frac = 0.0
+        # Event context for telemetry hooks fired from within a dispatch
+        # (breaker transitions, retry attempts): sim time and epoch index
+        # of the epoch being dispatched.
+        self._ev_time = 0.0
+        self._ev_index = 0
 
     # -- public API ------------------------------------------------------
 
     def run(self, until_s: float | None = None) -> dict[str, Trace]:
         """Advance until all sessions finish (or ``until_s``); returns the
         per-session traces."""
+        if self.obs is not None and not self.obs.active:
+            # An inert bundle (NullBus, no metrics/spans) is dropped
+            # outright so the loop body never constructs event objects
+            # — this is what makes Instrumentation.noop() free.
+            self.obs = None
+        if self.obs is not None:
+            self._install_obs_hooks()
         if not self._started:
             self._initialize()
         while not all(s.done for s in self.sessions):
@@ -229,7 +261,10 @@ class Engine:
                 # A partial epoch flushed by an early ``until_s`` stop is
                 # not journaled: the journal must hold only epochs the
                 # uninterrupted run would also close, so a later resume
-                # re-runs that span in full.
+                # re-runs that span in full.  Events mirror the journal:
+                # only epochs a journal would hold are published.
+                if self.obs is not None and finished:
+                    self._emit_epoch_end(s, rec)
                 if self.journal is not None and finished:
                     self.journal.write_epoch(s.name, rec, s.last_epoch_steps)
         if self.journal is not None and finished:
@@ -313,6 +348,69 @@ class Engine:
                     rng=self.rng.restart_jitter,
                 )
             )
+        if self.obs is not None:
+            for s in self.sessions:
+                self.obs.bus.emit(EpochStart(
+                    time=self.clock.now, session=s.name, index=0,
+                    params=tuple(s.params),
+                ))
+
+    # -- observability ----------------------------------------------------
+
+    def _install_obs_hooks(self) -> None:
+        """Point the fault machinery's and journal's telemetry callbacks
+        at this engine's bus/metrics.
+
+        Called from :meth:`run` (idempotent), *after* any resume replay
+        has driven the breaker/retry state — replayed epochs must not
+        re-publish events the original run already emitted.
+        """
+        assert self.obs is not None
+        bus = self.obs.bus
+        metrics = self.obs.metrics
+        for s in self.sessions:
+            name = s.name
+            if s.breaker is not None:
+                def _on_transition(old: str, new: str, _name=name) -> None:
+                    bus.emit(BreakerTransition(
+                        time=self._ev_time, session=_name,
+                        index=self._ev_index, old=old, new=new,
+                    ))
+                    if metrics is not None:
+                        metrics.counter(
+                            "repro_breaker_transitions_total",
+                            session=_name, to=new,
+                        ).inc()
+                s.breaker.on_transition = _on_transition
+            if s.retry_state is not None:
+                def _on_retry(attempt: int, backoff_s: float,
+                              _name=name) -> None:
+                    bus.emit(RetryAttempt(
+                        time=self._ev_time, session=_name,
+                        index=self._ev_index, attempt=attempt,
+                        backoff_s=backoff_s,
+                    ))
+                    if metrics is not None:
+                        metrics.counter(
+                            "repro_retries_total", session=_name
+                        ).inc()
+                s.retry_state.on_retry = _on_retry
+        if metrics is not None:
+            for ctl in self.controllers:
+                ctl.metrics = metrics
+        if self.journal is not None and metrics is not None:
+            def _on_record(kind: str) -> None:
+                metrics.counter(
+                    "repro_journal_records_total", record_kind=kind
+                ).inc()
+            self.journal.on_record = _on_record
+
+    def _emit_epoch_end(self, s: TransferSession, rec: EpochRecord) -> None:
+        """Publish one closed epoch (events timed by the epoch's own
+        sim-time boundary so live emission matches journal
+        reconstruction float-exactly)."""
+        assert self.obs is not None
+        publish_epoch_record(self.obs, s.name, rec)
 
     # -- one step ----------------------------------------------------------
 
@@ -422,7 +520,11 @@ class Engine:
             else 1.0
         )
 
+        spans = self.obs.spans if self.obs is not None else None
+
         # Move bytes and advance per-session clocks.
+        if spans is not None:
+            _t0 = spans.now()
         for s in self.sessions:
             if s.done:
                 continue
@@ -445,11 +547,15 @@ class Engine:
             s.epoch_elapsed += dt
             s.epoch_run_s += run_s
             s.epoch_bytes += moved
+        if spans is not None:
+            spans.record("epoch/transfer", max(0.0, spans.now() - _t0))
 
         self.clock.advance()
         now = self.clock.now
 
         # Epoch boundaries (and transfer completion) close out epochs.
+        if spans is not None:
+            _t0 = spans.now()
         closed: list[tuple[TransferSession, EpochRecord]] = []
         for s in self.sessions:
             if s.epoch_elapsed <= 0:
@@ -462,9 +568,22 @@ class Engine:
                 continue
             rec = s.close_epoch(start_time=now - s.epoch_elapsed)
             closed.append((s, rec))
+            if self.obs is not None:
+                self._emit_epoch_end(s, rec)
             if s.done:
                 continue
+            if spans is not None:
+                _tp = spans.now()
             self._dispatch_epoch(s, rec)
+            if spans is not None:
+                spans.record("epoch/propose", max(0.0, spans.now() - _tp))
+            if self.obs is not None and not s.done:
+                self.obs.bus.emit(EpochStart(
+                    time=rec.start + rec.duration, session=s.name,
+                    index=rec.index + 1, params=tuple(s.params),
+                ))
+        if spans is not None and closed:
+            spans.record("epoch/observe", max(0.0, spans.now() - _t0))
 
         # Journal the step's closed epochs, then one snapshot at this
         # consistent point (after every dispatch above consumed its RNG
@@ -473,11 +592,23 @@ class Engine:
             for s, rec in closed:
                 self.journal.write_epoch(s.name, rec, s.last_epoch_steps)
             self.journal.write_snapshot(self.snapshot())
+            if self.obs is not None:
+                self.obs.bus.emit(SnapshotWritten(
+                    time=now,
+                    epochs=sum(len(x.trace.epochs) for x in self.sessions),
+                ))
 
     def _dispatch_epoch(self, s: TransferSession, rec) -> None:
         """Close out one control epoch: drive the retry policy and circuit
         breaker, and feed the tuner/controller — but never with a faulted
         or absent observation."""
+        obs = self.obs
+        end_t = rec.start + rec.duration
+        if obs is not None:
+            # Context for hooks (breaker/retry) fired inside this dispatch.
+            self._ev_time = end_t
+            self._ev_index = rec.index
+
         if s.driver is None:
             # Jointly controlled sessions carry no fault machinery
             # (enforced at construction); keep the original path.
@@ -486,6 +617,11 @@ class Engine:
             if result is not None:
                 for name, params in result.items():
                     self._adopt(self._by_name[name], params)
+                    if obs is not None:
+                        obs.bus.emit(TunerAccept(
+                            time=end_t, session=name, index=rec.index,
+                            params=tuple(params),
+                        ))
             return
 
         # Fixed per-epoch draw pattern: one value from each stream no
@@ -509,6 +645,11 @@ class Engine:
         if (rec.fault == SESSION_ABORT and s.retry_state is not None
                 and not s.retry_state.can_retry()):
             s.failed = True
+            if obs is not None:
+                obs.bus.emit(TunerReject(
+                    time=end_t, session=s.name, index=rec.index,
+                    params=tuple(s.params), reason="budget-exhausted",
+                ))
             return
 
         if s.breaker is not None and s.breaker.state == OPEN:
@@ -516,13 +657,29 @@ class Engine:
             # state frozen), no retry hammering, the tool left running.
             self._enter_fallback(s, entering=prev_state != OPEN,
                                  noise=noise, rjit=rjit)
+            if obs is not None:
+                obs.bus.emit(TunerReject(
+                    time=end_t, session=s.name, index=rec.index,
+                    params=tuple(s.params), reason="breaker-open",
+                ))
             return
 
         if s.breaker is not None and prev_state == OPEN:
             # Cooldown over: probe with the tuner's standing proposal.
             # The fallback epochs' throughput is never observed.
+            probe = tuple(s.driver.current)
+            if obs is not None:
+                obs.bus.emit(TunerProposal(
+                    time=end_t, session=s.name, index=rec.index,
+                    params=probe, observed=None,
+                ))
             self._adopt(s, s.driver.current, force_restart=True,
                         noise=noise, rjit=rjit)
+            if obs is not None:
+                obs.bus.emit(TunerAccept(
+                    time=end_t, session=s.name, index=rec.index,
+                    params=probe,
+                ))
             return
 
         if rec.faulted:
@@ -534,6 +691,11 @@ class Engine:
                 backoff = s.retry_state.record_failure(u=backoff_u)
             self._adopt(s, s.params, force_restart=True,
                         extra_dead_s=backoff, noise=noise, rjit=rjit)
+            if obs is not None:
+                obs.bus.emit(TunerReject(
+                    time=end_t, session=s.name, index=rec.index,
+                    params=tuple(s.params), reason="faulted",
+                ))
             return
 
         if s.retry_state is not None:
@@ -543,9 +705,25 @@ class Engine:
             # Control channel dropped the measurement: hold the current
             # parameters; the tuner observes nothing.
             self._adopt(s, s.params, noise=noise, rjit=rjit)
+            if obs is not None:
+                obs.bus.emit(TunerReject(
+                    time=end_t, session=s.name, index=rec.index,
+                    params=tuple(s.params), reason="obs-loss",
+                ))
             return
 
-        self._adopt(s, s.driver.observe(rec.observed), noise=noise, rjit=rjit)
+        proposal = s.driver.observe(rec.observed)
+        if obs is not None:
+            obs.bus.emit(TunerProposal(
+                time=end_t, session=s.name, index=rec.index,
+                params=tuple(proposal), observed=rec.observed,
+            ))
+        self._adopt(s, proposal, noise=noise, rjit=rjit)
+        if obs is not None:
+            obs.bus.emit(TunerAccept(
+                time=end_t, session=s.name, index=rec.index,
+                params=tuple(proposal),
+            ))
 
     def _restart_dead_s(
         self, s: TransferSession, *, warm: bool = False,

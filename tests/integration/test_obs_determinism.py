@@ -1,0 +1,147 @@
+"""Event-stream determinism across a real SIGKILL.
+
+A child process runs a journaled, fault-injected simulation; the parent
+SIGKILLs it mid-run, then resumes in-process with the event bus
+attached.  The reconstructed prefix (from the surviving journal's
+snapshot-covered epochs) concatenated with the live events of the
+resumed remainder must equal — ordered, float-exact — the stream an
+uninterrupted reference run publishes.  This is the observability twin
+of the bit-identical-trace crash test.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.checkpoint import read_journal, resume_run
+from repro.core.registry import make_tuner
+from repro.experiments.runner import run_single
+from repro.experiments.scenarios import SCENARIOS
+from repro.faults import (
+    BLACKOUT,
+    CircuitBreaker,
+    FaultEvent,
+    FaultSchedule,
+    RetryPolicy,
+)
+from repro.obs import Instrumentation, events_from_records
+
+SEED = 13
+TUNER = "cs"
+DURATION = 1800.0
+
+REPLAYABLE = ("epoch-end", "fault-injected", "breaker-transition")
+
+CHILD_SCRIPT = """
+import sys, time
+import repro.checkpoint.resume as resume_mod
+from repro.checkpoint.journal import JournalWriter
+from repro.faults import (BLACKOUT, CircuitBreaker, FaultEvent,
+                          FaultSchedule, RetryPolicy)
+
+
+class SlowDiskWriter(JournalWriter):
+    def write(self, record):
+        super().write(record)
+        time.sleep(0.05)
+
+
+resume_mod.JournalWriter = SlowDiskWriter
+resume_mod.run_journaled(
+    sys.argv[1], scenario="anl-uc", tuner={tuner!r}, seed={seed},
+    duration_s={duration},
+    fault_schedule=FaultSchedule(
+        [FaultEvent(kind=BLACKOUT, epoch=5, duration=3)]
+    ),
+    retry_policy=RetryPolicy(),
+    breaker=CircuitBreaker(failure_threshold=2, cooldown_epochs=3),
+)
+"""
+
+
+def _fault_kit():
+    return dict(
+        fault_schedule=FaultSchedule(
+            [FaultEvent(kind=BLACKOUT, epoch=5, duration=3)]
+        ),
+        retry_policy=RetryPolicy(),
+        breaker=CircuitBreaker(failure_threshold=2, cooldown_epochs=3),
+    )
+
+
+def _count_epochs(path) -> int:
+    try:
+        raw = path.read_bytes()
+    except FileNotFoundError:
+        return 0
+    return sum(
+        1 for line in raw.split(b"\n")
+        if line.startswith(b'{"kind":"epoch"')
+    )
+
+
+def _capture(run) -> list:
+    inst = Instrumentation.on()
+    sub = inst.bus.subscribe(maxlen=100_000, kinds=REPLAYABLE)
+    run(inst)
+    return sub.drain()
+
+
+@pytest.mark.slow
+def test_sigkill_then_resume_replays_the_identical_event_stream(tmp_path):
+    journal_path = tmp_path / "killed.jnl"
+    child = subprocess.Popen(
+        [sys.executable, "-c",
+         CHILD_SCRIPT.format(tuner=TUNER, seed=SEED, duration=DURATION),
+         str(journal_path)],
+        env={**os.environ,
+             "PYTHONPATH": os.pathsep.join(sys.path)},
+    )
+    try:
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            # Land the kill after the fault burst has driven the breaker
+            # through open (epochs 5-7), so transition events straddle
+            # the kill point.
+            if _count_epochs(journal_path) >= 9:
+                break
+            if child.poll() is not None:
+                pytest.fail(
+                    f"child exited early with {child.returncode} before "
+                    "the journal reached 9 epochs"
+                )
+            time.sleep(0.02)
+        else:
+            pytest.fail("journal never reached 9 epochs")
+        child.send_signal(signal.SIGKILL)
+        child.wait(timeout=30.0)
+    finally:
+        if child.poll() is None:  # pragma: no cover - cleanup
+            child.kill()
+            child.wait()
+
+    journal = read_journal(journal_path)
+    assert not journal.ended, "child finished before the kill"
+    killed_at = len(journal.epochs)
+
+    prefix = events_from_records(
+        "main",
+        [je.record for je in journal.snapshot_epochs_for("main")],
+    )
+    resumed_live = _capture(lambda o: resume_run(journal_path, obs=o))
+
+    reference = _capture(lambda o: run_single(
+        SCENARIOS["anl-uc"], make_tuner(TUNER, SEED),
+        duration_s=DURATION, seed=SEED, obs=o, **_fault_kit(),
+    ))
+
+    ends = [e for e in reference if e.kind == "epoch-end"]
+    assert len(ends) > killed_at, "kill landed after the end"
+    assert any(e.kind == "breaker-transition" for e in reference), (
+        "campaign never exercised the breaker"
+    )
+    assert prefix + resumed_live == reference

@@ -1,0 +1,116 @@
+"""Event bus: bounded subscribers, sink isolation, the null bus."""
+
+import pytest
+
+from repro.obs import (
+    NULL_BUS,
+    EpochStart,
+    EventBus,
+    NullBus,
+    RingSubscriber,
+    SnapshotWritten,
+)
+
+
+def _ev(i: int) -> EpochStart:
+    return EpochStart(time=float(i), session="main", index=i, params=(2,))
+
+
+class TestRingSubscriber:
+    def test_fifo_order(self):
+        sub = RingSubscriber(maxlen=10)
+        for i in range(3):
+            sub.accept(_ev(i))
+        assert [e.index for e in sub.drain()] == [0, 1, 2]
+
+    def test_overflow_drops_oldest_and_counts(self):
+        sub = RingSubscriber(maxlen=3)
+        for i in range(7):
+            sub.accept(_ev(i))
+        assert sub.dropped == 4
+        assert sub.received == 7
+        # The newest events survive; the oldest were evicted.
+        assert [e.index for e in sub.peek()] == [4, 5, 6]
+        assert len(sub) == 3
+
+    def test_drain_empties_the_ring(self):
+        sub = RingSubscriber(maxlen=3)
+        sub.accept(_ev(0))
+        assert len(sub.drain()) == 1
+        assert sub.drain() == []
+
+    def test_kind_filter(self):
+        sub = RingSubscriber(maxlen=10, kinds=["snapshot-written"])
+        sub.accept(_ev(0))
+        sub.accept(SnapshotWritten(time=1.0, epochs=1))
+        assert sub.received == 1
+        assert [e.kind for e in sub.drain()] == ["snapshot-written"]
+
+    def test_maxlen_validated(self):
+        with pytest.raises(ValueError):
+            RingSubscriber(maxlen=0)
+
+
+class TestEventBus:
+    def test_fan_out_to_all_subscribers(self):
+        bus = EventBus()
+        a, b = bus.subscribe(), bus.subscribe()
+        bus.emit(_ev(0))
+        assert len(a) == len(b) == 1
+
+    def test_counts_by_kind(self):
+        bus = EventBus()
+        bus.emit(_ev(0))
+        bus.emit(_ev(1))
+        bus.emit(SnapshotWritten(time=1.0, epochs=2))
+        assert bus.counts == {"epoch-start": 2, "snapshot-written": 1}
+        assert bus.total_emitted == 3
+
+    def test_slow_consumer_never_blocks_emit(self):
+        """A full ring keeps accepting: the producer never stalls."""
+        bus = EventBus()
+        sub = bus.subscribe(maxlen=2)
+        for i in range(1000):
+            bus.emit(_ev(i))
+        assert bus.total_emitted == 1000
+        assert sub.dropped == 998
+        assert [e.index for e in sub.drain()] == [998, 999]
+
+    def test_unsubscribe_stops_delivery(self):
+        bus = EventBus()
+        sub = bus.subscribe()
+        bus.unsubscribe(sub)
+        bus.emit(_ev(0))
+        assert len(sub) == 0
+
+    def test_raising_sink_is_detached_not_fatal(self):
+        bus = EventBus()
+        seen = []
+
+        def bad(event):
+            raise RuntimeError("exporter broke")
+
+        bus.attach(bad)
+        bus.attach(seen.append)
+        bus.emit(_ev(0))  # must not raise
+        bus.emit(_ev(1))
+        assert bus.sink_errors == 1
+        assert [e.index for e in seen] == [0, 1]
+
+    def test_detach(self):
+        bus = EventBus()
+        seen = []
+        sink = bus.attach(seen.append)
+        bus.detach(sink)
+        bus.emit(_ev(0))
+        assert seen == []
+
+
+class TestNullBus:
+    def test_emit_is_noop(self):
+        NULL_BUS.emit(_ev(0))
+        assert NULL_BUS.total_emitted == 0
+
+    def test_subscribe_refused(self):
+        with pytest.raises(RuntimeError, match="NullBus"):
+            NullBus().subscribe()

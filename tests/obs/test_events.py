@@ -1,0 +1,124 @@
+"""Event model: dict round-trips and record-stream reconstruction."""
+
+import pytest
+
+from repro.obs import (
+    EVENT_TYPES,
+    BreakerTransition,
+    EpochEnd,
+    EpochStart,
+    FaultInjected,
+    RetryAttempt,
+    TunerProposal,
+    event_from_dict,
+    events_from_records,
+)
+from repro.sim.trace import EpochRecord
+
+
+def _rec(index, *, fault=None, breaker="closed", start=None):
+    return EpochRecord(
+        index=index,
+        start=30.0 * index if start is None else start,
+        duration=30.0,
+        params=(2,),
+        observed=1000.0,
+        best_case=1100.0,
+        bytes_moved=3e10,
+        faulted=fault is not None,
+        fault=fault,
+        retries=1 if fault else 0,
+        breaker=breaker,
+        tuned=fault is None,
+    )
+
+
+class TestDictRoundTrip:
+    @pytest.mark.parametrize("kind", sorted(EVENT_TYPES))
+    def test_every_kind_round_trips(self, kind):
+        samples = {
+            "epoch-start": EpochStart(
+                time=0.0, session="main", index=0, params=(2, 8)),
+            "epoch-end": EpochEnd(
+                time=30.0, session="main", index=0, params=(2, 8),
+                observed=1000.0, best_case=1100.0, bytes_moved=3e10),
+            "tuner-proposal": TunerProposal(
+                time=30.0, session="main", index=0, params=(4, 8),
+                observed=1000.0),
+            "tuner-accept": EVENT_TYPES["tuner-accept"](
+                time=30.0, session="main", index=0, params=(4, 8)),
+            "tuner-reject": EVENT_TYPES["tuner-reject"](
+                time=30.0, session="main", index=0, params=(2, 8),
+                reason="breaker-open"),
+            "fault-injected": FaultInjected(
+                time=30.0, session="main", index=0, fault="blackout"),
+            "retry-attempt": RetryAttempt(
+                time=30.0, session="main", index=0, attempt=1,
+                backoff_s=1.0),
+            "breaker-transition": BreakerTransition(
+                time=30.0, session="main", index=0, old="closed",
+                new="open"),
+            "snapshot-written": EVENT_TYPES["snapshot-written"](
+                time=30.0, epochs=1),
+            "monitor-trip": EVENT_TYPES["monitor-trip"](
+                time=30.0, session="main", value=0.4),
+        }
+        event = samples[kind]
+        data = event.to_dict()
+        assert data["kind"] == kind
+        assert event_from_dict(data) == event
+
+    def test_params_restored_as_tuple(self):
+        data = EpochStart(
+            time=0.0, session="m", index=0, params=(2, 8)).to_dict()
+        assert data["params"] == [2, 8]  # JSON-ready
+        assert event_from_dict(data).params == (2, 8)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            event_from_dict({"kind": "nope"})
+
+    def test_events_are_immutable(self):
+        ev = EpochStart(time=0.0, session="m", index=0, params=(2,))
+        with pytest.raises(AttributeError):
+            ev.index = 1
+
+
+class TestEventsFromRecords:
+    def test_plain_run_is_epoch_ends_only(self):
+        events = events_from_records("s", [_rec(0), _rec(1)])
+        assert [e.kind for e in events] == ["epoch-end", "epoch-end"]
+        assert [e.index for e in events] == [0, 1]
+        assert events[0].time == 30.0
+        assert events[1].time == 60.0
+
+    def test_fault_precedes_its_epoch_end(self):
+        events = events_from_records("s", [_rec(0, fault="blackout")])
+        assert [e.kind for e in events] == ["fault-injected", "epoch-end"]
+        assert events[0].fault == "blackout"
+        assert events[0].time == events[1].time
+
+    def test_breaker_transition_between_epoch_ends(self):
+        events = events_from_records(
+            "s",
+            [_rec(0, breaker="closed"), _rec(1, breaker="open"),
+             _rec(2, breaker="open")],
+        )
+        assert [e.kind for e in events] == [
+            "epoch-end", "breaker-transition", "epoch-end", "epoch-end",
+        ]
+        trans = events[1]
+        # The transition is stamped at the boundary of the epoch that
+        # caused it: index of the previous record, time of its close.
+        assert (trans.index, trans.old, trans.new) == (0, "closed", "open")
+        assert trans.time == 30.0
+
+    def test_trailing_transition_is_never_guessed(self):
+        # The last record's outcome may have tripped the breaker, but
+        # records alone cannot show it — and a finished live session
+        # skips its final dispatch, so live streams agree.
+        events = events_from_records("s", [_rec(0, fault="blackout")])
+        assert all(e.kind != "breaker-transition" for e in events)
+
+    def test_empty(self):
+        assert events_from_records("s", []) == []

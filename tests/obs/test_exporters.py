@@ -1,0 +1,74 @@
+"""Exporters: JSONL event log round-trip and Prometheus snapshots."""
+
+import pytest
+
+from repro.obs import (
+    EpochStart,
+    EventBus,
+    JsonlEventLog,
+    MetricsRegistry,
+    SnapshotWritten,
+    read_event_log,
+    write_prometheus,
+)
+
+
+def _ev(i: int) -> EpochStart:
+    return EpochStart(time=float(i), session="main", index=i, params=(2,))
+
+
+class TestJsonlEventLog:
+    def test_round_trip_through_a_bus(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        bus = EventBus()
+        events = [_ev(0), SnapshotWritten(time=1.0, epochs=1), _ev(1)]
+        with JsonlEventLog(path).attach_to(bus) as log:
+            for e in events:
+                bus.emit(e)
+        assert log.written == 3
+        assert read_event_log(path) == events
+
+    def test_append_mode_accumulates(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlEventLog(path) as log:
+            log(_ev(0))
+        with JsonlEventLog(path) as log:
+            log(_ev(1))
+        assert [e.index for e in read_event_log(path)] == [0, 1]
+
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlEventLog(path) as log:
+            log(_ev(0))
+        with open(path, "a", encoding="utf-8") as f:
+            f.write('{"kind":"epoch-start","time":3.0,"sess')
+        assert [e.index for e in read_event_log(path)] == [0]
+
+    def test_damage_before_the_tail_raises(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"kind":"garbage"}\n'
+                        + '{"kind":"snapshot-written","time":1.0,'
+                          '"session":"","epochs":1}\n')
+        with pytest.raises(ValueError):
+            read_event_log(path)
+
+
+class TestWritePrometheus:
+    def test_writes_text_format(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("repro_epochs_total", session="main").inc(4)
+        out = tmp_path / "metrics.prom"
+        write_prometheus(reg, out)
+        text = out.read_text()
+        assert "# TYPE repro_epochs_total counter" in text
+        assert 'repro_epochs_total{session="main"} 4.0' in text
+
+    def test_atomic_replace(self, tmp_path):
+        out = tmp_path / "metrics.prom"
+        reg = MetricsRegistry()
+        reg.gauge("x").set(1)
+        write_prometheus(reg, out)
+        reg.gauge("x").set(2)
+        write_prometheus(reg, out)
+        assert "x 2.0" in out.read_text()
+        assert list(tmp_path.iterdir()) == [out]  # no temp litter

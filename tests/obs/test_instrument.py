@@ -1,0 +1,168 @@
+"""Wired instrumentation: deterministic streams, resume equality, no-op.
+
+The determinism contract under test: a seeded sim run publishes an event
+stream that (a) repeats exactly on a rerun, (b) matches the
+reconstruction from its own journal, and (c) is reproduced by a resumed
+run — reconstructed prefix plus live remainder — with float-exact
+payloads and ordering.
+"""
+
+import pytest
+
+from repro.checkpoint import read_journal, resume_run, run_journaled
+from repro.core.monitor import DeltaPctMonitor
+from repro.faults import (
+    BLACKOUT,
+    CircuitBreaker,
+    FaultEvent,
+    FaultSchedule,
+    RetryPolicy,
+)
+from repro.obs import (
+    Instrumentation,
+    events_from_records,
+    instrument_monitor,
+)
+
+#: The replayable subsequence — what the journal alone can reconstruct.
+REPLAYABLE = ("epoch-end", "fault-injected", "breaker-transition")
+
+FAULTS = FaultSchedule(
+    [FaultEvent(kind=BLACKOUT, epoch=4, duration=3)]
+)
+
+
+def _journaled_run(path, obs, duration_s=600.0):
+    return run_journaled(
+        path, scenario="anl-uc", tuner="cs", seed=7,
+        duration_s=duration_s,
+        fault_schedule=FAULTS, retry_policy=RetryPolicy(),
+        breaker=CircuitBreaker(failure_threshold=2, cooldown_epochs=2),
+        obs=obs,
+    )
+
+
+def _capture(run):
+    inst = Instrumentation.on()
+    sub = inst.bus.subscribe(maxlen=100_000)
+    run(inst)
+    return sub.drain()
+
+
+def _replayable(events):
+    return [e for e in events if e.kind in REPLAYABLE]
+
+
+class TestSimStreamDeterminism:
+    def test_same_seed_same_stream(self, tmp_path):
+        a = _capture(lambda o: _journaled_run(tmp_path / "a.jnl", o))
+        b = _capture(lambda o: _journaled_run(tmp_path / "b.jnl", o))
+        assert a == b
+        kinds = {e.kind for e in a}
+        assert {"epoch-start", "epoch-end", "tuner-proposal",
+                "tuner-accept", "tuner-reject", "fault-injected",
+                "breaker-transition", "snapshot-written"} <= kinds
+
+    def test_stream_matches_journal_reconstruction(self, tmp_path):
+        events = _capture(lambda o: _journaled_run(tmp_path / "j.jnl", o))
+        journal = read_journal(tmp_path / "j.jnl")
+        recon = events_from_records(
+            "main", [je.record for je in journal.epochs_for("main")]
+        )
+        assert _replayable(events) == recon
+
+    def test_resumed_run_replays_the_identical_stream(self, tmp_path):
+        path = tmp_path / "full.jnl"
+        full = _replayable(_capture(lambda o: _journaled_run(path, o)))
+
+        # "Kill" the run: keep the journal prefix through the third
+        # snapshot (header + 3 x (epoch, snapshot) records).
+        trunc = tmp_path / "killed.jnl"
+        lines = path.read_bytes().splitlines(keepends=True)
+        trunc.write_bytes(b"".join(lines[:7]))
+
+        journal = read_journal(trunc)
+        assert not journal.ended
+        prefix = events_from_records(
+            "main",
+            [je.record for je in journal.snapshot_epochs_for("main")],
+        )
+        assert 0 < len(prefix) < len(full)
+
+        resumed_live = _replayable(
+            _capture(lambda o: resume_run(trunc, obs=o))
+        )
+        assert prefix + resumed_live == full
+
+    def test_replayed_epochs_do_not_reemit_events(self, tmp_path):
+        """Resuming a *complete* journal replays everything and runs
+        nothing — so the bus must stay silent."""
+        path = tmp_path / "full.jnl"
+        _journaled_run(path, None)
+        events = _capture(lambda o: resume_run(path, obs=o))
+        assert events == []
+
+
+class TestOffByDefault:
+    def test_default_run_has_no_bus(self, tmp_path):
+        # obs=None end to end: nothing to assert beyond "it runs clean",
+        # which is exactly the point of the default path.
+        trace = _journaled_run(tmp_path / "plain.jnl", None, 300.0)
+        assert len(trace.epochs) == 10
+
+    def test_noop_bundle_runs_the_wired_path(self, tmp_path):
+        inst = Instrumentation.noop()
+        trace = _journaled_run(tmp_path / "noop.jnl", inst, 300.0)
+        assert len(trace.epochs) == 10
+        assert inst.bus.total_emitted == 0
+        assert inst.metrics is None and inst.spans is None
+
+    def test_noop_and_instrumented_runs_agree(self, tmp_path):
+        t_noop = _journaled_run(tmp_path / "a.jnl",
+                                Instrumentation.noop(), 300.0)
+        t_on = _journaled_run(tmp_path / "b.jnl",
+                              Instrumentation.on(), 300.0)
+        assert t_noop.epochs == t_on.epochs
+
+
+class TestMetricsWiring:
+    def test_per_epoch_metrics_populated(self, tmp_path):
+        inst = Instrumentation.on()
+        trace = _journaled_run(tmp_path / "j.jnl", inst)
+        n = len(trace.epochs)
+        fam = inst.metrics.collect()
+        assert fam["repro_epochs_total"][(("session", "main"),)].value == n
+        hist = fam["repro_epoch_throughput_mbps"][(("session", "main"),)]
+        assert hist.count == n
+        assert fam["repro_faults_total"][
+            (("fault_kind", "blackout"), ("session", "main"))
+        ].value == 3.0
+        assert "repro_breaker_transitions_total" in fam
+        assert "repro_journal_records_total" in fam
+
+    def test_span_latencies_recorded(self, tmp_path):
+        inst = Instrumentation.on()
+        _journaled_run(tmp_path / "j.jnl", inst, 300.0)
+        assert set(inst.spans.last) >= {
+            "epoch/transfer", "epoch/observe", "epoch/propose",
+        }
+
+
+class TestInstrumentMonitor:
+    def test_trip_publishes_event_and_counts(self):
+        inst = Instrumentation.on()
+        sub = inst.bus.subscribe()
+        monitor = instrument_monitor(
+            DeltaPctMonitor(eps_pct=5.0),
+            inst, session="main", clock=lambda: 42.0,
+        )
+        tripped = False
+        for v in (1000.0, 1000.0, 100.0):
+            tripped = monitor.update(v) or tripped
+        assert tripped
+        trips = [e for e in sub.drain() if e.kind == "monitor-trip"]
+        assert trips and trips[0].time == 42.0
+        assert trips[0].session == "main"
+        assert inst.metrics.counter(
+            "repro_monitor_trips_total", session="main"
+        ).value == len(trips)

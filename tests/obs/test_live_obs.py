@@ -1,0 +1,118 @@
+"""Live-loop observability: one clock, deterministic streams.
+
+The live loop keeps a deterministic elapsed-time ledger (epoch starts,
+backoffs) independent of the wall clock, so with an injected
+:class:`FakeClock` the published event stream is exactly repeatable and
+matches the journal reconstruction — same contract as the sim engine.
+"""
+
+import time
+
+import pytest
+
+from repro.checkpoint.journal import JournalWriter, read_journal
+from repro.core.params import ParamSpace
+from repro.core.registry import make_tuner
+from repro.faults import CircuitBreaker, FaultSchedule, RetryPolicy
+from repro.live import tune_live
+from repro.obs import FakeClock, Instrumentation, events_from_records
+
+SPACE = ParamSpace(("nc",), (1,), (16,))
+
+REPLAYABLE = ("epoch-end", "fault-injected", "breaker-transition")
+
+
+def _runner(nc, np_, duration_s):
+    return nc * np_ * 10e6 * duration_s
+
+
+def _faulted_run(*, journal=None, obs=None, clock=None):
+    return tune_live(
+        make_tuner("nm", 0), SPACE, (2,), _runner,
+        epoch_s=10.0, max_epochs=12,
+        fault_schedule=FaultSchedule.bursts(5, 12, 1, 3),
+        retry_policy=RetryPolicy(jitter_frac=0.0),
+        breaker=CircuitBreaker(failure_threshold=2, cooldown_epochs=2),
+        clock=clock if clock is not None else FakeClock(),
+        journal=journal, obs=obs,
+    )
+
+
+def _capture(**kwargs):
+    inst = Instrumentation.on(clock=FakeClock().now)
+    sub = inst.bus.subscribe(maxlen=100_000)
+    result = _faulted_run(obs=inst, **kwargs)
+    return result, sub.drain()
+
+
+class TestLiveClock:
+    def test_fake_clock_runs_instantly(self):
+        t0 = time.monotonic()
+        result, _ = _capture()
+        assert time.monotonic() - t0 < 5.0  # 12 x 10 s epochs, no waiting
+        assert len(result.epochs) == 12
+
+    def test_no_direct_wall_sleep_with_an_injected_clock(self, monkeypatch):
+        def forbidden(seconds):  # pragma: no cover - failure path
+            raise AssertionError("tune_live bypassed the injected clock")
+
+        monkeypatch.setattr(time, "sleep", forbidden)
+        result, _ = _capture()
+        assert len(result.epochs) == 12
+
+    def test_backoffs_are_served_through_the_clock(self):
+        clock = FakeClock()
+        result = _faulted_run(clock=clock)
+        retries = max(e.retries for e in result.epochs)
+        assert retries > 0
+        # Every retry charged its backoff as a clock sleep.
+        assert len(clock.sleeps) >= retries
+        assert all(s >= 0 for s in clock.sleeps)
+
+    def test_sleep_kwarg_still_works_without_a_clock(self):
+        slept = []
+        result = tune_live(
+            make_tuner("default", 0), SPACE, (2,), _runner,
+            epoch_s=0.01, max_epochs=2, sleep=slept.append,
+        )
+        assert len(result.epochs) == 2
+
+
+class TestLiveStreamDeterminism:
+    def test_same_campaign_same_stream(self):
+        _, a = _capture()
+        _, b = _capture()
+        assert a == b
+        kinds = {e.kind for e in a}
+        assert {"epoch-start", "epoch-end", "fault-injected",
+                "breaker-transition", "tuner-reject"} <= kinds
+
+    def test_stream_matches_journal_reconstruction(self, tmp_path):
+        writer = JournalWriter(tmp_path / "live.jnl")
+        writer.write_header({"run": {}})
+        _, events = _capture(journal=writer)
+        writer.close()
+        journal = read_journal(tmp_path / "live.jnl")
+        recon = events_from_records(
+            "live", [je.record for je in journal.epochs_for("live")]
+        )
+        live = [e for e in events if e.kind in REPLAYABLE]
+        assert live == recon
+
+    def test_event_times_follow_the_epoch_ledger(self):
+        _, events = _capture()
+        ends = [e for e in events if e.kind == "epoch-end"]
+        # Epoch ends land on the elapsed ledger: start + epoch length,
+        # shifted by any backoff the dispatch charged earlier.
+        assert all(b.time > a.time for a, b in zip(ends, ends[1:]))
+        assert ends[0].time == pytest.approx(10.0)
+
+    def test_snapshot_events_when_journaled_only(self, tmp_path):
+        _, bare = _capture()
+        assert all(e.kind != "snapshot-written" for e in bare)
+        writer = JournalWriter(tmp_path / "live.jnl")
+        writer.write_header({"run": {}})
+        _, journaled = _capture(journal=writer)
+        writer.close()
+        snaps = [e for e in journaled if e.kind == "snapshot-written"]
+        assert len(snaps) == 12

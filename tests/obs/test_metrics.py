@@ -1,0 +1,189 @@
+"""Metrics registry: counters, gauges, mergeable histograms, rendering.
+
+The load-bearing property (pinned with hypothesis): splitting a sample
+across two fixed-bucket histograms and merging them gives quantile
+estimates within one bucket width of the exact sample quantile — the
+guarantee that makes per-session histograms aggregatable across shards
+and resumed runs.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import Histogram, MetricsRegistry
+
+#: Unit-width buckets covering [0, 10]; one bucket width == 1.0.
+LINEAR_BUCKETS = tuple(float(b) for b in range(1, 11))
+
+
+def exact_quantile(values: list[float], q: float) -> float:
+    """The q-quantile as the ceil(q*n)-th smallest sample value."""
+    ordered = sorted(values)
+    if q == 0.0:
+        return ordered[0]
+    rank = math.ceil(q * len(ordered))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+class TestHistogram:
+    def test_bucketing_and_overflow(self):
+        h = Histogram((1.0, 2.0, 4.0))
+        for v in (0.5, 1.0, 1.5, 3.0, 100.0):
+            h.observe(v)
+        assert h.counts == [2, 1, 1]
+        assert h.overflow == 1
+        assert h.count == 5
+        assert h.mean == pytest.approx(21.2)
+
+    def test_bad_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(())
+        with pytest.raises(ValueError):
+            Histogram((1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram((1.0, float("inf")))
+
+    def test_quantile_empty_is_zero(self):
+        assert Histogram((1.0,)).quantile(0.5) == 0.0
+
+    def test_quantile_saturates_at_last_bound(self):
+        h = Histogram((1.0, 2.0))
+        h.observe(50.0)
+        assert h.quantile(0.99) == 2.0
+
+    def test_merge_requires_equal_buckets(self):
+        with pytest.raises(ValueError, match="different buckets"):
+            Histogram((1.0,)).merge(Histogram((2.0,)))
+
+    def test_merge_is_bucketwise_sum(self):
+        a, b = Histogram(LINEAR_BUCKETS), Histogram(LINEAR_BUCKETS)
+        for v in (0.5, 3.3):
+            a.observe(v)
+        for v in (3.4, 9.9, 42.0):
+            b.observe(v)
+        m = a.merge(b)
+        assert m.count == 5
+        assert m.overflow == 1
+        assert m.total == pytest.approx(a.total + b.total)
+        assert m.counts == [x + y for x, y in zip(a.counts, b.counts)]
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=10.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=60,
+        ),
+        split=st.integers(min_value=0, max_value=60),
+        q=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_merged_quantile_within_one_bucket_width_of_exact(
+        self, values, split, q
+    ):
+        split = min(split, len(values))
+        a, b = Histogram(LINEAR_BUCKETS), Histogram(LINEAR_BUCKETS)
+        for v in values[:split]:
+            a.observe(v)
+        for v in values[split:]:
+            b.observe(v)
+        merged = a.merge(b)
+        est = merged.quantile(q)
+        width = 1.0  # LINEAR_BUCKETS spacing
+        assert abs(est - exact_quantile(values, q)) <= width + 1e-9
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=10.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=60,
+        ),
+        split=st.integers(min_value=0, max_value=60),
+    )
+    def test_merge_equals_observing_everything_in_one_histogram(
+        self, values, split
+    ):
+        split = min(split, len(values))
+        a, b = Histogram(LINEAR_BUCKETS), Histogram(LINEAR_BUCKETS)
+        whole = Histogram(LINEAR_BUCKETS)
+        for v in values:
+            whole.observe(v)
+        for v in values[:split]:
+            a.observe(v)
+        for v in values[split:]:
+            b.observe(v)
+        merged = a.merge(b)
+        assert merged.counts == whole.counts
+        assert merged.overflow == whole.overflow
+        assert merged.count == whole.count
+        assert merged.total == pytest.approx(whole.total)
+
+
+class TestMetricsRegistry:
+    def test_counter_identity_by_name_and_labels(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", session="a").inc()
+        reg.counter("hits", session="a").inc(2)
+        reg.counter("hits", session="b").inc()
+        fam = reg.collect()["hits"]
+        assert {k: m.value for k, m in fam.items()} == {
+            (("session", "a"),): 3.0,
+            (("session", "b"),): 1.0,
+        }
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("hits").inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(5)
+        g.inc()
+        g.dec(2)
+        assert g.value == 4.0
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x")
+
+    def test_histogram_bucket_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError, match="buckets"):
+            reg.histogram("lat", buckets=(1.0, 3.0))
+
+    def test_bad_names_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("bad name")
+        with pytest.raises(ValueError):
+            reg.counter("ok", **{"0bad": "v"})
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("n", session="main").inc()
+        reg.histogram("lat", buckets=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        assert snap["n"]["kind"] == "counter"
+        assert snap["n"]["series"][0]["labels"] == {"session": "main"}
+        hist = snap["lat"]["series"][0]
+        assert hist["count"] == 1 and "p50" in hist
+
+    def test_render_prometheus(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_epochs_total", session="main").inc(3)
+        reg.histogram("lat", buckets=(1.0, 2.0)).observe(1.5)
+        text = reg.render_prometheus()
+        assert "# TYPE repro_epochs_total counter" in text
+        assert 'repro_epochs_total{session="main"} 3.0' in text
+        assert 'lat_bucket{le="1.0"} 0' in text
+        assert 'lat_bucket{le="2.0"} 1' in text
+        assert 'lat_bucket{le="+Inf"} 1' in text
+        assert "lat_sum 1.5" in text
+        assert "lat_count 1" in text
+        assert text.endswith("\n")

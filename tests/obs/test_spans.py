@@ -1,0 +1,70 @@
+"""Span recorder: nesting, explicit form, metric destination."""
+
+import pytest
+
+from repro.obs import SPAN_METRIC, FakeClock, MetricsRegistry, SpanRecorder
+
+
+def _recorder(**labels):
+    clock = FakeClock()
+    reg = MetricsRegistry()
+    return SpanRecorder(reg, clock=clock.now, buckets=(0.1, 1.0, 10.0),
+                        **labels), clock, reg
+
+
+class TestSpans:
+    def test_span_measures_clock_delta(self):
+        spans, clock, _ = _recorder()
+        with spans.span("epoch"):
+            clock.advance(0.5)
+        assert spans.last["epoch"] == pytest.approx(0.5)
+
+    def test_nesting_joins_paths_with_slash(self):
+        spans, clock, _ = _recorder()
+        with spans.span("epoch"):
+            assert spans.current_path == "epoch"
+            with spans.span("propose"):
+                assert spans.current_path == "epoch/propose"
+                clock.advance(0.2)
+            clock.advance(0.3)
+        assert spans.current_path == ""
+        assert spans.last["epoch/propose"] == pytest.approx(0.2)
+        assert spans.last["epoch"] == pytest.approx(0.5)
+
+    def test_stack_unwinds_on_exception(self):
+        spans, clock, _ = _recorder()
+        with pytest.raises(RuntimeError):
+            with spans.span("epoch"):
+                clock.advance(0.1)
+                raise RuntimeError("boom")
+        assert spans.current_path == ""
+        assert spans.last["epoch"] == pytest.approx(0.1)
+
+    def test_slash_in_name_rejected(self):
+        spans, _, _ = _recorder()
+        with pytest.raises(ValueError):
+            with spans.span("a/b"):
+                pass
+
+    def test_explicit_record_form(self):
+        spans, clock, reg = _recorder()
+        t0 = spans.now()
+        clock.advance(0.25)
+        spans.record("epoch/transfer", spans.now() - t0)
+        hist = reg.histogram(SPAN_METRIC, buckets=(0.1, 1.0, 10.0),
+                             phase="epoch/transfer")
+        assert hist.count == 1
+        assert hist.total == pytest.approx(0.25)
+
+    def test_negative_duration_rejected(self):
+        spans, _, _ = _recorder()
+        with pytest.raises(ValueError):
+            spans.record("epoch", -1.0)
+
+    def test_extra_labels_flow_to_the_metric(self):
+        spans, clock, reg = _recorder(run="r1")
+        with spans.span("epoch"):
+            clock.advance(0.1)
+        hist = reg.histogram(SPAN_METRIC, buckets=(0.1, 1.0, 10.0),
+                             phase="epoch", run="r1")
+        assert hist.count == 1

@@ -1,0 +1,169 @@
+"""The ``repro top`` dashboard: rendering, source sniffing, follow."""
+
+import io
+
+import pytest
+
+from repro.checkpoint.journal import JournalWriter
+from repro.obs import (
+    follow,
+    load_view,
+    render,
+    render_path,
+    sparkline,
+    view_from_journal,
+    view_from_trace,
+)
+from repro.sim.trace import EpochRecord, Trace
+from repro.sim.traceio import save_trace
+
+
+def _rec(index, *, observed=1000.0, fault=None, breaker="closed",
+         retries=0):
+    return EpochRecord(
+        index=index, start=30.0 * index, duration=30.0, params=(4,),
+        observed=observed, best_case=observed * 1.1, bytes_moved=3e10,
+        faulted=fault is not None, fault=fault, retries=retries,
+        breaker=breaker, tuned=fault is None,
+    )
+
+
+def _journal(path, n_epochs, *, ended=False, session="main"):
+    writer = JournalWriter(path)
+    writer.write_header(
+        {"run": {"scenario": "anl-uc", "tuner": "nm", "load": "none",
+                 "seed": 0}}
+    )
+    for i in range(n_epochs):
+        writer.write_epoch(session, _rec(i, observed=800.0 + 150.0 * i))
+    if ended:
+        writer.write_end()
+    writer.close()
+    return path
+
+
+class TestSparkline:
+    def test_shape_and_extremes(self):
+        line = sparkline([0.0, 50.0, 100.0], width=3)
+        assert len(line) == 3
+        assert line[0] == " " or line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_downsamples_to_width(self):
+        assert len(sparkline([float(i) for i in range(1000)], width=10)) == 10
+
+
+class TestViews:
+    def test_in_progress_journal_is_live(self, tmp_path):
+        path = _journal(tmp_path / "j.jnl", 3)
+        view = view_from_journal(path)
+        assert view.live
+        assert not view.ended
+        assert len(view.sessions["main"]) == 3
+        assert view.config["tuner"] == "nm"
+
+    def test_ended_journal_is_complete(self, tmp_path):
+        path = _journal(tmp_path / "j.jnl", 3, ended=True)
+        view = view_from_journal(path)
+        assert view.ended and not view.live
+
+    def test_torn_journal_tail_is_tolerated_silently(self, tmp_path):
+        path = _journal(tmp_path / "j.jnl", 2)
+        with open(path, "a", encoding="utf-8") as f:
+            f.write('{"kind":"epoch","ses')  # writer died mid-append
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            view = view_from_journal(path)
+        assert len(view.sessions["main"]) == 2
+
+    def test_view_from_trace(self, tmp_path):
+        trace = Trace(label="main", epochs=[_rec(0), _rec(1)])
+        path = tmp_path / "trace.json"
+        save_trace(trace, path)
+        view = view_from_trace(path)
+        assert view.ended and not view.live
+        assert len(view.sessions["main"]) == 2
+
+    def test_load_view_sniffs_journal_then_trace(self, tmp_path):
+        jpath = _journal(tmp_path / "j.jnl", 1)
+        assert load_view(jpath).kind == "journal"
+        trace = Trace(label="main", epochs=[_rec(0)])
+        tpath = tmp_path / "trace.json"
+        save_trace(trace, tpath)
+        assert load_view(tpath).kind == "trace"
+
+    def test_load_view_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_view(tmp_path / "nope.jnl")
+
+
+class TestRender:
+    def test_render_shows_params_breaker_and_sparkline(self, tmp_path):
+        path = _journal(tmp_path / "j.jnl", 4)
+        frame = render_path(path)
+        assert "[LIVE]" in frame
+        assert "nc=4" in frame
+        assert "breaker closed" in frame
+        assert "tuner-fed 4/4" in frame
+        assert "█" in frame  # the peak epoch saturates the sparkline
+
+    def test_render_summarizes_faults_and_retries(self, tmp_path):
+        writer = JournalWriter(tmp_path / "j.jnl")
+        writer.write_header({"run": {}})
+        writer.write_epoch("main", _rec(0))
+        writer.write_epoch(
+            "main", _rec(1, fault="blackout", breaker="open", retries=2))
+        writer.write_end()
+        writer.close()
+        frame = render_path(tmp_path / "j.jnl")
+        assert "[complete]" in frame
+        assert "breaker open" in frame
+        assert "blackout" in frame
+        assert "retries: 2" in frame
+
+    def test_render_empty_journal(self, tmp_path):
+        writer = JournalWriter(tmp_path / "j.jnl")
+        writer.write_header({"run": {}})
+        writer.close()
+        frame = render_path(tmp_path / "j.jnl")
+        assert "no epochs journaled yet" in frame
+
+    def test_width_is_respected(self, tmp_path):
+        path = _journal(tmp_path / "j.jnl", 4)
+        frame = render(load_view(path), width=40)
+        rules = [ln for ln in frame.splitlines()
+                 if set(ln) == {"─"}]
+        assert rules and all(len(r) == 40 for r in rules)
+
+
+class TestFollow:
+    def test_follow_renders_until_the_run_ends(self, tmp_path):
+        path = _journal(tmp_path / "j.jnl", 2, ended=True)
+        out = io.StringIO()
+        frames = follow(path, interval_s=0.01, out=out,
+                        sleep=lambda s: None)
+        assert frames == 1  # ended journal: one frame, then stop
+        assert "[complete]" in out.getvalue()
+
+    def test_follow_polls_a_missing_file(self, tmp_path):
+        out = io.StringIO()
+        frames = follow(tmp_path / "later.jnl", interval_s=0.01, out=out,
+                        sleep=lambda s: None, max_frames=3)
+        assert frames == 3
+        assert "waiting for" in out.getvalue()
+
+    def test_follow_max_frames_bounds_a_live_journal(self, tmp_path):
+        path = _journal(tmp_path / "j.jnl", 2)  # never ends
+        out = io.StringIO()
+        frames = follow(path, interval_s=0.01, out=out,
+                        sleep=lambda s: None, max_frames=5)
+        assert frames == 5
+
+    def test_follow_rejects_bad_interval(self, tmp_path):
+        with pytest.raises(ValueError):
+            follow(tmp_path / "x", interval_s=0.0)

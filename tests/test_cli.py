@@ -158,3 +158,117 @@ class TestJournalCommands:
         capsys.readouterr()
         assert rc == 0
         assert load_trace(out_path).epochs
+
+
+class TestInfo:
+    def test_lists_tuners_scenarios_and_load_profiles(self, capsys):
+        rc = main(["info"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        from repro.core.registry import tuner_names
+
+        for name in tuner_names():
+            assert name in out
+        assert "anl-uc" in out and "anl-tacc" in out
+        assert "cmp16" in out and "tfr64" in out
+        # One-line docs came along.
+        assert "Nelder-Mead" in out
+        assert "ESnet" in out
+
+
+class TestTop:
+    def _journal(self, tmp_path, capsys):
+        journal = tmp_path / "run.jnl"
+        rc = main(["run", "--tuner", "nm", "--duration", "150",
+                   "--journal", str(journal)])
+        capsys.readouterr()
+        assert rc == 0
+        return journal
+
+    def test_renders_a_completed_journal(self, tmp_path, capsys):
+        journal = self._journal(tmp_path, capsys)
+        rc = main(["top", str(journal)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "[complete]" in out
+        assert "breaker closed" in out
+        assert "tuner=nm" in out
+
+    def test_renders_an_in_progress_journal(self, tmp_path, capsys):
+        journal = self._journal(tmp_path, capsys)
+        # Strip the end record: the run looks live.
+        lines = journal.read_bytes().splitlines(keepends=True)
+        journal.write_bytes(b"".join(
+            ln for ln in lines if not ln.startswith(b'{"kind":"end"')
+        ))
+        rc = main(["top", str(journal)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "[LIVE]" in out
+
+    def test_renders_a_saved_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        rc = main(["run", "--tuner", "cd", "--duration", "150",
+                   "--trace-out", str(trace_path)])
+        capsys.readouterr()
+        assert rc == 0
+        rc = main(["top", str(trace_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "[complete]" in out
+        assert "nc=" in out
+
+    def test_follow_is_bounded_by_frames(self, tmp_path, capsys):
+        journal = self._journal(tmp_path, capsys)
+        rc = main(["top", str(journal), "--follow", "--frames", "1",
+                   "--interval", "0.01"])
+        assert rc == 0
+
+    def test_missing_path_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="no journal or trace"):
+            main(["top", str(tmp_path / "nope.jnl")])
+
+
+class TestObservabilityFlags:
+    def test_run_writes_events_and_metrics(self, tmp_path, capsys):
+        events = tmp_path / "events.jsonl"
+        metrics = tmp_path / "metrics.prom"
+        rc = main(["run", "--tuner", "nm", "--duration", "150",
+                   "--events", str(events),
+                   "--metrics-out", str(metrics)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "events written" in out and "metrics written" in out
+
+        from repro.obs import read_event_log
+
+        log = read_event_log(events)
+        kinds = {e.kind for e in log}
+        assert {"epoch-start", "epoch-end", "tuner-proposal",
+                "tuner-accept"} <= kinds
+        text = metrics.read_text()
+        assert "# TYPE repro_epochs_total counter" in text
+        assert "repro_span_seconds" in text
+
+    def test_resume_reconstructs_the_full_stream(self, tmp_path, capsys):
+        journal = tmp_path / "run.jnl"
+        ev_full = tmp_path / "full.jsonl"
+        rc = main(["run", "--tuner", "nm", "--duration", "150",
+                   "--journal", str(journal),
+                   "--events", str(ev_full)])
+        capsys.readouterr()
+        assert rc == 0
+
+        ev_resumed = tmp_path / "resumed.jsonl"
+        rc = main(["resume", str(journal), "--events", str(ev_resumed)])
+        capsys.readouterr()
+        assert rc == 0
+
+        from repro.obs import read_event_log
+
+        replayable = ("epoch-end", "fault-injected", "breaker-transition")
+        full = [e for e in read_event_log(ev_full)
+                if e.kind in replayable]
+        resumed = [e for e in read_event_log(ev_resumed)
+                   if e.kind in replayable]
+        assert resumed == full
