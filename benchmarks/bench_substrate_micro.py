@@ -3,12 +3,18 @@
 Not a paper figure: these time the inner loops the figure benches lean on
 (fair-share allocation, CPU scheduling, one engine step) so performance
 regressions in the substrate are caught before they slow every figure.
+``max_min_fair_allocation`` and ``fair_shares`` are also the engine fast
+path's *cache-miss cost* — with allocation-phase caching they run only
+at change points (epoch boundaries, load transitions, fault events)
+instead of every step — so their absolute cost is committed to
+``benchmarks/results/`` alongside the substrate numbers.
 """
 
 import math
 
 from repro.core.base import StaticTuner
 from repro.endpoint.cpu import CpuTask, fair_shares
+from repro.experiments.report import render_table
 from repro.experiments.runner import make_session
 from repro.experiments.scenarios import ANL_UC
 from repro.net.fairshare import max_min_fair_allocation
@@ -17,7 +23,20 @@ from repro.net.link import Link, Path
 from repro.sim.engine import Engine, EngineConfig
 
 
-def test_bench_max_min_allocation(benchmark):
+def _timing_block(benchmark, title: str, note: str) -> str:
+    s = benchmark.stats.stats
+    return render_table(
+        ["stat", "value"],
+        [
+            ["mean", f"{s.mean * 1e6:.2f} us"],
+            ["min", f"{s.min * 1e6:.2f} us"],
+            ["rounds", s.rounds],
+        ],
+        title=title,
+    ) + f"\n\n{note}"
+
+
+def test_bench_max_min_allocation(benchmark, report):
     nic = Link("nic", 5000.0)
     wans = [Link(f"wan{i}", 2500.0) for i in range(4)]
     groups = []
@@ -30,9 +49,15 @@ def test_bench_max_min_allocation(benchmark):
         )
     alloc = benchmark(max_min_fair_allocation, groups)
     assert sum(alloc.values()) <= 5000.0 + 1e-6
+    report(_timing_block(
+        benchmark,
+        "max_min_fair_allocation: 16 groups over nic + 4 wans",
+        "Fast-path cache-miss cost: paid once per change point "
+        "(epoch/load/fault/start-stop), not once per 1 s step.",
+    ))
 
 
-def test_bench_cpu_fair_shares(benchmark):
+def test_bench_cpu_fair_shares(benchmark, report):
     tasks = [
         CpuTask("xfer", 64),
         CpuTask("dgemm", 512, weight=0.35),
@@ -40,6 +65,12 @@ def test_bench_cpu_fair_shares(benchmark):
     ]
     shares = benchmark(fair_shares, tasks, 8)
     assert sum(shares.values()) <= 8 + 1e-6
+    report(_timing_block(
+        benchmark,
+        "fair_shares: 3 task classes, 8 cores",
+        "Fast-path cache-miss cost: paid once per change point "
+        "(epoch/load/fault/start-stop), not once per 1 s step.",
+    ))
 
 
 def test_bench_engine_wall_clock(benchmark):

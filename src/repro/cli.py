@@ -4,13 +4,17 @@ The subcommands mirror how the library is used:
 
 * ``run``    — one tuned transfer on a scenario, with a summary and the
   adopted parameter trajectory; ``--journal`` makes it crash-safe;
+  ``--reps N --jobs J`` replicates across seeds in parallel and reports
+  the mean with a confidence interval;
 * ``resume`` — continue a killed journaled run (bit-identical result);
 * ``sweep``  — the static response surface (throughput vs nc);
 * ``oracle`` — the best static setting by offline sweep;
 * ``figure`` — regenerate one of the paper's figures as text;
 * ``campaign`` — the whole evaluation; ``--journal`` resumes at the
-  granularity of completed figures;
+  granularity of completed figures; ``--jobs`` fans the units out over
+  processes (identical report at any width);
 * ``info``   — registered tuners, scenarios, and load profiles;
+  ``--timings`` prints a campaign journal's per-unit wall times;
 * ``top``    — ANSI dashboard over a journal or saved trace
   (``--follow`` re-renders live while a journaled run progresses).
 
@@ -20,6 +24,7 @@ Invoke as ``python -m repro ...`` or via the ``repro-transfer`` script.
 from __future__ import annotations
 
 import argparse
+import functools
 import sys
 from typing import Sequence
 
@@ -131,7 +136,72 @@ def _save_trace(trace: Trace, path: str) -> None:
     print(f"trace written   : {path}")
 
 
+def _rep_experiment(
+    seed: int, *, scenario_name: str, tuner_name: str, load: str,
+    duration_s: float, tune_np: bool, fixed_np: int,
+) -> float:
+    """One ``run --reps`` replicate: seed in, steady MB/s out.
+
+    Module-level (wrapped in ``functools.partial``) so it crosses the
+    process boundary when ``--jobs`` fans the seeds out.
+    """
+    trace = run_single(
+        SCENARIOS[scenario_name],
+        registry.make_tuner(tuner_name, seed),
+        load=ExternalLoad.parse(load),
+        duration_s=duration_s,
+        tune_np=tune_np,
+        fixed_np=fixed_np,
+        seed=seed,
+    )
+    return steady_state_mean(trace)
+
+
+def _run_replicates(args: argparse.Namespace) -> int:
+    from repro.experiments.parallel import replicate_seeds
+    from repro.experiments.replicate import replicate
+
+    for value, flag in (
+        (args.journal, "--journal"), (args.warm_start, "--warm-start"),
+        (args.trace_out, "--trace-out"), (args.events, "--events"),
+        (args.metrics_out, "--metrics-out"),
+    ):
+        if value is not None:
+            raise SystemExit(
+                f"{flag} is incompatible with --reps: replicates are "
+                "independent seeded runs without per-run artifacts"
+            )
+    make_tuner(args.tuner, args.seed)  # fail fast on a bad name
+    parse_load(args.load)
+    experiment = functools.partial(
+        _rep_experiment,
+        scenario_name=args.scenario,
+        tuner_name=args.tuner,
+        load=args.load,
+        duration_s=args.duration,
+        tune_np=args.tune_np,
+        fixed_np=args.np,
+    )
+    reps = replicate(
+        experiment, replicate_seeds(args.seed, args.reps), jobs=args.jobs
+    )
+    print(render_table(
+        ["seed", "steady MB/s"],
+        [[s, f"{v:.0f}"] for s, v in zip(reps.seeds, reps.values)],
+        title=(f"{args.scenario} / {args.tuner} / load={args.load}: "
+               f"{args.reps} replicates"),
+    ))
+    lo, hi = reps.confidence_interval()
+    print(f"\nmean {reps.mean:.0f} MB/s, 95% CI [{lo:.0f}, {hi:.0f}] "
+          f"(sample std {reps.std:.0f})")
+    return 0
+
+
 def cmd_run(args: argparse.Namespace) -> int:
+    if args.reps < 1:
+        raise SystemExit("--reps must be >= 1")
+    if args.reps > 1:
+        return _run_replicates(args)
     scenario = _scenario(args.scenario)
     tuner = make_tuner(args.tuner, args.seed)
     obs, event_log = _make_obs(args)
@@ -218,7 +288,36 @@ def cmd_resume(args: argparse.Namespace) -> int:
     return 0
 
 
+def _info_timings(path: str) -> int:
+    from repro.checkpoint import read_journal
+
+    try:
+        journal = read_journal(path)
+    except FileNotFoundError:
+        raise SystemExit(f"no journal at {path}") from None
+    if not journal.sections:
+        raise SystemExit(
+            f"{path} has no section records — `--timings` reads campaign "
+            "journals (`repro campaign --journal PATH`)"
+        )
+    rows, total = [], 0.0
+    for name, record in journal.sections.items():
+        elapsed = record.get("elapsed_s")
+        if elapsed is None:  # journal predates per-unit timing
+            rows.append([name, "-"])
+        else:
+            rows.append([name, f"{float(elapsed):.2f}"])
+            total += float(elapsed)
+    print(render_table(["unit", "wall s"], rows,
+                       title=f"per-unit wall time: {path}"))
+    print(f"\nrecorded total : {total:.2f} s"
+          + ("" if journal.ended else "  (campaign incomplete)"))
+    return 0
+
+
 def cmd_info(args: argparse.Namespace) -> int:
+    if args.timings is not None:
+        return _info_timings(args.timings)
     print(render_table(["tuner", "description"], registry.tuner_info(),
                        title="registered tuners"))
     print()
@@ -376,7 +475,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     scale = (CampaignScale.quick(args.seed) if args.quick
              else CampaignScale.full(args.seed))
     try:
-        result = run_campaign(scale, journal_path=args.journal)
+        result = run_campaign(scale, journal_path=args.journal,
+                              jobs=args.jobs)
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
     if result.resumed_units:
@@ -437,6 +537,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--metrics-out", default=None, metavar="PATH",
                        help="write final metrics as a Prometheus "
                             "text-format snapshot")
+    p_run.add_argument("--reps", type=int, default=1,
+                       help="run N seed replicates (seed, seed+1, ...) and "
+                            "report mean steady throughput with a 95%% CI")
+    p_run.add_argument("--jobs", type=int, default=1,
+                       help="processes for --reps fan-out (0 = all CPUs)")
     p_run.set_defaults(func=cmd_run)
 
     p_res = sub.add_parser(
@@ -480,11 +585,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument("--journal", default=None, metavar="PATH",
                         help="crash-safe campaign journal; rerunning with "
                              "the same path skips completed figures")
+    p_camp.add_argument("--jobs", type=int, default=1,
+                        help="processes for unit fan-out (0 = all CPUs); "
+                             "the report is identical at any width")
     p_camp.set_defaults(func=cmd_campaign)
 
     p_info = sub.add_parser(
         "info", help="list registered tuners, scenarios, and load profiles"
     )
+    p_info.add_argument("--timings", default=None, metavar="JOURNAL",
+                        help="print per-unit wall times recorded in a "
+                             "campaign journal instead")
     p_info.set_defaults(func=cmd_info)
 
     p_top = sub.add_parser(

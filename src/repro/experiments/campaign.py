@@ -17,14 +17,19 @@ figures loses at most the unit it was inside.
 
 from __future__ import annotations
 
+import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
 from repro.experiments import figures
+from repro.experiments.parallel import pool_imap
 from repro.experiments.report import render_comparison, render_table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.instrument import Instrumentation
 
 
 @dataclass(frozen=True)
@@ -63,6 +68,9 @@ class CampaignResult:
     sections: dict[str, str] = field(default_factory=dict)
     #: Unit names restored from a journal instead of recomputed.
     resumed_units: list[str] = field(default_factory=list)
+    #: Wall seconds each computed unit took (resumed units carry the
+    #: time recorded in their journal section, when present).
+    unit_seconds: dict[str, float] = field(default_factory=dict)
 
     def document(self) -> str:
         parts = ["# Campaign report: ICPP 2016 direct-search reproduction"]
@@ -182,10 +190,26 @@ CAMPAIGN_UNITS: list[tuple[str, Callable[[CampaignScale], dict[str, str]]]] = [
 ]
 
 
+def _run_unit(
+    task: tuple[str, CampaignScale],
+) -> tuple[str, dict[str, str], float]:
+    """Run one named unit, timed (module-level so it pools; only the
+    ``(name, scale)`` pair crosses the process boundary — unit
+    callables like :func:`_switching_unit` closures are looked up here
+    and never pickled)."""
+    name, scale = task
+    unit = dict(CAMPAIGN_UNITS)[name]
+    t0 = time.perf_counter()
+    blocks = unit(scale)
+    return name, blocks, time.perf_counter() - t0
+
+
 def run_campaign(
     scale: CampaignScale | None = None,
     *,
     journal_path: str | Path | None = None,
+    jobs: int = 1,
+    obs: "Instrumentation | None" = None,
 ) -> CampaignResult:
     """Run every experiment of the evaluation; returns the report.
 
@@ -193,41 +217,72 @@ def run_campaign(
     blocks ride in ``section`` records) and a rerun against the same
     path resumes: journaled units are restored, the remaining ones
     computed.  A journal written at a different scale/seed is refused.
+
+    ``jobs`` fans the units out over processes.  Every unit derives all
+    of its randomness from ``scale.seed``, so the report is identical
+    at any width; results are merged (and journaled) in campaign order
+    as each in-order worker finishes, so parallel runs stay crash-safe
+    at the same unit granularity as serial ones.  Per-unit wall times
+    land in :attr:`CampaignResult.unit_seconds`, in the journal's
+    section records, and — when ``obs`` carries a metrics registry —
+    in a ``repro_campaign_unit_seconds{unit=...}`` gauge.
     """
     scale = scale if scale is not None else CampaignScale.full()
     out = CampaignResult()
+    unit_blocks: dict[str, dict[str, str]] = {}
+
+    def merge(name: str, blocks: dict[str, str],
+              elapsed_s: float | None) -> None:
+        unit_blocks[name] = blocks
+        if elapsed_s is not None:
+            out.unit_seconds[name] = float(elapsed_s)
+            if obs is not None and obs.metrics is not None:
+                obs.metrics.gauge(
+                    "repro_campaign_unit_seconds", unit=name
+                ).set(float(elapsed_s))
+
     if journal_path is None:
-        for name, unit in CAMPAIGN_UNITS:
-            out.sections.update(unit(scale))
-        return out
+        tasks = [(name, scale) for name, _ in CAMPAIGN_UNITS]
+        for name, blocks, elapsed in pool_imap(_run_unit, tasks, jobs=jobs):
+            merge(name, blocks, elapsed)
+    else:
+        from repro.checkpoint.journal import JournalWriter, read_journal
 
-    from repro.checkpoint.journal import JournalWriter, read_journal
-
-    journal_path = Path(journal_path)
-    done: dict[str, dict] = {}
-    if journal_path.exists() and journal_path.stat().st_size > 0:
-        journal = read_journal(journal_path)
-        if journal.header is None or "campaign" not in journal.header:
-            raise ValueError(
-                f"journal {journal_path} has no campaign header"
-            )
-        if journal.header["campaign"] != asdict(scale):
-            raise ValueError(
-                f"journal {journal_path} was written at scale "
-                f"{journal.header['campaign']}, not {asdict(scale)}; "
-                "resume with the matching scale or use a fresh journal"
-            )
-        done = journal.sections
-    with JournalWriter(journal_path) as writer:
-        if not done and journal_path.stat().st_size == 0:
-            writer.write_header({"campaign": asdict(scale)})
-        for name, unit in CAMPAIGN_UNITS:
-            if name in done:
-                out.sections.update(done[name]["blocks"])
-                out.resumed_units.append(name)
-                continue
-            blocks = unit(scale)
-            writer.write_section(name, {"blocks": blocks})
-            out.sections.update(blocks)
-        writer.write_end()
+        journal_path = Path(journal_path)
+        done: dict[str, dict] = {}
+        if journal_path.exists() and journal_path.stat().st_size > 0:
+            journal = read_journal(journal_path)
+            if journal.header is None or "campaign" not in journal.header:
+                raise ValueError(
+                    f"journal {journal_path} has no campaign header"
+                )
+            if journal.header["campaign"] != asdict(scale):
+                raise ValueError(
+                    f"journal {journal_path} was written at scale "
+                    f"{journal.header['campaign']}, not {asdict(scale)}; "
+                    "resume with the matching scale or use a fresh journal"
+                )
+            done = journal.sections
+        with JournalWriter(journal_path) as writer:
+            if not done and journal_path.stat().st_size == 0:
+                writer.write_header({"campaign": asdict(scale)})
+            for name, _ in CAMPAIGN_UNITS:
+                if name in done:
+                    merge(name, done[name]["blocks"],
+                          done[name].get("elapsed_s"))
+                    out.resumed_units.append(name)
+            pending = [(name, scale) for name, _ in CAMPAIGN_UNITS
+                       if name not in done]
+            for name, blocks, elapsed in pool_imap(
+                _run_unit, pending, jobs=jobs
+            ):
+                # Journaled only after the worker result is in hand —
+                # a unit is either durably complete or recomputed.
+                writer.write_section(
+                    name, {"blocks": blocks, "elapsed_s": elapsed}
+                )
+                merge(name, blocks, elapsed)
+            writer.write_end()
+    for name, _ in CAMPAIGN_UNITS:
+        out.sections.update(unit_blocks[name])
     return out

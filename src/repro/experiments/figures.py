@@ -21,6 +21,7 @@ from repro.core.nm_tuner import NmTuner
 from repro.endpoint.load import ExternalLoad, LoadSchedule
 from repro.sim.trace import Trace
 
+from repro.experiments.parallel import pool_map
 from repro.experiments.runner import run_pair, run_single
 from repro.experiments.scenarios import (
     ANL_TACC,
@@ -68,6 +69,23 @@ class Fig1Result:
         return max(by_nc, key=lambda nc: by_nc[nc].median)
 
 
+def _fig1_sample(
+    task: tuple[Scenario, ExternalLoad, int, float, int],
+) -> float:
+    """One Fig. 1 cell replicate (module-level so it pools)."""
+    scenario, load, nc, duration_s, seed = task
+    trace = run_single(
+        scenario,
+        StaticTuner(),
+        load=load,
+        duration_s=duration_s,
+        x0=(nc,),
+        fixed_np=1,
+        seed=seed,
+    )
+    return steady_state_mean(trace, tail_fraction=0.75)
+
+
 def fig1(
     scenario: Scenario = ANL_UC,
     *,
@@ -76,9 +94,15 @@ def fig1(
     reps: int = 5,
     duration_s: float = 600.0,
     seed: int = 0,
+    jobs: int = 1,
 ) -> Fig1Result:
     """Fig. 1: impact of parallel streams on throughput, with and without
-    external load (np fixed at 1; 5 reps x 10 min in the paper)."""
+    external load (np fixed at 1; 5 reps x 10 min in the paper).
+
+    ``jobs`` fans the (load, nc, rep) cells out over processes; each
+    cell's seed is derived from its own (rep, nc), so the statistics are
+    identical at any width.
+    """
     if nc_values is None:
         nc_values = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512]
     if loads is None:
@@ -86,25 +110,20 @@ def fig1(
             "no-load": ExternalLoad(),
             "high-load": ExternalLoad(ext_cmp=16, ext_tfr=16),
         }
+    tasks = [
+        (scenario, load, nc, duration_s, seed + 1000 * rep + nc)
+        for load in loads.values()
+        for nc in nc_values
+        for rep in range(reps)
+    ]
+    samples = pool_map(_fig1_sample, tasks, jobs=jobs)
     stats: dict[str, dict[int, BoxStats]] = {}
-    for label, load in loads.items():
+    pos = 0
+    for label in loads:
         stats[label] = {}
         for nc in nc_values:
-            samples = []
-            for rep in range(reps):
-                trace = run_single(
-                    scenario,
-                    StaticTuner(),
-                    load=load,
-                    duration_s=duration_s,
-                    x0=(nc,),
-                    fixed_np=1,
-                    seed=seed + 1000 * rep + nc,
-                )
-                samples.append(
-                    steady_state_mean(trace, tail_fraction=0.75)
-                )
-            stats[label][nc] = box_stats(samples)
+            stats[label][nc] = box_stats(samples[pos:pos + reps])
+            pos += reps
     return Fig1Result(nc_values=list(nc_values), stats=stats)
 
 
@@ -142,6 +161,22 @@ class Fig5Result:
         return 100.0 * (1.0 - self.steady_observed(load, tuner) / best)
 
 
+def _fig5_cell(
+    task: tuple[Scenario, ExternalLoad, Tuner, float, int],
+) -> Trace:
+    """One (load, tuner) run of the Fig. 5 matrix (module-level so it
+    pools; the tuner instance travels by pickle)."""
+    scenario, load, tuner, duration_s, seed = task
+    return run_single(
+        scenario,
+        tuner,
+        load=load,
+        duration_s=duration_s,
+        fixed_np=8,
+        seed=seed,
+    )
+
+
 def fig5(
     scenario: Scenario = ANL_UC,
     *,
@@ -149,26 +184,30 @@ def fig5(
     tuners: dict[str, Tuner] | None = None,
     duration_s: float = 1800.0,
     seed: int = 0,
+    jobs: int = 1,
 ) -> Fig5Result:
     """Figs. 5-7: observed throughput / nc trajectory / best-case
     throughput of default, cd-, cs-, nm-tuner under five static loads
-    (np fixed at 8, tuning nc only)."""
+    (np fixed at 8, tuning nc only).  ``jobs`` fans the (load, tuner)
+    cells out over processes (each run is seeded independently, so the
+    traces are identical at any width)."""
     if loads is None:
         loads = dict(FIG5_LOADS)
     if tuners is None:
         tuners = standard_tuners(seed=seed)
+    tasks = [
+        (scenario, load, tuner, duration_s, seed)
+        for load in loads.values()
+        for tuner in tuners.values()
+    ]
+    traces = pool_map(_fig5_cell, tasks, jobs=jobs)
     out = Fig5Result()
-    for load_label, load in loads.items():
+    pos = 0
+    for load_label in loads:
         out.traces[load_label] = {}
-        for tuner_name, tuner in tuners.items():
-            out.traces[load_label][tuner_name] = run_single(
-                scenario,
-                tuner,
-                load=load,
-                duration_s=duration_s,
-                fixed_np=8,
-                seed=seed,
-            )
+        for tuner_name in tuners:
+            out.traces[load_label][tuner_name] = traces[pos]
+            pos += 1
     return out
 
 
@@ -182,9 +221,11 @@ def tacc_concurrency(
     duration_s: float = 1800.0,
     seed: int = 0,
     loads: dict[str, ExternalLoad] | None = None,
+    jobs: int = 1,
 ) -> Fig5Result:
     """§IV-A text: the ANL→TACC variant of the Fig. 5 study."""
-    return fig5(ANL_TACC, loads=loads, duration_s=duration_s, seed=seed)
+    return fig5(ANL_TACC, loads=loads, duration_s=duration_s, seed=seed,
+                jobs=jobs)
 
 
 # ---------------------------------------------------------------------------
@@ -215,6 +256,21 @@ class VaryingLoadResult:
         return self.traces[tuner].epoch_param(dim)
 
 
+def _varying_cell(
+    task: tuple[Scenario, Tuner, LoadSchedule, float, int],
+) -> Trace:
+    """One tuner's run under the load switch (module-level so it pools)."""
+    scenario, tuner, schedule, duration_s, seed = task
+    return run_single(
+        scenario,
+        tuner,
+        load=schedule,
+        duration_s=duration_s,
+        tune_np=True,
+        seed=seed,
+    )
+
+
 def _varying_load_run(
     scenario: Scenario,
     tuners: dict[str, Tuner],
@@ -222,19 +278,14 @@ def _varying_load_run(
     duration_s: float,
     switch_at_s: float,
     seed: int,
+    jobs: int = 1,
 ) -> VaryingLoadResult:
     schedule = varying_load_schedule(switch_at_s)
-    traces = {
-        name: run_single(
-            scenario,
-            tuner,
-            load=schedule,
-            duration_s=duration_s,
-            tune_np=True,
-            seed=seed,
-        )
-        for name, tuner in tuners.items()
-    }
+    tasks = [
+        (scenario, tuner, schedule, duration_s, seed)
+        for tuner in tuners.values()
+    ]
+    traces = dict(zip(tuners, pool_map(_varying_cell, tasks, jobs=jobs)))
     return VaryingLoadResult(traces=traces, switch_at_s=switch_at_s)
 
 
@@ -243,6 +294,7 @@ def fig8(
     duration_s: float = 1800.0,
     switch_at_s: float = 1000.0,
     seed: int = 0,
+    jobs: int = 1,
 ) -> VaryingLoadResult:
     """Fig. 8: ANL→TACC, tuning nc and np, load switch at 1000 s;
     cs-tuner and nm-tuner vs default (cd excluded as in the paper)."""
@@ -253,7 +305,7 @@ def fig8(
     }
     return _varying_load_run(
         ANL_TACC, tuners, duration_s=duration_s,
-        switch_at_s=switch_at_s, seed=seed,
+        switch_at_s=switch_at_s, seed=seed, jobs=jobs,
     )
 
 
@@ -262,6 +314,7 @@ def fig9(
     duration_s: float = 1800.0,
     switch_at_s: float = 1000.0,
     seed: int = 0,
+    jobs: int = 1,
 ) -> VaryingLoadResult:
     """Fig. 9: the Fig. 8 study on ANL→UChicago."""
     tuners: dict[str, Tuner] = {
@@ -271,7 +324,7 @@ def fig9(
     }
     return _varying_load_run(
         ANL_UC, tuners, duration_s=duration_s,
-        switch_at_s=switch_at_s, seed=seed,
+        switch_at_s=switch_at_s, seed=seed, jobs=jobs,
     )
 
 
@@ -280,6 +333,7 @@ def fig10(
     duration_s: float = 1800.0,
     switch_at_s: float = 1000.0,
     seed: int = 0,
+    jobs: int = 1,
 ) -> VaryingLoadResult:
     """Fig. 10: nm-tuner vs heur1 (Balman, additive) and heur2 (Yildirim,
     exponential) on ANL→TACC under the varying load."""
@@ -291,7 +345,7 @@ def fig10(
     }
     return _varying_load_run(
         ANL_TACC, tuners, duration_s=duration_s,
-        switch_at_s=switch_at_s, seed=seed,
+        switch_at_s=switch_at_s, seed=seed, jobs=jobs,
     )
 
 
@@ -324,7 +378,12 @@ def fig11(
     seed: int = 0,
 ) -> Fig11Result:
     """Fig. 11: simultaneous ANL→UChicago and ANL→TACC transfers, each
-    independently tuned by nm-tuner (or cs-tuner), no other load."""
+    independently tuned by nm-tuner (or cs-tuner), no other load.
+
+    No ``jobs`` knob: the two transfers share one coupled engine, so
+    there is nothing independent to fan out (the engine's allocation
+    cache still applies).
+    """
     if tuner == "nm":
         tuner_a: Tuner = NmTuner()
         tuner_b: Tuner = NmTuner()

@@ -1,0 +1,111 @@
+"""Deterministic process-pool fan-out for independent experiment units.
+
+Campaign units, figure cells, and seed replicates are embarrassingly
+parallel: each builds its own :class:`~repro.sim.engine.Engine` from an
+explicit seed and shares no mutable state with its siblings.
+:func:`pool_map` runs such units in a ``ProcessPoolExecutor`` and
+returns results **in input order** regardless of completion order, so a
+parallel run merges into byte-identical reports/journals as the serial
+one — determinism survives the fan-out because every task's randomness
+is derived from its own arguments (seed, unit name), never from a
+shared generator.
+
+Workers are spawn-safe: only module-level callables and plain picklable
+data cross the process boundary (the executor pickles tasks under every
+start method, ``fork`` included).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Iterator, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``jobs`` knob: ``None``/``0`` means all CPUs.
+
+    Negative values are rejected — a silent fallback would hide typos in
+    scripts that sweep the knob.
+    """
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError("jobs must be >= 0 (0 = all CPUs)")
+    return int(jobs)
+
+
+def pool_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    *,
+    jobs: int | None = 1,
+    mp_context: str | None = None,
+) -> list[R]:
+    """Apply ``fn`` to every item, ``jobs`` processes wide, in order.
+
+    ``jobs <= 1`` (or a single item) runs serially in-process — the
+    zero-dependency path tests and small runs stay on.  With more,
+    ``fn`` and the items must be picklable (module-level function,
+    plain data); results come back in input order and a worker
+    exception propagates to the caller as it would serially.
+
+    ``mp_context`` picks the multiprocessing start method (``"spawn"``,
+    ``"forkserver"``, ...); ``None`` uses the platform default.
+    """
+    items = list(items)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    ctx = (multiprocessing.get_context(mp_context)
+           if mp_context is not None else None)
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(items)), mp_context=ctx
+    ) as pool:
+        return list(pool.map(fn, items))
+
+
+def pool_imap(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    *,
+    jobs: int | None = 1,
+    mp_context: str | None = None,
+) -> Iterator[R]:
+    """Like :func:`pool_map` but *streams*: each result is yielded as
+    soon as it and every earlier item are done (still input order).
+
+    The campaign journal needs this — a unit can be durably recorded
+    the moment its worker result is merged instead of only after the
+    whole batch drains, so a kill mid-campaign loses at most the units
+    still in flight.
+    """
+    items = list(items)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(items) <= 1:
+        for item in items:
+            yield fn(item)
+        return
+    ctx = (multiprocessing.get_context(mp_context)
+           if mp_context is not None else None)
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(items)), mp_context=ctx
+    ) as pool:
+        futures = [pool.submit(fn, item) for item in items]
+        for fut in futures:
+            yield fut.result()
+
+
+def replicate_seeds(base_seed: int, reps: int) -> Sequence[int]:
+    """Per-replicate derived seeds: ``base_seed + rep``.
+
+    Each task's seed is a pure function of its index, so the same
+    replicate set is produced at any ``jobs`` width.
+    """
+    if reps < 1:
+        raise ValueError("reps must be >= 1")
+    return [int(base_seed) + rep for rep in range(reps)]

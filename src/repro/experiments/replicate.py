@@ -14,6 +14,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.analysis.stats import BoxStats, box_stats
+from repro.experiments.parallel import pool_map
 
 #: An experiment: seed in, scalar metric out.
 Experiment = Callable[[int], float]
@@ -55,20 +56,34 @@ class Replicates:
 
 
 def replicate(
-    experiment: Experiment, seeds: Sequence[int]
+    experiment: Experiment, seeds: Sequence[int], *, jobs: int = 1
 ) -> Replicates:
-    """Run ``experiment(seed)`` for every seed; collect the metric."""
+    """Run ``experiment(seed)`` for every seed; collect the metric.
+
+    ``jobs > 1`` fans the seeds out over processes (the experiment must
+    then be picklable — a module-level function or
+    ``functools.partial`` over one, not a lambda or local closure).
+    Values come back in seed order either way, so the resulting
+    statistics are identical at any width.
+    """
     if not seeds:
         raise ValueError("need at least one seed")
-    values = tuple(float(experiment(int(s))) for s in seeds)
+    values = tuple(
+        float(v)
+        for v in pool_map(experiment, [int(s) for s in seeds], jobs=jobs)
+    )
     return Replicates(values=values, seeds=tuple(int(s) for s in seeds))
 
 
 def compare(
-    experiments: dict[str, Experiment], seeds: Sequence[int]
+    experiments: dict[str, Experiment], seeds: Sequence[int], *,
+    jobs: int = 1,
 ) -> dict[str, Replicates]:
     """Replicate several experiments on a common seed list (paired)."""
-    return {name: replicate(fn, seeds) for name, fn in experiments.items()}
+    return {
+        name: replicate(fn, seeds, jobs=jobs)
+        for name, fn in experiments.items()
+    }
 
 
 def win_rate(a: Replicates, b: Replicates) -> float:

@@ -109,6 +109,7 @@ def run_single(
     breaker: CircuitBreaker | None = None,
     journal: "JournalWriter | None" = None,
     obs: "Instrumentation | None" = None,
+    fast_path: bool = True,
 ) -> Trace:
     """One transfer on the scenario's main path; returns its trace.
 
@@ -117,7 +118,8 @@ def run_single(
     ``journal`` makes the run crash-safe (the caller owns the writer —
     use :func:`repro.checkpoint.run_journaled` for the turnkey header +
     resume flow); ``obs`` attaches the observability bundle
-    (:mod:`repro.obs`)."""
+    (:mod:`repro.obs`); ``fast_path=False`` runs the engine's reference
+    step pipeline (bit-identical, slower — the equivalence baseline)."""
     session = make_session(
         "main",
         scenario.main_path,
@@ -137,7 +139,7 @@ def run_single(
         host=scenario.host,
         sessions=[session],
         schedule=_schedule(load),
-        config=EngineConfig(seed=seed),
+        config=EngineConfig(seed=seed, fast_path=fast_path),
         journal=journal,
         obs=obs,
     )
@@ -156,6 +158,7 @@ def run_pair(
     epoch_s: float = EPOCH_S,
     tune_np: bool = True,
     seed: int = 0,
+    fast_path: bool = True,
 ) -> dict[str, Trace]:
     """Two independently tuned transfers sharing the source (Fig. 11).
 
@@ -177,7 +180,7 @@ def run_pair(
         host=scenario.host,
         sessions=sessions,
         schedule=_schedule(load),
-        config=EngineConfig(seed=seed),
+        config=EngineConfig(seed=seed, fast_path=fast_path),
     )
     return engine.run()
 
@@ -193,6 +196,7 @@ def run_joint(
     epoch_s: float = EPOCH_S,
     tune_np: bool = True,
     seed: int = 0,
+    fast_path: bool = True,
 ) -> dict[str, Trace]:
     """Two transfers tuned *jointly* at the endpoint level (extension,
     paper §IV-D): one direct-search instance maximizes their combined
@@ -216,7 +220,7 @@ def run_joint(
         sessions=sessions,
         schedule=_schedule(load),
         controllers=[controller],
-        config=EngineConfig(seed=seed),
+        config=EngineConfig(seed=seed, fast_path=fast_path),
     )
     return engine.run()
 

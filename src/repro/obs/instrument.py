@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.core.monitor import ChangeMonitor, NotifyingMonitor
 from repro.obs.bus import NULL_BUS, EventBus, NullBus
+from repro.obs.clock import Clock
 from repro.obs.events import EpochEnd, FaultInjected, MonitorTrip
 from repro.obs.metrics import (
     THROUGHPUT_BUCKETS_MBPS,
@@ -65,10 +66,11 @@ class Instrumentation:
     @classmethod
     def on(
         cls,
-        clock: Callable[[], float] | None = None,
+        clock: "Clock | Callable[[], float] | None" = None,
         **span_labels: str,
     ) -> "Instrumentation":
-        """Everything enabled; ``clock`` overrides the span timer."""
+        """Everything enabled; ``clock`` overrides the span timer
+        (a :class:`~repro.obs.clock.Clock` or a bare ``() -> float``)."""
         metrics = MetricsRegistry()
         kwargs = {} if clock is None else {"clock": clock}
         return cls(

@@ -9,9 +9,12 @@ per-phase cost is attributable and mergeable across runs.
 Span durations are *measurements of the controller's own code*, not of
 simulated time, so they are deliberately **not** published on the event
 bus: the event stream stays deterministic under the sim clock while the
-spans capture real latency.  The clock is injectable — production uses
-``time.perf_counter``; tests pass a :class:`~repro.obs.clock.FakeClock`
-``now`` so durations are exact.
+spans capture real latency.  The clock is injectable via the same
+:class:`~repro.obs.clock.Clock` protocol ``tune_live`` uses — production
+defaults to a :class:`~repro.obs.clock.WallClock` over
+``time.perf_counter``; tests pass a
+:class:`~repro.obs.clock.FakeClock` (or any bare ``() -> float``
+callable) so durations are exact.
 
 Use either the context-manager form::
 
@@ -30,6 +33,7 @@ import time
 from contextlib import contextmanager
 from typing import Callable, Iterator
 
+from repro.obs.clock import Clock, WallClock
 from repro.obs.metrics import LATENCY_BUCKETS_S, MetricsRegistry
 
 #: Metric name span durations are recorded under (label: ``phase``).
@@ -42,12 +46,16 @@ class SpanRecorder:
     def __init__(
         self,
         registry: MetricsRegistry,
-        clock: Callable[[], float] = time.perf_counter,
+        clock: Clock | Callable[[], float] | None = None,
         buckets: tuple[float, ...] = LATENCY_BUCKETS_S,
         **labels: str,
     ) -> None:
+        if clock is None:
+            clock = WallClock(now_fn=time.perf_counter)
         self.registry = registry
-        self.now = clock
+        self.now: Callable[[], float] = (
+            clock.now if isinstance(clock, Clock) else clock
+        )
         self.buckets = buckets
         self.labels = labels
         self._stack: list[str] = []

@@ -19,6 +19,16 @@ epoch boundaries.  The per-step pipeline is:
 
 Fig. 11's coupled transfers need no special handling: two sessions whose
 paths share the source NIC link compete in step 3 automatically.
+
+Steps 1-3 form the *allocation phase*: a pure function of the external
+load and each session's (done, restarting, params) state, which only
+changes at control-epoch boundaries, load-schedule transitions, fault
+events and session start/stop.  With ``EngineConfig.fast_path`` (the
+default) the engine caches the allocation phase on exactly that
+change-point key and batches the per-step lognormal jitter draws into
+one vectorized draw per epoch span, consumed in the order the scalar
+path would draw them — fast-path runs are bit-identical to
+``fast_path=False`` runs (see DESIGN.md §10).
 """
 
 from __future__ import annotations
@@ -26,6 +36,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
+
+import numpy as np
 
 from repro.core.aggregate import JointTuner
 from repro.core.base import TunerDriver
@@ -63,6 +75,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
 EXT_CMP = "ext.cmp"
 EXT_TFR = "ext.tfr"
 
+#: Shared empty jitter buffer (an exhausted batch and "no batch" are the
+#: same state: fall back to scalar draws).
+_NO_JITTER = np.empty(0)
+
 
 @dataclass(frozen=True)
 class EngineConfig:
@@ -84,6 +100,12 @@ class EngineConfig:
     ext_streams_per_proc:
         The external transfer runs ``max(1, ext_tfr // this)`` processes
         (a realistic globus-url-copy invocation for large stream counts).
+    fast_path:
+        Cache the allocation phase between change points and batch the
+        per-step jitter draws (bit-identical to the reference path, just
+        faster).  ``False`` recomputes everything every step — the
+        reference the equivalence tests and the perf gate compare
+        against.
     """
 
     dt: float = 1.0
@@ -92,6 +114,7 @@ class EngineConfig:
     noise_sigma_step: float = 0.02
     ext_tfr_path: str | None = None
     ext_streams_per_proc: int = 16
+    fast_path: bool = True
 
     def __post_init__(self) -> None:
         if self.dt <= 0:
@@ -230,6 +253,30 @@ class Engine:
         self.rng = RngStreams(self.config.seed)
         self._started = False
         self._last_cmp_frac = 0.0
+        # Fast path: single-entry allocation cache (key = change-point
+        # state; see _step) and per-path slow-start tau hoisted out of
+        # the step loop.
+        self._alloc_key: tuple | None = None
+        self._alloc_val: tuple | None = None
+        self._tau = {
+            s.name: self.topology.path(s.spec.path_name).tcp.slow_start_tau
+            for s in self.sessions
+        }
+        # Batched per-step jitter: one vectorized normal draw per epoch
+        # span, consumed left to right.  Only safe when the number of
+        # draws until the next epoch closure is predictable: duration-
+        # limited sessions (infinite bytes) whose dispatch draws all go
+        # through _dispatch_epoch (no joint controllers) and a non-zero
+        # step sigma (sigma == 0 never draws).  ``run(until_s=...)``
+        # additionally disables it (the stop can land mid-span).
+        self._jit_buf = _NO_JITTER
+        self._jit_pos = 0
+        self._batch_jitter = (
+            self.config.fast_path
+            and not self.controllers
+            and self.config.noise_sigma_step > 0
+            and all(math.isinf(s.spec.total_bytes) for s in self.sessions)
+        )
         # Event context for telemetry hooks fired from within a dispatch
         # (breaker transitions, retry attempts): sim time and epoch index
         # of the epoch being dispatched.
@@ -248,6 +295,11 @@ class Engine:
             self.obs = None
         if self.obs is not None:
             self._install_obs_hooks()
+        if until_s is not None:
+            # A bounded run can stop mid-epoch; the jitter-batch
+            # prediction assumes every started span runs to its closure,
+            # so keep such runs on per-step draws (still bit-identical).
+            self._batch_jitter = False
         if not self._started:
             self._initialize()
         while not all(s.done for s in self.sessions):
@@ -282,6 +334,11 @@ class Engine:
         excluded by design — resume reconstructs them by replaying the
         journal (:mod:`repro.checkpoint.replay`).
         """
+        if self._jit_pos < len(self._jit_buf):
+            raise RuntimeError(
+                "snapshot with an undrained jitter batch: the RNG state "
+                "would include draws the step loop has not consumed yet"
+            )
         return {
             "format": 1,
             "tick": self.clock.tick,
@@ -320,6 +377,12 @@ class Engine:
         self.clock.tick = int(state["tick"])
         self._last_cmp_frac = float(state["last_cmp_frac"])
         self.rng.set_state(state["rng"])
+        # Snapshots are only written with a drained jitter batch, so the
+        # restored RNG state carries no pre-drawn values.
+        self._alloc_key = None
+        self._alloc_val = None
+        self._jit_buf = _NO_JITTER
+        self._jit_pos = 0
         for name, sess_state in state["sessions"].items():
             self._by_name[name].restore_snapshot(
                 sess_state, epochs_by_session.get(name, [])
@@ -444,14 +507,20 @@ class Engine:
             return self.config.ext_tfr_path
         return self.sessions[0].spec.path_name
 
-    def _step(self) -> None:
-        dt = self.config.dt
-        t = self.clock.now
-        load = self.schedule.at(t)
+    def _allocation_phase(
+        self, load: ExternalLoad
+    ) -> tuple[float, dict[str, float], float]:
+        """Steps 1-3 of the pipeline: CPU fair-shares → effective loss →
+        flow groups → max-min allocation → context-switch efficiency.
 
+        Pure in everything but the change-point state ``_step`` keys its
+        cache on: the external load plus each session's
+        ``(done, restarting, params)``.  Returns ``(cmp_frac, alloc,
+        eta)``.
+        """
+        dt = self.config.dt
         shares = self._cpu_shares(load)
         cmp_frac = shares.get(EXT_CMP, 0.0) / self.host.cores
-        self._last_cmp_frac = cmp_frac
 
         # Sessions that will push bytes during (part of) this step.
         live = [
@@ -519,23 +588,66 @@ class Engine:
             if runnable > 0
             else 1.0
         )
+        return cmp_frac, alloc, eta
+
+    def _step(self) -> None:
+        dt = self.config.dt
+        t = self.clock.now
+        load = self.schedule.at(t)
+
+        if self.config.fast_path:
+            # Change-point key: everything the allocation phase reads
+            # that can change mid-run.  The external load covers
+            # schedule transitions; per-session (done, restarting,
+            # params) covers epoch dispatch (parameter adoption),
+            # restart windows crossing the one-step threshold, breaker
+            # fallbacks (they act through params and restarts), and
+            # session start/stop.  Topology/host/client are immutable.
+            key = (
+                load,
+                tuple(
+                    (s.done, s.restart_remaining < dt, s.params)
+                    for s in self.sessions
+                ),
+            )
+            if key != self._alloc_key:
+                self._alloc_val = self._allocation_phase(load)
+                self._alloc_key = key
+            cmp_frac, alloc, eta = self._alloc_val
+        else:
+            cmp_frac, alloc, eta = self._allocation_phase(load)
+        self._last_cmp_frac = cmp_frac
+
+        if self._batch_jitter and self._jit_pos >= len(self._jit_buf):
+            self._refill_jitter()
 
         spans = self.obs.spans if self.obs is not None else None
 
-        # Move bytes and advance per-session clocks.
+        # Noise/advance phase: move bytes and advance per-session clocks.
         if spans is not None:
             _t0 = spans.now()
+        sigma_step = self.config.noise_sigma_step
+        noise_rng = self.rng.throughput_noise
+        taus = self._tau
+        jit_buf = self._jit_buf
+        jit_pos = self._jit_pos
+        jit_len = len(jit_buf)
         for s in self.sessions:
             if s.done:
                 continue
             run_s = dt - max(0.0, min(s.restart_remaining, dt))
             moved = 0.0
             if run_s > 0 and s.name in alloc:
-                tau = self.topology.path(s.spec.path_name).tcp.slow_start_tau
-                ramp = _ramp_average(tau, s.time_since_start, run_s)
-                jitter = lognormal_factor(
-                    self.rng.throughput_noise, self.config.noise_sigma_step
-                )
+                ramp = _ramp_average(taus[s.name], s.time_since_start, run_s)
+                if jit_pos < jit_len:
+                    # Batched draw: same normal sequence as the scalar
+                    # calls (numpy's sized draws are bit-identical), with
+                    # exp applied per consumed scalar as in
+                    # lognormal_factor.
+                    jitter = float(np.exp(jit_buf[jit_pos]))
+                    jit_pos += 1
+                else:
+                    jitter = lognormal_factor(noise_rng, sigma_step)
                 rate = (alloc[s.name] * eta * s.noise_factor * jitter
                         * ramp * s.fault_rate_factor())
                 moved = s.state.account(rate * MB * run_s, dt)
@@ -547,6 +659,7 @@ class Engine:
             s.epoch_elapsed += dt
             s.epoch_run_s += run_s
             s.epoch_bytes += moved
+        self._jit_pos = jit_pos
         if spans is not None:
             spans.record("epoch/transfer", max(0.0, spans.now() - _t0))
 
@@ -598,10 +711,76 @@ class Engine:
                     epochs=sum(len(x.trace.epochs) for x in self.sessions),
                 ))
 
+    # -- fast-path jitter batching ----------------------------------------
+
+    def _refill_jitter(self) -> None:
+        """Draw the whole upcoming span's step jitters in one vectorized
+        call.
+
+        ``Generator.normal(loc, scale, size=n)`` produces the identical
+        value sequence (and identical end state) as ``n`` scalar calls,
+        so consuming the buffer left to right keeps the
+        ``throughput_noise`` stream bit-exact with the reference path.
+        The span ends at the first step on which *any* session closes an
+        epoch: every dispatch draw and every journal snapshot therefore
+        sees a drained buffer.
+        """
+        n = self._predict_jitter_draws()
+        if n > 0:
+            sigma = self.config.noise_sigma_step
+            self._jit_buf = self.rng.throughput_noise.normal(
+                -0.5 * sigma * sigma, sigma, size=n
+            )
+        else:
+            self._jit_buf = _NO_JITTER
+        self._jit_pos = 0
+
+    def _predict_jitter_draws(self) -> int:
+        """Count the step-jitter draws between now and the end of the
+        step on which the next epoch closes (inclusive).
+
+        Mirrors the advance phase's float arithmetic exactly: a session
+        draws one jitter per step while it is not done and its restart
+        window is below one step; ``elapsed_s``/``epoch_elapsed``
+        accumulate by ``dt`` with the same operations the engine
+        applies, so done/boundary transitions land on the same step.
+        Only called for duration-limited sessions (infinite bytes),
+        whose completion does not depend on the bytes moved.
+        """
+        dt = self.config.dt
+        sims = [
+            # [elapsed_s, duration limit, restart_remaining,
+            #  epoch_elapsed, epoch target]
+            [s.state.elapsed_s, s.spec.max_duration_s, s.restart_remaining,
+             s.epoch_elapsed, s.epoch_target_s()]
+            for s in self.sessions
+            if not s.done
+        ]
+        count = 0
+        while sims:
+            closing = False
+            for st in sims:
+                if st[2] < dt:
+                    count += 1
+                st[0] += dt                   # state.account: elapsed_s
+                st[2] = max(0.0, st[2] - dt)  # restart decay
+                st[3] += dt                   # epoch_elapsed
+                if st[3] >= st[4] - 1e-9 or st[0] >= st[1]:
+                    closing = True
+            if closing:
+                break
+        return count
+
     def _dispatch_epoch(self, s: TransferSession, rec) -> None:
         """Close out one control epoch: drive the retry policy and circuit
         breaker, and feed the tuner/controller — but never with a faulted
         or absent observation."""
+        if self._jit_pos < len(self._jit_buf):
+            raise RuntimeError(
+                "epoch dispatched with an undrained jitter batch: the "
+                "fast path's draw prediction desynchronized from the "
+                "step loop"
+            )
         obs = self.obs
         end_t = rec.start + rec.duration
         if obs is not None:

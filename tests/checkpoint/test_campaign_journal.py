@@ -77,3 +77,36 @@ class TestCampaignJournal:
             w.write_header({"run": {}})
         with pytest.raises(ValueError, match="campaign header"):
             run_campaign(SCALE, journal_path=path)
+
+
+class TestCampaignTimings:
+    def test_sections_record_elapsed_and_resume_restores_it(
+        self, tmp_path, stub_units
+    ):
+        path = tmp_path / "camp.jnl"
+        res = run_campaign(SCALE, journal_path=path)
+        assert set(res.unit_seconds) == {"u1", "u2", "u3"}
+        journal = read_journal(path)
+        for name in ("u1", "u2", "u3"):
+            assert journal.sections[name]["elapsed_s"] >= 0.0
+        resumed = run_campaign(SCALE, journal_path=path)
+        assert resumed.unit_seconds == {
+            name: journal.sections[name]["elapsed_s"]
+            for name in ("u1", "u2", "u3")
+        }
+
+    def test_journal_predating_timings_still_resumes(self, tmp_path,
+                                                     stub_units):
+        from dataclasses import asdict
+
+        from repro.checkpoint import JournalWriter
+
+        path = tmp_path / "camp.jnl"
+        with JournalWriter(path) as w:
+            w.write_header({"campaign": asdict(SCALE)})
+            # Old-format section record: no elapsed_s.
+            w.write_section("u1", {"blocks": {"Sect u1": "block u1 @0"}})
+        res = run_campaign(SCALE, journal_path=path)
+        assert res.resumed_units == ["u1"]
+        assert "u1" not in res.unit_seconds  # nothing recorded to restore
+        assert {"u2", "u3"} <= set(res.unit_seconds)

@@ -51,3 +51,36 @@ class TestCampaignRun:
 def test_empty_result_document():
     doc = CampaignResult().document()
     assert doc.startswith("# Campaign report")
+
+
+class TestCampaignParallel:
+    SCALE = CampaignScale(duration_s=300.0, fig1_duration_s=120.0,
+                          fig1_reps=1, seed=0)
+
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return run_campaign(self.SCALE)
+
+    def test_parallel_report_is_identical(self, serial):
+        par = run_campaign(self.SCALE, jobs=2)
+        assert par.sections == serial.sections
+        # Merge order (the report layout) must match too.
+        assert list(par.sections) == list(serial.sections)
+
+    def test_unit_seconds_and_obs_gauge(self):
+        from repro.experiments.campaign import CAMPAIGN_UNITS
+        from repro.obs import Instrumentation
+
+        obs = Instrumentation.on()
+        res = run_campaign(self.SCALE, jobs=2, obs=obs)
+        assert set(res.unit_seconds) == {name for name, _ in CAMPAIGN_UNITS}
+        assert all(v >= 0.0 for v in res.unit_seconds.values())
+        prom = obs.metrics.render_prometheus()
+        assert "repro_campaign_unit_seconds" in prom
+        assert 'unit="fig1"' in prom
+
+    def test_parallel_journaled_equals_serial(self, tmp_path, serial):
+        res = run_campaign(self.SCALE, jobs=2,
+                           journal_path=tmp_path / "camp.jnl")
+        assert res.sections == serial.sections
+        assert res.resumed_units == []

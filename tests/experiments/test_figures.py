@@ -91,3 +91,31 @@ class TestVaryingSchedule:
         sched = figures.varying_load_schedule(777.0)
         assert sched.at(776.9) == ExternalLoad(ext_cmp=16, ext_tfr=64)
         assert sched.at(777.0) == ExternalLoad(ext_cmp=16, ext_tfr=16)
+
+
+class TestFigureJobs:
+    """`jobs` fans cells over processes without changing any trace."""
+
+    def test_fig5_parallel_equals_serial(self):
+        kw = dict(loads={"none": ExternalLoad()}, duration_s=180.0, seed=3)
+        a = figures.fig5(jobs=1, **kw)
+        b = figures.fig5(jobs=2, **kw)
+        assert a.traces.keys() == b.traces.keys()
+        for load in a.traces:
+            for tuner in a.traces[load]:
+                ta, tb = a.traces[load][tuner], b.traces[load][tuner]
+                assert tb.epochs == ta.epochs
+                assert tb.steps == ta.steps
+
+    def test_fig1_parallel_equals_serial(self):
+        kw = dict(nc_values=[2, 8], reps=2, duration_s=120.0, seed=5)
+        a = figures.fig1(jobs=1, **kw)
+        b = figures.fig1(jobs=2, **kw)
+        assert a.stats == b.stats
+
+    def test_fig8_parallel_equals_serial(self):
+        kw = dict(duration_s=200.0, switch_at_s=100.0, seed=1)
+        a = figures.fig8(jobs=1, **kw)
+        b = figures.fig8(jobs=2, **kw)
+        for tuner in a.traces:
+            assert b.traces[tuner].epochs == a.traces[tuner].epochs

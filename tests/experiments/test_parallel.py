@@ -1,0 +1,103 @@
+"""Process-pool fan-out: ordering, determinism, and failure semantics."""
+
+import os
+
+import pytest
+
+from repro.experiments.parallel import (
+    pool_imap,
+    pool_map,
+    replicate_seeds,
+    resolve_jobs,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _maybe_fail(x):
+    if x == 3:
+        raise ValueError("boom on 3")
+    return x
+
+
+class TestResolveJobs:
+    def test_explicit(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(4) == 4
+
+    def test_zero_and_none_mean_all_cpus(self):
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+        assert resolve_jobs(None) == (os.cpu_count() or 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            resolve_jobs(-1)
+
+
+class TestPoolMap:
+    def test_serial_matches_map(self):
+        assert pool_map(_square, range(7), jobs=1) == [
+            x * x for x in range(7)
+        ]
+
+    def test_parallel_preserves_input_order(self):
+        assert pool_map(_square, range(9), jobs=3) == [
+            x * x for x in range(9)
+        ]
+
+    def test_parallel_equals_serial(self):
+        items = [5, 3, 8, 1, 1, 0]
+        assert (pool_map(_square, items, jobs=2)
+                == pool_map(_square, items, jobs=1))
+
+    def test_empty_and_single_item(self):
+        assert pool_map(_square, [], jobs=4) == []
+        assert pool_map(_square, [6], jobs=4) == [36]
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(ValueError, match="boom on 3"):
+            pool_map(_maybe_fail, [1, 2, 3, 4], jobs=2)
+        with pytest.raises(ValueError, match="boom on 3"):
+            pool_map(_maybe_fail, [1, 2, 3, 4], jobs=1)
+
+    @pytest.mark.slow
+    def test_spawn_context(self):
+        # spawn re-imports the module in the worker: the strictest
+        # start method, and the macOS/Windows default.
+        assert pool_map(_square, [2, 4], jobs=2, mp_context="spawn") == [
+            4, 16,
+        ]
+
+
+class TestPoolImap:
+    def test_streams_in_input_order(self):
+        assert list(pool_imap(_square, range(8), jobs=3)) == [
+            x * x for x in range(8)
+        ]
+
+    def test_serial_is_lazy(self):
+        calls = []
+
+        def probe(x):
+            calls.append(x)
+            return x
+
+        gen = pool_imap(probe, [1, 2, 3], jobs=1)
+        assert calls == []
+        assert next(gen) == 1
+        assert calls == [1]
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(ValueError, match="boom on 3"):
+            list(pool_imap(_maybe_fail, [1, 2, 3], jobs=2))
+
+
+class TestReplicateSeeds:
+    def test_derivation_is_positional(self):
+        assert list(replicate_seeds(40, 3)) == [40, 41, 42]
+
+    def test_rejects_zero_reps(self):
+        with pytest.raises(ValueError, match="reps"):
+            replicate_seeds(0, 0)

@@ -65,3 +65,20 @@ class TestCompareAndWinRate:
         b = Replicates(values=(1.0,), seeds=(1,))
         with pytest.raises(ValueError):
             win_rate(a, b)
+
+
+def _double(seed):
+    """Module-level so it pickles across the process boundary."""
+    return float(seed * 2)
+
+
+class TestReplicateJobs:
+    def test_parallel_equals_serial(self):
+        a = replicate(_double, [3, 1, 4], jobs=1)
+        b = replicate(_double, [3, 1, 4], jobs=2)
+        assert a.values == b.values == (6.0, 2.0, 8.0)
+        assert a.seeds == b.seeds == (3, 1, 4)
+
+    def test_compare_passes_jobs_through(self):
+        out = compare({"a": _double}, [1, 2], jobs=2)
+        assert out["a"].values == (2.0, 4.0)

@@ -91,6 +91,23 @@ def _capture(run) -> list:
     return sub.drain()
 
 
+def test_fast_path_publishes_the_reference_event_stream():
+    """The cached/batched engine must emit the identical (ordered,
+    float-exact) replayable event stream as ``fast_path=False`` — the
+    observability twin of the bit-identical-trace equivalence tests in
+    ``tests/sim/test_fast_path.py``."""
+    def run(fast_path):
+        return _capture(lambda o: run_single(
+            SCENARIOS["anl-uc"], make_tuner(TUNER, SEED),
+            duration_s=DURATION, seed=SEED, obs=o, fast_path=fast_path,
+            **_fault_kit(),
+        ))
+
+    fast, reference = run(True), run(False)
+    assert any(e.kind == "breaker-transition" for e in reference)
+    assert fast == reference
+
+
 @pytest.mark.slow
 def test_sigkill_then_resume_replays_the_identical_event_stream(tmp_path):
     journal_path = tmp_path / "killed.jnl"

@@ -68,3 +68,32 @@ class TestSpans:
         hist = reg.histogram(SPAN_METRIC, buckets=(0.1, 1.0, 10.0),
                              phase="epoch", run="r1")
         assert hist.count == 1
+
+
+class TestInjectableClock:
+    """Spans accept the shared Clock protocol, not just a callable."""
+
+    def test_fake_clock_instance(self):
+        from repro.obs.clock import FakeClock
+
+        registry = MetricsRegistry()
+        clk = FakeClock()
+        spans = SpanRecorder(registry, clock=clk)
+        with spans.span("epoch"):
+            clk.advance(2.5)
+        assert spans.last["epoch"] == 2.5
+
+    def test_default_is_wall_perf_counter(self):
+        spans = SpanRecorder(MetricsRegistry())
+        t0 = spans.now()
+        assert spans.now() >= t0
+
+    def test_instrumentation_on_accepts_clock_instance(self):
+        from repro.obs.clock import FakeClock
+        from repro.obs.instrument import Instrumentation
+
+        clk = FakeClock(start=10.0)
+        obs = Instrumentation.on(clock=clk)
+        with obs.spans.span("propose"):
+            clk.advance(0.125)
+        assert obs.spans.last["propose"] == 0.125

@@ -272,3 +272,74 @@ class TestObservabilityFlags:
         resumed = [e for e in read_event_log(ev_resumed)
                    if e.kind in replayable]
         assert resumed == full
+
+
+class TestReplicateFlags:
+    def test_run_reps_prints_table_and_ci(self, capsys):
+        rc = main(["run", "--tuner", "cd", "--duration", "120",
+                   "--reps", "3", "--jobs", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "3 replicates" in out
+        assert "95% CI" in out
+        # one row per derived seed
+        for seed in ("0", "1", "2"):
+            assert seed in out
+
+    def test_reps_parallel_equals_serial(self, capsys):
+        main(["run", "--tuner", "cd", "--duration", "120", "--reps", "2"])
+        serial = capsys.readouterr().out
+        main(["run", "--tuner", "cd", "--duration", "120", "--reps", "2",
+              "--jobs", "2"])
+        assert capsys.readouterr().out == serial
+
+    def test_reps_zero_rejected(self):
+        with pytest.raises(SystemExit, match="reps"):
+            main(["run", "--reps", "0"])
+
+    @pytest.mark.parametrize("flag", [
+        ("--journal", "j.jnl"), ("--warm-start", "w.jnl"),
+        ("--trace-out", "t.json"), ("--events", "e.jsonl"),
+        ("--metrics-out", "m.prom"),
+    ])
+    def test_reps_refuses_per_run_artifacts(self, flag):
+        with pytest.raises(SystemExit, match="incompatible"):
+            main(["run", "--reps", "2", *flag])
+
+
+class TestCampaignJobsAndTimings:
+    def test_campaign_jobs_journal_then_info_timings(self, tmp_path,
+                                                     capsys):
+        import repro.experiments.campaign as campaign_mod
+
+        journal = tmp_path / "camp.jnl"
+        # The real quick campaign is seconds-scale thanks to the fast
+        # path, but trim to one unit to keep the CLI test snappy.
+        units = campaign_mod.CAMPAIGN_UNITS
+        try:
+            campaign_mod.CAMPAIGN_UNITS = units[3:4]  # fig8 only
+            rc = main(["campaign", "--quick", "--jobs", "2",
+                       "--journal", str(journal)])
+        finally:
+            campaign_mod.CAMPAIGN_UNITS = units
+        assert rc == 0
+        assert "Fig 8" in capsys.readouterr().out
+
+        rc = main(["info", "--timings", str(journal)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "fig8" in out
+        assert "recorded total" in out
+
+    def test_info_timings_missing_journal_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="no journal"):
+            main(["info", "--timings", str(tmp_path / "nope.jnl")])
+
+    def test_info_timings_refuses_non_campaign_journal(self, tmp_path):
+        from repro.checkpoint import JournalWriter
+
+        path = tmp_path / "run.jnl"
+        with JournalWriter(path) as w:
+            w.write_header({"run": {}})
+        with pytest.raises(SystemExit, match="section records"):
+            main(["info", "--timings", str(path)])
