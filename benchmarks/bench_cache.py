@@ -1,0 +1,87 @@
+"""Run-cache throughput: a cold campaign vs its warm, cache-served rerun.
+
+The content-addressed cache (:mod:`repro.cache`) makes repeated
+experiments nearly free: the second time any run executes with the same
+complete configuration, its traces come off disk bit-identical.  This
+bench quantifies that on the quick campaign — every figure of the
+evaluation, cold then warm against one store — and on a single 600 s
+run, and enforces the ≥5x warm-rerun floor the cache promises.
+"""
+
+import time
+
+from repro.cache import RunCache
+from repro.core.nm_tuner import NmTuner
+from repro.experiments.campaign import CampaignScale, run_campaign
+from repro.experiments.report import render_table
+from repro.experiments.runner import run_single
+from repro.experiments.scenarios import ANL_UC
+
+MIN_WARM_SPEEDUP = 5.0
+
+
+def test_cache_cold_vs_warm_campaign(benchmark, report, tmp_path):
+    store = RunCache(tmp_path / "campaign-cache")
+    scale = CampaignScale.quick()
+
+    t0 = time.perf_counter()
+    cold = run_campaign(scale, cache=store)
+    cold_s = time.perf_counter() - t0
+    stats = store.stats()
+
+    warm = benchmark.pedantic(
+        lambda: run_campaign(scale, cache=store), rounds=3, iterations=1
+    )
+    warm_s = benchmark.stats.stats.mean
+
+    assert warm.document() == cold.document(), "cache hit must be bit-identical"
+    speedup = cold_s / warm_s
+    report(
+        render_table(
+            ["pass", "wall s", "entries", "MB on disk"],
+            [
+                ["cold (simulate + store)", f"{cold_s:.2f}", stats.entries,
+                 f"{stats.total_bytes / 1e6:.1f}"],
+                ["warm (cache-served)", f"{warm_s:.2f}", stats.entries,
+                 f"{stats.total_bytes / 1e6:.1f}"],
+            ],
+            title=(
+                f"Quick campaign, cold vs warm rerun: {speedup:.1f}x "
+                f"(identical reports; floor {MIN_WARM_SPEEDUP:.0f}x)"
+            ),
+        )
+    )
+    assert speedup >= MIN_WARM_SPEEDUP, (
+        f"warm campaign only {speedup:.1f}x faster "
+        f"(cold {cold_s:.2f}s, warm {warm_s:.2f}s)"
+    )
+
+
+def test_cache_single_run_hit_latency(benchmark, report, tmp_path):
+    store = RunCache(tmp_path / "single-cache")
+
+    t0 = time.perf_counter()
+    fresh = run_single(ANL_UC, NmTuner(), duration_s=600.0, seed=0,
+                       cache=store)
+    cold_ms = 1e3 * (time.perf_counter() - t0)
+
+    hit = benchmark.pedantic(
+        lambda: run_single(ANL_UC, NmTuner(), duration_s=600.0, seed=0,
+                           cache=store),
+        rounds=10, iterations=1,
+    )
+    hit_ms = 1e3 * benchmark.stats.stats.mean
+
+    assert hit.epochs == fresh.epochs and hit.steps == fresh.steps
+    report(
+        render_table(
+            ["path", "ms"],
+            [["simulate (600 s transfer)", f"{cold_ms:.1f}"],
+             ["cache hit", f"{hit_ms:.1f}"]],
+            title=(
+                f"run_single hit latency: {cold_ms / hit_ms:.1f}x "
+                "(bit-identical trace, epochs AND steps)"
+            ),
+        )
+    )
+    assert hit_ms < cold_ms

@@ -42,6 +42,7 @@ from repro.core import (
     Tuner,
     default_globus_params,
 )
+from repro.cache import RunCache, activated, default_cache_dir
 from repro.checkpoint import (
     JournalWriter,
     read_journal,
@@ -124,6 +125,10 @@ __all__ = [
     "FaultError",
     "EpochFault",
     "SessionAborted",
+    # result cache
+    "RunCache",
+    "activated",
+    "default_cache_dir",
     # checkpoint/resume
     "JournalWriter",
     "read_journal",

@@ -2,6 +2,6 @@
 
 import sys
 
-from repro.cli import main
+from repro.cli import _main_console
 
-sys.exit(main())
+sys.exit(_main_console())

@@ -1,0 +1,61 @@
+"""Content-addressed run cache.
+
+Every simulation run is a pure function of its configuration and seed
+(the determinism the checkpoint/resume and fast-path suites enforce),
+which makes run results cacheable by content address: SHA-256 over a
+canonical-JSON encoding of the complete configuration, plus a cache
+schema version and an engine source fingerprint so entries can never
+outlive a behavior change.  See DESIGN.md §12.
+
+Layers:
+
+* :mod:`repro.cache.canonical` — order-independent canonical JSON;
+* :mod:`repro.cache.keys`      — key assembly + engine fingerprint;
+* :mod:`repro.cache.store`     — atomic on-disk store (damage = miss);
+* :mod:`repro.cache.runtime`   — ``cache=`` resolution and the
+  environment bridge that carries the decision into pool workers;
+* :mod:`repro.cache.replay`    — telemetry replay on hits.
+
+Quickstart::
+
+    from repro.cache import RunCache
+    from repro.experiments.runner import run_single
+
+    cache = RunCache("/tmp/repro-cache")
+    t1 = run_single(ANL_UC, NmTuner(), seed=1, cache=cache)  # simulates
+    t2 = run_single(ANL_UC, NmTuner(), seed=1, cache=cache)  # disk hit
+    # t1 and t2 are bit-identical, epochs AND steps.
+"""
+
+from repro.cache.canonical import canonical_json, describe
+from repro.cache.keys import (
+    CACHE_SCHEMA_VERSION,
+    engine_fingerprint,
+    run_key,
+)
+from repro.cache.replay import replay_traces
+from repro.cache.runtime import (
+    DEFAULT_CACHE_DIRNAME,
+    CacheSpec,
+    activated,
+    default_cache_dir,
+    resolve_cache,
+)
+from repro.cache.store import CacheEntryInfo, CacheStats, RunCache
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "DEFAULT_CACHE_DIRNAME",
+    "CacheEntryInfo",
+    "CacheSpec",
+    "CacheStats",
+    "RunCache",
+    "activated",
+    "canonical_json",
+    "default_cache_dir",
+    "describe",
+    "engine_fingerprint",
+    "replay_traces",
+    "resolve_cache",
+    "run_key",
+]

@@ -1,0 +1,139 @@
+"""Canonical JSON encoding of run configurations.
+
+Cache keys must be *stable*: the same configuration must hash to the
+same key in any process, on any platform, regardless of the order keys
+were inserted into dicts or how a dataclass was constructed.  This
+module turns an arbitrary configuration object graph — primitives,
+tuples, dicts, dataclasses, plain objects, callables — into a plain
+JSON-able structure (:func:`describe`) and renders it with sorted keys
+and compact separators (:func:`canonical_json`).
+
+Determinism notes:
+
+* Floats serialize via ``repr`` (CPython's shortest round-trip form),
+  so two configurations differ iff their float bits differ.
+* Non-finite floats (``inf``/``nan``) are encoded as tagged strings —
+  ``json.dumps(allow_nan=True)`` output is not valid JSON and differs
+  across encoders.
+* Dataclasses and plain objects are tagged with their fully qualified
+  class name, so two classes with identical field values never collide.
+* Callables (TCP congestion-control functions, factories) encode as
+  their qualified name: behavior changes inside them are covered by the
+  engine source fingerprint, not the key.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from typing import Any
+
+__all__ = ["describe", "canonical_json", "Described"]
+
+
+class Described:
+    """Marks data as already in :func:`describe` output form.
+
+    Key assembly memoizes the description of heavyweight immutable
+    graphs (scenarios); wrapping the memoized plain data in
+    ``Described`` lets :func:`describe` embed it without re-walking.
+    """
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: Any) -> None:
+        self.data = data
+
+
+def _describe_float(value: float) -> Any:
+    if math.isnan(value):
+        return {"__float__": "nan"}
+    if math.isinf(value):
+        return {"__float__": "inf" if value > 0 else "-inf"}
+    return float(value)
+
+
+def describe(obj: Any) -> Any:
+    """Reduce a configuration object graph to JSON-able plain data.
+
+    Raises ``TypeError`` for objects that carry no describable state —
+    better a loud failure at key-build time than a cache key that
+    silently ignores part of the configuration.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        # bool before int is irrelevant here (bool is JSON-distinct),
+        # but keep ints exact: no float coercion.
+        return obj
+    if isinstance(obj, Described):
+        return obj.data
+    if isinstance(obj, float):
+        return _describe_float(obj)
+    # numpy scalars (np.float64, np.int64, ...) expose .item(); handled
+    # without importing numpy so the module stays dependency-light.
+    item = getattr(obj, "item", None)
+    if callable(item) and type(obj).__module__.startswith("numpy"):
+        return describe(obj.item())
+    if isinstance(obj, (list, tuple)):
+        return [describe(v) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        return {"__set__": sorted(canonical_json(v) for v in obj)}
+    if isinstance(obj, dict):
+        out = {}
+        for k, v in obj.items():
+            if not isinstance(k, str):
+                raise TypeError(
+                    f"cache configurations need string dict keys; got "
+                    f"{type(k).__name__} key {k!r}"
+                )
+            out[k] = describe(v)
+        return out
+    if isinstance(obj, bytes):
+        return {"__bytes__": obj.hex()}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        out = {"__class__": _qualname(type(obj))}
+        # dataclasses.fields skips init=False state on *frozen* configs?
+        # No — it includes every field, which is what we want: mutable
+        # state (e.g. a breaker's consecutive_failures) must key the
+        # entry, otherwise a hot breaker could be served a cold run.
+        for f in dataclasses.fields(obj):
+            out[f.name] = describe(getattr(obj, f.name))
+        return out
+    if isinstance(obj, type) or callable(obj):
+        return {"__callable__": _qualname(obj)}
+    state = getattr(obj, "__dict__", None)
+    if state is not None:
+        out = {"__class__": _qualname(type(obj))}
+        for k in sorted(state):
+            out[k] = describe(state[k])
+        return out
+    slots = getattr(type(obj), "__slots__", None)
+    if slots is not None:
+        out = {"__class__": _qualname(type(obj))}
+        for k in sorted(slots):
+            if hasattr(obj, k):
+                out[k] = describe(getattr(obj, k))
+        return out
+    raise TypeError(
+        f"cannot canonicalize {type(obj).__name__!r} for a cache key"
+    )
+
+
+def _qualname(obj: Any) -> str:
+    mod = getattr(obj, "__module__", "?")
+    name = getattr(obj, "__qualname__", getattr(obj, "__name__", repr(obj)))
+    return f"{mod}.{name}"
+
+
+def canonical_json(obj: Any) -> str:
+    """Render ``describe(obj)`` deterministically.
+
+    Sorted keys and compact separators make the text independent of
+    dict insertion order and whitespace conventions; ``allow_nan=False``
+    guarantees the output is strict JSON (non-finite floats were tagged
+    by :func:`describe`).
+    """
+    return json.dumps(
+        describe(obj), sort_keys=True, separators=(",", ":"),
+        ensure_ascii=True, allow_nan=False,
+    )

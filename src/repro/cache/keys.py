@@ -1,0 +1,214 @@
+"""Cache keys: SHA-256 over canonical configuration + version stamps.
+
+A run is byte-for-byte determined by its configuration and seed (the
+determinism the checkpoint and fast-path suites already pin down), so a
+key that covers the *complete* configuration is a sound content
+address.  Two extra components make staleness impossible:
+
+* ``CACHE_SCHEMA_VERSION`` — bumped whenever the key layout or the
+  entry payload format changes, invalidating every older entry at once.
+* :func:`engine_fingerprint` — a SHA-256 over the source text of every
+  behavior-bearing module (simulation engine, network/TCP models,
+  endpoint/CPU models, tuners, faults, GridFTP client model, noise,
+  and the runner that builds sessions).  Any edit that could change a
+  trace changes the fingerprint, so entries written by an older engine
+  are unreachable misses, never wrong hits.
+
+Non-behavioral layers (observability, checkpoint I/O, CLI, analysis,
+the cache itself) are deliberately outside the fingerprint — editing a
+dashboard must not throw away gigabytes of valid results.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+from pathlib import Path
+from typing import Any
+
+from repro.cache.canonical import Described, canonical_json, describe
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "engine_fingerprint",
+    "run_key",
+    "single_run_components",
+    "pair_run_components",
+    "joint_run_components",
+]
+
+#: Bump to invalidate every existing cache entry (key layout or payload
+#: format change).
+CACHE_SCHEMA_VERSION = 1
+
+#: Package subtrees / modules whose source determines simulation
+#: behavior.  Relative to the ``repro`` package root.
+_FINGERPRINT_ROOTS = (
+    "sim",
+    "net",
+    "core",
+    "endpoint",
+    "faults",
+    "gridftp",
+    "noise.py",
+    "units.py",
+    "_byte_pump.py",
+    "experiments/runner.py",
+    "experiments/scenarios.py",
+)
+
+
+@functools.lru_cache(maxsize=1)
+def engine_fingerprint() -> str:
+    """SHA-256 over the behavior-bearing source files, hex-encoded.
+
+    Computed once per process; stable across processes and platforms
+    (files are hashed in sorted relative-path order, bytes as stored).
+    """
+    import repro
+
+    root = Path(repro.__file__).parent
+    digest = hashlib.sha256()
+    files: list[Path] = []
+    for rel in _FINGERPRINT_ROOTS:
+        target = root / rel
+        if target.is_dir():
+            files.extend(sorted(target.rglob("*.py")))
+        elif target.is_file():
+            files.append(target)
+    for path in sorted(files):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+#: Identity-keyed memo of described *scenario* graphs.  Scenarios are
+#: frozen module-level singletons with the deepest object graph in a
+#: key; re-describing one for every run in a sweep is pure waste.  The
+#: strong reference keeps each memoized object alive, so its id can
+#: never be recycled by a different object.
+_SCENARIO_MEMO: dict[int, tuple[Any, Any]] = {}
+
+
+def _describe_scenario(scenario: Any) -> Described:
+    entry = _SCENARIO_MEMO.get(id(scenario))
+    if entry is None or entry[0] is not scenario:
+        entry = (scenario, Described(describe(scenario)))
+        _SCENARIO_MEMO[id(scenario)] = entry
+    return entry[1]
+
+
+def run_key(kind: str, components: dict[str, Any]) -> str:
+    """The content address of one run: kind + schema + engine + config.
+
+    ``canonical_json`` describes the document in a single walk —
+    ``describe`` is idempotent, so pre-described fragments (memoized
+    scenarios) embed unchanged and the key is identical either way.
+    """
+    doc = {
+        "kind": kind,
+        "schema": CACHE_SCHEMA_VERSION,
+        "engine": engine_fingerprint(),
+        "config": components,
+    }
+    return hashlib.sha256(canonical_json(doc).encode()).hexdigest()
+
+
+# -- component assembly (mirrors the runner signatures) ---------------------
+#
+# The runner passes its *normalized* inputs (load already lifted to a
+# LoadSchedule, the EngineConfig it will hand the engine), so the key
+# covers exactly what the engine sees.
+
+
+def single_run_components(
+    *,
+    scenario: Any,
+    tuner: Any,
+    schedule: Any,
+    duration_s: float,
+    epoch_s: float,
+    tune_np: bool,
+    fixed_np: int,
+    x0: Any,
+    seed: int,
+    max_nc: int,
+    fault_schedule: Any,
+    retry_policy: Any,
+    breaker: Any,
+    engine_config: Any,
+) -> dict[str, Any]:
+    return {
+        "scenario": _describe_scenario(scenario),
+        "tuner": tuner,
+        "schedule": schedule,
+        "duration_s": float(duration_s),
+        "epoch_s": float(epoch_s),
+        "tune_np": bool(tune_np),
+        "fixed_np": int(fixed_np),
+        "x0": None if x0 is None else [int(v) for v in x0],
+        "seed": int(seed),
+        "max_nc": int(max_nc),
+        "fault_schedule": fault_schedule,
+        "retry_policy": retry_policy,
+        "breaker": breaker,
+        "engine_config": engine_config,
+    }
+
+
+def pair_run_components(
+    *,
+    scenario: Any,
+    tuner_a: Any,
+    tuner_b: Any,
+    path_a: str,
+    path_b: str,
+    schedule: Any,
+    duration_s: float,
+    epoch_s: float,
+    tune_np: bool,
+    seed: int,
+    engine_config: Any,
+) -> dict[str, Any]:
+    return {
+        "scenario": _describe_scenario(scenario),
+        "tuner_a": tuner_a,
+        "tuner_b": tuner_b,
+        "path_a": str(path_a),
+        "path_b": str(path_b),
+        "schedule": schedule,
+        "duration_s": float(duration_s),
+        "epoch_s": float(epoch_s),
+        "tune_np": bool(tune_np),
+        "seed": int(seed),
+        "engine_config": engine_config,
+    }
+
+
+def joint_run_components(
+    *,
+    scenario: Any,
+    inner: Any,
+    path_a: str,
+    path_b: str,
+    schedule: Any,
+    duration_s: float,
+    epoch_s: float,
+    tune_np: bool,
+    seed: int,
+    engine_config: Any,
+) -> dict[str, Any]:
+    return {
+        "scenario": _describe_scenario(scenario),
+        "inner": inner,
+        "path_a": str(path_a),
+        "path_b": str(path_b),
+        "schedule": schedule,
+        "duration_s": float(duration_s),
+        "epoch_s": float(epoch_s),
+        "tune_np": bool(tune_np),
+        "seed": int(seed),
+        "engine_config": engine_config,
+    }

@@ -1,0 +1,49 @@
+"""Observability replay for cache hits.
+
+A cache hit skips the engine, but an instrumented caller still expects
+the run's telemetry.  The journal-resume path already defines what a
+reconstructed stream looks like: the replayable event subsequence of
+:func:`repro.obs.events.events_from_records` (``BreakerTransition`` /
+``FaultInjected`` / ``EpochEnd``), float-exact against a live run's
+emissions for the same epochs.  Cache hits reuse exactly that contract,
+and feed the same per-epoch metrics a live run would
+(:func:`repro.obs.instrument.publish_epoch_record`), so counters and
+histograms agree whether a trace was simulated or served.
+
+Engine-internal events that are not derivable from records alone
+(``EpochStart``, tuner proposal/accept/reject, spans) are not replayed
+— the same contract resume follows.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sim.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.instrument import Instrumentation
+
+__all__ = ["replay_traces"]
+
+
+def replay_traces(
+    obs: "Instrumentation | None", traces: dict[str, Trace]
+) -> None:
+    """Publish cached traces' reconstructed events and epoch metrics."""
+    if obs is None or not obs.active:
+        return
+    from repro.obs.bus import NULL_BUS, NullBus
+    from repro.obs.events import events_from_records
+    from repro.obs.instrument import Instrumentation, publish_epoch_record
+
+    if not isinstance(obs.bus, NullBus):
+        for name in sorted(traces):
+            for event in events_from_records(name, traces[name].epochs):
+                obs.bus.emit(event)
+    if obs.metrics is not None:
+        # Metrics only: the events above already went out once.
+        metrics_only = Instrumentation(bus=NULL_BUS, metrics=obs.metrics)
+        for name in sorted(traces):
+            for rec in traces[name].epochs:
+                publish_epoch_record(metrics_only, name, rec)

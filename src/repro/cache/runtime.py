@@ -1,0 +1,135 @@
+"""Default-cache resolution and process-tree activation.
+
+The experiment layer fans work out over ``ProcessPoolExecutor`` workers
+whose task tuples are plain data — threading a live :class:`RunCache`
+through every tuple would bloat each call signature in the tree.
+Instead the cache travels as *environment state*, which child processes
+inherit under every multiprocessing start method:
+
+* ``REPRO_CACHE``      — ``1``/``true``/``on`` enables the default
+  cache, ``0``/``false``/``off`` disables it; unset means *off*.
+* ``REPRO_CACHE_DIR``  — cache root; defaults to ``.repro-cache`` in
+  the current directory.
+
+:func:`resolve_cache` turns the ``cache=`` argument every runner/sweep
+accepts (``None`` | ``bool`` | :class:`RunCache`) into a store or
+``None``; :func:`activated` additionally exports the decision into the
+environment for the duration of a fan-out, so workers that call
+``run_single(cache=None)`` resolve the same store.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from pathlib import Path
+from typing import Iterator, Union
+
+from repro.cache.store import RunCache
+
+__all__ = [
+    "CacheSpec",
+    "ENV_ENABLE",
+    "ENV_DIR",
+    "DEFAULT_CACHE_DIRNAME",
+    "default_cache_dir",
+    "resolve_cache",
+    "activated",
+]
+
+ENV_ENABLE = "REPRO_CACHE"
+ENV_DIR = "REPRO_CACHE_DIR"
+DEFAULT_CACHE_DIRNAME = ".repro-cache"
+
+#: What every ``cache=`` knob accepts.
+CacheSpec = Union[RunCache, bool, None]
+
+_TRUTHY = {"1", "true", "yes", "on"}
+_FALSY = {"0", "false", "no", "off", ""}
+
+#: The store most recently exported by :func:`activated` in *this*
+#: process.  Lets env-resolved callers inside the scope reuse the very
+#: same instance, so hit/miss counters accumulate where the caller can
+#: see them instead of fragmenting across throwaway stores.  (Pool
+#: workers are separate processes and always build their own.)
+_ACTIVE_STORE: RunCache | None = None
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``.repro-cache`` under the cwd."""
+    return Path(os.environ.get(ENV_DIR) or DEFAULT_CACHE_DIRNAME)
+
+
+def _env_enabled() -> bool:
+    value = os.environ.get(ENV_ENABLE, "").strip().lower()
+    if value in _TRUTHY:
+        return True
+    if value in _FALSY:
+        return False
+    raise ValueError(
+        f"unrecognized {ENV_ENABLE}={os.environ[ENV_ENABLE]!r}; "
+        "use 1/0, true/false, on/off"
+    )
+
+
+def resolve_cache(cache: CacheSpec) -> RunCache | None:
+    """Normalize a ``cache=`` argument to a store or ``None``.
+
+    * a :class:`RunCache` — used as-is;
+    * ``True`` — the default store (:func:`default_cache_dir`);
+    * ``False`` — caching off, regardless of the environment;
+    * ``None`` — consult ``REPRO_CACHE`` / ``REPRO_CACHE_DIR``.
+    """
+    if isinstance(cache, RunCache):
+        return cache
+    if cache is True:
+        return _store_for(default_cache_dir())
+    if cache is False:
+        return None
+    if cache is None:
+        return _store_for(default_cache_dir()) if _env_enabled() else None
+    raise TypeError(
+        f"cache must be a RunCache, bool, or None; got {cache!r}"
+    )
+
+
+def _store_for(root: Path) -> RunCache:
+    if _ACTIVE_STORE is not None and _ACTIVE_STORE.root == root:
+        return _ACTIVE_STORE
+    return RunCache(root)
+
+
+@contextlib.contextmanager
+def activated(cache: CacheSpec) -> Iterator[RunCache | None]:
+    """Export a cache decision to this process *and* its children.
+
+    ``None`` leaves the environment untouched (the ambient setting, if
+    any, stays in force); ``False`` forces caching off for the scope,
+    including in pool workers; a store or ``True`` enables it and points
+    ``REPRO_CACHE_DIR`` at the resolved root.  Yields the resolved store
+    (or ``None``) for in-process use; always restores the previous
+    environment on exit.
+    """
+    global _ACTIVE_STORE
+    store = resolve_cache(cache)
+    if cache is None:
+        yield store
+        return
+    saved = {k: os.environ.get(k) for k in (ENV_ENABLE, ENV_DIR)}
+    saved_store = _ACTIVE_STORE
+    try:
+        if store is None:
+            os.environ[ENV_ENABLE] = "0"
+            _ACTIVE_STORE = None
+        else:
+            os.environ[ENV_ENABLE] = "1"
+            os.environ[ENV_DIR] = str(store.root)
+            _ACTIVE_STORE = store
+        yield store
+    finally:
+        _ACTIVE_STORE = saved_store
+        for k, v in saved.items():
+            if v is None:
+                os.environ.pop(k, None)
+            else:
+                os.environ[k] = v

@@ -1,0 +1,317 @@
+"""On-disk content-addressed result store.
+
+Entries live under ``<root>/v<schema>/<key[:2]>/<key>.json`` — one JSON
+document per run, fanned out over 256 prefix directories so a large
+cache never piles tens of thousands of files into one directory.
+
+Write discipline matches :func:`repro.sim.traceio.atomic_write_text`
+(temp file + fsync + ``os.replace``): a process killed mid-``put`` can
+never leave a torn entry at the final path.  Read discipline is the
+mirror image: anything wrong with an entry — missing, truncated,
+invalid JSON, wrong embedded key, wrong format — is a *miss*, never an
+exception.  A damaged cache costs a re-simulation, not a crash.
+
+Hit/miss/byte counts accumulate on the store object and, when a
+:class:`~repro.obs.metrics.MetricsRegistry` is bound, into
+``repro_cache_hits_total`` / ``repro_cache_misses_total`` /
+``repro_cache_read_bytes_total`` / ``repro_cache_written_bytes_total``
+counters so the cache shows up next to the rest of the telemetry.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.cache.keys import CACHE_SCHEMA_VERSION
+from repro.sim.trace import StepRecord, Trace
+from repro.sim.traceio import (
+    atomic_write_text,
+    epoch_from_dict,
+    epoch_to_dict,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["RunCache", "CacheStats", "CacheEntryInfo"]
+
+#: Entry-file format tag (inside each JSON document).
+ENTRY_FORMAT = 1
+
+_KEY_HEX_LEN = 64
+
+
+@dataclass(frozen=True)
+class CacheEntryInfo:
+    """One entry as seen by ``ls``/``prune``."""
+
+    key: str
+    path: Path
+    size_bytes: int
+    mtime: float
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Store-level totals: on-disk state plus this process's traffic."""
+
+    entries: int
+    total_bytes: int
+    hits: int
+    misses: int
+    read_bytes: int
+    written_bytes: int
+
+
+class RunCache:
+    """Content-addressed run-result cache rooted at ``root``.
+
+    The directory is created lazily on first write, so constructing a
+    cache (e.g. to report stats on a path that was never populated) has
+    no filesystem side effects.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.read_bytes = 0
+        self.written_bytes = 0
+        self._metrics: "MetricsRegistry | None" = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"RunCache({str(self.root)!r})"
+
+    # -- metrics -------------------------------------------------------
+
+    def bind_metrics(self, registry: "MetricsRegistry | None") -> "RunCache":
+        """Mirror hit/miss/byte counts into ``repro_cache_*`` counters."""
+        self._metrics = registry
+        return self
+
+    def _count(self, *, hit: bool, nbytes: int = 0) -> None:
+        if hit:
+            self.hits += 1
+            self.read_bytes += nbytes
+        else:
+            self.misses += 1
+        if self._metrics is not None:
+            name = "repro_cache_hits_total" if hit else "repro_cache_misses_total"
+            self._metrics.counter(name).inc()
+            if hit and nbytes:
+                self._metrics.counter(
+                    "repro_cache_read_bytes_total"
+                ).inc(nbytes)
+
+    def _count_write(self, nbytes: int) -> None:
+        self.written_bytes += nbytes
+        if self._metrics is not None:
+            self._metrics.counter("repro_cache_written_bytes_total").inc(
+                nbytes
+            )
+
+    # -- paths ---------------------------------------------------------
+
+    @property
+    def _version_dir(self) -> Path:
+        return self.root / f"v{CACHE_SCHEMA_VERSION}"
+
+    def _entry_path(self, key: str) -> Path:
+        if len(key) != _KEY_HEX_LEN or any(
+            c not in "0123456789abcdef" for c in key
+        ):
+            raise ValueError(f"malformed cache key {key!r}")
+        return self._version_dir / key[:2] / f"{key}.json"
+
+    # -- get/put -------------------------------------------------------
+
+    def get(self, key: str) -> dict | None:
+        """The entry payload for ``key``, or None (any damage = miss)."""
+        path = self._entry_path(key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            # Missing entry, missing prefix dir, permission trouble,
+            # mid-replace race: all of them are just misses.
+            self._count(hit=False)
+            return None
+        try:
+            entry = json.loads(text)
+        except json.JSONDecodeError:
+            self._count(hit=False)
+            return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("format") != ENTRY_FORMAT
+            or entry.get("key") != key
+            or "payload" not in entry
+        ):
+            self._count(hit=False)
+            return None
+        self._count(hit=True, nbytes=len(text.encode("utf-8")))
+        return entry["payload"]
+
+    def put(
+        self, key: str, payload: dict, *, meta: dict | None = None
+    ) -> Path:
+        """Atomically persist ``payload`` under ``key``; returns the path."""
+        path = self._entry_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        text = json.dumps(
+            {
+                "format": ENTRY_FORMAT,
+                "key": key,
+                "meta": meta or {},
+                "payload": payload,
+            },
+            sort_keys=True,
+        )
+        atomic_write_text(path, text)
+        self._count_write(len(text.encode("utf-8")))
+        return path
+
+    # -- trace-shaped convenience --------------------------------------
+
+    def get_traces(self, key: str) -> dict[str, Trace] | None:
+        """Cached traces for a run key, or None on any kind of miss.
+
+        Deserialization failures (an entry written by a future trace
+        format, hand-edited files) degrade to misses like everything
+        else.
+        """
+        payload = self.get(key)
+        if payload is None:
+            return None
+        traces = payload.get("traces")
+        if not isinstance(traces, dict) or not traces:
+            return None
+        out: dict[str, Trace] = {}
+        for name, data in traces.items():
+            try:
+                out[name] = _trace_from_entry(data)
+            except (ValueError, KeyError, TypeError):
+                return None
+        return out
+
+    def put_traces(
+        self,
+        key: str,
+        traces: dict[str, Trace],
+        *,
+        meta: dict | None = None,
+    ) -> Path:
+        return self.put(
+            key,
+            {"traces": {n: _trace_to_entry(t) for n, t in traces.items()}},
+            meta=meta,
+        )
+
+    # -- management ----------------------------------------------------
+
+    def _iter_entries(self) -> Iterator[CacheEntryInfo]:
+        if not self._version_dir.is_dir():
+            return
+        for path in sorted(self._version_dir.glob("??/*.json")):
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            yield CacheEntryInfo(
+                key=path.stem, path=path, size_bytes=st.st_size,
+                mtime=st.st_mtime,
+            )
+
+    def entries(self) -> list[CacheEntryInfo]:
+        """All entries, oldest first (the eviction order)."""
+        return sorted(self._iter_entries(), key=lambda e: (e.mtime, e.key))
+
+    def stats(self) -> CacheStats:
+        infos = list(self._iter_entries())
+        return CacheStats(
+            entries=len(infos),
+            total_bytes=sum(e.size_bytes for e in infos),
+            hits=self.hits,
+            misses=self.misses,
+            read_bytes=self.read_bytes,
+            written_bytes=self.written_bytes,
+        )
+
+    def clear(self) -> int:
+        """Remove every entry; returns how many were removed."""
+        removed = 0
+        for info in self._iter_entries():
+            try:
+                info.path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def prune(self, max_bytes: int) -> list[str]:
+        """Evict oldest-first until the store fits ``max_bytes``.
+
+        Returns the evicted keys.  ``max_bytes=0`` empties the store.
+        """
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        infos = self.entries()
+        total = sum(e.size_bytes for e in infos)
+        evicted: list[str] = []
+        for info in infos:
+            if total <= max_bytes:
+                break
+            try:
+                info.path.unlink()
+            except OSError:
+                continue
+            total -= info.size_bytes
+            evicted.append(info.key)
+        return evicted
+
+
+def payload_meta(**kwargs: Any) -> dict:
+    """Human-oriented entry metadata (never part of the key)."""
+    return {k: v for k, v in kwargs.items() if v is not None}
+
+
+# -- entry trace codec -------------------------------------------------------
+#
+# Entries store step records *columnar* (one flat array per field)
+# instead of the row-shaped ``trace_to_dict`` layout: a hit must decode
+# thousands of per-step rows, and flat arrays parse and rebuild several
+# times faster than a dict per step.  Floats pass through JSON's repr
+# round-trip untouched either way, so hits stay bit-identical.  Epochs
+# are few and keep the shared row codec from :mod:`repro.sim.traceio`.
+
+
+def _trace_to_entry(trace: Trace) -> dict:
+    steps = trace.steps
+    return {
+        "label": trace.label,
+        "epochs": [epoch_to_dict(e) for e in trace.epochs],
+        "steps": {
+            "time": [s.time for s in steps],
+            "rate": [s.rate for s in steps],
+            "restarting": [1 if s.restarting else 0 for s in steps],
+            "bytes_moved": [s.bytes_moved for s in steps],
+        },
+    }
+
+
+def _trace_from_entry(data: dict) -> Trace:
+    cols = data["steps"]
+    trace = Trace(label=str(data["label"]))
+    trace.steps.extend(
+        StepRecord(time=t, rate=r, restarting=bool(g), bytes_moved=b)
+        for t, r, g, b in zip(
+            cols["time"], cols["rate"], cols["restarting"],
+            cols["bytes_moved"], strict=True,
+        )
+    )
+    for e in data["epochs"]:
+        trace.add_epoch(epoch_from_dict(e))
+    return trace

@@ -16,7 +16,13 @@ The subcommands mirror how the library is used:
 * ``info``   — registered tuners, scenarios, and load profiles;
   ``--timings`` prints a campaign journal's per-unit wall times;
 * ``top``    — ANSI dashboard over a journal or saved trace
-  (``--follow`` re-renders live while a journaled run progresses).
+  (``--follow`` re-renders live while a journaled run progresses);
+* ``cache``  — inspect/clear/prune the content-addressed run cache.
+
+``run``, ``oracle``, and ``campaign`` cache their simulation results in
+``.repro-cache`` (override with ``--cache-dir`` or ``$REPRO_CACHE_DIR``)
+so repeating an experiment is nearly free; ``--no-cache`` forces a
+fresh simulation.  Cached results are bit-identical to simulated ones.
 
 Invoke as ``python -m repro ...`` or via the ``repro-transfer`` script.
 """
@@ -25,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import functools
+import os
 import sys
 from typing import Sequence
 
@@ -56,6 +63,15 @@ def parse_load(text: str) -> ExternalLoad:
         return ExternalLoad.parse(text)
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
+
+
+def _cache_spec(args: argparse.Namespace):
+    """The ``cache=`` value for a subcommand's ``--cache/--no-cache``."""
+    if not args.cache:
+        return False
+    from repro.cache import RunCache
+
+    return RunCache(args.cache_dir)
 
 
 def _scenario(name: str) -> Scenario:
@@ -183,7 +199,8 @@ def _run_replicates(args: argparse.Namespace) -> int:
         fixed_np=args.np,
     )
     reps = replicate(
-        experiment, replicate_seeds(args.seed, args.reps), jobs=args.jobs
+        experiment, replicate_seeds(args.seed, args.reps), jobs=args.jobs,
+        cache=_cache_spec(args),
     )
     print(render_table(
         ["seed", "steady MB/s"],
@@ -237,6 +254,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             fixed_np=args.np,
             seed=args.seed,
             obs=obs,
+            cache=_cache_spec(args),
         )
     _print_summary(trace, scenario=scenario.name, load=args.load,
                    tuner=tuner.name, tune_np=args.tune_np, chart=args.chart)
@@ -396,11 +414,14 @@ def cmd_oracle(args: argparse.Namespace) -> int:
         fixed_np=args.np,
         duration_s=args.duration,
         seed=args.seed,
+        search=args.search,
+        jobs=args.jobs,
+        cache=_cache_spec(args),
     )
     print(
         f"oracle static nc = {oracle.params[0]} "
         f"({oracle.throughput_mbps:.0f} MB/s, "
-        f"{oracle.evaluations} evaluations)"
+        f"{oracle.evaluations} evaluations, {oracle.search} search)"
     )
     return 0
 
@@ -476,7 +497,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
              else CampaignScale.full(args.seed))
     try:
         result = run_campaign(scale, journal_path=args.journal,
-                              jobs=args.jobs)
+                              jobs=args.jobs, cache=_cache_spec(args))
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
     if result.resumed_units:
@@ -489,6 +510,62 @@ def cmd_campaign(args: argparse.Namespace) -> int:
 
         atomic_write_text(args.output, doc + "\n")
     return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from datetime import datetime
+
+    from repro.cache import RunCache
+
+    store = RunCache(args.dir)
+    if args.action == "stats":
+        s = store.stats()
+        print(f"cache root   : {store.root}")
+        print(f"entries      : {s.entries}")
+        print(f"total bytes  : {s.total_bytes:,}")
+        return 0
+    if args.action == "ls":
+        entries = store.entries()
+        if not entries:
+            print(f"cache at {store.root} is empty")
+            return 0
+        rows = []
+        for e in entries:
+            meta = _entry_meta(e.path)
+            when = datetime.fromtimestamp(e.mtime).strftime("%Y-%m-%d %H:%M")
+            rows.append([e.key[:12], f"{e.size_bytes:,}", when, meta])
+        print(render_table(["key", "bytes", "written", "run"], rows,
+                           title=f"cache entries (oldest first): {store.root}"))
+        return 0
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} entries from {store.root}")
+        return 0
+    if args.action == "prune":
+        if args.max_bytes is None:
+            raise SystemExit("prune needs --max-bytes")
+        try:
+            evicted = store.prune(args.max_bytes)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+        s = store.stats()
+        print(f"evicted {len(evicted)} entries (oldest first); "
+              f"{s.entries} remain, {s.total_bytes:,} bytes")
+        return 0
+    raise SystemExit(f"unknown cache action {args.action!r}")
+
+
+def _entry_meta(path) -> str:
+    """Compact ``kind scenario/tuner seed`` label from an entry's meta."""
+    import json
+
+    try:
+        meta = json.loads(path.read_text(encoding="utf-8")).get("meta", {})
+    except (OSError, ValueError):
+        return "?"
+    parts = [str(meta[k]) for k in ("kind", "scenario", "tuner", "seed")
+             if k in meta]
+    return " ".join(parts) if parts else "-"
 
 
 # -- parser ------------------------------------------------------------------
@@ -514,6 +591,16 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--np", type=int, default=8,
                        help="fixed parallelism when np is not tuned")
+
+    def cache_flags(p: argparse.ArgumentParser) -> None:
+        from repro.cache import default_cache_dir
+
+        p.add_argument("--cache", default=True,
+                       action=argparse.BooleanOptionalAction,
+                       help="reuse/store results in the run cache "
+                            "(--no-cache forces a fresh simulation)")
+        p.add_argument("--cache-dir", default=str(default_cache_dir()),
+                       metavar="DIR", help="cache root")
 
     p_run = sub.add_parser("run", help="run one tuned transfer")
     common(p_run)
@@ -542,6 +629,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "report mean steady throughput with a 95%% CI")
     p_run.add_argument("--jobs", type=int, default=1,
                        help="processes for --reps fan-out (0 = all CPUs)")
+    cache_flags(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_res = sub.add_parser(
@@ -567,6 +655,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_oracle = sub.add_parser("oracle", help="best static nc by sweep")
     common(p_oracle)
+    p_oracle.add_argument("--search", default="grid",
+                          choices=("grid", "unimodal"),
+                          help="exhaustive grid, or O(log n) bisection "
+                               "exploiting the surface's unimodality")
+    p_oracle.add_argument("--jobs", type=int, default=1,
+                          help="processes for candidate fan-out "
+                               "(0 = all CPUs)")
+    cache_flags(p_oracle)
     p_oracle.set_defaults(func=cmd_oracle)
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
@@ -588,6 +684,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument("--jobs", type=int, default=1,
                         help="processes for unit fan-out (0 = all CPUs); "
                              "the report is identical at any width")
+    cache_flags(p_camp)
     p_camp.set_defaults(func=cmd_campaign)
 
     p_info = sub.add_parser(
@@ -612,6 +709,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="stop --follow after this many frames")
     p_top.set_defaults(func=cmd_top)
 
+    p_cache = sub.add_parser(
+        "cache", help="inspect/clear/prune the run cache"
+    )
+    p_cache.add_argument("action",
+                         choices=("stats", "ls", "clear", "prune"))
+    from repro.cache import default_cache_dir
+
+    p_cache.add_argument("--dir", default=str(default_cache_dir()),
+                         help="cache root")
+    p_cache.add_argument("--max-bytes", type=int, default=None,
+                         help="prune target: evict oldest entries until "
+                              "the store fits this many bytes")
+    p_cache.set_defaults(func=cmd_cache)
+
     return parser
 
 
@@ -620,5 +731,16 @@ def main(argv: Sequence[str] | None = None) -> int:
     return args.func(args)
 
 
+def _main_console() -> int:  # pragma: no cover - thin process wrapper
+    try:
+        return main()
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly like a
+        # well-behaved unix filter (and stop the interpreter's own
+        # shutdown from re-raising on stdout flush).
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
 if __name__ == "__main__":  # pragma: no cover
-    sys.exit(main())
+    sys.exit(_main_console())

@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
+from repro.cache.runtime import CacheSpec, activated
 from repro.experiments import figures
 from repro.experiments.parallel import pool_imap
 from repro.experiments.report import render_comparison, render_table
@@ -210,6 +211,7 @@ def run_campaign(
     journal_path: str | Path | None = None,
     jobs: int = 1,
     obs: "Instrumentation | None" = None,
+    cache: CacheSpec = None,
 ) -> CampaignResult:
     """Run every experiment of the evaluation; returns the report.
 
@@ -226,8 +228,25 @@ def run_campaign(
     land in :attr:`CampaignResult.unit_seconds`, in the journal's
     section records, and — when ``obs`` carries a metrics registry —
     in a ``repro_campaign_unit_seconds{unit=...}`` gauge.
+
+    ``cache`` routes every unit's simulation runs through the run cache
+    (:mod:`repro.cache`) — in-process and in pool workers alike.
+    Cached runs are bit-identical to simulated ones, so a unit produces
+    the same report blocks (and is journaled identically) whether its
+    traces came from the engine or from disk; journal resume composes
+    with the cache at unit granularity on top.
     """
     scale = scale if scale is not None else CampaignScale.full()
+    with activated(cache):
+        return _run_campaign_body(scale, journal_path, jobs, obs)
+
+
+def _run_campaign_body(
+    scale: CampaignScale,
+    journal_path: str | Path | None,
+    jobs: int,
+    obs: "Instrumentation | None",
+) -> CampaignResult:
     out = CampaignResult()
     unit_blocks: dict[str, dict[str, str]] = {}
 

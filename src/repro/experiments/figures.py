@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.analysis.stats import BoxStats, box_stats, steady_state_mean
+from repro.cache.runtime import CacheSpec, activated
 from repro.core.base import StaticTuner, Tuner
 from repro.core.cs_tuner import CsTuner
 from repro.core.heuristics import Heur1Tuner, Heur2Tuner
@@ -95,13 +96,15 @@ def fig1(
     duration_s: float = 600.0,
     seed: int = 0,
     jobs: int = 1,
+    cache: CacheSpec = None,
 ) -> Fig1Result:
     """Fig. 1: impact of parallel streams on throughput, with and without
     external load (np fixed at 1; 5 reps x 10 min in the paper).
 
     ``jobs`` fans the (load, nc, rep) cells out over processes; each
     cell's seed is derived from its own (rep, nc), so the statistics are
-    identical at any width.
+    identical at any width.  ``cache`` routes every cell through the
+    run cache (:mod:`repro.cache`) — workers included.
     """
     if nc_values is None:
         nc_values = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512]
@@ -116,7 +119,8 @@ def fig1(
         for nc in nc_values
         for rep in range(reps)
     ]
-    samples = pool_map(_fig1_sample, tasks, jobs=jobs)
+    with activated(cache):
+        samples = pool_map(_fig1_sample, tasks, jobs=jobs)
     stats: dict[str, dict[int, BoxStats]] = {}
     pos = 0
     for label in loads:
@@ -185,12 +189,14 @@ def fig5(
     duration_s: float = 1800.0,
     seed: int = 0,
     jobs: int = 1,
+    cache: CacheSpec = None,
 ) -> Fig5Result:
     """Figs. 5-7: observed throughput / nc trajectory / best-case
     throughput of default, cd-, cs-, nm-tuner under five static loads
     (np fixed at 8, tuning nc only).  ``jobs`` fans the (load, tuner)
     cells out over processes (each run is seeded independently, so the
-    traces are identical at any width)."""
+    traces are identical at any width); ``cache`` routes every cell
+    through the run cache."""
     if loads is None:
         loads = dict(FIG5_LOADS)
     if tuners is None:
@@ -200,7 +206,8 @@ def fig5(
         for load in loads.values()
         for tuner in tuners.values()
     ]
-    traces = pool_map(_fig5_cell, tasks, jobs=jobs)
+    with activated(cache):
+        traces = pool_map(_fig5_cell, tasks, jobs=jobs)
     out = Fig5Result()
     pos = 0
     for load_label in loads:
@@ -222,10 +229,11 @@ def tacc_concurrency(
     seed: int = 0,
     loads: dict[str, ExternalLoad] | None = None,
     jobs: int = 1,
+    cache: CacheSpec = None,
 ) -> Fig5Result:
     """§IV-A text: the ANL→TACC variant of the Fig. 5 study."""
     return fig5(ANL_TACC, loads=loads, duration_s=duration_s, seed=seed,
-                jobs=jobs)
+                jobs=jobs, cache=cache)
 
 
 # ---------------------------------------------------------------------------
@@ -279,13 +287,17 @@ def _varying_load_run(
     switch_at_s: float,
     seed: int,
     jobs: int = 1,
+    cache: CacheSpec = None,
 ) -> VaryingLoadResult:
     schedule = varying_load_schedule(switch_at_s)
     tasks = [
         (scenario, tuner, schedule, duration_s, seed)
         for tuner in tuners.values()
     ]
-    traces = dict(zip(tuners, pool_map(_varying_cell, tasks, jobs=jobs)))
+    with activated(cache):
+        traces = dict(
+            zip(tuners, pool_map(_varying_cell, tasks, jobs=jobs))
+        )
     return VaryingLoadResult(traces=traces, switch_at_s=switch_at_s)
 
 
@@ -295,6 +307,7 @@ def fig8(
     switch_at_s: float = 1000.0,
     seed: int = 0,
     jobs: int = 1,
+    cache: CacheSpec = None,
 ) -> VaryingLoadResult:
     """Fig. 8: ANL→TACC, tuning nc and np, load switch at 1000 s;
     cs-tuner and nm-tuner vs default (cd excluded as in the paper)."""
@@ -305,7 +318,7 @@ def fig8(
     }
     return _varying_load_run(
         ANL_TACC, tuners, duration_s=duration_s,
-        switch_at_s=switch_at_s, seed=seed, jobs=jobs,
+        switch_at_s=switch_at_s, seed=seed, jobs=jobs, cache=cache,
     )
 
 
@@ -315,6 +328,7 @@ def fig9(
     switch_at_s: float = 1000.0,
     seed: int = 0,
     jobs: int = 1,
+    cache: CacheSpec = None,
 ) -> VaryingLoadResult:
     """Fig. 9: the Fig. 8 study on ANL→UChicago."""
     tuners: dict[str, Tuner] = {
@@ -324,7 +338,7 @@ def fig9(
     }
     return _varying_load_run(
         ANL_UC, tuners, duration_s=duration_s,
-        switch_at_s=switch_at_s, seed=seed, jobs=jobs,
+        switch_at_s=switch_at_s, seed=seed, jobs=jobs, cache=cache,
     )
 
 
@@ -334,6 +348,7 @@ def fig10(
     switch_at_s: float = 1000.0,
     seed: int = 0,
     jobs: int = 1,
+    cache: CacheSpec = None,
 ) -> VaryingLoadResult:
     """Fig. 10: nm-tuner vs heur1 (Balman, additive) and heur2 (Yildirim,
     exponential) on ANL→TACC under the varying load."""
@@ -345,7 +360,7 @@ def fig10(
     }
     return _varying_load_run(
         ANL_TACC, tuners, duration_s=duration_s,
-        switch_at_s=switch_at_s, seed=seed, jobs=jobs,
+        switch_at_s=switch_at_s, seed=seed, jobs=jobs, cache=cache,
     )
 
 
@@ -376,6 +391,7 @@ def fig11(
     tuner: str = "nm",
     duration_s: float = 1800.0,
     seed: int = 0,
+    cache: CacheSpec = None,
 ) -> Fig11Result:
     """Fig. 11: simultaneous ANL→UChicago and ANL→TACC transfers, each
     independently tuned by nm-tuner (or cs-tuner), no other load.
@@ -401,6 +417,7 @@ def fig11(
         duration_s=duration_s,
         tune_np=True,
         seed=seed,
+        cache=cache,
     )
     return Fig11Result(
         traces={"anl-uc": traces["xfer-a"], "anl-tacc": traces["xfer-b"]}

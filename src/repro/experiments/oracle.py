@@ -5,23 +5,47 @@ static configuration *without knowing it in advance* and re-finding it
 when the load changes.  This module computes that reference point by
 brute force — something only the simulator can afford — so analyses can
 report regret against it.
+
+Two search strategies are available for the 1-D sweep:
+
+* ``search="grid"`` evaluates every candidate (the reference);
+* ``search="unimodal"`` exploits the paper's observation that the
+  throughput-vs-concurrency surface is unimodal (rises to a critical
+  point, then degrades): a memoized bisection on adjacent candidate
+  pairs finds the peak in O(log n) evaluations, then a handful of
+  spread probes verify the unimodal envelope.  If a probe beats the
+  bisection peak by more than ``unimodal_tolerance`` (relative), the
+  surface is treated as non-unimodal and the sweep falls back to the
+  full grid — already-evaluated candidates are reused, so the fallback
+  costs no more than the grid alone.
+
+Both sweeps accept ``jobs`` (process fan-out of independent
+evaluations) and ``cache`` (the content-addressed run cache,
+:mod:`repro.cache`), which together make repeated oracle computations
+effectively free.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.analysis.stats import steady_state_mean
+from repro.cache.runtime import CacheSpec, activated
 from repro.core.base import StaticTuner
 from repro.endpoint.load import ExternalLoad, LoadSchedule
 
+from repro.experiments.parallel import pool_map
 from repro.experiments.runner import run_single
 from repro.experiments.scenarios import Scenario
 
 #: Default concurrency candidates: dense low end, geometric high end.
 DEFAULT_NC_GRID = (1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 20, 26, 32, 40, 50,
                    64, 80, 100, 128, 160, 200, 256, 320, 400, 512)
+
+#: Relative slack allowed before a verification probe disproves
+#: unimodality (simulated surfaces carry sampling noise).
+DEFAULT_UNIMODAL_TOLERANCE = 0.05
 
 
 @dataclass(frozen=True)
@@ -31,12 +55,77 @@ class OracleResult:
     params: tuple[int, ...]
     throughput_mbps: float
     evaluations: int
+    #: Which strategy produced the answer: ``"grid"``, ``"unimodal"``,
+    #: or ``"unimodal:grid-fallback"`` when verification disproved
+    #: unimodality and the full grid decided.
+    search: str = field(default="grid")
 
     def regret_fraction(self, achieved_mbps: float) -> float:
         """Fraction of the oracle's throughput left on the table."""
         if self.throughput_mbps <= 0:
             raise ValueError("oracle throughput is zero")
         return max(0.0, 1.0 - achieved_mbps / self.throughput_mbps)
+
+
+# -- shared evaluation --------------------------------------------------------
+
+
+def _eval_static(
+    task: tuple[
+        Scenario, ExternalLoad | LoadSchedule | None, tuple[int, ...],
+        float, int, bool, int, int,
+    ],
+) -> float:
+    """Score one static setting: short transfer, steady-tail mean.
+
+    Module-level so sweeps can fan evaluations out over processes; the
+    task tuple is everything one evaluation needs.  The 1-D and 2-D
+    sweeps both funnel through here (they used to carry copy-pasted
+    run-and-score loops).
+    """
+    scenario, load, params, duration_s, seed, tune_np, fixed_np, max_nc = task
+    if tune_np:
+        trace = run_single(
+            scenario,
+            StaticTuner(params=params),
+            load=load,
+            duration_s=duration_s,
+            tune_np=True,
+            seed=seed,
+        )
+    else:
+        trace = run_single(
+            scenario,
+            StaticTuner(),
+            load=load,
+            duration_s=duration_s,
+            x0=params,
+            fixed_np=fixed_np,
+            seed=seed,
+            max_nc=max_nc,
+        )
+    return steady_state_mean(trace, tail_fraction=0.75)
+
+
+def _best_of(
+    scored: Sequence[tuple[tuple[int, ...], float]],
+) -> tuple[float, tuple[int, ...]]:
+    """First-maximum argmax over ``(params, score)`` pairs."""
+    best: tuple[float, tuple[int, ...]] | None = None
+    for params, score in scored:
+        if best is None or score > best[0]:
+            best = (score, params)
+    if best is None:
+        raise ValueError("no candidate inside [1, max_nc]")
+    return best
+
+
+# -- 1-D sweep ----------------------------------------------------------------
+
+
+def _unimodal_probe_indices(n: int) -> tuple[int, ...]:
+    """Spread verification probes: ends, quartiles, midpoint."""
+    return tuple(sorted({0, n // 4, n // 2, (3 * n) // 4, n - 1}))
 
 
 def oracle_static_nc(
@@ -48,38 +137,110 @@ def oracle_static_nc(
     duration_s: float = 240.0,
     seed: int = 0,
     max_nc: int = 512,
+    search: str = "grid",
+    unimodal_tolerance: float = DEFAULT_UNIMODAL_TOLERANCE,
+    jobs: int = 1,
+    cache: CacheSpec = None,
 ) -> OracleResult:
     """Sweep static concurrency values; return the best.
 
     Each candidate runs a short transfer (no restarts, so the measured
     level is the best-case surface value) and the steady tail is scored.
+
+    ``search="unimodal"`` replaces the exhaustive grid with a bisection
+    on the sorted candidate list (O(log n) evaluations) plus a few
+    verification probes; a probe beating the bisection peak by more than
+    ``unimodal_tolerance`` (relative) triggers a full-grid fallback that
+    reuses every evaluation already made.  ``jobs`` fans independent
+    evaluations over processes; ``cache`` activates the run cache for
+    them (in-process and in pool workers alike).
     """
+    if search not in ("grid", "unimodal"):
+        raise ValueError(f"unknown search {search!r}: 'grid' or 'unimodal'")
     if not candidates:
         raise ValueError("need at least one candidate")
-    best: tuple[float, tuple[int, ...]] | None = None
-    n_evals = 0
-    for nc in candidates:
-        if not 1 <= nc <= max_nc:
-            continue
-        trace = run_single(
-            scenario,
-            StaticTuner(),
-            load=load,
-            duration_s=duration_s,
-            x0=(nc,),
-            fixed_np=fixed_np,
-            seed=seed,
-            max_nc=max_nc,
-        )
-        n_evals += 1
-        score = steady_state_mean(trace, tail_fraction=0.75)
-        if best is None or score > best[0]:
-            best = (score, (nc,))
-    if best is None:
+    if unimodal_tolerance < 0:
+        raise ValueError("unimodal_tolerance must be >= 0")
+    grid = sorted({int(nc) for nc in candidates if 1 <= nc <= max_nc})
+    if not grid:
         raise ValueError("no candidate inside [1, max_nc]")
+
+    def task(nc: int):
+        return (scenario, load, (nc,), duration_s, seed, False, fixed_np,
+                max_nc)
+
+    with activated(cache):
+        if search == "grid":
+            scores = pool_map(_eval_static, [task(nc) for nc in grid],
+                              jobs=jobs)
+            best = _best_of(list(zip([(nc,) for nc in grid], scores)))
+            return OracleResult(
+                params=best[1], throughput_mbps=best[0],
+                evaluations=len(grid), search="grid",
+            )
+        return _unimodal_sweep(grid, task, unimodal_tolerance, jobs)
+
+
+def _unimodal_sweep(
+    grid: Sequence[int],
+    task,
+    tolerance: float,
+    jobs: int,
+) -> OracleResult:
+    """Bisection-on-adjacent-pairs argmax with envelope verification."""
+    memo: dict[int, float] = {}
+
+    def fill(indices: Sequence[int]) -> None:
+        missing = [i for i in sorted(set(indices)) if i not in memo]
+        if not missing:
+            return
+        scores = pool_map(_eval_static, [task(grid[i]) for i in missing],
+                          jobs=jobs)
+        memo.update(zip(missing, scores))
+
+    def f(i: int) -> float:
+        fill([i])
+        return memo[i]
+
+    # Verification probes first: they brace the bisection and, batched,
+    # they parallelize (the bisection itself is inherently sequential).
+    n = len(grid)
+    probes = _unimodal_probe_indices(n)
+    fill(probes)
+
+    lo, hi = 0, n - 1
+    while lo < hi:
+        mid = (lo + hi) // 2
+        # On a unimodal surface, a rising adjacent pair means the peak
+        # is to the right of mid; a falling (or flat) one, at/left of it.
+        if f(mid) < f(mid + 1):
+            lo = mid + 1
+        else:
+            hi = mid
+    peak = lo
+    peak_score = f(peak)
+
+    slack = tolerance * abs(peak_score)
+    if any(memo[p] > peak_score + slack for p in probes):
+        # A spread probe beats the bisection peak beyond noise slack:
+        # the surface is not unimodal on this grid.  Decide by full
+        # grid, reusing everything already evaluated.
+        fill(range(n))
+        best = _best_of([((grid[i],), memo[i]) for i in range(n)])
+        return OracleResult(
+            params=best[1], throughput_mbps=best[0],
+            evaluations=len(memo), search="unimodal:grid-fallback",
+        )
+    # The bisection peak may tie with a probe within tolerance; keep
+    # whichever evaluated point actually scored highest.
+    best = _best_of([((grid[i],), memo[i]) for i in sorted(memo)])
     return OracleResult(
-        params=best[1], throughput_mbps=best[0], evaluations=n_evals
+        params=best[1], throughput_mbps=best[0],
+        evaluations=len(memo), search="unimodal",
     )
+
+
+# -- 2-D sweep ----------------------------------------------------------------
 
 
 def oracle_static_nc_np(
@@ -90,27 +251,26 @@ def oracle_static_nc_np(
     np_candidates: Sequence[int] = (1, 2, 4, 8, 16, 32),
     duration_s: float = 240.0,
     seed: int = 0,
+    jobs: int = 1,
+    cache: CacheSpec = None,
 ) -> OracleResult:
-    """2-D sweep over (nc, np)."""
+    """2-D sweep over (nc, np).
+
+    ``jobs``/``cache`` work as in :func:`oracle_static_nc`.
+    """
     if not nc_candidates or not np_candidates:
         raise ValueError("need candidates in both dimensions")
-    best: tuple[float, tuple[int, ...]] | None = None
-    n_evals = 0
-    for nc in nc_candidates:
-        for np_ in np_candidates:
-            trace = run_single(
-                scenario,
-                StaticTuner(params=(nc, np_)),
-                load=load,
-                duration_s=duration_s,
-                tune_np=True,
-                seed=seed,
-            )
-            n_evals += 1
-            score = steady_state_mean(trace, tail_fraction=0.75)
-            if best is None or score > best[0]:
-                best = (score, (nc, np_))
-    assert best is not None
+    pairs = [
+        (int(nc), int(np_)) for nc in nc_candidates for np_ in np_candidates
+    ]
+    tasks = [
+        (scenario, load, pair, duration_s, seed, True, 8, 512)
+        for pair in pairs
+    ]
+    with activated(cache):
+        scores = pool_map(_eval_static, tasks, jobs=jobs)
+    best = _best_of(list(zip(pairs, scores)))
     return OracleResult(
-        params=best[1], throughput_mbps=best[0], evaluations=n_evals
+        params=best[1], throughput_mbps=best[0], evaluations=len(pairs),
+        search="grid",
     )

@@ -14,6 +14,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.analysis.stats import BoxStats, box_stats
+from repro.cache.runtime import CacheSpec, activated
 from repro.experiments.parallel import pool_map
 
 #: An experiment: seed in, scalar metric out.
@@ -56,7 +57,8 @@ class Replicates:
 
 
 def replicate(
-    experiment: Experiment, seeds: Sequence[int], *, jobs: int = 1
+    experiment: Experiment, seeds: Sequence[int], *, jobs: int = 1,
+    cache: CacheSpec = None,
 ) -> Replicates:
     """Run ``experiment(seed)`` for every seed; collect the metric.
 
@@ -64,24 +66,27 @@ def replicate(
     then be picklable — a module-level function or
     ``functools.partial`` over one, not a lambda or local closure).
     Values come back in seed order either way, so the resulting
-    statistics are identical at any width.
+    statistics are identical at any width.  ``cache`` activates the run
+    cache (:mod:`repro.cache`) for the experiment's inner runs, in-
+    process and in pool workers alike.
     """
     if not seeds:
         raise ValueError("need at least one seed")
-    values = tuple(
-        float(v)
-        for v in pool_map(experiment, [int(s) for s in seeds], jobs=jobs)
-    )
+    with activated(cache):
+        values = tuple(
+            float(v)
+            for v in pool_map(experiment, [int(s) for s in seeds], jobs=jobs)
+        )
     return Replicates(values=values, seeds=tuple(int(s) for s in seeds))
 
 
 def compare(
     experiments: dict[str, Experiment], seeds: Sequence[int], *,
-    jobs: int = 1,
+    jobs: int = 1, cache: CacheSpec = None,
 ) -> dict[str, Replicates]:
     """Replicate several experiments on a common seed list (paired)."""
     return {
-        name: replicate(fn, seeds, jobs=jobs)
+        name: replicate(fn, seeds, jobs=jobs, cache=cache)
         for name, fn in experiments.items()
     }
 

@@ -6,6 +6,9 @@ from __future__ import annotations
 import math
 from typing import TYPE_CHECKING
 
+from repro.cache import keys as cache_keys
+from repro.cache.replay import replay_traces
+from repro.cache.runtime import CacheSpec, resolve_cache
 from repro.core.aggregate import JointTuner
 from repro.core.base import Tuner
 from repro.core.params import (
@@ -23,11 +26,28 @@ from repro.sim.trace import Trace
 from repro.experiments.scenarios import Scenario, default_start
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.cache.store import RunCache
     from repro.checkpoint.journal import JournalWriter
     from repro.obs.instrument import Instrumentation
 
 #: Paper control epoch: 30 s.
 EPOCH_S = 30.0
+
+
+def _cache_get(
+    store: "RunCache | None",
+    key: str | None,
+    obs: "Instrumentation | None" = None,
+) -> dict[str, Trace] | None:
+    """One cache probe: bind metrics, fetch, replay telemetry on a hit."""
+    if store is None or key is None:
+        return None
+    if obs is not None and obs.metrics is not None:
+        store.bind_metrics(obs.metrics)
+    traces = store.get_traces(key)
+    if traces is not None:
+        replay_traces(obs, traces)
+    return traces
 
 
 def _space_and_map(
@@ -110,6 +130,7 @@ def run_single(
     journal: "JournalWriter | None" = None,
     obs: "Instrumentation | None" = None,
     fast_path: bool = True,
+    cache: CacheSpec = None,
 ) -> Trace:
     """One transfer on the scenario's main path; returns its trace.
 
@@ -119,7 +140,29 @@ def run_single(
     use :func:`repro.checkpoint.run_journaled` for the turnkey header +
     resume flow); ``obs`` attaches the observability bundle
     (:mod:`repro.obs`); ``fast_path=False`` runs the engine's reference
-    step pipeline (bit-identical, slower — the equivalence baseline)."""
+    step pipeline (bit-identical, slower — the equivalence baseline).
+
+    ``cache`` routes the run through the content-addressed result cache
+    (:mod:`repro.cache`): a store, ``True`` (default store), ``False``
+    (off), or ``None`` (the ``REPRO_CACHE`` environment decides).
+    Cached results are bit-identical to simulated ones — epochs AND
+    steps.  Journaled runs bypass the cache: a journal's value *is* the
+    engine's epoch-by-epoch execution record."""
+    schedule = _schedule(load)
+    config = EngineConfig(seed=seed, fast_path=fast_path)
+    store = resolve_cache(cache) if journal is None else None
+    key = None
+    if store is not None:
+        key = cache_keys.run_key("single", cache_keys.single_run_components(
+            scenario=scenario, tuner=tuner, schedule=schedule,
+            duration_s=duration_s, epoch_s=epoch_s, tune_np=tune_np,
+            fixed_np=fixed_np, x0=x0, seed=seed, max_nc=max_nc,
+            fault_schedule=fault_schedule, retry_policy=retry_policy,
+            breaker=breaker, engine_config=config,
+        ))
+        hit = _cache_get(store, key, obs)
+        if hit is not None and "main" in hit:
+            return hit["main"]
     session = make_session(
         "main",
         scenario.main_path,
@@ -138,12 +181,19 @@ def run_single(
         topology=scenario.build_topology(),
         host=scenario.host,
         sessions=[session],
-        schedule=_schedule(load),
-        config=EngineConfig(seed=seed, fast_path=fast_path),
+        schedule=schedule,
+        config=config,
         journal=journal,
         obs=obs,
     )
-    return engine.run()["main"]
+    traces = engine.run()
+    if store is not None and key is not None:
+        store.put_traces(key, traces, meta={
+            "kind": "single", "scenario": scenario.name,
+            "tuner": tuner.name, "seed": int(seed),
+            "duration_s": float(duration_s),
+        })
+    return traces["main"]
 
 
 def run_pair(
@@ -159,12 +209,28 @@ def run_pair(
     tune_np: bool = True,
     seed: int = 0,
     fast_path: bool = True,
+    cache: CacheSpec = None,
 ) -> dict[str, Trace]:
     """Two independently tuned transfers sharing the source (Fig. 11).
 
     Each tuner sees only its own transfer's throughput and treats the
-    other transfer as external load.
+    other transfer as external load.  ``cache`` works as in
+    :func:`run_single`; both coupled traces are stored under one key.
     """
+    schedule = _schedule(load)
+    config = EngineConfig(seed=seed, fast_path=fast_path)
+    store = resolve_cache(cache)
+    key = None
+    if store is not None:
+        key = cache_keys.run_key("pair", cache_keys.pair_run_components(
+            scenario=scenario, tuner_a=tuner_a, tuner_b=tuner_b,
+            path_a=path_a, path_b=path_b, schedule=schedule,
+            duration_s=duration_s, epoch_s=epoch_s, tune_np=tune_np,
+            seed=seed, engine_config=config,
+        ))
+        hit = _cache_get(store, key)
+        if hit is not None:
+            return hit
     sessions = [
         make_session(
             "xfer-a", path_a, tuner_a, duration_s=duration_s,
@@ -179,10 +245,16 @@ def run_pair(
         topology=scenario.build_topology(),
         host=scenario.host,
         sessions=sessions,
-        schedule=_schedule(load),
-        config=EngineConfig(seed=seed, fast_path=fast_path),
+        schedule=schedule,
+        config=config,
     )
-    return engine.run()
+    traces = engine.run()
+    if store is not None and key is not None:
+        store.put_traces(key, traces, meta={
+            "kind": "pair", "scenario": scenario.name, "seed": int(seed),
+            "duration_s": float(duration_s),
+        })
+    return traces
 
 
 def run_joint(
@@ -197,10 +269,24 @@ def run_joint(
     tune_np: bool = True,
     seed: int = 0,
     fast_path: bool = True,
+    cache: CacheSpec = None,
 ) -> dict[str, Trace]:
     """Two transfers tuned *jointly* at the endpoint level (extension,
     paper §IV-D): one direct-search instance maximizes their combined
-    throughput."""
+    throughput.  ``cache`` works as in :func:`run_single`."""
+    schedule = _schedule(load)
+    config = EngineConfig(seed=seed, fast_path=fast_path)
+    store = resolve_cache(cache)
+    key = None
+    if store is not None:
+        key = cache_keys.run_key("joint", cache_keys.joint_run_components(
+            scenario=scenario, inner=inner, path_a=path_a, path_b=path_b,
+            schedule=schedule, duration_s=duration_s, epoch_s=epoch_s,
+            tune_np=tune_np, seed=seed, engine_config=config,
+        ))
+        hit = _cache_get(store, key)
+        if hit is not None:
+            return hit
     sessions = [
         _controller_session("xfer-a", path_a, duration_s, epoch_s, tune_np),
         _controller_session("xfer-b", path_b, duration_s, epoch_s, tune_np),
@@ -218,11 +304,17 @@ def run_joint(
         topology=scenario.build_topology(),
         host=scenario.host,
         sessions=sessions,
-        schedule=_schedule(load),
+        schedule=schedule,
         controllers=[controller],
-        config=EngineConfig(seed=seed, fast_path=fast_path),
+        config=config,
     )
-    return engine.run()
+    traces = engine.run()
+    if store is not None and key is not None:
+        store.put_traces(key, traces, meta={
+            "kind": "joint", "scenario": scenario.name, "seed": int(seed),
+            "duration_s": float(duration_s),
+        })
+    return traces
 
 
 def _controller_session(

@@ -1,0 +1,87 @@
+"""Canonical JSON: the stability layer under every cache key."""
+
+import dataclasses
+import math
+
+import numpy as np
+import pytest
+
+from repro.cache import canonical_json, describe
+
+
+@dataclasses.dataclass(frozen=True)
+class Point:
+    x: int
+    y: float
+
+
+@dataclasses.dataclass(frozen=True)
+class Other:
+    x: int
+    y: float
+
+
+class TestDescribe:
+    def test_primitives_pass_through(self):
+        assert describe(None) is None
+        assert describe(True) is True
+        assert describe(7) == 7
+        assert describe("s") == "s"
+        assert describe(1.5) == 1.5
+
+    def test_nonfinite_floats_are_tagged(self):
+        assert describe(math.inf) == {"__float__": "inf"}
+        assert describe(-math.inf) == {"__float__": "-inf"}
+        assert describe(math.nan) == {"__float__": "nan"}
+        # ... and the rendering stays strict JSON.
+        assert '"inf"' in canonical_json(math.inf)
+
+    def test_numpy_scalars_reduce_to_python(self):
+        assert describe(np.float64(2.5)) == 2.5
+        assert describe(np.int64(3)) == 3
+
+    def test_dataclass_is_tagged_with_qualified_name(self):
+        d = describe(Point(x=1, y=2.0))
+        assert d["__class__"].endswith("Point")
+        assert d["x"] == 1 and d["y"] == 2.0
+
+    def test_same_fields_different_class_differ(self):
+        assert canonical_json(Point(1, 2.0)) != canonical_json(Other(1, 2.0))
+
+    def test_callable_encodes_as_qualname(self):
+        assert describe(math.sqrt) == {"__callable__": "math.sqrt"}
+        assert describe(Point)["__callable__"].endswith("Point")
+
+    def test_bytes_encode_as_hex(self):
+        assert describe(b"\x01\xff") == {"__bytes__": "01ff"}
+
+    def test_non_string_dict_keys_rejected(self):
+        with pytest.raises(TypeError, match="string dict keys"):
+            describe({1: "a"})
+
+    def test_undescribable_object_raises(self):
+        with pytest.raises(TypeError, match="canonicalize"):
+            describe(object())
+
+
+class TestCanonicalJson:
+    def test_dict_insertion_order_is_irrelevant(self):
+        a = {"x": 1, "y": [1, 2], "z": {"p": 0.5}}
+        b = {"z": {"p": 0.5}, "y": [1, 2], "x": 1}
+        assert canonical_json(a) == canonical_json(b)
+
+    def test_set_order_is_irrelevant(self):
+        assert canonical_json({3, 1, 2}) == canonical_json({2, 3, 1})
+
+    def test_float_encoding_round_trips_bits(self):
+        # repr-based floats: distinct bit patterns stay distinct.
+        assert canonical_json(0.1 + 0.2) != canonical_json(0.3)
+        assert canonical_json(1e-17) != canonical_json(1.1e-17)
+
+    def test_tuple_and_list_collapse(self):
+        # JSON has one sequence type; (1, 2) and [1, 2] are the same
+        # configuration.
+        assert canonical_json((1, 2)) == canonical_json([1, 2])
+
+    def test_compact_and_sorted(self):
+        assert canonical_json({"b": 1, "a": 2}) == '{"a":2,"b":1}'

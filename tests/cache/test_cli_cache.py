@@ -1,0 +1,109 @@
+"""CLI cache surface: the ``cache`` subcommand and ``--no-cache``."""
+
+import pytest
+
+from repro.cache import RunCache
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def cache_dir(tmp_path):
+    return tmp_path / "cli-cache"
+
+
+class TestFlags:
+    def test_run_oracle_campaign_default_cache_on(self):
+        for argv in (["run"], ["oracle"], ["campaign"]):
+            args = build_parser().parse_args(argv)
+            assert args.cache is True
+            assert args.cache_dir
+
+    def test_no_cache_flag(self):
+        args = build_parser().parse_args(["run", "--no-cache"])
+        assert args.cache is False
+
+    def test_oracle_search_flag(self):
+        args = build_parser().parse_args(["oracle", "--search", "unimodal"])
+        assert args.search == "unimodal"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["oracle", "--search", "binary"])
+
+
+class TestRunCaching:
+    def _run(self, cache_dir, *extra):
+        return main([
+            "run", "--tuner", "cd", "--duration", "120",
+            "--cache-dir", str(cache_dir), *extra,
+        ])
+
+    def test_run_populates_then_hits(self, cache_dir, capsys):
+        assert self._run(cache_dir) == 0
+        first = capsys.readouterr().out
+        store = RunCache(cache_dir)
+        assert store.stats().entries == 1
+        assert self._run(cache_dir) == 0
+        second = capsys.readouterr().out
+        assert second == first
+        assert store.stats().entries == 1
+
+    def test_no_cache_writes_nothing(self, cache_dir, capsys):
+        assert self._run(cache_dir, "--no-cache") == 0
+        assert RunCache(cache_dir).stats().entries == 0
+
+
+class TestCacheSubcommand:
+    def _populate(self, cache_dir):
+        main(["run", "--tuner", "cd", "--duration", "120",
+              "--cache-dir", str(cache_dir)])
+
+    def test_stats_on_empty_store(self, cache_dir, capsys):
+        assert main(["cache", "stats", "--dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "entries      : 0" in out
+
+    def test_stats_and_ls_after_a_run(self, cache_dir, capsys):
+        self._populate(cache_dir)
+        capsys.readouterr()
+        main(["cache", "stats", "--dir", str(cache_dir)])
+        assert "entries      : 1" in capsys.readouterr().out
+        main(["cache", "ls", "--dir", str(cache_dir)])
+        out = capsys.readouterr().out
+        assert "single anl-uc" in out
+
+    def test_ls_empty(self, cache_dir, capsys):
+        assert main(["cache", "ls", "--dir", str(cache_dir)]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_clear(self, cache_dir, capsys):
+        self._populate(cache_dir)
+        capsys.readouterr()
+        assert main(["cache", "clear", "--dir", str(cache_dir)]) == 0
+        assert "removed 1 entries" in capsys.readouterr().out
+        assert RunCache(cache_dir).stats().entries == 0
+
+    def test_prune_requires_max_bytes(self, cache_dir):
+        with pytest.raises(SystemExit, match="--max-bytes"):
+            main(["cache", "prune", "--dir", str(cache_dir)])
+
+    def test_prune_to_zero(self, cache_dir, capsys):
+        self._populate(cache_dir)
+        capsys.readouterr()
+        assert main(["cache", "prune", "--dir", str(cache_dir),
+                     "--max-bytes", "0"]) == 0
+        assert "evicted 1 entries" in capsys.readouterr().out
+        assert RunCache(cache_dir).stats().entries == 0
+
+    def test_prune_negative_rejected(self, cache_dir):
+        with pytest.raises(SystemExit):
+            main(["cache", "prune", "--dir", str(cache_dir),
+                  "--max-bytes", "-5"])
+
+
+class TestOracleCli:
+    def test_oracle_unimodal_with_cache(self, cache_dir, capsys):
+        rc = main(["oracle", "--duration", "240", "--search", "unimodal",
+                   "--cache-dir", str(cache_dir)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "unimodal search" in out
+        assert RunCache(cache_dir).stats().entries > 0

@@ -1,0 +1,127 @@
+"""Oracle sweeps: unimodal search vs grid, shared eval path, knobs."""
+
+import pytest
+
+from repro.cache import RunCache
+from repro.experiments import oracle as oracle_mod
+from repro.experiments.oracle import (
+    DEFAULT_NC_GRID,
+    OracleResult,
+    oracle_static_nc,
+    oracle_static_nc_np,
+)
+from repro.experiments.scenarios import SCENARIOS, ANL_UC
+
+
+class TestUnimodalSearch:
+    @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+    def test_matches_grid_argmax_with_half_the_evaluations(self, scenario):
+        grid = oracle_static_nc(SCENARIOS[scenario], duration_s=240.0)
+        uni = oracle_static_nc(
+            SCENARIOS[scenario], duration_s=240.0, search="unimodal"
+        )
+        assert uni.params == grid.params
+        assert uni.throughput_mbps == grid.throughput_mbps
+        assert uni.evaluations <= grid.evaluations // 2
+        assert uni.search == "unimodal"
+        assert grid.search == "grid"
+        assert grid.evaluations == len(DEFAULT_NC_GRID)
+
+    def test_single_candidate(self):
+        res = oracle_static_nc(
+            ANL_UC, candidates=(8,), duration_s=120.0, search="unimodal"
+        )
+        assert res.params == (8,)
+        assert res.evaluations == 1
+
+    def test_unknown_search_rejected(self):
+        with pytest.raises(ValueError, match="unknown search"):
+            oracle_static_nc(ANL_UC, search="binary")
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            oracle_static_nc(ANL_UC, search="unimodal",
+                             unimodal_tolerance=-0.1)
+
+    def test_non_unimodal_surface_falls_back_to_grid(self, monkeypatch):
+        # A two-peaked synthetic surface: the far peak at the high end
+        # is taller than anything bisection's adjacent-pair walk can
+        # reach from the low end's local peak.
+        def fake_eval(task):
+            nc = task[2][0]
+            return 100.0 - abs(nc - 8) if nc < 100 else 500.0 + nc
+
+        monkeypatch.setattr(oracle_mod, "_eval_static", fake_eval)
+        res = oracle_static_nc(ANL_UC, duration_s=120.0, search="unimodal")
+        assert res.search == "unimodal:grid-fallback"
+        assert res.params == (512,)
+        assert res.evaluations == len(DEFAULT_NC_GRID)
+        # ... and the answer is exactly the grid's.
+        grid = oracle_static_nc(ANL_UC, duration_s=120.0, search="grid")
+        assert res.params == grid.params
+
+
+class TestSharedEvalPath:
+    def test_all_filtered_candidates_raise(self):
+        with pytest.raises(ValueError, match="no candidate inside"):
+            oracle_static_nc(ANL_UC, candidates=(9999,))
+        with pytest.raises(ValueError, match="no candidate inside"):
+            oracle_static_nc(ANL_UC, candidates=(9999,), search="unimodal")
+
+    def test_empty_candidates_raise(self):
+        with pytest.raises(ValueError, match="at least one"):
+            oracle_static_nc(ANL_UC, candidates=())
+        with pytest.raises(ValueError, match="both dimensions"):
+            oracle_static_nc_np(ANL_UC, nc_candidates=())
+
+    def test_duplicate_candidates_deduplicate(self):
+        res = oracle_static_nc(
+            ANL_UC, candidates=(8, 8, 4, 4), duration_s=120.0
+        )
+        assert res.evaluations == 2
+
+    def test_search_field_has_a_default(self):
+        # Older call sites construct OracleResult positionally.
+        res = OracleResult((8,), 1000.0, 5)
+        assert res.search == "grid"
+
+
+class TestKnobs:
+    def test_jobs_and_cache_reproduce_serial_result(self, tmp_path):
+        store = RunCache(tmp_path / "cache")
+        serial = oracle_static_nc(
+            ANL_UC, candidates=(2, 4, 8, 16), duration_s=120.0
+        )
+        pooled = oracle_static_nc(
+            ANL_UC, candidates=(2, 4, 8, 16), duration_s=120.0,
+            jobs=2, cache=store,
+        )
+        warm = oracle_static_nc(
+            ANL_UC, candidates=(2, 4, 8, 16), duration_s=120.0, cache=store,
+        )
+        assert pooled == serial
+        assert warm == serial
+        assert store.stats().entries == 4
+        assert store.hits == 4  # the warm serial pass hit all four
+
+    def test_2d_jobs_matches_serial(self, tmp_path):
+        serial = oracle_static_nc_np(
+            ANL_UC, nc_candidates=(2, 8), np_candidates=(4, 8),
+            duration_s=90.0,
+        )
+        pooled = oracle_static_nc_np(
+            ANL_UC, nc_candidates=(2, 8), np_candidates=(4, 8),
+            duration_s=90.0, jobs=2,
+        )
+        assert pooled == serial
+
+    def test_unimodal_with_cache_warm_path(self, tmp_path):
+        store = RunCache(tmp_path / "cache")
+        cold = oracle_static_nc(
+            ANL_UC, duration_s=240.0, search="unimodal", cache=store
+        )
+        warm = oracle_static_nc(
+            ANL_UC, duration_s=240.0, search="unimodal", cache=store
+        )
+        assert warm == cold
+        assert store.hits == cold.evaluations

@@ -1,0 +1,176 @@
+"""Cache wiring in the runner: hits are bit-identical to simulation."""
+
+import pytest
+
+from repro.cache import RunCache
+from repro.core.registry import make_tuner
+from repro.endpoint.load import ExternalLoad
+from repro.experiments.replicate import replicate
+from repro.experiments.runner import run_joint, run_pair, run_single
+from repro.experiments.scenarios import ANL_UC
+from repro.faults import FaultEvent, FaultSchedule
+from repro.obs import Instrumentation
+
+DURATION = 240.0
+
+
+@pytest.fixture
+def store(tmp_path):
+    return RunCache(tmp_path / "cache")
+
+
+def _traces_equal(a, b) -> bool:
+    return (a.label == b.label and a.epochs == b.epochs
+            and a.steps == b.steps)
+
+
+class TestRunSingle:
+    @pytest.mark.parametrize("tuner_name", ["nm", "cs", "hj"])
+    def test_hit_is_bit_identical(self, store, tuner_name):
+        kw = dict(load=ExternalLoad(ext_cmp=16), duration_s=DURATION, seed=2)
+        fresh = run_single(
+            ANL_UC, make_tuner(tuner_name, 2), cache=False, **kw
+        )
+        first = run_single(
+            ANL_UC, make_tuner(tuner_name, 2), cache=store, **kw
+        )
+        second = run_single(
+            ANL_UC, make_tuner(tuner_name, 2), cache=store, **kw
+        )
+        assert store.misses == 1 and store.hits == 1
+        assert _traces_equal(first, fresh)
+        assert _traces_equal(second, fresh)
+
+    def test_faulted_run_hit_is_bit_identical(self, store):
+        faults = FaultSchedule((
+            FaultEvent(epoch=2, kind="stream-crash"),
+            FaultEvent(epoch=4, kind="blackout"),
+        ))
+        kw = dict(duration_s=DURATION, seed=5, fault_schedule=faults)
+        fresh = run_single(ANL_UC, make_tuner("nm", 5), cache=False, **kw)
+        run_single(ANL_UC, make_tuner("nm", 5), cache=store, **kw)
+        hit = run_single(ANL_UC, make_tuner("nm", 5), cache=store, **kw)
+        assert store.hits == 1
+        assert _traces_equal(hit, fresh)
+
+    def test_any_config_change_misses(self, store):
+        base = dict(duration_s=DURATION, seed=2)
+        run_single(ANL_UC, make_tuner("nm", 2), cache=store, **base)
+        run_single(ANL_UC, make_tuner("nm", 2), cache=store,
+                   duration_s=DURATION, seed=3)
+        run_single(ANL_UC, make_tuner("nm", 2), cache=store,
+                   duration_s=DURATION, seed=2, fast_path=False)
+        assert store.hits == 0 and store.misses == 3
+        assert store.stats().entries == 3
+
+    def test_corrupt_entry_resimulates(self, store):
+        kw = dict(duration_s=DURATION, seed=2)
+        fresh = run_single(ANL_UC, make_tuner("nm", 2), cache=store, **kw)
+        for entry in store.entries():
+            entry.path.write_text("{ torn")
+        again = run_single(ANL_UC, make_tuner("nm", 2), cache=store, **kw)
+        assert store.hits == 0 and store.misses == 2
+        assert _traces_equal(again, fresh)
+
+    def test_journaled_run_bypasses_cache(self, store, tmp_path):
+        from repro.checkpoint.journal import JournalWriter
+
+        with JournalWriter(tmp_path / "run.jnl") as writer:
+            writer.write_header({"run": "test"})
+            run_single(
+                ANL_UC, make_tuner("nm", 2), duration_s=DURATION, seed=2,
+                journal=writer, cache=store,
+            )
+        assert store.hits == 0 and store.misses == 0
+        assert store.stats().entries == 0
+
+
+class TestPairAndJoint:
+    def test_pair_hit_returns_both_traces(self, store):
+        kw = dict(path_a="anl-uc", path_b="anl-tacc",
+                  duration_s=DURATION, seed=1)
+        fresh = run_pair(
+            ANL_UC, make_tuner("nm", 1), make_tuner("nm", 1),
+            cache=False, **kw,
+        )
+        run_pair(
+            ANL_UC, make_tuner("nm", 1), make_tuner("nm", 1),
+            cache=store, **kw,
+        )
+        hit = run_pair(
+            ANL_UC, make_tuner("nm", 1), make_tuner("nm", 1),
+            cache=store, **kw,
+        )
+        assert store.hits == 1
+        assert set(hit) == set(fresh)
+        for name in fresh:
+            assert _traces_equal(hit[name], fresh[name])
+
+    def test_joint_hit_returns_both_traces(self, store):
+        kw = dict(path_a="anl-uc", path_b="anl-tacc",
+                  duration_s=DURATION, seed=1)
+        fresh = run_joint(ANL_UC, make_tuner("nm", 1), cache=False, **kw)
+        run_joint(ANL_UC, make_tuner("nm", 1), cache=store, **kw)
+        hit = run_joint(ANL_UC, make_tuner("nm", 1), cache=store, **kw)
+        assert store.hits == 1
+        for name in fresh:
+            assert _traces_equal(hit[name], fresh[name])
+
+
+class TestObsReplay:
+    REPLAYABLE = ("epoch-end", "fault-injected", "breaker-transition")
+
+    def _epoch_events(self, obs_events):
+        return [e for e in obs_events if e.kind in self.REPLAYABLE]
+
+    def test_hit_replays_events_and_metrics(self, store):
+        faults = FaultSchedule((FaultEvent(epoch=2, kind="stream-crash"),))
+        kw = dict(duration_s=DURATION, seed=3, fault_schedule=faults)
+
+        live = Instrumentation.on()
+        live_sub = live.bus.subscribe(maxlen=100_000)
+        run_single(ANL_UC, make_tuner("nm", 3), cache=store, obs=live, **kw)
+
+        cached = Instrumentation.on()
+        cached_sub = cached.bus.subscribe(maxlen=100_000)
+        run_single(ANL_UC, make_tuner("nm", 3), cache=store, obs=cached,
+                   **kw)
+
+        assert store.hits == 1
+        # The replayable subsequence (the journal-resume contract) must
+        # match the live emission exactly.
+        assert (self._epoch_events(cached_sub.drain())
+                == self._epoch_events(live_sub.drain()))
+        # Epoch-derived metrics agree whether simulated or served.
+        live_epochs = live.metrics.counter(
+            "repro_epochs_total", session="main").value
+        cached_epochs = cached.metrics.counter(
+            "repro_epochs_total", session="main").value
+        assert live_epochs > 0
+        assert cached_epochs == live_epochs
+        # ... and the hit shows up in the cache's own counters.
+        assert cached.metrics.counter("repro_cache_hits_total").value == 1
+
+
+def _replicate_experiment(seed: int) -> float:
+    from repro.analysis.stats import steady_state_mean
+
+    trace = run_single(
+        ANL_UC, make_tuner("nm", seed), duration_s=DURATION, seed=seed
+    )
+    return steady_state_mean(trace)
+
+
+class TestPoolWorkerActivation:
+    def test_workers_write_through_the_env_bridge(self, store):
+        # Workers call run_single(cache=None); the activated() bridge
+        # must carry the store into their environment.
+        first = replicate(
+            _replicate_experiment, seeds=(0, 1, 2), jobs=2, cache=store
+        )
+        assert store.stats().entries == 3
+        second = replicate(
+            _replicate_experiment, seeds=(0, 1, 2), jobs=2, cache=store
+        )
+        assert second.values == first.values
+        assert store.stats().entries == 3

@@ -1,0 +1,92 @@
+"""``cache=`` resolution and the environment bridge to pool workers."""
+
+import os
+
+import pytest
+
+from repro.cache import RunCache, activated, default_cache_dir, resolve_cache
+from repro.cache.runtime import ENV_DIR, ENV_ENABLE
+
+
+class TestResolveCache:
+    def test_store_passes_through(self, tmp_path):
+        store = RunCache(tmp_path)
+        assert resolve_cache(store) is store
+
+    def test_true_uses_default_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ENV_DIR, str(tmp_path / "d"))
+        store = resolve_cache(True)
+        assert store is not None and store.root == tmp_path / "d"
+
+    def test_false_is_off_even_if_env_enables(self, monkeypatch):
+        monkeypatch.setenv(ENV_ENABLE, "1")
+        assert resolve_cache(False) is None
+
+    def test_none_consults_env(self, monkeypatch, tmp_path):
+        monkeypatch.delenv(ENV_ENABLE, raising=False)
+        assert resolve_cache(None) is None
+        monkeypatch.setenv(ENV_ENABLE, "on")
+        monkeypatch.setenv(ENV_DIR, str(tmp_path))
+        store = resolve_cache(None)
+        assert store is not None and store.root == tmp_path
+
+    def test_junk_env_value_is_loud(self, monkeypatch):
+        monkeypatch.setenv(ENV_ENABLE, "maybe")
+        with pytest.raises(ValueError, match="REPRO_CACHE"):
+            resolve_cache(None)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            resolve_cache(42)
+
+
+class TestActivated:
+    def test_store_exports_env_and_restores(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(ENV_ENABLE, raising=False)
+        prior_dir = os.environ.get(ENV_DIR)
+        store = RunCache(tmp_path / "c")
+        with activated(store) as resolved:
+            assert resolved is store
+            assert os.environ[ENV_ENABLE] == "1"
+            assert os.environ[ENV_DIR] == str(store.root)
+        assert ENV_ENABLE not in os.environ
+        assert os.environ.get(ENV_DIR) == prior_dir
+
+    def test_false_forces_off_for_the_scope(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(ENV_ENABLE, "1")
+        monkeypatch.setenv(ENV_DIR, str(tmp_path))
+        with activated(False) as resolved:
+            assert resolved is None
+            assert os.environ[ENV_ENABLE] == "0"
+        assert os.environ[ENV_ENABLE] == "1"
+
+    def test_none_leaves_environment_alone(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(ENV_ENABLE, "1")
+        monkeypatch.setenv(ENV_DIR, str(tmp_path))
+        with activated(None) as resolved:
+            assert resolved is not None and resolved.root == tmp_path
+            assert os.environ[ENV_ENABLE] == "1"
+
+    def test_restores_on_exception(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(ENV_ENABLE, raising=False)
+        with pytest.raises(RuntimeError):
+            with activated(RunCache(tmp_path)):
+                raise RuntimeError("boom")
+        assert ENV_ENABLE not in os.environ
+
+    def test_scope_reuses_the_activated_instance(self, tmp_path,
+                                                 monkeypatch):
+        # Inside activated(store), env-resolved callers must get the
+        # same object, so hit/miss counters accumulate visibly.
+        monkeypatch.delenv(ENV_ENABLE, raising=False)
+        store = RunCache(tmp_path / "c")
+        with activated(store):
+            assert resolve_cache(None) is store
+            assert resolve_cache(True) is store
+        assert resolve_cache(None) is None
+
+    def test_default_cache_dir_prefers_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(ENV_DIR, str(tmp_path / "env"))
+        assert default_cache_dir() == tmp_path / "env"
+        monkeypatch.delenv(ENV_DIR)
+        assert str(default_cache_dir()) == ".repro-cache"

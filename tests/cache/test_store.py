@@ -1,0 +1,151 @@
+"""On-disk store: atomic round-trips, damage = miss, eviction order."""
+
+import hashlib
+import json
+import os
+
+import pytest
+
+from repro.cache import RunCache
+from repro.cache.store import ENTRY_FORMAT
+from repro.obs.metrics import MetricsRegistry
+
+
+def _key(tag: str) -> str:
+    return hashlib.sha256(tag.encode()).hexdigest()
+
+
+@pytest.fixture
+def store(tmp_path):
+    return RunCache(tmp_path / "cache")
+
+
+class TestGetPut:
+    def test_round_trip(self, store):
+        key = _key("a")
+        store.put(key, {"traces": {"main": 1}}, meta={"kind": "single"})
+        assert store.get(key) == {"traces": {"main": 1}}
+        assert store.hits == 1 and store.misses == 0
+
+    def test_missing_entry_is_a_miss(self, store):
+        assert store.get(_key("nope")) is None
+        assert store.misses == 1
+
+    def test_construction_creates_nothing(self, store):
+        assert not store.root.exists()
+        store.get(_key("x"))
+        assert not store.root.exists()
+
+    def test_malformed_key_rejected(self, store):
+        with pytest.raises(ValueError, match="malformed cache key"):
+            store.get("short")
+        with pytest.raises(ValueError):
+            store.put("Z" * 64, {})
+
+
+class TestDamageIsAMiss:
+    def test_torn_json_is_a_miss(self, store):
+        key = _key("torn")
+        path = store.put(key, {"v": 1})
+        path.write_text(path.read_text()[: 10])
+        assert store.get(key) is None
+
+    def test_empty_file_is_a_miss(self, store):
+        key = _key("empty")
+        path = store.put(key, {"v": 1})
+        path.write_text("")
+        assert store.get(key) is None
+
+    def test_wrong_embedded_key_is_a_miss(self, store):
+        key, other = _key("a"), _key("b")
+        path = store.put(key, {"v": 1})
+        # Copy a's entry into b's slot, as a botched manual copy would.
+        target = store._entry_path(other)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(path.read_text())
+        assert store.get(other) is None
+
+    def test_wrong_format_version_is_a_miss(self, store):
+        key = _key("fmt")
+        path = store.put(key, {"v": 1})
+        doc = json.loads(path.read_text())
+        doc["format"] = ENTRY_FORMAT + 1
+        path.write_text(json.dumps(doc))
+        assert store.get(key) is None
+
+    def test_non_dict_document_is_a_miss(self, store):
+        key = _key("list")
+        path = store.put(key, {"v": 1})
+        path.write_text("[1, 2, 3]")
+        assert store.get(key) is None
+
+    def test_undecodable_traces_payload_is_a_miss(self, store):
+        key = _key("traces")
+        store.put(key, {"traces": {"main": {"not": "a trace"}}})
+        assert store.get_traces(key) is None
+        store.put(key, {"no_traces_key": 1})
+        assert store.get_traces(key) is None
+
+
+class TestManagement:
+    def _fill(self, store, n):
+        keys = [_key(f"e{i}") for i in range(n)]
+        for i, key in enumerate(keys):
+            path = store.put(key, {"pad": "x" * 100, "i": i})
+            # Deterministic, strictly increasing mtimes (filesystem
+            # timestamps can tie within one test's runtime).
+            os.utime(path, (1000.0 + i, 1000.0 + i))
+        return keys
+
+    def test_entries_oldest_first(self, store):
+        keys = self._fill(store, 4)
+        assert [e.key for e in store.entries()] == keys
+
+    def test_stats_counts_entries_and_bytes(self, store):
+        self._fill(store, 3)
+        s = store.stats()
+        assert s.entries == 3
+        assert s.total_bytes == sum(e.size_bytes for e in store.entries())
+
+    def test_clear_removes_everything(self, store):
+        self._fill(store, 3)
+        assert store.clear() == 3
+        assert store.stats().entries == 0
+
+    def test_prune_evicts_oldest_first(self, store):
+        keys = self._fill(store, 4)
+        per_entry = store.entries()[0].size_bytes
+        evicted = store.prune(2 * per_entry)
+        assert evicted == keys[:2]
+        assert [e.key for e in store.entries()] == keys[2:]
+
+    def test_prune_zero_empties(self, store):
+        self._fill(store, 2)
+        assert len(store.prune(0)) == 2
+        assert store.stats().entries == 0
+
+    def test_prune_noop_when_under_budget(self, store):
+        self._fill(store, 2)
+        assert store.prune(10**9) == []
+        assert store.stats().entries == 2
+
+    def test_prune_rejects_negative(self, store):
+        with pytest.raises(ValueError):
+            store.prune(-1)
+
+
+class TestMetrics:
+    def test_counts_mirror_into_registry(self, store):
+        reg = MetricsRegistry()
+        store.bind_metrics(reg)
+        key = _key("m")
+        store.get(key)                     # miss
+        store.put(key, {"v": 1})
+        store.get(key)                     # hit
+        def value(name):
+            return reg.counter(name).value
+
+        assert value("repro_cache_misses_total") == 1
+        assert value("repro_cache_hits_total") == 1
+        assert value("repro_cache_read_bytes_total") > 0
+        assert value("repro_cache_written_bytes_total") > 0

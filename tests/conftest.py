@@ -1,0 +1,17 @@
+"""Suite-wide fixtures.
+
+The run cache is *environment-activated* (``REPRO_CACHE`` /
+``REPRO_CACHE_DIR``), so a developer with caching enabled in their
+shell would silently change what the determinism and engine tests
+measure.  Every test therefore starts with caching off and with the
+default cache root pointed into its tmp dir — a test that wants the
+cache opts in explicitly via ``cache=`` or by setting ``REPRO_CACHE``.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_run_cache(monkeypatch, tmp_path):
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "run-cache"))
