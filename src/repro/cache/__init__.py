@@ -11,7 +11,16 @@ Layers:
 
 * :mod:`repro.cache.canonical` — order-independent canonical JSON;
 * :mod:`repro.cache.keys`      — key assembly + engine fingerprint;
-* :mod:`repro.cache.store`     — atomic on-disk store (damage = miss);
+* :mod:`repro.cache.backend`   — pluggable byte stores (``dir://``,
+  in-memory; ``sqlite://`` and ``http://`` in sibling modules) selected
+  by URL scheme;
+* :mod:`repro.cache.resilience` — never-raise armor: per-op timeouts,
+  bounded retry, circuit breaker, and the remote → local tier → miss
+  degradation ladder (DESIGN.md §13);
+* :mod:`repro.cache.chaos`     — seeded backend fault injection that
+  proves the armor;
+* :mod:`repro.cache.store`     — the entry format over any backend
+  (damage = miss);
 * :mod:`repro.cache.runtime`   — ``cache=`` resolution and the
   environment bridge that carries the decision into pool workers;
 * :mod:`repro.cache.replay`    — telemetry replay on hits.
@@ -27,35 +36,67 @@ Quickstart::
     # t1 and t2 are bit-identical, epochs AND steps.
 """
 
+from repro.cache.backend import (
+    DEFAULT_PRUNE_GRACE_S,
+    CacheBackend,
+    DirBackend,
+    MemoryBackend,
+    backend_from_url,
+    split_cache_url,
+)
 from repro.cache.canonical import canonical_json, describe
+from repro.cache.chaos import ChaosPolicy, FaultyBackend
+from repro.cache.http_store import CacheServer, HttpBackend
 from repro.cache.keys import (
     CACHE_SCHEMA_VERSION,
     engine_fingerprint,
     run_key,
 )
 from repro.cache.replay import replay_traces
+from repro.cache.resilience import (
+    BackendPolicy,
+    ResilientBackend,
+    TieredBackend,
+)
 from repro.cache.runtime import (
     DEFAULT_CACHE_DIRNAME,
     CacheSpec,
     activated,
     default_cache_dir,
+    default_cache_spec,
     resolve_cache,
 )
+from repro.cache.sqlite_store import SqliteBackend
 from repro.cache.store import CacheEntryInfo, CacheStats, RunCache
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
     "DEFAULT_CACHE_DIRNAME",
+    "DEFAULT_PRUNE_GRACE_S",
+    "BackendPolicy",
+    "CacheBackend",
     "CacheEntryInfo",
+    "CacheServer",
     "CacheSpec",
     "CacheStats",
+    "ChaosPolicy",
+    "DirBackend",
+    "FaultyBackend",
+    "HttpBackend",
+    "MemoryBackend",
+    "ResilientBackend",
     "RunCache",
+    "SqliteBackend",
+    "TieredBackend",
     "activated",
+    "backend_from_url",
     "canonical_json",
     "default_cache_dir",
+    "default_cache_spec",
     "describe",
     "engine_fingerprint",
     "replay_traces",
     "resolve_cache",
     "run_key",
+    "split_cache_url",
 ]

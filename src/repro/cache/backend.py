@@ -1,0 +1,480 @@
+"""Pluggable storage backends for the content-addressed run cache.
+
+A :class:`CacheBackend` stores opaque entry *bytes* under 64-hex
+content-address keys.  Everything format-shaped (the entry document,
+payload checksums, trace codecs, hit/miss accounting) stays in
+:class:`repro.cache.store.RunCache`; a backend only has to move bytes
+durably.  Three families ship here and in the sibling modules:
+
+* :class:`DirBackend` — the original local directory store (atomic
+  temp + fsync + ``os.replace`` writes, 256-way prefix fan-out);
+* :class:`MemoryBackend` — a bounded in-process store, used as the
+  default local tier in front of remote backends;
+* :class:`repro.cache.sqlite_store.SqliteBackend` — one shared file,
+  WAL mode, safe under concurrent writers;
+* :class:`repro.cache.http_store.HttpBackend` — a client for the
+  ``repro cache serve`` HTTP store.
+
+Backends are selected by URL scheme via :func:`backend_from_url`
+(``dir://``, ``sqlite://``, ``http://``; a bare path means ``dir://``),
+and every backend built there is wrapped in the never-raise
+:class:`repro.cache.resilience.ResilientBackend` — per-operation
+timeouts, bounded retry with backoff, and a circuit breaker that
+degrades a failing backend to a miss instead of an exception.  Remote
+(HTTP) backends additionally ride behind a
+:class:`~repro.cache.resilience.TieredBackend` local tier, so the
+degradation ladder is remote -> local tier -> miss.
+
+The contract every backend honors:
+
+* ``get``/``get_many`` return raw bytes or nothing — no validation;
+* ``put`` is atomic: a reader never sees a half-written entry at a
+  final key (chaos wrappers deliberately violate this to prove the
+  *store* survives it);
+* ``prune`` never deletes an entry younger than the grace period, so a
+  concurrent writer's fresh results survive a sweeping janitor.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, ClassVar, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.bus import EventBus
+    from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "CacheEntryInfo",
+    "CacheBackend",
+    "DirBackend",
+    "MemoryBackend",
+    "DEFAULT_PRUNE_GRACE_S",
+    "split_cache_url",
+    "backend_from_url",
+    "validate_key",
+]
+
+_KEY_HEX_LEN = 64
+_HEX = set("0123456789abcdef")
+
+#: Entries younger than this are never pruned: a concurrent writer's
+#: fresh ``put`` (or the read-back it is about to issue) must not race a
+#: janitor's eviction sweep.
+DEFAULT_PRUNE_GRACE_S = 60.0
+
+
+def validate_key(key: str) -> str:
+    """Reject anything that is not a lowercase SHA-256 hex digest."""
+    if len(key) != _KEY_HEX_LEN or any(c not in _HEX for c in key):
+        raise ValueError(f"malformed cache key {key!r}")
+    return key
+
+
+@dataclass(frozen=True)
+class CacheEntryInfo:
+    """One entry as seen by ``ls``/``prune``.
+
+    ``path`` is the on-disk file for directory-backed stores and
+    ``None`` for backends without per-entry files.
+    """
+
+    key: str
+    path: Path | None
+    size_bytes: int
+    mtime: float
+
+
+class CacheBackend(abc.ABC):
+    """Abstract content-addressed byte store.
+
+    Keys are validated at the :class:`~repro.cache.store.RunCache`
+    layer; backends may assume well-formed keys.  Only ``get``, ``put``
+    and per-key ``stat``/``delete`` are abstract — batched and
+    management operations have generic implementations that concrete
+    backends override when they can do better (one SQL query, one HTTP
+    round-trip).
+    """
+
+    scheme: ClassVar[str] = "abstract"
+
+    @property
+    @abc.abstractmethod
+    def url(self) -> str:
+        """Canonical spec string that reconstructs this backend."""
+
+    # -- data plane ------------------------------------------------------
+
+    @abc.abstractmethod
+    def get(self, key: str) -> bytes | None:
+        """Entry bytes, or None when absent."""
+
+    @abc.abstractmethod
+    def put(self, key: str, data: bytes) -> Path | None:
+        """Store ``data`` under ``key`` (atomic replace).  Returns the
+        entry's path for file-per-entry backends, else None."""
+
+    def put_if_absent(self, key: str, data: bytes) -> bool:
+        """Store only when ``key`` is absent; True when this call wrote.
+
+        The generic form is check-then-put (racy but harmless for a
+        content-addressed store: both writers carry identical bytes);
+        transactional backends override it atomically.
+        """
+        if self.stat(key) is not None:
+            return False
+        self.put(key, data)
+        return True
+
+    def get_many(self, keys: Iterable[str]) -> dict[str, bytes]:
+        """Batched :meth:`get`; absent keys are simply missing from the
+        result.  Backends with a real batch primitive override this."""
+        out: dict[str, bytes] = {}
+        for key in keys:
+            data = self.get(key)
+            if data is not None:
+                out[key] = data
+        return out
+
+    # -- metadata plane --------------------------------------------------
+
+    @abc.abstractmethod
+    def stat(self, key: str) -> CacheEntryInfo | None:
+        """Size/mtime of one entry without fetching its bytes."""
+
+    def stat_many(self, keys: Iterable[str]) -> set[str]:
+        """The subset of ``keys`` present in the store — the batched
+        existence probe campaign scheduling runs before a hit storm."""
+        return {key for key in keys if self.stat(key) is not None}
+
+    @abc.abstractmethod
+    def entries(self) -> list[CacheEntryInfo]:
+        """All entries, oldest first (the eviction order)."""
+
+    @abc.abstractmethod
+    def delete(self, key: str) -> bool:
+        """Remove one entry; True when something was removed."""
+
+    # -- management ------------------------------------------------------
+
+    def clear(self) -> int:
+        """Remove every entry; returns how many were removed."""
+        removed = 0
+        for info in self.entries():
+            if self.delete(info.key):
+                removed += 1
+        return removed
+
+    def prune(
+        self,
+        max_bytes: int,
+        *,
+        grace_s: float = DEFAULT_PRUNE_GRACE_S,
+        now: float | None = None,
+    ) -> list[str]:
+        """Evict oldest-first until the store fits ``max_bytes``.
+
+        Entries younger than ``grace_s`` seconds are never evicted —
+        they may belong to a concurrent writer whose campaign is about
+        to read them back (and on directory backends, deleting around a
+        fresh atomic rename is exactly the race the grace period
+        exists to close).  Returns the evicted keys.
+        """
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        if grace_s < 0:
+            raise ValueError("grace_s must be >= 0")
+        now = time.time() if now is None else float(now)
+        infos = self.entries()
+        total = sum(e.size_bytes for e in infos)
+        evicted: list[str] = []
+        for info in infos:
+            if total <= max_bytes:
+                break
+            if now - info.mtime < grace_s:
+                # Entries are oldest-first, so everything after this
+                # one is younger still; nothing further is evictable.
+                break
+            if not self.delete(info.key):
+                continue
+            total -= info.size_bytes
+            evicted.append(info.key)
+        return evicted
+
+    # -- health / lifecycle ----------------------------------------------
+
+    def health(self) -> dict:
+        """JSON-ready health/identity snapshot for ``cache stats``."""
+        return {"scheme": self.scheme, "url": self.url}
+
+    def bind_metrics(self, registry: "MetricsRegistry | None") -> None:
+        """Attach a metrics registry (no-op for plain stores)."""
+
+    def bind_bus(self, bus: "EventBus | None") -> None:
+        """Attach an event bus (no-op for plain stores)."""
+
+    def close(self) -> None:
+        """Release any held resources (connections, sockets)."""
+
+
+# -- directory backend -------------------------------------------------------
+
+
+def _atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Byte-wise twin of :func:`repro.sim.traceio.atomic_write_text`."""
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "wb") as f:
+            f.write(data)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+class DirBackend(CacheBackend):
+    """Local directory store: ``<root>/v<schema>/<key[:2]>/<key>.json``.
+
+    Write discipline is temp file + fsync + ``os.replace`` in the target
+    directory, so a process killed mid-``put`` can never leave a torn
+    entry at a final path; in-flight temp files carry a ``.tmp`` suffix
+    and are invisible to ``entries``/``prune``.
+    """
+
+    scheme = "dir"
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"DirBackend({str(self.root)!r})"
+
+    @property
+    def url(self) -> str:
+        return str(self.root)
+
+    @property
+    def _version_dir(self) -> Path:
+        from repro.cache.keys import CACHE_SCHEMA_VERSION
+
+        return self.root / f"v{CACHE_SCHEMA_VERSION}"
+
+    def _entry_path(self, key: str) -> Path:
+        validate_key(key)
+        return self._version_dir / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> bytes | None:
+        try:
+            return self._entry_path(key).read_bytes()
+        except OSError:
+            # Missing entry, missing prefix dir, permission trouble,
+            # mid-replace race: all of them are just misses.
+            return None
+
+    def put(self, key: str, data: bytes) -> Path:
+        path = self._entry_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        _atomic_write_bytes(path, data)
+        return path
+
+    def stat(self, key: str) -> CacheEntryInfo | None:
+        path = self._entry_path(key)
+        try:
+            st = path.stat()
+        except OSError:
+            return None
+        return CacheEntryInfo(key=key, path=path, size_bytes=st.st_size,
+                              mtime=st.st_mtime)
+
+    def _iter_entries(self) -> Iterator[CacheEntryInfo]:
+        if not self._version_dir.is_dir():
+            return
+        for path in sorted(self._version_dir.glob("??/*.json")):
+            if len(path.stem) != _KEY_HEX_LEN:  # stray temp/foreign file
+                continue
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            yield CacheEntryInfo(key=path.stem, path=path,
+                                 size_bytes=st.st_size, mtime=st.st_mtime)
+
+    def entries(self) -> list[CacheEntryInfo]:
+        return sorted(self._iter_entries(), key=lambda e: (e.mtime, e.key))
+
+    def delete(self, key: str) -> bool:
+        try:
+            self._entry_path(key).unlink()
+            return True
+        except OSError:
+            return False
+
+    def health(self) -> dict:
+        infos = list(self._iter_entries())
+        return {
+            "scheme": self.scheme,
+            "url": self.url,
+            "entries": len(infos),
+            "total_bytes": sum(e.size_bytes for e in infos),
+        }
+
+
+# -- memory backend -----------------------------------------------------------
+
+
+class MemoryBackend(CacheBackend):
+    """Bounded in-process store (insertion-ordered, oldest evicted).
+
+    The default local tier in front of a remote backend: a breaker-open
+    period degrades to hits the process has already seen instead of
+    straight to misses, with no on-disk footprint.  ``mtime`` is a
+    logical insertion counter, not wall time, so eviction order is
+    deterministic; the prune grace period is therefore interpreted
+    against that counter and effectively always satisfied — ``prune``
+    on a memory tier only honors ``max_bytes``.
+    """
+
+    scheme = "memory"
+
+    def __init__(self, max_bytes: int = 256 * 1024 * 1024) -> None:
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        self.max_bytes = int(max_bytes)
+        self._data: dict[str, bytes] = {}
+        self._seq = 0
+        self._stamp: dict[str, int] = {}
+
+    @property
+    def url(self) -> str:
+        return "memory://"
+
+    def get(self, key: str) -> bytes | None:
+        return self._data.get(key)
+
+    def put(self, key: str, data: bytes) -> None:
+        self._data[key] = bytes(data)
+        self._seq += 1
+        self._stamp[key] = self._seq
+        self._shrink()
+        return None
+
+    def _shrink(self) -> None:
+        total = sum(len(v) for v in self._data.values())
+        while total > self.max_bytes and self._data:
+            oldest = min(self._data, key=lambda k: self._stamp[k])
+            total -= len(self._data.pop(oldest))
+            self._stamp.pop(oldest, None)
+
+    def stat(self, key: str) -> CacheEntryInfo | None:
+        data = self._data.get(key)
+        if data is None:
+            return None
+        return CacheEntryInfo(key=key, path=None, size_bytes=len(data),
+                              mtime=float(self._stamp[key]))
+
+    def entries(self) -> list[CacheEntryInfo]:
+        infos = (self.stat(k) for k in self._data)
+        return sorted((i for i in infos if i is not None),
+                      key=lambda e: (e.mtime, e.key))
+
+    def delete(self, key: str) -> bool:
+        self._stamp.pop(key, None)
+        return self._data.pop(key, None) is not None
+
+    def prune(self, max_bytes, *, grace_s=DEFAULT_PRUNE_GRACE_S, now=None):
+        # Logical mtimes make a wall-clock grace meaningless here; honor
+        # only the byte budget (see class docstring).
+        return super().prune(max_bytes, grace_s=0.0, now=None)
+
+    def health(self) -> dict:
+        return {
+            "scheme": self.scheme,
+            "url": self.url,
+            "entries": len(self._data),
+            "total_bytes": sum(len(v) for v in self._data.values()),
+            "max_bytes": self.max_bytes,
+        }
+
+
+# -- URL resolution -----------------------------------------------------------
+
+
+def split_cache_url(spec: str) -> tuple[str, str, dict[str, str]]:
+    """Split a cache spec into ``(scheme, rest, params)``.
+
+    ``rest`` is everything after ``scheme://`` with the query string
+    stripped; a spec without ``://`` is a plain directory path.  Query
+    parameters are single-valued (``?local=DIR``).
+    """
+    spec = str(spec)
+    if "://" not in spec:
+        return "dir", spec, {}
+    scheme, rest = spec.split("://", 1)
+    params: dict[str, str] = {}
+    if "?" in rest:
+        rest, query = rest.split("?", 1)
+        for item in query.split("&"):
+            if not item:
+                continue
+            name, _, value = item.partition("=")
+            params[name] = value
+    return scheme.lower(), rest, params
+
+
+def backend_from_url(
+    spec: str | Path,
+    *,
+    policy: "object | None" = None,
+    clock: "object | None" = None,
+) -> CacheBackend:
+    """Build the hardened backend stack for a cache spec.
+
+    * bare path / ``dir://PATH`` — resilient local directory store;
+    * ``sqlite://PATH``          — resilient shared single-file store;
+    * ``http://HOST:PORT[/BASE]`` — tiered: a local tier (in-memory by
+      default, ``?local=DIR`` for a durable directory tier) in front of
+      the resilient remote client, so a failing server degrades
+      remote -> local tier -> miss without ever raising into a run.
+
+    ``policy``/``clock`` thread a
+    :class:`~repro.cache.resilience.BackendPolicy` and an injectable
+    :class:`~repro.obs.clock.Clock` into every resilient wrapper
+    (tests; production uses the defaults).
+    """
+    from repro.cache.resilience import ResilientBackend, TieredBackend
+
+    def resilient(inner: CacheBackend) -> ResilientBackend:
+        return ResilientBackend(inner, policy=policy, clock=clock)
+
+    scheme, rest, params = split_cache_url(str(spec))
+    if scheme == "dir":
+        return resilient(DirBackend(rest))
+    if scheme == "sqlite":
+        from repro.cache.sqlite_store import SqliteBackend
+
+        return resilient(SqliteBackend(rest))
+    if scheme in ("http", "https"):
+        from repro.cache.http_store import HttpBackend
+
+        remote = resilient(HttpBackend(f"{scheme}://{rest}"))
+        local_spec = params.get("local")
+        local: CacheBackend = (
+            DirBackend(local_spec) if local_spec else MemoryBackend()
+        )
+        return TieredBackend(local=resilient(local), remote=remote)
+    raise ValueError(
+        f"unknown cache backend scheme {scheme!r} in {str(spec)!r}; "
+        "use a directory path, dir://, sqlite://, or http://"
+    )

@@ -1,0 +1,218 @@
+"""Seeded fault injection for cache backends.
+
+:class:`FaultyBackend` wraps any real backend and misbehaves on a
+deterministic schedule: added latency, raised errors, corrupted read
+payloads, and *torn writes* — a ``put`` that reports success but
+persists damaged bytes, the way a crashed writer without atomic rename
+would.  Every decision comes from one ``numpy`` Generator seeded at
+construction, with a fixed per-operation draw order, so a chaos run is
+exactly replayable from its seed — the same discipline
+:class:`repro.faults.FaultSchedule` applies to transfer faults.
+
+The wrapper exists to *prove* the resilience stack: the acceptance
+suite runs campaigns through ``Resilient(Faulty(real))`` at a 30% fault
+rate and requires zero crashes, zero hangs, and bit-identical hits.
+Nothing in production ever constructs one.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.cache.backend import (
+    CacheBackend,
+    CacheEntryInfo,
+    DEFAULT_PRUNE_GRACE_S,
+)
+from repro.faults.corrupt import CORRUPTION_KINDS, corrupt_bytes
+from repro.faults.errors import FaultError
+
+__all__ = ["BackendFault", "ChaosPolicy", "FaultyBackend"]
+
+
+class BackendFault(FaultError):
+    """An injected (or detected) cache-backend failure."""
+
+
+@dataclass(frozen=True)
+class ChaosPolicy:
+    """Per-operation fault probabilities for a :class:`FaultyBackend`.
+
+    Rates are independent per operation: each op first draws latency,
+    then a hard error; reads that survive draw payload corruption and
+    writes draw tearing.  ``latency_s`` is the injected sleep — keep it
+    0 in tests that only care about error paths, so nothing actually
+    sleeps.
+    """
+
+    seed: int = 0
+    error_rate: float = 0.0
+    latency_rate: float = 0.0
+    latency_s: float = 0.05
+    corrupt_rate: float = 0.0
+    torn_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("error_rate", "latency_rate", "corrupt_rate",
+                     "torn_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.latency_s < 0:
+            raise ValueError("latency_s must be >= 0")
+
+    @classmethod
+    def storm(cls, seed: int = 0, rate: float = 0.3) -> "ChaosPolicy":
+        """The acceptance-criteria schedule: ``rate`` of every fault
+        class, latency injected as a draw but with zero sleep so the
+        suite stays fast."""
+        return cls(seed=seed, error_rate=rate, latency_rate=rate,
+                   latency_s=0.0, corrupt_rate=rate, torn_rate=rate)
+
+
+@dataclass
+class ChaosCounts:
+    """What a :class:`FaultyBackend` actually injected."""
+
+    ops: int = 0
+    errors: int = 0
+    latencies: int = 0
+    corruptions: int = 0
+    torn_writes: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "ops": self.ops,
+            "errors": self.errors,
+            "latencies": self.latencies,
+            "corruptions": self.corruptions,
+            "torn_writes": self.torn_writes,
+        }
+
+
+@dataclass
+class FaultyBackend(CacheBackend):
+    """A backend that injects seeded faults around a real one.
+
+    Draw order per operation is fixed (latency → error → damage kind if
+    applicable), so the fault sequence depends only on the seed and the
+    *number* of operations issued — not on timing, threading, or
+    payload content.  ``get_many``/``stat_many`` delegate to per-key
+    calls for exactly this reason: one key, one draw sequence.
+    """
+
+    inner: CacheBackend
+    policy: ChaosPolicy = field(default_factory=ChaosPolicy)
+    sleep: Callable[[float], None] = time.sleep
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.policy.seed)
+        self.counts = ChaosCounts()
+
+    scheme = "chaos"
+
+    @property
+    def url(self) -> str:
+        return f"chaos+{self.inner.url}"
+
+    # -- fault engine ------------------------------------------------------
+
+    def _pre_op(self, op: str) -> None:
+        """Latency then error, in that order, every operation."""
+        self.counts.ops += 1
+        p = self.policy
+        if self._rng.random() < p.latency_rate:
+            self.counts.latencies += 1
+            if p.latency_s > 0:
+                self.sleep(p.latency_s)
+        if self._rng.random() < p.error_rate:
+            self.counts.errors += 1
+            raise BackendFault(f"injected backend error during {op}")
+
+    def _maybe_corrupt(self, data: bytes) -> bytes:
+        if self._rng.random() < self.policy.corrupt_rate:
+            self.counts.corruptions += 1
+            kind = CORRUPTION_KINDS[
+                int(self._rng.integers(0, len(CORRUPTION_KINDS)))
+            ]
+            return corrupt_bytes(data, kind=kind, rng=self._rng)
+        return data
+
+    def _maybe_tear(self, data: bytes) -> bytes:
+        if self._rng.random() < self.policy.torn_rate:
+            self.counts.torn_writes += 1
+            kind = CORRUPTION_KINDS[
+                int(self._rng.integers(0, len(CORRUPTION_KINDS)))
+            ]
+            return corrupt_bytes(data, kind=kind, rng=self._rng)
+        return data
+
+    # -- data plane ----------------------------------------------------------
+
+    def get(self, key: str) -> bytes | None:
+        self._pre_op("get")
+        data = self.inner.get(key)
+        if data is None:
+            return None
+        return self._maybe_corrupt(data)
+
+    def get_many(self, keys: Iterable[str]) -> dict[str, bytes]:
+        out: dict[str, bytes] = {}
+        for key in keys:
+            data = self.get(key)
+            if data is not None:
+                out[key] = data
+        return out
+
+    def put(self, key: str, data: bytes) -> Path | None:
+        self._pre_op("put")
+        # A torn write *succeeds* from the caller's point of view — the
+        # damage is only discovered (and degraded to a miss) on read.
+        return self.inner.put(key, self._maybe_tear(data))
+
+    def put_if_absent(self, key: str, data: bytes) -> bool:
+        self._pre_op("put_if_absent")
+        return self.inner.put_if_absent(key, self._maybe_tear(data))
+
+    # -- metadata plane ---------------------------------------------------------
+
+    def stat(self, key: str) -> CacheEntryInfo | None:
+        self._pre_op("stat")
+        return self.inner.stat(key)
+
+    def stat_many(self, keys: Iterable[str]) -> set[str]:
+        return {k for k in keys if self.stat(k) is not None}
+
+    def entries(self) -> list[CacheEntryInfo]:
+        self._pre_op("entries")
+        return self.inner.entries()
+
+    def delete(self, key: str) -> bool:
+        self._pre_op("delete")
+        return self.inner.delete(key)
+
+    def clear(self) -> int:
+        self._pre_op("clear")
+        return self.inner.clear()
+
+    def prune(self, max_bytes, *, grace_s=DEFAULT_PRUNE_GRACE_S, now=None):
+        self._pre_op("prune")
+        return self.inner.prune(max_bytes, grace_s=grace_s, now=now)
+
+    # -- health / lifecycle -------------------------------------------------------
+
+    def health(self) -> dict:
+        return {
+            "scheme": self.scheme,
+            "url": self.url,
+            "injected": self.counts.as_dict(),
+            "inner": self.inner.health(),
+        }
+
+    def close(self) -> None:
+        self.inner.close()

@@ -1,0 +1,361 @@
+"""HTTP cache backend: stdlib client plus the ``repro cache serve`` server.
+
+The wire protocol is deliberately tiny — a content-addressed store
+needs nothing beyond GET/PUT by key plus a few batch/management verbs:
+
+========================  =====================================================
+``GET    /v1/e/<key>``    entry bytes (200) or miss (404)
+``HEAD   /v1/e/<key>``    existence + ``Content-Length`` /
+                          ``X-Repro-Mtime`` headers
+``PUT    /v1/e/<key>``    store bytes (204); with ``If-None-Match: *``
+                          only when absent (412 when present)
+``DELETE /v1/e/<key>``    remove (204) or miss (404)
+``POST   /v1/stat_many``  body: JSON list of keys -> JSON list present
+``GET    /v1/entries``    JSON ``[{key, size_bytes, mtime}, ...]`` oldest first
+``GET    /v1/health``     JSON health document (also the readiness probe)
+``POST   /v1/prune``      body: ``{"max_bytes": N[, "grace_s": S]}`` ->
+                          JSON list of evicted keys
+``POST   /v1/clear``      remove everything -> ``{"removed": N}``
+========================  =====================================================
+
+The server wraps *any* :class:`~repro.cache.backend.CacheBackend`
+(directory by default, ``sqlite://`` for one shared file) in a
+``ThreadingHTTPServer`` — one OS thread per request, which is plenty
+for a fleet of simulation workers whose requests are a few dozen per
+campaign unit.  The client is plain ``urllib`` with socket timeouts;
+network failures surface as exceptions for the resilience layer above
+to retry, break, and ultimately degrade to the local tier.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Iterable
+
+from repro.cache.backend import (
+    CacheBackend,
+    CacheEntryInfo,
+    DEFAULT_PRUNE_GRACE_S,
+    validate_key,
+)
+
+__all__ = ["HttpBackend", "CacheServer", "serve"]
+
+_ENTRY_PREFIX = "/v1/e/"
+
+
+class HttpBackend(CacheBackend):
+    """Client for a ``repro cache serve`` store."""
+
+    scheme = "http"
+
+    def __init__(self, base_url: str, *, timeout_s: float = 5.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = float(timeout_s)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"HttpBackend({self.base_url!r})"
+
+    @property
+    def url(self) -> str:
+        return self.base_url
+
+    # -- request plumbing --------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        headers: dict[str, str] | None = None,
+        *,
+        miss_status: tuple[int, ...] = (404,),
+    ) -> tuple[int, bytes, dict[str, str]]:
+        """One round-trip.  Statuses in ``miss_status`` are normal
+        protocol answers (absent key, failed precondition); anything
+        else non-2xx, and any transport trouble, raises for the
+        resilience layer to handle."""
+        req = urllib.request.Request(
+            self.base_url + path, data=body, method=method,
+            headers=headers or {},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+                return resp.status, resp.read(), dict(resp.headers)
+        except urllib.error.HTTPError as exc:
+            if exc.code in miss_status:
+                exc.read()
+                return exc.code, b"", dict(exc.headers or {})
+            raise
+
+    # -- data plane ----------------------------------------------------------
+
+    def get(self, key: str) -> bytes | None:
+        validate_key(key)
+        status, body, _ = self._request("GET", _ENTRY_PREFIX + key)
+        return body if status == 200 else None
+
+    def put(self, key: str, data: bytes) -> None:
+        validate_key(key)
+        self._request("PUT", _ENTRY_PREFIX + key, body=data)
+        return None
+
+    def put_if_absent(self, key: str, data: bytes) -> bool:
+        validate_key(key)
+        status, _, _ = self._request(
+            "PUT", _ENTRY_PREFIX + key, body=data,
+            headers={"If-None-Match": "*"}, miss_status=(412,),
+        )
+        return status != 412
+
+    # -- metadata plane --------------------------------------------------------
+
+    def stat(self, key: str) -> CacheEntryInfo | None:
+        validate_key(key)
+        status, _, headers = self._request("HEAD", _ENTRY_PREFIX + key)
+        if status != 200:
+            return None
+        return CacheEntryInfo(
+            key=key,
+            path=None,
+            size_bytes=int(headers.get("Content-Length", 0)),
+            mtime=float(headers.get("X-Repro-Mtime", 0.0)),
+        )
+
+    def stat_many(self, keys: Iterable[str]) -> set[str]:
+        keys = [validate_key(k) for k in keys]
+        if not keys:
+            return set()
+        _, body, _ = self._request(
+            "POST", "/v1/stat_many", body=json.dumps(keys).encode()
+        )
+        return set(json.loads(body))
+
+    def entries(self) -> list[CacheEntryInfo]:
+        _, body, _ = self._request("GET", "/v1/entries")
+        return [
+            CacheEntryInfo(key=e["key"], path=None,
+                           size_bytes=int(e["size_bytes"]),
+                           mtime=float(e["mtime"]))
+            for e in json.loads(body)
+        ]
+
+    def delete(self, key: str) -> bool:
+        validate_key(key)
+        status, _, _ = self._request("DELETE", _ENTRY_PREFIX + key)
+        return status != 404
+
+    # -- management ------------------------------------------------------------
+
+    def clear(self) -> int:
+        _, body, _ = self._request("POST", "/v1/clear", body=b"{}")
+        return int(json.loads(body)["removed"])
+
+    def prune(self, max_bytes, *, grace_s=DEFAULT_PRUNE_GRACE_S, now=None):
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        # Server-side prune: eviction must see every writer's entries
+        # and apply the grace window against the server's clock.
+        doc = {"max_bytes": int(max_bytes), "grace_s": float(grace_s)}
+        _, body, _ = self._request(
+            "POST", "/v1/prune", body=json.dumps(doc).encode()
+        )
+        return list(json.loads(body))
+
+    def health(self) -> dict:
+        _, body, _ = self._request("GET", "/v1/health")
+        remote = json.loads(body)
+        return {"scheme": self.scheme, "url": self.url, "server": remote}
+
+
+# -- server -------------------------------------------------------------------
+
+
+def _make_handler(store: CacheBackend) -> type[BaseHTTPRequestHandler]:
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        server_version = "repro-cache"
+
+        def log_message(self, fmt, *args):  # noqa: D102 - quiet by default
+            pass
+
+        # -- helpers ---------------------------------------------------
+
+        def _send(self, status: int, body: bytes = b"",
+                  headers: dict[str, str] | None = None) -> None:
+            self.send_response(status)
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            if body and self.command != "HEAD":
+                self.wfile.write(body)
+
+        def _send_json(self, doc, status: int = 200) -> None:
+            self._send(status, json.dumps(doc).encode(),
+                       {"Content-Type": "application/json"})
+
+        def _entry_key(self) -> str | None:
+            if not self.path.startswith(_ENTRY_PREFIX):
+                return None
+            try:
+                return validate_key(self.path[len(_ENTRY_PREFIX):])
+            except ValueError:
+                return None
+
+        def _read_body(self) -> bytes:
+            length = int(self.headers.get("Content-Length", 0))
+            return self.rfile.read(length) if length else b""
+
+        # -- verbs ------------------------------------------------------
+
+        def do_GET(self):
+            key = self._entry_key()
+            if key is not None:
+                data = store.get(key)
+                if data is None:
+                    self._send(404)
+                else:
+                    self._send(200, data,
+                               {"Content-Type": "application/json"})
+                return
+            if self.path == "/v1/entries":
+                self._send_json([
+                    {"key": e.key, "size_bytes": e.size_bytes,
+                     "mtime": e.mtime}
+                    for e in store.entries()
+                ])
+                return
+            if self.path == "/v1/health":
+                self._send_json(store.health())
+                return
+            self._send(404)
+
+        def do_HEAD(self):
+            key = self._entry_key()
+            if key is None:
+                self._send(404)
+                return
+            info = store.stat(key)
+            if info is None:
+                self._send(404)
+                return
+            self.send_response(200)
+            self.send_header("Content-Length", str(info.size_bytes))
+            self.send_header("X-Repro-Mtime", repr(info.mtime))
+            self.end_headers()
+
+        def do_PUT(self):
+            key = self._entry_key()
+            if key is None:
+                self._send(404)
+                return
+            data = self._read_body()
+            if self.headers.get("If-None-Match") == "*":
+                if store.put_if_absent(key, data):
+                    self._send(204)
+                else:
+                    self._send(412)
+                return
+            store.put(key, data)
+            self._send(204)
+
+        def do_DELETE(self):
+            key = self._entry_key()
+            if key is None:
+                self._send(404)
+                return
+            self._send(204 if store.delete(key) else 404)
+
+        def do_POST(self):
+            if self.path == "/v1/stat_many":
+                keys = json.loads(self._read_body())
+                present = store.stat_many(
+                    validate_key(k) for k in keys
+                )
+                # Stable order keeps responses byte-reproducible.
+                self._send_json(sorted(present))
+                return
+            if self.path == "/v1/prune":
+                doc = json.loads(self._read_body())
+                evicted = store.prune(
+                    int(doc["max_bytes"]),
+                    grace_s=float(doc.get("grace_s",
+                                          DEFAULT_PRUNE_GRACE_S)),
+                )
+                self._send_json(evicted)
+                return
+            if self.path == "/v1/clear":
+                self._send_json({"removed": store.clear()})
+                return
+            self._send(404)
+
+    return Handler
+
+
+class CacheServer:
+    """A running cache server; use as a context manager in tests."""
+
+    def __init__(self, store: CacheBackend, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.store = store
+        self._httpd = ThreadingHTTPServer(
+            (host, port), _make_handler(store)
+        )
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        if ":" in host:  # IPv6 literal
+            host = f"[{host}]"
+        return f"http://{host}:{port}"
+
+    def start(self) -> "CacheServer":
+        """Serve on a background thread (tests, embedding)."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, kwargs={"poll_interval": 0.05},
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI path)."""
+        try:
+            self._httpd.serve_forever(poll_interval=0.2)
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            pass
+
+    def shutdown(self) -> None:
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()
+        self.store.close()
+
+    def __enter__(self) -> "CacheServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+def serve(store: CacheBackend, host: str = "127.0.0.1",
+          port: int = 8750) -> CacheServer:
+    """Build a :class:`CacheServer` for ``store`` (not yet started)."""
+    try:
+        return CacheServer(store, host=host, port=port)
+    except socket.gaierror as exc:
+        raise ValueError(f"cannot bind cache server to {host!r}: {exc}")

@@ -38,8 +38,8 @@ __all__ = [
 ]
 
 #: Bump to invalidate every existing cache entry (key layout or payload
-#: format change).
-CACHE_SCHEMA_VERSION = 1
+#: format change).  v2: entry documents carry a payload checksum.
+CACHE_SCHEMA_VERSION = 2
 
 #: Package subtrees / modules whose source determines simulation
 #: behavior.  Relative to the ``repro`` package root.

@@ -1,0 +1,531 @@
+"""Never-raise hardening for cache backends.
+
+The run cache's founding contract — *damage degrades to a miss, never a
+crash* — was easy to keep while the only backend was a local directory.
+A shared backend (sqlite file on a group disk, an HTTP store across the
+network) adds whole new failure families: latency, timeouts, transient
+errors, sustained outages.  This module makes the contract survive all
+of them:
+
+* :class:`ResilientBackend` wraps any :class:`~repro.cache.backend.
+  CacheBackend` with **per-operation timeouts**, **bounded retry with
+  exponential backoff**, and a **circuit breaker** (the
+  :class:`repro.faults.CircuitBreaker` state machine, driven per cache
+  operation instead of per control epoch).  No operation ever raises
+  into the run path: a failed ``get`` is a miss, a failed ``put`` is a
+  dropped write, a failed ``stat`` is "absent".
+* :class:`TieredBackend` stacks a local tier in front of a remote one,
+  so the degradation ladder is **remote → local tier → miss**: while the
+  remote's breaker is open, hits the process has already seen keep
+  landing from the local tier, and only genuinely cold keys fall through
+  to a miss.
+
+Every degradation is observable: ``repro_cache_backend_*`` counters on a
+bound :class:`~repro.obs.metrics.MetricsRegistry` and
+:class:`~repro.obs.events.CacheBackendDegraded` /
+:class:`~repro.obs.events.CacheBreakerTransition` events on a bound bus.
+Timing is injectable (:class:`~repro.obs.clock.Clock`) so tests replay
+backoff and breaker schedules deterministically.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Iterable, TypeVar
+
+from repro.cache.backend import (
+    CacheBackend,
+    CacheEntryInfo,
+    DEFAULT_PRUNE_GRACE_S,
+)
+from repro.faults.breaker import HALF_OPEN, OPEN, CircuitBreaker
+from repro.obs.clock import Clock, WallClock
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.bus import EventBus
+    from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "BackendPolicy",
+    "BackendCounters",
+    "BackendTimeout",
+    "ResilientBackend",
+    "TieredBackend",
+]
+
+T = TypeVar("T")
+
+
+class BackendTimeout(Exception):
+    """A backend operation exceeded its per-operation deadline."""
+
+
+@dataclass(frozen=True)
+class BackendPolicy:
+    """How hard to try before degrading a backend operation.
+
+    Retries target *transient* trouble; the breaker targets *sustained*
+    trouble.  ``cooldown_ops`` is measured in operations rather than
+    seconds: cache traffic is what drives recovery probes, so an idle
+    store neither burns probes nor delays them, and a seeded test can
+    replay the exact open → half-open → closed schedule by counting
+    calls.
+
+    ``timeout_s=None`` disables the deadline (and the worker-thread
+    dispatch it needs) — the right setting for trusted local backends
+    and for :class:`~repro.obs.clock.FakeClock` tests.
+    """
+
+    timeout_s: float | None = 5.0
+    retries: int = 2
+    base_backoff_s: float = 0.02
+    backoff_factor: float = 2.0
+    max_backoff_s: float = 0.5
+    failure_threshold: int = 3
+    cooldown_ops: int = 8
+
+    def __post_init__(self) -> None:
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive (or None)")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.base_backoff_s < 0:
+            raise ValueError("base_backoff_s must be >= 0")
+        if self.backoff_factor < 1:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.max_backoff_s < self.base_backoff_s:
+            raise ValueError("max_backoff_s must be >= base_backoff_s")
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.cooldown_ops < 1:
+            raise ValueError("cooldown_ops must be >= 1")
+
+    def backoff_s(self, attempt: int) -> float:
+        """Deterministic exponential backoff for retry ``attempt``
+        (0-based).  No jitter: cache callers are not thundering herds,
+        and determinism keeps chaos runs replayable."""
+        return min(
+            self.base_backoff_s * self.backoff_factor ** attempt,
+            self.max_backoff_s,
+        )
+
+    @classmethod
+    def fast_test(cls) -> "BackendPolicy":
+        """No deadline, no real sleeping to speak of — unit-test tuning."""
+        return cls(timeout_s=None, base_backoff_s=0.0, max_backoff_s=0.0)
+
+
+@dataclass
+class BackendCounters:
+    """What a :class:`ResilientBackend` absorbed on behalf of its caller."""
+
+    ops: int = 0
+    errors: int = 0
+    timeouts: int = 0
+    retries: int = 0
+    degraded: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "ops": self.ops,
+            "errors": self.errors,
+            "timeouts": self.timeouts,
+            "retries": self.retries,
+            "degraded": self.degraded,
+        }
+
+
+# One executor for every resilient backend in the process: deadline
+# enforcement needs a worker thread, and per-store pools would leak one
+# pool per resolved cache.  Hung calls can clog workers, but each
+# backend's breaker opens after ``failure_threshold`` of them and stops
+# submitting; the pool is sized to ride that out.
+_POOL_LOCK = threading.Lock()
+_POOL: ThreadPoolExecutor | None = None
+_POOL_THREAD_PREFIX = "repro-cache-io"
+
+
+def _pool() -> ThreadPoolExecutor:
+    global _POOL
+    with _POOL_LOCK:
+        if _POOL is None:
+            _POOL = ThreadPoolExecutor(
+                max_workers=8, thread_name_prefix=_POOL_THREAD_PREFIX
+            )
+        return _POOL
+
+
+def _reset_pool_after_fork() -> None:
+    # A fork can land while a pool thread holds the executor's (or our)
+    # lock; the child would deadlock on its first timed cache op.
+    # Abandon the inherited executor — worker threads don't survive
+    # fork anyway — and start fresh on demand.
+    global _POOL, _POOL_LOCK
+    _POOL_LOCK = threading.Lock()
+    _POOL = None
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX
+    os.register_at_fork(after_in_child=_reset_pool_after_fork)
+
+
+class ResilientBackend(CacheBackend):
+    """Timeout + retry + breaker armor around any backend.
+
+    The wrapped backend may raise anything, hang, or lie; this wrapper
+    turns every failure into the operation's safe default (miss-shaped:
+    ``None`` / ``False`` / empty) after bounded effort, and opens a
+    breaker under sustained failure so a dead backend costs a counter
+    bump instead of a timeout per call.  While open, ``cooldown_ops``
+    operations degrade instantly; the next operation is a half-open
+    probe that closes the breaker on success.
+    """
+
+    def __init__(
+        self,
+        inner: CacheBackend,
+        *,
+        policy: BackendPolicy | None = None,
+        clock: Clock | None = None,
+    ) -> None:
+        self.inner = inner
+        self.policy = policy if policy is not None else BackendPolicy()
+        self.clock = clock if clock is not None else WallClock()
+        self.counters = BackendCounters()
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.policy.failure_threshold,
+            cooldown_epochs=self.policy.cooldown_ops,
+        )
+        self.breaker.on_transition = self._on_transition
+        self.last_error: str | None = None
+        self._metrics: "MetricsRegistry | None" = None
+        self._bus: "EventBus | None" = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"ResilientBackend({self.inner!r})"
+
+    @property
+    def scheme(self) -> str:  # type: ignore[override]
+        return self.inner.scheme
+
+    @property
+    def url(self) -> str:
+        return self.inner.url
+
+    # -- telemetry ---------------------------------------------------------
+
+    def bind_metrics(self, registry: "MetricsRegistry | None") -> None:
+        self._metrics = registry
+        self.inner.bind_metrics(registry)
+
+    def bind_bus(self, bus: "EventBus | None") -> None:
+        self._bus = bus
+        self.inner.bind_bus(bus)
+
+    def _count(self, name: str, op: str, amount: int = 1) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(
+                f"repro_cache_backend_{name}_total",
+                backend=self.scheme, op=op,
+            ).inc(amount)
+
+    def _on_transition(self, old: str, new: str) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(
+                "repro_cache_backend_breaker_transitions_total",
+                backend=self.scheme, old=old, new=new,
+            ).inc()
+        if self._bus is not None:
+            from repro.obs.events import CacheBreakerTransition
+
+            self._bus.emit(CacheBreakerTransition(
+                time=self.clock.now(), backend=self.url, old=old, new=new,
+            ))
+
+    def _degrade(self, op: str, reason: str) -> None:
+        self.counters.degraded += 1
+        self.last_error = reason
+        self._count("degraded", op)
+        if self._bus is not None:
+            from repro.obs.events import CacheBackendDegraded
+
+            self._bus.emit(CacheBackendDegraded(
+                time=self.clock.now(), backend=self.url, op=op,
+                reason=reason,
+            ))
+
+    # -- the armor ---------------------------------------------------------
+
+    def _invoke(self, fn: Callable[[], T]) -> T:
+        """Run ``fn`` under the per-operation deadline.
+
+        Dispatches through the shared worker pool only when a deadline
+        is set, and never from inside a pool worker itself (a nested
+        resilient stack must not deadlock on its own pool)."""
+        timeout = self.policy.timeout_s
+        if (timeout is None
+                or threading.current_thread().name.startswith(
+                    _POOL_THREAD_PREFIX)):
+            return fn()
+        future = _pool().submit(fn)
+        try:
+            return future.result(timeout=timeout)
+        except FutureTimeoutError:
+            future.cancel()
+            raise BackendTimeout(
+                f"backend operation exceeded {timeout:g}s"
+            ) from None
+
+    def _call(self, op: str, fn: Callable[[], T], default: T) -> T:
+        self.counters.ops += 1
+        self._count("ops", op)
+        state = self.breaker.state
+        if state == OPEN:
+            # Serving the default *is* this operation; it also advances
+            # the cooldown toward the half-open probe.
+            self.breaker.record_epoch(True)
+            self._degrade(op, "breaker-open")
+            return default
+        attempts = 1 if state == HALF_OPEN else self.policy.retries + 1
+        reason = "unknown"
+        for attempt in range(attempts):
+            try:
+                result = self._invoke(fn)
+            except BaseException as exc:  # noqa: BLE001 - contract: never raise
+                if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                    raise
+                if isinstance(exc, BackendTimeout):
+                    self.counters.timeouts += 1
+                    self._count("timeouts", op)
+                else:
+                    self.counters.errors += 1
+                    self._count("errors", op)
+                reason = f"{type(exc).__name__}: {exc}"
+                if attempt + 1 < attempts:
+                    self.counters.retries += 1
+                    self._count("retries", op)
+                    self.clock.sleep(self.policy.backoff_s(attempt))
+            else:
+                self.breaker.record_epoch(False)
+                return result
+        self.breaker.record_epoch(True)
+        self._degrade(op, reason)
+        return default
+
+    # -- data plane --------------------------------------------------------
+
+    def get(self, key: str) -> bytes | None:
+        return self._call("get", lambda: self.inner.get(key), None)
+
+    def get_many(self, keys: Iterable[str]) -> dict[str, bytes]:
+        keys = list(keys)
+        if not keys:
+            return {}
+        return self._call("get_many", lambda: self.inner.get_many(keys), {})
+
+    def put(self, key: str, data: bytes) -> Path | None:
+        return self._call("put", lambda: self.inner.put(key, data), None)
+
+    def put_if_absent(self, key: str, data: bytes) -> bool:
+        return self._call(
+            "put_if_absent",
+            lambda: self.inner.put_if_absent(key, data),
+            False,
+        )
+
+    # -- metadata plane ----------------------------------------------------
+
+    def stat(self, key: str) -> CacheEntryInfo | None:
+        return self._call("stat", lambda: self.inner.stat(key), None)
+
+    def stat_many(self, keys: Iterable[str]) -> set[str]:
+        keys = list(keys)
+        if not keys:
+            return set()
+        return self._call(
+            "stat_many", lambda: self.inner.stat_many(keys), set()
+        )
+
+    def entries(self) -> list[CacheEntryInfo]:
+        return self._call("entries", lambda: self.inner.entries(), [])
+
+    def delete(self, key: str) -> bool:
+        return self._call("delete", lambda: self.inner.delete(key), False)
+
+    # -- management --------------------------------------------------------
+
+    def clear(self) -> int:
+        return self._call("clear", lambda: self.inner.clear(), 0)
+
+    def prune(
+        self,
+        max_bytes: int,
+        *,
+        grace_s: float = DEFAULT_PRUNE_GRACE_S,
+        now: float | None = None,
+    ) -> list[str]:
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        return self._call(
+            "prune",
+            lambda: self.inner.prune(max_bytes, grace_s=grace_s, now=now),
+            [],
+        )
+
+    # -- health / lifecycle ------------------------------------------------
+
+    def health(self) -> dict:
+        """Health must keep working while the backend is down — it is
+        how an operator *sees* that the backend is down."""
+        doc = {
+            "scheme": self.scheme,
+            "url": self.url,
+            "breaker": self.breaker.state,
+            "breaker_opens": self.breaker.opens,
+            "counters": self.counters.as_dict(),
+            "last_error": self.last_error,
+        }
+        try:
+            doc["inner"] = self._invoke(self.inner.health)
+        except Exception as exc:  # noqa: BLE001 - reporting, not control flow
+            doc["inner"] = {"error": f"{type(exc).__name__}: {exc}"}
+        return doc
+
+    def close(self) -> None:
+        try:
+            self.inner.close()
+        except Exception:  # noqa: BLE001 - closing must not raise either
+            pass
+
+
+class TieredBackend(CacheBackend):
+    """A local tier in front of a shared remote: remote → local → miss.
+
+    Reads prefer the local tier and fall through to the remote; remote
+    hits are copied into the local tier so a later remote outage still
+    serves them.  Writes land in both (the remote via ``put_if_absent``
+    — entries are content-addressed, so an existing remote entry is
+    already byte-identical and need not be re-uploaded).
+
+    Both tiers are expected to be :class:`ResilientBackend`-wrapped (as
+    :func:`~repro.cache.backend.backend_from_url` builds them), so tier
+    logic never sees an exception; a degraded remote simply answers
+    miss-shaped defaults and the ladder takes the next rung down.
+    """
+
+    scheme = "tiered"
+
+    def __init__(self, *, local: CacheBackend, remote: CacheBackend) -> None:
+        self.local = local
+        self.remote = remote
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"TieredBackend(local={self.local!r}, remote={self.remote!r})"
+
+    @property
+    def url(self) -> str:
+        return self.remote.url
+
+    # -- data plane --------------------------------------------------------
+
+    def get(self, key: str) -> bytes | None:
+        data = self.local.get(key)
+        if data is not None:
+            return data
+        data = self.remote.get(key)
+        if data is not None:
+            self.local.put_if_absent(key, data)
+        return data
+
+    def get_many(self, keys: Iterable[str]) -> dict[str, bytes]:
+        keys = list(keys)
+        out = self.local.get_many(keys)
+        missing = [k for k in keys if k not in out]
+        if missing:
+            fetched = self.remote.get_many(missing)
+            for key, data in fetched.items():
+                self.local.put_if_absent(key, data)
+            out.update(fetched)
+        return out
+
+    def put(self, key: str, data: bytes) -> Path | None:
+        self.local.put(key, data)
+        self.remote.put_if_absent(key, data)
+        return None
+
+    def put_if_absent(self, key: str, data: bytes) -> bool:
+        self.local.put_if_absent(key, data)
+        return self.remote.put_if_absent(key, data)
+
+    # -- metadata plane ----------------------------------------------------
+
+    def stat(self, key: str) -> CacheEntryInfo | None:
+        return self.local.stat(key) or self.remote.stat(key)
+
+    def stat_many(self, keys: Iterable[str]) -> set[str]:
+        keys = list(keys)
+        present = self.local.stat_many(keys)
+        rest = [k for k in keys if k not in present]
+        if rest:
+            present |= self.remote.stat_many(rest)
+        return present
+
+    def entries(self) -> list[CacheEntryInfo]:
+        """Union of both tiers (remote info wins for shared keys)."""
+        merged = {e.key: e for e in self.local.entries()}
+        merged.update({e.key: e for e in self.remote.entries()})
+        return sorted(merged.values(), key=lambda e: (e.mtime, e.key))
+
+    def delete(self, key: str) -> bool:
+        remote = self.remote.delete(key)
+        local = self.local.delete(key)
+        return remote or local
+
+    # -- management --------------------------------------------------------
+
+    def clear(self) -> int:
+        """Entries removed from the *remote* (the shared truth); the
+        local tier is emptied alongside."""
+        removed = self.remote.clear()
+        self.local.clear()
+        return removed
+
+    def prune(
+        self,
+        max_bytes: int,
+        *,
+        grace_s: float = DEFAULT_PRUNE_GRACE_S,
+        now: float | None = None,
+    ) -> list[str]:
+        evicted = self.remote.prune(max_bytes, grace_s=grace_s, now=now)
+        local_evicted = self.local.prune(max_bytes, grace_s=grace_s, now=now)
+        return evicted + [k for k in local_evicted if k not in evicted]
+
+    # -- health / lifecycle ------------------------------------------------
+
+    def health(self) -> dict:
+        return {
+            "scheme": self.scheme,
+            "url": self.url,
+            "tiers": {
+                "local": self.local.health(),
+                "remote": self.remote.health(),
+            },
+        }
+
+    def bind_metrics(self, registry: "MetricsRegistry | None") -> None:
+        self.local.bind_metrics(registry)
+        self.remote.bind_metrics(registry)
+
+    def bind_bus(self, bus: "EventBus | None") -> None:
+        self.local.bind_bus(bus)
+        self.remote.bind_bus(bus)
+
+    def close(self) -> None:
+        self.local.close()
+        self.remote.close()

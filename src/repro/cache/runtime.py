@@ -8,14 +8,21 @@ inherit under every multiprocessing start method:
 
 * ``REPRO_CACHE``      — ``1``/``true``/``on`` enables the default
   cache, ``0``/``false``/``off`` disables it; unset means *off*.
-* ``REPRO_CACHE_DIR``  — cache root; defaults to ``.repro-cache`` in
-  the current directory.
+* ``REPRO_CACHE_DIR``  — cache spec: a directory path (default
+  ``.repro-cache`` under the cwd) or a backend URL (``dir://``,
+  ``sqlite://``, ``http://`` — see
+  :func:`repro.cache.backend.backend_from_url`), so a fleet of workers
+  pointed at ``sqlite://shared.db`` or ``http://cachehost:8750`` share
+  one warm store.
 
 :func:`resolve_cache` turns the ``cache=`` argument every runner/sweep
 accepts (``None`` | ``bool`` | :class:`RunCache`) into a store or
 ``None``; :func:`activated` additionally exports the decision into the
 environment for the duration of a fan-out, so workers that call
-``run_single(cache=None)`` resolve the same store.
+``run_single(cache=None)`` resolve the same store.  Environment-resolved
+stores are memoized per spec within a process: remote backends keep one
+connection, hit/miss counters accumulate somewhere visible, and breaker
+state persists across runs instead of resetting per call.
 """
 
 from __future__ import annotations
@@ -33,6 +40,7 @@ __all__ = [
     "ENV_DIR",
     "DEFAULT_CACHE_DIRNAME",
     "default_cache_dir",
+    "default_cache_spec",
     "resolve_cache",
     "activated",
 ]
@@ -50,14 +58,24 @@ _FALSY = {"0", "false", "no", "off", ""}
 #: The store most recently exported by :func:`activated` in *this*
 #: process.  Lets env-resolved callers inside the scope reuse the very
 #: same instance, so hit/miss counters accumulate where the caller can
-#: see them instead of fragmenting across throwaway stores.  (Pool
-#: workers are separate processes and always build their own.)
+#: see them instead of fragmenting across throwaway stores.
 _ACTIVE_STORE: RunCache | None = None
+
+#: Single-slot memo of the last environment-resolved store (pool
+#: workers resolve the same spec for every task; rebuilding a backend —
+#: and its connections and breaker state — per call would defeat the
+#: resilience layer and fragment every counter).
+_RESOLVED_STORE: RunCache | None = None
+
+
+def default_cache_spec() -> str:
+    """``$REPRO_CACHE_DIR`` (path or URL) or ``.repro-cache``."""
+    return os.environ.get(ENV_DIR) or DEFAULT_CACHE_DIRNAME
 
 
 def default_cache_dir() -> Path:
-    """``$REPRO_CACHE_DIR`` or ``.repro-cache`` under the cwd."""
-    return Path(os.environ.get(ENV_DIR) or DEFAULT_CACHE_DIRNAME)
+    """:func:`default_cache_spec` as a path (directory-shaped specs)."""
+    return Path(default_cache_spec())
 
 
 def _env_enabled() -> bool:
@@ -76,27 +94,30 @@ def resolve_cache(cache: CacheSpec) -> RunCache | None:
     """Normalize a ``cache=`` argument to a store or ``None``.
 
     * a :class:`RunCache` — used as-is;
-    * ``True`` — the default store (:func:`default_cache_dir`);
+    * ``True`` — the default store (:func:`default_cache_spec`);
     * ``False`` — caching off, regardless of the environment;
     * ``None`` — consult ``REPRO_CACHE`` / ``REPRO_CACHE_DIR``.
     """
     if isinstance(cache, RunCache):
         return cache
     if cache is True:
-        return _store_for(default_cache_dir())
+        return _store_for(default_cache_spec())
     if cache is False:
         return None
     if cache is None:
-        return _store_for(default_cache_dir()) if _env_enabled() else None
+        return _store_for(default_cache_spec()) if _env_enabled() else None
     raise TypeError(
         f"cache must be a RunCache, bool, or None; got {cache!r}"
     )
 
 
-def _store_for(root: Path) -> RunCache:
-    if _ACTIVE_STORE is not None and _ACTIVE_STORE.root == root:
+def _store_for(spec: str) -> RunCache:
+    global _RESOLVED_STORE
+    if _ACTIVE_STORE is not None and _ACTIVE_STORE.spec == spec:
         return _ACTIVE_STORE
-    return RunCache(root)
+    if _RESOLVED_STORE is None or _RESOLVED_STORE.spec != spec:
+        _RESOLVED_STORE = RunCache(spec)
+    return _RESOLVED_STORE
 
 
 @contextlib.contextmanager
@@ -106,7 +127,7 @@ def activated(cache: CacheSpec) -> Iterator[RunCache | None]:
     ``None`` leaves the environment untouched (the ambient setting, if
     any, stays in force); ``False`` forces caching off for the scope,
     including in pool workers; a store or ``True`` enables it and points
-    ``REPRO_CACHE_DIR`` at the resolved root.  Yields the resolved store
+    ``REPRO_CACHE_DIR`` at the resolved spec.  Yields the resolved store
     (or ``None``) for in-process use; always restores the previous
     environment on exit.
     """
@@ -123,7 +144,7 @@ def activated(cache: CacheSpec) -> Iterator[RunCache | None]:
             _ACTIVE_STORE = None
         else:
             os.environ[ENV_ENABLE] = "1"
-            os.environ[ENV_DIR] = str(store.root)
+            os.environ[ENV_DIR] = store.spec
             _ACTIVE_STORE = store
         yield store
     finally:

@@ -1,0 +1,217 @@
+"""Single-file shared cache backend on sqlite3.
+
+One ``sqlite://PATH`` store can be shared by every worker on a machine
+(or an NFS-free shared filesystem): WAL journaling gives readers a
+consistent snapshot while one writer commits, and ``INSERT OR IGNORE``
+makes :meth:`put_if_absent` genuinely atomic instead of the generic
+check-then-put.  Connections are per-thread (sqlite3 objects are not
+thread-safe by default) and lazy — constructing the backend, or reading
+from a path that was never populated, creates nothing on disk, matching
+the directory store's "construction has no side effects" contract.
+
+Concurrency posture: ``busy_timeout`` makes writers queue politely
+behind each other instead of failing fast; ``synchronous=NORMAL`` under
+WAL keeps commits durable-enough for a cache (a lost entry is a miss,
+never corruption).  Errors from a sick database file surface as
+:class:`sqlite3.Error` and are translated into misses by the resilience
+wrapper above this layer.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+import time
+from pathlib import Path
+from typing import Iterable
+
+from repro.cache.backend import (
+    CacheBackend,
+    CacheEntryInfo,
+    validate_key,
+)
+
+__all__ = ["SqliteBackend"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS entries (
+    key   TEXT PRIMARY KEY,
+    data  BLOB NOT NULL,
+    size  INTEGER NOT NULL,
+    mtime REAL NOT NULL
+)
+"""
+
+#: Keys per ``IN (...)`` chunk — far below sqlite's 999-parameter floor.
+_CHUNK = 400
+
+
+class SqliteBackend(CacheBackend):
+    """Content-addressed store in one sqlite database file."""
+
+    scheme = "sqlite"
+
+    def __init__(self, path: str | Path, *, busy_timeout_s: float = 5.0) -> None:
+        self.path = Path(path)
+        self.busy_timeout_s = float(busy_timeout_s)
+        self._local = threading.local()
+        # Injectable for deterministic mtimes in tests.
+        self._now = time.time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"SqliteBackend({str(self.path)!r})"
+
+    @property
+    def url(self) -> str:
+        return f"sqlite://{self.path}"
+
+    # -- connections -----------------------------------------------------
+
+    def _connect(self, *, create: bool) -> sqlite3.Connection | None:
+        """The thread's connection, opening (and optionally creating the
+        database) on first use.  Read paths pass ``create=False`` so a
+        never-populated store stays absent from disk."""
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            return conn
+        if not create and not self.path.exists():
+            return None
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        conn = sqlite3.connect(self.path, timeout=self.busy_timeout_s)
+        try:
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute(
+                f"PRAGMA busy_timeout={int(self.busy_timeout_s * 1000)}"
+            )
+            conn.execute(_SCHEMA)
+            conn.commit()
+        except sqlite3.Error:
+            conn.close()
+            raise
+        self._local.conn = conn
+        return conn
+
+    # -- data plane ------------------------------------------------------
+
+    def get(self, key: str) -> bytes | None:
+        conn = self._connect(create=False)
+        if conn is None:
+            return None
+        row = conn.execute(
+            "SELECT data FROM entries WHERE key = ?", (key,)
+        ).fetchone()
+        return None if row is None else bytes(row[0])
+
+    def get_many(self, keys: Iterable[str]) -> dict[str, bytes]:
+        keys = list(keys)
+        conn = self._connect(create=False)
+        if conn is None or not keys:
+            return {}
+        out: dict[str, bytes] = {}
+        for i in range(0, len(keys), _CHUNK):
+            chunk = keys[i : i + _CHUNK]
+            marks = ",".join("?" * len(chunk))
+            rows = conn.execute(
+                f"SELECT key, data FROM entries WHERE key IN ({marks})",
+                chunk,
+            ).fetchall()
+            out.update({k: bytes(d) for k, d in rows})
+        return out
+
+    def put(self, key: str, data: bytes) -> None:
+        validate_key(key)
+        conn = self._connect(create=True)
+        conn.execute(
+            "INSERT INTO entries (key, data, size, mtime) "
+            "VALUES (?, ?, ?, ?) "
+            "ON CONFLICT(key) DO UPDATE SET "
+            "data=excluded.data, size=excluded.size, mtime=excluded.mtime",
+            (key, sqlite3.Binary(data), len(data), float(self._now())),
+        )
+        conn.commit()
+        return None
+
+    def put_if_absent(self, key: str, data: bytes) -> bool:
+        validate_key(key)
+        conn = self._connect(create=True)
+        cur = conn.execute(
+            "INSERT OR IGNORE INTO entries (key, data, size, mtime) "
+            "VALUES (?, ?, ?, ?)",
+            (key, sqlite3.Binary(data), len(data), float(self._now())),
+        )
+        conn.commit()
+        return cur.rowcount > 0
+
+    # -- metadata plane ----------------------------------------------------
+
+    def stat(self, key: str) -> CacheEntryInfo | None:
+        conn = self._connect(create=False)
+        if conn is None:
+            return None
+        row = conn.execute(
+            "SELECT size, mtime FROM entries WHERE key = ?", (key,)
+        ).fetchone()
+        if row is None:
+            return None
+        return CacheEntryInfo(key=key, path=None, size_bytes=int(row[0]),
+                              mtime=float(row[1]))
+
+    def stat_many(self, keys: Iterable[str]) -> set[str]:
+        keys = list(keys)
+        conn = self._connect(create=False)
+        if conn is None or not keys:
+            return set()
+        present: set[str] = set()
+        for i in range(0, len(keys), _CHUNK):
+            chunk = keys[i : i + _CHUNK]
+            marks = ",".join("?" * len(chunk))
+            rows = conn.execute(
+                f"SELECT key FROM entries WHERE key IN ({marks})", chunk
+            ).fetchall()
+            present.update(k for (k,) in rows)
+        return present
+
+    def entries(self) -> list[CacheEntryInfo]:
+        conn = self._connect(create=False)
+        if conn is None:
+            return []
+        rows = conn.execute(
+            "SELECT key, size, mtime FROM entries ORDER BY mtime, key"
+        ).fetchall()
+        return [
+            CacheEntryInfo(key=k, path=None, size_bytes=int(s),
+                           mtime=float(m))
+            for k, s, m in rows
+        ]
+
+    def delete(self, key: str) -> bool:
+        conn = self._connect(create=False)
+        if conn is None:
+            return False
+        cur = conn.execute("DELETE FROM entries WHERE key = ?", (key,))
+        conn.commit()
+        return cur.rowcount > 0
+
+    # -- health / lifecycle ------------------------------------------------
+
+    def health(self) -> dict:
+        conn = self._connect(create=False)
+        if conn is None:
+            return {"scheme": self.scheme, "url": self.url,
+                    "entries": 0, "total_bytes": 0}
+        count, total = conn.execute(
+            "SELECT COUNT(*), COALESCE(SUM(size), 0) FROM entries"
+        ).fetchone()
+        return {
+            "scheme": self.scheme,
+            "url": self.url,
+            "entries": int(count),
+            "total_bytes": int(total),
+        }
+
+    def close(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            conn.close()
+            self._local.conn = None

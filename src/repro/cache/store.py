@@ -1,63 +1,66 @@
-"""On-disk content-addressed result store.
+"""Content-addressed result store over a pluggable byte backend.
 
-Entries live under ``<root>/v<schema>/<key[:2]>/<key>.json`` — one JSON
-document per run, fanned out over 256 prefix directories so a large
-cache never piles tens of thousands of files into one directory.
-
-Write discipline matches :func:`repro.sim.traceio.atomic_write_text`
-(temp file + fsync + ``os.replace``): a process killed mid-``put`` can
-never leave a torn entry at the final path.  Read discipline is the
-mirror image: anything wrong with an entry — missing, truncated,
-invalid JSON, wrong embedded key, wrong format — is a *miss*, never an
-exception.  A damaged cache costs a re-simulation, not a crash.
+:class:`RunCache` owns everything *format-shaped* — the entry JSON
+document, the columnar trace codec, key validation, hit/miss/byte
+accounting — and delegates byte durability to a
+:class:`~repro.cache.backend.CacheBackend` selected by URL scheme
+(:func:`~repro.cache.backend.backend_from_url`): a local directory
+(``dir://`` / bare path), one shared sqlite file (``sqlite://``), or a
+``repro cache serve`` HTTP store (``http://``).  Every backend built
+that way is wrapped in the never-raise resilience stack
+(:mod:`repro.cache.resilience`), so the founding contract holds across
+all of them: anything wrong with an entry — missing, truncated, invalid
+JSON, wrong embedded key, wrong format, a backend that is slow, flaky,
+or down — is a *miss*, never an exception.  A damaged or unreachable
+cache costs a re-simulation, not a crash.
 
 Hit/miss/byte counts accumulate on the store object and, when a
 :class:`~repro.obs.metrics.MetricsRegistry` is bound, into
 ``repro_cache_hits_total`` / ``repro_cache_misses_total`` /
 ``repro_cache_read_bytes_total`` / ``repro_cache_written_bytes_total``
-counters so the cache shows up next to the rest of the telemetry.
+counters; backend-level armor adds ``repro_cache_backend_*`` counters
+next to them.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
-import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Iterator
+from typing import TYPE_CHECKING, Any, Iterable
 
-from repro.cache.keys import CACHE_SCHEMA_VERSION
-from repro.sim.trace import StepRecord, Trace
-from repro.sim.traceio import (
-    atomic_write_text,
-    epoch_from_dict,
-    epoch_to_dict,
+from repro.cache.backend import (
+    DEFAULT_PRUNE_GRACE_S,
+    CacheBackend,
+    CacheEntryInfo,
+    DirBackend,
+    backend_from_url,
+    validate_key,
 )
+from repro.sim.trace import StepRecord, Trace
+from repro.sim.traceio import epoch_from_dict, epoch_to_dict
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.bus import EventBus
     from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["RunCache", "CacheStats", "CacheEntryInfo"]
 
-#: Entry-file format tag (inside each JSON document).
-ENTRY_FORMAT = 1
-
-_KEY_HEX_LEN = 64
-
-
-@dataclass(frozen=True)
-class CacheEntryInfo:
-    """One entry as seen by ``ls``/``prune``."""
-
-    key: str
-    path: Path
-    size_bytes: int
-    mtime: float
+#: Entry-file format tag.  v2 restructured the entry into two lines —
+#: a small header document (format, key, meta, payload digest) and the
+#: payload's canonical JSON on its own line — and added the checksum:
+#: shared backends can tear or bit-rot an entry in ways that still
+#: parse as JSON (a flipped digit inside a float), and only an
+#: end-to-end digest turns *every* such mutation into a miss.  The
+#: digest runs over the stored payload bytes themselves, so verifying
+#: a hit costs one hash, not a re-serialization.
+ENTRY_FORMAT = 2
 
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Store-level totals: on-disk state plus this process's traffic."""
+    """Store-level totals: backend state plus this process's traffic."""
 
     entries: int
     total_bytes: int
@@ -68,32 +71,82 @@ class CacheStats:
 
 
 class RunCache:
-    """Content-addressed run-result cache rooted at ``root``.
+    """Content-addressed run-result cache over ``spec``.
 
-    The directory is created lazily on first write, so constructing a
-    cache (e.g. to report stats on a path that was never populated) has
-    no filesystem side effects.
+    ``spec`` is a directory path (the classic local store) or a backend
+    URL (``dir://``, ``sqlite://``, ``http://`` — see
+    :func:`~repro.cache.backend.backend_from_url`); tests may hand a
+    pre-built ``backend`` instead.  Construction has no I/O side
+    effects: directories and database files appear on first write, so
+    building a store to report stats on a never-populated spec creates
+    nothing.
     """
 
-    def __init__(self, root: str | Path) -> None:
-        self.root = Path(root)
+    def __init__(
+        self,
+        spec: str | Path = ".repro-cache",
+        *,
+        backend: CacheBackend | None = None,
+        policy: "object | None" = None,
+        clock: "object | None" = None,
+    ) -> None:
+        self.spec = str(spec)
+        if backend is None:
+            backend = backend_from_url(self.spec, policy=policy, clock=clock)
+        self.backend = backend
         self.hits = 0
         self.misses = 0
         self.read_bytes = 0
         self.written_bytes = 0
+        #: Keys this store probed, in order (``(key, hit)``) — the raw
+        #: material campaign manifests and hit-rate reports are cut from.
+        self.key_log: list[tuple[str, bool]] = []
         self._metrics: "MetricsRegistry | None" = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging nicety
-        return f"RunCache({str(self.root)!r})"
+        return f"RunCache({self.spec!r})"
 
-    # -- metrics -------------------------------------------------------
+    @property
+    def root(self) -> Path | None:
+        """The on-disk root for directory-backed stores, else ``None``."""
+        phys = self._physical()
+        return phys.root if isinstance(phys, DirBackend) else None
+
+    def _physical(self) -> CacheBackend:
+        """The innermost real backend (through resilience wrappers)."""
+        backend = self.backend
+        while True:
+            inner = getattr(backend, "inner", None)
+            if inner is None:
+                return backend
+            backend = inner
+
+    def _entry_path(self, key: str) -> Path:
+        """On-disk path of one entry (directory-backed stores only)."""
+        validate_key(key)
+        phys = self._physical()
+        if not isinstance(phys, DirBackend):
+            raise ValueError(
+                f"cache backend {phys.scheme!r} has no per-entry files"
+            )
+        return phys._entry_path(key)
+
+    # -- metrics / telemetry -------------------------------------------
 
     def bind_metrics(self, registry: "MetricsRegistry | None") -> "RunCache":
-        """Mirror hit/miss/byte counts into ``repro_cache_*`` counters."""
+        """Mirror hit/miss/byte counts into ``repro_cache_*`` counters
+        (and backend armor counts into ``repro_cache_backend_*``)."""
         self._metrics = registry
+        self.backend.bind_metrics(registry)
         return self
 
-    def _count(self, *, hit: bool, nbytes: int = 0) -> None:
+    def bind_bus(self, bus: "EventBus | None") -> "RunCache":
+        """Publish backend degradation/breaker events on ``bus``."""
+        self.backend.bind_bus(bus)
+        return self
+
+    def _count(self, key: str, *, hit: bool, nbytes: int = 0) -> None:
+        self.key_log.append((key, hit))
         if hit:
             self.hits += 1
             self.read_bytes += nbytes
@@ -114,65 +167,113 @@ class RunCache:
                 nbytes
             )
 
-    # -- paths ---------------------------------------------------------
-
-    @property
-    def _version_dir(self) -> Path:
-        return self.root / f"v{CACHE_SCHEMA_VERSION}"
-
-    def _entry_path(self, key: str) -> Path:
-        if len(key) != _KEY_HEX_LEN or any(
-            c not in "0123456789abcdef" for c in key
-        ):
-            raise ValueError(f"malformed cache key {key!r}")
-        return self._version_dir / key[:2] / f"{key}.json"
-
     # -- get/put -------------------------------------------------------
+
+    @staticmethod
+    def _decode(key: str, data: bytes) -> dict | None:
+        """Entry bytes -> payload, or None on any kind of damage."""
+        head, sep, rest = data.partition(b"\n")
+        if not sep:
+            return None
+        try:
+            header = json.loads(head.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return None
+        if (
+            not isinstance(header, dict)
+            or header.get("format") != ENTRY_FORMAT
+            or header.get("key") != key
+        ):
+            return None
+        payload_bytes = rest[:-1] if rest.endswith(b"\n") else rest
+        if header.get("sum") != hashlib.sha256(payload_bytes).hexdigest():
+            # Damage that still parses (a flipped digit inside the
+            # payload) must degrade to a miss, not a wrong hit.
+            return None
+        try:
+            payload = json.loads(payload_bytes.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return None
+        return payload if isinstance(payload, dict) else None
 
     def get(self, key: str) -> dict | None:
         """The entry payload for ``key``, or None (any damage = miss)."""
-        path = self._entry_path(key)
-        try:
-            text = path.read_text(encoding="utf-8")
-        except OSError:
-            # Missing entry, missing prefix dir, permission trouble,
-            # mid-replace race: all of them are just misses.
-            self._count(hit=False)
+        validate_key(key)
+        data = self.backend.get(key)
+        payload = None if data is None else self._decode(key, data)
+        if payload is None:
+            self._count(key, hit=False)
             return None
-        try:
-            entry = json.loads(text)
-        except json.JSONDecodeError:
-            self._count(hit=False)
-            return None
-        if (
-            not isinstance(entry, dict)
-            or entry.get("format") != ENTRY_FORMAT
-            or entry.get("key") != key
-            or "payload" not in entry
-        ):
-            self._count(hit=False)
-            return None
-        self._count(hit=True, nbytes=len(text.encode("utf-8")))
-        return entry["payload"]
+        self._count(key, hit=True, nbytes=len(data))
+        return payload
+
+    def peek(self, key: str) -> dict | None:
+        """:meth:`get` without hit/miss accounting — for internal
+        bookkeeping probes (campaign manifests) that must not skew
+        run-level counters."""
+        validate_key(key)
+        data = self.backend.get(key)
+        return None if data is None else self._decode(key, data)
+
+    def get_many(self, keys: Iterable[str]) -> dict[str, dict]:
+        """Batched :meth:`get` — one backend round-trip where the
+        backend has a batch primitive.  Absent or damaged entries are
+        simply missing from the result (and counted as misses)."""
+        keys = [validate_key(k) for k in keys]
+        raw = self.backend.get_many(keys)
+        out: dict[str, dict] = {}
+        for key in keys:
+            data = raw.get(key)
+            payload = None if data is None else self._decode(key, data)
+            if payload is None:
+                self._count(key, hit=False)
+            else:
+                self._count(key, hit=True, nbytes=len(data))
+                out[key] = payload
+        return out
+
+    def stat_many(self, keys: Iterable[str]) -> set[str]:
+        """The subset of ``keys`` present — a batched existence probe
+        that moves no payload bytes and charges no hit/miss counters."""
+        return self.backend.stat_many([validate_key(k) for k in keys])
 
     def put(
         self, key: str, payload: dict, *, meta: dict | None = None
-    ) -> Path:
-        """Atomically persist ``payload`` under ``key``; returns the path."""
-        path = self._entry_path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        text = json.dumps(
+    ) -> Path | None:
+        """Atomically persist ``payload`` under ``key``.
+
+        Returns the entry's path on directory-backed stores, else
+        ``None`` — also ``None`` when a degraded backend dropped the
+        write (a lost entry is a future miss, never an error).
+        """
+        validate_key(key)
+        payload_bytes = json.dumps(payload, sort_keys=True).encode("utf-8")
+        header = json.dumps(
             {
                 "format": ENTRY_FORMAT,
                 "key": key,
                 "meta": meta or {},
-                "payload": payload,
+                "sum": hashlib.sha256(payload_bytes).hexdigest(),
             },
             sort_keys=True,
-        )
-        atomic_write_text(path, text)
-        self._count_write(len(text.encode("utf-8")))
+        ).encode("utf-8")
+        data = header + b"\n" + payload_bytes + b"\n"
+        path = self.backend.put(key, data)
+        self._count_write(len(data))
         return path
+
+    def get_meta(self, key: str) -> dict | None:
+        """The entry's meta block (no hit/miss accounting; ``ls`` only)."""
+        data = self.backend.get(key)
+        if data is None:
+            return None
+        head, _, _ = data.partition(b"\n")
+        try:
+            header = json.loads(head.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return None
+        meta = header.get("meta") if isinstance(header, dict) else None
+        return meta if isinstance(meta, dict) else None
 
     # -- trace-shaped convenience --------------------------------------
 
@@ -203,7 +304,7 @@ class RunCache:
         traces: dict[str, Trace],
         *,
         meta: dict | None = None,
-    ) -> Path:
+    ) -> Path | None:
         return self.put(
             key,
             {"traces": {n: _trace_to_entry(t) for n, t in traces.items()}},
@@ -212,25 +313,12 @@ class RunCache:
 
     # -- management ----------------------------------------------------
 
-    def _iter_entries(self) -> Iterator[CacheEntryInfo]:
-        if not self._version_dir.is_dir():
-            return
-        for path in sorted(self._version_dir.glob("??/*.json")):
-            try:
-                st = path.stat()
-            except OSError:
-                continue
-            yield CacheEntryInfo(
-                key=path.stem, path=path, size_bytes=st.st_size,
-                mtime=st.st_mtime,
-            )
-
     def entries(self) -> list[CacheEntryInfo]:
         """All entries, oldest first (the eviction order)."""
-        return sorted(self._iter_entries(), key=lambda e: (e.mtime, e.key))
+        return self.backend.entries()
 
     def stats(self) -> CacheStats:
-        infos = list(self._iter_entries())
+        infos = self.entries()
         return CacheStats(
             entries=len(infos),
             total_bytes=sum(e.size_bytes for e in infos),
@@ -240,37 +328,33 @@ class RunCache:
             written_bytes=self.written_bytes,
         )
 
+    def health(self) -> dict:
+        """JSON-ready backend health document (tiers, breaker states)."""
+        return self.backend.health()
+
     def clear(self) -> int:
         """Remove every entry; returns how many were removed."""
-        removed = 0
-        for info in self._iter_entries():
-            try:
-                info.path.unlink()
-                removed += 1
-            except OSError:
-                pass
-        return removed
+        return self.backend.clear()
 
-    def prune(self, max_bytes: int) -> list[str]:
+    def prune(
+        self,
+        max_bytes: int,
+        *,
+        grace_s: float = DEFAULT_PRUNE_GRACE_S,
+        now: float | None = None,
+    ) -> list[str]:
         """Evict oldest-first until the store fits ``max_bytes``.
 
-        Returns the evicted keys.  ``max_bytes=0`` empties the store.
+        Entries younger than ``grace_s`` are never evicted: a janitor
+        sweep must not race a concurrent writer's fresh ``put`` (see
+        :meth:`repro.cache.backend.CacheBackend.prune`).  Returns the
+        evicted keys; ``max_bytes=0`` empties everything old enough.
         """
-        if max_bytes < 0:
-            raise ValueError("max_bytes must be >= 0")
-        infos = self.entries()
-        total = sum(e.size_bytes for e in infos)
-        evicted: list[str] = []
-        for info in infos:
-            if total <= max_bytes:
-                break
-            try:
-                info.path.unlink()
-            except OSError:
-                continue
-            total -= info.size_bytes
-            evicted.append(info.key)
-        return evicted
+        return self.backend.prune(max_bytes, grace_s=grace_s, now=now)
+
+    def close(self) -> None:
+        """Release backend resources (connections, sockets)."""
+        self.backend.close()
 
 
 def payload_meta(**kwargs: Any) -> dict:

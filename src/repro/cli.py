@@ -503,6 +503,10 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     if result.resumed_units:
         print(f"(resumed from journal: skipped "
               f"{', '.join(result.resumed_units)})\n")
+    rate = result.cache_hit_rate
+    if rate is not None:
+        print(f"(cache: {result.cache_hits} hits, "
+              f"{result.cache_misses} misses — {100 * rate:.0f}% hit rate)\n")
     doc = result.document()
     print(doc)
     if args.output:
@@ -513,39 +517,58 @@ def cmd_campaign(args: argparse.Namespace) -> int:
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
+    import json
     from datetime import datetime
 
     from repro.cache import RunCache
 
+    if args.action == "serve":
+        return _cache_serve(args)
     store = RunCache(args.dir)
+    where = store.root if store.root is not None else store.spec
     if args.action == "stats":
         s = store.stats()
-        print(f"cache root   : {store.root}")
+        if args.json:
+            print(json.dumps({
+                "spec": store.spec,
+                "entries": s.entries,
+                "total_bytes": s.total_bytes,
+                "backend": store.health(),
+            }, indent=2, sort_keys=True))
+            return 0
+        print(f"cache root   : {where}")
         print(f"entries      : {s.entries}")
         print(f"total bytes  : {s.total_bytes:,}")
+        rows = _health_rows(store.health())
+        if rows:
+            print()
+            print(render_table(
+                ["tier", "scheme", "breaker", "ops", "errors",
+                 "timeouts", "retries", "degraded"],
+                rows, title="backends"))
         return 0
     if args.action == "ls":
         entries = store.entries()
         if not entries:
-            print(f"cache at {store.root} is empty")
+            print(f"cache at {where} is empty")
             return 0
         rows = []
         for e in entries:
-            meta = _entry_meta(e.path)
+            meta = _meta_label(store.get_meta(e.key))
             when = datetime.fromtimestamp(e.mtime).strftime("%Y-%m-%d %H:%M")
             rows.append([e.key[:12], f"{e.size_bytes:,}", when, meta])
         print(render_table(["key", "bytes", "written", "run"], rows,
-                           title=f"cache entries (oldest first): {store.root}"))
+                           title=f"cache entries (oldest first): {where}"))
         return 0
     if args.action == "clear":
         removed = store.clear()
-        print(f"removed {removed} entries from {store.root}")
+        print(f"removed {removed} entries from {where}")
         return 0
     if args.action == "prune":
         if args.max_bytes is None:
             raise SystemExit("prune needs --max-bytes")
         try:
-            evicted = store.prune(args.max_bytes)
+            evicted = store.prune(args.max_bytes, grace_s=args.grace_s)
         except ValueError as exc:
             raise SystemExit(str(exc)) from None
         s = store.stats()
@@ -555,13 +578,56 @@ def cmd_cache(args: argparse.Namespace) -> int:
     raise SystemExit(f"unknown cache action {args.action!r}")
 
 
-def _entry_meta(path) -> str:
-    """Compact ``kind scenario/tuner seed`` label from an entry's meta."""
-    import json
+def _cache_serve(args: argparse.Namespace) -> int:
+    """``repro cache serve``: expose a local store over HTTP."""
+    from repro.cache.backend import DirBackend, split_cache_url
+    from repro.cache.http_store import serve
+    from repro.cache.sqlite_store import SqliteBackend
 
+    scheme, rest, _ = split_cache_url(args.dir)
+    if scheme == "dir":
+        backend = DirBackend(rest)
+    elif scheme == "sqlite":
+        backend = SqliteBackend(rest)
+    else:
+        raise SystemExit(
+            f"cache serve needs a local store (a directory or sqlite://), "
+            f"got {args.dir!r}"
+        )
     try:
-        meta = json.loads(path.read_text(encoding="utf-8")).get("meta", {})
-    except (OSError, ValueError):
+        server = serve(backend, host=args.host, port=args.port)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    print(f"serving {backend.url} at {server.url}  (Ctrl-C to stop)",
+          flush=True)
+    try:
+        server.serve_forever()
+    finally:
+        server.shutdown()
+    return 0
+
+
+def _health_rows(doc: dict, tier: str = "-") -> list[list[str]]:
+    """Flatten a backend health document into per-tier table rows."""
+    tiers = doc.get("tiers")
+    if isinstance(tiers, dict):
+        rows: list[list[str]] = []
+        for name in ("local", "remote"):
+            sub = tiers.get(name)
+            if isinstance(sub, dict):
+                rows.extend(_health_rows(sub, tier=name))
+        return rows
+    c = doc.get("counters") or {}
+    return [[tier, str(doc.get("scheme", "?")),
+             str(doc.get("breaker", "-")),
+             str(c.get("ops", 0)), str(c.get("errors", 0)),
+             str(c.get("timeouts", 0)), str(c.get("retries", 0)),
+             str(c.get("degraded", 0))]]
+
+
+def _meta_label(meta: dict | None) -> str:
+    """Compact ``kind scenario/tuner seed`` label from an entry's meta."""
+    if not meta:
         return "?"
     parts = [str(meta[k]) for k in ("kind", "scenario", "tuner", "seed")
              if k in meta]
@@ -593,14 +659,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fixed parallelism when np is not tuned")
 
     def cache_flags(p: argparse.ArgumentParser) -> None:
-        from repro.cache import default_cache_dir
+        from repro.cache import default_cache_spec
 
         p.add_argument("--cache", default=True,
                        action=argparse.BooleanOptionalAction,
                        help="reuse/store results in the run cache "
                             "(--no-cache forces a fresh simulation)")
-        p.add_argument("--cache-dir", default=str(default_cache_dir()),
-                       metavar="DIR", help="cache root")
+        p.add_argument("--cache-dir", default=default_cache_spec(),
+                       metavar="SPEC",
+                       help="cache root: a directory, sqlite://FILE, "
+                            "or http://HOST:PORT")
 
     p_run = sub.add_parser("run", help="run one tuned transfer")
     common(p_run)
@@ -710,17 +778,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_top.set_defaults(func=cmd_top)
 
     p_cache = sub.add_parser(
-        "cache", help="inspect/clear/prune the run cache"
+        "cache", help="inspect/clear/prune/serve the run cache"
     )
     p_cache.add_argument("action",
-                         choices=("stats", "ls", "clear", "prune"))
-    from repro.cache import default_cache_dir
+                         choices=("stats", "ls", "clear", "prune", "serve"))
+    from repro.cache import DEFAULT_PRUNE_GRACE_S, default_cache_spec
 
-    p_cache.add_argument("--dir", default=str(default_cache_dir()),
-                         help="cache root")
+    p_cache.add_argument("--dir", default=default_cache_spec(),
+                         help="cache root: a directory, sqlite://FILE, "
+                              "or http://HOST:PORT")
+    p_cache.add_argument("--json", action="store_true",
+                         help="stats: emit machine-readable JSON "
+                              "(entries, bytes, per-backend health)")
     p_cache.add_argument("--max-bytes", type=int, default=None,
                          help="prune target: evict oldest entries until "
                               "the store fits this many bytes")
+    p_cache.add_argument("--grace-s", type=float,
+                         default=DEFAULT_PRUNE_GRACE_S,
+                         help="prune: never evict entries younger than "
+                              "this many seconds (concurrent-writer "
+                              "safety; 0 disables)")
+    p_cache.add_argument("--host", default="127.0.0.1",
+                         help="serve: bind address")
+    p_cache.add_argument("--port", type=int, default=8750,
+                         help="serve: TCP port (0 picks a free one)")
     p_cache.set_defaults(func=cmd_cache)
 
     return parser

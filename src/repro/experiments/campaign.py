@@ -24,7 +24,8 @@ from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
-from repro.cache.runtime import CacheSpec, activated
+from repro.cache import keys as cache_keys
+from repro.cache.runtime import CacheSpec, activated, resolve_cache
 from repro.experiments import figures
 from repro.experiments.parallel import pool_imap
 from repro.experiments.report import render_comparison, render_table
@@ -72,6 +73,21 @@ class CampaignResult:
     #: Wall seconds each computed unit took (resumed units carry the
     #: time recorded in their journal section, when present).
     unit_seconds: dict[str, float] = field(default_factory=dict)
+    #: Run-cache probes made by the computed units (resumed units did
+    #: no work, so they contribute nothing).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Per-unit ``(hits, misses)`` breakdown of the same probes.
+    unit_cache: dict[str, tuple[int, int]] = field(default_factory=dict)
+    #: The cache backend's health document (tiers, breaker states) at
+    #: campaign end; ``None`` when the campaign ran uncached.
+    backend_health: dict | None = None
+
+    @property
+    def cache_hit_rate(self) -> float | None:
+        """Hits over probes, or ``None`` when nothing was probed."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else None
 
     def document(self) -> str:
         parts = ["# Campaign report: ICPP 2016 direct-search reproduction"]
@@ -193,16 +209,77 @@ CAMPAIGN_UNITS: list[tuple[str, Callable[[CampaignScale], dict[str, str]]]] = [
 
 def _run_unit(
     task: tuple[str, CampaignScale],
-) -> tuple[str, dict[str, str], float]:
+) -> tuple[str, dict[str, str], float, list[tuple[str, bool]]]:
     """Run one named unit, timed (module-level so it pools; only the
     ``(name, scale)`` pair crosses the process boundary — unit
     callables like :func:`_switching_unit` closures are looked up here
-    and never pickled)."""
+    and never pickled).
+
+    The last element is the slice of the ambient store's key log the
+    unit produced — every ``(run key, hit?)`` it probed.  Workers
+    resolve the store from the environment :func:`run_campaign`'s
+    ``activated`` scope exported, and stores are memoized per process,
+    so the log accumulates across a worker's tasks and the per-task
+    delta is exact.
+    """
     name, scale = task
     unit = dict(CAMPAIGN_UNITS)[name]
+    store = resolve_cache(None)
+    log_start = len(store.key_log) if store is not None else 0
     t0 = time.perf_counter()
     blocks = unit(scale)
-    return name, blocks, time.perf_counter() - t0
+    elapsed = time.perf_counter() - t0
+    probed = list(store.key_log[log_start:]) if store is not None else []
+    return name, blocks, elapsed, probed
+
+
+def _manifest_key(name: str, scale: CampaignScale) -> str:
+    """Content address of one unit's key manifest.
+
+    ``run_key`` folds in the cache schema version and the engine
+    fingerprint, so manifests invalidate exactly when the run keys
+    they list do.
+    """
+    return cache_keys.run_key(
+        "campaign-manifest", {"unit": name, "scale": asdict(scale)}
+    )
+
+
+def _cache_order(
+    names: list[str], scale: CampaignScale
+) -> list[str]:
+    """Order pending units most-cached-first.
+
+    Each completed unit leaves a *manifest* entry in the cache — the
+    run keys it probed.  One batched :meth:`~RunCache.stat_many` over
+    every manifested key (a single round-trip on sqlite/HTTP backends)
+    tells us each unit's expected hit ratio; fully warm units dispatch
+    first, so they stream into the report/journal in seconds while the
+    cold, hours-long units get the pool to themselves.  Units without a
+    manifest have never completed here — certainly cold — and go last.
+    Ties keep campaign order, so the schedule is deterministic; the
+    *report* is identical regardless (sections assemble in campaign
+    order at the end).
+    """
+    store = resolve_cache(None)
+    if store is None or len(names) <= 1:
+        return list(names)
+    manifests: dict[str, list[str]] = {}
+    for name in names:
+        payload = store.peek(_manifest_key(name, scale))
+        keys = payload.get("keys") if isinstance(payload, dict) else None
+        if isinstance(keys, list) and keys:
+            manifests[name] = [k for k in keys if isinstance(k, str)]
+    every_key = sorted({k for keys in manifests.values() for k in keys})
+    present = store.stat_many(every_key) if every_key else set()
+
+    def ratio(name: str) -> float:
+        keys = manifests.get(name)
+        if not keys:
+            return -1.0
+        return sum(1 for k in keys if k in present) / len(keys)
+
+    return sorted(names, key=lambda n: -ratio(n))
 
 
 def run_campaign(
@@ -235,6 +312,13 @@ def run_campaign(
     the same report blocks (and is journaled identically) whether its
     traces came from the engine or from disk; journal resume composes
     with the cache at unit granularity on top.
+
+    Cached campaigns are also *cache-aware*: each completed unit leaves
+    a key manifest behind, and the next campaign stats every manifested
+    key in one batched probe to dispatch the warmest units first.
+    Probe totals land in :attr:`CampaignResult.cache_hits` /
+    ``cache_misses`` / ``unit_cache`` and the backend's closing health
+    document in :attr:`CampaignResult.backend_health`.
     """
     scale = scale if scale is not None else CampaignScale.full()
     with activated(cache):
@@ -249,6 +333,7 @@ def _run_campaign_body(
 ) -> CampaignResult:
     out = CampaignResult()
     unit_blocks: dict[str, dict[str, str]] = {}
+    store = resolve_cache(None)
 
     def merge(name: str, blocks: dict[str, str],
               elapsed_s: float | None) -> None:
@@ -260,10 +345,32 @@ def _run_campaign_body(
                     "repro_campaign_unit_seconds", unit=name
                 ).set(float(elapsed_s))
 
+    def account(name: str, probed: list[tuple[str, bool]]) -> None:
+        """Fold a computed unit's probe log into the result and leave
+        its manifest behind for the next campaign's ordering pass."""
+        hits = sum(1 for _, hit in probed if hit)
+        out.cache_hits += hits
+        out.cache_misses += len(probed) - hits
+        out.unit_cache[name] = (hits, len(probed) - hits)
+        if store is not None and probed:
+            manifest = {"keys": sorted({k for k, _ in probed})}
+            mkey = _manifest_key(name, scale)
+            # Warm reruns probe the same keys — skip the rewrite (and
+            # its fsync) when the manifest on disk already matches.
+            if store.peek(mkey) != manifest:
+                store.put(
+                    mkey, manifest,
+                    meta={"kind": "campaign-manifest", "unit": name},
+                )
+
     if journal_path is None:
-        tasks = [(name, scale) for name, _ in CAMPAIGN_UNITS]
-        for name, blocks, elapsed in pool_imap(_run_unit, tasks, jobs=jobs):
+        ordered = _cache_order([name for name, _ in CAMPAIGN_UNITS], scale)
+        tasks = [(name, scale) for name in ordered]
+        for name, blocks, elapsed, probed in pool_imap(
+            _run_unit, tasks, jobs=jobs
+        ):
             merge(name, blocks, elapsed)
+            account(name, probed)
     else:
         from repro.checkpoint.journal import JournalWriter, read_journal
 
@@ -290,10 +397,12 @@ def _run_campaign_body(
                     merge(name, done[name]["blocks"],
                           done[name].get("elapsed_s"))
                     out.resumed_units.append(name)
-            pending = [(name, scale) for name, _ in CAMPAIGN_UNITS
-                       if name not in done]
-            for name, blocks, elapsed in pool_imap(
-                _run_unit, pending, jobs=jobs
+            pending = _cache_order(
+                [name for name, _ in CAMPAIGN_UNITS if name not in done],
+                scale,
+            )
+            for name, blocks, elapsed, probed in pool_imap(
+                _run_unit, [(name, scale) for name in pending], jobs=jobs
             ):
                 # Journaled only after the worker result is in hand —
                 # a unit is either durably complete or recomputed.
@@ -301,7 +410,10 @@ def _run_campaign_body(
                     name, {"blocks": blocks, "elapsed_s": elapsed}
                 )
                 merge(name, blocks, elapsed)
+                account(name, probed)
             writer.write_end()
+    if store is not None:
+        out.backend_health = store.health()
     for name, _ in CAMPAIGN_UNITS:
         out.sections.update(unit_blocks[name])
     return out

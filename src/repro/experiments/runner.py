@@ -39,11 +39,14 @@ def _cache_get(
     key: str | None,
     obs: "Instrumentation | None" = None,
 ) -> dict[str, Trace] | None:
-    """One cache probe: bind metrics, fetch, replay telemetry on a hit."""
+    """One cache probe: bind telemetry, fetch, replay events on a hit."""
     if store is None or key is None:
         return None
     if obs is not None and obs.metrics is not None:
         store.bind_metrics(obs.metrics)
+    if obs is not None and obs.active:
+        # Backend degradations/breaker trips surface on the run's bus.
+        store.bind_bus(obs.bus)
     traces = store.get_traces(key)
     if traces is not None:
         replay_traces(obs, traces)

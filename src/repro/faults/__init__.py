@@ -25,6 +25,7 @@ observation is never fed to a tuner as genuine throughput.
 """
 
 from repro.faults.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.faults.corrupt import CORRUPTION_KINDS, corrupt_bytes
 from repro.faults.errors import EpochFault, FaultError, SessionAborted
 from repro.faults.events import (
     BLACKOUT,
@@ -73,4 +74,7 @@ __all__ = [
     # safe defaults
     "SAFE_DEFAULT_NC",
     "SAFE_DEFAULT_NP",
+    # corruption fuzzer
+    "CORRUPTION_KINDS",
+    "corrupt_bytes",
 ]

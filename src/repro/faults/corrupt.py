@@ -1,0 +1,63 @@
+"""Seeded byte-corruption fuzzer shared by cache and checkpoint tests.
+
+Durability claims ("damage degrades to a miss", "a torn journal tail is
+dropped, never trusted") are only as good as the damage models used to
+test them.  This module is that model: three corruption kinds, each
+driven by a caller-supplied ``numpy`` Generator so every mangled byte
+string is replayable from a seed.
+
+* ``flip``     — flip 1..8 random bits in place (bit rot, bad RAM, a
+  partial sector rewrite);
+* ``truncate`` — drop a random non-zero suffix (torn write, crash
+  mid-append, short read);
+* ``garbage``  — append 1..64 random bytes (a write that landed after
+  the logical end, interleaved writers without atomic rename).
+
+The chaos backend wrapper reuses the same kinds for its torn-write and
+payload-corruption injections, so the property tests and the chaos
+suite exercise identical damage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CORRUPTION_KINDS", "corrupt_bytes"]
+
+#: The damage vocabulary, in the order tests parametrize over it.
+CORRUPTION_KINDS = ("flip", "truncate", "garbage")
+
+
+def corrupt_bytes(
+    data: bytes, *, kind: str, rng: np.random.Generator
+) -> bytes:
+    """Return a damaged copy of ``data``; never a byte-equal one.
+
+    Deterministic given (``data``, ``kind``, generator state).  Empty
+    input is handled per kind: flips and truncation have nothing to
+    chew on and fall through to garbage-append, which always changes
+    the value.
+    """
+    if kind not in CORRUPTION_KINDS:
+        raise ValueError(
+            f"unknown corruption kind {kind!r}; use one of "
+            f"{CORRUPTION_KINDS}"
+        )
+    if kind == "flip" and data:
+        buf = bytearray(data)
+        nbits = int(rng.integers(1, 9))
+        for _ in range(nbits):
+            pos = int(rng.integers(0, len(buf)))
+            buf[pos] ^= 1 << int(rng.integers(0, 8))
+        if bytes(buf) != data:
+            return bytes(buf)
+        # All flips cancelled out (same bit twice) — force one more.
+        buf[0] ^= 0x01
+        return bytes(buf)
+    if kind == "truncate" and data:
+        keep = int(rng.integers(0, len(data)))
+        return data[:keep]
+    # "garbage", or a degenerate empty input for the other kinds.
+    extra = rng.integers(0, 256, size=int(rng.integers(1, 65)),
+                         dtype=np.uint8)
+    return data + extra.tobytes()

@@ -12,6 +12,8 @@ from repro.obs.clock import Clock, FakeClock, WallClock
 from repro.obs.events import (
     EVENT_TYPES,
     BreakerTransition,
+    CacheBackendDegraded,
+    CacheBreakerTransition,
     EpochEnd,
     EpochStart,
     Event,
@@ -66,7 +68,8 @@ __all__ = [
     # events
     "Event", "EpochStart", "EpochEnd", "TunerProposal", "TunerAccept",
     "TunerReject", "FaultInjected", "RetryAttempt", "BreakerTransition",
-    "SnapshotWritten", "MonitorTrip", "EVENT_TYPES", "event_from_dict",
+    "SnapshotWritten", "MonitorTrip", "CacheBackendDegraded",
+    "CacheBreakerTransition", "EVENT_TYPES", "event_from_dict",
     "events_from_records",
     # exporters
     "JsonlEventLog", "read_event_log", "write_prometheus",

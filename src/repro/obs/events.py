@@ -171,13 +171,42 @@ class MonitorTrip(Event):
     value: float
 
 
+@dataclass(frozen=True, slots=True, kw_only=True)
+class CacheBackendDegraded(Event):
+    """A cache backend operation was absorbed into its miss-shaped
+    default (after retries, or instantly while the breaker is open).
+
+    Telemetry about the *infrastructure*, not the run: these events are
+    stamped with the resilience layer's clock and are deliberately
+    outside the deterministic replay contract — a healthy backend emits
+    none, and :func:`events_from_records` never reconstructs them.
+    """
+
+    kind: ClassVar[str] = "cache-backend-degraded"
+
+    backend: str
+    op: str
+    reason: str
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class CacheBreakerTransition(Event):
+    """A cache backend's circuit breaker changed state."""
+
+    kind: ClassVar[str] = "cache-breaker-transition"
+
+    backend: str
+    old: str
+    new: str
+
+
 #: kind tag -> event class, for deserialization and kind filters.
 EVENT_TYPES: dict[str, type[Event]] = {
     cls.kind: cls
     for cls in (
         EpochStart, EpochEnd, TunerProposal, TunerAccept, TunerReject,
         FaultInjected, RetryAttempt, BreakerTransition, SnapshotWritten,
-        MonitorTrip,
+        MonitorTrip, CacheBackendDegraded, CacheBreakerTransition,
     )
 }
 

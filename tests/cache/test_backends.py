@@ -1,0 +1,299 @@
+"""Backend contract: every byte store honors the same semantics.
+
+One parametrized suite over dir / memory / sqlite / http (the latter
+backed by a live in-process :class:`CacheServer`), plus backend-specific
+corners: URL resolution, sqlite concurrency, the HTTP wire protocol,
+and the prune grace period that keeps a janitor from racing a
+concurrent writer.
+"""
+
+import hashlib
+import threading
+
+import pytest
+
+from repro.cache.backend import (
+    DEFAULT_PRUNE_GRACE_S,
+    DirBackend,
+    MemoryBackend,
+    backend_from_url,
+    split_cache_url,
+)
+from repro.cache.http_store import CacheServer, HttpBackend
+from repro.cache.resilience import ResilientBackend, TieredBackend
+from repro.cache.sqlite_store import SqliteBackend
+
+
+def _key(tag: str) -> str:
+    return hashlib.sha256(tag.encode()).hexdigest()
+
+
+BACKENDS = ("dir", "memory", "sqlite", "http")
+
+
+@pytest.fixture
+def backend(request, tmp_path):
+    kind = request.param
+    if kind == "dir":
+        yield DirBackend(tmp_path / "store")
+    elif kind == "memory":
+        yield MemoryBackend()
+    elif kind == "sqlite":
+        b = SqliteBackend(tmp_path / "cache.db")
+        yield b
+        b.close()
+    elif kind == "http":
+        with CacheServer(DirBackend(tmp_path / "served")) as server:
+            client = HttpBackend(server.url)
+            yield client
+            client.close()
+    else:  # pragma: no cover - parametrization error
+        raise AssertionError(kind)
+
+
+@pytest.mark.parametrize("backend", BACKENDS, indirect=True)
+class TestContract:
+    def test_get_put_round_trip(self, backend):
+        key = _key("a")
+        assert backend.get(key) is None
+        backend.put(key, b"payload-bytes")
+        assert backend.get(key) == b"payload-bytes"
+
+    def test_put_overwrites(self, backend):
+        key = _key("o")
+        backend.put(key, b"v1")
+        backend.put(key, b"v2")
+        assert backend.get(key) == b"v2"
+
+    def test_put_if_absent(self, backend):
+        key = _key("pia")
+        assert backend.put_if_absent(key, b"first") is True
+        assert backend.put_if_absent(key, b"second") is False
+        assert backend.get(key) == b"first"
+
+    def test_stat(self, backend):
+        key = _key("s")
+        assert backend.stat(key) is None
+        backend.put(key, b"12345")
+        info = backend.stat(key)
+        assert info is not None
+        assert info.key == key
+        assert info.size_bytes == 5
+
+    def test_stat_many_is_the_present_subset(self, backend):
+        present = [_key(f"p{i}") for i in range(3)]
+        absent = [_key(f"a{i}") for i in range(2)]
+        for k in present:
+            backend.put(k, b"x")
+        assert backend.stat_many(present + absent) == set(present)
+        assert backend.stat_many([]) == set()
+
+    def test_get_many(self, backend):
+        keys = [_key(f"g{i}") for i in range(3)]
+        for i, k in enumerate(keys[:2]):
+            backend.put(k, f"v{i}".encode())
+        out = backend.get_many(keys)
+        assert out == {keys[0]: b"v0", keys[1]: b"v1"}
+
+    def test_delete(self, backend):
+        key = _key("d")
+        backend.put(key, b"x")
+        assert backend.delete(key) is True
+        assert backend.delete(key) is False
+        assert backend.get(key) is None
+
+    def test_entries_and_clear(self, backend):
+        keys = {_key(f"e{i}") for i in range(4)}
+        for k in keys:
+            backend.put(k, b"data")
+        assert {e.key for e in backend.entries()} == keys
+        assert backend.clear() == 4
+        assert backend.entries() == []
+
+    def test_prune_zero_with_no_grace_empties(self, backend):
+        for i in range(3):
+            backend.put(_key(f"pr{i}"), b"data")
+        evicted = backend.prune(0, grace_s=0.0)
+        assert len(evicted) == 3
+        assert backend.entries() == []
+
+    def test_prune_rejects_negative(self, backend):
+        with pytest.raises(ValueError):
+            backend.prune(-1)
+
+    def test_health_is_json_shaped(self, backend):
+        doc = backend.health()
+        assert isinstance(doc, dict)
+        assert doc["scheme"] == backend.scheme
+
+
+class TestPruneGrace:
+    """Satellite: a janitor sweep must not evict a concurrent writer's
+    fresh entries (the put-then-read-back race)."""
+
+    def test_fresh_entries_survive_prune_zero(self, tmp_path):
+        backend = DirBackend(tmp_path / "store")
+        key = _key("fresh")
+        backend.put(key, b"just written")
+        assert backend.prune(0) == []           # default grace
+        assert backend.get(key) == b"just written"
+
+    def test_old_entries_evicted_young_kept(self, tmp_path):
+        import os
+
+        backend = DirBackend(tmp_path / "store")
+        old, young = _key("old"), _key("young")
+        old_path = backend.put(old, b"x" * 100)
+        os.utime(old_path, (1000.0, 1000.0))
+        backend.put(young, b"y" * 100)
+        evicted = backend.prune(0)
+        assert evicted == [old]
+        assert backend.get(young) is not None
+
+    def test_grace_zero_restores_eager_eviction(self, tmp_path):
+        backend = DirBackend(tmp_path / "store")
+        backend.put(_key("f"), b"data")
+        assert len(backend.prune(0, grace_s=0.0)) == 1
+
+    def test_sqlite_grace(self, tmp_path):
+        backend = SqliteBackend(tmp_path / "c.db")
+        backend._now = lambda: 1000.0
+        old = _key("old")
+        backend.put(old, b"x")
+        backend._now = lambda: 2000.0
+        young = _key("young")
+        backend.put(young, b"y")
+        evicted = backend.prune(
+            0, grace_s=DEFAULT_PRUNE_GRACE_S, now=2000.0
+        )
+        assert evicted == [old]
+        assert backend.get(young) == b"y"
+        backend.close()
+
+    def test_concurrent_writer_never_loses_fresh_entries(self, tmp_path):
+        """A writer thread racing a pruning janitor: every entry the
+        writer just put must still be readable afterwards."""
+        backend = DirBackend(tmp_path / "store")
+        keys = [_key(f"w{i}") for i in range(50)]
+        errors = []
+
+        def janitor():
+            try:
+                for _ in range(25):
+                    backend.prune(0)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        t = threading.Thread(target=janitor)
+        t.start()
+        for k in keys:
+            backend.put(k, b"fresh")
+        t.join()
+        assert errors == []
+        for k in keys:
+            assert backend.get(k) == b"fresh"
+
+
+class TestUrlResolution:
+    def test_split_plain_path(self):
+        assert split_cache_url("/tmp/x") == ("dir", "/tmp/x", {})
+
+    def test_split_scheme_and_params(self):
+        assert split_cache_url("http://h:1?local=/tmp/t") == (
+            "http", "h:1", {"local": "/tmp/t"}
+        )
+
+    def test_dir_spec_builds_resilient_dir(self, tmp_path):
+        b = backend_from_url(str(tmp_path / "c"))
+        assert isinstance(b, ResilientBackend)
+        assert isinstance(b.inner, DirBackend)
+        assert b.scheme == "dir"
+
+    def test_sqlite_spec(self, tmp_path):
+        b = backend_from_url(f"sqlite://{tmp_path / 'c.db'}")
+        assert isinstance(b, ResilientBackend)
+        assert isinstance(b.inner, SqliteBackend)
+        b.close()
+
+    def test_http_spec_is_tiered_with_memory_local(self):
+        b = backend_from_url("http://127.0.0.1:1")
+        assert isinstance(b, TieredBackend)
+        assert isinstance(b.remote.inner, HttpBackend)
+        assert isinstance(b.local.inner, MemoryBackend)
+
+    def test_http_local_param_uses_dir_tier(self, tmp_path):
+        b = backend_from_url(f"http://127.0.0.1:1?local={tmp_path / 'l'}")
+        assert isinstance(b.local.inner, DirBackend)
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError, match="unknown cache backend"):
+            backend_from_url("ftp://nope")
+
+
+class TestSqliteBackend:
+    def test_concurrent_put_if_absent_single_winner(self, tmp_path):
+        backend = SqliteBackend(tmp_path / "c.db")
+        key = _key("race")
+        wins = []
+        barrier = threading.Barrier(4)
+
+        def writer(i):
+            barrier.wait()
+            if backend.put_if_absent(key, f"writer-{i}".encode()):
+                wins.append(i)
+
+        threads = [threading.Thread(target=writer, args=(i,))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(wins) == 1
+        assert backend.get(key) == f"writer-{wins[0]}".encode()
+        backend.close()
+
+    def test_batched_ops_chunk_over_many_keys(self, tmp_path):
+        backend = SqliteBackend(tmp_path / "c.db")
+        keys = [_key(f"k{i}") for i in range(450)]  # > one IN-chunk
+        for k in keys[:420]:
+            backend.put(k, b"v")
+        assert backend.stat_many(keys) == set(keys[:420])
+        assert set(backend.get_many(keys)) == set(keys[:420])
+        backend.close()
+
+
+class TestHttpProtocol:
+    @pytest.fixture
+    def served(self, tmp_path):
+        with CacheServer(DirBackend(tmp_path / "served")) as server:
+            client = HttpBackend(server.url)
+            yield client, server
+            client.close()
+
+    def test_health_round_trip(self, served):
+        client, _ = served
+        doc = client.health()
+        assert doc["scheme"] == "http"
+        assert isinstance(doc.get("server"), dict)
+        assert doc["server"]["scheme"] == "dir"
+
+    def test_prune_and_clear_over_the_wire(self, served):
+        client, _ = served
+        for i in range(3):
+            client.put(_key(f"h{i}"), b"data")
+        assert client.prune(0, grace_s=0.0) != []
+        client.put(_key("again"), b"x")
+        assert client.clear() >= 1
+
+    def test_server_prune_applies_grace(self, served):
+        client, _ = served
+        client.put(_key("fresh"), b"x")
+        assert client.prune(0) == []  # default grace: fresh entry kept
+
+    def test_unknown_path_is_an_error_not_a_miss(self, served):
+        client, server = served
+        import urllib.error
+        import urllib.request
+
+        with pytest.raises(urllib.error.HTTPError):
+            urllib.request.urlopen(server.url + "/v1/nope")

@@ -1,0 +1,109 @@
+"""Campaign cache-awareness: hit accounting, manifests, warm-first order."""
+
+import pytest
+
+from repro.cache import RunCache
+from repro.cache.runtime import activated
+from repro.core.registry import make_tuner
+from repro.experiments import campaign as campaign_mod
+from repro.experiments.campaign import (
+    CampaignScale,
+    _cache_order,
+    _manifest_key,
+    run_campaign,
+)
+from repro.experiments.runner import run_single
+from repro.experiments.scenarios import ANL_UC
+
+SCALE = CampaignScale(duration_s=120.0, fig1_duration_s=120.0,
+                      fig1_reps=1, seed=0)
+
+
+def _unit(tag: str, seed_offset: int = 0):
+    def unit(scale):
+        trace = run_single(
+            ANL_UC, make_tuner("cd", scale.seed),
+            duration_s=scale.duration_s, seed=scale.seed + seed_offset,
+        )
+        return {f"sec-{tag}": f"{trace.epochs[-1].observed:.3f}"}
+
+    return unit
+
+
+@pytest.fixture
+def store(tmp_path):
+    return RunCache(tmp_path / "campaign-cache")
+
+
+@pytest.fixture
+def two_units(monkeypatch):
+    units = [("unit-a", _unit("a", 0)), ("unit-b", _unit("b", 1))]
+    monkeypatch.setattr(campaign_mod, "CAMPAIGN_UNITS", units)
+    return units
+
+
+class TestHitAccounting:
+    def test_cold_then_warm(self, store, two_units):
+        cold = run_campaign(SCALE, cache=store)
+        assert cold.cache_hits == 0
+        assert cold.cache_misses == 2
+        assert cold.cache_hit_rate == 0.0
+        assert cold.unit_cache == {"unit-a": (0, 1), "unit-b": (0, 1)}
+        assert cold.backend_health is not None
+        assert cold.backend_health["scheme"] == "dir"
+
+        warm = run_campaign(SCALE, cache=store)
+        assert warm.cache_hits == 2
+        assert warm.cache_misses == 0
+        assert warm.cache_hit_rate == 1.0
+        assert warm.document() == cold.document()
+
+    def test_uncached_campaign_reports_nothing(self, two_units):
+        result = run_campaign(SCALE, cache=False)
+        assert result.cache_hit_rate is None
+        assert result.backend_health is None
+        assert result.unit_cache == {"unit-a": (0, 0), "unit-b": (0, 0)}
+
+    def test_manifests_are_written(self, store, two_units):
+        run_campaign(SCALE, cache=store)
+        for name in ("unit-a", "unit-b"):
+            manifest = store.peek(_manifest_key(name, SCALE))
+            assert manifest is not None
+            assert len(manifest["keys"]) == 1
+
+    def test_manifest_probes_do_not_skew_counters(self, store, two_units):
+        run_campaign(SCALE, cache=store)
+        warm = run_campaign(SCALE, cache=store)
+        # Exactly one probe per unit — the ordering pass (peek +
+        # stat_many) charges no hit/miss counters.
+        assert warm.cache_hits + warm.cache_misses == 2
+
+
+class TestWarmFirstOrder:
+    def test_warm_unit_dispatches_first(self, store, monkeypatch):
+        # Warm only unit-b, then ask for the order of [a, b].
+        monkeypatch.setattr(campaign_mod, "CAMPAIGN_UNITS",
+                            [("unit-b", _unit("b", 1))])
+        run_campaign(SCALE, cache=store)
+        with activated(store):
+            assert _cache_order(["unit-a", "unit-b"], SCALE) == [
+                "unit-b", "unit-a"
+            ]
+
+    def test_uncached_order_is_campaign_order(self):
+        assert _cache_order(["x", "y"], SCALE) == ["x", "y"]
+
+    def test_all_cold_keeps_campaign_order(self, store):
+        with activated(store):
+            assert _cache_order(["x", "y", "z"], SCALE) == ["x", "y", "z"]
+
+
+class TestJournalComposition:
+    def test_resumed_units_contribute_no_probes(self, store, two_units,
+                                                tmp_path):
+        journal = tmp_path / "c.jnl"
+        run_campaign(SCALE, journal_path=journal, cache=store)
+        resumed = run_campaign(SCALE, journal_path=journal, cache=store)
+        assert resumed.resumed_units == ["unit-a", "unit-b"]
+        assert resumed.cache_hits == 0 and resumed.cache_misses == 0
+        assert resumed.cache_hit_rate is None

@@ -1,0 +1,165 @@
+"""Seeded backend chaos: the armor holds at a 30% fault rate.
+
+The acceptance bar for the backend layer: run real experiments through
+``Resilient(Faulty(real))`` with 30% of every fault class injected —
+errors, latency draws, read corruption, torn writes — and require zero
+crashes, zero hangs, and hits that stay bit-identical to an uncached
+reference, epochs AND steps.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.cache import RunCache
+from repro.cache.backend import DirBackend, MemoryBackend
+from repro.cache.chaos import BackendFault, ChaosPolicy, FaultyBackend
+from repro.cache.resilience import BackendPolicy, ResilientBackend
+from repro.core.registry import make_tuner
+from repro.experiments.runner import run_single
+from repro.experiments.scenarios import ANL_UC
+
+DURATION = 240.0
+
+
+def _key(tag: str) -> str:
+    return hashlib.sha256(tag.encode()).hexdigest()
+
+
+def _chaos_store(tmp_path, seed: int, rate: float = 0.3) -> RunCache:
+    faulty = FaultyBackend(
+        DirBackend(tmp_path / "chaos-store"),
+        ChaosPolicy.storm(seed, rate=rate),
+    )
+    return RunCache(
+        spec=str(tmp_path / "chaos-store"),
+        backend=ResilientBackend(faulty, policy=BackendPolicy.fast_test()),
+    )
+
+
+def _traces_equal(a, b) -> bool:
+    return (a.label == b.label and a.epochs == b.epochs
+            and a.steps == b.steps)
+
+
+class TestDeterminism:
+    def _drive(self, seed: int):
+        backend = FaultyBackend(MemoryBackend(), ChaosPolicy.storm(seed))
+        results = []
+        for i in range(40):
+            key = _key(f"k{i % 7}")
+            try:
+                if i % 3 == 0:
+                    backend.put(key, f"payload-{i}".encode())
+                    results.append(("put", True))
+                else:
+                    results.append(("get", backend.get(key)))
+            except BackendFault:
+                results.append(("fault", None))
+        return results, backend.counts.as_dict()
+
+    def test_same_seed_same_injection(self):
+        r1, c1 = self._drive(7)
+        r2, c2 = self._drive(7)
+        assert r1 == r2
+        assert c1 == c2
+
+    def test_different_seed_different_injection(self):
+        _, c1 = self._drive(7)
+        _, c2 = self._drive(8)
+        assert c1 != c2
+
+    def test_storm_actually_injects(self):
+        _, counts = self._drive(3)
+        assert counts["errors"] > 0
+        assert counts["ops"] == 40
+
+    def test_policy_validates_rates(self):
+        with pytest.raises(ValueError):
+            ChaosPolicy(error_rate=1.5)
+        with pytest.raises(ValueError):
+            ChaosPolicy(latency_s=-1.0)
+
+
+class TestDamageDegrades:
+    def test_certain_corruption_is_always_a_miss(self, tmp_path):
+        store = RunCache(
+            spec=str(tmp_path),
+            backend=ResilientBackend(
+                FaultyBackend(
+                    DirBackend(tmp_path / "s"),
+                    ChaosPolicy(seed=1, corrupt_rate=1.0),
+                ),
+                policy=BackendPolicy.fast_test(),
+            ),
+        )
+        key = _key("c")
+        store.put(key, {"v": 1})
+        for _ in range(5):
+            # The contract is "never wrong data": a damaged read is a
+            # miss; damage that left the payload intact may still hit.
+            assert store.get(key) in (None, {"v": 1})
+        assert store.misses >= 1
+
+    def test_torn_write_is_discovered_on_read(self, tmp_path):
+        inner = DirBackend(tmp_path / "s")
+        store = RunCache(
+            spec=str(tmp_path),
+            backend=ResilientBackend(
+                FaultyBackend(inner, ChaosPolicy(seed=1, torn_rate=1.0)),
+                policy=BackendPolicy.fast_test(),
+            ),
+        )
+        key = _key("torn")
+        store.put(key, {"v": 1})           # "succeeds", bytes are damaged
+        assert inner.get(key) is not None  # something landed on disk
+        assert store.get(key) is None      # ... and reads as a miss
+
+
+class TestChaosStorm:
+    """The acceptance scenario, sized for the unit suite (the CI chaos
+    job runs the campaign-scale version from tests/integration)."""
+
+    @pytest.mark.parametrize("chaos_seed", [0, 1])
+    def test_runs_survive_and_hits_stay_bit_identical(
+        self, tmp_path, chaos_seed
+    ):
+        store = _chaos_store(tmp_path, chaos_seed)
+        kw = dict(duration_s=DURATION, seed=3)
+        fresh = run_single(ANL_UC, make_tuner("nm", 3), cache=False, **kw)
+        for _ in range(6):
+            got = run_single(
+                ANL_UC, make_tuner("nm", 3), cache=store, **kw
+            )
+            assert _traces_equal(got, fresh)
+        # At 30% injection across 6 cached attempts something must have
+        # misbehaved — and been absorbed.
+        faulty = store.backend.inner
+        assert faulty.counts.errors + faulty.counts.corruptions \
+            + faulty.counts.torn_writes > 0
+
+    def test_total_outage_still_produces_correct_results(self, tmp_path):
+        store = _chaos_store(tmp_path, seed=0, rate=1.0)
+        kw = dict(duration_s=DURATION, seed=4)
+        fresh = run_single(ANL_UC, make_tuner("cd", 4), cache=False, **kw)
+        for _ in range(3):
+            got = run_single(ANL_UC, make_tuner("cd", 4), cache=store, **kw)
+            assert _traces_equal(got, fresh)
+        assert store.backend.counters.degraded > 0
+        assert store.backend.breaker.opens >= 1
+
+    def test_breaker_recovers_when_chaos_ends(self, tmp_path):
+        store = _chaos_store(tmp_path, seed=0, rate=1.0)
+        key = _key("r")
+        # Trip the breaker on a dead backend.
+        for _ in range(5):
+            store.get(key)
+        assert store.backend.breaker.opens >= 1
+        # Chaos ends: swap in a calm policy, drive ops until the
+        # half-open probe closes the breaker.
+        store.backend.inner.policy = ChaosPolicy(seed=0)
+        for _ in range(store.backend.policy.cooldown_ops + 2):
+            store.get(key)
+        assert store.backend.breaker.state == "closed"
+        store.put(key, {"v": 1})
+        assert store.get(key) == {"v": 1}

@@ -89,9 +89,17 @@ class TestCacheSubcommand:
         self._populate(cache_dir)
         capsys.readouterr()
         assert main(["cache", "prune", "--dir", str(cache_dir),
-                     "--max-bytes", "0"]) == 0
+                     "--max-bytes", "0", "--grace-s", "0"]) == 0
         assert "evicted 1 entries" in capsys.readouterr().out
         assert RunCache(cache_dir).stats().entries == 0
+
+    def test_prune_grace_protects_fresh_entries(self, cache_dir, capsys):
+        self._populate(cache_dir)
+        capsys.readouterr()
+        assert main(["cache", "prune", "--dir", str(cache_dir),
+                     "--max-bytes", "0"]) == 0
+        assert "evicted 0 entries" in capsys.readouterr().out
+        assert RunCache(cache_dir).stats().entries == 1
 
     def test_prune_negative_rejected(self, cache_dir):
         with pytest.raises(SystemExit):

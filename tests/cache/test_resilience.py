@@ -1,0 +1,304 @@
+"""The never-raise armor: timeouts, retry/backoff, breaker, tiering.
+
+Everything here runs on :meth:`BackendPolicy.fast_test` (no deadline,
+zero backoff) with a :class:`FakeClock`, so retry and breaker schedules
+are asserted exactly — except the one real-thread timeout test at the
+bottom, which proves the deadline actually fires.
+"""
+
+import hashlib
+import time
+
+import pytest
+
+from repro.cache.backend import MemoryBackend
+from repro.cache.resilience import (
+    BackendPolicy,
+    BackendTimeout,
+    ResilientBackend,
+    TieredBackend,
+)
+from repro.faults.breaker import CLOSED, HALF_OPEN, OPEN
+from repro.obs.bus import EventBus
+from repro.obs.clock import FakeClock
+from repro.obs.metrics import MetricsRegistry
+
+
+def _key(tag: str) -> str:
+    return hashlib.sha256(tag.encode()).hexdigest()
+
+
+class ScriptedBackend(MemoryBackend):
+    """A memory store that fails the next ``fail_next`` operations
+    (every op type), counting how often the inner store was reached."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.fail_next = 0
+        self.calls = 0
+
+    def _gate(self) -> None:
+        self.calls += 1
+        if self.fail_next > 0:
+            self.fail_next -= 1
+            raise RuntimeError("scripted failure")
+
+    def get(self, key):
+        self._gate()
+        return super().get(key)
+
+    def put(self, key, data):
+        self._gate()
+        return super().put(key, data)
+
+    def stat(self, key):
+        self._gate()
+        return super().stat(key)
+
+    def entries(self):
+        self._gate()
+        return super().entries()
+
+    def delete(self, key):
+        self._gate()
+        return super().delete(key)
+
+
+def _armored(
+    inner=None, **policy_kw
+) -> tuple[ResilientBackend, ScriptedBackend, FakeClock]:
+    inner = inner if inner is not None else ScriptedBackend()
+    base = BackendPolicy.fast_test()
+    policy = BackendPolicy(**{**base.__dict__, **policy_kw})
+    clock = FakeClock()
+    return ResilientBackend(inner, policy=policy, clock=clock), inner, clock
+
+
+class TestPolicy:
+    def test_backoff_is_deterministic_and_capped(self):
+        p = BackendPolicy(base_backoff_s=0.02, backoff_factor=2.0,
+                          max_backoff_s=0.05)
+        assert p.backoff_s(0) == 0.02
+        assert p.backoff_s(1) == 0.04
+        assert p.backoff_s(2) == 0.05  # capped
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackendPolicy(timeout_s=0)
+        with pytest.raises(ValueError):
+            BackendPolicy(retries=-1)
+        with pytest.raises(ValueError):
+            BackendPolicy(failure_threshold=0)
+
+
+class TestRetry:
+    def test_transient_failure_is_retried_away(self):
+        backend, inner, clock = _armored(retries=2, base_backoff_s=0.01,
+                                         max_backoff_s=0.01)
+        key = _key("t")
+        backend.put(key, b"v")
+        inner.fail_next = 1
+        assert backend.get(key) == b"v"
+        assert backend.counters.retries == 1
+        assert backend.counters.errors == 1
+        assert backend.counters.degraded == 0
+        assert clock.sleeps == [0.01]
+
+    def test_exhausted_retries_degrade_to_default(self):
+        backend, inner, _ = _armored(retries=2)
+        inner.fail_next = 3  # all attempts of one op
+        key = _key("x")
+        backend.put(key, b"v")  # op 1: fails 3x -> dropped write
+        assert backend.counters.degraded == 1
+        assert super(ScriptedBackend, inner).get(key) is None
+
+    def test_each_op_kind_has_a_miss_shaped_default(self):
+        backend, inner, _ = _armored(retries=0, failure_threshold=100)
+        inner.fail_next = 10**6  # everything fails, forever
+        key = _key("d")
+        assert backend.get(key) is None
+        assert backend.get_many([key]) == {}
+        assert backend.put(key, b"v") is None
+        assert backend.put_if_absent(key, b"v") is False
+        assert backend.stat(key) is None
+        assert backend.stat_many([key]) == set()
+        assert backend.entries() == []
+        assert backend.delete(key) is False
+        assert backend.clear() == 0
+        assert backend.prune(0, grace_s=0.0) == []
+
+    def test_empty_batches_never_reach_the_backend(self):
+        backend, inner, _ = _armored()
+        assert backend.get_many([]) == {}
+        assert backend.stat_many([]) == set()
+        assert backend.counters.ops == 0
+
+
+class TestBreaker:
+    def test_open_half_open_closed_schedule(self):
+        backend, inner, _ = _armored(
+            retries=0, failure_threshold=3, cooldown_ops=2
+        )
+        key = _key("b")
+        inner.fail_next = 3
+        for _ in range(3):          # three failed ops trip the breaker
+            assert backend.get(key) is None
+        assert backend.breaker.state == OPEN
+        assert backend.breaker.opens == 1
+
+        calls = inner.calls
+        for _ in range(2):          # cooldown: served instantly, no I/O
+            assert backend.get(key) is None
+        assert inner.calls == calls
+        assert backend.breaker.state == HALF_OPEN
+
+        backend.put(key, b"v")      # the probe op: inner healthy again
+        assert backend.breaker.state == CLOSED
+        assert backend.get(key) == b"v"
+
+    def test_failed_probe_reopens(self):
+        backend, inner, _ = _armored(
+            retries=0, failure_threshold=2, cooldown_ops=1
+        )
+        key = _key("p")
+        inner.fail_next = 2
+        backend.get(key)
+        backend.get(key)
+        assert backend.breaker.state == OPEN
+        backend.get(key)            # cooldown tick -> half-open
+        assert backend.breaker.state == HALF_OPEN
+        inner.fail_next = 1
+        backend.get(key)            # probe fails -> open again
+        assert backend.breaker.state == OPEN
+        assert backend.breaker.opens == 2
+
+    def test_half_open_probe_gets_single_attempt(self):
+        backend, inner, _ = _armored(
+            retries=5, failure_threshold=1, cooldown_ops=1
+        )
+        inner.fail_next = 6         # first op burns 1 + 5 retries
+        backend.get(_key("h"))
+        assert backend.breaker.state == OPEN
+        backend.get(_key("h"))      # cooldown -> half-open
+        calls = inner.calls
+        inner.fail_next = 1
+        backend.get(_key("h"))      # probe: exactly one attempt, no retry
+        assert inner.calls == calls + 1
+        assert backend.breaker.state == OPEN
+
+
+class TestTelemetry:
+    def test_counters_mirror_into_metrics(self):
+        backend, inner, _ = _armored(retries=1, failure_threshold=10)
+        reg = MetricsRegistry()
+        backend.bind_metrics(reg)
+        key = _key("m")
+        backend.put(key, b"v")
+        inner.fail_next = 2
+        backend.get(key)  # error, retry, error -> degraded
+
+        def value(name, **labels):
+            return reg.counter(name, **labels).value
+
+        assert value("repro_cache_backend_ops_total",
+                     backend="memory", op="get") == 1
+        assert value("repro_cache_backend_errors_total",
+                     backend="memory", op="get") == 2
+        assert value("repro_cache_backend_retries_total",
+                     backend="memory", op="get") == 1
+        assert value("repro_cache_backend_degraded_total",
+                     backend="memory", op="get") == 1
+
+    def test_events_on_bus(self):
+        backend, inner, _ = _armored(
+            retries=0, failure_threshold=1, cooldown_ops=1
+        )
+        bus = EventBus()
+        sub = bus.subscribe()
+        backend.bind_bus(bus)
+        inner.fail_next = 1
+        backend.get(_key("e"))
+        kinds = [e.kind for e in sub.drain()]
+        assert "cache-breaker-transition" in kinds
+        assert "cache-backend-degraded" in kinds
+
+    def test_health_reports_breaker_and_counters(self):
+        backend, inner, _ = _armored(retries=0, failure_threshold=1)
+        inner.fail_next = 1
+        backend.get(_key("h"))
+        doc = backend.health()
+        assert doc["breaker"] == OPEN
+        assert doc["counters"]["degraded"] == 1
+        assert "RuntimeError" in doc["last_error"]
+        assert doc["inner"]["scheme"] == "memory"
+
+
+class TestTiered:
+    def _tiered(self):
+        local = ScriptedBackend()
+        remote = ScriptedBackend()
+        policy = BackendPolicy.fast_test()
+        tiered = TieredBackend(
+            local=ResilientBackend(local, policy=policy),
+            remote=ResilientBackend(remote, policy=policy),
+        )
+        return tiered, local, remote
+
+    def test_put_lands_in_both_tiers(self):
+        tiered, local, remote = self._tiered()
+        key = _key("both")
+        tiered.put(key, b"v")
+        assert super(ScriptedBackend, local).get(key) == b"v"
+        assert super(ScriptedBackend, remote).get(key) == b"v"
+
+    def test_remote_outage_degrades_to_local_tier(self):
+        tiered, local, remote = self._tiered()
+        key = _key("warm")
+        tiered.put(key, b"v")
+        remote.fail_next = 10**6
+        assert tiered.get(key) == b"v"          # warm key: local rung
+        assert tiered.get(_key("cold")) is None  # cold key: miss rung
+        assert tiered.stat_many([key, _key("cold")]) == {key}
+
+    def test_remote_hit_populates_local(self):
+        tiered, local, remote = self._tiered()
+        key = _key("pop")
+        remote.put(key, b"v")  # written by another worker
+        assert tiered.get(key) == b"v"
+        remote.fail_next = 10**6
+        assert tiered.get(key) == b"v"  # now served locally
+
+    def test_get_many_merges_tiers(self):
+        tiered, local, remote = self._tiered()
+        k1, k2, k3 = _key("l"), _key("r"), _key("absent")
+        local.put(k1, b"local")
+        remote.put(k2, b"remote")
+        assert tiered.get_many([k1, k2, k3]) == {k1: b"local",
+                                                 k2: b"remote"}
+
+    def test_health_has_both_tiers(self):
+        tiered, _, _ = self._tiered()
+        doc = tiered.health()
+        assert set(doc["tiers"]) == {"local", "remote"}
+
+
+class TestRealTimeout:
+    def test_deadline_fires_and_degrades(self):
+        class SlowBackend(MemoryBackend):
+            def get(self, key):
+                time.sleep(0.5)
+                return super().get(key)
+
+        backend = ResilientBackend(
+            SlowBackend(),
+            policy=BackendPolicy(timeout_s=0.05, retries=0,
+                                 base_backoff_s=0.0, max_backoff_s=0.0),
+        )
+        t0 = time.monotonic()
+        assert backend.get(_key("slow")) is None
+        assert time.monotonic() - t0 < 0.4
+        assert backend.counters.timeouts == 1
+        assert "BackendTimeout" in backend.last_error
+
+    def test_backend_timeout_is_an_exception_type(self):
+        assert issubclass(BackendTimeout, Exception)

@@ -68,9 +68,10 @@ class TestDamageIsAMiss:
     def test_wrong_format_version_is_a_miss(self, store):
         key = _key("fmt")
         path = store.put(key, {"v": 1})
-        doc = json.loads(path.read_text())
-        doc["format"] = ENTRY_FORMAT + 1
-        path.write_text(json.dumps(doc))
+        head, tail = path.read_text().split("\n", 1)
+        header = json.loads(head)
+        header["format"] = ENTRY_FORMAT + 1
+        path.write_text(json.dumps(header) + "\n" + tail)
         assert store.get(key) is None
 
     def test_non_dict_document_is_a_miss(self, store):

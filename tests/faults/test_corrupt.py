@@ -1,0 +1,171 @@
+"""The shared corruption fuzzer, and the durability claims it checks.
+
+One damage model (:func:`repro.faults.corrupt_bytes`) drives three
+suites: fuzzer properties, cache entries (every corruption degrades to
+a miss or an intact hit — never wrong data), and the checkpoint
+journal's torn-tail tolerance.
+"""
+
+import hashlib
+import json
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.cache import RunCache
+from repro.faults import CORRUPTION_KINDS, corrupt_bytes
+
+
+def _key(tag: str) -> str:
+    return hashlib.sha256(tag.encode()).hexdigest()
+
+
+SAMPLES = [
+    b"",
+    b"x",
+    b'{"format": 2, "key": "abc", "payload": {"v": 1.5}}',
+    bytes(range(256)) * 4,
+]
+
+
+class TestFuzzerProperties:
+    @pytest.mark.parametrize("kind", CORRUPTION_KINDS)
+    @pytest.mark.parametrize("data", SAMPLES)
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_never_byte_equal(self, kind, data, seed):
+        rng = np.random.default_rng(seed)
+        assert corrupt_bytes(data, kind=kind, rng=rng) != data
+
+    @pytest.mark.parametrize("kind", CORRUPTION_KINDS)
+    def test_deterministic_given_seed(self, kind):
+        data = SAMPLES[2]
+        a = corrupt_bytes(data, kind=kind,
+                          rng=np.random.default_rng(42))
+        b = corrupt_bytes(data, kind=kind,
+                          rng=np.random.default_rng(42))
+        assert a == b
+
+    def test_truncate_shortens(self):
+        data = b"0123456789"
+        out = corrupt_bytes(data, kind="truncate",
+                            rng=np.random.default_rng(0))
+        assert len(out) < len(data)
+        assert data.startswith(out)
+
+    def test_garbage_appends(self):
+        data = b"0123"
+        out = corrupt_bytes(data, kind="garbage",
+                            rng=np.random.default_rng(0))
+        assert out.startswith(data)
+        assert len(out) > len(data)
+
+    def test_flip_preserves_length(self):
+        data = b"0123456789"
+        out = corrupt_bytes(data, kind="flip",
+                            rng=np.random.default_rng(0))
+        assert len(out) == len(data)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown corruption kind"):
+            corrupt_bytes(b"x", kind="meteor",
+                          rng=np.random.default_rng(0))
+
+
+class TestCacheEntryCorruption:
+    """Property: for every kind and many seeds, a corrupted entry file
+    yields a miss or the original payload — never wrong data, never an
+    exception."""
+
+    PAYLOAD = {"traces": {"main": [1.0, 2.5, 3.25]}, "n": 7}
+
+    @pytest.mark.parametrize("kind", CORRUPTION_KINDS)
+    def test_corrupted_entry_never_serves_wrong_data(self, tmp_path, kind):
+        for seed in range(20):
+            store = RunCache(tmp_path / f"c-{kind}-{seed}")
+            key = _key(f"{kind}-{seed}")
+            path = store.put(key, self.PAYLOAD)
+            rng = np.random.default_rng(seed)
+            path.write_bytes(
+                corrupt_bytes(path.read_bytes(), kind=kind, rng=rng)
+            )
+            got = store.get(key)
+            assert got is None or got == self.PAYLOAD
+
+    def test_payload_checksum_catches_json_preserving_flips(self, tmp_path):
+        """A flip that keeps the document valid JSON but changes a
+        payload value must be caught by the checksum, not served."""
+        store = RunCache(tmp_path / "sum")
+        key = _key("sum")
+        path = store.put(key, {"value": 1111})
+        head, tail = path.read_text().split("\n", 1)
+        payload = json.loads(tail)
+        payload["value"] = 1119  # one flipped bit: 1111 ^ 8
+        path.write_text(
+            head + "\n" + json.dumps(payload, sort_keys=True) + "\n"
+        )
+        assert store.get(key) is None
+
+
+class TestJournalTornTail:
+    def _journal(self, tmp_path):
+        from repro.checkpoint.journal import JournalWriter
+
+        path = tmp_path / "run.jnl"
+        with JournalWriter(path) as writer:
+            writer.write_header({"campaign": {"seed": 0}})
+            writer.write_section("fig1", {"blocks": {"a": "text"}})
+            writer.write_section("fig2", {"blocks": {"b": "text"}})
+        return path
+
+    def _read(self, path):
+        from repro.checkpoint.journal import read_journal
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            return read_journal(path)
+
+    def test_truncated_tail_drops_only_the_torn_record(self, tmp_path):
+        path = self._journal(tmp_path)
+        data = path.read_bytes()
+        rng = np.random.default_rng(0)
+        # Cut inside the final record: keep everything up to the last
+        # newline-terminated line, then append a torn fragment.
+        head, _, tail = data.rstrip(b"\n").rpartition(b"\n")
+        torn = corrupt_bytes(tail, kind="truncate", rng=rng)
+        path.write_bytes(head + b"\n" + torn)
+        journal = self._read(path)
+        assert journal.truncated
+        assert "fig1" in journal.sections
+
+    def test_garbage_tail_is_dropped(self, tmp_path):
+        path = self._journal(tmp_path)
+        rng = np.random.default_rng(1)
+        extra = corrupt_bytes(b"", kind="garbage", rng=rng)
+        with path.open("ab") as f:
+            f.write(extra)
+        journal = self._read(path)
+        assert journal.truncated
+        assert set(journal.sections) == {"fig1", "fig2"}
+
+    def test_mid_file_damage_raises_not_resumes(self, tmp_path):
+        from repro.sim.traceio import CorruptTraceError
+
+        path = self._journal(tmp_path)
+        lines = path.read_bytes().split(b"\n")
+        lines[1] = b'{"broken'  # a non-final record
+        path.write_bytes(b"\n".join(lines))
+        with pytest.raises(CorruptTraceError):
+            self._read(path)
+
+    def test_writer_heals_a_torn_tail_on_reopen(self, tmp_path):
+        from repro.checkpoint.journal import JournalWriter
+
+        path = self._journal(tmp_path)
+        with path.open("ab") as f:
+            f.write(b'{"kind": "section", "torn')
+        with JournalWriter(path) as writer:  # _drop_torn_tail on open
+            writer.write_section("fig3", {"blocks": {"c": "text"}})
+        journal = self._read(path)
+        assert not journal.truncated
+        assert set(journal.sections) == {"fig1", "fig2", "fig3"}

@@ -62,6 +62,11 @@ class TestDictRoundTrip:
                 time=30.0, epochs=1),
             "monitor-trip": EVENT_TYPES["monitor-trip"](
                 time=30.0, session="main", value=0.4),
+            "cache-backend-degraded": EVENT_TYPES["cache-backend-degraded"](
+                time=30.0, backend="http", op="get", reason="timeout"),
+            "cache-breaker-transition": EVENT_TYPES[
+                "cache-breaker-transition"](
+                time=30.0, backend="http", old="closed", new="open"),
         }
         event = samples[kind]
         data = event.to_dict()
