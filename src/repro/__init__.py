@@ -73,6 +73,12 @@ from repro.gridftp import ClientModel, GlobusPolicy, RestartModel, TransferSpec
 from repro.live import LiveEpoch, LiveResult, SubprocessEpochRunner, tune_live
 from repro.net import CUBIC, HTCP, RENO, SCALABLE, Link, Path, TcpModel, Topology
 from repro.sim import Engine, EngineConfig, Trace, TransferSession
+from repro.service import (
+    FleetClient,
+    FleetServer,
+    FleetService,
+    TenantSpec,
+)
 
 __version__ = "1.0.0"
 
@@ -140,6 +146,11 @@ __all__ = [
     "SubprocessEpochRunner",
     "LiveEpoch",
     "LiveResult",
+    # fleet service
+    "FleetService",
+    "FleetServer",
+    "FleetClient",
+    "TenantSpec",
     # simulation
     "Engine",
     "EngineConfig",

@@ -43,6 +43,7 @@ from repro.cache.backend import (
     DEFAULT_PRUNE_GRACE_S,
     validate_key,
 )
+from repro.service.drain import GracefulSignals, InFlightGauge
 
 __all__ = ["HttpBackend", "CacheServer", "serve"]
 
@@ -176,13 +177,28 @@ class HttpBackend(CacheBackend):
 # -- server -------------------------------------------------------------------
 
 
-def _make_handler(store: CacheBackend) -> type[BaseHTTPRequestHandler]:
+def _make_handler(
+    store: CacheBackend, server: "CacheServer | None" = None
+) -> type[BaseHTTPRequestHandler]:
     class Handler(BaseHTTPRequestHandler):
         protocol_version = "HTTP/1.1"
         server_version = "repro-cache"
 
         def log_message(self, fmt, *args):  # noqa: D102 - quiet by default
             pass
+
+        def _guarded(self, inner) -> None:
+            """Run one verb under the server's drain discipline: a
+            draining server refuses new work (503) while requests that
+            were already in flight finish under the gauge."""
+            if server is None:
+                inner()
+                return
+            if server.draining:
+                self._send_json({"error": "draining"}, 503)
+                return
+            with server.in_flight:
+                inner()
 
         # -- helpers ---------------------------------------------------
 
@@ -215,6 +231,21 @@ def _make_handler(store: CacheBackend) -> type[BaseHTTPRequestHandler]:
         # -- verbs ------------------------------------------------------
 
         def do_GET(self):
+            self._guarded(self._get)
+
+        def do_HEAD(self):
+            self._guarded(self._head)
+
+        def do_PUT(self):
+            self._guarded(self._put)
+
+        def do_DELETE(self):
+            self._guarded(self._delete)
+
+        def do_POST(self):
+            self._guarded(self._post)
+
+        def _get(self):
             key = self._entry_key()
             if key is not None:
                 data = store.get(key)
@@ -236,7 +267,7 @@ def _make_handler(store: CacheBackend) -> type[BaseHTTPRequestHandler]:
                 return
             self._send(404)
 
-        def do_HEAD(self):
+        def _head(self):
             key = self._entry_key()
             if key is None:
                 self._send(404)
@@ -250,7 +281,7 @@ def _make_handler(store: CacheBackend) -> type[BaseHTTPRequestHandler]:
             self.send_header("X-Repro-Mtime", repr(info.mtime))
             self.end_headers()
 
-        def do_PUT(self):
+        def _put(self):
             key = self._entry_key()
             if key is None:
                 self._send(404)
@@ -265,14 +296,14 @@ def _make_handler(store: CacheBackend) -> type[BaseHTTPRequestHandler]:
             store.put(key, data)
             self._send(204)
 
-        def do_DELETE(self):
+        def _delete(self):
             key = self._entry_key()
             if key is None:
                 self._send(404)
                 return
             self._send(204 if store.delete(key) else 404)
 
-        def do_POST(self):
+        def _post(self):
             if self.path == "/v1/stat_many":
                 keys = json.loads(self._read_body())
                 present = store.stat_many(
@@ -304,8 +335,12 @@ class CacheServer:
     def __init__(self, store: CacheBackend, host: str = "127.0.0.1",
                  port: int = 0) -> None:
         self.store = store
+        self.in_flight = InFlightGauge()
+        self._draining = threading.Event()
+        self._serving = threading.Event()
+        self._closed = False
         self._httpd = ThreadingHTTPServer(
-            (host, port), _make_handler(store)
+            (host, port), _make_handler(store, self)
         )
         self._httpd.daemon_threads = True
         self._thread: threading.Thread | None = None
@@ -323,6 +358,7 @@ class CacheServer:
 
     def start(self) -> "CacheServer":
         """Serve on a background thread (tests, embedding)."""
+        self._serving.set()
         self._thread = threading.Thread(
             target=self._httpd.serve_forever, kwargs={"poll_interval": 0.05},
             daemon=True,
@@ -331,25 +367,62 @@ class CacheServer:
         return self
 
     def serve_forever(self) -> None:
-        """Serve on the calling thread (the CLI path)."""
+        """Serve on the calling thread (embedding without signals)."""
+        self._serving.set()
         try:
             self._httpd.serve_forever(poll_interval=0.2)
         except KeyboardInterrupt:  # pragma: no cover - interactive only
             pass
 
-    def shutdown(self) -> None:
-        self._httpd.shutdown()
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def request_drain(self) -> None:
+        """Flip the drain flag: new requests get 503, the
+        :meth:`run_forever` loop (or a caller) performs the drain."""
+        self._draining.set()
+
+    def drain(self, *, request_timeout_s: float = 10.0) -> None:
+        """Graceful stop: refuse new requests, stop the listener, let
+        in-flight requests finish, close the socket and the store."""
+        self._draining.set()
+        if self._closed:
+            return
+        self._closed = True
+        if self._serving.is_set():
+            # httpd.shutdown() handshakes with a serve_forever loop;
+            # calling it on a never-served httpd would block forever.
+            self._httpd.shutdown()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
+        self.in_flight.wait_idle(request_timeout_s)
         self._httpd.server_close()
         self.store.close()
+
+    def shutdown(self) -> None:
+        """Immediate stop (tests, embedding): same teardown as
+        :meth:`drain` — in-flight requests are brief by protocol."""
+        self.drain()
+
+    def run_forever(self) -> int:
+        """The ``repro cache serve`` path: serve until SIGTERM/SIGINT
+        (or :meth:`request_drain`), then drain gracefully.  Returns the
+        exit code (0 on a clean drain)."""
+        with GracefulSignals() as signals:
+            self.start()
+            while not (signals.triggered.is_set()
+                       or self._draining.is_set()):
+                signals.triggered.wait(0.1)
+            self.drain()
+        return 0
 
     def __enter__(self) -> "CacheServer":
         return self.start()
 
     def __exit__(self, *exc) -> None:
-        self.shutdown()
+        self.drain()
 
 
 def serve(store: CacheBackend, host: str = "127.0.0.1",

@@ -291,6 +291,15 @@ class ResilientBackend(CacheBackend):
             self.breaker.record_epoch(True)
             self._degrade(op, "breaker-open")
             return default
+        if state == HALF_OPEN and not self.breaker.acquire_probe():
+            # Another thread holds the probe: serve the default without
+            # recording an epoch — the probe owner's outcome (and only
+            # its outcome) resolves the half-open state.  Without the
+            # atomic claim, racing threads each ran a "probe" and the
+            # loser's failure could re-trip a breaker the winner had
+            # just closed.
+            self._degrade(op, "probe-in-flight")
+            return default
         attempts = 1 if state == HALF_OPEN else self.policy.retries + 1
         reason = "unknown"
         for attempt in range(attempts):

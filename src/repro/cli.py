@@ -17,7 +17,12 @@ The subcommands mirror how the library is used:
   ``--timings`` prints a campaign journal's per-unit wall times;
 * ``top``    — ANSI dashboard over a journal or saved trace
   (``--follow`` re-renders live while a journaled run progresses);
-* ``cache``  — inspect/clear/prune the content-addressed run cache.
+* ``cache``  — inspect/clear/prune the content-addressed run cache;
+  ``cache serve`` exposes it over HTTP with graceful SIGTERM drain;
+* ``serve``  — the long-running multi-tenant tuning fleet service
+  (admission control, supervision, graceful drain);
+* ``submit`` — submit one tenant to a running fleet (``--watch`` polls
+  it to completion).
 
 ``run``, ``oracle``, and ``campaign`` cache their simulation results in
 ``.repro-cache`` (override with ``--cache-dir`` or ``$REPRO_CACHE_DIR``)
@@ -492,6 +497,36 @@ def cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _degraded_backend_warnings(health: dict | None) -> list[str]:
+    """One warning line per cache backend whose breaker degraded the
+    run — the campaign completed (the resilience layer fell back to the
+    local tier), but the operator should know the shared cache was not
+    actually shared."""
+    if not health:
+        return []
+    found: list[str] = []
+
+    def walk(doc, where: str) -> None:
+        if not isinstance(doc, dict):
+            return
+        state = doc.get("breaker")
+        opens = doc.get("breaker_opens", 0)
+        if state is not None and (state != "closed" or opens):
+            url = doc.get("url", where)
+            detail = f"breaker {state}" if state != "closed" else (
+                f"breaker tripped {opens}x during the run")
+            found.append(
+                f"warning: cache backend {url} degraded ({detail}) — "
+                f"results fell back to the local tier"
+            )
+        for key, sub in (doc.get("tiers") or {}).items():
+            walk(sub, f"{where}/{key}")
+        walk(doc.get("inner"), f"{where}/inner")
+
+    walk(health, "cache")
+    return found
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
     scale = (CampaignScale.quick(args.seed) if args.quick
              else CampaignScale.full(args.seed))
@@ -507,6 +542,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     if rate is not None:
         print(f"(cache: {result.cache_hits} hits, "
               f"{result.cache_misses} misses — {100 * rate:.0f}% hit rate)\n")
+    for line in _degraded_backend_warnings(result.backend_health):
+        print(line)
     doc = result.document()
     print(doc)
     if args.output:
@@ -598,13 +635,82 @@ def _cache_serve(args: argparse.Namespace) -> int:
         server = serve(backend, host=args.host, port=args.port)
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
-    print(f"serving {backend.url} at {server.url}  (Ctrl-C to stop)",
-          flush=True)
+    print(f"serving {backend.url} at {server.url}  "
+          f"(SIGTERM/Ctrl-C drains and stops)", flush=True)
+    # SIGTERM/SIGINT stop accepting new requests, let in-flight ones
+    # finish, close the store, and exit 0 — the supervisor contract.
+    return server.run_forever()
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: run the multi-tenant tuning fleet service."""
+    from repro.service import FleetServer, FleetService
+
+    if args.scenarios:
+        unknown = sorted(set(args.scenarios) - set(SCENARIOS))
+        if unknown:
+            raise SystemExit(
+                f"unknown scenario(s): {', '.join(unknown)}; "
+                f"choose from {sorted(SCENARIOS)}"
+            )
+        scenarios = {name: SCENARIOS[name] for name in args.scenarios}
+    else:
+        scenarios = None
     try:
-        server.serve_forever()
-    finally:
-        server.shutdown()
-    return 0
+        fleet = FleetService(
+            scenarios,
+            capacity=args.capacity,
+            queue_limit=args.queue_limit,
+            admit_rate=args.admit_rate,
+            burst=args.burst,
+            seed=args.seed,
+            dt=args.dt,
+            epoch_s=args.epoch_s,
+            journal_path=args.journal,
+        )
+        server = FleetServer(fleet, host=args.host, port=args.port,
+                             pace_s=args.pace)
+    except (ValueError, OSError) as exc:
+        raise SystemExit(str(exc)) from None
+    print(f"fleet [{', '.join(sorted(fleet.shards))}] serving at "
+          f"{server.url}  (SIGTERM/Ctrl-C drains and stops)", flush=True)
+    return server.run_forever()
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """``repro submit``: submit one tenant to a running fleet."""
+    import json
+    import urllib.error
+
+    from repro.service import FleetApiError, FleetClient
+    from repro.service.tenant import COMPLETED
+
+    client = FleetClient(args.url, timeout_s=args.timeout)
+    spec = {
+        "tenant": args.tenant,
+        "scenario": args.scenario,
+        "tuner": args.tuner,
+        "seed": args.seed,
+        "epochs": args.epochs,
+        "tune_np": args.tune_np,
+        "fixed_np": args.np,
+        "supervised": not args.unsupervised,
+    }
+    if args.deadline is not None:
+        spec["op_deadline_s"] = args.deadline
+    try:
+        decision = client.submit(spec)
+        print(json.dumps(decision, indent=2))
+        if not args.watch:
+            return 0
+        final = client.wait_terminal(args.tenant,
+                                     timeout_s=args.watch_timeout)
+        print(json.dumps(final, indent=2))
+        return 0 if final.get("state") == COMPLETED else 1
+    except FleetApiError as exc:
+        raise SystemExit(str(exc)) from None
+    except (TimeoutError, urllib.error.URLError, OSError) as exc:
+        raise SystemExit(f"fleet at {args.url}: {exc}") from None
 
 
 def _health_rows(doc: dict, tier: str = "-") -> list[list[str]]:
@@ -803,6 +909,68 @@ def build_parser() -> argparse.ArgumentParser:
     p_cache.add_argument("--port", type=int, default=8750,
                          help="serve: TCP port (0 picks a free one)")
     p_cache.set_defaults(func=cmd_cache)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the multi-tenant tuning fleet service"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address")
+    p_serve.add_argument("--port", type=int, default=8760,
+                         help="TCP port (0 picks a free one)")
+    p_serve.add_argument("--scenarios", nargs="*", default=None,
+                         metavar="NAME",
+                         help="shard scenarios (default: all registered)")
+    p_serve.add_argument("--capacity", type=int, default=64,
+                         help="max concurrently running tenants")
+    p_serve.add_argument("--queue-limit", type=int, default=128,
+                         help="bounded admission queue length")
+    p_serve.add_argument("--admit-rate", type=float, default=None,
+                         help="token-bucket admits per epoch-second "
+                              "(default: unlimited)")
+    p_serve.add_argument("--burst", type=float, default=8.0,
+                         help="token-bucket burst size")
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--dt", type=float, default=1.0,
+                         help="simulation step in seconds")
+    p_serve.add_argument("--epoch-s", type=float, default=30.0,
+                         help="control-epoch span in sim seconds")
+    p_serve.add_argument("--journal", default=None, metavar="PATH",
+                         help="append-only fleet journal "
+                              "(watch with `repro top --follow`)")
+    p_serve.add_argument("--pace", type=float, default=0.0,
+                         help="minimum wall seconds per pump round "
+                              "(0 = as fast as possible)")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit one tenant to a running fleet"
+    )
+    p_submit.add_argument("tenant", help="fleet-unique tenant id")
+    p_submit.add_argument("--url", default="http://127.0.0.1:8760",
+                          help="fleet service base URL")
+    p_submit.add_argument("--scenario", default="anl-uc",
+                          choices=sorted(SCENARIOS))
+    p_submit.add_argument("--tuner", default="cd")
+    p_submit.add_argument("--seed", type=int, default=0)
+    p_submit.add_argument("--epochs", type=int, default=10,
+                          help="control-epoch budget")
+    p_submit.add_argument("--tune-np", action="store_true",
+                          help="tune parallelism jointly with concurrency")
+    p_submit.add_argument("--np", type=int, default=8,
+                          help="fixed parallelism when np is not tuned")
+    p_submit.add_argument("--deadline", type=float, default=None,
+                          help="per-tuner-call deadline in seconds")
+    p_submit.add_argument("--unsupervised", action="store_true",
+                          help="fail the tenant on a tuner crash instead "
+                               "of restarting it from the journal")
+    p_submit.add_argument("--watch", action="store_true",
+                          help="poll until the tenant reaches a terminal "
+                               "state; exit 0 only on completion")
+    p_submit.add_argument("--watch-timeout", type=float, default=120.0,
+                          help="--watch poll budget in seconds")
+    p_submit.add_argument("--timeout", type=float, default=10.0,
+                          help="per-request HTTP timeout in seconds")
+    p_submit.set_defaults(func=cmd_submit)
 
     return parser
 

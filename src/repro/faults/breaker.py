@@ -23,6 +23,7 @@ campaign replays its breaker transitions exactly.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -72,6 +73,25 @@ class CircuitBreaker:
             raise ValueError("cooldown_epochs must be >= 1")
         if self.fallback_nc < 1 or self.fallback_np < 1:
             raise ValueError("fallback parameters must be >= 1")
+        # Concurrent callers (ResilientBackend worker threads, the fleet
+        # supervisor) share one breaker; the lock makes transitions and
+        # the half-open probe claim atomic.  Plain attributes, not
+        # dataclass fields: they never take part in eq/repr/snapshots.
+        self._lock = threading.RLock()
+        self._probe_claimed = False
+
+    def __getstate__(self) -> dict:
+        # Locks cannot be pickled; a transported breaker starts with a
+        # fresh lock and no claimed probe (the claim is per-process).
+        state = self.__dict__.copy()
+        state.pop("_lock", None)
+        state["_probe_claimed"] = False
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
+        self._probe_claimed = False
 
     # -- queries ---------------------------------------------------------
 
@@ -84,34 +104,56 @@ class CircuitBreaker:
         """True while the tuner must not receive observations (open)."""
         return self.state == OPEN
 
+    def acquire_probe(self) -> bool:
+        """Atomically claim the half-open probe.
+
+        Exactly one caller per cooldown gets ``True``; racing threads
+        that also saw ``HALF_OPEN`` get ``False`` and must serve their
+        fallback *without* recording an epoch (the probe owner's
+        ``record_epoch`` resolves the state and releases the claim).
+        Single-threaded drivers (the sim engine, ``tune_live``) never
+        need to call this.
+        """
+        with self._lock:
+            if self.state == HALF_OPEN and not self._probe_claimed:
+                self._probe_claimed = True
+                return True
+            return False
+
     # -- transitions -----------------------------------------------------
 
     def record_epoch(self, faulted: bool) -> str:
         """Feed one finished epoch's outcome; returns the state that will
         govern the *next* epoch."""
-        old = self.state
-        if self.state == CLOSED:
-            if faulted:
-                self.consecutive_failures += 1
-                if self.consecutive_failures >= self.failure_threshold:
+        with self._lock:
+            old = self.state
+            if self.state == CLOSED:
+                if faulted:
+                    self.consecutive_failures += 1
+                    if self.consecutive_failures >= self.failure_threshold:
+                        self._trip()
+                else:
+                    self.consecutive_failures = 0
+            elif self.state == OPEN:
+                # Faults during cooldown neither extend nor shorten it:
+                # the session is already at the safe default and waits.
+                self._cooldown_left -= 1
+                if self._cooldown_left <= 0:
+                    self.state = HALF_OPEN
+            else:  # HALF_OPEN: the epoch just recorded was the probe.
+                if faulted:
                     self._trip()
-            else:
-                self.consecutive_failures = 0
-        elif self.state == OPEN:
-            # Faults during cooldown neither extend nor shorten it: the
-            # session is already at the safe default and simply waits.
-            self._cooldown_left -= 1
-            if self._cooldown_left <= 0:
-                self.state = HALF_OPEN
-        else:  # HALF_OPEN: the epoch just recorded was the probe.
-            if faulted:
-                self._trip()
-            else:
-                self.state = CLOSED
-                self.consecutive_failures = 0
-        if self.state != old and self.on_transition is not None:
-            self.on_transition(old, self.state)
-        return self.state
+                else:
+                    self.state = CLOSED
+                    self.consecutive_failures = 0
+            # Whatever the outcome, the probe round is over.
+            self._probe_claimed = False
+            new = self.state
+        # Telemetry fires outside the lock: a callback that touches the
+        # breaker (or blocks) must not deadlock racing callers.
+        if new != old and self.on_transition is not None:
+            self.on_transition(old, new)
+        return new
 
     def _trip(self) -> None:
         self.state = OPEN
@@ -120,10 +162,12 @@ class CircuitBreaker:
 
     def reset(self) -> None:
         """Back to a fresh closed breaker (configuration kept)."""
-        self.state = CLOSED
-        self.consecutive_failures = 0
-        self.opens = 0
-        self._cooldown_left = 0
+        with self._lock:
+            self.state = CLOSED
+            self.consecutive_failures = 0
+            self.opens = 0
+            self._cooldown_left = 0
+            self._probe_claimed = False
 
     # -- checkpoint support ----------------------------------------------
 
@@ -156,7 +200,9 @@ class CircuitBreaker:
         """Inverse of :meth:`snapshot`."""
         if state["state"] not in STATES:
             raise ValueError(f"unknown breaker state {state['state']!r}")
-        self.state = str(state["state"])
-        self.consecutive_failures = int(state["consecutive_failures"])
-        self.opens = int(state["opens"])
-        self._cooldown_left = int(state["cooldown_left"])
+        with self._lock:
+            self.state = str(state["state"])
+            self.consecutive_failures = int(state["consecutive_failures"])
+            self.opens = int(state["opens"])
+            self._cooldown_left = int(state["cooldown_left"])
+            self._probe_claimed = False

@@ -18,6 +18,7 @@ the terminal loop (:func:`follow`) so tests can pin frames exactly.
 
 from __future__ import annotations
 
+import os
 import sys
 import time
 import warnings
@@ -189,6 +190,15 @@ def follow(
     Returns the number of frames drawn.  ``max_frames`` bounds the loop
     (tests); a missing file is reported and polled for, so ``repro top
     --follow`` can be started before the run.
+
+    The tailer is stateful so it can watch a *long-running service*
+    journal: each tick stats the file and compares an
+    ``(inode, size, mtime)`` signature.  An unchanged signature re-renders
+    the cached view without re-parsing; a changed inode or a shrunken
+    file means the journal was rotated/truncated and is reloaded from
+    scratch (never tailed through a stale view); a half-written state
+    mid-rotation (any parse error) holds the last complete frame and
+    retries next tick instead of crashing the dashboard.
     """
     if interval_s <= 0:
         raise ValueError("interval_s must be positive")
@@ -197,19 +207,51 @@ def follow(
         # redirected/replaced after this module loads (pytest capture).
         out = sys.stdout
     frames = 0
+    last_view: TopView | None = None
+    last_sig: tuple | None = None
     while True:
+        view: TopView | None = None
+        fresh = False  #: view reflects the file as it is *right now*
+        note = ""
         try:
-            view = load_view(path)
+            st = os.stat(path)
+            sig = (st.st_ino, st.st_size, st.st_mtime_ns)
         except FileNotFoundError:
-            out.write(f"{CLEAR}repro top — waiting for {path}\n")
-            out.flush()
-            view = None
+            sig = None
+            last_sig = None
+        if sig is not None:
+            if sig == last_sig and last_view is not None:
+                view, fresh = last_view, True
+            else:
+                rotated = (last_sig is not None
+                           and (sig[0] != last_sig[0]
+                                or sig[1] < last_sig[1]))
+                try:
+                    view = load_view(path)
+                    last_view, last_sig = view, sig
+                    fresh = True
+                    if rotated:
+                        note = "journal rotated — reloaded"
+                except FileNotFoundError:
+                    last_sig = None
+                except Exception:
+                    # Torn mid-rotation/truncation state: hold the last
+                    # complete frame, force a re-read next tick.
+                    view = last_view
+                    last_sig = None
+                    note = "journal changing — holding last frame"
         frames += 1
         if view is not None:
-            out.write(CLEAR + render(view, width=width) + "\n")
+            body = render(view, width=width)
+            if note:
+                body += f"\n[{note}]"
+            out.write(CLEAR + body + "\n")
             out.flush()
-            if view.ended:
+            if fresh and view.ended:
                 return frames
+        else:
+            out.write(f"{CLEAR}repro top — waiting for {path}\n")
+            out.flush()
         if max_frames is not None and frames >= max_frames:
             return frames
         sleep(interval_s)

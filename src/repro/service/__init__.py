@@ -1,0 +1,73 @@
+"""Multi-tenant tuning fleet: shared substrate, admission, supervision.
+
+The service layer turns the single-run simulator into a long-running
+tuning fleet: many tenant transfers — each with its own direct-search
+tuner — advance on one shared fluid network + endpoint CPU model per
+scenario shard, behind admission control, per-tenant isolation, and
+graceful drain.  See DESIGN.md §14.
+"""
+
+from repro.service.admission import (
+    AdmissionController,
+    Decision,
+    TokenBucket,
+)
+from repro.service.backpressure import (
+    BoundedRing,
+    OpDeadlineError,
+    OpGuard,
+)
+from repro.service.drain import GracefulSignals, InFlightGauge
+from repro.service.fleet import FleetService
+from repro.service.http import FleetApiError, FleetClient, FleetServer
+from repro.service.shard import FleetShard, InjectedCrash
+from repro.service.supervisor import (
+    Supervisor,
+    TenantRestartError,
+    rebuild_driver,
+)
+from repro.service.tenant import (
+    CANCELLED,
+    COMPLETED,
+    DRAINED,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    SHED,
+    TENANT_STATES,
+    TERMINAL_STATES,
+    Tenant,
+    TenantChaos,
+    TenantSpec,
+)
+
+__all__ = [
+    "AdmissionController",
+    "BoundedRing",
+    "CANCELLED",
+    "COMPLETED",
+    "DRAINED",
+    "Decision",
+    "FAILED",
+    "FleetApiError",
+    "FleetClient",
+    "FleetServer",
+    "FleetService",
+    "FleetShard",
+    "GracefulSignals",
+    "InFlightGauge",
+    "InjectedCrash",
+    "OpDeadlineError",
+    "OpGuard",
+    "QUEUED",
+    "RUNNING",
+    "SHED",
+    "Supervisor",
+    "TENANT_STATES",
+    "TERMINAL_STATES",
+    "Tenant",
+    "TenantChaos",
+    "TenantRestartError",
+    "TenantSpec",
+    "TokenBucket",
+]

@@ -1,0 +1,177 @@
+"""Admission control: bounded queue, token-bucket rate, overload breaker.
+
+The fleet admits tenants through a three-stage ladder:
+
+1. **Capacity + rate** — at most ``capacity`` tenants run concurrently,
+   and admits are token-bucket limited (``admit_rate`` tenants/s of
+   fleet time, burst up to ``burst``).  A tenant that cannot be
+   admitted right now waits in a bounded queue.
+2. **Shed with reason** — beyond the queue bound, the tenant is shed
+   immediately (``queue-full``); nothing in the fleet ever blocks on
+   an unbounded backlog.
+3. **Degrade under sustained overload** — an admission
+   :class:`~repro.faults.CircuitBreaker` is fed one "epoch" per pump
+   round (faulted = the round shed someone).  After
+   ``failure_threshold`` consecutive overloaded rounds it opens, and
+   while it is not closed every *new* admit is pinned to the safe
+   Globus default (nc=2, np=8): late arrivals during a stampede get
+   cheap set-and-hold service instead of adding per-epoch restart churn
+   to an already-overloaded substrate.  A calm round closes it again
+   through the breaker's usual half-open probe.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.faults.breaker import CLOSED, CircuitBreaker
+from repro.service.tenant import TenantSpec
+
+#: Shed reasons the controller records.
+REASON_QUEUE_FULL = "queue-full"
+REASON_DRAINING = "draining"
+REASON_DUPLICATE = "duplicate-tenant"
+
+
+class TokenBucket:
+    """Deterministic token bucket on an injected clock.
+
+    Tokens accrue at ``rate`` per second of *fleet* time (the caller
+    passes ``now``, typically the shared sim clock), capped at
+    ``burst``.  ``rate=None`` disables rate limiting.
+    """
+
+    def __init__(self, rate: float | None, burst: float = 1.0) -> None:
+        if rate is not None and rate <= 0:
+            raise ValueError("rate must be positive (or None)")
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.rate = rate
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self._last = 0.0
+
+    def _refill(self, now: float) -> None:
+        if self.rate is None:
+            return
+        if now > self._last:
+            self.tokens = min(
+                self.burst, self.tokens + (now - self._last) * self.rate
+            )
+            self._last = now
+
+    def try_take(self, now: float) -> bool:
+        if self.rate is None:
+            return True
+        self._refill(now)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+@dataclass
+class Decision:
+    """Outcome of one submit: admitted / queued / shed."""
+
+    tenant: str
+    admitted: bool
+    queued: bool
+    degraded: bool
+    reason: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "admitted": self.admitted,
+            "queued": self.queued,
+            "degraded": self.degraded,
+            "reason": self.reason,
+        }
+
+
+class AdmissionController:
+    """Bounded-queue, rate-limited, breaker-degraded admission."""
+
+    def __init__(
+        self,
+        *,
+        capacity: int = 64,
+        queue_limit: int = 128,
+        admit_rate: float | None = None,
+        burst: float = 8.0,
+        breaker: CircuitBreaker | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if queue_limit < 0:
+            raise ValueError("queue_limit must be >= 0")
+        self.capacity = capacity
+        self.queue_limit = queue_limit
+        self.bucket = TokenBucket(admit_rate, burst)
+        #: Sustained-overload breaker; "fault" = a pump round that shed.
+        self.breaker = breaker if breaker is not None else CircuitBreaker(
+            failure_threshold=2, cooldown_epochs=3
+        )
+        self.queue: deque[TenantSpec] = deque()
+        self.running = 0
+        self.closed = False
+        self._shed_this_round = 0
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def degrading(self) -> bool:
+        """True while new admits are pinned to the safe default."""
+        return self.breaker.state != CLOSED
+
+    def queued(self) -> int:
+        return len(self.queue)
+
+    # -- submit / pump ---------------------------------------------------
+
+    def submit(self, spec: TenantSpec, now: float) -> Decision:
+        """Admit, queue, or shed one submit at fleet time ``now``."""
+        if self.closed:
+            self._shed_this_round += 1
+            return Decision(spec.tenant, False, False, False,
+                            reason=REASON_DRAINING)
+        if self.running < self.capacity and self.bucket.try_take(now):
+            self.running += 1
+            return Decision(spec.tenant, True, False, self.degrading)
+        if len(self.queue) < self.queue_limit:
+            self.queue.append(spec)
+            return Decision(spec.tenant, False, True, False)
+        self._shed_this_round += 1
+        return Decision(spec.tenant, False, False, False,
+                        reason=REASON_QUEUE_FULL)
+
+    def promote(self, now: float) -> list[tuple[TenantSpec, bool]]:
+        """Move queued tenants into free capacity; returns
+        ``(spec, degraded)`` per admitted tenant."""
+        admitted: list[tuple[TenantSpec, bool]] = []
+        while (self.queue and self.running < self.capacity
+               and self.bucket.try_take(now)):
+            spec = self.queue.popleft()
+            self.running += 1
+            admitted.append((spec, self.degrading))
+        return admitted
+
+    def release(self, n: int = 1) -> None:
+        """A running tenant reached a terminal state."""
+        self.running = max(0, self.running - n)
+
+    def end_round(self) -> str:
+        """Close one pump round: feed the overload breaker and return
+        its governing state for the next round."""
+        state = self.breaker.record_epoch(self._shed_this_round > 0)
+        self._shed_this_round = 0
+        return state
+
+    def drain(self) -> list[TenantSpec]:
+        """Stop admitting; returns the queued tenants to shed."""
+        self.closed = True
+        dropped = list(self.queue)
+        self.queue.clear()
+        return dropped

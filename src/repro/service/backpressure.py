@@ -1,0 +1,140 @@
+"""Backpressure primitives for the fleet service.
+
+Two failure modes threaten a shared shard loop: a tenant's tuner that
+never returns (wedged optimization code, a poisoned state machine), and
+an observer that reads status slower than the shard produces it.  Both
+are bounded here:
+
+* :class:`OpGuard` — per-operation deadlines on the same shared,
+  fork-safe worker pool pattern as
+  :class:`repro.cache.resilience.ResilientBackend`: the guarded call
+  runs on a worker thread and the caller waits at most ``deadline_s``.
+  A deadline miss raises :class:`OpDeadlineError`; the shard treats it
+  exactly like a tuner crash (quarantine + supervised restart), so a
+  wedged tenant costs one deadline, never the shard.
+* :class:`BoundedRing` — a fixed-capacity update ring in the spirit of
+  ``obs.bus``'s bounded subscribers: when an observer falls behind, the
+  *oldest of its own updates* are dropped (and counted) — the producer
+  never blocks.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from typing import Callable, TypeVar
+
+T = TypeVar("T")
+
+_POOL_THREAD_PREFIX = "repro-fleet-op"
+
+_POOL: ThreadPoolExecutor | None = None
+_POOL_LOCK = threading.Lock()
+
+
+def _pool() -> ThreadPoolExecutor:
+    """The shared deadline-enforcement pool (created on first use)."""
+    global _POOL
+    with _POOL_LOCK:
+        if _POOL is None:
+            _POOL = ThreadPoolExecutor(
+                max_workers=8, thread_name_prefix=_POOL_THREAD_PREFIX
+            )
+        return _POOL
+
+
+def _reset_pool_after_fork() -> None:
+    # A forked child inherits a dead pool (its worker threads do not
+    # survive the fork); drop it so the child builds a fresh one.
+    global _POOL
+    _POOL = None
+
+
+os.register_at_fork(after_in_child=_reset_pool_after_fork)
+
+
+class OpDeadlineError(TimeoutError):
+    """A guarded operation overran its deadline."""
+
+    def __init__(self, op: str, deadline_s: float) -> None:
+        self.op = op
+        self.deadline_s = deadline_s
+        super().__init__(f"operation {op!r} exceeded {deadline_s}s deadline")
+
+
+class OpGuard:
+    """Run callables under a wall-clock deadline.
+
+    ``deadline_s=None`` runs inline (zero overhead — the default for
+    simulation-driven fleets where tuner calls are microseconds).  With
+    a deadline, the call is dispatched to the shared worker pool and
+    abandoned on overrun; the abandoned call may still finish on its
+    worker thread, but its target object is discarded by the caller
+    (the supervisor rebuilds a fresh one), so a late mutation lands on
+    garbage.
+    """
+
+    def __init__(self, deadline_s: float | None = None) -> None:
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be positive (or None)")
+        self.deadline_s = deadline_s
+
+    def call(self, op: str, fn: Callable[[], T]) -> T:
+        if self.deadline_s is None:
+            return fn()
+        if threading.current_thread().name.startswith(_POOL_THREAD_PREFIX):
+            # Already on a guard worker (nested guard): run inline
+            # rather than deadlocking on a saturated pool.
+            return fn()
+        future = _pool().submit(fn)
+        try:
+            return future.result(timeout=self.deadline_s)
+        except FutureTimeout:
+            future.cancel()
+            raise OpDeadlineError(op, self.deadline_s) from None
+
+
+class BoundedRing:
+    """Fixed-capacity FIFO that drops its own oldest entries when full.
+
+    The producer (shard loop) always appends in O(1) and never blocks;
+    a slow consumer loses the oldest updates it has not drained yet,
+    and ``dropped`` counts them.  Thread-safe for one producer and any
+    number of consumers.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._items: deque = deque()
+        self._lock = threading.Lock()
+        self.dropped = 0
+        self.pushed = 0
+
+    def push(self, item) -> None:
+        with self._lock:
+            self.pushed += 1
+            if len(self._items) >= self.capacity:
+                self._items.popleft()
+                self.dropped += 1
+            self._items.append(item)
+
+    def drain(self) -> list:
+        """Remove and return everything currently buffered (oldest first)."""
+        with self._lock:
+            items = list(self._items)
+            self._items.clear()
+        return items
+
+    def latest(self):
+        """The most recent entry without consuming it (None when empty)."""
+        with self._lock:
+            return self._items[-1] if self._items else None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)

@@ -1,0 +1,126 @@
+"""Graceful shutdown: signal handling and in-flight draining.
+
+Shared by the fleet service (``repro serve``) and the cache server
+(``repro cache serve``): a SIGTERM/SIGINT flips a drain event, the
+server stops accepting new work, finishes what is in flight, journals
+its state, and exits 0 — the contract supervisors (systemd, k8s)
+expect from a well-behaved service.
+
+:class:`GracefulSignals` installs the handlers (restoring the previous
+ones on exit, so tests can nest it) and :class:`InFlightGauge` counts
+in-flight requests so the drain can wait for them without tracking
+individual threads.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+
+
+class GracefulSignals:
+    """Install SIGTERM/SIGINT handlers that set a drain event.
+
+    The handler never raises and never does work — it only records the
+    signal and sets :attr:`triggered`; the serving loop polls (or
+    waits on) the event and performs the actual drain on its own
+    thread.  Use as a context manager; previous handlers are restored
+    on exit.  Signal handlers can only be installed from the main
+    thread — ``install`` degrades to a no-op elsewhere (the drain
+    event still works when set programmatically).
+    """
+
+    SIGNALS = (signal.SIGTERM, signal.SIGINT)
+
+    def __init__(self, on_signal=None) -> None:
+        self.triggered = threading.Event()
+        self.signum: int | None = None
+        self.on_signal = on_signal
+        self._previous: dict[int, object] = {}
+        self._installed = False
+
+    def _handler(self, signum, frame) -> None:
+        self.signum = signum
+        self.triggered.set()
+        if self.on_signal is not None:
+            self.on_signal(signum)
+
+    def install(self) -> "GracefulSignals":
+        if threading.current_thread() is not threading.main_thread():
+            return self
+        for sig in self.SIGNALS:
+            self._previous[sig] = signal.getsignal(sig)
+            signal.signal(sig, self._handler)
+        self._installed = True
+        return self
+
+    def restore(self) -> None:
+        if not self._installed:
+            return
+        for sig, prev in self._previous.items():
+            signal.signal(sig, prev)
+        self._previous.clear()
+        self._installed = False
+
+    def __enter__(self) -> "GracefulSignals":
+        return self.install()
+
+    def __exit__(self, *exc) -> None:
+        self.restore()
+
+
+class InFlightGauge:
+    """Thread-safe in-flight counter with an idle wait.
+
+    Request handlers bracket their work with ``with gauge:``; the
+    drain calls :meth:`wait_idle` to let in-flight requests finish
+    (bounded by a timeout — a wedged handler must not wedge the
+    drain).
+    """
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._lock = threading.Lock()
+        self._idle = threading.Event()
+        self._idle.set()
+        self.peak = 0
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def enter(self) -> None:
+        with self._lock:
+            self._count += 1
+            self.peak = max(self.peak, self._count)
+            self._idle.clear()
+
+    def exit(self) -> None:
+        with self._lock:
+            if self._count > 0:
+                self._count -= 1
+            if self._count == 0:
+                self._idle.set()
+
+    def __enter__(self) -> "InFlightGauge":
+        self.enter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.exit()
+
+    def wait_idle(self, timeout_s: float = 10.0) -> bool:
+        """Block until no request is in flight; False on timeout."""
+        return self._idle.wait(timeout_s)
+
+
+def wait_for(predicate, timeout_s: float, poll_s: float = 0.01) -> bool:
+    """Poll ``predicate()`` until true or ``timeout_s`` elapses."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(poll_s)
+    return bool(predicate())

@@ -1,0 +1,335 @@
+"""HTTP front end for the fleet service: ``repro serve`` / ``repro submit``.
+
+A thin JSON protocol over the stdlib ``ThreadingHTTPServer`` (the same
+pattern as :mod:`repro.cache.http_store`):
+
+==============================  ==========================================
+``POST /v1/submit``             body: tenant spec JSON (+ optional
+                                ``chaos``) -> decision doc
+``GET  /v1/tenants/<id>``       tenant status (404 unknown)
+``POST /v1/tenants/<id>/steer``  body: ``{"params": [...]}`` -> ack
+``POST /v1/tenants/<id>/cancel`` -> ack
+``GET  /v1/status``             fleet status document
+``GET  /v1/metrics``            Prometheus text exposition
+``GET  /v1/health``             liveness/readiness probe
+``POST /v1/drain``              graceful drain (also what SIGTERM does)
+==============================  ==========================================
+
+The :class:`FleetService` itself is single-threaded; the server
+serializes every fleet access behind one lock and advances the fleet
+on a dedicated pump thread.  SIGTERM/SIGINT (via
+:class:`~repro.service.drain.GracefulSignals`) stop admissions, let
+the current round's epochs finish, drain in-flight HTTP requests
+(:class:`~repro.service.drain.InFlightGauge`), journal final tenant
+statuses, and exit 0.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.service.drain import GracefulSignals, InFlightGauge
+from repro.service.fleet import FleetService
+from repro.service.tenant import TenantChaos, TenantSpec
+
+__all__ = ["FleetServer", "FleetClient", "FleetApiError"]
+
+_TENANT_PREFIX = "/v1/tenants/"
+
+
+def _make_handler(server: "FleetServer") -> type[BaseHTTPRequestHandler]:
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        server_version = "repro-fleet"
+
+        def log_message(self, fmt, *args):  # noqa: D102 - quiet by default
+            pass
+
+        def _send(self, status: int, body: bytes = b"",
+                  content_type: str = "application/json") -> None:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            if body:
+                self.wfile.write(body)
+
+        def _send_json(self, doc, status: int = 200) -> None:
+            self._send(status, json.dumps(doc).encode())
+
+        def _read_json(self) -> dict:
+            length = int(self.headers.get("Content-Length", 0))
+            raw = self.rfile.read(length) if length else b"{}"
+            return json.loads(raw or b"{}")
+
+        def _tenant_route(self) -> tuple[str, str] | None:
+            """``(tenant, action)`` for ``/v1/tenants/<id>[/<action>]``."""
+            if not self.path.startswith(_TENANT_PREFIX):
+                return None
+            rest = self.path[len(_TENANT_PREFIX):]
+            name, _, action = rest.partition("/")
+            return (name, action) if name else None
+
+        def do_GET(self):
+            with server.in_flight:
+                if self.path == "/v1/health":
+                    self._send_json({
+                        "status": ("draining" if server.fleet.drained
+                                   else "ok"),
+                    })
+                    return
+                if self.path == "/v1/status":
+                    with server.lock:
+                        self._send_json(server.fleet.status())
+                    return
+                if self.path == "/v1/metrics":
+                    with server.lock:
+                        text = server.fleet.prometheus()
+                    self._send(200, text.encode(),
+                               "text/plain; version=0.0.4")
+                    return
+                route = self._tenant_route()
+                if route is not None and not route[1]:
+                    try:
+                        with server.lock:
+                            doc = server.fleet.observe(route[0])
+                    except KeyError:
+                        self._send_json({"error": "unknown tenant"}, 404)
+                        return
+                    self._send_json(doc)
+                    return
+                self._send_json({"error": "not found"}, 404)
+
+        def do_POST(self):
+            with server.in_flight:
+                if self.path == "/v1/submit":
+                    try:
+                        doc = self._read_json()
+                        chaos = None
+                        chaos_doc = doc.pop("chaos", None)
+                        if chaos_doc:
+                            chaos = TenantChaos(
+                                crash_epochs=tuple(
+                                    chaos_doc.get("crash_epochs", ())),
+                                poison_epochs=tuple(
+                                    chaos_doc.get("poison_epochs", ())),
+                            )
+                        spec = TenantSpec.from_dict(doc)
+                        with server.lock:
+                            decision = server.fleet.submit(spec, chaos=chaos)
+                    except (ValueError, TypeError, KeyError) as exc:
+                        self._send_json({"error": str(exc)}, 400)
+                        return
+                    self._send_json(decision)
+                    return
+                if self.path == "/v1/drain":
+                    server.request_drain()
+                    self._send_json({"status": "draining"})
+                    return
+                route = self._tenant_route()
+                if route is not None and route[1] in ("steer", "cancel"):
+                    name, action = route
+                    try:
+                        with server.lock:
+                            if action == "steer":
+                                body = self._read_json()
+                                doc = server.fleet.steer(
+                                    name, body.get("params", ()))
+                            else:
+                                doc = server.fleet.cancel(name)
+                    except KeyError:
+                        self._send_json({"error": "unknown tenant"}, 404)
+                        return
+                    except ValueError as exc:
+                        self._send_json({"error": str(exc)}, 409)
+                        return
+                    self._send_json(doc)
+                    return
+                self._send_json({"error": "not found"}, 404)
+
+    return Handler
+
+
+class FleetServer:
+    """A running fleet service with its HTTP front end and pump loop."""
+
+    def __init__(
+        self,
+        fleet: FleetService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        pace_s: float = 0.0,
+    ) -> None:
+        if pace_s < 0:
+            raise ValueError("pace_s must be >= 0")
+        self.fleet = fleet
+        self.pace_s = pace_s
+        self.lock = threading.Lock()
+        self.in_flight = InFlightGauge()
+        self._drain_requested = threading.Event()
+        self._httpd = ThreadingHTTPServer((host, port), _make_handler(self))
+        self._httpd.daemon_threads = True
+        self._serve_thread: threading.Thread | None = None
+        self._pump_thread: threading.Thread | None = None
+
+    @property
+    def url(self) -> str:
+        host, port = self._httpd.server_address[:2]
+        if ":" in host:  # IPv6 literal
+            host = f"[{host}]"
+        return f"http://{host}:{port}"
+
+    def request_drain(self) -> None:
+        self._drain_requested.set()
+
+    # -- the pump loop ---------------------------------------------------
+
+    def _pump_loop(self) -> None:
+        while not self._drain_requested.is_set():
+            with self.lock:
+                busy = (self.fleet.active_count()
+                        or self.fleet.admission.queued())
+                if busy and not self.fleet.drained:
+                    self.fleet.pump()
+            # An idle fleet spins gently; a paced one sleeps its round.
+            self._drain_requested.wait(self.pace_s if busy else 0.02)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "FleetServer":
+        """Serve and pump on background threads (tests, embedding)."""
+        self._serve_thread = threading.Thread(
+            target=self._httpd.serve_forever, kwargs={"poll_interval": 0.05},
+            daemon=True,
+        )
+        self._serve_thread.start()
+        self._pump_thread = threading.Thread(
+            target=self._pump_loop, daemon=True
+        )
+        self._pump_thread.start()
+        return self
+
+    def drain_and_stop(self, *, request_timeout_s: float = 5.0) -> dict:
+        """The graceful-shutdown path: stop the pump loop at a round
+        boundary, stop accepting HTTP, let in-flight requests finish,
+        drain the fleet (journaling final statuses)."""
+        self._drain_requested.set()
+        if self._pump_thread is not None:
+            self._pump_thread.join(timeout=30.0)
+            self._pump_thread = None
+        self._httpd.shutdown()  # stop accepting new connections
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5.0)
+            self._serve_thread = None
+        self.in_flight.wait_idle(request_timeout_s)
+        self._httpd.server_close()
+        with self.lock:
+            return self.fleet.drain()
+
+    def run_forever(self) -> int:
+        """The ``repro serve`` path: serve until SIGTERM/SIGINT (or a
+        ``POST /v1/drain``), then drain gracefully.  Returns the exit
+        code (0 on a clean drain)."""
+        with GracefulSignals() as signals:
+            self.start()
+            while not (signals.triggered.is_set()
+                       or self._drain_requested.is_set()):
+                signals.triggered.wait(0.1)
+            self.drain_and_stop()
+        return 0
+
+    def __enter__(self) -> "FleetServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.drain_and_stop()
+
+
+class FleetClient:
+    """Stdlib client for a :class:`FleetServer` (``repro submit``)."""
+
+    def __init__(self, base_url: str, *, timeout_s: float = 10.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = float(timeout_s)
+
+    def _request(self, method: str, path: str, doc: dict | None = None):
+        body = json.dumps(doc).encode() if doc is not None else None
+        req = urllib.request.Request(
+            self.base_url + path, data=body, method=method,
+            headers={"Content-Type": "application/json"} if body else {},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+                raw = resp.read()
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                payload = json.loads(raw or b"{}")
+            except json.JSONDecodeError:
+                payload = {"error": raw.decode(errors="replace")}
+            raise FleetApiError(exc.code, payload.get("error", "")) from None
+        return json.loads(raw or b"{}")
+
+    def submit(self, spec: TenantSpec | dict, *, chaos: dict | None = None):
+        doc = spec.to_dict() if isinstance(spec, TenantSpec) else dict(spec)
+        if chaos is not None:
+            doc["chaos"] = chaos
+        return self._request("POST", "/v1/submit", doc)
+
+    def observe(self, tenant: str) -> dict:
+        return self._request("GET", _TENANT_PREFIX + tenant)
+
+    def steer(self, tenant: str, params) -> dict:
+        return self._request(
+            "POST", _TENANT_PREFIX + tenant + "/steer",
+            {"params": list(params)},
+        )
+
+    def cancel(self, tenant: str) -> dict:
+        return self._request("POST", _TENANT_PREFIX + tenant + "/cancel", {})
+
+    def status(self) -> dict:
+        return self._request("GET", "/v1/status")
+
+    def metrics_text(self) -> str:
+        req = urllib.request.Request(self.base_url + "/v1/metrics")
+        with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+            return resp.read().decode()
+
+    def health(self) -> dict:
+        return self._request("GET", "/v1/health")
+
+    def drain(self) -> dict:
+        return self._request("POST", "/v1/drain", {})
+
+    def wait_terminal(
+        self, tenant: str, *, timeout_s: float = 30.0, poll_s: float = 0.05
+    ) -> dict:
+        """Poll until the tenant reaches a terminal state."""
+        from repro.service.tenant import TERMINAL_STATES
+
+        deadline = time.monotonic() + timeout_s
+        while True:
+            doc = self.observe(tenant)
+            if doc.get("state") in TERMINAL_STATES:
+                return doc
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"tenant {tenant!r} still {doc.get('state')!r} after "
+                    f"{timeout_s}s"
+                )
+            time.sleep(poll_s)
+
+
+class FleetApiError(RuntimeError):
+    """A non-2xx fleet API response."""
+
+    def __init__(self, status: int, message: str) -> None:
+        self.status = status
+        super().__init__(f"fleet API error {status}: {message}")

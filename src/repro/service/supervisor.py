@@ -1,0 +1,91 @@
+"""Tenant supervision: quarantine crashes, restart from the journal.
+
+When a tenant's tuner raises (or overruns its op deadline), the shard
+discards the broken driver and asks the supervisor for a replacement.
+The supervisor rebuilds a *fresh* driver from the tenant's epoch
+records — the same observation-replay contract as
+:mod:`repro.checkpoint.replay` — so the restarted tuner holds the
+bit-identical search state an uninterrupted run would hold.  The
+substrate is untouched (no engine RNG draw happens during a rebuild),
+which is what makes supervised restarts invisible in the trace: a
+crashed-and-restarted tenant's epochs AND steps equal its crash-free
+twin's.
+
+Tenants whose history is "plain" (no steering, no quarantined
+observations) go through :func:`repro.checkpoint.replay.replay_epochs`
+with full per-epoch verification; steered or quarantined tenants use
+the same dispatch ladder minus the record checks (their journaled
+params legitimately diverge from the driver's own proposals).
+"""
+
+from __future__ import annotations
+
+from repro.checkpoint.replay import replay_epochs
+from repro.core.base import TunerDriver
+from repro.core.registry import make_tuner
+from repro.sim.trace import EpochRecord
+
+
+class TenantRestartError(RuntimeError):
+    """The supervisor could not rebuild a consistent driver."""
+
+
+def rebuild_driver(
+    spec,
+    records: list[EpochRecord],
+    skipped: set[int],
+    *,
+    steered: bool = False,
+) -> TunerDriver:
+    """A fresh driver holding the state after replaying ``records``.
+
+    ``records`` are the tenant's closed epochs *before* the epoch being
+    dispatched when the crash happened (the shard feeds that epoch's
+    observation to the returned driver itself).  ``skipped`` holds the
+    epoch indices whose observations were quarantined and must be
+    withheld again.
+    """
+    tuner = make_tuner(spec.tuner, spec.seed)
+    space, _pmap = spec.space_and_map()
+    x0 = spec.start_point()
+    if not skipped and not steered:
+        # Plain history: the full checkpoint replay ladder, verifying
+        # every journaled epoch against the recomputed trajectory.
+        result = replay_epochs(
+            tuner, space, x0, records,
+            retry_policy=None, breaker=None, verify=True,
+        )
+        return result.driver
+    driver = tuner.start(x0, space)
+    for rec in records:
+        if rec.tuned and rec.index not in skipped:
+            driver.observe(rec.observed)
+    return driver
+
+
+class Supervisor:
+    """Counts and performs supervised tenant restarts."""
+
+    def __init__(self) -> None:
+        self.restarts = 0
+
+    def restart(self, tenant) -> TunerDriver:
+        """Replace ``tenant.driver`` with a journal-rebuilt one.
+
+        Raises :class:`TenantRestartError` when the replay itself fails
+        (a corrupted record list) — the caller fails the tenant rather
+        than run it with undefined search state.
+        """
+        try:
+            driver = rebuild_driver(
+                tenant.spec, tenant.records, tenant.skipped,
+                steered=tenant.steered,
+            )
+        except Exception as exc:
+            raise TenantRestartError(
+                f"tenant {tenant.name!r}: restart replay failed: {exc}"
+            ) from exc
+        tenant.driver = driver
+        tenant.restarts += 1
+        self.restarts += 1
+        return driver

@@ -1,0 +1,260 @@
+"""Tenant model: one tuned transfer owned by the fleet service.
+
+A :class:`TenantSpec` is the submit payload — pure data, JSON
+round-trippable, stable enough to live in a journal header.  A
+:class:`Tenant` is the runtime the fleet tracks for it: lifecycle
+state, the tuner driver the shard feeds (the substrate session itself
+is driverless — the engine dispatches closed epochs to the shard's
+``epoch_sink``), the epoch records that make supervised restarts
+replayable, and the bounded status ring observers read from.
+
+Lifecycle::
+
+    QUEUED ──admit──> RUNNING ──budget──> COMPLETED
+      │                  │ │
+      │ shed             │ └─cancel────> CANCELLED
+      └────> SHED        └─unsupervised crash──> FAILED
+
+``SHED``/``FAILED``/``CANCELLED`` always carry a recorded reason; the
+acceptance storm asserts no tenant ever ends without one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.base import TunerDriver
+from repro.core.params import (
+    ParamSpace,
+    concurrency_parallelism_space,
+    concurrency_space,
+)
+from repro.core.registry import make_tuner, tuner_names
+from repro.experiments.scenarios import default_start
+from repro.faults.retry import SAFE_DEFAULT_NC, SAFE_DEFAULT_NP
+from repro.service.backpressure import BoundedRing
+from repro.sim.session import ParamMap
+from repro.sim.trace import EpochRecord
+
+# -- lifecycle states ------------------------------------------------------
+
+QUEUED = "queued"
+RUNNING = "running"
+COMPLETED = "completed"
+SHED = "shed"
+FAILED = "failed"
+CANCELLED = "cancelled"
+DRAINED = "drained"
+
+TENANT_STATES = (QUEUED, RUNNING, COMPLETED, SHED, FAILED, CANCELLED, DRAINED)
+
+#: States a tenant never leaves.
+TERMINAL_STATES = (COMPLETED, SHED, FAILED, CANCELLED, DRAINED)
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's submit request.
+
+    Parameters
+    ----------
+    tenant:
+        Fleet-unique tenant id (doubles as the substrate session name).
+    scenario:
+        Shard key — the named scenario whose topology the tenant runs
+        on (``repro info`` lists them).
+    tuner:
+        Registered tuner short name (:mod:`repro.core.registry`).
+    seed:
+        Tuner seed; restarts rebuild the identical algorithm from it.
+    epochs:
+        Control-epoch budget: the tenant completes after this many
+        epochs.
+    tune_np / fixed_np / max_nc / x0:
+        Parameter-space conventions, as in
+        :func:`repro.experiments.runner.make_session`.
+    supervised:
+        Whether a crashed/wedged tuner is restarted from the epoch
+        journal (bit-identically) instead of failing the tenant.
+    op_deadline_s:
+        Optional wall-clock deadline on each tuner call (None = inline).
+    """
+
+    tenant: str
+    scenario: str = "anl-uc"
+    tuner: str = "cd"
+    seed: int = 0
+    epochs: int = 10
+    tune_np: bool = False
+    fixed_np: int = 8
+    max_nc: int = 512
+    x0: tuple[int, ...] | None = None
+    supervised: bool = True
+    op_deadline_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.tenant:
+            raise ValueError("tenant id must be non-empty")
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if self.tuner not in tuner_names():
+            raise ValueError(
+                f"unknown tuner {self.tuner!r}; choose from {tuner_names()}"
+            )
+
+    def space_and_map(self) -> tuple[ParamSpace, ParamMap]:
+        if self.tune_np:
+            return (concurrency_parallelism_space(max_nc=self.max_nc),
+                    ParamMap.nc_np())
+        return (concurrency_space(max_nc=self.max_nc),
+                ParamMap.nc_only(fixed_np=self.fixed_np))
+
+    def start_point(self) -> tuple[int, ...]:
+        if self.x0 is not None:
+            return tuple(self.x0)
+        return default_start(2 if self.tune_np else 1)
+
+    def pinned_start(self) -> tuple[int, ...]:
+        """The degraded-mode start: the safe Globus default."""
+        if self.tune_np:
+            return (SAFE_DEFAULT_NC, SAFE_DEFAULT_NP)
+        return (SAFE_DEFAULT_NC,)
+
+    def to_dict(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "scenario": self.scenario,
+            "tuner": self.tuner,
+            "seed": self.seed,
+            "epochs": self.epochs,
+            "tune_np": self.tune_np,
+            "fixed_np": self.fixed_np,
+            "max_nc": self.max_nc,
+            "x0": list(self.x0) if self.x0 is not None else None,
+            "supervised": self.supervised,
+            "op_deadline_s": self.op_deadline_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TenantSpec":
+        known = {
+            "tenant", "scenario", "tuner", "seed", "epochs", "tune_np",
+            "fixed_np", "max_nc", "x0", "supervised", "op_deadline_s",
+        }
+        extra = set(data) - known
+        if extra:
+            raise ValueError(f"unknown tenant spec fields {sorted(extra)}")
+        kwargs = dict(data)
+        if kwargs.get("x0") is not None:
+            kwargs["x0"] = tuple(int(v) for v in kwargs["x0"])
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class TenantChaos:
+    """Injected misbehavior for storm tests.
+
+    ``crash_epochs`` raise inside the tenant's tuner call at those
+    epoch indices (the supervisor's restart path); ``poison_epochs``
+    replace the observation with NaN before the tuner sees it (the
+    quarantine path).  Both are part of the *fleet test harness*, not
+    the substrate — a production tenant misbehaves on its own.
+    """
+
+    crash_epochs: tuple[int, ...] = ()
+    poison_epochs: tuple[int, ...] = ()
+
+
+class Tenant:
+    """Runtime state of one admitted (or queued) tenant."""
+
+    def __init__(
+        self,
+        spec: TenantSpec,
+        *,
+        degraded: bool = False,
+        chaos: TenantChaos | None = None,
+        ring_capacity: int = 64,
+    ) -> None:
+        self.spec = spec
+        self.state = QUEUED
+        #: Why the tenant ended up in a terminal state ("" while live).
+        self.reason = ""
+        #: Degraded admits are pinned at the safe default: no tuner,
+        #: no per-epoch restarts, params held for the whole run.
+        self.degraded = degraded
+        self.chaos = chaos
+
+        self.space, self.param_map = spec.space_and_map()
+        self.x0 = (spec.pinned_start() if degraded else spec.start_point())
+        self.driver: TunerDriver | None = None
+        #: Degraded tenants are set-and-hold; live ones follow their
+        #: tuner's relaunch trait (the paper's tuners restart each epoch).
+        self.restart_each_epoch = False
+        if not degraded:
+            tuner = make_tuner(spec.tuner, spec.seed)
+            self.restart_each_epoch = tuner.restarts_every_epoch
+            self.driver = tuner.start(self.x0, self.space)
+
+        #: Closed epoch records, in order — the tenant's replay journal.
+        self.records: list[EpochRecord] = []
+        #: Epoch indices whose observation was quarantined (poisoned):
+        #: a restart replay must withhold exactly these from the tuner.
+        self.skipped: set[int] = set()
+        #: Standing steer override; adopted on the next clean epoch.
+        self.steer_override: tuple[int, ...] | None = None
+        self.steered = False
+
+        self.restarts = 0
+        self.faulted_epochs = 0
+        self.quarantined = 0
+        #: Status updates for observers (bounded: slow observers drop
+        #: their own oldest updates, never stall the shard).
+        self.updates = BoundedRing(ring_capacity)
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.spec.tenant
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    @property
+    def epochs_done(self) -> int:
+        return len(self.records)
+
+    def mean_observed(self) -> float:
+        clean = [r.observed for r in self.records if not r.faulted]
+        return sum(clean) / len(clean) if clean else 0.0
+
+    # -- transitions -----------------------------------------------------
+
+    def finish(self, state: str, reason: str) -> None:
+        if state not in TERMINAL_STATES:
+            raise ValueError(f"{state!r} is not a terminal state")
+        if self.terminal:
+            return
+        self.state = state
+        self.reason = reason
+
+    def status(self) -> dict:
+        """JSON-ready status document (what observe/HTTP return)."""
+        last = self.records[-1] if self.records else None
+        return {
+            "tenant": self.name,
+            "state": self.state,
+            "reason": self.reason,
+            "degraded": self.degraded,
+            "epochs_done": self.epochs_done,
+            "epochs_budget": self.spec.epochs,
+            "restarts": self.restarts,
+            "faulted_epochs": self.faulted_epochs,
+            "quarantined": self.quarantined,
+            "mean_observed_mbps": self.mean_observed(),
+            "last_params": list(last.params) if last is not None else None,
+            "last_observed_mbps": last.observed if last is not None else None,
+            "updates_dropped": self.updates.dropped,
+        }

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -202,6 +202,16 @@ class Engine:
     config: EngineConfig = field(default_factory=EngineConfig)
     journal: "JournalWriter | None" = None
     obs: "Instrumentation | None" = None
+    #: External epoch dispatcher for sessions that carry neither a tuner
+    #: driver nor a joint controller: called once per closed epoch with
+    #: ``(session, record)`` and returns the next parameters (or ``None``
+    #: to hold the current ones).  The return value is only honored on
+    #: clean, tuned epochs — faulted and obs-lost epochs follow the same
+    #: recovery ladder as driver-owned sessions, so an externally driven
+    #: session journals/replays identically.  This is what lets a fleet
+    #: service advance many tenant sessions on one shared substrate while
+    #: owning the tuner (isolation, deadlines, supervision) itself.
+    epoch_sink: "Callable[[TransferSession, EpochRecord], tuple[int, ...] | None] | None" = None
 
     def __post_init__(self) -> None:
         if self.journal is not None and self.controllers:
@@ -245,9 +255,7 @@ class Engine:
                 self._controller_of[name] = ctl
         for s in self.sessions:
             if s.driver is None and s.name not in self._controller_of:
-                raise ValueError(
-                    f"session {s.name!r} has neither a tuner nor a controller"
-                )
+                self._check_sink_session(s)
 
         self.clock = SimClock(self.config.dt)
         self.rng = RngStreams(self.config.seed)
@@ -283,11 +291,112 @@ class Engine:
         self._ev_time = 0.0
         self._ev_index = 0
 
+    def _check_sink_session(self, s: TransferSession) -> None:
+        """Validate a session that is neither driver- nor
+        controller-owned: it needs the engine's ``epoch_sink``."""
+        if self.epoch_sink is None:
+            raise ValueError(
+                f"session {s.name!r} has neither a tuner nor a controller"
+            )
+        if s.breaker is not None:
+            # The half-open probe adopts ``driver.current``, which a
+            # sink-driven session does not have; the fleet's degrade
+            # ladder lives in its admission layer instead.
+            raise ValueError(
+                f"session {s.name!r}: circuit breakers are not supported "
+                "on sink-driven sessions"
+            )
+
     # -- public API ------------------------------------------------------
 
-    def run(self, until_s: float | None = None) -> dict[str, Trace]:
-        """Advance until all sessions finish (or ``until_s``); returns the
-        per-session traces."""
+    @property
+    def idle(self) -> bool:
+        """True when every current session has finished."""
+        return all(s.done for s in self.sessions)
+
+    def step_once(self) -> None:
+        """Advance the whole substrate by one ``dt`` step.
+
+        The decoupled driver API: external loops (the fleet service)
+        interleave ``step_once`` with :meth:`add_session` /
+        :meth:`remove_session` instead of handing control to
+        :meth:`run`.  The first call pays the same initialization as
+        ``run`` (observability wiring, initial restart windows).
+        """
+        self._ensure_started()
+        self._step()
+
+    def add_session(self, s: TransferSession) -> None:
+        """Admit a session to a (possibly mid-flight) substrate.
+
+        The session starts its first control epoch at the current sim
+        time, paying the same initial-launch restart cost a
+        construction-time session pays.  Dynamic membership invalidates
+        the jitter-batch draw prediction, so batching is disabled from
+        here on (already-drawn values are still consumed in order — the
+        RNG stream stays bit-exact).
+        """
+        name = s.spec.name
+        if name in self._by_name:
+            raise ValueError(f"duplicate session name {name!r}")
+        if name in (EXT_CMP, EXT_TFR):
+            raise ValueError(
+                f"session names {EXT_CMP!r}/{EXT_TFR!r} are reserved"
+            )
+        self.topology.path(s.spec.path_name)  # validates existence
+        if s.driver is None:
+            self._check_sink_session(s)
+        self._batch_jitter = False
+        self.sessions.append(s)
+        self._by_name[name] = s
+        self._tau[name] = self.topology.path(s.spec.path_name).tcp.slow_start_tau
+        self._alloc_key = None
+        self._alloc_val = None
+        if self._started:
+            s.noise_factor = lognormal_factor(
+                self.rng.throughput_noise, self.config.noise_sigma_epoch
+            )
+            s.begin_restart(
+                self.client.restart.restart_time_s(
+                    s.nc,
+                    self._last_cmp_frac,
+                    s.spec.epoch_s,
+                    rng=self.rng.restart_jitter,
+                )
+            )
+            if self.obs is not None:
+                self.obs.bus.emit(EpochStart(
+                    time=self.clock.now, session=name, index=0,
+                    params=tuple(s.params),
+                ))
+
+    def remove_session(self, name: str) -> TransferSession:
+        """Retire a *finished* session from the substrate.
+
+        Finished sessions consume no RNG draws and contribute nothing to
+        the allocation phase, so removal is draw-neutral; removing an
+        active session would change every other session's trajectory and
+        is refused.
+        """
+        s = self._by_name.get(name)
+        if s is None:
+            raise KeyError(f"no session {name!r}")
+        if not s.done:
+            raise ValueError(
+                f"session {name!r} is still active; only finished "
+                "sessions can be removed"
+            )
+        self.sessions.remove(s)
+        del self._by_name[name]
+        self._tau.pop(name, None)
+        self._alloc_key = None
+        self._alloc_val = None
+        return s
+
+    def _ensure_started(self) -> None:
+        """Idempotent run preamble: observability wiring plus the
+        per-session initialization (shared by :meth:`run` and
+        :meth:`step_once`)."""
         if self.obs is not None and not self.obs.active:
             # An inert bundle (NullBus, no metrics/spans) is dropped
             # outright so the loop body never constructs event objects
@@ -295,13 +404,18 @@ class Engine:
             self.obs = None
         if self.obs is not None:
             self._install_obs_hooks()
+        if not self._started:
+            self._initialize()
+
+    def run(self, until_s: float | None = None) -> dict[str, Trace]:
+        """Advance until all sessions finish (or ``until_s``); returns the
+        per-session traces."""
         if until_s is not None:
             # A bounded run can stop mid-epoch; the jitter-batch
             # prediction assumes every started span runs to its closure,
             # so keep such runs on per-step draws (still bit-identical).
             self._batch_jitter = False
-        if not self._started:
-            self._initialize()
+        self._ensure_started()
         while not all(s.done for s in self.sessions):
             if until_s is not None and self.clock.now >= until_s - 1e-9:
                 break
@@ -788,7 +902,7 @@ class Engine:
             self._ev_time = end_t
             self._ev_index = rec.index
 
-        if s.driver is None:
+        if s.driver is None and s.name in self._controller_of:
             # Jointly controlled sessions carry no fault machinery
             # (enforced at construction); keep the original path.
             ctl = self._controller_of[s.name]
@@ -802,6 +916,11 @@ class Engine:
                             params=tuple(params),
                         ))
             return
+
+        # Sink-driven sessions: the external owner (fleet shard) sees
+        # every closed epoch — including faulted ones, so its journal
+        # replays — but its proposal is only honored on the clean path.
+        sink = self.epoch_sink if s.driver is None else None
 
         # Fixed per-epoch draw pattern: one value from each stream no
         # matter which recovery path runs below, so fault policies are
@@ -824,6 +943,8 @@ class Engine:
         if (rec.fault == SESSION_ABORT and s.retry_state is not None
                 and not s.retry_state.can_retry()):
             s.failed = True
+            if sink is not None:
+                sink(s, rec)
             if obs is not None:
                 obs.bus.emit(TunerReject(
                     time=end_t, session=s.name, index=rec.index,
@@ -868,6 +989,8 @@ class Engine:
             backoff = 0.0
             if s.retry_state is not None and s.retry_state.can_retry():
                 backoff = s.retry_state.record_failure(u=backoff_u)
+            if sink is not None:
+                sink(s, rec)  # tenant journals the fault; params held
             self._adopt(s, s.params, force_restart=True,
                         extra_dead_s=backoff, noise=noise, rjit=rjit)
             if obs is not None:
@@ -883,6 +1006,8 @@ class Engine:
         if rec.fault == OBS_LOSS:
             # Control channel dropped the measurement: hold the current
             # parameters; the tuner observes nothing.
+            if sink is not None:
+                sink(s, rec)
             self._adopt(s, s.params, noise=noise, rjit=rjit)
             if obs is not None:
                 obs.bus.emit(TunerReject(
@@ -891,7 +1016,11 @@ class Engine:
                 ))
             return
 
-        proposal = s.driver.observe(rec.observed)
+        if sink is not None:
+            proposed = sink(s, rec)
+            proposal = s.params if proposed is None else tuple(proposed)
+        else:
+            proposal = s.driver.observe(rec.observed)
         if obs is not None:
             obs.bus.emit(TunerProposal(
                 time=end_t, session=s.name, index=rec.index,

@@ -186,6 +186,51 @@ class TestBreaker:
         assert inner.calls == calls + 1
         assert backend.breaker.state == OPEN
 
+    def test_racing_threads_send_exactly_one_half_open_probe(self):
+        """Regression: two threads seeing HALF_OPEN used to both probe
+        and both record an epoch, double-stepping the state machine.
+        Now one claims the probe; the loser degrades without touching
+        the breaker."""
+        import threading
+
+        backend, inner, _ = _armored(
+            retries=0, failure_threshold=1, cooldown_ops=1
+        )
+        key = _key("race")
+        inner.fail_next = 1
+        backend.get(key)            # trip
+        backend.get(key)            # cooldown tick -> half-open
+        assert backend.breaker.state == HALF_OPEN
+
+        release = threading.Event()
+        entered = threading.Event()
+        orig_get = inner.get
+
+        def slow_get(k):
+            entered.set()
+            assert release.wait(5.0)
+            return orig_get(k)
+
+        inner.get = slow_get
+        results: dict[str, object] = {}
+
+        def prober():
+            results["probe"] = backend.get(key)
+
+        t = threading.Thread(target=prober)
+        t.start()
+        assert entered.wait(5.0)    # the probe owner is inside inner.get
+        calls = inner.calls
+        # A second caller during the in-flight probe: degraded miss,
+        # no inner I/O, and the breaker state is untouched.
+        assert backend.get(key) is None
+        assert inner.calls == calls
+        assert backend.breaker.state == HALF_OPEN
+        assert backend.counters.degraded >= 1
+        release.set()
+        t.join(5.0)
+        assert backend.breaker.state == CLOSED  # the clean probe closed it
+
 
 class TestTelemetry:
     def test_counters_mirror_into_metrics(self):

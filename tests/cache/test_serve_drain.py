@@ -1,0 +1,98 @@
+"""Graceful drain of ``repro cache serve``: SIGTERM semantics.
+
+The contract shared with the fleet server (:mod:`repro.service.drain`):
+a drain request stops new work (503), lets in-flight requests finish
+under the gauge, closes the listener and the store, and the
+``run_forever`` loop exits 0.
+"""
+
+import hashlib
+import threading
+import time
+import urllib.error
+
+import pytest
+
+from repro.cache.backend import DirBackend
+from repro.cache.http_store import CacheServer, HttpBackend
+
+
+def _key(tag: str) -> str:
+    return hashlib.sha256(tag.encode()).hexdigest()
+
+
+class SlowBackend(DirBackend):
+    """A directory store whose ``get`` blocks until released."""
+
+    def __init__(self, root):
+        super().__init__(root)
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    def get(self, key):
+        self.entered.set()
+        assert self.release.wait(5.0)
+        return super().get(key)
+
+
+class TestCacheServeDrain:
+    def test_draining_server_refuses_new_requests(self, tmp_path):
+        server = CacheServer(DirBackend(tmp_path)).start()
+        try:
+            be = HttpBackend(server.url)
+            be.put(_key("a"), b"v")
+            server.request_drain()
+            with pytest.raises(urllib.error.HTTPError) as err:
+                be.get(_key("a"))
+            assert err.value.code == 503
+        finally:
+            server.drain()
+
+    def test_drain_is_idempotent_and_closes_the_store(self, tmp_path):
+        store = DirBackend(tmp_path)
+        server = CacheServer(store).start()
+        HttpBackend(server.url).put(_key("b"), b"v")
+        server.drain()
+        server.drain()  # second call is a no-op
+        assert server.draining
+
+    def test_in_flight_request_finishes_during_drain(self, tmp_path):
+        store = SlowBackend(tmp_path)
+        server = CacheServer(store).start()
+        key = _key("c")
+        DirBackend(tmp_path).put(key, b"payload")
+        be = HttpBackend(server.url, timeout_s=10.0)
+        result: list[bytes | None] = []
+        t = threading.Thread(target=lambda: result.append(be.get(key)))
+        t.start()
+        assert store.entered.wait(5.0)
+        assert server.in_flight.count == 1
+        drainer = threading.Thread(target=server.drain)
+        drainer.start()
+        time.sleep(0.05)
+        store.release.set()          # let the in-flight request finish
+        t.join(5.0)
+        drainer.join(5.0)
+        assert result == [b"payload"]
+        assert server.in_flight.count == 0
+
+    def test_run_forever_exits_zero_on_drain_request(self, tmp_path):
+        server = CacheServer(DirBackend(tmp_path))
+        rc: list[int] = []
+        t = threading.Thread(target=lambda: rc.append(server.run_forever()))
+        t.start()
+        deadline = time.monotonic() + 5.0
+        while not server._serving.is_set() and time.monotonic() < deadline:
+            time.sleep(0.01)
+        be = HttpBackend(server.url)
+        be.put(_key("d"), b"v")
+        assert be.get(_key("d")) == b"v"
+        server.request_drain()
+        t.join(5.0)
+        assert rc == [0]
+        assert not t.is_alive()
+
+    def test_context_manager_drains_on_exit(self, tmp_path):
+        with CacheServer(DirBackend(tmp_path)) as server:
+            HttpBackend(server.url).put(_key("e"), b"v")
+        assert server.draining

@@ -140,3 +140,98 @@ class TestCircuitBreaker:
             CircuitBreaker(cooldown_epochs=0)
         with pytest.raises(ValueError):
             CircuitBreaker(fallback_nc=0)
+
+
+class TestBreakerConcurrency:
+    """The half-open probe claim: exactly one racing thread wins."""
+
+    def _half_open(self) -> CircuitBreaker:
+        br = CircuitBreaker(failure_threshold=1, cooldown_epochs=1)
+        br.record_epoch(True)   # trip
+        br.record_epoch(False)  # cooldown over -> half-open
+        assert br.state == HALF_OPEN
+        return br
+
+    def test_acquire_probe_claims_once(self):
+        br = self._half_open()
+        assert br.acquire_probe()
+        assert not br.acquire_probe()  # already claimed this cooldown
+
+    def test_acquire_probe_refused_outside_half_open(self):
+        br = CircuitBreaker(failure_threshold=1, cooldown_epochs=1)
+        assert not br.acquire_probe()  # closed
+        br.record_epoch(True)
+        assert not br.acquire_probe()  # open
+
+    def test_record_epoch_releases_the_claim(self):
+        br = self._half_open()
+        assert br.acquire_probe()
+        br.record_epoch(True)   # faulted probe -> open again
+        br.record_epoch(False)  # cooldown over -> half-open again
+        assert br.acquire_probe()  # a new cooldown, a new claim
+
+    def test_reset_and_restore_release_the_claim(self):
+        br = self._half_open()
+        assert br.acquire_probe()
+        snap = br.snapshot()
+        br.restore(snap)
+        assert br.acquire_probe()
+        br.reset()
+        br.record_epoch(True)
+        br.record_epoch(False)
+        assert br.acquire_probe()
+
+    def test_exactly_one_probe_per_cooldown_under_racing_threads(self):
+        """Regression: many threads observing HALF_OPEN at once must
+        produce exactly one probe per cooldown, every cooldown."""
+        import threading
+
+        br = CircuitBreaker(failure_threshold=1, cooldown_epochs=1)
+        cooldowns = 20
+        threads_per_round = 16
+        for _ in range(cooldowns):
+            br.record_epoch(True)   # trip
+            br.record_epoch(False)  # -> half-open
+            assert br.state == HALF_OPEN
+            wins: list[bool] = []
+            lock = threading.Lock()
+            barrier = threading.Barrier(threads_per_round)
+
+            def contend():
+                barrier.wait()
+                got = br.acquire_probe()
+                with lock:
+                    wins.append(got)
+
+            ts = [threading.Thread(target=contend)
+                  for _ in range(threads_per_round)]
+            for t in ts:
+                t.start()
+            for t in ts:
+                t.join()
+            assert sum(wins) == 1, "exactly one probe claim per cooldown"
+            br.record_epoch(False)  # the winner's probe closes it
+            assert br.state == CLOSED
+
+    def test_breaker_pickles_without_its_lock(self):
+        import pickle
+
+        br = self._half_open()
+        assert br.acquire_probe()
+        clone = pickle.loads(pickle.dumps(br))
+        assert clone.state == HALF_OPEN
+        assert clone.acquire_probe()  # the claim is per-process
+
+    def test_on_transition_fires_outside_the_lock(self):
+        """A callback that re-enters the breaker must not deadlock."""
+        br = CircuitBreaker(failure_threshold=1, cooldown_epochs=1)
+        seen: list[tuple[str, str]] = []
+
+        def cb(old, new):
+            seen.append((old, new))
+            br.acquire_probe()  # re-entry: must not deadlock
+
+        br.on_transition = cb
+        br.record_epoch(True)
+        br.record_epoch(False)
+        assert seen == [(CLOSED, OPEN), (OPEN, HALF_OPEN)]

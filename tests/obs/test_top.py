@@ -167,3 +167,96 @@ class TestFollow:
     def test_follow_rejects_bad_interval(self, tmp_path):
         with pytest.raises(ValueError):
             follow(tmp_path / "x", interval_s=0.0)
+
+
+class TestFollowRotation:
+    """The stateful tailer: rotation, truncation, torn mid-rewrite."""
+
+    def test_truncated_journal_holds_the_last_frame(self, tmp_path):
+        path = _journal(tmp_path / "j.jnl", 3)
+        out = io.StringIO()
+        frames = [0]
+
+        def chaos_sleep(_):
+            frames[0] += 1
+            if frames[0] == 1:
+                # Truncate to a torn prefix mid-read: un-parseable.
+                raw = path.read_bytes()
+                path.write_bytes(raw[: len(raw) // 2 + 7])
+
+        n = follow(path, interval_s=0.01, out=out, sleep=chaos_sleep,
+                   max_frames=3)
+        assert n == 3  # never crashed
+        text = out.getvalue()
+        assert "epoch 2" in text  # the pre-truncation frame rendered
+
+    def test_rotation_reloads_from_the_new_file(self, tmp_path):
+        path = tmp_path / "j.jnl"
+        _journal(path, 5)
+        out = io.StringIO()
+        step = [0]
+
+        def rotate_sleep(_):
+            step[0] += 1
+            if step[0] == 1:
+                # Rotate: replace with a fresh, shorter journal from a
+                # different run (new inode, smaller size).
+                path.unlink()
+                _journal(tmp_path / "j2.jnl", 2, session="rotated")
+                (tmp_path / "j2.jnl").rename(path)
+
+        follow(path, interval_s=0.01, out=out, sleep=rotate_sleep,
+               max_frames=3)
+        text = out.getvalue()
+        assert "rotated: epoch 1" in text   # the new journal rendered
+        assert "journal rotated" in text    # and the reload was noted
+
+    def test_rotation_to_an_ended_journal_stops_the_loop(self, tmp_path):
+        path = tmp_path / "j.jnl"
+        _journal(path, 3)
+        out = io.StringIO()
+        step = [0]
+
+        def rotate_sleep(_):
+            step[0] += 1
+            if step[0] == 1:
+                _journal(tmp_path / "done.jnl", 2, ended=True)
+                (tmp_path / "done.jnl").rename(path)
+
+        n = follow(path, interval_s=0.01, out=out, sleep=rotate_sleep,
+                   max_frames=10)
+        assert n == 2  # stopped on the rotated-in ended journal
+        assert "[complete]" in out.getvalue()
+
+    def test_file_vanishing_mid_follow_reports_waiting(self, tmp_path):
+        path = _journal(tmp_path / "j.jnl", 2)
+        out = io.StringIO()
+        step = [0]
+
+        def vanish_sleep(_):
+            step[0] += 1
+            if step[0] == 1:
+                path.unlink()
+
+        n = follow(path, interval_s=0.01, out=out, sleep=vanish_sleep,
+                   max_frames=3)
+        assert n == 3
+        assert "waiting for" in out.getvalue()
+
+    def test_unchanged_journal_is_not_reparsed(self, tmp_path, monkeypatch):
+        path = _journal(tmp_path / "j.jnl", 2)
+        import repro.obs.top as top_mod
+
+        loads = [0]
+        orig = top_mod.load_view
+
+        def counting(p):
+            loads[0] += 1
+            return orig(p)
+
+        monkeypatch.setattr(top_mod, "load_view", counting)
+        out = io.StringIO()
+        n = top_mod.follow(path, interval_s=0.01, out=out,
+                           sleep=lambda s: None, max_frames=5)
+        assert n == 5
+        assert loads[0] == 1  # one parse, four cached re-renders

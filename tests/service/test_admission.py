@@ -1,0 +1,125 @@
+"""Admission control: token bucket, bounded queue, overload breaker."""
+
+import pytest
+
+from repro.faults.breaker import CLOSED, OPEN
+from repro.service import AdmissionController, TokenBucket
+from repro.service.admission import (
+    REASON_DRAINING,
+    REASON_QUEUE_FULL,
+)
+from repro.service.tenant import TenantSpec
+
+
+def _spec(name: str) -> TenantSpec:
+    return TenantSpec(tenant=name, epochs=2)
+
+
+class TestTokenBucket:
+    def test_unlimited_when_rate_is_none(self):
+        bucket = TokenBucket(None)
+        assert all(bucket.try_take(0.0) for _ in range(100))
+
+    def test_burst_then_refill(self):
+        bucket = TokenBucket(rate=1.0, burst=2.0)
+        assert bucket.try_take(0.0)
+        assert bucket.try_take(0.0)
+        assert not bucket.try_take(0.0)   # burst exhausted
+        assert not bucket.try_take(0.5)   # half a token accrued
+        assert bucket.try_take(1.5)       # 1.5 tokens accrued by now
+        assert not bucket.try_take(1.5)
+
+    def test_tokens_cap_at_burst(self):
+        bucket = TokenBucket(rate=10.0, burst=3.0)
+        for _ in range(3):
+            assert bucket.try_take(1000.0)
+        assert not bucket.try_take(1000.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestAdmission:
+    def test_admits_up_to_capacity_then_queues(self):
+        adm = AdmissionController(capacity=2, queue_limit=2)
+        d1 = adm.submit(_spec("a"), 0.0)
+        d2 = adm.submit(_spec("b"), 0.0)
+        d3 = adm.submit(_spec("c"), 0.0)
+        assert d1.admitted and d2.admitted
+        assert d3.queued and not d3.admitted
+        assert adm.running == 2 and adm.queued() == 1
+
+    def test_sheds_with_reason_beyond_the_queue_bound(self):
+        adm = AdmissionController(capacity=1, queue_limit=1)
+        adm.submit(_spec("a"), 0.0)
+        adm.submit(_spec("b"), 0.0)
+        d = adm.submit(_spec("c"), 0.0)
+        assert not d.admitted and not d.queued
+        assert d.reason == REASON_QUEUE_FULL
+
+    def test_release_then_promote_frees_capacity(self):
+        adm = AdmissionController(capacity=1, queue_limit=4)
+        adm.submit(_spec("a"), 0.0)
+        adm.submit(_spec("b"), 0.0)
+        assert adm.promote(0.0) == []     # still at capacity
+        adm.release()
+        promoted = adm.promote(0.0)
+        assert [s.tenant for s, _ in promoted] == ["b"]
+        assert adm.running == 1 and adm.queued() == 0
+
+    def test_rate_limit_queues_at_burst_exhaustion(self):
+        adm = AdmissionController(capacity=10, queue_limit=10,
+                                  admit_rate=1.0, burst=1.0)
+        assert adm.submit(_spec("a"), 0.0).admitted
+        assert adm.submit(_spec("b"), 0.0).queued  # no token left
+        assert adm.promote(0.5) == []
+        assert [s.tenant for s, _ in adm.promote(1.0)] == ["b"]
+
+    def test_sustained_shedding_opens_the_breaker_and_degrades(self):
+        adm = AdmissionController(capacity=1, queue_limit=0)
+        adm.submit(_spec("a"), 0.0)
+        assert not adm.degrading
+        for _ in range(2):  # default failure_threshold=2
+            assert adm.submit(_spec("x"), 0.0).reason == REASON_QUEUE_FULL
+            adm.end_round()
+        assert adm.breaker.state == OPEN
+        assert adm.degrading
+        adm.release()
+        d = adm.submit(_spec("late"), 0.0)
+        assert d.admitted and d.degraded  # pinned to the safe default
+
+    def test_calm_rounds_close_the_breaker_again(self):
+        adm = AdmissionController(capacity=1, queue_limit=0)
+        adm.submit(_spec("a"), 0.0)
+        for _ in range(2):
+            adm.submit(_spec("x"), 0.0)
+            adm.end_round()
+        assert adm.degrading
+        # cooldown_epochs=3 calm rounds, then a clean half-open probe.
+        for _ in range(4):
+            adm.end_round()
+        assert adm.breaker.state == CLOSED
+        assert not adm.degrading
+        adm.release()
+        d = adm.submit(_spec("calm"), 0.0)
+        assert d.admitted and not d.degraded
+
+    def test_drain_sheds_the_queue_and_closes_admission(self):
+        adm = AdmissionController(capacity=1, queue_limit=4)
+        adm.submit(_spec("a"), 0.0)
+        adm.submit(_spec("b"), 0.0)
+        adm.submit(_spec("c"), 0.0)
+        dropped = adm.drain()
+        assert [s.tenant for s in dropped] == ["b", "c"]
+        assert adm.queued() == 0
+        d = adm.submit(_spec("late"), 0.0)
+        assert d.reason == REASON_DRAINING
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(capacity=0)
+        with pytest.raises(ValueError):
+            AdmissionController(queue_limit=-1)

@@ -1,0 +1,90 @@
+"""Backpressure primitives: op deadlines and the bounded update ring."""
+
+import threading
+import time
+
+import pytest
+
+from repro.service import BoundedRing, OpDeadlineError, OpGuard
+
+
+class TestOpGuard:
+    def test_no_deadline_runs_inline(self):
+        guard = OpGuard(None)
+        ident = guard.call("who", threading.get_ident)
+        assert ident == threading.get_ident()
+
+    def test_deadline_returns_the_result(self):
+        assert OpGuard(5.0).call("op", lambda: 42) == 42
+
+    def test_deadline_overrun_raises(self):
+        guard = OpGuard(0.05)
+        with pytest.raises(OpDeadlineError) as err:
+            guard.call("wedged-tuner", lambda: time.sleep(2.0))
+        assert err.value.op == "wedged-tuner"
+        assert err.value.deadline_s == 0.05
+
+    def test_deadline_error_is_a_timeout(self):
+        assert issubclass(OpDeadlineError, TimeoutError)
+
+    def test_exceptions_propagate(self):
+        with pytest.raises(ZeroDivisionError):
+            OpGuard(5.0).call("boom", lambda: 1 / 0)
+        with pytest.raises(ZeroDivisionError):
+            OpGuard(None).call("boom", lambda: 1 / 0)
+
+    def test_nested_guard_runs_inline_on_the_pool(self):
+        """A guarded call that itself guards must not deadlock on a
+        saturated pool — the inner call runs inline."""
+        inner = OpGuard(1.0)
+        outer = OpGuard(5.0)
+
+        def nested():
+            worker = threading.get_ident()
+            return worker == inner.call("inner", threading.get_ident)
+
+        assert outer.call("outer", nested)
+
+    def test_rejects_bad_deadline(self):
+        with pytest.raises(ValueError):
+            OpGuard(0.0)
+        with pytest.raises(ValueError):
+            OpGuard(-1.0)
+
+
+class TestBoundedRing:
+    def test_push_and_drain_fifo(self):
+        ring = BoundedRing(4)
+        for i in range(3):
+            ring.push(i)
+        assert len(ring) == 3
+        assert ring.drain() == [0, 1, 2]
+        assert len(ring) == 0
+
+    def test_overflow_drops_the_oldest_and_counts(self):
+        ring = BoundedRing(2)
+        for i in range(5):
+            ring.push(i)
+        assert ring.drain() == [3, 4]
+        assert ring.dropped == 3
+        assert ring.pushed == 5
+
+    def test_latest_does_not_consume(self):
+        ring = BoundedRing(3)
+        assert ring.latest() is None
+        ring.push("a")
+        ring.push("b")
+        assert ring.latest() == "b"
+        assert ring.drain() == ["a", "b"]
+
+    def test_producer_never_blocks_under_a_stalled_consumer(self):
+        ring = BoundedRing(8)
+        t0 = time.monotonic()
+        for i in range(10_000):  # no consumer at all
+            ring.push(i)
+        assert time.monotonic() - t0 < 2.0
+        assert ring.dropped == 10_000 - 8
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            BoundedRing(0)

@@ -1,0 +1,105 @@
+"""Graceful-shutdown helpers: signals, in-flight gauge, wait_for."""
+
+import signal
+import threading
+
+from repro.service.drain import GracefulSignals, InFlightGauge, wait_for
+
+
+class TestGracefulSignals:
+    def test_sigterm_sets_the_event_and_records_the_signal(self):
+        with GracefulSignals() as gs:
+            assert not gs.triggered.is_set()
+            signal.raise_signal(signal.SIGTERM)
+            assert gs.triggered.is_set()
+            assert gs.signum == signal.SIGTERM
+
+    def test_sigint_also_drains_instead_of_raising(self):
+        with GracefulSignals() as gs:
+            signal.raise_signal(signal.SIGINT)  # no KeyboardInterrupt
+            assert gs.signum == signal.SIGINT
+
+    def test_on_signal_callback_fires(self):
+        seen = []
+        with GracefulSignals(on_signal=seen.append):
+            signal.raise_signal(signal.SIGTERM)
+        assert seen == [signal.SIGTERM]
+
+    def test_previous_handlers_are_restored(self):
+        before = signal.getsignal(signal.SIGTERM)
+        with GracefulSignals():
+            assert signal.getsignal(signal.SIGTERM) != before
+        assert signal.getsignal(signal.SIGTERM) == before
+
+    def test_nesting_restores_in_order(self):
+        before = signal.getsignal(signal.SIGTERM)
+        with GracefulSignals():
+            inner_handler = signal.getsignal(signal.SIGTERM)
+            with GracefulSignals():
+                signal.raise_signal(signal.SIGTERM)
+            assert signal.getsignal(signal.SIGTERM) == inner_handler
+        assert signal.getsignal(signal.SIGTERM) == before
+
+    def test_install_off_main_thread_is_a_noop(self):
+        before = signal.getsignal(signal.SIGTERM)
+        done = threading.Event()
+
+        def off_main():
+            gs = GracefulSignals().install()
+            gs.restore()
+            done.set()
+
+        t = threading.Thread(target=off_main)
+        t.start()
+        t.join(5.0)
+        assert done.is_set()
+        assert signal.getsignal(signal.SIGTERM) == before
+
+
+class TestInFlightGauge:
+    def test_counts_and_peak(self):
+        gauge = InFlightGauge()
+        assert gauge.count == 0
+        with gauge:
+            with gauge:
+                assert gauge.count == 2
+        assert gauge.count == 0
+        assert gauge.peak == 2
+
+    def test_wait_idle_immediate_when_empty(self):
+        assert InFlightGauge().wait_idle(0.01)
+
+    def test_wait_idle_blocks_until_exit(self):
+        gauge = InFlightGauge()
+        gauge.enter()
+        assert not gauge.wait_idle(0.05)  # a wedged handler times out
+        released = threading.Event()
+
+        def release():
+            gauge.exit()
+            released.set()
+
+        t = threading.Timer(0.05, release)
+        t.start()
+        assert gauge.wait_idle(5.0)
+        t.join()
+        assert released.is_set()
+
+    def test_exit_never_goes_negative(self):
+        gauge = InFlightGauge()
+        gauge.exit()
+        assert gauge.count == 0
+        assert gauge.wait_idle(0.01)
+
+
+class TestWaitFor:
+    def test_true_predicate_returns_fast(self):
+        assert wait_for(lambda: True, timeout_s=1.0)
+
+    def test_timeout_returns_false(self):
+        assert not wait_for(lambda: False, timeout_s=0.05, poll_s=0.01)
+
+    def test_flips_mid_wait(self):
+        flag = threading.Event()
+        threading.Timer(0.05, flag.set).start()
+        assert wait_for(flag.is_set, timeout_s=5.0, poll_s=0.01)

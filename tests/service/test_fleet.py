@@ -1,0 +1,256 @@
+"""The fleet service: submit/observe/steer/cancel, pump rounds, drain."""
+
+import pytest
+
+from repro.checkpoint.journal import read_journal
+from repro.experiments.scenarios import SCENARIOS
+from repro.service import FleetService
+from repro.service.admission import REASON_DRAINING
+from repro.service.tenant import (
+    CANCELLED,
+    COMPLETED,
+    DRAINED,
+    QUEUED,
+    SHED,
+    TenantChaos,
+)
+
+
+def _fleet(**kw) -> FleetService:
+    kw.setdefault("scenarios", {"anl-uc": SCENARIOS["anl-uc"]})
+    kw.setdefault("epoch_s", 5.0)
+    kw.setdefault("dt", 1.0)
+    return FleetService(**kw)
+
+
+def _spec(name: str, **kw) -> dict:
+    kw.setdefault("tenant", name)
+    kw.setdefault("scenario", "anl-uc")
+    kw.setdefault("epochs", 3)
+    return kw
+
+
+class TestSubmit:
+    def test_admit_run_complete(self):
+        fleet = _fleet()
+        doc = fleet.submit(_spec("t1"))
+        assert doc["admitted"] and not doc["degraded"]
+        fleet.drive()
+        status = fleet.observe("t1")
+        assert status["state"] == COMPLETED
+        assert status["epochs_done"] == 3
+        assert status["reason"] == "epoch-budget-reached"
+
+    def test_unknown_scenario_is_an_error(self):
+        fleet = _fleet()
+        with pytest.raises(ValueError, match="unknown scenario"):
+            fleet.submit(_spec("t1", scenario="mars-base"))
+
+    def test_duplicate_tenant_is_shed_with_reason(self):
+        fleet = _fleet()
+        fleet.submit(_spec("t1"))
+        doc = fleet.submit(_spec("t1"))
+        assert not doc["admitted"]
+        assert doc["reason"] == "duplicate-tenant"
+        # The original decision stays on file.
+        assert fleet.decisions["t1"]["admitted"]
+
+    def test_queueing_beyond_capacity(self):
+        fleet = _fleet(capacity=1, queue_limit=4)
+        assert fleet.submit(_spec("a"))["admitted"]
+        assert fleet.submit(_spec("b"))["queued"]
+        assert fleet.observe("b")["state"] == QUEUED
+        fleet.drive()
+        assert fleet.observe("a")["state"] == COMPLETED
+        assert fleet.observe("b")["state"] == COMPLETED
+
+    def test_shed_beyond_the_queue(self):
+        fleet = _fleet(capacity=1, queue_limit=0)
+        fleet.submit(_spec("a"))
+        doc = fleet.submit(_spec("b"))
+        assert doc["reason"] == "queue-full"
+        assert fleet.observe("b")["state"] == SHED
+        assert fleet.observe("b")["reason"] == "queue-full"
+
+    def test_observe_unknown_raises(self):
+        with pytest.raises(KeyError):
+            _fleet().observe("ghost")
+
+    def test_sustained_overload_degrades_late_admits(self):
+        fleet = _fleet(capacity=1, queue_limit=0)
+        fleet.submit(_spec("a", epochs=30))
+        for _ in range(2):  # two shedding rounds trip the breaker
+            fleet.submit(_spec(f"x{fleet.round}"))
+            fleet.pump()
+        assert fleet.admission.degrading
+        fleet.cancel("a")
+        fleet.pump()  # reap the cancelled tenant, free capacity
+        doc = fleet.submit(_spec("late"))
+        assert doc["admitted"] and doc["degraded"]
+        tenant = fleet.tenants["late"]
+        assert tenant.degraded and tenant.driver is None
+        fleet.drive()
+        assert all(r.params == (2,) for r in tenant.records)
+
+
+class TestSteerAndCancel:
+    def test_steer_overrides_the_next_clean_epoch(self):
+        fleet = _fleet()
+        fleet.submit(_spec("t1", epochs=5))
+        fleet.pump()
+        doc = fleet.steer("t1", (37,))
+        assert doc["params"] == [37]
+        fleet.drive()
+        tenant = fleet.tenants["t1"]
+        assert tenant.steered
+        assert any(r.params == (37,) for r in tenant.records)
+
+    def test_steer_clamps_to_the_domain(self):
+        fleet = _fleet()
+        fleet.submit(_spec("t1", epochs=4))
+        doc = fleet.steer("t1", (10**9,))
+        assert doc["params"][0] <= 512
+
+    def test_steer_rejects_degraded_and_terminal(self):
+        fleet = _fleet(capacity=1, queue_limit=0)
+        fleet.submit(_spec("a", epochs=30))
+        for _ in range(2):
+            fleet.submit(_spec(f"x{fleet.round}"))
+            fleet.pump()
+        fleet.cancel("a")
+        fleet.pump()
+        fleet.submit(_spec("pinned"))
+        with pytest.raises(ValueError, match="degraded-pinned"):
+            fleet.steer("pinned", (8,))
+        with pytest.raises(ValueError):
+            fleet.steer("a", (8,))  # terminal
+        with pytest.raises(KeyError):
+            fleet.steer("ghost", (8,))
+
+    def test_cancel_running(self):
+        fleet = _fleet()
+        fleet.submit(_spec("t1", epochs=50))
+        fleet.pump()
+        doc = fleet.cancel("t1")
+        assert doc["state"] == CANCELLED
+        fleet.drive()
+        assert fleet.observe("t1")["state"] == CANCELLED
+        assert fleet.observe("t1")["reason"] == "cancel-requested"
+
+    def test_cancel_queued_before_admit(self):
+        fleet = _fleet(capacity=1, queue_limit=4)
+        fleet.submit(_spec("a", epochs=4))
+        fleet.submit(_spec("b"))
+        doc = fleet.cancel("b")
+        assert doc["state"] == CANCELLED
+        fleet.drive()
+        assert fleet.observe("b")["state"] == SHED
+        assert fleet.observe("b")["reason"] == "cancelled"
+
+    def test_cancel_unknown_raises(self):
+        with pytest.raises(KeyError):
+            _fleet().cancel("ghost")
+
+    def test_cancel_terminal_is_a_noop(self):
+        fleet = _fleet()
+        fleet.submit(_spec("t1"))
+        fleet.drive()
+        assert fleet.cancel("t1")["state"] == COMPLETED
+
+
+class TestDrain:
+    def test_drain_sheds_queue_and_drains_active(self):
+        fleet = _fleet(capacity=1, queue_limit=4)
+        fleet.submit(_spec("run", epochs=50))
+        fleet.submit(_spec("wait"))
+        fleet.pump()
+        result = fleet.drain()
+        assert result == {"drained": 1, "shed": 1}
+        assert fleet.observe("run")["state"] == DRAINED
+        assert fleet.observe("run")["reason"] == "service-drained"
+        assert fleet.observe("wait")["state"] == SHED
+        assert fleet.observe("wait")["reason"] == REASON_DRAINING
+
+    def test_drain_is_idempotent_and_closes_admission(self):
+        fleet = _fleet()
+        fleet.submit(_spec("t1"))
+        fleet.drive()
+        fleet.drain()
+        assert fleet.drain() == {"drained": 0, "shed": 0}
+        doc = fleet.submit(_spec("late"))
+        assert doc["reason"] == REASON_DRAINING
+        with pytest.raises(RuntimeError):
+            fleet.pump()
+
+    def test_mid_epoch_drain_finishes_the_epoch(self):
+        fleet = _fleet()
+        fleet.submit(_spec("t1", epochs=4))
+        fleet.pump()
+        shard = fleet.shards["anl-uc"]
+        shard.engine.step_once()  # leave the session mid-epoch
+        assert shard.mid_epoch()
+        fleet.drain()
+        tenant = fleet.tenants["t1"]
+        assert tenant.state == DRAINED
+        # The in-flight epoch was finished, not torn.
+        assert all(r.duration == 5.0 for r in tenant.records)
+
+
+class TestJournalAndStatus:
+    def test_journal_records_epochs_and_sections(self, tmp_path):
+        path = tmp_path / "fleet.jnl"
+        fleet = _fleet(journal_path=path)
+        fleet.submit(_spec("t1", epochs=2))
+        fleet.drive()
+        fleet.drain()
+        journal = read_journal(path)
+        assert journal.ended
+        assert journal.header["service"] == "fleet"
+        assert {e.session for e in journal.epochs} == {"t1"}
+        assert "admit" in journal.sections and "drain" in journal.sections
+
+    def test_status_document(self):
+        fleet = _fleet()
+        fleet.submit(_spec("t1", epochs=2))
+        fleet.drive()
+        doc = fleet.status()
+        assert doc["states"] == {COMPLETED: 1}
+        assert doc["active"] == 0
+        assert doc["breaker"] == "closed"
+        # The final epoch is harvested at reap (never dispatched), so a
+        # 2-epoch tenant leaves one sink-latency observation.
+        assert doc["epoch_latency"]["count"] >= 1
+        assert doc["epoch_latency"]["p99_s"] >= 0.0
+        assert doc["shards"] == {"anl-uc": 0}
+
+    def test_prometheus_exposition(self):
+        fleet = _fleet()
+        fleet.submit(_spec("t1", epochs=2))
+        fleet.submit(_spec("t1"))  # duplicate -> shed counter
+        fleet.drive()
+        text = fleet.prometheus()
+        assert "repro_fleet_tenants_total" in text
+        assert 'repro_fleet_admitted_total{mode="normal"}' in text
+        assert 'repro_fleet_shed_total{reason="duplicate-tenant"}' in text
+
+    def test_restart_metric_and_supervision_through_the_fleet(self):
+        fleet = _fleet()
+        fleet.submit(_spec("t1", epochs=4),
+                     chaos=TenantChaos(crash_epochs=(1,)))
+        fleet.drive()
+        assert fleet.observe("t1")["state"] == COMPLETED
+        assert fleet.observe("t1")["restarts"] == 1
+        assert "repro_fleet_restarts_total" in fleet.prometheus()
+
+    def test_blackout_through_the_fleet(self):
+        fleet = _fleet()
+        fleet.submit(_spec("t1", epochs=4))
+        fleet.pump()
+        fleet.inject_blackout("anl-uc", 1)
+        fleet.drive()
+        assert fleet.observe("t1")["state"] == COMPLETED
+        assert fleet.observe("t1")["faulted_epochs"] >= 1
+
+    def test_needs_at_least_one_scenario(self):
+        with pytest.raises(ValueError):
+            FleetService({})

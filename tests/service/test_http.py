@@ -1,0 +1,125 @@
+"""The HTTP front end: FleetServer endpoints and FleetClient mapping."""
+
+import pytest
+
+from repro.experiments.scenarios import SCENARIOS
+from repro.service import (
+    FleetApiError,
+    FleetClient,
+    FleetServer,
+    FleetService,
+)
+from repro.service.tenant import CANCELLED, COMPLETED
+
+
+def _fleet(**kw) -> FleetService:
+    kw.setdefault("scenarios", {"anl-uc": SCENARIOS["anl-uc"]})
+    kw.setdefault("epoch_s", 5.0)
+    kw.setdefault("dt", 1.0)
+    return FleetService(**kw)
+
+
+@pytest.fixture()
+def served():
+    fleet = _fleet()
+    with FleetServer(fleet) as server:
+        yield FleetClient(server.url), server
+
+
+class TestEndpoints:
+    def test_submit_observe_complete(self, served):
+        client, _ = served
+        doc = client.submit({"tenant": "t1", "epochs": 3})
+        assert doc["admitted"]
+        final = client.wait_terminal("t1", timeout_s=60.0)
+        assert final["state"] == COMPLETED
+        assert final["epochs_done"] == 3
+
+    def test_submit_with_chaos_restarts(self, served):
+        client, _ = served
+        client.submit({"tenant": "c1", "epochs": 4},
+                      chaos={"crash_epochs": [1]})
+        final = client.wait_terminal("c1", timeout_s=60.0)
+        assert final["state"] == COMPLETED
+        assert final["restarts"] == 1
+
+    def test_bad_spec_is_a_400(self, served):
+        client, _ = served
+        with pytest.raises(FleetApiError) as err:
+            client.submit({"tenant": "t", "tuner": "nope"})
+        assert err.value.status == 400
+        with pytest.raises(FleetApiError) as err:
+            client.submit({"tenant": "t", "shoe_size": 44})
+        assert err.value.status == 400
+
+    def test_unknown_tenant_is_a_404(self, served):
+        client, _ = served
+        for call in (lambda: client.observe("ghost"),
+                     lambda: client.cancel("ghost"),
+                     lambda: client.steer("ghost", (4,))):
+            with pytest.raises(FleetApiError) as err:
+                call()
+            assert err.value.status == 404
+
+    def test_steer_terminal_is_a_409(self, served):
+        client, _ = served
+        client.submit({"tenant": "t1", "epochs": 2})
+        client.wait_terminal("t1", timeout_s=60.0)
+        with pytest.raises(FleetApiError) as err:
+            client.steer("t1", (4,))
+        assert err.value.status == 409
+
+    def test_cancel_round_trip(self, served):
+        client, _ = served
+        client.submit({"tenant": "t1", "epochs": 1000})
+        doc = client.cancel("t1")
+        assert doc["state"] == CANCELLED
+
+    def test_status_metrics_health(self, served):
+        client, _ = served
+        client.submit({"tenant": "t1", "epochs": 2})
+        client.wait_terminal("t1", timeout_s=60.0)
+        status = client.status()
+        assert status["drained"] is False
+        assert status["states"].get(COMPLETED) == 1
+        assert "repro_fleet_admitted_total" in client.metrics_text()
+        assert client.health() == {"status": "ok"}
+
+    def test_unknown_path_is_a_404(self, served):
+        client, _ = served
+        with pytest.raises(FleetApiError) as err:
+            client._request("GET", "/v2/everything")
+        assert err.value.status == 404
+
+    def test_wait_terminal_times_out(self, served):
+        client, _ = served
+        client.submit({"tenant": "slow", "epochs": 100000})
+        with pytest.raises(TimeoutError):
+            client.wait_terminal("slow", timeout_s=0.2, poll_s=0.05)
+
+
+class TestDrainProtocol:
+    def test_post_drain_drains_and_reports(self):
+        fleet = _fleet()
+        server = FleetServer(fleet).start()
+        try:
+            client = FleetClient(server.url)
+            client.submit({"tenant": "t1", "epochs": 2})
+            assert client.drain() == {"status": "draining"}
+        finally:
+            server.drain_and_stop()
+        assert fleet.drained
+        # Every admitted tenant ended in a terminal state with a reason.
+        doc = fleet.observe("t1")
+        assert doc["state"] in (COMPLETED, "drained")
+        assert doc["reason"]
+
+    def test_context_manager_drains_on_exit(self):
+        fleet = _fleet()
+        with FleetServer(fleet) as server:
+            FleetClient(server.url).submit({"tenant": "t1", "epochs": 2})
+        assert fleet.drained
+
+    def test_pace_validation(self):
+        with pytest.raises(ValueError):
+            FleetServer(_fleet(), pace_s=-1.0)

@@ -1,0 +1,228 @@
+"""The fleet shard: shared substrate, epoch sink, robustness ladder."""
+
+import pytest
+
+from repro.core.registry import make_tuner
+from repro.experiments.scenarios import SCENARIOS
+from repro.obs.metrics import MetricsRegistry
+from repro.service.shard import FleetShard
+from repro.service.tenant import (
+    CANCELLED,
+    COMPLETED,
+    FAILED,
+    RUNNING,
+    Tenant,
+    TenantChaos,
+    TenantSpec,
+)
+from repro.sim.engine import Engine, EngineConfig
+from repro.sim.session import TransferSession
+
+EPOCH_S = 5.0
+
+
+def _shard(*, seed: int = 1, metrics=None) -> FleetShard:
+    return FleetShard(SCENARIOS["anl-uc"], seed=seed, dt=1.0,
+                      epoch_s=EPOCH_S, metrics=metrics)
+
+
+def _tenant(name: str = "t1", *, epochs: int = 4, tuner: str = "cd",
+            seed: int = 0, chaos: TenantChaos | None = None,
+            supervised: bool = True, degraded: bool = False) -> Tenant:
+    spec = TenantSpec(tenant=name, scenario="anl-uc", tuner=tuner,
+                      seed=seed, epochs=epochs, supervised=supervised)
+    return Tenant(spec, degraded=degraded, chaos=chaos)
+
+
+def _drive(shard: FleetShard, max_rounds: int = 100) -> list[Tenant]:
+    done: list[Tenant] = []
+    for _ in range(max_rounds):
+        done.extend(shard.step_epoch())
+        if not shard.active:
+            return done
+    raise AssertionError("shard did not settle")
+
+
+def _reference_records(*, name: str, epochs: int, tuner: str,
+                       tuner_seed: int, engine_seed: int):
+    """The same tenant run as a classic driver-owned session on its own
+    engine — the ground truth the sink-driven path must match."""
+    import math
+
+    from repro.endpoint.load import ExternalLoad, LoadSchedule
+    from repro.gridftp.transfer import TransferSpec
+
+    scenario = SCENARIOS["anl-uc"]
+    spec = TenantSpec(tenant=name, tuner=tuner, seed=tuner_seed,
+                      epochs=epochs)
+    space, pmap = spec.space_and_map()
+    session = TransferSession(
+        TransferSpec(name=name, path_name=scenario.main_path,
+                     total_bytes=math.inf,
+                     max_duration_s=epochs * EPOCH_S, epoch_s=EPOCH_S),
+        make_tuner(tuner, tuner_seed), space, spec.start_point(),
+        param_map=pmap,
+    )
+    engine = Engine(
+        topology=scenario.build_topology(), host=scenario.host,
+        sessions=[session],
+        schedule=LoadSchedule.constant(ExternalLoad()),
+        config=EngineConfig(dt=1.0, seed=engine_seed),
+    )
+    engine.run()
+    return list(session.trace.epochs)
+
+
+class TestShardLifecycle:
+    def test_tenant_completes_with_full_records(self):
+        shard = _shard()
+        tenant = _tenant(epochs=3)
+        shard.attach(tenant)
+        assert tenant.state == RUNNING
+        done = _drive(shard)
+        assert done == [tenant]
+        assert tenant.state == COMPLETED
+        assert tenant.reason == "epoch-budget-reached"
+        assert [r.index for r in tenant.records] == [0, 1, 2]
+
+    def test_duplicate_attach_rejected(self):
+        shard = _shard()
+        shard.attach(_tenant("dup"))
+        with pytest.raises(ValueError, match="already on this shard"):
+            shard.attach(_tenant("dup"))
+
+    def test_sink_tenant_matches_a_driver_owned_session(self):
+        """The engine-refactor crux: a sink-driven fleet tenant produces
+        the bit-identical epoch trajectory of a classic driver session
+        on the same substrate seed."""
+        shard = _shard(seed=1)
+        tenant = _tenant("solo", epochs=5)
+        shard.attach(tenant)
+        _drive(shard)
+        reference = _reference_records(name="solo", epochs=5, tuner="cd",
+                                       tuner_seed=0, engine_seed=1)
+        assert tenant.records == reference
+
+    def test_degraded_tenant_holds_the_safe_default(self):
+        shard = _shard()
+        tenant = _tenant("pinned", epochs=3, degraded=True)
+        shard.attach(tenant)
+        _drive(shard)
+        assert tenant.state == COMPLETED
+        assert all(r.params == (2,) for r in tenant.records)
+
+    def test_cancel_marks_the_session_and_reaps(self):
+        shard = _shard()
+        tenant = _tenant("c", epochs=50)
+        shard.attach(tenant)
+        shard.step_epoch()
+        tenant.finish(CANCELLED, "cancel-requested")
+        shard.cancel("c")
+        done = _drive(shard)
+        assert done == [tenant]
+        assert tenant.state == CANCELLED
+        assert tenant.reason == "cancel-requested"
+
+    def test_latency_histogram_is_recorded(self):
+        metrics = MetricsRegistry()
+        shard = _shard(metrics=metrics)
+        shard.attach(_tenant(epochs=2))
+        _drive(shard)
+        fam = metrics.collect()["repro_fleet_epoch_latency_seconds"]
+        hist = next(iter(fam.values()))
+        assert hist.count >= 1
+
+
+class TestRobustnessLadder:
+    def test_poisoned_observation_is_quarantined(self):
+        shard = _shard()
+        tenant = _tenant("p", epochs=4,
+                         chaos=TenantChaos(poison_epochs=(1,)))
+        shard.attach(tenant)
+        _drive(shard)
+        assert tenant.state == COMPLETED
+        assert tenant.quarantined == 1
+        assert tenant.skipped == {1}
+
+    def test_unsupervised_crash_fails_the_tenant(self):
+        shard = _shard()
+        tenant = _tenant("u", epochs=6, supervised=False,
+                         chaos=TenantChaos(crash_epochs=(1,)))
+        shard.attach(tenant)
+        _drive(shard)
+        assert tenant.state == FAILED
+        assert tenant.reason == "tuner-crash: InjectedCrash"
+
+    def test_supervised_crash_restarts_bit_identically(self):
+        """The acceptance-storm invariant: a crashed-and-restarted
+        supervised tenant's records equal its crash-free twin's."""
+        crashed_shard = _shard(seed=1)
+        crashed = _tenant("twin", epochs=6,
+                          chaos=TenantChaos(crash_epochs=(1, 3)))
+        crashed_shard.attach(crashed)
+        _drive(crashed_shard)
+
+        clean_shard = _shard(seed=1)
+        clean = _tenant("twin", epochs=6)
+        clean_shard.attach(clean)
+        _drive(clean_shard)
+
+        assert crashed.state == COMPLETED
+        assert crashed.restarts == 2
+        assert crashed.records == clean.records
+
+    def test_restart_failure_fails_the_tenant(self, monkeypatch):
+        shard = _shard()
+        tenant = _tenant("rf", epochs=6,
+                         chaos=TenantChaos(crash_epochs=(1,)))
+        shard.attach(tenant)
+
+        def broken_restart(t):
+            raise RuntimeError("supervisor down")
+
+        monkeypatch.setattr(shard.supervisor, "restart", broken_restart)
+        _drive(shard)
+        assert tenant.state == FAILED
+        assert tenant.reason.startswith("restart-failed:")
+
+    def test_dispatch_error_backstop_isolates_the_shard(self, monkeypatch):
+        shard = _shard()
+        bad = _tenant("bad", epochs=50)
+        good = _tenant("good", epochs=3)
+        shard.attach(bad)
+        shard.attach(good)
+
+        orig = shard._dispatch
+
+        def exploding(tenant, rec):
+            if tenant.name == "bad":
+                raise RuntimeError("sink bug")
+            return orig(tenant, rec)
+
+        monkeypatch.setattr(shard, "_dispatch", exploding)
+        _drive(shard)
+        assert bad.state == FAILED
+        assert bad.reason == "dispatch-error: RuntimeError"
+        assert good.state == COMPLETED  # isolation: the shard survived
+
+    def test_blackout_faults_epochs_without_failing_tenants(self):
+        shard = _shard()
+        tenant = _tenant("b", epochs=5)
+        shard.attach(tenant)
+        shard.step_epoch()
+        shard.inject_blackout(duration_epochs=1)
+        _drive(shard)
+        assert tenant.state == COMPLETED
+        assert tenant.faulted_epochs >= 1
+        assert len(tenant.records) == 5
+
+    def test_steer_override_adopted_after_the_tuner_observes(self):
+        shard = _shard()
+        tenant = _tenant("s", epochs=5)
+        shard.attach(tenant)
+        shard.step_epoch()
+        tenant.steer_override = (37,)
+        shard.step_epoch()  # the steered proposal governs epoch 2
+        _drive(shard)
+        assert tenant.steered
+        assert tenant.records[2].params == (37,)

@@ -1,0 +1,216 @@
+"""The acceptance storm: crashes, bursts, and a shard blackout at once.
+
+The ISSUE's gate for the fleet service: a seeded storm — admission
+burst beyond capacity, injected tuner crashes, poisoned observations,
+and a shard blackout — must end with zero unhandled exceptions, every
+accepted tenant completed (or shed with a recorded reason), and every
+supervised restart bit-identical: the crashed fleet's epochs AND
+engine steps equal a twin fleet's that never crashed.
+"""
+
+import pytest
+
+from repro.experiments.scenarios import SCENARIOS
+from repro.service import FleetService
+from repro.service.tenant import (
+    COMPLETED,
+    FAILED,
+    SHED,
+    TERMINAL_STATES,
+    TenantChaos,
+)
+
+
+def _storm_fleet(*, capacity: int, queue_limit: int,
+                 epoch_s: float = 5.0) -> FleetService:
+    return FleetService(
+        {name: SCENARIOS[name] for name in ("anl-uc", "anl-tacc")},
+        capacity=capacity, queue_limit=queue_limit,
+        epoch_s=epoch_s, dt=1.0, seed=0,
+    )
+
+
+def _storm_specs(n: int, *, epochs: int):
+    """n tenant specs cycling scenarios and tuners, deterministic."""
+    scenarios = ("anl-uc", "anl-tacc")
+    tuners = ("cd", "nm", "spsa")
+    return [
+        {
+            "tenant": f"tenant-{i:03d}",
+            "scenario": scenarios[i % 2],
+            "tuner": tuners[i % 3],
+            "seed": i,
+            "epochs": epochs,
+        }
+        for i in range(n)
+    ]
+
+
+def _chaos_for(i: int, *, epochs: int, crashes: bool) -> TenantChaos | None:
+    """20% of tenants crash mid-run; every 7th gets one poisoned epoch.
+    Poison stays in the twin (it changes what the tuner sees); crashes
+    are what the twin omits (restarts must be invisible)."""
+    crash = (i % 5 == 0) and crashes
+    poison = i % 7 == 3
+    if not crash and not poison:
+        return None
+    # The final epoch is harvested at reap (never dispatched), so a
+    # crash there would be a no-op: keep crashes within 1..epochs-2.
+    return TenantChaos(
+        crash_epochs=(1 + i % max(1, epochs - 2),) if crash else (),
+        poison_epochs=(2,) if poison else (),
+    )
+
+
+def _run_storm(*, n: int, capacity: int, queue_limit: int, epochs: int,
+               crashes: bool, blackout_round: int,
+               epoch_s: float = 5.0, late_waves: int = 0,
+               late_per_round: int = 4):
+    """Submit the burst, inject the blackout, drive to quiescence.
+    ``late_waves`` rounds of extra arrivals sustain the overload so the
+    admission breaker sees consecutive shedding rounds.  Returns
+    (fleet, sessions): sessions captured at admit time so their step
+    traces survive the reap."""
+    fleet = _storm_fleet(capacity=capacity, queue_limit=queue_limit,
+                         epoch_s=epoch_s)
+    sessions = {}
+
+    def capture():
+        for shard in fleet.shards.values():
+            for name, session in shard._sessions.items():
+                sessions.setdefault(name, session)
+
+    for i, spec in enumerate(_storm_specs(n, epochs=epochs)):
+        fleet.submit(spec, chaos=_chaos_for(i, epochs=epochs,
+                                            crashes=crashes))
+    capture()
+    rounds = 0
+    while fleet.active_count() or fleet.admission.queued():
+        fleet.pump()
+        capture()
+        rounds += 1
+        if rounds <= late_waves:
+            for j in range(late_per_round):
+                fleet.submit({
+                    "tenant": f"late-{rounds:02d}-{j}",
+                    "scenario": "anl-uc", "epochs": epochs,
+                })
+        if rounds == blackout_round:
+            fleet.inject_blackout("anl-uc", 1)
+        assert rounds < 10_000, "storm did not settle"
+    return fleet, sessions
+
+
+def _audit(fleet: FleetService, n: int) -> dict:
+    """The storm's universal postconditions; returns state counts."""
+    states: dict[str, int] = {}
+    for i in range(n):
+        name = f"tenant-{i:03d}"
+        doc = fleet.observe(name)
+        state = doc["state"]
+        states[state] = states.get(state, 0) + 1
+        assert state in TERMINAL_STATES, f"{name} still {state}"
+        if state != COMPLETED:
+            assert doc["reason"], f"{name} {state} without a reason"
+        if state == COMPLETED:
+            assert doc["epochs_done"] == doc["epochs_budget"]
+    assert states.get(FAILED, 0) == 0, "supervised restarts must succeed"
+    return states
+
+
+class TestQuickStorm:
+    """The CI-sized storm: 20 tenants, ~3x burst, crashes, blackout."""
+
+    N = 20
+    CAPACITY = 4
+    QUEUE = 8
+    EPOCHS = 4
+
+    def _run(self, *, crashes: bool):
+        return _run_storm(n=self.N, capacity=self.CAPACITY,
+                          queue_limit=self.QUEUE, epochs=self.EPOCHS,
+                          crashes=crashes, blackout_round=2)
+
+    def test_storm_settles_with_reasons_everywhere(self):
+        fleet, _ = self._run(crashes=True)
+        states = _audit(fleet, self.N)
+        assert states.get(SHED, 0) >= self.N - self.CAPACITY - self.QUEUE
+        assert states.get(COMPLETED, 0) >= self.CAPACITY
+        assert fleet.supervisor.restarts > 0
+        # Shed decisions carry machine-readable reasons.
+        for doc in fleet.decisions.values():
+            if not doc["admitted"] and not doc["queued"]:
+                assert doc["reason"]
+
+    def test_crashed_fleet_is_bit_identical_to_its_twin(self):
+        """Supervised restarts are invisible: the crashed fleet's
+        per-tenant epochs AND engine steps equal the crash-free twin's."""
+        crashed_fleet, crashed_sessions = self._run(crashes=True)
+        twin_fleet, twin_sessions = self._run(crashes=False)
+        assert crashed_fleet.supervisor.restarts > 0
+        assert twin_fleet.supervisor.restarts == 0
+        for i in range(self.N):
+            name = f"tenant-{i:03d}"
+            a = crashed_fleet.observe(name)
+            b = twin_fleet.observe(name)
+            assert a["state"] == b["state"], name
+            ta = crashed_fleet.tenants.get(name)
+            tb = twin_fleet.tenants.get(name)
+            if ta is None:
+                continue  # shed in both (same admission trajectory)
+            assert ta.records == tb.records, f"{name}: epochs diverged"
+            sa = crashed_sessions.get(name)
+            sb = twin_sessions.get(name)
+            if sa is not None and sb is not None:
+                assert sa.trace.steps == sb.trace.steps, (
+                    f"{name}: engine steps diverged"
+                )
+
+
+@pytest.mark.slow
+class TestAcceptanceStorm:
+    """The full ISSUE gate: a 200-tenant seeded storm."""
+
+    N = 200
+    CAPACITY = 48
+    QUEUE = 64
+    EPOCHS = 4
+
+    def test_200_tenant_storm(self):
+        fleet, sessions = _run_storm(
+            n=self.N, capacity=self.CAPACITY, queue_limit=self.QUEUE,
+            epochs=self.EPOCHS, crashes=True, blackout_round=2,
+            epoch_s=2.0, late_waves=3,
+        )
+        states = _audit(fleet, self.N)
+        # The 3x burst sheds the overflow with reasons...
+        assert states.get(SHED, 0) >= self.N - self.CAPACITY - self.QUEUE
+        # ...crashes were absorbed by supervised restarts...
+        assert fleet.supervisor.restarts >= 8
+        # ...the blackout faulted epochs without failing tenants...
+        faulted = sum(t.faulted_epochs for t in fleet.tenants.values())
+        assert faulted > 0
+        # ...the late arrival waves were shed (or queued) with recorded
+        # terminal states, never dropped on the floor...
+        late = [k for k in fleet.decisions if k.startswith("late-")]
+        assert late
+        for name in late:
+            doc = fleet.observe(name)
+            assert doc["state"] in TERMINAL_STATES
+            if doc["state"] != COMPLETED:
+                assert doc["reason"]
+        # ...and sustained overload tripped the admission breaker
+        # (consecutive shedding rounds >> capacity).
+        text = fleet.prometheus()
+        assert "repro_fleet_breaker_transitions_total" in text
+        # Restart bit-identity, sampled against per-tenant twins: every
+        # crashed tenant's records replay to the same driver state.
+        from repro.service.supervisor import rebuild_driver
+
+        crashed = [t for t in fleet.tenants.values() if t.restarts > 0]
+        assert crashed
+        for tenant in crashed[:10]:
+            rebuilt = rebuild_driver(tenant.spec, tenant.records,
+                                     tenant.skipped,
+                                     steered=tenant.steered)
+            assert rebuilt.current is not None

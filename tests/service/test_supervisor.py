@@ -1,0 +1,104 @@
+"""Supervised restarts: journal-rebuilt drivers hold bit-identical state."""
+
+import pytest
+
+from repro.core.registry import make_tuner
+from repro.service.supervisor import (
+    Supervisor,
+    TenantRestartError,
+    rebuild_driver,
+)
+from repro.service.tenant import Tenant, TenantSpec
+from repro.sim.trace import EpochRecord
+
+
+def _rec(index: int, params: tuple[int, ...], observed: float,
+         *, tuned: bool = True) -> EpochRecord:
+    return EpochRecord(
+        index=index, start=30.0 * index, duration=30.0, params=params,
+        observed=observed, best_case=observed * 1.1, bytes_moved=1e9,
+        faulted=not tuned, fault=None if tuned else "blackout",
+        retries=0, breaker="closed", tuned=tuned,
+    )
+
+
+def _journal(spec: TenantSpec, observations: list[float]):
+    """Drive a fresh driver through ``observations`` the way the shard
+    journals them; returns (records, reference_driver)."""
+    tuner = make_tuner(spec.tuner, spec.seed)
+    space, _ = spec.space_and_map()
+    driver = tuner.start(spec.start_point(), space)
+    records = []
+    for i, obs in enumerate(observations):
+        params = driver.current
+        records.append(_rec(i, params, obs))
+        driver.observe(obs)
+    return records, driver
+
+
+class TestRebuildDriver:
+    @pytest.mark.parametrize("tuner", ["cd", "nm", "spsa"])
+    def test_plain_history_matches_the_uninterrupted_driver(self, tuner):
+        spec = TenantSpec(tenant="t", tuner=tuner, seed=3)
+        obs = [50.0, 80.0, 70.0, 95.0, 90.0, 60.0]
+        records, reference = _journal(spec, obs)
+        rebuilt = rebuild_driver(spec, records, set())
+        assert rebuilt.current == reference.current
+        # ... and the two stay in lock-step on further observations.
+        for nxt in [88.0, 91.0, 40.0]:
+            assert rebuilt.observe(nxt) == reference.observe(nxt)
+            assert rebuilt.current == reference.current
+
+    def test_skipped_epochs_are_withheld_again(self):
+        spec = TenantSpec(tenant="t", tuner="cd", seed=0)
+        tuner = make_tuner(spec.tuner, spec.seed)
+        space, _ = spec.space_and_map()
+        reference = tuner.start(spec.start_point(), space)
+        records = []
+        skipped = {1}
+        for i, obs in enumerate([50.0, float("nan"), 75.0]):
+            records.append(_rec(i, reference.current, obs))
+            if i not in skipped:
+                reference.observe(obs)
+        rebuilt = rebuild_driver(spec, records, skipped)
+        assert rebuilt.current == reference.current
+
+    def test_untuned_epochs_never_feed_the_tuner(self):
+        spec = TenantSpec(tenant="t", tuner="cd", seed=0)
+        records, reference = _journal(spec, [50.0, 80.0])
+        # A faulted epoch in the middle: tuned=False, never observed.
+        records.insert(1, _rec(99, records[0].params, 0.0, tuned=False))
+        rebuilt = rebuild_driver(spec, records, set(), steered=True)
+        assert rebuilt.current == reference.current
+
+    def test_corrupt_plain_history_fails_verification(self):
+        spec = TenantSpec(tenant="t", tuner="cd", seed=0)
+        records, _ = _journal(spec, [50.0, 80.0, 70.0])
+        bad = records[:1] + [_rec(1, (499,), 80.0)] + records[2:]
+        with pytest.raises(Exception):
+            rebuild_driver(spec, bad, set())
+
+
+class TestSupervisor:
+    def test_restart_replaces_the_driver_and_counts(self):
+        spec = TenantSpec(tenant="t", tuner="cd", seed=1)
+        tenant = Tenant(spec)
+        obs = [40.0, 90.0, 85.0]
+        records, reference = _journal(spec, obs)
+        tenant.records = list(records)
+        for o in obs:
+            tenant.driver.observe(o)
+        broken = tenant.driver
+        sup = Supervisor()
+        driver = sup.restart(tenant)
+        assert driver is tenant.driver and driver is not broken
+        assert driver.current == reference.current
+        assert tenant.restarts == 1
+        assert sup.restarts == 1
+
+    def test_restart_failure_is_wrapped(self):
+        spec = TenantSpec(tenant="t", tuner="cd", seed=0)
+        tenant = Tenant(spec)
+        tenant.records = [_rec(0, (499,), 50.0)]  # never proposed by cd
+        with pytest.raises(TenantRestartError, match="restart replay"):
+            Supervisor().restart(tenant)

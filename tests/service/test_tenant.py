@@ -1,0 +1,105 @@
+"""Tenant spec and runtime: validation, round-trips, lifecycle."""
+
+import pytest
+
+from repro.service.tenant import (
+    CANCELLED,
+    COMPLETED,
+    QUEUED,
+    TERMINAL_STATES,
+    Tenant,
+    TenantChaos,
+    TenantSpec,
+)
+
+
+class TestTenantSpec:
+    def test_round_trips_through_dict(self):
+        spec = TenantSpec(tenant="t1", scenario="anl-tacc", tuner="nm",
+                          seed=7, epochs=12, tune_np=True, max_nc=64,
+                          x0=(4, 8), op_deadline_s=1.5)
+        clone = TenantSpec.from_dict(spec.to_dict())
+        assert clone == spec
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown tenant spec"):
+            TenantSpec.from_dict({"tenant": "t", "color": "red"})
+
+    def test_from_dict_coerces_x0_to_tuple(self):
+        spec = TenantSpec.from_dict({"tenant": "t", "x0": [4]})
+        assert spec.x0 == (4,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TenantSpec(tenant="")
+        with pytest.raises(ValueError):
+            TenantSpec(tenant="t", epochs=0)
+        with pytest.raises(ValueError):
+            TenantSpec(tenant="t", tuner="no-such-tuner")
+
+    def test_space_follows_tune_np(self):
+        nc_only = TenantSpec(tenant="t", fixed_np=16)
+        space, pmap = nc_only.space_and_map()
+        assert space.ndim == 1
+        assert (pmap.nc((4,)), pmap.np((4,))) == (4, 16)
+        joint = TenantSpec(tenant="t", tune_np=True)
+        space2, pmap2 = joint.space_and_map()
+        assert space2.ndim == 2
+        assert (pmap2.nc((4, 8)), pmap2.np((4, 8))) == (4, 8)
+
+    def test_pinned_start_is_the_globus_default(self):
+        assert TenantSpec(tenant="t").pinned_start() == (2,)
+        assert TenantSpec(tenant="t", tune_np=True).pinned_start() == (2, 8)
+
+    def test_explicit_x0_wins(self):
+        assert TenantSpec(tenant="t", x0=(9,)).start_point() == (9,)
+
+
+class TestTenantRuntime:
+    def test_live_tenant_builds_a_driver(self):
+        tenant = Tenant(TenantSpec(tenant="t", tuner="cd"))
+        assert tenant.state == QUEUED
+        assert tenant.driver is not None
+        assert tenant.restart_each_epoch  # paper tuners relaunch
+        assert tenant.driver.current == tenant.x0
+
+    def test_degraded_tenant_is_pinned_without_a_driver(self):
+        tenant = Tenant(TenantSpec(tenant="t"), degraded=True)
+        assert tenant.driver is None
+        assert not tenant.restart_each_epoch  # set-and-hold
+        assert tenant.x0 == (2,)
+
+    def test_static_tuner_does_not_restart_each_epoch(self):
+        tenant = Tenant(TenantSpec(tenant="t", tuner="default"))
+        assert not tenant.restart_each_epoch
+
+    def test_finish_is_idempotent_and_keeps_the_first_reason(self):
+        tenant = Tenant(TenantSpec(tenant="t"))
+        tenant.finish(COMPLETED, "budget")
+        tenant.finish(CANCELLED, "late-cancel")
+        assert tenant.state == COMPLETED
+        assert tenant.reason == "budget"
+        assert tenant.terminal
+
+    def test_finish_rejects_non_terminal_states(self):
+        tenant = Tenant(TenantSpec(tenant="t"))
+        with pytest.raises(ValueError):
+            tenant.finish(QUEUED, "nope")
+
+    def test_status_document_shape(self):
+        tenant = Tenant(TenantSpec(tenant="t", epochs=5),
+                        chaos=TenantChaos(crash_epochs=(1,)))
+        doc = tenant.status()
+        assert doc["tenant"] == "t"
+        assert doc["state"] == QUEUED
+        assert doc["epochs_budget"] == 5
+        assert doc["epochs_done"] == 0
+        assert doc["last_params"] is None
+        assert doc["updates_dropped"] == 0
+
+    def test_terminal_states_all_carry_through(self):
+        for state in TERMINAL_STATES:
+            tenant = Tenant(TenantSpec(tenant="t"))
+            tenant.finish(state, f"because-{state}")
+            assert tenant.terminal
+            assert tenant.status()["reason"] == f"because-{state}"

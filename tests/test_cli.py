@@ -343,3 +343,127 @@ class TestCampaignJobsAndTimings:
             w.write_header({"run": {}})
         with pytest.raises(SystemExit, match="section records"):
             main(["info", "--timings", str(path)])
+
+
+class TestFleetCli:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8760
+        assert args.scenarios is None
+        assert args.capacity == 64 and args.queue_limit == 128
+        assert args.pace == 0.0
+
+    def test_serve_unknown_scenario_exits(self):
+        with pytest.raises(SystemExit, match="unknown scenario"):
+            main(["serve", "--scenarios", "mars-base", "--port", "0"])
+
+    def test_serve_bad_capacity_exits(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--capacity", "0", "--port", "0"])
+
+    def test_submit_parser_defaults(self):
+        args = build_parser().parse_args(["submit", "t1"])
+        assert args.tenant == "t1"
+        assert args.url == "http://127.0.0.1:8760"
+        assert args.tuner == "cd" and args.epochs == 10
+        assert not args.watch and not args.unsupervised
+
+    def test_submit_against_a_live_fleet(self, capsys):
+        from repro.experiments.scenarios import SCENARIOS
+        from repro.service import FleetServer, FleetService
+
+        fleet = FleetService({"anl-uc": SCENARIOS["anl-uc"]},
+                             epoch_s=5.0, dt=1.0)
+        with FleetServer(fleet) as server:
+            rc = main(["submit", "t1", "--url", server.url,
+                       "--epochs", "3", "--watch"])
+            out = capsys.readouterr().out
+        assert rc == 0
+        assert '"admitted": true' in out
+        assert '"state": "completed"' in out
+
+    def test_submit_shed_watch_exits_nonzero(self, capsys):
+        from repro.experiments.scenarios import SCENARIOS
+        from repro.service import FleetServer, FleetService
+
+        fleet = FleetService({"anl-uc": SCENARIOS["anl-uc"]},
+                             capacity=1, queue_limit=0,
+                             epoch_s=5.0, dt=1.0)
+        with FleetServer(fleet) as server:
+            assert main(["submit", "hog", "--url", server.url,
+                         "--epochs", "1000"]) == 0
+            rc = main(["submit", "shed-me", "--url", server.url,
+                       "--epochs", "2", "--watch"])
+            out = capsys.readouterr().out
+        assert rc == 1  # shed with a recorded reason, never completed
+        assert "queue-full" in out
+
+    def test_submit_no_fleet_exits(self):
+        with pytest.raises(SystemExit, match="fleet at"):
+            main(["submit", "t1", "--url", "http://127.0.0.1:9",
+                  "--timeout", "0.2"])
+
+
+class TestDegradedBackendWarnings:
+    def test_no_health_no_warnings(self):
+        from repro.cli import _degraded_backend_warnings
+
+        assert _degraded_backend_warnings(None) == []
+        assert _degraded_backend_warnings({}) == []
+
+    def test_closed_breaker_is_quiet(self):
+        from repro.cli import _degraded_backend_warnings
+
+        health = {"url": "http://c:1", "breaker": "closed",
+                  "breaker_opens": 0}
+        assert _degraded_backend_warnings(health) == []
+
+    def test_open_breaker_warns_with_url(self):
+        from repro.cli import _degraded_backend_warnings
+
+        health = {"url": "http://cache:8750", "breaker": "open"}
+        lines = _degraded_backend_warnings(health)
+        assert len(lines) == 1
+        assert "http://cache:8750" in lines[0]
+        assert "breaker open" in lines[0]
+        assert "local tier" in lines[0]
+
+    def test_closed_but_tripped_breaker_warns(self):
+        from repro.cli import _degraded_backend_warnings
+
+        health = {"url": "sqlite:///c.db", "breaker": "closed",
+                  "breaker_opens": 2}
+        lines = _degraded_backend_warnings(health)
+        assert len(lines) == 1
+        assert "tripped 2x" in lines[0]
+
+    def test_tiered_health_walks_remote_tier(self):
+        from repro.cli import _degraded_backend_warnings
+
+        health = {"tiers": {
+            "local": {"url": "dir:/tmp/c", "breaker": "closed",
+                      "breaker_opens": 0},
+            "remote": {"url": "http://far:8750", "breaker": "half-open"},
+        }}
+        lines = _degraded_backend_warnings(health)
+        assert len(lines) == 1
+        assert "http://far:8750" in lines[0]
+
+    def test_campaign_with_degraded_remote_prints_warning(self, tmp_path,
+                                                          capsys):
+        import repro.experiments.campaign as campaign_mod
+
+        units = campaign_mod.CAMPAIGN_UNITS
+        try:
+            campaign_mod.CAMPAIGN_UNITS = units[3:4]  # fig8 only
+            rc = main([
+                "campaign", "--quick",
+                "--cache-dir",
+                f"http://127.0.0.1:9?local={tmp_path / 'local'}",
+            ])
+        finally:
+            campaign_mod.CAMPAIGN_UNITS = units
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "warning: cache backend" in out
+        assert "local tier" in out
