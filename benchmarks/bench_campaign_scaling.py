@@ -36,6 +36,7 @@ from contextlib import contextmanager
 from repro.core.registry import make_tuner
 from repro.endpoint.load import ExternalLoad
 from repro.experiments import figures
+from repro.experiments.batch import SingleRunSpec
 from repro.experiments.campaign import CampaignScale, run_campaign
 from repro.experiments.report import render_table
 from repro.experiments.runner import run_pair, run_single
@@ -98,13 +99,14 @@ def reference_engine():
     """Force the figure generators onto the ``fast_path=False`` pipeline
     — the serial pre-fast-path baseline the campaign numbers compare
     against.  (Only valid for in-process runs: ``jobs=1``.)"""
-    originals = (figures.run_single, figures.run_pair)
-    figures.run_single = functools.partial(run_single, fast_path=False)
+    originals = (figures.SingleRunSpec, figures.run_pair)
+    figures.SingleRunSpec = functools.partial(
+        SingleRunSpec, fast_path=False)
     figures.run_pair = functools.partial(run_pair, fast_path=False)
     try:
         yield
     finally:
-        figures.run_single, figures.run_pair = originals
+        figures.SingleRunSpec, figures.run_pair = originals
 
 
 def campaign_measurement(scale: CampaignScale, jobs_widths=(1, 2, 4)):

@@ -31,6 +31,7 @@ from repro.cache.canonical import Described, canonical_json, describe
 __all__ = [
     "CACHE_SCHEMA_VERSION",
     "engine_fingerprint",
+    "fingerprint_files",
     "run_key",
     "single_run_components",
     "pair_run_components",
@@ -42,9 +43,15 @@ __all__ = [
 CACHE_SCHEMA_VERSION = 2
 
 #: Package subtrees / modules whose source determines simulation
-#: behavior.  Relative to the ``repro`` package root.
+#: behavior.  Relative to the ``repro`` package root.  ``sim/batch`` is
+#: named explicitly even though the ``sim`` subtree already recurses
+#: into it: the batch engine produces cached traces directly, so its
+#: membership in the fingerprint is a stated invariant (with a pinning
+#: test), not a side effect of directory layout.  Overlapping roots are
+#: deduplicated, so the redundancy never double-hashes a file.
 _FINGERPRINT_ROOTS = (
     "sim",
+    "sim/batch",
     "net",
     "core",
     "endpoint",
@@ -58,6 +65,21 @@ _FINGERPRINT_ROOTS = (
 )
 
 
+def fingerprint_files() -> list[Path]:
+    """The behavior-bearing source files, deduplicated and sorted."""
+    import repro
+
+    root = Path(repro.__file__).parent
+    files: set[Path] = set()
+    for rel in _FINGERPRINT_ROOTS:
+        target = root / rel
+        if target.is_dir():
+            files.update(target.rglob("*.py"))
+        elif target.is_file():
+            files.add(target)
+    return sorted(files)
+
+
 @functools.lru_cache(maxsize=1)
 def engine_fingerprint() -> str:
     """SHA-256 over the behavior-bearing source files, hex-encoded.
@@ -69,14 +91,7 @@ def engine_fingerprint() -> str:
 
     root = Path(repro.__file__).parent
     digest = hashlib.sha256()
-    files: list[Path] = []
-    for rel in _FINGERPRINT_ROOTS:
-        target = root / rel
-        if target.is_dir():
-            files.extend(sorted(target.rglob("*.py")))
-        elif target.is_file():
-            files.append(target)
-    for path in sorted(files):
+    for path in fingerprint_files():
         digest.update(str(path.relative_to(root)).encode())
         digest.update(b"\0")
         digest.update(path.read_bytes())

@@ -277,6 +277,20 @@ class RunCache:
 
     # -- trace-shaped convenience --------------------------------------
 
+    @staticmethod
+    def _traces_from_payload(payload: dict) -> dict[str, Trace] | None:
+        """Decode one entry payload's traces, or None on any damage."""
+        traces = payload.get("traces")
+        if not isinstance(traces, dict) or not traces:
+            return None
+        out: dict[str, Trace] = {}
+        for name, data in traces.items():
+            try:
+                out[name] = _trace_from_entry(data)
+            except (ValueError, KeyError, TypeError):
+                return None
+        return out
+
     def get_traces(self, key: str) -> dict[str, Trace] | None:
         """Cached traces for a run key, or None on any kind of miss.
 
@@ -287,15 +301,21 @@ class RunCache:
         payload = self.get(key)
         if payload is None:
             return None
-        traces = payload.get("traces")
-        if not isinstance(traces, dict) or not traces:
-            return None
-        out: dict[str, Trace] = {}
-        for name, data in traces.items():
-            try:
-                out[name] = _trace_from_entry(data)
-            except (ValueError, KeyError, TypeError):
-                return None
+        return self._traces_from_payload(payload)
+
+    def get_traces_many(
+        self, keys: Iterable[str]
+    ) -> dict[str, dict[str, Trace]]:
+        """Batched :meth:`get_traces` over :meth:`get_many` — one
+        backend round-trip where the backend has a batch primitive (the
+        batch runner probes a whole campaign's keys at once).  Keys
+        whose entries are absent or damaged are simply missing from the
+        result; trace-decode failures degrade the same way."""
+        out: dict[str, dict[str, Trace]] = {}
+        for key, payload in self.get_many(keys).items():
+            traces = self._traces_from_payload(payload)
+            if traces is not None:
+                out[key] = traces
         return out
 
     def put_traces(

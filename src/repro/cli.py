@@ -5,14 +5,16 @@ The subcommands mirror how the library is used:
 * ``run``    — one tuned transfer on a scenario, with a summary and the
   adopted parameter trajectory; ``--journal`` makes it crash-safe;
   ``--reps N --jobs J`` replicates across seeds in parallel and reports
-  the mean with a confidence interval;
+  the mean with a confidence interval (``--batch`` advances the
+  replicates in lockstep lanes, bit-identical to the serial path);
 * ``resume`` — continue a killed journaled run (bit-identical result);
 * ``sweep``  — the static response surface (throughput vs nc);
 * ``oracle`` — the best static setting by offline sweep;
 * ``figure`` — regenerate one of the paper's figures as text;
 * ``campaign`` — the whole evaluation; ``--journal`` resumes at the
   granularity of completed figures; ``--jobs`` fans the units out over
-  processes (identical report at any width);
+  processes and ``--batch N`` advances each unit's runs in lockstep
+  lanes (identical report at any width of either axis);
 * ``info``   — registered tuners, scenarios, and load profiles;
   ``--timings`` prints a campaign journal's per-unit wall times;
 * ``top``    — ANSI dashboard over a journal or saved trace
@@ -180,7 +182,7 @@ def _rep_experiment(
 
 def _run_replicates(args: argparse.Namespace) -> int:
     from repro.experiments.parallel import replicate_seeds
-    from repro.experiments.replicate import replicate
+    from repro.experiments.replicate import Replicates, replicate
 
     for value, flag in (
         (args.journal, "--journal"), (args.warm_start, "--warm-start"),
@@ -194,19 +196,49 @@ def _run_replicates(args: argparse.Namespace) -> int:
             )
     make_tuner(args.tuner, args.seed)  # fail fast on a bad name
     parse_load(args.load)
-    experiment = functools.partial(
-        _rep_experiment,
-        scenario_name=args.scenario,
-        tuner_name=args.tuner,
-        load=args.load,
-        duration_s=args.duration,
-        tune_np=args.tune_np,
-        fixed_np=args.np,
-    )
-    reps = replicate(
-        experiment, replicate_seeds(args.seed, args.reps), jobs=args.jobs,
-        cache=_cache_spec(args),
-    )
+    seeds = replicate_seeds(args.seed, args.reps)
+    occ = None
+    if args.batch is not None:
+        # Batched replicates: the seeds become a spec list and advance
+        # in lockstep lanes; values are identical to the scalar path
+        # because every trace is bit-identical to run_single's.
+        from repro.experiments.batch import (
+            SingleRunSpec,
+            occupancy,
+            run_many,
+        )
+
+        scenario = _scenario(args.scenario)
+        load = parse_load(args.load)
+        specs = [
+            SingleRunSpec(
+                scenario, registry.make_tuner(args.tuner, seed),
+                load=load, duration_s=args.duration,
+                tune_np=args.tune_np, fixed_np=args.np, seed=seed,
+            )
+            for seed in seeds
+        ]
+        occ0 = occupancy()
+        traces = run_many(specs, jobs=args.jobs, batch=args.batch,
+                          cache=_cache_spec(args))
+        occ = occupancy() - occ0
+        reps = Replicates(
+            values=tuple(steady_state_mean(t) for t in traces),
+            seeds=tuple(seeds),
+        )
+    else:
+        experiment = functools.partial(
+            _rep_experiment,
+            scenario_name=args.scenario,
+            tuner_name=args.tuner,
+            load=args.load,
+            duration_s=args.duration,
+            tune_np=args.tune_np,
+            fixed_np=args.np,
+        )
+        reps = replicate(
+            experiment, seeds, jobs=args.jobs, cache=_cache_spec(args),
+        )
     print(render_table(
         ["seed", "steady MB/s"],
         [[s, f"{v:.0f}"] for s, v in zip(reps.seeds, reps.values)],
@@ -216,6 +248,10 @@ def _run_replicates(args: argparse.Namespace) -> int:
     lo, hi = reps.confidence_interval()
     print(f"\nmean {reps.mean:.0f} MB/s, 95% CI [{lo:.0f}, {hi:.0f}] "
           f"(sample std {reps.std:.0f})")
+    if occ is not None and (occ.simulated or occ.cached):
+        print(f"(batch: {occ.batched} runs batched in {occ.chunks} "
+              f"chunks, {occ.fallback} fell back to scalar, "
+              f"{occ.cached} cache hits)")
     return 0
 
 
@@ -224,6 +260,11 @@ def cmd_run(args: argparse.Namespace) -> int:
         raise SystemExit("--reps must be >= 1")
     if args.reps > 1:
         return _run_replicates(args)
+    if args.batch is not None:
+        raise SystemExit(
+            "--batch needs --reps N (N > 1): batching advances "
+            "independent seed replicates in lockstep"
+        )
     scenario = _scenario(args.scenario)
     tuner = make_tuner(args.tuner, args.seed)
     obs, event_log = _make_obs(args)
@@ -326,12 +367,18 @@ def _info_timings(path: str) -> int:
     rows, total = [], 0.0
     for name, record in journal.sections.items():
         elapsed = record.get("elapsed_s")
+        batch = record.get("batch")
+        if isinstance(batch, list) and len(batch) == 4:
+            batched, fallback = int(batch[0]), int(batch[1])
+            occ = f"{batched}/{fallback}" if (batched or fallback) else "-"
+        else:  # journal predates batch occupancy
+            occ = "-"
         if elapsed is None:  # journal predates per-unit timing
-            rows.append([name, "-"])
+            rows.append([name, "-", occ])
         else:
-            rows.append([name, f"{float(elapsed):.2f}"])
+            rows.append([name, f"{float(elapsed):.2f}", occ])
             total += float(elapsed)
-    print(render_table(["unit", "wall s"], rows,
+    print(render_table(["unit", "wall s", "batched/fallback"], rows,
                        title=f"per-unit wall time: {path}"))
     print(f"\nrecorded total : {total:.2f} s"
           + ("" if journal.ended else "  (campaign incomplete)"))
@@ -532,7 +579,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
              else CampaignScale.full(args.seed))
     try:
         result = run_campaign(scale, journal_path=args.journal,
-                              jobs=args.jobs, cache=_cache_spec(args))
+                              jobs=args.jobs, batch=args.batch,
+                              cache=_cache_spec(args))
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
     if result.resumed_units:
@@ -542,6 +590,15 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     if rate is not None:
         print(f"(cache: {result.cache_hits} hits, "
               f"{result.cache_misses} misses — {100 * rate:.0f}% hit rate)\n")
+    occ = result.batch
+    if occ.batched or occ.fallback:
+        print(f"(batch: {occ.batched} runs batched in {occ.chunks} chunks "
+              f"(avg {occ.runs_per_chunk:.1f}/chunk), "
+              f"{occ.fallback} fell back to scalar)\n")
+    if occ.fallback_rate > 0.10:
+        print(f"warning: {100 * occ.fallback_rate:.0f}% of simulated runs "
+              "fell back to the scalar engine — the batch width is doing "
+              "little; see repro.experiments.batch.fallback_reasons\n")
     for line in _degraded_backend_warnings(result.backend_health):
         print(line)
     doc = result.document()
@@ -803,6 +860,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "report mean steady throughput with a 95%% CI")
     p_run.add_argument("--jobs", type=int, default=1,
                        help="processes for --reps fan-out (0 = all CPUs)")
+    from repro.experiments.batch import DEFAULT_BATCH
+
+    p_run.add_argument("--batch", type=int, default=None, nargs="?",
+                       const=DEFAULT_BATCH, metavar="N",
+                       help="advance the --reps replicates N lanes at a "
+                            "time through the batch engine (bare --batch "
+                            f"= {DEFAULT_BATCH}; results are bit-identical "
+                            "either way)")
     cache_flags(p_run)
     p_run.set_defaults(func=cmd_run)
 
@@ -858,6 +923,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument("--jobs", type=int, default=1,
                         help="processes for unit fan-out (0 = all CPUs); "
                              "the report is identical at any width")
+    p_camp.add_argument("--batch", type=int, default=None, metavar="N",
+                        help="batch-engine lane width inside every unit "
+                             "(0 = off; composes with --jobs; the report "
+                             "is identical at any width)")
     cache_flags(p_camp)
     p_camp.set_defaults(func=cmd_campaign)
 

@@ -64,10 +64,14 @@ class ParamSpace:
         """True iff ``x`` is an integer point inside the box."""
         if len(x) != self.ndim:
             return False
-        return all(
-            float(v).is_integer() and lo <= v <= hi
-            for v, lo, hi in zip(x, self.lower, self.upper)
-        )
+        # Exact integers (the common case: accepted proposals) skip the
+        # float boxing; the general arm is unchanged.
+        for v, lo, hi in zip(x, self.lower, self.upper):
+            if not (type(v) is int or float(v).is_integer()):
+                return False
+            if not lo <= v <= hi:
+                return False
+        return True
 
     def fbnd(self, x: Sequence[float]) -> tuple[int, ...]:
         """The paper's ``fBnd``: round to integers, then project to bounds."""
@@ -77,6 +81,9 @@ class ParamSpace:
             )
         out = []
         for v, lo, hi in zip(x, self.lower, self.upper):
+            if type(v) is int:  # already integral: rounding is identity
+                out.append(min(max(v, lo), hi))
+                continue
             if math.isnan(v):
                 raise ValueError("cannot bound a NaN coordinate")
             out.append(min(max(_round_half_away(v), lo), hi))

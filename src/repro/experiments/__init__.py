@@ -5,6 +5,9 @@ paper figure.
   testbed models with calibrated constants.
 * :mod:`repro.experiments.runner` — run (scenario, tuner, load, seed) →
   trace; single transfers, simultaneous pairs, and joint tuning.
+* :mod:`repro.experiments.batch` — many independent single runs at once:
+  declarative :class:`~repro.experiments.batch.SingleRunSpec`, lockstep
+  struct-of-arrays batching with scalar fallback, jobs × batch fan-out.
 * :mod:`repro.experiments.figures` — one entry point per figure (1, 5-11)
   plus the ANL→TACC concurrency study described in §IV-A's text.
 * :mod:`repro.experiments.report` — ASCII tables and paper-vs-measured
@@ -13,11 +16,23 @@ paper figure.
 
 from repro.experiments.scenarios import ANL_UC, ANL_TACC, Scenario, standard_tuners
 from repro.experiments.runner import run_single, run_pair, run_joint
+from repro.experiments.batch import (
+    BatchOccupancy,
+    SingleRunSpec,
+    batching,
+    run_batch,
+    run_many,
+)
 
 __all__ = [
     "ANL_UC",
     "ANL_TACC",
+    "BatchOccupancy",
     "Scenario",
+    "SingleRunSpec",
+    "batching",
+    "run_batch",
+    "run_many",
     "standard_tuners",
     "run_single",
     "run_pair",

@@ -27,6 +27,7 @@ import numpy as np
 from repro.cache import keys as cache_keys
 from repro.cache.runtime import CacheSpec, activated, resolve_cache
 from repro.experiments import figures
+from repro.experiments.batch import BatchOccupancy, batching, occupancy
 from repro.experiments.parallel import pool_imap
 from repro.experiments.report import render_comparison, render_table
 
@@ -82,6 +83,13 @@ class CampaignResult:
     #: The cache backend's health document (tiers, breaker states) at
     #: campaign end; ``None`` when the campaign ran uncached.
     backend_health: dict | None = None
+    #: Batch-engine occupancy accumulated by the computed units (lanes
+    #: advanced in batch, scalar fallbacks, cache hits, chunks).  All
+    #: zeros when batching was off; resumed units did no simulation, so
+    #: they contribute nothing.
+    batch: BatchOccupancy = field(default_factory=BatchOccupancy)
+    #: Per-unit occupancy breakdown of the same counters.
+    unit_batch: dict[str, BatchOccupancy] = field(default_factory=dict)
 
     @property
     def cache_hit_rate(self) -> float | None:
@@ -209,28 +217,35 @@ CAMPAIGN_UNITS: list[tuple[str, Callable[[CampaignScale], dict[str, str]]]] = [
 
 def _run_unit(
     task: tuple[str, CampaignScale],
-) -> tuple[str, dict[str, str], float, list[tuple[str, bool]]]:
+) -> tuple[str, dict[str, str], float, list[tuple[str, bool]],
+           BatchOccupancy]:
     """Run one named unit, timed (module-level so it pools; only the
     ``(name, scale)`` pair crosses the process boundary — unit
     callables like :func:`_switching_unit` closures are looked up here
     and never pickled).
 
-    The last element is the slice of the ambient store's key log the
+    The fourth element is the slice of the ambient store's key log the
     unit produced — every ``(run key, hit?)`` it probed.  Workers
     resolve the store from the environment :func:`run_campaign`'s
     ``activated`` scope exported, and stores are memoized per process,
     so the log accumulates across a worker's tasks and the per-task
-    delta is exact.
+    delta is exact.  The last element is the unit's batch-occupancy
+    delta, measured the same way against the per-process counters (the
+    ambient batch width rides the ``REPRO_BATCH`` environment the
+    :func:`~repro.experiments.batch.batching` scope exported, and each
+    unit runs its figures in-process — ``jobs=1`` inside the unit — so
+    the delta is exact too).
     """
     name, scale = task
     unit = dict(CAMPAIGN_UNITS)[name]
     store = resolve_cache(None)
     log_start = len(store.key_log) if store is not None else 0
+    occ_start = occupancy()
     t0 = time.perf_counter()
     blocks = unit(scale)
     elapsed = time.perf_counter() - t0
     probed = list(store.key_log[log_start:]) if store is not None else []
-    return name, blocks, elapsed, probed
+    return name, blocks, elapsed, probed, occupancy() - occ_start
 
 
 def _manifest_key(name: str, scale: CampaignScale) -> str:
@@ -287,6 +302,7 @@ def run_campaign(
     *,
     journal_path: str | Path | None = None,
     jobs: int = 1,
+    batch: int | None = None,
     obs: "Instrumentation | None" = None,
     cache: CacheSpec = None,
 ) -> CampaignResult:
@@ -319,10 +335,22 @@ def run_campaign(
     Probe totals land in :attr:`CampaignResult.cache_hits` /
     ``cache_misses`` / ``unit_cache`` and the backend's closing health
     document in :attr:`CampaignResult.backend_health`.
+
+    ``batch`` sets the ambient batch width for every unit
+    (:func:`~repro.experiments.batch.batching`): each unit's
+    independent runs advance in lockstep lanes of that width, with
+    automatic per-run scalar fallback for anything the batch engine
+    cannot express.  ``None`` inherits the environment
+    (``REPRO_BATCH``); ``0`` forces batching off.  Traces — and hence
+    the report — are bit-identical at any width; occupancy counters
+    land in :attr:`CampaignResult.batch` / ``unit_batch`` and in the
+    journal's section records.  ``batch`` composes with ``jobs``: units
+    fan out over processes, and each unit batches its own runs.
     """
     scale = scale if scale is not None else CampaignScale.full()
     with activated(cache):
-        return _run_campaign_body(scale, journal_path, jobs, obs)
+        with batching(batch):
+            return _run_campaign_body(scale, journal_path, jobs, obs)
 
 
 def _run_campaign_body(
@@ -345,13 +373,17 @@ def _run_campaign_body(
                     "repro_campaign_unit_seconds", unit=name
                 ).set(float(elapsed_s))
 
-    def account(name: str, probed: list[tuple[str, bool]]) -> None:
-        """Fold a computed unit's probe log into the result and leave
-        its manifest behind for the next campaign's ordering pass."""
+    def account(name: str, probed: list[tuple[str, bool]],
+                bocc: BatchOccupancy) -> None:
+        """Fold a computed unit's probe log and batch occupancy into
+        the result and leave its manifest behind for the next
+        campaign's ordering pass."""
         hits = sum(1 for _, hit in probed if hit)
         out.cache_hits += hits
         out.cache_misses += len(probed) - hits
         out.unit_cache[name] = (hits, len(probed) - hits)
+        out.unit_batch[name] = bocc
+        out.batch = out.batch + bocc
         if store is not None and probed:
             manifest = {"keys": sorted({k for k, _ in probed})}
             mkey = _manifest_key(name, scale)
@@ -366,11 +398,11 @@ def _run_campaign_body(
     if journal_path is None:
         ordered = _cache_order([name for name, _ in CAMPAIGN_UNITS], scale)
         tasks = [(name, scale) for name in ordered]
-        for name, blocks, elapsed, probed in pool_imap(
+        for name, blocks, elapsed, probed, bocc in pool_imap(
             _run_unit, tasks, jobs=jobs
         ):
             merge(name, blocks, elapsed)
-            account(name, probed)
+            account(name, probed, bocc)
     else:
         from repro.checkpoint.journal import JournalWriter, read_journal
 
@@ -401,16 +433,21 @@ def _run_campaign_body(
                 [name for name, _ in CAMPAIGN_UNITS if name not in done],
                 scale,
             )
-            for name, blocks, elapsed, probed in pool_imap(
+            for name, blocks, elapsed, probed, bocc in pool_imap(
                 _run_unit, [(name, scale) for name in pending], jobs=jobs
             ):
                 # Journaled only after the worker result is in hand —
                 # a unit is either durably complete or recomputed.
                 writer.write_section(
-                    name, {"blocks": blocks, "elapsed_s": elapsed}
+                    name, {
+                        "blocks": blocks,
+                        "elapsed_s": elapsed,
+                        "batch": [bocc.batched, bocc.fallback,
+                                  bocc.cached, bocc.chunks],
+                    }
                 )
                 merge(name, blocks, elapsed)
-                account(name, probed)
+                account(name, probed, bocc)
             writer.write_end()
     if store is not None:
         out.backend_health = store.health()

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.analysis.stats import BoxStats, box_stats, steady_state_mean
-from repro.cache.runtime import CacheSpec, activated
+from repro.cache.runtime import CacheSpec
 from repro.core.base import StaticTuner, Tuner
 from repro.core.cs_tuner import CsTuner
 from repro.core.heuristics import Heur1Tuner, Heur2Tuner
@@ -22,8 +22,8 @@ from repro.core.nm_tuner import NmTuner
 from repro.endpoint.load import ExternalLoad, LoadSchedule
 from repro.sim.trace import Trace
 
-from repro.experiments.parallel import pool_map
-from repro.experiments.runner import run_pair, run_single
+from repro.experiments.batch import SingleRunSpec, run_many
+from repro.experiments.runner import run_pair
 from repro.experiments.scenarios import (
     ANL_TACC,
     ANL_UC,
@@ -70,23 +70,6 @@ class Fig1Result:
         return max(by_nc, key=lambda nc: by_nc[nc].median)
 
 
-def _fig1_sample(
-    task: tuple[Scenario, ExternalLoad, int, float, int],
-) -> float:
-    """One Fig. 1 cell replicate (module-level so it pools)."""
-    scenario, load, nc, duration_s, seed = task
-    trace = run_single(
-        scenario,
-        StaticTuner(),
-        load=load,
-        duration_s=duration_s,
-        x0=(nc,),
-        fixed_np=1,
-        seed=seed,
-    )
-    return steady_state_mean(trace, tail_fraction=0.75)
-
-
 def fig1(
     scenario: Scenario = ANL_UC,
     *,
@@ -104,7 +87,10 @@ def fig1(
     ``jobs`` fans the (load, nc, rep) cells out over processes; each
     cell's seed is derived from its own (rep, nc), so the statistics are
     identical at any width.  ``cache`` routes every cell through the
-    run cache (:mod:`repro.cache`) — workers included.
+    run cache (:mod:`repro.cache`) — workers included.  The cells run
+    through :func:`~repro.experiments.batch.run_many`, so an ambient
+    batch width (``repro campaign --batch``, ``REPRO_BATCH``) advances
+    them in lockstep lanes — bit-identical either way.
     """
     if nc_values is None:
         nc_values = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512]
@@ -113,14 +99,19 @@ def fig1(
             "no-load": ExternalLoad(),
             "high-load": ExternalLoad(ext_cmp=16, ext_tfr=16),
         }
-    tasks = [
-        (scenario, load, nc, duration_s, seed + 1000 * rep + nc)
+    specs = [
+        SingleRunSpec(
+            scenario, StaticTuner(), load=load, duration_s=duration_s,
+            x0=(nc,), fixed_np=1, seed=seed + 1000 * rep + nc,
+        )
         for load in loads.values()
         for nc in nc_values
         for rep in range(reps)
     ]
-    with activated(cache):
-        samples = pool_map(_fig1_sample, tasks, jobs=jobs)
+    traces = run_many(specs, jobs=jobs, cache=cache)
+    samples = [
+        steady_state_mean(t, tail_fraction=0.75) for t in traces
+    ]
     stats: dict[str, dict[int, BoxStats]] = {}
     pos = 0
     for label in loads:
@@ -165,22 +156,6 @@ class Fig5Result:
         return 100.0 * (1.0 - self.steady_observed(load, tuner) / best)
 
 
-def _fig5_cell(
-    task: tuple[Scenario, ExternalLoad, Tuner, float, int],
-) -> Trace:
-    """One (load, tuner) run of the Fig. 5 matrix (module-level so it
-    pools; the tuner instance travels by pickle)."""
-    scenario, load, tuner, duration_s, seed = task
-    return run_single(
-        scenario,
-        tuner,
-        load=load,
-        duration_s=duration_s,
-        fixed_np=8,
-        seed=seed,
-    )
-
-
 def fig5(
     scenario: Scenario = ANL_UC,
     *,
@@ -196,18 +171,21 @@ def fig5(
     (np fixed at 8, tuning nc only).  ``jobs`` fans the (load, tuner)
     cells out over processes (each run is seeded independently, so the
     traces are identical at any width); ``cache`` routes every cell
-    through the run cache."""
+    through the run cache; an ambient batch width advances the cells in
+    lockstep lanes (:func:`~repro.experiments.batch.run_many`)."""
     if loads is None:
         loads = dict(FIG5_LOADS)
     if tuners is None:
         tuners = standard_tuners(seed=seed)
-    tasks = [
-        (scenario, load, tuner, duration_s, seed)
+    specs = [
+        SingleRunSpec(
+            scenario, tuner, load=load, duration_s=duration_s,
+            fixed_np=8, seed=seed,
+        )
         for load in loads.values()
         for tuner in tuners.values()
     ]
-    with activated(cache):
-        traces = pool_map(_fig5_cell, tasks, jobs=jobs)
+    traces = run_many(specs, jobs=jobs, cache=cache)
     out = Fig5Result()
     pos = 0
     for load_label in loads:
@@ -264,21 +242,6 @@ class VaryingLoadResult:
         return self.traces[tuner].epoch_param(dim)
 
 
-def _varying_cell(
-    task: tuple[Scenario, Tuner, LoadSchedule, float, int],
-) -> Trace:
-    """One tuner's run under the load switch (module-level so it pools)."""
-    scenario, tuner, schedule, duration_s, seed = task
-    return run_single(
-        scenario,
-        tuner,
-        load=schedule,
-        duration_s=duration_s,
-        tune_np=True,
-        seed=seed,
-    )
-
-
 def _varying_load_run(
     scenario: Scenario,
     tuners: dict[str, Tuner],
@@ -290,14 +253,14 @@ def _varying_load_run(
     cache: CacheSpec = None,
 ) -> VaryingLoadResult:
     schedule = varying_load_schedule(switch_at_s)
-    tasks = [
-        (scenario, tuner, schedule, duration_s, seed)
+    specs = [
+        SingleRunSpec(
+            scenario, tuner, load=schedule, duration_s=duration_s,
+            tune_np=True, seed=seed,
+        )
         for tuner in tuners.values()
     ]
-    with activated(cache):
-        traces = dict(
-            zip(tuners, pool_map(_varying_cell, tasks, jobs=jobs))
-        )
+    traces = dict(zip(tuners, run_many(specs, jobs=jobs, cache=cache)))
     return VaryingLoadResult(traces=traces, switch_at_s=switch_at_s)
 
 

@@ -100,12 +100,62 @@ def pool_imap(
             yield fut.result()
 
 
-def replicate_seeds(base_seed: int, reps: int) -> Sequence[int]:
-    """Per-replicate derived seeds: ``base_seed + rep``.
+class ReplicateSeeds(Sequence[int]):
+    """Lazily derived replicate seeds: ``base_seed + rep``.
+
+    A sequence view rather than a materialized list: each seed is
+    re-derived from ``(base_seed, index)`` on every access, so consumers
+    that slice, re-iterate, or ship the object across a process
+    boundary (pool workers, batch shards) always see the same pure
+    function of the index — there is no stored state that could drift
+    from the derivation rule.  Per-seed RNG *streams* are likewise
+    derived on demand (:class:`~repro.sim.rng.RngStreams` spawns its
+    stream seeds at construction and builds generators lazily), so a
+    B-lane batch and B serial runs over the same seeds draw identical
+    noise sequences.
+    """
+
+    __slots__ = ("base_seed", "reps")
+
+    def __init__(self, base_seed: int, reps: int) -> None:
+        if reps < 1:
+            raise ValueError("reps must be >= 1")
+        self.base_seed = int(base_seed)
+        self.reps = int(reps)
+
+    def __len__(self) -> int:
+        return self.reps
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(self.reps))]
+        if index < 0:
+            index += self.reps
+        if not 0 <= index < self.reps:
+            raise IndexError(f"replicate index {index} out of range")
+        return self.base_seed + index
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ReplicateSeeds):
+            return (self.base_seed, self.reps) == (
+                other.base_seed, other.reps
+            )
+        if isinstance(other, (list, tuple)):
+            return list(self) == list(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.base_seed, self.reps))
+
+    def __repr__(self) -> str:
+        return f"ReplicateSeeds({self.base_seed}, {self.reps})"
+
+
+def replicate_seeds(base_seed: int, reps: int) -> ReplicateSeeds:
+    """Per-replicate derived seeds: ``base_seed + rep``, lazily.
 
     Each task's seed is a pure function of its index, so the same
-    replicate set is produced at any ``jobs`` width.
+    replicate set is produced at any ``jobs`` width (and at any batch
+    lane width — see :class:`ReplicateSeeds`).
     """
-    if reps < 1:
-        raise ValueError("reps must be >= 1")
-    return [int(base_seed) + rep for rep in range(reps)]
+    return ReplicateSeeds(base_seed, reps)

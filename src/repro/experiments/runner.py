@@ -115,6 +115,53 @@ def make_session(
     )
 
 
+def build_single_engine(
+    scenario: Scenario,
+    tuner: Tuner,
+    *,
+    schedule: LoadSchedule,
+    duration_s: float,
+    epoch_s: float = EPOCH_S,
+    tune_np: bool = False,
+    fixed_np: int = 8,
+    x0: tuple[int, ...] | None = None,
+    seed: int = 0,
+    max_nc: int = 512,
+    fault_schedule: FaultSchedule | None = None,
+    retry_policy: RetryPolicy | None = None,
+    breaker: CircuitBreaker | None = None,
+    fast_path: bool = True,
+    journal: "JournalWriter | None" = None,
+    obs: "Instrumentation | None" = None,
+) -> Engine:
+    """One ``"main"``-session engine exactly as :func:`run_single` builds
+    it — shared with the batch runner (:mod:`repro.experiments.batch`)
+    so the scalar and batched paths simulate the identical system."""
+    session = make_session(
+        "main",
+        scenario.main_path,
+        tuner,
+        duration_s=duration_s,
+        epoch_s=epoch_s,
+        tune_np=tune_np,
+        fixed_np=fixed_np,
+        max_nc=max_nc,
+        x0=x0,
+        fault_schedule=fault_schedule,
+        retry_policy=retry_policy,
+        breaker=breaker,
+    )
+    return Engine(
+        topology=scenario.build_topology(),
+        host=scenario.host,
+        sessions=[session],
+        schedule=schedule,
+        config=EngineConfig(seed=seed, fast_path=fast_path),
+        journal=journal,
+        obs=obs,
+    )
+
+
 def run_single(
     scenario: Scenario,
     tuner: Tuner,
@@ -166,26 +213,21 @@ def run_single(
         hit = _cache_get(store, key, obs)
         if hit is not None and "main" in hit:
             return hit["main"]
-    session = make_session(
-        "main",
-        scenario.main_path,
+    engine = build_single_engine(
+        scenario,
         tuner,
+        schedule=schedule,
         duration_s=duration_s,
         epoch_s=epoch_s,
         tune_np=tune_np,
         fixed_np=fixed_np,
-        max_nc=max_nc,
         x0=x0,
+        seed=seed,
+        max_nc=max_nc,
         fault_schedule=fault_schedule,
         retry_policy=retry_policy,
         breaker=breaker,
-    )
-    engine = Engine(
-        topology=scenario.build_topology(),
-        host=scenario.host,
-        sessions=[session],
-        schedule=schedule,
-        config=config,
+        fast_path=fast_path,
         journal=journal,
         obs=obs,
     )

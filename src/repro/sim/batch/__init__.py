@@ -1,0 +1,13 @@
+"""Vectorized batch engine: struct-of-arrays simulation across runs.
+
+``BatchEngine`` advances B independent single-session runs in lockstep
+with the per-step arithmetic vectorized across the run axis;
+``unbatchable_reason`` classifies which configurations must stay on the
+scalar path.  Batched lanes are bit-identical (epochs AND steps) to the
+scalar reference — see DESIGN.md §15.
+"""
+
+from repro.sim.batch.eligibility import unbatchable_reason
+from repro.sim.batch.engine import BatchEngine
+
+__all__ = ["BatchEngine", "unbatchable_reason"]

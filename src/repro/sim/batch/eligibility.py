@@ -1,0 +1,57 @@
+"""Which engine configurations the batch path can express.
+
+The batch engine advances many single-session, duration-limited runs in
+lockstep (see :mod:`repro.sim.batch.engine`).  Everything it cannot
+express falls back to the scalar engine *per run* — callers ask
+:func:`unbatchable_reason` and route the lane accordingly, so a mixed
+population always completes with bit-identical results.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Engine
+
+
+def unbatchable_reason(engine: "Engine") -> str | None:
+    """Why ``engine`` cannot join a batch, or ``None`` if it can.
+
+    The batch path expresses exactly the configuration space whose span
+    structure is predictable from step arithmetic alone: one
+    driver-owned session per engine, infinite bytes with a duration
+    limit (completion cannot depend on the bytes moved), and no
+    mid-epoch state the span solver does not model (fault schedules,
+    joint controllers, sink-driven tenants, journals, live
+    instrumentation).  Retry policies and circuit breakers *are*
+    supported: with no faults they act only inside the epoch dispatch,
+    which the batch engine reuses verbatim.
+    """
+    if engine._started:
+        return "engine already started"
+    if engine.controllers:
+        return "joint controllers"
+    if engine.epoch_sink is not None:
+        return "sink-driven sessions"
+    if engine.journal is not None:
+        return "journaled run"
+    if engine.obs is not None and engine.obs.active:
+        return "instrumented run"
+    if len(engine.sessions) != 1:
+        return "multi-session substrate"
+    s = engine.sessions[0]
+    if s.driver is None:
+        return "session has no tuner driver"
+    if s.fault_schedule is not None:
+        return "fault schedule"
+    if s.fault_model is not None:
+        return "legacy fault model"
+    if not math.isinf(s.spec.total_bytes):
+        return "finite-bytes transfer"
+    if s.spec.max_duration_s is None:
+        return "unbounded duration"
+    if s.disk_cap_fn is not None:
+        return "disk-cap model"
+    return None

@@ -1,0 +1,482 @@
+"""Struct-of-arrays batch engine: B independent runs in lockstep.
+
+:class:`BatchEngine` advances B independent scalar engines (seeds ×
+scenarios × tuners, one session each) on one shared tick grid, with the
+per-step arithmetic vectorized across the run axis ("lanes").  The
+scalar engine stays the bit-exactness reference: a batched lane
+produces *identical* epochs and step records to ``engine.run()`` on the
+same engine object.
+
+How
+---
+The step loop is replaced by a *span* loop.  A span is the longest run
+of ticks on which no lane hits a change point — an epoch closure, a
+transfer-duration completion, or a load-schedule transition.  Span
+length is pure step arithmetic (the same float folds the scalar loop
+applies, so boundaries land on the same tick), which is exactly the
+prediction trick that already protects the scalar fast path's jitter
+batching.  Within a span, every per-lane quantity is a row in a
+``(lanes, span)`` matrix:
+
+* restart bookkeeping runs as a per-lane prefix loop (dead steps move
+  nothing), yielding each lane's ``run_s`` row;
+* step-jitter draws come from one sized ``Generator.normal`` call per
+  lane (numpy's sized draws produce the identical value sequence and
+  end state as n scalar calls — the RNG-order contract);
+* the slow-start ramp, rate, and bytes-moved arithmetic use the same
+  operation order as the scalar loop (``math.exp`` per element for the
+  ramp, since ``np.exp`` differs from ``math.exp`` in the last ulp);
+* epoch accumulators advance by ``np.add.accumulate`` — an exact
+  sequential left fold, unlike ``np.sum``'s pairwise reduction.
+
+At span ends, epoch closure and tuner dispatch reuse the scalar
+engine's own ``close_epoch``/``_dispatch_epoch`` verbatim, so the
+per-epoch RNG draw order (noise, restart jitter, backoff) and the whole
+retry/breaker ladder are shared code, not a re-implementation.  Each
+lane draws from its own seeded :class:`~repro.sim.rng.RngStreams`, so
+only within-lane order matters and lanes are independent.
+
+Allocation (CPU shares → flow groups → max-min fair share) only changes
+at change points; the batch engine memoizes it across lanes *and*
+spans, keyed by ``(alloc_group, load, params)``.  Lanes that share a
+scenario substrate pass the same ``alloc_group`` id and hit each
+other's entries.
+
+Step records are materialized once at the end of the run from the
+columnar buffers — the dominant cost of a batched run is building the
+per-step dataclasses, not simulating.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import chain, repeat
+from typing import Sequence
+
+import numpy as np
+
+from repro.sim.batch.eligibility import unbatchable_reason
+from repro.sim.engine import Engine
+from repro.sim.trace import StepRecord, Trace
+from repro.units import MB
+
+
+class BatchEngine:
+    """Advance several single-session scalar engines in lockstep.
+
+    Parameters
+    ----------
+    engines:
+        Fresh (un-started) engines, one lane each.  Every lane must be
+        batchable (:func:`unbatchable_reason` returns ``None``) and all
+        lanes must share one ``dt``.  Heterogeneous seeds, tuners,
+        scenarios, durations, epoch offsets, and load schedules are
+        fine.
+    alloc_groups:
+        Optional one int per lane: lanes with equal ids share
+        allocation-memo entries and must therefore be built on
+        equivalent substrates (same topology/host/client/config
+        semantics — e.g. the same scenario and param mapping).  Default
+        gives every lane its own group (always correct, fewer hits).
+    """
+
+    def __init__(
+        self,
+        engines: Sequence[Engine],
+        *,
+        alloc_groups: Sequence[int] | None = None,
+    ) -> None:
+        engines = list(engines)
+        if not engines:
+            raise ValueError("BatchEngine needs at least one engine")
+        if len({id(e) for e in engines}) != len(engines):
+            raise ValueError("duplicate engine objects in batch")
+        problems = [
+            f"lane {i}: {reason}"
+            for i, e in enumerate(engines)
+            if (reason := unbatchable_reason(e)) is not None
+        ]
+        if problems:
+            raise ValueError(
+                "unbatchable engines (route them to the scalar path): "
+                + "; ".join(problems)
+            )
+        dts = {e.config.dt for e in engines}
+        if len(dts) != 1:
+            raise ValueError(f"lanes must share one dt, got {sorted(dts)}")
+        if alloc_groups is None:
+            alloc_groups = range(len(engines))
+        alloc_groups = [int(g) for g in alloc_groups]
+        if len(alloc_groups) != len(engines):
+            raise ValueError("alloc_groups must have one entry per engine")
+
+        self.engines = engines
+        self.dt: float = engines[0].config.dt
+        self._groups = alloc_groups
+        self._sessions = [e.sessions[0] for e in engines]
+        # Allocation memo: (group, load, params) -> (cmp_frac, rate, eta)
+        # for the *live* (not restarting) configuration.  cmp_frac is
+        # restart-independent (_cpu_shares only filters done sessions),
+        # and the rate is only consumed on steps with run_s > 0, where
+        # the scalar path sees the live allocation too.
+        self._alloc_memo: dict = {}
+        # Span-length folds, memoized: these replay the scalar loop's
+        # exact accumulate-and-compare float arithmetic so change
+        # points land on the same tick.
+        self._close_memo: dict[tuple[float, float], int] = {}
+        self._done_memo: dict[float, int] = {}
+        # (start, k) -> start folded forward by k sequential += dt —
+        # replaces a full-matrix accumulate for the dt-paced
+        # accumulators (epoch_elapsed / elapsed_s).
+        self._fold_memo: dict[tuple[float, int], float] = {}
+        self._change_ticks = [
+            self._compute_change_ticks(e.schedule) for e in engines
+        ]
+        # Deferred columnar step buffers, one list of row arrays per
+        # lane; records are materialized once at the end of the run.
+        n = len(engines)
+        self._col_t: list[list] = [[] for _ in range(n)]
+        self._col_rate: list[list] = [[] for _ in range(n)]
+        self._col_mv: list[list] = [[] for _ in range(n)]
+        self._col_flag: list[list] = [[] for _ in range(n)]
+
+    # -- public API ------------------------------------------------------
+
+    def run(self) -> list[dict[str, Trace]]:
+        """Advance every lane to completion; returns one ``run()``-shaped
+        trace dict per lane, in lane order."""
+        for e in self.engines:
+            e._ensure_started()
+        # Per-lane invariants, resolved once (attribute chains and the
+        # RngStreams __getattr__ indirection are measurable across
+        # thousands of lane-spans): (engine, session, schedule.at,
+        # noise sigma, ramp tau, jitter generator, the lane's constant
+        # load when its schedule never changes, else None).
+        self._lane = [
+            (
+                e,
+                s,
+                e.schedule.at,
+                e.config.noise_sigma_step,
+                e._tau[s.name],
+                e.rng.throughput_noise,
+                None if self._change_ticks[i] else e.schedule.at(0.0),
+            )
+            for i, (e, s) in enumerate(zip(self.engines, self._sessions))
+        ]
+        done_tick = [
+            self._steps_to_done(s.spec.max_duration_s)
+            for s in self._sessions
+        ]
+        sessions = self._sessions
+        engines = self.engines
+        change_ticks = self._change_ticks
+        close_memo = self._close_memo
+        steps_to_close = self._steps_to_close
+        dt = self.dt
+        # Lanes with one epoch grid, one duration, and static loads stay
+        # in lockstep for the whole run (their dt-paced counters get
+        # identical folds, and nothing batchable ends a lane early), so
+        # one lane's span prediction serves the batch.
+        homog = (
+            len(set(done_tick)) == 1
+            and len({(s.spec.epoch_s, s.spec.epoch_offset_s)
+                     for s in sessions}) == 1
+            and not any(change_ticks)
+        )
+        tick = 0
+        active = [i for i, s in enumerate(sessions) if not s.done]
+        while active:
+            # Span length: min over active lanes of steps to the next
+            # change point (epoch close, completion, load change).
+            k = None
+            for i in (active[:1] if homog else active):
+                s = sessions[i]
+                spec = s.spec
+                target = spec.epoch_s
+                if s.epoch_index == 0:
+                    target += spec.epoch_offset_s
+                key = (s.epoch_elapsed, target)
+                n = close_memo.get(key)
+                if n is None:
+                    n = steps_to_close(s.epoch_elapsed, target)
+                n_done = done_tick[i] - tick
+                if n_done < n:
+                    n = n_done
+                for m in change_ticks[i]:
+                    if m > tick and m - tick < n:
+                        n = m - tick
+                if k is None or n < k:
+                    k = n
+            if k < 1:
+                raise RuntimeError(
+                    "batch span prediction collapsed to zero steps"
+                )
+            self._advance_span(active, tick, k)
+            tick += k
+            now = tick * dt
+            still = []
+            for i in active:
+                e = engines[i]
+                s = sessions[i]
+                e.clock.tick = tick
+                spec = s.spec
+                target = spec.epoch_s
+                if s.epoch_index == 0:
+                    target += spec.epoch_offset_s
+                boundary = s.epoch_elapsed >= target - 1e-9
+                if boundary or s.done:
+                    rec = s.close_epoch(start_time=now - s.epoch_elapsed)
+                    if not s.done:
+                        e._dispatch_epoch(s, rec)
+                if not s.done:
+                    still.append(i)
+            active = still
+        self._materialize()
+        return [{s.name: s.trace} for s in self._sessions]
+
+    # -- span prediction -------------------------------------------------
+
+    def _steps_to_close(self, ee0: float, target: float) -> int:
+        key = (ee0, target)
+        n = self._close_memo.get(key)
+        if n is None:
+            dt = self.dt
+            n = 0
+            v = ee0
+            while v < target - 1e-9:
+                v += dt
+                n += 1
+            self._close_memo[key] = n
+        return n
+
+    def _steps_to_done(self, limit: float) -> int:
+        """Total tick count at which a lane started at tick 0 is done
+        (``elapsed_s`` accumulates dt on every step, so a lane's fold
+        position equals the global tick)."""
+        n = self._done_memo.get(limit)
+        if n is None:
+            dt = self.dt
+            n = 0
+            v = 0.0
+            while v < limit:
+                v += dt
+                n += 1
+            self._done_memo[limit] = n
+        return n
+
+    def _compute_change_ticks(self, schedule) -> list[int]:
+        """Global ticks at which a lane's load changes, matching
+        ``schedule.at(tick * dt)``'s bisect semantics (the new load
+        applies on the first tick with ``tick * dt >= change_time``)."""
+        dt = self.dt
+        ticks = []
+        for c in schedule.change_times:
+            m = max(1, math.ceil(c / dt))
+            while m * dt < c:
+                m += 1
+            while m > 1 and (m - 1) * dt >= c:
+                m -= 1
+            ticks.append(m)
+        return ticks
+
+    # -- span advance ----------------------------------------------------
+
+    def _live_alloc(self, i: int, e: Engine, s, load):
+        key = (self._groups[i], load, s.params)
+        hit = self._alloc_memo.get(key)
+        if hit is None:
+            saved = s.restart_remaining
+            s.restart_remaining = 0.0  # force the live configuration
+            try:
+                cmp_frac, alloc, eta = e._allocation_phase(load)
+            finally:
+                s.restart_remaining = saved
+            hit = (cmp_frac, alloc.get(s.name), eta)
+            self._alloc_memo[key] = hit
+        return hit
+
+    def _fold_dt(self, start: float, k: int) -> float:
+        """``start`` folded forward by ``k`` sequential ``+= dt`` — the
+        scalar loop's exact accumulation for the dt-paced counters."""
+        key = (start, k)
+        v = self._fold_memo.get(key)
+        if v is None:
+            dt = self.dt
+            v = start
+            for _ in range(k):
+                v += dt
+            self._fold_memo[key] = v
+        return v
+
+    def _advance_span(self, active: list[int], tick0: int, k: int) -> None:
+        dt = self.dt
+        lane = self._lane
+        groups = self._groups
+        alloc_get = self._alloc_memo.get
+        fold_get = self._fold_memo.get
+        fold_dt = self._fold_dt
+        L = len(active)
+        t0 = tick0 * dt
+        t_row = (tick0 + np.arange(k)) * dt
+
+        RS = np.full((L, k), dt)  # per-step running seconds
+        Z = np.zeros((L, k))  # normal draws under the step jitter
+        c1 = np.zeros(L)  # alloc * eta * noise_factor
+        tau = np.empty(L)
+        tss0 = np.empty(L)
+        er0 = np.empty(L)
+        eb0 = np.empty(L)
+        frozen_tss: list[int] = []
+        flag_rows: list[list[bool]] = []
+
+        for row, i in enumerate(active):
+            e, s, sched_at, sigma, tau_i, jit_gen, const_load = lane[i]
+            load = const_load if const_load is not None else sched_at(t0)
+            hit = alloc_get((groups[i], load, s.params))
+            if hit is None:
+                hit = self._live_alloc(i, e, s, load)
+            cmp_frac, rate, eta = hit
+            # The closing step of any dispatch-bearing epoch is live
+            # (restart dead time is capped at 0.9 epochs and only
+            # charged at dispatch), so the live cmp_frac is what the
+            # scalar loop leaves in _last_cmp_frac at every dispatch.
+            e._last_cmp_frac = cmp_frac
+            tau[row] = tau_i
+            tss0[row] = s.time_since_start
+            er0[row] = s.epoch_run_s
+            eb0[row] = s.epoch_bytes
+            # The dt-paced counters need no matrix: fold them directly.
+            v = fold_get((s.epoch_elapsed, k))
+            s.epoch_elapsed = v if v is not None else fold_dt(
+                s.epoch_elapsed, k)
+            v = fold_get((s.state.elapsed_s, k))
+            s.state.elapsed_s = v if v is not None else fold_dt(
+                s.state.elapsed_s, k)
+
+            # Restart prefix: same sequential float decrements as the
+            # scalar loop (run_s = dt - clamp(rr); rr = max(0, rr - dt)).
+            rr = s.restart_remaining
+            fm = 0
+            while fm < k and rr >= dt:
+                rr -= dt
+                fm += 1
+            if fm:
+                RS[row, :fm] = 0.0
+            if fm < k:
+                if rr > 0.0:
+                    RS[row, fm] = dt - rr
+                    nflag = fm + 1
+                else:
+                    nflag = fm
+                s.restart_remaining = 0.0
+            else:
+                nflag = fm
+                s.restart_remaining = rr
+            flag_rows.append([True] * nflag + [False] * (k - nflag))
+
+            if rate is None:
+                # Session absent from the allocation: the scalar path
+                # moves nothing and does not advance the ramp clock.
+                frozen_tss.append(row)
+            else:
+                n_draws = k - fm
+                if sigma > 0.0 and n_draws > 0:
+                    # One jitter per step with run_s > 0, in step order
+                    # — the same draws the scalar loop makes.
+                    Z[row, fm:] = jit_gen.normal(
+                        -0.5 * sigma * sigma, sigma, size=n_draws
+                    )
+                c1[row] = (rate * eta) * s.noise_factor
+
+        # Ramp-clock bounds: B[:, j] is time_since_start entering step j
+        # (dead steps add 0.0 — an exact no-op in the fold).  The chain
+        # below reuses buffers via ``out=`` — every reuse is pure
+        # notation (same operands, same order as the scalar loop);
+        # IEEE division is sign-symmetric, so ``B / -tau == -B / tau``.
+        tau_col = tau[:, None]
+        B = np.add.accumulate(
+            np.concatenate([tss0[:, None], RS], axis=1), axis=1
+        )
+        A = B / np.negative(tau_col)
+        # The scalar ramp uses math.exp, which differs from np.exp in
+        # the last ulp; evaluate per element.
+        E = np.fromiter(
+            map(math.exp, A.ravel().tolist()),
+            dtype=np.float64,
+            count=L * (k + 1),
+        ).reshape(L, k + 1)
+        # Dead steps (run_s == 0) divide by 1.0 instead: the ramp value
+        # there is never used (it is multiplied by run_s == 0.0, which
+        # is exact for any finite rate — but would be NaN-poisoned by a
+        # 0/0).
+        RSx = np.where(RS > 0.0, RS, 1.0)
+        T = np.subtract(E[:, :-1], E[:, 1:])
+        np.divide(tau_col, RSx, out=RSx)
+        np.multiply(RSx, T, out=T)
+        np.subtract(1.0, T, out=T)  # T = RAMP
+        np.exp(Z, out=Z)  # == per-element scalar np.exp (lognormal_factor)
+        np.multiply(c1[:, None], Z, out=Z)
+        np.multiply(Z, T, out=Z)  # Z = RATE = (c1 * J) * RAMP
+        np.multiply(Z, MB, out=T)
+        MV = T * RS  # (RATE * MB) * RS
+        np.divide(MV, MB, out=T)
+        np.divide(T, dt, out=Z)
+        RREC = Z  # (MV / MB) / dt
+
+        # Epoch run-time/bytes accumulators: exact sequential left folds.
+        er = np.add.accumulate(
+            np.concatenate([er0[:, None], RS], axis=1), axis=1)[:, -1]
+        eb = np.add.accumulate(
+            np.concatenate([eb0[:, None], MV], axis=1), axis=1)[:, -1]
+
+        frozen = set(frozen_tss)
+        for row, i in enumerate(active):
+            s = self._sessions[i]
+            # Plain python floats: downstream consumers (close_epoch,
+            # JSON cache entries) must not see np.float64.
+            s.epoch_run_s = float(er[row])
+            s.epoch_bytes = float(eb[row])
+            if row not in frozen:
+                s.time_since_start = float(B[row, -1])
+            self._col_t[i].append(t_row)
+            self._col_rate[i].append(RREC[row])
+            self._col_mv[i].append(MV[row])
+            self._col_flag[i].append(flag_rows[row])
+
+    # -- deferred record materialization ---------------------------------
+
+    def _materialize(self) -> None:
+        """Build every lane's StepRecord list from the columnar buffers.
+
+        One C-speed ``map`` per lane, constructing through
+        ``tuple.__new__(StepRecord, fields)`` to skip the NamedTuple's
+        generated python-level ``__new__`` (~2x per record) —
+        materialization would otherwise dominate the batched run.
+        """
+        # Lanes sharing the whole run on one epoch grid reference the
+        # very same per-span time arrays; convert each distinct sequence
+        # of spans once.
+        times_cache: dict[tuple[int, ...], list[float]] = {}
+        for i, s in enumerate(self._sessions):
+            if not self._col_t[i]:
+                continue
+            tkey = tuple(id(a) for a in self._col_t[i])
+            times = times_cache.get(tkey)
+            if times is None:
+                times = np.concatenate(self._col_t[i]).tolist()
+                times_cache[tkey] = times
+            rates = np.concatenate(self._col_rate[i]).tolist()
+            moved = np.concatenate(self._col_mv[i]).tolist()
+            flags = chain.from_iterable(self._col_flag[i])
+            s.trace.steps.extend(map(
+                tuple.__new__, repeat(StepRecord),
+                zip(times, rates, flags, moved),
+            ))
+        # Cleared only after the loop: the id-keyed cache above needs
+        # every span array kept alive until all lanes are materialized.
+        n = len(self._sessions)
+        self._col_t = [[] for _ in range(n)]
+        self._col_rate = [[] for _ in range(n)]
+        self._col_mv = [[] for _ in range(n)]
+        self._col_flag = [[] for _ in range(n)]

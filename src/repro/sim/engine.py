@@ -259,6 +259,12 @@ class Engine:
 
         self.clock = SimClock(self.config.dt)
         self.rng = RngStreams(self.config.seed)
+        # The per-epoch dispatch draws always touch these three streams;
+        # resolve them once (generator identity survives set_state, which
+        # mutates bit-generator state in place).
+        self._rng_noise = self.rng.throughput_noise
+        self._rng_rjit = self.rng.restart_jitter
+        self._rng_faults = self.rng.faults
         self._started = False
         self._last_cmp_frac = 0.0
         # Fast path: single-entry allocation cache (key = change-point
@@ -926,12 +932,18 @@ class Engine:
         # matter which recovery path runs below, so fault policies are
         # compared on identical noise realizations.
         noise = lognormal_factor(
-            self.rng.throughput_noise, self.config.noise_sigma_epoch
+            self._rng_noise, self.config.noise_sigma_epoch
         )
         rjit = lognormal_factor(
-            self.rng.restart_jitter, self.client.restart.jitter_sigma
+            self._rng_rjit, self.client.restart.jitter_sigma
         )
-        backoff_u = float(self.rng.faults.uniform(-1.0, 1.0))
+        # The backoff draw is only consumed by a retry policy, and the
+        # faults stream's only other consumer is a fault model; with
+        # neither present, skipping it cannot perturb any later draw.
+        if s.retry_state is not None or s.fault_model is not None:
+            backoff_u = float(self._rng_faults.uniform(-1.0, 1.0))
+        else:
+            backoff_u = 0.0
 
         if s.retry_state is not None:
             s.retry_state.next_epoch()

@@ -37,14 +37,24 @@ class RngStreams:
         self.seed = int(seed)
         root = np.random.SeedSequence(self.seed)
         children = root.spawn(len(STREAM_NAMES))
-        self._streams = {
-            name: np.random.default_rng(child)
-            for name, child in zip(STREAM_NAMES, children)
-        }
+        self._children = dict(zip(STREAM_NAMES, children))
+        # Generators are built lazily: spawning SeedSequence children is
+        # cheap, but constructing a Generator is not, and most runs touch
+        # only a few streams (batched campaigns build thousands of
+        # RngStreams).  Laziness does not affect draw sequences — each
+        # stream's child seed is fixed above, at spawn time.
+        self._streams: dict[str, np.random.Generator] = {}
+
+    def _get(self, name: str) -> np.random.Generator:
+        gen = self._streams.get(name)
+        if gen is None:
+            gen = np.random.default_rng(self._children[name])
+            self._streams[name] = gen
+        return gen
 
     def __getattr__(self, name: str) -> np.random.Generator:
         try:
-            return self._streams[name]
+            return self._get(name)
         except KeyError:
             raise AttributeError(
                 f"no RNG stream named {name!r}; available: {STREAM_NAMES}"
@@ -52,11 +62,11 @@ class RngStreams:
 
     def stream(self, name: str) -> np.random.Generator:
         """Return the generator for ``name`` (must be in STREAM_NAMES)."""
-        if name not in self._streams:
+        if name not in self._children:
             raise KeyError(
                 f"no RNG stream named {name!r}; available: {STREAM_NAMES}"
             )
-        return self._streams[name]
+        return self._get(name)
 
     # -- checkpoint support ----------------------------------------------
 
@@ -67,8 +77,8 @@ class RngStreams:
         precision), so a JSON round-trip restores the streams exactly.
         """
         return {
-            name: gen.bit_generator.state
-            for name, gen in self._streams.items()
+            name: self._get(name).bit_generator.state
+            for name in STREAM_NAMES
         }
 
     def set_state(self, state: dict) -> None:
@@ -81,4 +91,4 @@ class RngStreams:
         if missing:
             raise KeyError(f"rng snapshot is missing streams: {missing}")
         for name in STREAM_NAMES:
-            self._streams[name].bit_generator.state = state[name]
+            self._get(name).bit_generator.state = state[name]

@@ -13,13 +13,20 @@ Two granularities are recorded:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 import numpy as np
 
 
-@dataclass(frozen=True)
-class StepRecord:
-    """Instantaneous state of one session over one simulation step."""
+class StepRecord(NamedTuple):
+    """Instantaneous state of one session over one simulation step.
+
+    A NamedTuple rather than a (frozen) dataclass: runs construct one
+    record per simulated second, so the C-level tuple constructor is a
+    measurable win for both the scalar step loop and the batch engine's
+    bulk materialization — with the same immutability, field access,
+    repr style, and equality semantics.
+    """
 
     time: float  #: start of step, seconds
     rate: float  #: achieved rate over this step, MB/s (0 while restarting)
@@ -27,13 +34,13 @@ class StepRecord:
     bytes_moved: float  #: bytes transferred during the step
 
 
-@dataclass(frozen=True)
-class EpochRecord:
+class EpochRecord(NamedTuple):
     """Aggregate of one control epoch of a tuner-driven session.
 
     The fault/recovery fields default to the clean-epoch values so
     records from fault-free runs (and pre-fault trace files) read
-    unchanged.
+    unchanged.  A NamedTuple for the same reason as :class:`StepRecord`
+    (epoch closes are on the batch engine's per-epoch hot path).
     """
 
     index: int  #: epoch counter c

@@ -119,3 +119,51 @@ class TestKeySensitivity:
         a = run_key("single", _reference_components(tuner=make_tuner("cs", 3)))
         b = run_key("single", _reference_components(tuner=make_tuner("cs", 4)))
         assert a != b
+
+
+class TestFingerprintCoverage:
+    """The batch engine's sources are inside the engine fingerprint."""
+
+    def test_fingerprint_files_include_batch_sources(self):
+        root = Path(cache_keys.__file__).parents[1]
+        files = cache_keys.fingerprint_files()
+        batch_dir = root / "sim" / "batch"
+        assert batch_dir / "engine.py" in files
+        assert batch_dir / "eligibility.py" in files
+        # Explicitly naming sim/batch on top of the sim subtree must
+        # not double-hash: every file appears exactly once.
+        assert len(files) == len(set(files))
+
+    def test_batch_module_edit_flips_the_fingerprint(self, tmp_path):
+        """An edit to a sim/batch source must invalidate every cache
+        entry — proven against a pristine copy of the package in a
+        subprocess, so the running package stays untouched."""
+        import shutil
+
+        src_root = Path(cache_keys.__file__).parents[2]
+        work = tmp_path / "src"
+        shutil.copytree(
+            src_root, work,
+            ignore=shutil.ignore_patterns("__pycache__", "*.pyc"),
+        )
+
+        snippet = ("from repro.cache.keys import engine_fingerprint; "
+                   "print(engine_fingerprint())")
+
+        def fingerprint() -> str:
+            env = dict(os.environ)
+            env["PYTHONPATH"] = str(work)
+            out = subprocess.run(
+                [sys.executable, "-c", snippet],
+                capture_output=True, text=True, env=env, check=True,
+            )
+            return out.stdout.strip()
+
+        before = fingerprint()
+        target = work / "repro" / "sim" / "batch" / "engine.py"
+        target.write_text(
+            target.read_text() + "\n# an edit that must flip the key\n"
+        )
+        after = fingerprint()
+        assert before != after
+        assert len(after) == 64

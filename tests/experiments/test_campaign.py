@@ -84,3 +84,54 @@ class TestCampaignParallel:
                            journal_path=tmp_path / "camp.jnl")
         assert res.sections == serial.sections
         assert res.resumed_units == []
+
+
+class TestCampaignBatch:
+    SCALE = CampaignScale(duration_s=300.0, fig1_duration_s=120.0,
+                          fig1_reps=1, seed=0)
+
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return run_campaign(self.SCALE)
+
+    def test_batched_report_is_identical(self, serial):
+        from repro.experiments.batch import BatchOccupancy
+        from repro.experiments.campaign import CAMPAIGN_UNITS
+
+        batched = run_campaign(self.SCALE, batch=4)
+        assert batched.sections == serial.sections
+        assert list(batched.sections) == list(serial.sections)
+        # Occupancy lands: every unit accounted, aggregate is the sum,
+        # nothing fell back on the stock campaign, and the unbatched
+        # run charged nothing.
+        assert set(batched.unit_batch) == {n for n, _ in CAMPAIGN_UNITS}
+        total = BatchOccupancy()
+        for occ in batched.unit_batch.values():
+            total = total + occ
+        assert batched.batch == total
+        assert batched.batch.batched > 0
+        assert batched.batch.fallback == 0
+        assert batched.batch.runs_per_chunk > 1.0
+        assert serial.batch == BatchOccupancy()
+
+    def test_batch_composes_with_jobs(self, serial):
+        both = run_campaign(self.SCALE, jobs=2, batch=4)
+        assert both.sections == serial.sections
+        assert both.batch.batched > 0
+
+    def test_journal_records_batch_occupancy(self, tmp_path, serial):
+        from repro.checkpoint import read_journal
+
+        path = tmp_path / "camp.jnl"
+        res = run_campaign(self.SCALE, batch=4, journal_path=path)
+        assert res.sections == serial.sections
+        journal = read_journal(path)
+        per_unit = {
+            name: record["batch"]
+            for name, record in journal.sections.items()
+        }
+        assert set(per_unit) == set(res.unit_batch)
+        for name, (batched, fallback, cached, chunks) in per_unit.items():
+            occ = res.unit_batch[name]
+            assert (batched, fallback, cached, chunks) == (
+                occ.batched, occ.fallback, occ.cached, occ.chunks)

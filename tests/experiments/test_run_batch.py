@@ -1,0 +1,203 @@
+"""``run_batch`` / ``run_many`` semantics: identity, cache sharing,
+ambient width, occupancy accounting, and the lazy replicate seeds that
+make batch and serial replicates draw identical noise."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.cache import RunCache
+from repro.core.registry import make_tuner
+from repro.experiments.batch import (
+    DEFAULT_BATCH,
+    ENV_BATCH,
+    BatchOccupancy,
+    SingleRunSpec,
+    batching,
+    occupancy,
+    resolve_batch,
+    run_batch,
+    run_many,
+)
+from repro.experiments.parallel import ReplicateSeeds, replicate_seeds
+from repro.experiments.runner import run_single
+from repro.experiments.scenarios import ANL_UC
+from repro.sim.rng import RngStreams
+
+DURATION = 240.0
+SEED = 9
+
+
+def _specs(n=4, **kw):
+    kw.setdefault("duration_s", DURATION)
+    return [
+        SingleRunSpec(ANL_UC, make_tuner("cd", SEED + i),
+                      seed=SEED + i, **kw)
+        for i in range(n)
+    ]
+
+
+def assert_bit_identical(ref, got):
+    assert got.epochs == ref.epochs
+    assert got.steps == ref.steps
+
+
+# -- width resolution and the ambient scope ----------------------------------
+
+
+def test_resolve_batch_consults_environment(monkeypatch):
+    monkeypatch.delenv(ENV_BATCH, raising=False)
+    assert resolve_batch(None) == 0
+    assert resolve_batch(16) == 16
+    monkeypatch.setenv(ENV_BATCH, "8")
+    assert resolve_batch(None) == 8
+    assert resolve_batch(0) == 0  # explicit off beats the environment
+    monkeypatch.setenv(ENV_BATCH, "")
+    assert resolve_batch(None) == 0
+    monkeypatch.setenv(ENV_BATCH, "nope")
+    with pytest.raises(ValueError):
+        resolve_batch(None)
+    with pytest.raises(ValueError):
+        resolve_batch(-1)
+
+
+def test_batching_scope_exports_and_restores(monkeypatch):
+    monkeypatch.delenv(ENV_BATCH, raising=False)
+    with batching(6) as width:
+        assert width == 6
+        assert resolve_batch(None) == 6
+        with batching(None) as inherited:  # None leaves ambient in force
+            assert inherited == 6
+        with batching(0):
+            assert resolve_batch(None) == 0
+    assert resolve_batch(None) == 0
+
+
+# -- identity and accounting -------------------------------------------------
+
+
+def test_run_batch_matches_run_single_and_charges_occupancy():
+    specs = _specs(5)
+    before = occupancy()
+    got = run_batch(specs, batch=2, cache=False)
+    delta = occupancy() - before
+    assert delta == BatchOccupancy(batched=5, fallback=0, cached=0,
+                                   chunks=3)
+    for spec, trace in zip(specs, got):
+        assert_bit_identical(
+            run_single(spec.scenario, spec.tuner, duration_s=DURATION,
+                       seed=spec.seed, cache=False),
+            trace,
+        )
+
+
+def test_width_off_is_the_scalar_loop_and_charges_nothing():
+    specs = _specs(2)
+    before = occupancy()
+    off = run_batch(specs, batch=0, cache=False)
+    assert occupancy() == before  # batching never requested, no counters
+    on = run_batch(specs, batch=2, cache=False)
+    for a, b in zip(off, on):
+        assert_bit_identical(a, b)
+
+
+def test_empty_spec_list_is_a_noop():
+    assert run_batch([], batch=8, cache=False) == []
+
+
+def test_run_many_composes_jobs_and_batch():
+    specs = _specs(6)
+    serial = run_many(specs, jobs=1, batch=0, cache=False)
+    fanned = run_many(specs, jobs=2, batch=2, cache=False)
+    for a, b in zip(serial, fanned):
+        assert_bit_identical(a, b)
+
+
+# -- cache integration -------------------------------------------------------
+
+
+def test_batch_and_scalar_share_cache_entries(tmp_path):
+    store = RunCache(tmp_path)
+    specs = _specs(3)
+    cold = run_batch(specs, batch=4, cache=store)
+    hits = sum(1 for _, hit in store.key_log if hit)
+    assert hits == 0
+    before = occupancy()
+    warm = run_batch(specs, batch=4, cache=store)
+    delta = occupancy() - before
+    assert delta == BatchOccupancy(batched=0, fallback=0, cached=3,
+                                   chunks=0)
+    for a, b in zip(cold, warm):
+        assert_bit_identical(a, b)
+    # The scalar runner hits the batch-written entry: shared keys.
+    log_start = len(store.key_log)
+    scalar = run_single(specs[0].scenario, specs[0].tuner,
+                        duration_s=DURATION, seed=specs[0].seed,
+                        cache=store)
+    assert [hit for _, hit in store.key_log[log_start:]] == [True]
+    assert_bit_identical(cold[0], scalar)
+
+
+def test_scalar_warms_cache_for_batch(tmp_path):
+    store = RunCache(tmp_path)
+    spec = _specs(1)[0]
+    ref = run_single(spec.scenario, spec.tuner, duration_s=DURATION,
+                     seed=spec.seed, cache=store)
+    before = occupancy()
+    got = run_batch([spec], batch=4, cache=store)
+    assert (occupancy() - before).cached == 1
+    assert_bit_identical(ref, got[0])
+
+
+# -- lazy replicate seeds ----------------------------------------------------
+
+
+def test_replicate_seeds_is_a_lazy_sequence():
+    rs = replicate_seeds(7, 3)
+    assert isinstance(rs, ReplicateSeeds)
+    assert list(rs) == [7, 8, 9]
+    assert len(rs) == 3
+    assert rs[0] == 7 and rs[-1] == 9
+    assert rs[1:] == [8, 9]
+    assert rs == [7, 8, 9] and rs == replicate_seeds(7, 3)
+    assert rs != replicate_seeds(7, 4)
+    assert hash(rs) == hash(replicate_seeds(7, 3))
+    assert repr(rs) == "ReplicateSeeds(7, 3)"
+    with pytest.raises(IndexError):
+        rs[3]
+    with pytest.raises(ValueError):
+        replicate_seeds(7, 0)
+    assert list(pickle.loads(pickle.dumps(rs))) == [7, 8, 9]
+
+
+def test_stream_split_is_pinned_per_seed():
+    """Regression: per-seed streams are derived from fixed SeedSequence
+    children, so touching one stream first must not perturb another —
+    the property that lets a B-lane batch (which touches lanes' streams
+    in a different interleaving than B serial runs) draw identical
+    noise sequences."""
+    for seed in replicate_seeds(7, 3):
+        plain = RngStreams(seed).throughput_noise.normal(size=8)
+        perturbed = RngStreams(seed)
+        perturbed.restart_jitter.normal()  # a different stream, first
+        perturbed.tuner.integers(0, 10)
+        np.testing.assert_array_equal(
+            perturbed.throughput_noise.normal(size=8), plain
+        )
+
+
+def test_batch_over_replicate_seeds_matches_serial():
+    seeds = replicate_seeds(SEED, 4)
+    specs = [
+        SingleRunSpec(ANL_UC, make_tuner("cs", seed), duration_s=DURATION,
+                      seed=seed)
+        for seed in seeds
+    ]
+    batched = run_batch(specs, batch=DEFAULT_BATCH, cache=False)
+    for seed, trace in zip(seeds, batched):
+        assert_bit_identical(
+            run_single(ANL_UC, make_tuner("cs", seed),
+                       duration_s=DURATION, seed=seed, cache=False),
+            trace,
+        )

@@ -1,0 +1,99 @@
+"""Crash-safety of a *batched* campaign under a real SIGKILL.
+
+A child process runs a journaled campaign with the batch engine on
+(``batch=4``); the parent SIGKILLs it between units (slowed journal
+writes make the window wide), resumes from the journal in-process, and
+asserts the assembled report is identical to an uninterrupted serial
+(batch-off) campaign — journal resume, the batch lane axis, and the
+scalar reference must all agree on every section.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.checkpoint import read_journal
+from repro.experiments.campaign import CampaignScale, run_campaign
+
+SCALE_KW = dict(duration_s=300.0, fig1_duration_s=120.0, fig1_reps=1,
+                seed=2)
+
+CHILD_SCRIPT = """
+import sys, time
+import repro.checkpoint.journal as journal_mod
+from repro.experiments.campaign import CampaignScale, run_campaign
+
+
+class SlowDiskWriter(journal_mod.JournalWriter):
+    def write(self, record):
+        super().write(record)
+        time.sleep(0.5)
+
+
+journal_mod.JournalWriter = SlowDiskWriter
+run_campaign(
+    CampaignScale(**{scale_kw!r}), journal_path=sys.argv[1], batch=4,
+    cache=False,
+)
+"""
+
+
+def _count_sections(path) -> int:
+    try:
+        raw = path.read_bytes()
+    except FileNotFoundError:
+        return 0
+    return sum(
+        1 for line in raw.split(b"\n")
+        if line.startswith(b'{"kind":"section"')
+    )
+
+
+@pytest.mark.slow
+def test_sigkill_mid_batch_campaign_then_resume_is_identical(tmp_path):
+    journal_path = tmp_path / "campaign.jnl"
+    child = subprocess.Popen(
+        [sys.executable, "-c", CHILD_SCRIPT.format(scale_kw=SCALE_KW),
+         str(journal_path)],
+        env={**os.environ, "PYTHONPATH": os.pathsep.join(sys.path)},
+    )
+    try:
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            if _count_sections(journal_path) >= 2:
+                break
+            if child.poll() is not None:
+                pytest.fail(
+                    f"child exited early with {child.returncode} before "
+                    "two units were journaled"
+                )
+            time.sleep(0.02)
+        else:
+            pytest.fail("journal never reached two section records")
+        child.send_signal(signal.SIGKILL)
+        child.wait(timeout=30.0)
+    finally:
+        if child.poll() is None:  # pragma: no cover - cleanup
+            child.kill()
+            child.wait()
+
+    journal = read_journal(journal_path)
+    assert not journal.ended, "child finished before the kill"
+    done = set(journal.sections)
+    assert done, "no unit survived the kill"
+
+    scale = CampaignScale(**SCALE_KW)
+    resumed = run_campaign(scale, journal_path=journal_path, batch=4,
+                           cache=False)
+    assert set(resumed.resumed_units) == done
+    # Resumed units were restored, not recomputed — no occupancy entry.
+    assert not (set(resumed.resumed_units) & set(resumed.unit_batch))
+
+    reference = run_campaign(scale, batch=0, cache=False)
+    assert resumed.sections == reference.sections
+    assert list(resumed.sections) == list(reference.sections)
+    assert read_journal(journal_path).ended

@@ -1,0 +1,189 @@
+"""Batch-vs-scalar equivalence: the struct-of-arrays engine's contract.
+
+Every trace a :class:`~repro.sim.batch.BatchEngine` lane produces must
+be **bit-identical** — epoch records AND step records, dataclass ``==``
+with no tolerance — to the scalar :func:`run_single` call with the same
+arguments.  These tests pin that contract across the tuner matrix on
+both stock scenarios with the fast path on and off, across
+heterogeneous populations (mixed tuners, durations, load schedules, a
+2-D ``tune_np`` lane), and across the automatic per-run scalar
+fallback, plus the :class:`BatchEngine` construction-time validation.
+"""
+
+import math
+
+import pytest
+
+from repro.core.registry import make_tuner
+from repro.endpoint.load import ExternalLoad
+from repro.experiments.batch import (
+    SingleRunSpec,
+    fallback_reasons,
+    occupancy,
+    run_batch,
+)
+from repro.experiments.figures import varying_load_schedule
+from repro.experiments.runner import build_single_engine, run_single
+from repro.experiments.scenarios import ANL_TACC, ANL_UC
+from repro.faults import FaultEvent, FaultSchedule, RetryPolicy, STREAM_CRASH
+from repro.sim.batch import BatchEngine, unbatchable_reason
+from repro.sim.engine import LoadSchedule
+
+DURATION = 240.0
+SEED = 5
+
+
+def assert_bit_identical(ref, got):
+    assert got.epochs == ref.epochs
+    assert got.steps == ref.steps
+
+
+def _run_scalar(spec: SingleRunSpec):
+    return run_single(
+        spec.scenario, spec.tuner, load=spec.load,
+        duration_s=spec.duration_s, epoch_s=spec.epoch_s,
+        tune_np=spec.tune_np, fixed_np=spec.fixed_np, x0=spec.x0,
+        seed=spec.seed, max_nc=spec.max_nc,
+        fault_schedule=spec.fault_schedule,
+        retry_policy=spec.retry_policy, breaker=spec.breaker,
+        fast_path=spec.fast_path, cache=False,
+    )
+
+
+def _assert_batch_matches_scalar(specs, *, batch):
+    """The whole population, batched vs. run one `run_single` at a time.
+
+    Tuner objects are stateless factories (each ``start`` builds a
+    fresh driver), so reusing the same spec objects on both paths is
+    exactly what production callers do.
+    """
+    refs = [_run_scalar(s) for s in specs]
+    got = run_batch(specs, batch=batch, cache=False)
+    assert len(got) == len(refs)
+    for ref, trace in zip(refs, got):
+        assert_bit_identical(ref, trace)
+
+
+@pytest.mark.parametrize("scenario", [ANL_UC, ANL_TACC],
+                         ids=["anl-uc", "anl-tacc"])
+@pytest.mark.parametrize("fast_path", [True, False],
+                         ids=["fast", "reference"])
+def test_tuner_matrix_is_bit_identical(scenario, fast_path):
+    """cd/cs/nm/default × stock scenarios × fast_path on/off, one batch."""
+    specs = [
+        SingleRunSpec(
+            scenario, make_tuner(name, SEED), duration_s=DURATION,
+            seed=SEED, fast_path=fast_path,
+        )
+        for name in ("default", "cd", "cs", "nm")
+    ]
+    _assert_batch_matches_scalar(specs, batch=4)
+
+
+def test_heterogeneous_population_is_bit_identical():
+    """Mixed scenarios, tuners, seeds, durations, loads — including a
+    varying-load schedule and a 2-D ``tune_np`` lane — in undersized
+    chunks so lanes of different shapes share a chunk."""
+    specs = [
+        SingleRunSpec(ANL_UC, make_tuner("cd", SEED), duration_s=DURATION,
+                      seed=SEED),
+        SingleRunSpec(ANL_UC, make_tuner("cs", SEED + 1),
+                      duration_s=DURATION / 2, seed=SEED + 1,
+                      load=ExternalLoad(ext_cmp=16)),
+        SingleRunSpec(ANL_TACC, make_tuner("nm", SEED), seed=SEED,
+                      duration_s=DURATION,
+                      load=varying_load_schedule(DURATION / 2)),
+        SingleRunSpec(ANL_TACC, make_tuner("nm", SEED), seed=SEED,
+                      duration_s=DURATION, tune_np=True),
+        SingleRunSpec(ANL_UC, make_tuner("default", SEED), seed=SEED + 2,
+                      duration_s=DURATION, x0=(16,), fixed_np=1),
+        SingleRunSpec(ANL_UC, make_tuner("cd", SEED),
+                      duration_s=DURATION, seed=SEED,
+                      retry_policy=RetryPolicy()),
+    ]
+    _assert_batch_matches_scalar(specs, batch=4)
+
+
+def test_homogeneous_seed_replicates_are_bit_identical():
+    """The bench shape: one scenario/tuner, seeds fanned — the case the
+    shared allocation-group memo and homogeneous span shortcut serve."""
+    specs = [
+        SingleRunSpec(ANL_UC, make_tuner("cd", seed), duration_s=DURATION,
+                      seed=seed)
+        for seed in range(SEED, SEED + 8)
+    ]
+    _assert_batch_matches_scalar(specs, batch=8)
+
+
+def test_unbatchable_specs_fall_back_per_run():
+    """A fault-schedule lane cannot batch; it must fall back to its own
+    scalar engine while its siblings batch — results identical, the
+    fallback charged to occupancy with its reason."""
+    faulty = SingleRunSpec(
+        ANL_UC, make_tuner("cs", SEED), duration_s=DURATION, seed=SEED,
+        fault_schedule=FaultSchedule(
+            [FaultEvent(kind=STREAM_CRASH, epoch=2, duration=1)]
+        ),
+        retry_policy=RetryPolicy(),
+    )
+    clean = [
+        SingleRunSpec(ANL_UC, make_tuner("cd", seed), duration_s=DURATION,
+                      seed=seed)
+        for seed in (SEED, SEED + 1, SEED + 2)
+    ]
+    before, reasons_before = occupancy(), fallback_reasons()
+    _assert_batch_matches_scalar([clean[0], faulty, *clean[1:]], batch=4)
+    delta = occupancy() - before
+    assert delta.batched == 3
+    assert delta.fallback == 1
+    assert delta.chunks == 1
+    assert (fallback_reasons().get("fault schedule", 0)
+            == reasons_before.get("fault schedule", 0) + 1)
+
+
+# -- BatchEngine construction-time validation --------------------------------
+
+
+def _engine(**kw):
+    kw.setdefault("duration_s", DURATION)
+    kw.setdefault("seed", SEED)
+    return build_single_engine(
+        kw.pop("scenario", ANL_UC), kw.pop("tuner", make_tuner("cd", SEED)),
+        schedule=kw.pop("schedule",
+                        LoadSchedule.constant(ExternalLoad())),
+        **kw,
+    )
+
+
+def test_batch_engine_rejects_empty_and_reused_engines():
+    with pytest.raises(ValueError):
+        BatchEngine([])
+    e = _engine()
+    with pytest.raises(ValueError):
+        BatchEngine([e, e])
+
+
+def test_batch_engine_rejects_unbatchable_members():
+    eligible = _engine()
+    assert unbatchable_reason(eligible) is None
+    started = _engine()
+    started.run()
+    assert unbatchable_reason(started) == "engine already started"
+    with pytest.raises(ValueError):
+        BatchEngine([eligible, started])
+
+
+def test_batch_engine_rejects_mismatched_alloc_groups():
+    with pytest.raises(ValueError):
+        BatchEngine([_engine(), _engine()], alloc_groups=[0])
+
+
+def test_unbatchable_reason_classifies_finite_bytes():
+    import dataclasses
+
+    engine = _engine()
+    assert math.isinf(engine.sessions[0].spec.total_bytes)
+    engine.sessions[0].spec = dataclasses.replace(
+        engine.sessions[0].spec, total_bytes=1e9
+    )
+    assert unbatchable_reason(engine) == "finite-bytes transfer"
