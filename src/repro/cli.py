@@ -48,6 +48,7 @@ from repro.core.base import StaticTuner, Tuner
 from repro.core import registry
 from repro.endpoint.load import ExternalLoad
 from repro.experiments import figures
+from repro.experiments.batch import resolve_fallback_warn
 from repro.experiments.campaign import CampaignScale, run_campaign
 from repro.experiments.oracle import oracle_static_nc
 from repro.experiments.report import ascii_chart, downsample, render_series, render_table
@@ -595,10 +596,22 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         print(f"(batch: {occ.batched} runs batched in {occ.chunks} chunks "
               f"(avg {occ.runs_per_chunk:.1f}/chunk), "
               f"{occ.fallback} fell back to scalar)\n")
-    if occ.fallback_rate > 0.10:
+    if result.fallback_reasons:
+        parts = ", ".join(
+            f"{reason}: {count}" for reason, count in
+            sorted(result.fallback_reasons.items(),
+                   key=lambda kv: (-kv[1], kv[0]))
+        )
+        print(f"(fallback reasons: {parts})\n")
+    try:
+        warn_at = resolve_fallback_warn(args.batch_fallback_warn)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    if warn_at < 1.0 and occ.fallback_rate > warn_at:
         print(f"warning: {100 * occ.fallback_rate:.0f}% of simulated runs "
-              "fell back to the scalar engine — the batch width is doing "
-              "little; see repro.experiments.batch.fallback_reasons\n")
+              "fell back to the scalar engine (threshold "
+              f"{100 * warn_at:.0f}%) — the batch width is doing little; "
+              "the reason tally above says why\n")
     for line in _degraded_backend_warnings(result.backend_health):
         print(line)
     doc = result.document()
@@ -724,6 +737,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             dt=args.dt,
             epoch_s=args.epoch_s,
             journal_path=args.journal,
+            batch=args.batch,
         )
         server = FleetServer(fleet, host=args.host, port=args.port,
                              pace_s=args.pace)
@@ -927,6 +941,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="batch-engine lane width inside every unit "
                              "(0 = off; composes with --jobs; the report "
                              "is identical at any width)")
+    p_camp.add_argument("--batch-fallback-warn", type=float, default=None,
+                        metavar="FRAC",
+                        help="warn when more than this fraction of "
+                             "simulated runs fell off the batch path "
+                             "(default: $REPRO_BATCH_WARN or 0.10; "
+                             ">= 1.0 disables the warning)")
     cache_flags(p_camp)
     p_camp.set_defaults(func=cmd_campaign)
 
@@ -1009,6 +1029,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--pace", type=float, default=0.0,
                          help="minimum wall seconds per pump round "
                               "(0 = as fast as possible)")
+    p_serve.add_argument("--batch", default=True,
+                         action=argparse.BooleanOptionalAction,
+                         help="advance each shard's tenants as vectorized "
+                              "lanes (bit-identical to the scalar loop; "
+                              "--no-batch forces scalar)")
     p_serve.set_defaults(func=cmd_serve)
 
     p_submit = sub.add_parser(

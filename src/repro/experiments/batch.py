@@ -53,18 +53,26 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "DEFAULT_BATCH",
+    "DEFAULT_FALLBACK_WARN",
     "ENV_BATCH",
+    "ENV_BATCH_WARN",
     "BatchOccupancy",
     "SingleRunSpec",
     "batching",
     "fallback_reasons",
     "occupancy",
     "resolve_batch",
+    "resolve_fallback_warn",
     "run_batch",
     "run_many",
 ]
 
 ENV_BATCH = "REPRO_BATCH"
+ENV_BATCH_WARN = "REPRO_BATCH_WARN"
+
+#: Campaign warning threshold: warn when more than this fraction of
+#: simulated runs fell off the batch path.
+DEFAULT_FALLBACK_WARN = 0.10
 
 #: Lane width when batching is requested without a number (CLI bare
 #: ``--batch``).  64 keeps the span matrices comfortably cache-resident
@@ -97,6 +105,32 @@ def resolve_batch(batch: int | None) -> int:
     if batch < 0:
         raise ValueError("batch must be >= 0 (0 = batching off)")
     return batch
+
+
+def resolve_fallback_warn(value: float | None = None) -> float:
+    """Normalize the campaign's batch-fallback warning threshold.
+
+    ``None`` consults the ``REPRO_BATCH_WARN`` environment variable
+    (unset or empty means the stock 10%), so operators can tighten or
+    relax the warning fleet-wide without touching call sites.  The
+    threshold is a fraction of simulated runs; negative values are
+    rejected, and anything >= 1.0 effectively disables the warning.
+    """
+    if value is None:
+        raw = os.environ.get(ENV_BATCH_WARN, "").strip()
+        if not raw:
+            return DEFAULT_FALLBACK_WARN
+        try:
+            value = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"unrecognized {ENV_BATCH_WARN}={raw!r}; expected a "
+                "fraction of simulated runs (e.g. 0.10)"
+            ) from None
+    value = float(value)
+    if value < 0.0:
+        raise ValueError("batch fallback warn threshold must be >= 0")
+    return value
 
 
 @contextlib.contextmanager
@@ -192,6 +226,17 @@ class BatchOccupancy:
     def runs_per_chunk(self) -> float:
         """Realized lanes per launched batch (0.0 without batches)."""
         return self.batched / self.chunks if self.chunks else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot (status documents, bench results)."""
+        return {
+            "batched": self.batched,
+            "fallback": self.fallback,
+            "cached": self.cached,
+            "chunks": self.chunks,
+            "fallback_rate": self.fallback_rate,
+            "runs_per_chunk": self.runs_per_chunk,
+        }
 
 
 #: Per-process occupancy totals (the batch analogue of the cache's

@@ -18,6 +18,7 @@ figures loses at most the unit it was inside.
 from __future__ import annotations
 
 import time
+from collections import Counter
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable
@@ -27,7 +28,12 @@ import numpy as np
 from repro.cache import keys as cache_keys
 from repro.cache.runtime import CacheSpec, activated, resolve_cache
 from repro.experiments import figures
-from repro.experiments.batch import BatchOccupancy, batching, occupancy
+from repro.experiments.batch import (
+    BatchOccupancy,
+    batching,
+    fallback_reasons,
+    occupancy,
+)
 from repro.experiments.parallel import pool_imap
 from repro.experiments.report import render_comparison, render_table
 
@@ -90,6 +96,10 @@ class CampaignResult:
     batch: BatchOccupancy = field(default_factory=BatchOccupancy)
     #: Per-unit occupancy breakdown of the same counters.
     unit_batch: dict[str, BatchOccupancy] = field(default_factory=dict)
+    #: Why runs fell off the batch path, tallied across computed units
+    #: (reason string -> run count).  Pairs with :attr:`batch` — the
+    #: values sum to ``batch.fallback``.
+    fallback_reasons: dict[str, int] = field(default_factory=dict)
 
     @property
     def cache_hit_rate(self) -> float | None:
@@ -218,7 +228,7 @@ CAMPAIGN_UNITS: list[tuple[str, Callable[[CampaignScale], dict[str, str]]]] = [
 def _run_unit(
     task: tuple[str, CampaignScale],
 ) -> tuple[str, dict[str, str], float, list[tuple[str, bool]],
-           BatchOccupancy]:
+           BatchOccupancy, dict[str, int]]:
     """Run one named unit, timed (module-level so it pools; only the
     ``(name, scale)`` pair crosses the process boundary — unit
     callables like :func:`_switching_unit` closures are looked up here
@@ -234,18 +244,22 @@ def _run_unit(
     ambient batch width rides the ``REPRO_BATCH`` environment the
     :func:`~repro.experiments.batch.batching` scope exported, and each
     unit runs its figures in-process — ``jobs=1`` inside the unit — so
-    the delta is exact too).
+    the delta is exact too).  The final element breaks the occupancy's
+    fallback count down by reason, deltaed the same way (the per-reason
+    counters only grow, so the subtraction is exact).
     """
     name, scale = task
     unit = dict(CAMPAIGN_UNITS)[name]
     store = resolve_cache(None)
     log_start = len(store.key_log) if store is not None else 0
     occ_start = occupancy()
+    reasons_start = Counter(fallback_reasons())
     t0 = time.perf_counter()
     blocks = unit(scale)
     elapsed = time.perf_counter() - t0
     probed = list(store.key_log[log_start:]) if store is not None else []
-    return name, blocks, elapsed, probed, occupancy() - occ_start
+    reasons = dict(Counter(fallback_reasons()) - reasons_start)
+    return name, blocks, elapsed, probed, occupancy() - occ_start, reasons
 
 
 def _manifest_key(name: str, scale: CampaignScale) -> str:
@@ -374,7 +388,8 @@ def _run_campaign_body(
                 ).set(float(elapsed_s))
 
     def account(name: str, probed: list[tuple[str, bool]],
-                bocc: BatchOccupancy) -> None:
+                bocc: BatchOccupancy,
+                reasons: dict[str, int] | None = None) -> None:
         """Fold a computed unit's probe log and batch occupancy into
         the result and leave its manifest behind for the next
         campaign's ordering pass."""
@@ -384,6 +399,10 @@ def _run_campaign_body(
         out.unit_cache[name] = (hits, len(probed) - hits)
         out.unit_batch[name] = bocc
         out.batch = out.batch + bocc
+        for reason, count in (reasons or {}).items():
+            out.fallback_reasons[reason] = (
+                out.fallback_reasons.get(reason, 0) + count
+            )
         if store is not None and probed:
             manifest = {"keys": sorted({k for k, _ in probed})}
             mkey = _manifest_key(name, scale)
@@ -398,11 +417,11 @@ def _run_campaign_body(
     if journal_path is None:
         ordered = _cache_order([name for name, _ in CAMPAIGN_UNITS], scale)
         tasks = [(name, scale) for name in ordered]
-        for name, blocks, elapsed, probed, bocc in pool_imap(
+        for name, blocks, elapsed, probed, bocc, reasons in pool_imap(
             _run_unit, tasks, jobs=jobs
         ):
             merge(name, blocks, elapsed)
-            account(name, probed, bocc)
+            account(name, probed, bocc, reasons)
     else:
         from repro.checkpoint.journal import JournalWriter, read_journal
 
@@ -433,7 +452,7 @@ def _run_campaign_body(
                 [name for name, _ in CAMPAIGN_UNITS if name not in done],
                 scale,
             )
-            for name, blocks, elapsed, probed, bocc in pool_imap(
+            for name, blocks, elapsed, probed, bocc, reasons in pool_imap(
                 _run_unit, [(name, scale) for name in pending], jobs=jobs
             ):
                 # Journaled only after the worker result is in hand —
@@ -444,10 +463,11 @@ def _run_campaign_body(
                         "elapsed_s": elapsed,
                         "batch": [bocc.batched, bocc.fallback,
                                   bocc.cached, bocc.chunks],
+                        "fallback_reasons": reasons,
                     }
                 )
                 merge(name, blocks, elapsed)
-                account(name, probed, bocc)
+                account(name, probed, bocc, reasons)
             writer.write_end()
     if store is not None:
         out.backend_health = store.health()

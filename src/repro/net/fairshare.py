@@ -51,13 +51,25 @@ def max_min_fair_allocation(groups: list[FlowGroup]) -> dict[str, float]:
     if not groups:
         return {}
 
-    # Per-group state: current per-stream rate, frozen flag.
-    per_stream = {g.name: 0.0 for g in groups}
-    frozen = {g.name: False for g in groups}
+    n = len(groups)
+    # Per-group state, indexed by position in ``groups`` (large
+    # populations — fleet shards allocate 64+ groups per change point —
+    # make dict lookups and repeated property walks the dominant cost,
+    # so everything the rounds touch is flattened up front; the float
+    # arithmetic below is operand-for-operand the naive formulation).
+    per_stream = [0.0] * n
+    frozen = [False] * n
+    n_streams = [g.n_streams for g in groups]
+    group_cap = [g.group_cap_mbps for g in groups]
+    stream_cap = [g.effective_stream_cap for g in groups]
 
-    # Collect links by name (shared Link objects must agree on capacity).
+    # Collect links by name (shared Link objects must agree on capacity),
+    # with member groups resolved once, in ``groups`` order — the same
+    # order the naive per-round membership scans sum in.
     link_capacity: dict[str, float] = {}
-    for g in groups:
+    link_members: dict[str, list[int]] = {}
+    for gi, g in enumerate(groups):
+        seen: set[str] = set()
         for l in g.path.links:
             if l.name in link_capacity and link_capacity[l.name] != l.capacity_mbps:
                 raise ValueError(
@@ -65,40 +77,44 @@ def max_min_fair_allocation(groups: list[FlowGroup]) -> dict[str, float]:
                     f"{link_capacity[l.name]} and {l.capacity_mbps}"
                 )
             link_capacity[l.name] = l.capacity_mbps
-
-    def group_rate(g: FlowGroup) -> float:
-        return per_stream[g.name] * g.n_streams
+            if l.name not in seen:
+                seen.add(l.name)
+                link_members.setdefault(l.name, []).append(gi)
 
     def link_load(lname: str) -> float:
-        return sum(group_rate(g) for g in groups if any(l.name == lname for l in g.path.links))
+        return sum(
+            per_stream[gi] * n_streams[gi] for gi in link_members[lname]
+        )
 
     # Degenerate groups with a zero cap freeze immediately.
-    for g in groups:
+    for gi, g in enumerate(groups):
         if g.max_rate_mbps <= _EPS:
-            frozen[g.name] = True
+            frozen[gi] = True
 
     # Progressive filling: raise all unfrozen per-stream rates by the
     # largest uniform increment that violates nothing, freeze whoever hit a
     # bound, repeat.  Each round freezes at least one group or saturates at
     # least one link, so the loop terminates in O(groups + links) rounds.
-    for _ in range(len(groups) + len(link_capacity) + 1):
-        active = [g for g in groups if not frozen[g.name]]
+    for _ in range(n + len(link_capacity) + 1):
+        active = [gi for gi in range(n) if not frozen[gi]]
         if not active:
             break
 
         increments: list[float] = []
         # Own-cap headroom, expressed as allowable per-stream increment.
-        for g in active:
-            stream_headroom = g.effective_stream_cap - per_stream[g.name]
-            group_headroom = (g.group_cap_mbps - group_rate(g)) / g.n_streams
+        for gi in active:
+            stream_headroom = stream_cap[gi] - per_stream[gi]
+            group_headroom = (
+                group_cap[gi] - per_stream[gi] * n_streams[gi]
+            ) / n_streams[gi]
             increments.append(max(0.0, min(stream_headroom, group_headroom)))
         # Link headroom: filling dr per-stream adds dr * (active streams on
         # the link) to its load.
         for lname, cap in link_capacity.items():
             streams_on_link = sum(
-                g.n_streams
-                for g in active
-                if any(l.name == lname for l in g.path.links)
+                n_streams[gi]
+                for gi in link_members[lname]
+                if not frozen[gi]
             )
             if streams_on_link == 0:
                 continue
@@ -106,24 +122,26 @@ def max_min_fair_allocation(groups: list[FlowGroup]) -> dict[str, float]:
             increments.append(max(0.0, headroom / streams_on_link))
 
         dr = min(increments)
-        for g in active:
-            per_stream[g.name] += dr
+        for gi in active:
+            per_stream[gi] += dr
 
         # Freeze groups at their own caps.
-        for g in active:
-            at_stream_cap = per_stream[g.name] >= g.effective_stream_cap - _EPS
-            at_group_cap = group_rate(g) >= g.group_cap_mbps - _EPS
+        for gi in active:
+            at_stream_cap = per_stream[gi] >= stream_cap[gi] - _EPS
+            at_group_cap = (
+                per_stream[gi] * n_streams[gi] >= group_cap[gi] - _EPS
+            )
             if at_stream_cap or at_group_cap:
-                frozen[g.name] = True
+                frozen[gi] = True
         # Freeze groups crossing a saturated link.
         for lname, cap in link_capacity.items():
             if link_load(lname) >= cap - _EPS:
-                for g in groups:
-                    if not frozen[g.name] and any(
-                        l.name == lname for l in g.path.links
-                    ):
-                        frozen[g.name] = True
+                for gi in link_members[lname]:
+                    frozen[gi] = True
     else:  # pragma: no cover - loop bound is a proof, not a branch
         raise RuntimeError("progressive filling failed to converge")
 
-    return {g.name: group_rate(g) for g in groups}
+    return {
+        g.name: per_stream[gi] * n_streams[gi]
+        for gi, g in enumerate(groups)
+    }

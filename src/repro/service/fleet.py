@@ -71,6 +71,7 @@ class FleetService:
         epoch_s: float = DEFAULT_EPOCH_S,
         journal_path: str | Path | None = None,
         metrics: MetricsRegistry | None = None,
+        batch: bool = True,
     ) -> None:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.supervisor = Supervisor()
@@ -80,6 +81,7 @@ class FleetService:
         )
         self.admission.breaker.on_transition = self._on_breaker
         self.epoch_s = epoch_s
+        self.batch = batch
         scn = scenarios if scenarios is not None else dict(SCENARIOS)
         if not scn:
             raise ValueError("need at least one scenario shard")
@@ -88,6 +90,7 @@ class FleetService:
             shard = FleetShard(
                 scenario, seed=seed + i, dt=dt, epoch_s=epoch_s,
                 metrics=self.metrics, supervisor=self.supervisor,
+                batch=batch,
             )
             shard.on_epoch = self._on_epoch
             self.shards[name] = shard
@@ -110,6 +113,7 @@ class FleetService:
                 "queue_limit": queue_limit,
                 "epoch_s": epoch_s,
                 "seed": seed,
+                "batch": batch,
             })
 
     # -- internal hooks --------------------------------------------------
@@ -371,6 +375,19 @@ class FleetService:
             "epoch_latency": latency,
             "shards": {name: shard.active
                        for name, shard in self.shards.items()},
+            "batch": {
+                name: {
+                    "enabled": shard.batch,
+                    "occupancy": shard.occupancy().to_dict(),
+                    "fallback_reasons": shard.fallback_reasons(),
+                    "lane_widths": {
+                        str(w): n
+                        for w, n in sorted(shard.lane_widths().items())
+                    },
+                    "dispatch_groups": shard.dispatch_groups(),
+                }
+                for name, shard in self.shards.items()
+            },
         }
 
     def prometheus(self) -> str:

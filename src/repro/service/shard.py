@@ -31,14 +31,18 @@ from __future__ import annotations
 
 import math
 import time
+from collections import Counter
 
 from repro.endpoint.load import ExternalLoad, LoadSchedule
+from repro.experiments.batch import BatchOccupancy
 from repro.faults.schedule import FaultSchedule
 from repro.gridftp.transfer import TransferSpec
 from repro.obs.metrics import LATENCY_BUCKETS_S, MetricsRegistry
 from repro.service.backpressure import OpGuard
 from repro.service.supervisor import Supervisor
 from repro.service.tenant import COMPLETED, FAILED, RUNNING, Tenant
+from repro.sim.batch.eligibility import unbatchable_lane_reason
+from repro.sim.batch.shard import ShardSpanEngine
 from repro.sim.engine import Engine, EngineConfig
 from repro.sim.session import TransferSession
 from repro.sim.trace import EpochRecord
@@ -62,6 +66,7 @@ class FleetShard:
         supervisor: Supervisor | None = None,
         load: LoadSchedule | None = None,
         clock=time.perf_counter,
+        batch: bool = True,
     ) -> None:
         if epoch_s <= 0 or epoch_s % dt != 0:
             raise ValueError("epoch_s must be a positive multiple of dt")
@@ -79,6 +84,22 @@ class FleetShard:
                       else LoadSchedule.constant(ExternalLoad())),
             config=EngineConfig(dt=dt, seed=seed),
             epoch_sink=self._sink,
+        )
+        #: Whether epoch windows ride the vectorized span engine when
+        #: every lane is eligible (bit-identical either way — the
+        #: serial shard is the reference the equivalence tests pin).
+        self.batch = batch
+        self._span = ShardSpanEngine(self.engine) if batch else None
+        self._batched = 0
+        self._fallback = 0
+        self._chunks = 0
+        self._fallback_reasons: Counter = Counter()
+        self._latency_hist = (
+            None if metrics is None else metrics.histogram(
+                "repro_fleet_epoch_latency_seconds",
+                LATENCY_BUCKETS_S,
+                scenario=scenario.name,
+            )
         )
         self.tenants: dict[str, Tenant] = {}
         self._sessions: dict[str, TransferSession] = {}
@@ -127,12 +148,80 @@ class FleetShard:
     # -- stepping --------------------------------------------------------
 
     def step_epoch(self) -> list[Tenant]:
-        """Advance the substrate one control-epoch span; returns the
-        tenants that reached a terminal state this round."""
+        """Advance the substrate one control-epoch window; returns the
+        tenants that reached a terminal state this round.
+
+        When batching is on and every active lane is span-eligible, the
+        whole window runs on the :class:`ShardSpanEngine` (bit-identical
+        epochs AND steps); any blocked lane — the lanes are coupled
+        through the shared allocation, so one active fault schedule
+        taints the whole window — routes the window to the scalar loop
+        and tallies why.  Eligibility is re-checked every window, so a
+        shard whose blackout passes rebins back to batched spans with
+        no state handoff (both paths drive the same engine)."""
         if self.active:
-            for _ in range(int(round(self.epoch_s / self.dt))):
-                self.engine.step_once()
+            steps = int(round(self.epoch_s / self.dt))
+            blockers = self._window_blockers() if self.batch else None
+            if self.batch and not blockers:
+                self._span.advance(steps)
+                self._batched += self.active
+                self._chunks += 1
+                path = "batched"
+            else:
+                for _ in range(steps):
+                    self.engine.step_once()
+                self._fallback += self.active
+                if blockers:
+                    self._fallback_reasons.update(blockers)
+                path = "scalar"
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "repro_fleet_epochs_total",
+                    scenario=self.scenario.name, path=path,
+                ).inc(float(self.active))
         return self.reap()
+
+    def _window_blockers(self) -> list[str]:
+        """Why this window cannot batch: one reason per blocked active
+        lane (empty when the whole population is span-eligible)."""
+        reasons: list[str] = []
+        for session in self._sessions.values():
+            if session.done:
+                continue
+            why = unbatchable_lane_reason(session)
+            if why is not None:
+                reasons.append(why)
+        return reasons
+
+    # -- batching introspection ------------------------------------------
+
+    def occupancy(self) -> BatchOccupancy:
+        """Tenant-epochs served by each path since shard start."""
+        return BatchOccupancy(
+            batched=self._batched,
+            fallback=self._fallback,
+            chunks=self._chunks,
+        )
+
+    def fallback_reasons(self) -> dict[str, int]:
+        """Tally of per-lane blockers behind the scalar windows."""
+        return dict(self._fallback_reasons)
+
+    def lane_widths(self) -> dict[int, int]:
+        """Realized span-width distribution: {live lanes -> spans}."""
+        if self._span is None:
+            return {}
+        return dict(self._span.lane_widths)
+
+    def dispatch_groups(self) -> dict[str, int]:
+        """Active tenants per homogeneous dispatch group ("ladder" =
+        tenants that must take the full per-epoch dispatch ladder)."""
+        groups: Counter = Counter()
+        for name in self._sessions:
+            key = self.tenants[name].dispatch_group
+            label = "ladder" if key is None else "/".join(map(str, key))
+            groups[label] += 1
+        return dict(groups)
 
     def reap(self) -> list[Tenant]:
         """Retire finished sessions from the engine."""
@@ -190,12 +279,8 @@ class FleetShard:
             session.failed = True
             proposal = None
         finally:
-            if self.metrics is not None:
-                self.metrics.histogram(
-                    "repro_fleet_epoch_latency_seconds",
-                    LATENCY_BUCKETS_S,
-                    scenario=self.scenario.name,
-                ).observe(max(0.0, self._clock() - t0))
+            if self._latency_hist is not None:
+                self._latency_hist.observe(max(0.0, self._clock() - t0))
         tenant.records.append(rec)
         tenant.updates.push({
             "epoch": rec.index,
@@ -210,6 +295,28 @@ class FleetShard:
         return proposal
 
     def _dispatch(
+        self, tenant: Tenant, rec: EpochRecord
+    ) -> tuple[int, ...] | None:
+        # Homogeneous fast path: a clean epoch of a grouped tenant (no
+        # chaos, no deadline, no pin, no standing steer) feeds the
+        # tuner directly — semantically identical to the ladder below,
+        # which for exactly this case reduces to an inline
+        # ``driver.observe`` under ``OpGuard(None)`` with the same
+        # crash recovery.  NaN observations fail the ``>= 0.0`` guard
+        # and fall through to the quarantine arm of the ladder.
+        if (rec.tuned
+                and not tenant.terminal
+                and tenant.steer_override is None
+                and tenant.dispatch_group is not None
+                and rec.observed >= 0.0
+                and math.isfinite(rec.observed)):
+            try:
+                return tenant.driver.observe(rec.observed)
+            except Exception as exc:
+                return self._recover(tenant, rec, rec.observed, exc)
+        return self._dispatch_ladder(tenant, rec)
+
+    def _dispatch_ladder(
         self, tenant: Tenant, rec: EpochRecord
     ) -> tuple[int, ...] | None:
         if not rec.tuned:

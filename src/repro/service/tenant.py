@@ -223,6 +223,26 @@ class Tenant:
         return self.state in TERMINAL_STATES
 
     @property
+    def dispatch_group(self) -> tuple | None:
+        """Lane-grouping key for the shard's homogeneous epoch
+        dispatch, or ``None`` if this tenant needs the full ladder.
+
+        Tenants sharing a key run the same tuner class with the same
+        hyperparameters and carry no per-call machinery (chaos
+        injection, op deadlines, degraded pins) — the shard may feed
+        their clean observations straight to ``driver.observe`` and
+        reserve the per-tenant ladder for everyone else.  Membership is
+        re-derived from live state on every read, so a tenant that
+        degrades or loses its driver mid-storm rebins automatically.
+        """
+        if (self.degraded or self.driver is None
+                or self.chaos is not None
+                or self.spec.op_deadline_s is not None):
+            return None
+        return (self.spec.tuner, self.spec.tune_np, self.spec.fixed_np,
+                self.spec.max_nc)
+
+    @property
     def epochs_done(self) -> int:
         return len(self.records)
 

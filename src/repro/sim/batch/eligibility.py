@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import Engine
+    from repro.sim.session import TransferSession
 
 
 def unbatchable_reason(engine: "Engine") -> str | None:
@@ -53,5 +54,38 @@ def unbatchable_reason(engine: "Engine") -> str | None:
     if s.spec.max_duration_s is None:
         return "unbounded duration"
     if s.disk_cap_fn is not None:
+        return "disk-cap model"
+    return None
+
+
+def unbatchable_lane_reason(session: "TransferSession") -> str | None:
+    """Why one *substrate session* blocks its shard's batched window,
+    or ``None`` if it can ride a vectorized span.
+
+    The fleet-shard span engine (:mod:`repro.sim.batch.shard`) shares
+    one engine across all lanes, so this is the per-session analogue of
+    :func:`unbatchable_reason`: anything whose mid-epoch behavior the
+    span solver does not model forces the *whole window* onto the
+    scalar loop (sessions are coupled through the max-min allocation —
+    one lane's fault changes every other lane's rate).  A fault
+    schedule only blocks while it is still *active*: once every event
+    lies behind the session's epoch index the schedule is inert (rate
+    factor 1.0, no fault kinds) and the session rejoins the lanes —
+    this is how blackout-struck shards rebin back to batched windows.
+    """
+    sched = session.fault_schedule
+    if sched is not None and sched.last_epoch >= session.epoch_index:
+        return "fault schedule"
+    if session.fault_model is not None:
+        return "legacy fault model"
+    if session.retry_state is not None:
+        return "retry policy"
+    if session.breaker is not None:
+        return "circuit breaker"
+    if not math.isinf(session.spec.total_bytes):
+        return "finite-bytes transfer"
+    if session.spec.max_duration_s is None:
+        return "unbounded duration"
+    if session.disk_cap_fn is not None:
         return "disk-cap model"
     return None

@@ -1,0 +1,434 @@
+"""Shared-substrate span engine: one shard's tenant lanes in lockstep.
+
+:class:`ShardSpanEngine` advances a *multi-session* scalar
+:class:`~repro.sim.engine.Engine` — a fleet shard's shared substrate —
+by whole control-epoch windows, vectorizing the per-step arithmetic
+across the session axis ("lanes") while staying bit-identical (epochs
+AND steps) to the same engine driven through ``step_once``.
+
+This is the fleet-shard sibling of :class:`~repro.sim.batch.engine.
+BatchEngine`, with one structural difference: BatchEngine's lanes are
+independent engines with independent RNG streams, whereas a shard's
+lanes are *coupled* — they contend in one max-min allocation and share
+one ``throughput_noise`` stream.  Coupling changes the span rules:
+
+* a span breaks wherever the allocation can change, which now includes
+  any lane's restart window crossing the one-step threshold (a lane
+  going dead/live changes every *other* lane's rate, not just its
+  own), on top of the epoch-close / duration-done / load-change breaks
+  BatchEngine predicts.  Within a span the allocation is constant and
+  is computed once with the engine's own ``_allocation_phase``;
+* the scalar loop draws step jitter *step-major* (each step, every
+  live-and-allocated session in session order) from the one shared
+  stream.  One sized ``normal(size=k*m)`` reshaped ``(k, m)`` and
+  transposed reproduces that exact interleave, because numpy's sized
+  draws produce the identical value sequence as n scalar calls;
+* window ends close epochs with the sessions' own ``close_epoch`` and
+  dispatch through the engine's own ``_dispatch_epoch``, in session
+  order, with the per-dispatch noise/restart-jitter factors pre-drawn
+  as one sized call per stream (same sequence, same end state).
+  Closing every epoch before dispatching any is draw-neutral: closes
+  consume no RNG and touch only their own session.
+
+The arithmetic inside a span is BatchEngine's operand-for-operand
+(``math.exp`` per element for the ramp, ``np.add.accumulate`` left
+folds for the epoch accumulators, memoized sequential float folds for
+the dt-paced counters), so the scalar engine remains the single
+bit-exactness reference for both batch paths.
+
+Membership (attach/reap) happens *between* windows in the fleet's pump
+loop, and anything the span solver cannot express — an **active**
+fault schedule, retry/breaker state, finite bytes — routes the whole
+window to the scalar loop at the shard layer (see
+:func:`~repro.sim.batch.eligibility.unbatchable_lane_reason`); once the
+blocker passes, the next window batches again with no state handoff,
+because both paths mutate the very same engine.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from itertools import repeat
+
+import numpy as np
+
+from repro.sim.engine import Engine
+from repro.sim.trace import StepRecord
+from repro.units import MB
+
+
+class ShardSpanEngine:
+    """Vectorized window stepping for one fleet shard's engine.
+
+    The caller owns eligibility: every session must satisfy
+    :func:`~repro.sim.batch.eligibility.unbatchable_lane_reason` is
+    ``None`` for the whole window (the fleet shard checks at each
+    window start and falls back wholesale otherwise).  ``advance`` and
+    ``step_once`` may be interleaved freely — both drive the same
+    engine state and RNG streams in the same order.
+    """
+
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+        self.dt: float = engine.config.dt
+        # Exact-float fold memos (the scalar loop's accumulate-and-
+        # compare arithmetic, replayed once per distinct start value).
+        self._close_memo: dict[tuple[float, float], int] = {}
+        self._done_memo: dict[tuple[float, float], int] = {}
+        self._fold_memo: dict[tuple[float, int], float] = {}
+        self._sub_memo: dict[tuple[float, int], float] = {}
+        self._dead_memo: dict[float, int] = {}
+        self._change_ticks: list[int] | None = None
+        #: Histogram of realized lane widths: {live lanes -> spans run
+        #: at that width}.  The bench reports this distribution.
+        self.lane_widths: Counter = Counter()
+
+    # -- span prediction -------------------------------------------------
+
+    def _steps_to_close(self, ee0: float, target: float) -> int:
+        key = (ee0, target)
+        n = self._close_memo.get(key)
+        if n is None:
+            dt = self.dt
+            n = 0
+            v = ee0
+            while v < target - 1e-9:
+                v += dt
+                n += 1
+            self._close_memo[key] = n
+        return n
+
+    def _steps_to_done(self, el0: float, limit: float) -> int:
+        """Steps until ``elapsed_s`` (sequential ``+= dt`` from
+        ``el0``) reaches the duration limit — unlike BatchEngine's
+        global-tick version, lanes admitted mid-run sit at different
+        fold positions, so the start value is part of the key."""
+        key = (el0, limit)
+        n = self._done_memo.get(key)
+        if n is None:
+            dt = self.dt
+            n = 0
+            v = el0
+            while v < limit:
+                v += dt
+                n += 1
+            self._done_memo[key] = n
+        return n
+
+    def _dead_steps(self, rr: float) -> int:
+        """How many whole steps ``restart_remaining`` stays >= dt — the
+        lane's dead prefix, and an allocation change point when it ends
+        (the lane rejoins the live set every other lane contends with).
+        """
+        n = self._dead_memo.get(rr)
+        if n is None:
+            dt = self.dt
+            n = 0
+            v = rr
+            while v >= dt:
+                v -= dt
+                n += 1
+            self._dead_memo[rr] = n
+        return n
+
+    def _fold_dt(self, start: float, k: int) -> float:
+        """``start`` folded forward by ``k`` sequential ``+= dt``."""
+        key = (start, k)
+        v = self._fold_memo.get(key)
+        if v is None:
+            dt = self.dt
+            v = start
+            for _ in range(k):
+                v += dt
+            self._fold_memo[key] = v
+        return v
+
+    def _fold_sub(self, rr: float, k: int) -> float:
+        """``restart_remaining`` after ``k`` scalar decrements
+        (``max(0, rr - dt)`` each step, exactly as the step loop)."""
+        key = (rr, k)
+        v = self._sub_memo.get(key)
+        if v is None:
+            dt = self.dt
+            v = rr
+            for _ in range(k):
+                v = max(0.0, v - dt)
+            self._sub_memo[key] = v
+        return v
+
+    def _compute_change_ticks(self, schedule) -> list[int]:
+        """Global ticks at which the shared load changes, matching
+        ``schedule.at(tick * dt)``'s bisect semantics."""
+        dt = self.dt
+        ticks = []
+        for c in schedule.change_times:
+            m = max(1, math.ceil(c / dt))
+            while m * dt < c:
+                m += 1
+            while m > 1 and (m - 1) * dt >= c:
+                m -= 1
+            ticks.append(m)
+        return ticks
+
+    # -- window advance --------------------------------------------------
+
+    def advance(self, n: int) -> None:
+        """Advance the engine ``n`` steps — bit-identical to ``n``
+        ``step_once`` calls, including every epoch close and tuner
+        dispatch landing on its exact tick."""
+        e = self.engine
+        e._ensure_started()
+        if self._change_ticks is None:
+            self._change_ticks = self._compute_change_ticks(e.schedule)
+        dt = self.dt
+        sessions = e.sessions
+        tick = e.clock.tick
+        end = tick + n
+        while tick < end:
+            active = [s for s in sessions if not s.done]
+            if not active:
+                # Pure clock ticks: the scalar loop moves nothing and
+                # closes nothing when every session is done.
+                tick = end
+                break
+            # Span length: min over lanes of steps to the next change
+            # point (epoch close, duration done, restart crossing),
+            # plus the shared schedule's load-change ticks.
+            k = end - tick
+            for s in active:
+                m = self._steps_to_close(s.epoch_elapsed,
+                                         s.epoch_target_s())
+                if m < k:
+                    k = m
+                limit = s.spec.max_duration_s
+                if limit is not None:
+                    m = self._steps_to_done(s.state.elapsed_s, limit)
+                    if m < k:
+                        k = m
+                if s.restart_remaining >= dt:
+                    m = self._dead_steps(s.restart_remaining)
+                    if m < k:
+                        k = m
+            for m in self._change_ticks:
+                if m > tick and m - tick < k:
+                    k = m - tick
+            if k < 1:
+                raise RuntimeError(
+                    "shard span prediction collapsed to zero steps"
+                )
+            self._advance_span(active, tick, k)
+            tick += k
+            e.clock.tick = tick
+            now = e.clock.now
+            # Boundary processing, in session order as the scalar loop:
+            # close everything first (closes consume no RNG and touch
+            # only their own session), then dispatch in the same order
+            # with sized pre-draws.
+            pending: list = []
+            for s in sessions:
+                if s.epoch_elapsed <= 0:
+                    continue
+                boundary = (
+                    s.epoch_elapsed >= s.epoch_target_s() - 1e-9
+                )
+                if not boundary and not s.done:
+                    continue
+                rec = s.close_epoch(start_time=now - s.epoch_elapsed)
+                if not s.done:
+                    pending.append((s, rec))
+            if pending:
+                self._dispatch_round(pending)
+        e.clock.tick = tick
+        # The batched windows bypass the scalar fast path's allocation
+        # cache; invalidate it so an interleaved scalar step (the fleet
+        # drain path) recomputes instead of trusting a stale entry.
+        e._alloc_key = None
+        e._alloc_val = None
+
+    def _dispatch_round(self, pending: list) -> None:
+        """Dispatch every epoch closed this tick, in session order.
+
+        The per-dispatch (noise, restart-jitter) factors come from one
+        sized draw per stream — numpy's sized draws produce the exact
+        value sequence of m scalar draws, and the two streams are
+        independent generators, so per-stream order is all that
+        matters.  Sigma 0 skips the stream entirely (``lognormal_factor``
+        returns 1.0 without drawing) on both paths.
+        """
+        e = self.engine
+        m = len(pending)
+        sig_n = e.config.noise_sigma_epoch
+        if sig_n > 0.0:
+            noises = np.exp(e._rng_noise.normal(
+                -0.5 * sig_n * sig_n, sig_n, size=m)).tolist()
+        else:
+            noises = repeat(1.0)
+        sig_r = e.client.restart.jitter_sigma
+        if sig_r > 0.0:
+            rjits = np.exp(e._rng_rjit.normal(
+                -0.5 * sig_r * sig_r, sig_r, size=m)).tolist()
+        else:
+            rjits = repeat(1.0)
+        for (s, rec), noise, rjit in zip(pending, noises, rjits):
+            e._dispatch_epoch(s, rec, noise=noise, rjit=rjit)
+
+    def _advance_span(self, active: list, tick0: int, k: int) -> None:
+        """Vectorized equivalent of ``k`` scalar advance phases for the
+        span's constant membership/allocation — BatchEngine's
+        ``_advance_span`` arithmetic, with the allocation shared across
+        rows and the jitter interleave step-major (see module doc)."""
+        e = self.engine
+        dt = self.dt
+        load = e.schedule.at(tick0 * dt)
+        self.lane_widths[len(active)] += 1
+        fold_dt = self._fold_dt
+
+        live = [s for s in active if s.restart_remaining < dt]
+        if not live and load.ext_cmp == 0 and load.ext_tfr == 0:
+            # All lanes dead under a purely endogenous load:
+            # ``_allocation_phase`` provably returns exactly
+            # (0.0, {}, 1.0) here — no external compute task means no
+            # EXT_CMP share, the live flow set is empty, and zero
+            # runnable streams short-circuits the efficiency model —
+            # so skip its full population walk.
+            cmp_frac, alloc, eta = 0.0, {}, 1.0
+        else:
+            cmp_frac, alloc, eta = e._allocation_phase(load)
+        # The value the scalar loop leaves in _last_cmp_frac on every
+        # step of this span (restart dead time reads it at dispatch).
+        e._last_cmp_frac = cmp_frac
+
+        # Dead rows (restart window >= one full step across the whole
+        # span — the span breaks at every lane's dead-prefix end) need
+        # no matrix: every scalar-path output is an exact zero
+        # (moved = 0.0, run_s = 0.0, and x + 0.0 == x for the
+        # nonnegative accumulators), so only the dt-paced counters
+        # fold and the all-restarting records append.
+        if len(live) < len(active):
+            t_dead = ((tick0 + np.arange(k)) * dt).tolist()
+            for s in active:
+                if s.restart_remaining < dt:
+                    continue
+                s.epoch_elapsed = fold_dt(s.epoch_elapsed, k)
+                s.state.elapsed_s = fold_dt(s.state.elapsed_s, k)
+                s.restart_remaining = self._fold_sub(
+                    s.restart_remaining, k)
+                s.trace.steps.extend(map(
+                    tuple.__new__, repeat(StepRecord),
+                    zip(t_dead, repeat(0.0), repeat(True),
+                        repeat(0.0)),
+                ))
+            if not live:
+                return
+
+        L = len(live)
+        RS = np.full((L, k), dt)  # per-step running seconds
+        Z = np.zeros((L, k))  # normal draws under the step jitter
+        c1 = np.zeros(L)  # (alloc * eta) * noise_factor
+        tau = np.empty(L)
+        tss0 = np.empty(L)
+        er0 = np.empty(L)
+        eb0 = np.empty(L)
+        frozen: list[int] = []  # rows whose ramp clock must not move
+        nflags: list[int] = []  # restarting-flag prefix length per row
+        draw_rows: list[int] = []  # rows drawing step jitter
+
+        taus = e._tau
+        sigma = e.config.noise_sigma_step
+
+        for row, s in enumerate(live):
+            tau[row] = taus[s.name]
+            tss0[row] = s.time_since_start
+            er0[row] = s.epoch_run_s
+            eb0[row] = s.epoch_bytes
+            # dt-paced counters need no matrix: fold them directly with
+            # the scalar loop's exact sequential accumulation.
+            s.epoch_elapsed = fold_dt(s.epoch_elapsed, k)
+            s.state.elapsed_s = fold_dt(s.state.elapsed_s, k)
+
+            rr = s.restart_remaining
+            if rr > 0.0:
+                # Partial first step; live (and below one step) after.
+                RS[row, 0] = dt - rr
+                nflags.append(1)
+            else:
+                nflags.append(0)
+            s.restart_remaining = 0.0
+            rate = alloc.get(s.name)
+            if rate is None:
+                # Live but absent from the allocation (no flow group):
+                # the scalar path draws nothing, moves nothing, and
+                # does not advance the ramp clock — but epoch_run_s
+                # still accumulates the step's run seconds.
+                frozen.append(row)
+                continue
+            draw_rows.append(row)
+            c1[row] = (rate * eta) * s.noise_factor
+
+        # Shared-stream jitter: the scalar loop draws step-major (each
+        # step, the drawing sessions in session order).  One sized draw
+        # reshaped (k, m) and transposed reproduces that interleave
+        # row-for-row.  Drawing rows draw at *every* span step (their
+        # dead prefix is empty by the span break above).
+        nd = len(draw_rows)
+        if sigma > 0.0 and nd:
+            Z[draw_rows, :] = e.rng.throughput_noise.normal(
+                -0.5 * sigma * sigma, sigma, size=k * nd
+            ).reshape(k, nd).T
+
+        # Ramp-clock bounds and the rate/bytes chain: operand-for-
+        # operand the scalar loop's arithmetic (see BatchEngine's
+        # _advance_span for the derivation; buffer reuse via ``out=``
+        # is pure notation).
+        tau_col = tau[:, None]
+        B = np.add.accumulate(
+            np.concatenate([tss0[:, None], RS], axis=1), axis=1
+        )
+        A = B / np.negative(tau_col)
+        E = np.fromiter(
+            map(math.exp, A.ravel().tolist()),
+            dtype=np.float64,
+            count=L * (k + 1),
+        ).reshape(L, k + 1)
+        RSx = np.where(RS > 0.0, RS, 1.0)  # 0/0 guard on dead steps
+        T = np.subtract(E[:, :-1], E[:, 1:])
+        np.divide(tau_col, RSx, out=RSx)
+        np.multiply(RSx, T, out=T)
+        np.subtract(1.0, T, out=T)  # T = RAMP
+        np.exp(Z, out=Z)  # per-element scalar np.exp (lognormal_factor)
+        np.multiply(c1[:, None], Z, out=Z)
+        np.multiply(Z, T, out=Z)  # Z = RATE = (c1 * J) * RAMP
+        np.multiply(Z, MB, out=T)
+        MV = T * RS  # (RATE * MB) * RS
+        np.divide(MV, MB, out=T)
+        np.divide(T, dt, out=Z)
+        RREC = Z  # step-record rate: (MV / MB) / dt
+
+        # Epoch accumulators: exact sequential left folds.
+        er = np.add.accumulate(
+            np.concatenate([er0[:, None], RS], axis=1), axis=1)[:, -1]
+        eb = np.add.accumulate(
+            np.concatenate([eb0[:, None], MV], axis=1), axis=1)[:, -1]
+
+        t_list = ((tick0 + np.arange(k)) * dt).tolist()
+        frozen_set = set(frozen)
+        for row, s in enumerate(live):
+            # Plain python floats: downstream consumers (close_epoch,
+            # status documents) must not see np.float64.
+            s.epoch_run_s = float(er[row])
+            s.epoch_bytes = float(eb[row])
+            if row not in frozen_set:
+                s.time_since_start = float(B[row, -1])
+            if nflags[row]:
+                flags = [True] + [False] * (k - 1)
+            else:
+                flags = repeat(False, k)
+            # tuple.__new__ skips the NamedTuple's generated __new__
+            # (~2x per record); records materialize per span so a
+            # window's closes see complete traces.
+            s.trace.steps.extend(map(
+                tuple.__new__, repeat(StepRecord),
+                zip(t_list, RREC[row].tolist(), flags,
+                    MV[row].tolist()),
+            ))

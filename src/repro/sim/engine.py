@@ -272,6 +272,11 @@ class Engine:
         # the step loop.
         self._alloc_key: tuple | None = None
         self._alloc_val: tuple | None = None
+        # Frozen CpuTask instances reused across allocation phases,
+        # keyed (session, nc) — tuner proposals revisit the same
+        # concurrency values, and large populations rebuild these at
+        # every change point otherwise.
+        self._cpu_task_memo: dict[tuple[str, int], CpuTask] = {}
         self._tau = {
             s.name: self.topology.path(s.spec.path_name).tcp.slow_start_tau
             for s in self.sessions
@@ -597,12 +602,18 @@ class Engine:
 
     # -- one step ----------------------------------------------------------
 
-    def _cpu_shares(self, load: ExternalLoad) -> dict[str, float]:
-        tasks = [
-            CpuTask(s.name, n_entities=s.nc, weight=1.0)
-            for s in self.sessions
-            if not s.done
-        ]
+    def _cpu_shares(
+        self,
+        load: ExternalLoad,
+        session_tasks: list[CpuTask] | None = None,
+    ) -> dict[str, float]:
+        if session_tasks is None:
+            session_tasks = [
+                CpuTask(s.name, n_entities=s.nc, weight=1.0)
+                for s in self.sessions
+                if not s.done
+            ]
+        tasks = list(session_tasks)
         if load.ext_cmp > 0:
             tasks.append(
                 CpuTask(
@@ -639,38 +650,56 @@ class Engine:
         eta)``.
         """
         dt = self.config.dt
-        shares = self._cpu_shares(load)
+        # One walk computes each session's derived parameter values:
+        # ``nc``/``np_``/``streams`` re-derive from the param map on
+        # every property access, and at fleet population sizes those
+        # repeated walks dominate the phase.  The values (and hence
+        # every float below) are identical to the property-per-use
+        # formulation; frozen CpuTasks are reused across change points
+        # since tuner proposals revisit the same concurrency values.
+        task_memo = self._cpu_task_memo
+        alive: list[tuple[TransferSession, int, int, int]] = []
+        session_tasks: list[CpuTask] = []
+        for s in self.sessions:
+            if s.done:
+                continue
+            nc = s.nc
+            np_ = s.np_
+            alive.append((s, nc, np_, nc * np_))
+            tkey = (s.name, nc)
+            task = task_memo.get(tkey)
+            if task is None:
+                task = CpuTask(s.name, n_entities=nc, weight=1.0)
+                task_memo[tkey] = task
+            session_tasks.append(task)
+        shares = self._cpu_shares(load, session_tasks)
         cmp_frac = shares.get(EXT_CMP, 0.0) / self.host.cores
 
         # Sessions that will push bytes during (part of) this step.
-        live = [
-            s
-            for s in self.sessions
-            if not s.done and s.restart_remaining < dt
-        ]
+        live = [t for t in alive if t[0].restart_remaining < dt]
 
         # Total streams per path -> effective loss -> per-stream caps.
         path_streams: dict[str, int] = {}
-        for s in live:
+        for s, nc, np_, streams in live:
             pn = s.spec.path_name
-            path_streams[pn] = path_streams.get(pn, 0) + s.streams
+            path_streams[pn] = path_streams.get(pn, 0) + streams
         if load.ext_tfr > 0:
             pn = self._ext_path_name()
             path_streams[pn] = path_streams.get(pn, 0) + load.ext_tfr
 
         groups: list[FlowGroup] = []
-        for s in live:
+        for s, nc, np_, streams in live:
             path = self.topology.path(s.spec.path_name)
             stream_cap = path.stream_cap_mbps(path_streams[s.spec.path_name])
             cpu_cap = self.client.cpu_capacity_mbps(
-                s.np_, shares.get(s.name, 0.0), self.host
-            ) * self.host.pinning_efficiency(s.nc)
-            mem_cap = self.host.memory_cap_mbps(s.nc, load.ext_cmp)
+                np_, shares.get(s.name, 0.0), self.host
+            ) * self.host.pinning_efficiency(nc)
+            mem_cap = self.host.memory_cap_mbps(nc, load.ext_cmp)
             groups.append(
                 FlowGroup(
                     name=s.name,
                     path=path,
-                    n_streams=s.streams,
+                    n_streams=streams,
                     group_cap_mbps=min(cpu_cap, mem_cap, s.disk_cap()),
                     stream_cap_mbps=stream_cap,
                 )
@@ -697,7 +726,7 @@ class Engine:
         alloc = max_min_fair_allocation(groups) if groups else {}
 
         runnable = (
-            sum(s.streams for s in live)
+            sum(t[3] for t in live)
             + load.ext_cmp * self.host.cores * self.host.dgemm_runnable_factor
             + load.ext_tfr
         )
@@ -891,10 +920,18 @@ class Engine:
                 break
         return count
 
-    def _dispatch_epoch(self, s: TransferSession, rec) -> None:
+    def _dispatch_epoch(
+        self, s: TransferSession, rec, *,
+        noise: float | None = None, rjit: float | None = None,
+    ) -> None:
         """Close out one control epoch: drive the retry policy and circuit
         breaker, and feed the tuner/controller — but never with a faulted
-        or absent observation."""
+        or absent observation.
+
+        ``noise``/``rjit`` accept pre-drawn per-epoch factors (the
+        batched shard sizes one draw per stream over a whole dispatch
+        round — the same value sequence as per-dispatch scalar draws);
+        ``None`` draws from the streams here, the scalar behavior."""
         if self._jit_pos < len(self._jit_buf):
             raise RuntimeError(
                 "epoch dispatched with an undrained jitter batch: the "
@@ -931,12 +968,14 @@ class Engine:
         # Fixed per-epoch draw pattern: one value from each stream no
         # matter which recovery path runs below, so fault policies are
         # compared on identical noise realizations.
-        noise = lognormal_factor(
-            self._rng_noise, self.config.noise_sigma_epoch
-        )
-        rjit = lognormal_factor(
-            self._rng_rjit, self.client.restart.jitter_sigma
-        )
+        if noise is None:
+            noise = lognormal_factor(
+                self._rng_noise, self.config.noise_sigma_epoch
+            )
+        if rjit is None:
+            rjit = lognormal_factor(
+                self._rng_rjit, self.client.restart.jitter_sigma
+            )
         # The backoff draw is only consumed by a retry policy, and the
         # faults stream's only other consumer is a fault model; with
         # neither present, skipping it cannot perturb any later draw.

@@ -113,6 +113,8 @@ class TestCampaignBatch:
         assert batched.batch.fallback == 0
         assert batched.batch.runs_per_chunk > 1.0
         assert serial.batch == BatchOccupancy()
+        # Nothing fell back, so there is nothing to explain.
+        assert batched.fallback_reasons == {}
 
     def test_batch_composes_with_jobs(self, serial):
         both = run_campaign(self.SCALE, jobs=2, batch=4)
@@ -135,3 +137,6 @@ class TestCampaignBatch:
             occ = res.unit_batch[name]
             assert (batched, fallback, cached, chunks) == (
                 occ.batched, occ.fallback, occ.cached, occ.chunks)
+        # The per-reason fallback tally is journaled alongside.
+        for record in journal.sections.values():
+            assert record["fallback_reasons"] == {}

@@ -11,12 +11,15 @@ from repro.cache import RunCache
 from repro.core.registry import make_tuner
 from repro.experiments.batch import (
     DEFAULT_BATCH,
+    DEFAULT_FALLBACK_WARN,
     ENV_BATCH,
+    ENV_BATCH_WARN,
     BatchOccupancy,
     SingleRunSpec,
     batching,
     occupancy,
     resolve_batch,
+    resolve_fallback_warn,
     run_batch,
     run_many,
 )
@@ -60,6 +63,23 @@ def test_resolve_batch_consults_environment(monkeypatch):
         resolve_batch(None)
     with pytest.raises(ValueError):
         resolve_batch(-1)
+
+
+def test_resolve_fallback_warn_consults_environment(monkeypatch):
+    monkeypatch.delenv(ENV_BATCH_WARN, raising=False)
+    assert resolve_fallback_warn(None) == DEFAULT_FALLBACK_WARN
+    assert resolve_fallback_warn(0.25) == 0.25
+    assert resolve_fallback_warn(1.5) == 1.5  # >= 1.0 disables, not an error
+    monkeypatch.setenv(ENV_BATCH_WARN, "0.05")
+    assert resolve_fallback_warn(None) == 0.05
+    assert resolve_fallback_warn(0.5) == 0.5  # explicit beats environment
+    monkeypatch.setenv(ENV_BATCH_WARN, "")
+    assert resolve_fallback_warn(None) == DEFAULT_FALLBACK_WARN
+    monkeypatch.setenv(ENV_BATCH_WARN, "lots")
+    with pytest.raises(ValueError):
+        resolve_fallback_warn(None)
+    with pytest.raises(ValueError):
+        resolve_fallback_warn(-0.1)
 
 
 def test_batching_scope_exports_and_restores(monkeypatch):

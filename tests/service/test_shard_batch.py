@@ -1,0 +1,199 @@
+"""Batched fleet shards: vectorized windows bit-identical to the scalar loop.
+
+Every test here drives *twin shards* — one batched, one scalar — from
+the same seed and asserts the strongest equivalence the substrate
+offers: identical epoch records AND identical step traces, tenant by
+tenant.  The batched path is an optimization, never a semantic.
+"""
+
+from repro.experiments.scenarios import SCENARIOS
+from repro.service.shard import FleetShard
+from repro.service.tenant import COMPLETED, Tenant, TenantChaos, TenantSpec
+
+EPOCH_S = 5.0
+
+
+def _shard(batch: bool, *, seed: int = 1) -> FleetShard:
+    return FleetShard(SCENARIOS["anl-uc"], seed=seed, dt=1.0,
+                      epoch_s=EPOCH_S, batch=batch)
+
+
+def _tenant(name: str, *, epochs: int = 4, tuner: str = "cd",
+            seed: int = 0, chaos: TenantChaos | None = None) -> Tenant:
+    spec = TenantSpec(tenant=name, scenario="anl-uc", tuner=tuner,
+                      seed=seed, epochs=epochs, supervised=True)
+    return Tenant(spec, chaos=chaos)
+
+
+def _attach_all(shard: FleetShard, tenants: list[Tenant]):
+    """Attach and keep the substrate sessions (the shard reaps them on
+    completion; the step traces must survive for comparison)."""
+    sessions = {}
+    for t in tenants:
+        shard.attach(t)
+        sessions[t.name] = shard.session(t.name)
+    return sessions
+
+
+def _drive(shard: FleetShard, max_rounds: int = 100) -> None:
+    for _ in range(max_rounds):
+        shard.step_epoch()
+        if not shard.active:
+            return
+    raise AssertionError("shard did not settle")
+
+
+def _assert_twins_equal(tenants_a, sessions_a, tenants_b, sessions_b):
+    for x, y in zip(tenants_a, tenants_b):
+        assert x.records == y.records, f"epoch records diverge: {x.name}"
+        assert (sessions_a[x.name].trace.steps
+                == sessions_b[y.name].trace.steps), (
+            f"step traces diverge: {x.name}")
+        assert x.state == y.state
+        assert x.restarts == y.restarts
+
+
+def _twin_storm(make_tenants, *, seed: int = 1):
+    batched, scalar = _shard(True, seed=seed), _shard(False, seed=seed)
+    ta, tb = make_tenants(), make_tenants()
+    sa, sb = _attach_all(batched, ta), _attach_all(scalar, tb)
+    _drive(batched)
+    _drive(scalar)
+    _assert_twins_equal(ta, sa, tb, sb)
+    return batched, ta
+
+
+class TestBatchedWindowEquivalence:
+    def test_homogeneous_population_fully_batched(self):
+        shard, tenants = _twin_storm(lambda: [
+            _tenant(f"h{i}", epochs=4, seed=i) for i in range(8)
+        ])
+        assert all(t.state == COMPLETED for t in tenants)
+        occ = shard.occupancy()
+        assert occ.fallback == 0
+        assert occ.batched > 0
+        assert shard.fallback_reasons() == {}
+
+    def test_heterogeneous_tuners_and_staggered_budgets(self):
+        """Different tuners and epoch budgets per lane: lane membership
+        shrinks as tenants finish, and every rebinned window stays
+        bit-identical."""
+        shard, _ = _twin_storm(lambda: [
+            _tenant(f"t{i}", epochs=3 + (i % 3) * 2,
+                    tuner=("cd", "nm", "spsa")[i % 3], seed=i)
+            for i in range(8)
+        ])
+        # The population narrows 8 -> 5 -> 2 as budgets expire; each
+        # width must have run at least one span.
+        widths = shard.lane_widths()
+        assert set(widths) == {8, 5, 2}
+        assert shard.occupancy().fallback == 0
+
+    def test_mid_storm_supervised_restart_rebinds_lanes(self):
+        """A tenant crash at epoch 2 exercises the supervisor inside a
+        batched storm — the restarted lane's replayed dispatch and the
+        surviving lanes' windows all stay bit-identical."""
+        shard, tenants = _twin_storm(lambda: [
+            _tenant(f"c{i}", epochs=5, seed=i,
+                    chaos=TenantChaos(crash_epochs=(2,)) if i == 3
+                    else None)
+            for i in range(8)
+        ])
+        assert tenants[3].restarts == 1
+        assert all(t.state == COMPLETED for t in tenants)
+        # The crash lives in the dispatch, not the window: every
+        # window still vectorizes.
+        assert shard.occupancy().fallback == 0
+
+
+class TestMixedShardFallback:
+    def test_blackout_falls_back_then_rebins(self):
+        """An active fault schedule blocks the whole window (lanes are
+        coupled through the allocation); once the schedule is inert the
+        shard rebins to batched windows — bit-identical throughout."""
+        batched, scalar = _shard(True), _shard(False)
+        ta = [_tenant(f"b{i}", epochs=5, seed=i) for i in range(8)]
+        tb = [_tenant(f"b{i}", epochs=5, seed=i) for i in range(8)]
+        sa, sb = _attach_all(batched, ta), _attach_all(scalar, tb)
+        for rnd in range(100):
+            if rnd == 2:
+                batched.inject_blackout(1)
+                scalar.inject_blackout(1)
+            batched.step_epoch()
+            scalar.step_epoch()
+            if not batched.active and not scalar.active:
+                break
+        _assert_twins_equal(ta, sa, tb, sb)
+        occ = batched.occupancy()
+        assert occ.fallback == 8
+        assert occ.batched > 0
+        assert batched.fallback_reasons() == {"fault schedule": 8}
+
+    def test_blackout_restart_crash_storm(self):
+        """The kitchen sink: blackout round, a supervised crash, and
+        staggered budgets in one shard."""
+        batched, scalar = _shard(True, seed=3), _shard(False, seed=3)
+
+        def mk():
+            return [
+                _tenant(f"m{i}", epochs=3 + (i % 2) * 3,
+                        tuner=("cd", "nm")[i % 2], seed=i,
+                        chaos=TenantChaos(crash_epochs=(1,)) if i == 0
+                        else None)
+                for i in range(6)
+            ]
+
+        ta, tb = mk(), mk()
+        sa, sb = _attach_all(batched, ta), _attach_all(scalar, tb)
+        for rnd in range(100):
+            if rnd == 3:
+                batched.inject_blackout(2)
+                scalar.inject_blackout(2)
+            batched.step_epoch()
+            scalar.step_epoch()
+            if not batched.active and not scalar.active:
+                break
+        _assert_twins_equal(ta, sa, tb, sb)
+        assert ta[0].restarts == 1
+        occ = batched.occupancy()
+        assert occ.fallback > 0 and occ.batched > 0
+        assert set(batched.fallback_reasons()) == {"fault schedule"}
+
+
+class TestOccupancySurface:
+    def test_scalar_shard_reports_pure_fallback(self):
+        shard = _shard(False)
+        tenants = [_tenant(f"s{i}", epochs=2, seed=i) for i in range(3)]
+        _attach_all(shard, tenants)
+        _drive(shard)
+        occ = shard.occupancy()
+        assert occ.batched == 0
+        assert occ.fallback > 0
+        assert shard.lane_widths() == {}
+
+    def test_dispatch_groups_label_active_tenants(self):
+        shard = _shard(True)
+        shard.attach(_tenant("g1", epochs=4, seed=0))
+        shard.attach(_tenant("g2", epochs=4, seed=1))
+        shard.step_epoch()
+        groups = shard.dispatch_groups()
+        assert sum(groups.values()) == 2
+        assert len(groups) == 1  # same tuner/np/nc spec -> one group
+
+    def test_fleet_status_exposes_batch_block(self):
+        from repro.service import FleetService
+
+        fleet = FleetService({"anl-uc": SCENARIOS["anl-uc"]}, seed=1,
+                             dt=1.0, epoch_s=EPOCH_S)
+        fleet.submit({"tenant": "s1", "scenario": "anl-uc", "tuner": "cd",
+                      "seed": 0, "epochs": 2})
+        fleet.drive()
+        doc = fleet.status()
+        assert doc["shards"] == {"anl-uc": 0}
+        block = doc["batch"]["anl-uc"]
+        assert block["enabled"] is True
+        occ = block["occupancy"]
+        assert occ["batched"] > 0 and occ["fallback"] == 0
+        assert block["fallback_reasons"] == {}
+        assert set(block["lane_widths"]) == {"1"}
+        assert block["dispatch_groups"] == {}

@@ -335,6 +335,68 @@ class TestCampaignJobsAndTimings:
         with pytest.raises(SystemExit, match="no journal"):
             main(["info", "--timings", str(tmp_path / "nope.jnl")])
 
+
+class TestCampaignFallbackWarning:
+    @staticmethod
+    def _canned_result():
+        from repro.experiments.batch import BatchOccupancy
+        from repro.experiments.campaign import CampaignResult
+
+        return CampaignResult(
+            sections={"Fig X": "rows"},
+            batch=BatchOccupancy(batched=5, fallback=5, chunks=2),
+            fallback_reasons={"fault schedule": 4,
+                              "finite-bytes transfer": 1},
+        )
+
+    def test_reasons_tally_and_threshold_warning(self, monkeypatch,
+                                                 capsys):
+        import repro.cli as cli_mod
+
+        monkeypatch.setattr(cli_mod, "run_campaign",
+                            lambda *a, **kw: self._canned_result())
+        monkeypatch.delenv("REPRO_BATCH_WARN", raising=False)
+        rc = main(["campaign", "--quick", "--no-cache"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert ("fallback reasons: fault schedule: 4, "
+                "finite-bytes transfer: 1") in out
+        assert "warning: 50% of simulated runs" in out
+        assert "threshold 10%" in out
+
+    def test_flag_raises_threshold_past_the_rate(self, monkeypatch,
+                                                 capsys):
+        import repro.cli as cli_mod
+
+        monkeypatch.setattr(cli_mod, "run_campaign",
+                            lambda *a, **kw: self._canned_result())
+        rc = main(["campaign", "--quick", "--no-cache",
+                   "--batch-fallback-warn", "0.9"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "fallback reasons:" in out  # the tally always prints
+        assert "warning:" not in out
+
+    def test_threshold_of_one_disables_the_warning(self, monkeypatch,
+                                                   capsys):
+        import repro.cli as cli_mod
+
+        monkeypatch.setattr(cli_mod, "run_campaign",
+                            lambda *a, **kw: self._canned_result())
+        rc = main(["campaign", "--quick", "--no-cache",
+                   "--batch-fallback-warn", "1.0"])
+        assert rc == 0
+        assert "warning:" not in capsys.readouterr().out
+
+    def test_negative_threshold_exits(self, monkeypatch):
+        import repro.cli as cli_mod
+
+        monkeypatch.setattr(cli_mod, "run_campaign",
+                            lambda *a, **kw: self._canned_result())
+        with pytest.raises(SystemExit, match=">= 0"):
+            main(["campaign", "--quick", "--no-cache",
+                  "--batch-fallback-warn", "-0.2"])
+
     def test_info_timings_refuses_non_campaign_journal(self, tmp_path):
         from repro.checkpoint import JournalWriter
 
@@ -352,6 +414,9 @@ class TestFleetCli:
         assert args.scenarios is None
         assert args.capacity == 64 and args.queue_limit == 128
         assert args.pace == 0.0
+        assert args.batch is True
+        assert build_parser().parse_args(
+            ["serve", "--no-batch"]).batch is False
 
     def test_serve_unknown_scenario_exits(self):
         with pytest.raises(SystemExit, match="unknown scenario"):
