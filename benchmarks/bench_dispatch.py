@@ -1,0 +1,172 @@
+"""Window-end dispatch throughput: population dispatch vs the scalar ladder.
+
+The workload is a dispatch storm — B=64 cd-tuner seed replicates on
+ANL→UChicago with ``epoch_s=1`` at ``dt=1``, so every span is one step
+and every window closes and dispatches all 64 lanes.  Span math is a
+sliver of the wall time; the window-end path (epoch close + tuner
+dispatch) dominates, which is exactly what this PR vectorized.
+
+Three paths over identical workloads:
+
+* **serial scalar** — 64 ``run_single`` calls on the scalar engine;
+* **batched baseline** — one ``run_batch`` with
+  ``batched_close=False, dispatch=False``: the vectorized span
+  substrate with the *pre-population* window end (one scalar
+  ``close_epoch`` + one scalar ``_dispatch_epoch`` ladder per lane,
+  per-lane boundary loops);
+* **population dispatch** — the default pipeline: numpy epoch close
+  (:mod:`repro.sim.batch.closing`), population proposals
+  (:mod:`repro.sim.batch.dispatch`), and the lockstep boundary
+  shortcuts.
+
+Traces must be bit-identical across all three, lane for lane.  The
+committed target (and the CI ``--floor``) is **>= 1.5x** population
+over the batched baseline; the pytest regression gate is >= 1.35x
+(the same gate-below-target discipline as ``bench_batch`` — the box is
+noisy single-core, and the ratio of two sub-second walls doubles the
+noise exposure).
+
+Script mode is the CI ``batch-equivalence`` dispatch gate::
+
+    PYTHONPATH=src python benchmarks/bench_dispatch.py --quick --floor 1.5
+
+exits nonzero if the speedup falls below the floor or any lane
+diverges from its scalar reference.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import sys
+import time
+
+from repro.core.registry import make_tuner
+from repro.experiments.batch import SingleRunSpec, run_batch
+from repro.experiments.parallel import replicate_seeds
+from repro.experiments.report import render_table
+from repro.experiments.runner import run_single
+from repro.experiments.scenarios import SCENARIOS
+
+SEED = 21
+TUNER = "cd"
+SCENARIO = "anl-uc"
+B = 64
+DURATION_S = 900.0
+EPOCH_S = 1.0  # one step per window: the dispatch-dominated regime
+TARGET_RATIO = 1.5  # committed target; CI passes --floor 1.5
+GATE_RATIO = 1.35  # pytest regression gate (noise margin under target)
+
+
+def _specs():
+    scenario = SCENARIOS[SCENARIO]
+    return [
+        SingleRunSpec(scenario, make_tuner(TUNER, seed),
+                      duration_s=DURATION_S, epoch_s=EPOCH_S, seed=seed)
+        for seed in replicate_seeds(SEED, B)
+    ]
+
+
+def _run_serial():
+    scenario = SCENARIOS[SCENARIO]
+    return [
+        run_single(scenario, make_tuner(TUNER, seed),
+                   duration_s=DURATION_S, epoch_s=EPOCH_S, seed=seed,
+                   cache=False)
+        for seed in replicate_seeds(SEED, B)
+    ]
+
+
+def dispatch_measurement(rounds: int):
+    """Interleaved best-of-``rounds``; returns
+    (serial_s, baseline_s, pop_s, ratio, identical)."""
+    best_serial = best_base = best_pop = float("inf")
+    serial_traces = base_traces = pop_traces = None
+    for _ in range(rounds):
+        gc.collect()
+        t0 = time.perf_counter()
+        serial_traces = _run_serial()
+        best_serial = min(best_serial, time.perf_counter() - t0)
+
+        gc.collect()
+        t0 = time.perf_counter()
+        base_traces = run_batch(_specs(), batch=B, cache=False,
+                                dispatch=False, batched_close=False)
+        best_base = min(best_base, time.perf_counter() - t0)
+
+        gc.collect()
+        t0 = time.perf_counter()
+        pop_traces = run_batch(_specs(), batch=B, cache=False)
+        best_pop = min(best_pop, time.perf_counter() - t0)
+    identical = all(
+        b.epochs == s.epochs and b.steps == s.steps
+        and p.epochs == s.epochs and p.steps == s.steps
+        for s, b, p in zip(serial_traces, base_traces, pop_traces)
+    )
+    return best_serial, best_base, best_pop, best_base / best_pop, identical
+
+
+def _block(serial_s, base_s, pop_s, ratio, identical, rounds):
+    return render_table(
+        ["path", "wall s", "runs/s"],
+        [
+            ["serial scalar", f"{serial_s:.3f}", f"{B / serial_s:.1f}"],
+            ["batched, scalar window end",
+             f"{base_s:.3f}", f"{B / base_s:.1f}"],
+            ["population dispatch", f"{pop_s:.3f}", f"{B / pop_s:.1f}"],
+        ],
+        title=(f"window-end dispatch storm: {B} x {TUNER}-tuner "
+               f"{DURATION_S:.0f} s replicates on {SCENARIO} at "
+               f"epoch_s={EPOCH_S:.0f}, best of {rounds} interleaved"),
+    ) + (
+        f"\n\npopulation dispatch {ratio:.2f}x over the batched "
+        f"baseline (target >= {TARGET_RATIO:.1f}x); "
+        f"{serial_s / pop_s:.1f}x over serial; "
+        f"all {B} traces bit-identical: {'yes' if identical else 'NO'}"
+    )
+
+
+# -- pytest entry (committed results) ----------------------------------------
+
+
+def test_bench_dispatch_speedup(report):
+    serial_s, base_s, pop_s, ratio, identical = dispatch_measurement(
+        rounds=5)
+    report(_block(serial_s, base_s, pop_s, ratio, identical, 5))
+    assert identical, "a dispatched lane diverged from its scalar reference"
+    assert ratio >= GATE_RATIO
+
+
+# -- CI batch-equivalence dispatch gate --------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer rounds for the CI gate")
+    parser.add_argument("--floor", type=float, default=TARGET_RATIO,
+                        help="fail below this population/baseline ratio")
+    args = parser.parse_args(argv)
+    rounds = 3 if args.quick else 5
+
+    serial_s, base_s, pop_s, ratio, identical = dispatch_measurement(
+        rounds)
+    print(_block(serial_s, base_s, pop_s, ratio, identical, rounds))
+
+    failed = False
+    if not identical:
+        print("\nFAIL: a dispatched lane diverged from its scalar "
+              "reference")
+        failed = True
+    if ratio < args.floor:
+        print(f"\nFAIL: population dispatch {ratio:.2f}x < "
+              f"{args.floor:.2f}x floor")
+        failed = True
+    if not failed:
+        print(f"\nOK: {ratio:.2f}x over the batched baseline at B={B}, "
+              "traces bit-identical")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -366,6 +366,8 @@ def _info_timings(path: str) -> int:
             "journals (`repro campaign --journal PATH`)"
         )
     rows, total = [], 0.0
+    phase_totals = {"span": 0.0, "close": 0.0, "dispatch": 0.0}
+    have_phases = False
     for name, record in journal.sections.items():
         elapsed = record.get("elapsed_s")
         batch = record.get("batch")
@@ -374,15 +376,31 @@ def _info_timings(path: str) -> int:
             occ = f"{batched}/{fallback}" if (batched or fallback) else "-"
         else:  # journal predates batch occupancy
             occ = "-"
+        phases = record.get("phase_s")
+        cols = []
+        for key in ("span", "close", "dispatch"):
+            if isinstance(phases, dict) and key in phases:
+                have_phases = True
+                secs = float(phases[key])
+                phase_totals[key] += secs
+                cols.append(f"{secs:.3f}")
+            else:  # journal predates per-phase timing
+                cols.append("-")
         if elapsed is None:  # journal predates per-unit timing
-            rows.append([name, "-", occ])
+            rows.append([name, "-", occ, *cols])
         else:
-            rows.append([name, f"{float(elapsed):.2f}", occ])
+            rows.append([name, f"{float(elapsed):.2f}", occ, *cols])
             total += float(elapsed)
-    print(render_table(["unit", "wall s", "batched/fallback"], rows,
-                       title=f"per-unit wall time: {path}"))
+    print(render_table(
+        ["unit", "wall s", "batched/fallback",
+         "span s", "close s", "dispatch s"], rows,
+        title=f"per-unit wall time: {path}"))
     print(f"\nrecorded total : {total:.2f} s"
           + ("" if journal.ended else "  (campaign incomplete)"))
+    if have_phases:
+        print("batch phases   : "
+              + ", ".join(f"{k} {phase_totals[k]:.3f} s"
+                          for k in ("span", "close", "dispatch")))
     return 0
 
 
@@ -603,6 +621,14 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                    key=lambda kv: (-kv[1], kv[0]))
         )
         print(f"(fallback reasons: {parts})\n")
+    if result.dispatch_reasons:
+        parts = ", ".join(
+            f"{reason}: {count}" for reason, count in
+            sorted(result.dispatch_reasons.items(),
+                   key=lambda kv: (-kv[1], kv[0]))
+        )
+        print(f"(dispatch fallbacks (advisory, lanes stayed batched): "
+              f"{parts})\n")
     try:
         warn_at = resolve_fallback_warn(args.batch_fallback_warn)
     except ValueError as exc:
@@ -946,7 +972,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="warn when more than this fraction of "
                              "simulated runs fell off the batch path "
                              "(default: $REPRO_BATCH_WARN or 0.10; "
-                             ">= 1.0 disables the warning)")
+                             ">= 1.0 disables the warning). Advisory "
+                             "dispatch:* reasons (unsupported-tuner, "
+                             "recovery-machinery, instrumented-run, "
+                             "late-join) are reported separately and do "
+                             "not count toward the threshold — those "
+                             "lanes still ride the batched spans, only "
+                             "their window-end tuner proposals stay on "
+                             "the scalar ladder")
     cache_flags(p_camp)
     p_camp.set_defaults(func=cmd_campaign)
 

@@ -17,6 +17,9 @@ import abc
 from dataclasses import dataclass
 from typing import Generator
 
+import numpy as np
+
+from repro.core.history import delta_pct_vec
 from repro.core.params import ParamSpace
 
 #: A tuner generator: yields parameter vectors, receives throughputs.
@@ -44,9 +47,22 @@ class Tuner(abc.ABC):
     def propose(self, x0: tuple[int, ...], space: ParamSpace) -> TunerGen:
         """Create a fresh tuning state machine starting from ``x0``."""
 
+    def propose_batch(self, space: ParamSpace) -> "TunerPopulation | None":
+        """A vectorized population over ``space``, or None if unsupported.
+
+        Tuner classes that can advance many same-phase lanes as
+        ``(B,)``-array operations return a :class:`TunerPopulation`; the
+        default is None, which routes every lane of this tuner class to
+        its scalar generator (``dispatch:unsupported-tuner``).  One
+        population serves every lane that shares ``(tuner class, space)``
+        — per-lane hyperparameters ride along in the population's own
+        arrays.
+        """
+        return None
+
     def start(self, x0: tuple[int, ...], space: ParamSpace) -> "TunerDriver":
         """Convenience: wrap :meth:`propose` in a primed driver."""
-        return TunerDriver(self.propose(space.fbnd(x0), space))
+        return TunerDriver(self.propose(space.fbnd(x0), space), tuner=self)
 
 
 class TunerDriver:
@@ -55,11 +71,35 @@ class TunerDriver:
     >>> driver = CdTuner().start((2,), space)   # doctest: +SKIP
     >>> x = driver.current                      # params for epoch 0
     >>> x = driver.observe(1234.5)              # params for epoch 1
+
+    ``tuner`` is the :class:`Tuner` that built this driver (None when the
+    generator was wrapped directly) — the population dispatcher needs it
+    to group same-class lanes.
     """
 
-    def __init__(self, gen: TunerGen) -> None:
+    def __init__(self, gen: TunerGen, tuner: "Tuner | None" = None) -> None:
         self._gen = gen
+        self.tuner = tuner
         self.current: tuple[int, ...] = next(gen)
+
+    @classmethod
+    def adopt(
+        cls,
+        gen: TunerGen,
+        current: tuple[int, ...],
+        tuner: "Tuner | None" = None,
+    ) -> "TunerDriver":
+        """Wrap an already-primed generator suspended at ``yield current``.
+
+        Used by :meth:`TunerPopulation.detach` to hand a lane that left
+        lockstep back to the ordinary scalar protocol without re-priming
+        (the generator already consumed its prime ``next``).
+        """
+        driver = object.__new__(cls)
+        driver._gen = gen
+        driver.tuner = tuner
+        driver.current = tuple(current)
+        return driver
 
     def observe(self, throughput: float) -> tuple[int, ...]:
         """Report an epoch's throughput; returns the next parameter vector."""
@@ -67,6 +107,217 @@ class TunerDriver:
             raise ValueError("throughput must be non-negative")
         self.current = self._gen.send(float(throughput))
         return self.current
+
+
+#: Phases a population lane can be in: ``watch`` lanes advance as array
+#: operations; ``search`` lanes step their scalar generator.
+WATCH = "watch"
+SEARCH = "search"
+
+
+class PhaseCell:
+    """Shared mailbox between an instrumented generator and its population.
+
+    A phase-aware tuner's ``_propose(x0, space, cell)`` calls
+    ``cell.watch(incumbent, prev)`` immediately before every watch-loop
+    yield and ``cell.search()`` before delegating into an inner search, so
+    the population always knows whether the suspended generator is at a
+    watch point (vectorizable: the next step is a pure Δc test against
+    ``prev``) or inside a search (scalar: the next proposal needs the
+    generator's own control flow).
+    """
+
+    __slots__ = ("phase", "incumbent", "prev")
+
+    def __init__(self) -> None:
+        self.phase = SEARCH
+        self.incumbent: tuple[int, ...] | None = None
+        self.prev = 0.0
+
+    def watch(self, incumbent: tuple[int, ...], prev: float) -> None:
+        self.phase = WATCH
+        self.incumbent = incumbent
+        self.prev = prev
+
+    def search(self) -> None:
+        self.phase = SEARCH
+
+
+class TunerPopulation(abc.ABC):
+    """Vectorized window-end dispatch for a group of same-class lanes.
+
+    The batch engines use this to replace B per-lane generator steps with
+    one ``(B,)``-array operation when lanes are in lockstep.  The contract
+    mirrors :class:`TunerDriver` exactly: every proposal a population
+    returns for a lane must be bit-identical to what that lane's scalar
+    generator would have yielded for the same observation sequence —
+    the batch-vs-scalar equivalence matrix is the gate.
+
+    Lanes join via :meth:`add_lane` (None = this particular lane is
+    incompatible; the caller falls back to its scalar driver) and may
+    leave lockstep at any time via :meth:`detach`.
+    """
+
+    def __init__(self, space: ParamSpace) -> None:
+        self.space = space
+
+    @abc.abstractmethod
+    def add_lane(
+        self, lane: int, tuner: Tuner, x0: tuple[int, ...]
+    ) -> tuple[int, ...] | None:
+        """Admit a lane starting from ``x0``; returns its primed proposal.
+
+        Returns None (leaving the population unchanged) when this lane's
+        tuner instance cannot be vectorized — e.g. a custom change
+        monitor.  The primed proposal equals what a fresh scalar driver
+        for the same ``(tuner, x0, space)`` would hold in ``.current``.
+        """
+
+    @abc.abstractmethod
+    def current(self, lane: int) -> tuple[int, ...]:
+        """The proposal the lane is currently transferring at."""
+
+    @abc.abstractmethod
+    def observe_batch(
+        self, lanes: list[int], observed: list[float]
+    ) -> list[tuple[int, ...]]:
+        """Report one epoch throughput per lane; returns next proposals.
+
+        Lanes absent from ``lanes`` simply do not advance — populations
+        must tolerate any subset observing in any call (lanes finish at
+        different times).
+        """
+
+    @abc.abstractmethod
+    def detach(self, lane: int) -> TunerDriver:
+        """Remove a lane, returning an equivalent primed scalar driver."""
+
+
+class GeneratorPopulation(TunerPopulation):
+    """Population over per-lane *instrumented generators* (cs, gss).
+
+    Each lane keeps its real scalar generator; the population mirrors the
+    generator's watch monitor (``prev`` + ``eps_pct``) and, while a lane
+    sits in the watch phase, answers observations with the cached
+    incumbent after one vectorized Δc test — no generator call.  The
+    observations are buffered and replayed through ``gen.send`` only when
+    the monitor fires (or the lane detaches), at which point the
+    generator — always the bit-exactness authority — re-runs the exact
+    same Δc arithmetic and takes over scalar stepping for the search
+    phase.  Lanes inside a search step their generator every epoch: that
+    is the per-lane divergence path.
+    """
+
+    def __init__(self, space: ParamSpace) -> None:
+        super().__init__(space)
+        self._gen: dict[int, TunerGen] = {}
+        self._cell: dict[int, PhaseCell] = {}
+        self._cur: dict[int, tuple[int, ...]] = {}
+        self._prev: dict[int, float] = {}
+        self._eps: dict[int, float] = {}
+        self._pending: dict[int, list[float]] = {}
+        self._tuner: dict[int, Tuner] = {}
+
+    # -- subclass hooks ---------------------------------------------------
+
+    def _supports(self, tuner: Tuner) -> bool:
+        """Whether this particular tuner instance can join."""
+        raise NotImplementedError
+
+    def _instrument(
+        self, tuner: Tuner, x0: tuple[int, ...], cell: PhaseCell
+    ) -> TunerGen:
+        """A fresh phase-instrumented generator for one lane."""
+        return tuner._propose(x0, self.space, cell)
+
+    # -- protocol ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._gen)
+
+    def add_lane(
+        self, lane: int, tuner: Tuner, x0: tuple[int, ...]
+    ) -> tuple[int, ...] | None:
+        if lane in self._gen:
+            raise ValueError(f"lane {lane!r} already in population")
+        if not self._supports(tuner):
+            return None
+        cell = PhaseCell()
+        gen = self._instrument(tuner, tuple(x0), cell)
+        cur = next(gen)
+        self._gen[lane] = gen
+        self._cell[lane] = cell
+        self._cur[lane] = cur
+        self._prev[lane] = cell.prev
+        self._eps[lane] = float(tuner.eps_pct)
+        self._pending[lane] = []
+        self._tuner[lane] = tuner
+        return cur
+
+    def current(self, lane: int) -> tuple[int, ...]:
+        return self._cur[lane]
+
+    def observe_batch(
+        self, lanes: list[int], observed: list[float]
+    ) -> list[tuple[int, ...]]:
+        obs = [float(f) for f in observed]
+        if len(obs) != len(lanes):
+            raise ValueError("lanes and observed must be aligned")
+        for f in obs:
+            if f < 0:
+                raise ValueError("throughput must be non-negative")
+
+        # One vectorized Δc test over every watch-phase lane; the mirror
+        # runs the identical float64 arithmetic the generators' monitors
+        # would, so "fired" is decided bit-exactly without stepping them.
+        watch = [j for j, ln in enumerate(lanes)
+                 if self._cell[ln].phase == WATCH]
+        fired = {}
+        if watch:
+            f_new = np.array([obs[j] for j in watch])
+            prev = np.array([self._prev[lanes[j]] for j in watch])
+            eps = np.array([self._eps[lanes[j]] for j in watch])
+            hits = np.abs(delta_pct_vec(f_new, prev)) > eps
+            fired = {watch[k]: bool(hits[k]) for k in range(len(watch))}
+
+        out: list[tuple[int, ...]] = []
+        for j, lane in enumerate(lanes):
+            f = obs[j]
+            if self._cell[lane].phase == WATCH and not fired.get(j, False):
+                # Quiet watch epoch: buffer the observation, keep the
+                # incumbent.  The generator replays it later.
+                self._prev[lane] = f
+                self._pending[lane].append(f)
+                out.append(self._cur[lane])
+            else:
+                out.append(self._flush(lane, f))
+        return out
+
+    def _flush(self, lane: int, f: float | None = None) -> tuple[int, ...]:
+        """Replay buffered observations (plus ``f``) through the lane's
+        generator and re-sync the mirror from its cell."""
+        gen = self._gen[lane]
+        cur = self._cur[lane]
+        for q in self._pending[lane]:
+            cur = gen.send(q)
+        self._pending[lane].clear()
+        if f is not None:
+            cur = gen.send(f)
+        self._cur[lane] = cur
+        cell = self._cell[lane]
+        if cell.phase == WATCH:
+            self._prev[lane] = cell.prev
+        return cur
+
+    def detach(self, lane: int) -> TunerDriver:
+        cur = self._flush(lane)
+        driver = TunerDriver.adopt(
+            self._gen[lane], cur, tuner=self._tuner[lane]
+        )
+        for store in (self._gen, self._cell, self._cur, self._prev,
+                      self._eps, self._pending, self._tuner):
+            del store[lane]
+        return driver
 
 
 @dataclass

@@ -24,8 +24,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.base import Tuner, TunerGen
-from repro.core.history import delta_pct
+import numpy as np
+
+from repro.core.base import Tuner, TunerDriver, TunerGen, TunerPopulation
+from repro.core.history import delta_pct, delta_pct_vec
 from repro.core.params import ParamSpace
 
 
@@ -51,6 +53,9 @@ class CdTuner(Tuner):
             raise ValueError("eps_pct must be non-negative")
         if self.stable_epochs_to_switch < 1:
             raise ValueError("stable_epochs_to_switch must be >= 1")
+
+    def propose_batch(self, space: ParamSpace) -> "CdPopulation":
+        return CdPopulation(space)
 
     def propose(self, x0: tuple[int, ...], space: ParamSpace) -> TunerGen:
         x_prev2 = space.fbnd(x0)
@@ -103,3 +108,152 @@ def _step(
     stepped = list(x)
     stepped[dim] = stepped[dim] + move
     return space.fbnd(stepped)
+
+
+class CdPopulation(TunerPopulation):
+    """Fully vectorized cd population: B coordinate descents per epoch.
+
+    cd's whole per-epoch step — slope test, stability counter, dimension
+    cycling, unit move, bound projection — is branch-free integer/float64
+    arithmetic, so the entire population advances as ``(B,)``/``(B,d)``
+    array operations with no per-lane generator at all.  ``delta_pct_vec``
+    and ``np.clip`` on int64 reproduce the scalar ``delta_pct``/``fBnd``
+    bit-for-bit (the integer fBnd arm is a pure clamp), which the
+    population equivalence suite pins against :meth:`CdTuner.propose`.
+
+    Per-lane observation history is retained so :meth:`detach` can hand
+    back a scalar driver rebuilt by replay — the same reconstruction the
+    fleet supervisor uses for crash restarts.
+    """
+
+    def __init__(self, space: ParamSpace) -> None:
+        super().__init__(space)
+        ndim = space.ndim
+        self._row: dict[int, int] = {}
+        self._lanes: list[int] = []
+        self._tuner: dict[int, CdTuner] = {}
+        self._x0: dict[int, tuple[int, ...]] = {}
+        self._hist: dict[int, list[float]] = {}
+        self._cache: dict[int, tuple[int, ...]] = {}
+        self._lo = np.asarray(space.lower, dtype=np.int64)
+        self._hi = np.asarray(space.upper, dtype=np.int64)
+        self._X = np.empty((0, ndim), dtype=np.int64)  # proposal awaiting obs
+        self._X2 = np.empty((0, ndim), dtype=np.int64)  # x_prev2
+        self._F2 = np.empty(0, dtype=np.float64)  # f_prev2
+        self._dim = np.empty(0, dtype=np.int64)
+        self._stable = np.empty(0, dtype=np.int64)
+        self._boot = np.empty(0, dtype=bool)  # before the first observation
+        self._eps = np.empty(0, dtype=np.float64)
+        self._switch = np.empty(0, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self._lanes)
+
+    def add_lane(
+        self, lane: int, tuner: Tuner, x0: tuple[int, ...]
+    ) -> tuple[int, ...] | None:
+        if lane in self._row:
+            raise ValueError(f"lane {lane!r} already in population")
+        if type(tuner) is not CdTuner:
+            return None
+        x = self.space.fbnd(tuple(x0))
+        self._row[lane] = len(self._lanes)
+        self._lanes.append(lane)
+        self._tuner[lane] = tuner
+        self._x0[lane] = x
+        self._hist[lane] = []
+        self._cache[lane] = x
+        row = np.asarray([x], dtype=np.int64)
+        self._X = np.concatenate([self._X, row])
+        self._X2 = np.concatenate([self._X2, row])
+        self._F2 = np.append(self._F2, 0.0)
+        self._dim = np.append(self._dim, 0)
+        self._stable = np.append(self._stable, 0)
+        self._boot = np.append(self._boot, True)
+        self._eps = np.append(self._eps, tuner.eps_pct)
+        self._switch = np.append(self._switch, tuner.stable_epochs_to_switch)
+        return x
+
+    def current(self, lane: int) -> tuple[int, ...]:
+        return self._cache[lane]
+
+    def observe_batch(
+        self, lanes: list[int], observed: list[float]
+    ) -> list[tuple[int, ...]]:
+        n = len(lanes)
+        f = np.asarray(observed, dtype=np.float64)
+        if len(f) != n:
+            raise ValueError("lanes and observed must be aligned")
+        if n and (f < 0).any():
+            raise ValueError("throughput must be non-negative")
+        if not n:
+            return []
+        rows = np.fromiter(
+            (self._row[ln] for ln in lanes), dtype=np.int64, count=n
+        )
+        fl = f.tolist()
+        for j, lane in enumerate(lanes):
+            self._hist[lane].append(fl[j])
+
+        X = self._X[rows]
+        X2 = self._X2[rows]
+        F2 = self._F2[rows]
+        dim = self._dim[rows]
+        stable = self._stable[rows]
+        boot = self._boot[rows]
+        eps = self._eps[rows]
+        ii = np.arange(n)
+
+        # Steady lanes: the loop body of CdTuner.propose as array math.
+        d_active = X[ii, dim] - X2[ii, dim]
+        delta = delta_pct_vec(f, F2)
+        nz = d_active != 0
+        slope = delta / np.where(nz, d_active, 1).astype(np.float64)
+        move = np.zeros(n, dtype=np.int64)
+        move[~nz & (np.abs(delta) > eps)] = 1
+        move[nz & (slope > eps)] = 1
+        move[nz & (slope < -eps)] = -1
+        hold = move == 0
+        stable = np.where(hold, stable + 1, 0)
+        if self.space.ndim > 1:
+            switch = hold & (stable >= self._switch[rows])
+            dim = np.where(switch, (dim + 1) % self.space.ndim, dim)
+            stable = np.where(switch, 0, stable)
+            move = np.where(switch, 1, move)
+
+        # Bootstrap lanes (first observation): probe +1 along dim 0.
+        if boot.any():
+            move[boot] = 1
+            dim[boot] = 0
+            stable[boot] = 0
+
+        x_next = X.copy()
+        x_next[ii, dim] += move
+        np.clip(x_next, self._lo, self._hi, out=x_next)
+
+        self._X2[rows] = X
+        self._F2[rows] = f
+        self._X[rows] = x_next
+        self._dim[rows] = dim
+        self._stable[rows] = stable
+        self._boot[rows] = False
+
+        out = [tuple(r) for r in x_next.tolist()]
+        for j, lane in enumerate(lanes):
+            self._cache[lane] = out[j]
+        return out
+
+    def detach(self, lane: int) -> TunerDriver:
+        driver = self._tuner[lane].start(self._x0[lane], self.space)
+        for f in self._hist[lane]:
+            driver.observe(f)
+        row = self._row.pop(lane)
+        self._lanes.pop(row)
+        for ln in self._lanes[row:]:
+            self._row[ln] -= 1
+        for arr in ("_X", "_X2", "_F2", "_dim", "_stable", "_boot",
+                    "_eps", "_switch"):
+            setattr(self, arr, np.delete(getattr(self, arr), row, axis=0))
+        for store in (self._tuner, self._x0, self._hist, self._cache):
+            del store[lane]
+        return driver

@@ -24,7 +24,12 @@ import random
 from dataclasses import dataclass
 from typing import Generator
 
-from repro.core.base import Tuner, TunerGen
+from repro.core.base import (
+    GeneratorPopulation,
+    PhaseCell,
+    Tuner,
+    TunerGen,
+)
 from repro.core.monitor import ChangeMonitor, DeltaPctMonitor
 from repro.core.params import ParamSpace
 
@@ -61,6 +66,24 @@ class CsTuner(Tuner):
             raise ValueError("restart_from must be 'incumbent' or 'x0'")
 
     def propose(self, x0: tuple[int, ...], space: ParamSpace) -> TunerGen:
+        return self._propose(x0, space, PhaseCell())
+
+    def propose_batch(self, space: ParamSpace) -> "CsPopulation | None":
+        # Custom change monitors carry arbitrary state the vectorized
+        # watch mirror cannot reproduce; those lanes stay scalar.
+        if self.monitor is not None:
+            return None
+        return CsPopulation(space)
+
+    def _propose(
+        self, x0: tuple[int, ...], space: ParamSpace, cell: PhaseCell
+    ) -> TunerGen:
+        """The tuning state machine, phase-instrumented via ``cell``.
+
+        Identical float arithmetic and yields to the historical
+        ``propose`` body — the cell calls are pure notation for the
+        population dispatcher (``prev`` shadows the monitor's ``_prev``).
+        """
         rng = random.Random(self.seed)
         x_start = space.fbnd(x0)
 
@@ -69,12 +92,18 @@ class CsTuner(Tuner):
         mon = (self.monitor.clone() if self.monitor is not None
                else DeltaPctMonitor(self.eps_pct))
         mon.reset(f_cur)
+        prev = f_cur
         while True:
+            cell.watch(x_cur, prev)
             f_new = yield x_cur
-            if mon.update(f_new):
+            fired = mon.update(f_new)
+            prev = f_new
+            if fired:
+                cell.search()
                 restart_at = x_cur if self.restart_from == "incumbent" else x_start
                 x_cur, f_new = yield from self._compass(restart_at, space, rng)
                 mon.reset(f_new)
+                prev = f_new
 
     def _compass(
         self,
@@ -106,3 +135,17 @@ class CsTuner(Tuner):
             if not improved:
                 lam *= 0.5
         return x_cur, f_cur
+
+
+class CsPopulation(GeneratorPopulation):
+    """cs lanes: vectorized Δc watch, scalar compass searches.
+
+    Steady-state cs spends almost every epoch in the outer watch loop; the
+    population answers those epochs with one array Δc test across the
+    whole lane axis.  A fired monitor (or any lane already inside a
+    compass search) steps that lane's own generator — per-lane divergence
+    with no effect on its neighbours.
+    """
+
+    def _supports(self, tuner: Tuner) -> bool:
+        return type(tuner) is CsTuner and tuner.monitor is None

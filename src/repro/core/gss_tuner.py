@@ -17,7 +17,12 @@ import math
 from dataclasses import dataclass
 from typing import Generator
 
-from repro.core.base import Tuner, TunerGen
+from repro.core.base import (
+    GeneratorPopulation,
+    PhaseCell,
+    Tuner,
+    TunerGen,
+)
 from repro.core.history import delta_pct
 from repro.core.params import ParamSpace
 
@@ -43,6 +48,18 @@ class GssTuner(Tuner):
             raise ValueError("eps_pct must be non-negative")
 
     def propose(self, x0: tuple[int, ...], space: ParamSpace) -> TunerGen:
+        return self._propose(x0, space, PhaseCell())
+
+    def propose_batch(self, space: ParamSpace) -> "GssPopulation | None":
+        if space.ndim != 1:
+            return None
+        return GssPopulation(space)
+
+    def _propose(
+        self, x0: tuple[int, ...], space: ParamSpace, cell: PhaseCell
+    ) -> TunerGen:
+        """The tuning state machine, phase-instrumented via ``cell``
+        (identical yields and float arithmetic to the plain generator)."""
         if space.ndim != 1:
             raise ValueError(
                 "golden-section search tunes exactly one parameter; got "
@@ -51,8 +68,10 @@ class GssTuner(Tuner):
         x_cur, f_cur = yield from self._bracket_search(space)
         f_prev = f_cur
         while True:
+            cell.watch(x_cur, f_prev)
             f_new = yield x_cur
             if abs(delta_pct(f_new, f_prev)) > self.eps_pct:
+                cell.search()
                 x_cur, f_new = yield from self._bracket_search(space)
             f_prev = f_new
 
@@ -92,3 +111,16 @@ class GssTuner(Tuner):
             if f_cand > f_best:
                 best, f_best = cand, f_cand
         return best, f_best
+
+
+class GssPopulation(GeneratorPopulation):
+    """gss lanes: vectorized Δc watch, scalar bracket re-searches.
+
+    gss ignores ``x0`` (the first bracket pass sweeps the whole domain)
+    and its watch test is exactly the Δc rule, so the shared watch mirror
+    applies unchanged.  Note the mirror's ``prev`` update on quiet epochs
+    matches gss's ``f_prev = f_new`` tail assignment.
+    """
+
+    def _supports(self, tuner: Tuner) -> bool:
+        return type(tuner) is GssTuner

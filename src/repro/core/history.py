@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 
 def delta_pct(f_prev: float, f_prev2: float) -> float:
     """Relative throughput change in percent, Δc.
@@ -24,6 +26,21 @@ def delta_pct(f_prev: float, f_prev2: float) -> float:
     if f_prev2 == 0.0:
         return 0.0 if f_prev == 0.0 else float("inf")
     return 100.0 * (f_prev - f_prev2) / f_prev2
+
+
+def delta_pct_vec(f_prev, f_prev2):
+    """:func:`delta_pct` over aligned float64 arrays.
+
+    Elementwise IEEE-754 double arithmetic, so each lane's Δc is
+    bit-identical to the scalar function — the population dispatch path
+    (`repro.core.base.TunerPopulation`) relies on this to fire its watch
+    monitors exactly when the per-lane generators would.
+    """
+    a = np.asarray(f_prev, dtype=np.float64)
+    b = np.asarray(f_prev2, dtype=np.float64)
+    zero_base = b == 0.0
+    out = 100.0 * (a - b) / np.where(zero_base, 1.0, b)
+    return np.where(zero_base, np.where(a == 0.0, 0.0, np.inf), out)
 
 
 @dataclass

@@ -56,12 +56,16 @@ __all__ = [
     "DEFAULT_FALLBACK_WARN",
     "ENV_BATCH",
     "ENV_BATCH_WARN",
+    "ENV_DISPATCH",
     "BatchOccupancy",
     "SingleRunSpec",
     "batching",
+    "dispatch_fallback_reasons",
+    "dispatch_timings",
     "fallback_reasons",
     "occupancy",
     "resolve_batch",
+    "resolve_dispatch",
     "resolve_fallback_warn",
     "run_batch",
     "run_many",
@@ -69,6 +73,7 @@ __all__ = [
 
 ENV_BATCH = "REPRO_BATCH"
 ENV_BATCH_WARN = "REPRO_BATCH_WARN"
+ENV_DISPATCH = "REPRO_DISPATCH"
 
 #: Campaign warning threshold: warn when more than this fraction of
 #: simulated runs fell off the batch path.
@@ -131,6 +136,30 @@ def resolve_fallback_warn(value: float | None = None) -> float:
     if value < 0.0:
         raise ValueError("batch fallback warn threshold must be >= 0")
     return value
+
+
+def resolve_dispatch(dispatch: bool | None = None) -> bool:
+    """Normalize the population-dispatch knob (default: on).
+
+    ``None`` consults the ``REPRO_DISPATCH`` environment variable —
+    unset or empty means on; ``0``/``off``/``false``/``no`` disable it
+    (every lane keeps the scalar per-epoch ladder, the pre-population
+    baseline the dispatch bench compares against); ``1``/``on``/
+    ``true``/``yes`` force it on.  Results are bit-identical either
+    way — the knob trades dispatch throughput only.
+    """
+    if dispatch is not None:
+        return bool(dispatch)
+    raw = os.environ.get(ENV_DISPATCH, "").strip().lower()
+    if not raw:
+        return True
+    if raw in ("0", "off", "false", "no"):
+        return False
+    if raw in ("1", "on", "true", "yes"):
+        return True
+    raise ValueError(
+        f"unrecognized {ENV_DISPATCH}={raw!r}; expected on/off"
+    )
 
 
 @contextlib.contextmanager
@@ -245,6 +274,13 @@ class BatchOccupancy:
 #: each carry their own totals, exactly like :attr:`RunCache.key_log`.
 _counts = BatchOccupancy()
 _fallback_reasons: Counter = Counter()
+#: Advisory per-lane dispatch fallbacks (``dispatch:*`` reasons from
+#: :mod:`repro.sim.batch.eligibility`) — kept SEPARATE from the batch
+#: fallback tally above, whose values sum to the occupancy's
+#: ``fallback`` count (a dispatch-fallback lane still rode the batch).
+_dispatch_reasons: Counter = Counter()
+_dispatch_lanes: Counter = Counter()
+_phase_s: Counter = Counter()
 
 
 def occupancy() -> BatchOccupancy:
@@ -255,6 +291,40 @@ def occupancy() -> BatchOccupancy:
 def fallback_reasons() -> dict[str, int]:
     """Per-reason fallback counts accumulated in this process."""
     return dict(_fallback_reasons)
+
+
+def dispatch_fallback_reasons() -> dict[str, int]:
+    """Per-reason tally of batch lanes whose window-end dispatches kept
+    the scalar ladder instead of a tuner population, once per lane
+    (``dispatch:*`` reasons).  Advisory: these lanes still rode the
+    vectorized spans."""
+    return dict(_dispatch_reasons)
+
+
+def dispatch_timings() -> dict:
+    """Cumulative per-phase wall seconds of this process's batch runs
+    (span advance vs epoch close vs tuner dispatch) plus the dispatch
+    routing split (population vs ladder lanes)."""
+    return {
+        "phase_s": {
+            "span": float(_phase_s["span"]),
+            "close": float(_phase_s["close"]),
+            "dispatch": float(_phase_s["dispatch"]),
+        },
+        "population_lanes": int(_dispatch_lanes["population"]),
+        "ladder_lanes": int(_dispatch_lanes["ladder"]),
+    }
+
+
+def _harvest_engine(engine: BatchEngine) -> None:
+    """Fold one finished batch engine's dispatch/timing accounting into
+    the per-process counters."""
+    _phase_s.update(engine.phase_s)
+    d = engine.dispatcher
+    if d is not None:
+        _dispatch_reasons.update(d.fallback_reasons)
+        _dispatch_lanes["population"] += d.population_lanes
+        _dispatch_lanes["ladder"] += d.ladder_lanes
 
 
 def _spec_key(spec: SingleRunSpec, schedule: LoadSchedule,
@@ -298,6 +368,8 @@ def run_batch(
     batch: int | None = None,
     cache: CacheSpec = None,
     obs: "Instrumentation | None" = None,
+    dispatch: bool | None = None,
+    batched_close: bool = True,
 ) -> list[Trace]:
     """Run every spec; returns one trace per spec, in spec order.
 
@@ -319,7 +391,10 @@ def run_batch(
     every simulated spec onto the scalar path (live instrumentation is
     outside the batch engine's contract) with events emitted live, and
     cache hits replay their event stream exactly as ``run_single``
-    does.
+    does.  ``dispatch`` gates population dispatch inside the batch
+    engine (:func:`resolve_dispatch`; default on, bit-identical off);
+    ``batched_close=False`` likewise restores the per-lane scalar
+    window boundary (the dispatch micro-bench's baseline knob).
     """
     global _counts
     specs = list(specs)
@@ -384,15 +459,19 @@ def run_batch(
         key = (id(spec.scenario), spec.tune_np, spec.fixed_np)
         return groups.setdefault(key, len(groups))
 
+    dispatch_on = resolve_dispatch(dispatch)
     nchunks = 0
     for lo in range(0, len(lanes), width):
         chunk = lanes[lo:lo + width]
         engine = BatchEngine(
             [engines[i] for i in chunk],
             alloc_groups=[group_of(specs[i]) for i in chunk],
+            population_dispatch=dispatch_on,
+            batched_close=batched_close,
         )
         for i, traces in zip(chunk, engine.run()):
             finish(i, traces)
+        _harvest_engine(engine)
         nchunks += 1
     for i in fellback:
         finish(i, engines[i].run())

@@ -31,6 +31,8 @@ from repro.experiments import figures
 from repro.experiments.batch import (
     BatchOccupancy,
     batching,
+    dispatch_fallback_reasons,
+    dispatch_timings,
     fallback_reasons,
     occupancy,
 )
@@ -100,6 +102,24 @@ class CampaignResult:
     #: (reason string -> run count).  Pairs with :attr:`batch` — the
     #: values sum to ``batch.fallback``.
     fallback_reasons: dict[str, int] = field(default_factory=dict)
+    #: Per-unit breakdown of the same tally.  The campaign aggregate is
+    #: recomputed from these cells, folding each ``(unit, reason)``
+    #: exactly once — re-accounting a unit (a journal merge replay, a
+    #: shard-merged rerun) overwrites its cell instead of double-
+    #: counting into :attr:`fallback_reasons`.
+    unit_fallback_reasons: dict[str, dict[str, int]] = field(
+        default_factory=dict)
+    #: Advisory ``dispatch:*`` reasons: batch lanes whose window-end
+    #: dispatches kept the scalar ladder instead of a tuner population
+    #: (they still rode the vectorized spans, so these do NOT sum into
+    #: ``batch.fallback``).  Aggregated once per (unit, reason) like
+    #: :attr:`fallback_reasons`.
+    dispatch_reasons: dict[str, int] = field(default_factory=dict)
+    unit_dispatch_reasons: dict[str, dict[str, int]] = field(
+        default_factory=dict)
+    #: Wall seconds the computed units spent in each batch-engine phase
+    #: (span advance vs epoch close vs tuner dispatch).
+    phase_s: dict[str, float] = field(default_factory=dict)
 
     @property
     def cache_hit_rate(self) -> float | None:
@@ -228,7 +248,8 @@ CAMPAIGN_UNITS: list[tuple[str, Callable[[CampaignScale], dict[str, str]]]] = [
 def _run_unit(
     task: tuple[str, CampaignScale],
 ) -> tuple[str, dict[str, str], float, list[tuple[str, bool]],
-           BatchOccupancy, dict[str, int]]:
+           BatchOccupancy, dict[str, int], dict[str, int],
+           dict[str, float]]:
     """Run one named unit, timed (module-level so it pools; only the
     ``(name, scale)`` pair crosses the process boundary — unit
     callables like :func:`_switching_unit` closures are looked up here
@@ -239,14 +260,16 @@ def _run_unit(
     resolve the store from the environment :func:`run_campaign`'s
     ``activated`` scope exported, and stores are memoized per process,
     so the log accumulates across a worker's tasks and the per-task
-    delta is exact.  The last element is the unit's batch-occupancy
+    delta is exact.  The fifth element is the unit's batch-occupancy
     delta, measured the same way against the per-process counters (the
     ambient batch width rides the ``REPRO_BATCH`` environment the
     :func:`~repro.experiments.batch.batching` scope exported, and each
     unit runs its figures in-process — ``jobs=1`` inside the unit — so
-    the delta is exact too).  The final element breaks the occupancy's
-    fallback count down by reason, deltaed the same way (the per-reason
-    counters only grow, so the subtraction is exact).
+    the delta is exact too).  The trailing elements break the
+    occupancy's fallback count down by reason, deltaed the same way
+    (the per-reason counters only grow, so the subtraction is exact),
+    plus the unit's advisory ``dispatch:*`` reason delta and its
+    per-phase batch-engine wall seconds.
     """
     name, scale = task
     unit = dict(CAMPAIGN_UNITS)[name]
@@ -254,12 +277,29 @@ def _run_unit(
     log_start = len(store.key_log) if store is not None else 0
     occ_start = occupancy()
     reasons_start = Counter(fallback_reasons())
+    dreasons_start = Counter(dispatch_fallback_reasons())
+    phases_start = dispatch_timings()["phase_s"]
     t0 = time.perf_counter()
     blocks = unit(scale)
     elapsed = time.perf_counter() - t0
     probed = list(store.key_log[log_start:]) if store is not None else []
     reasons = dict(Counter(fallback_reasons()) - reasons_start)
-    return name, blocks, elapsed, probed, occupancy() - occ_start, reasons
+    dreasons = dict(Counter(dispatch_fallback_reasons()) - dreasons_start)
+    phases_end = dispatch_timings()["phase_s"]
+    phases = {k: phases_end[k] - phases_start[k] for k in phases_end}
+    return (name, blocks, elapsed, probed, occupancy() - occ_start,
+            reasons, dreasons, phases)
+
+
+def _fold_units(per_unit: dict[str, dict[str, int]]) -> dict[str, int]:
+    """Aggregate per-unit reason tallies, one fold per (unit, reason)
+    cell — the campaign total stays correct even when a unit is
+    accounted more than once (its cell is overwritten, not re-added)."""
+    agg: dict[str, int] = {}
+    for reasons in per_unit.values():
+        for reason, count in reasons.items():
+            agg[reason] = agg.get(reason, 0) + count
+    return agg
 
 
 def _manifest_key(name: str, scale: CampaignScale) -> str:
@@ -389,7 +429,9 @@ def _run_campaign_body(
 
     def account(name: str, probed: list[tuple[str, bool]],
                 bocc: BatchOccupancy,
-                reasons: dict[str, int] | None = None) -> None:
+                reasons: dict[str, int] | None = None,
+                dreasons: dict[str, int] | None = None,
+                phases: dict[str, float] | None = None) -> None:
         """Fold a computed unit's probe log and batch occupancy into
         the result and leave its manifest behind for the next
         campaign's ordering pass."""
@@ -399,10 +441,15 @@ def _run_campaign_body(
         out.unit_cache[name] = (hits, len(probed) - hits)
         out.unit_batch[name] = bocc
         out.batch = out.batch + bocc
-        for reason, count in (reasons or {}).items():
-            out.fallback_reasons[reason] = (
-                out.fallback_reasons.get(reason, 0) + count
-            )
+        # Reasons fold once per (unit, reason): the per-unit cells are
+        # authoritative and the aggregate is recomputed from them, so
+        # accounting a unit twice overwrites instead of double-counting.
+        out.unit_fallback_reasons[name] = dict(reasons or {})
+        out.unit_dispatch_reasons[name] = dict(dreasons or {})
+        out.fallback_reasons = _fold_units(out.unit_fallback_reasons)
+        out.dispatch_reasons = _fold_units(out.unit_dispatch_reasons)
+        for phase, secs in (phases or {}).items():
+            out.phase_s[phase] = out.phase_s.get(phase, 0.0) + secs
         if store is not None and probed:
             manifest = {"keys": sorted({k for k, _ in probed})}
             mkey = _manifest_key(name, scale)
@@ -417,11 +464,10 @@ def _run_campaign_body(
     if journal_path is None:
         ordered = _cache_order([name for name, _ in CAMPAIGN_UNITS], scale)
         tasks = [(name, scale) for name in ordered]
-        for name, blocks, elapsed, probed, bocc, reasons in pool_imap(
-            _run_unit, tasks, jobs=jobs
-        ):
+        for (name, blocks, elapsed, probed, bocc, reasons, dreasons,
+             phases) in pool_imap(_run_unit, tasks, jobs=jobs):
             merge(name, blocks, elapsed)
-            account(name, probed, bocc, reasons)
+            account(name, probed, bocc, reasons, dreasons, phases)
     else:
         from repro.checkpoint.journal import JournalWriter, read_journal
 
@@ -452,7 +498,8 @@ def _run_campaign_body(
                 [name for name, _ in CAMPAIGN_UNITS if name not in done],
                 scale,
             )
-            for name, blocks, elapsed, probed, bocc, reasons in pool_imap(
+            for (name, blocks, elapsed, probed, bocc, reasons, dreasons,
+                 phases) in pool_imap(
                 _run_unit, [(name, scale) for name in pending], jobs=jobs
             ):
                 # Journaled only after the worker result is in hand —
@@ -464,10 +511,12 @@ def _run_campaign_body(
                         "batch": [bocc.batched, bocc.fallback,
                                   bocc.cached, bocc.chunks],
                         "fallback_reasons": reasons,
+                        "dispatch_reasons": dreasons,
+                        "phase_s": phases,
                     }
                 )
                 merge(name, blocks, elapsed)
-                account(name, probed, bocc, reasons)
+                account(name, probed, bocc, reasons, dreasons, phases)
             writer.write_end()
     if store is not None:
         out.backend_health = store.health()

@@ -38,6 +38,7 @@ from repro.checkpoint.journal import JournalWriter
 from repro.experiments.scenarios import SCENARIOS
 from repro.obs.metrics import MetricsRegistry
 from repro.service.admission import REASON_DRAINING, AdmissionController
+from repro.service.fusion import advance_fused
 from repro.service.shard import FleetShard
 from repro.service.supervisor import Supervisor
 from repro.service.tenant import (
@@ -72,6 +73,7 @@ class FleetService:
         journal_path: str | Path | None = None,
         metrics: MetricsRegistry | None = None,
         batch: bool = True,
+        fusion: bool = True,
     ) -> None:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.supervisor = Supervisor()
@@ -81,7 +83,17 @@ class FleetService:
         )
         self.admission.breaker.on_transition = self._on_breaker
         self.epoch_s = epoch_s
+        self.dt = dt
         self.batch = batch
+        #: Whether compatible shards' windows merge into one fused span
+        #: and dispatch batch per round (repro.service.fusion) — bit-
+        #: identical either way, and meaningless without batching.
+        self.fusion = fusion and batch
+        self._fusion_stats: dict = {
+            "rounds": 0, "epochs": 0, "chains": 0, "rows": 0,
+            "widths": {},
+            "phase_s": {"span": 0.0, "close": 0.0, "dispatch": 0.0},
+        }
         scn = scenarios if scenarios is not None else dict(SCENARIOS)
         if not scn:
             raise ValueError("need at least one scenario shard")
@@ -114,6 +126,7 @@ class FleetService:
                 "epoch_s": epoch_s,
                 "seed": seed,
                 "batch": batch,
+                "fusion": self.fusion,
             })
 
     # -- internal hooks --------------------------------------------------
@@ -269,14 +282,35 @@ class FleetService:
     def pump(self) -> dict:
         """One service round: promote from the queue, advance every
         shard one control epoch, retire finished tenants, feed the
-        overload breaker."""
+        overload breaker.
+
+        With fusion on, every shard whose window is batch-eligible this
+        round joins one cross-shard fused advance (same dt and window
+        length by construction, so their clocks stay compatible);
+        blocked or singleton shards take their own :meth:`FleetShard.
+        step_epoch` path.  Either way each shard's trajectory is
+        bit-identical — shards share no state and no RNG streams."""
         if self.drained:
             raise RuntimeError("fleet already drained")
         for spec, degraded in self.admission.promote(self.now_s):
             self._admit(spec, degraded, self._pending_chaos.pop(
                 spec.tenant, None))
         finished: list[Tenant] = []
+        fused: list[FleetShard] = []
+        if self.fusion:
+            fused = [sh for sh in self.shards.values() if sh.fusible()]
+            if len(fused) < 2:
+                fused = []  # nothing to amortize across
+        if fused:
+            stats = advance_fused(
+                fused, int(round(self.epoch_s / self.dt)))
+            self._note_fusion(stats, fused)
+            for shard in fused:
+                finished.extend(shard.note_fused_window())
+        skip = {id(sh) for sh in fused}
         for shard in self.shards.values():
+            if id(shard) in skip:
+                continue
             finished.extend(shard.step_epoch())
         if finished:
             self.admission.release(len(finished))
@@ -288,6 +322,17 @@ class FleetService:
             "queued": self.admission.queued(),
             "finished": [t.name for t in finished],
         }
+
+    def _note_fusion(self, stats: dict, shards: list) -> None:
+        f = self._fusion_stats
+        f["rounds"] += 1
+        f["epochs"] += sum(sh.active for sh in shards)
+        f["chains"] += stats["chains"]
+        f["rows"] += stats["rows"]
+        for w, n in stats["widths"].items():
+            f["widths"][w] = f["widths"].get(w, 0) + n
+        for key, v in stats["phase_s"].items():
+            f["phase_s"][key] += v
 
     def drive(self, max_rounds: int = 10_000) -> int:
         """Pump until every admitted tenant is terminal and the queue is
@@ -379,14 +424,28 @@ class FleetService:
                 name: {
                     "enabled": shard.batch,
                     "occupancy": shard.occupancy().to_dict(),
+                    "fused_epochs": shard.fused_epochs(),
                     "fallback_reasons": shard.fallback_reasons(),
                     "lane_widths": {
                         str(w): n
                         for w, n in sorted(shard.lane_widths().items())
                     },
                     "dispatch_groups": shard.dispatch_groups(),
+                    "phase_s": shard.phase_seconds(),
                 }
                 for name, shard in self.shards.items()
+            },
+            "fusion": {
+                "enabled": self.fusion,
+                "rounds": self._fusion_stats["rounds"],
+                "epochs": self._fusion_stats["epochs"],
+                "chains": self._fusion_stats["chains"],
+                "rows": self._fusion_stats["rows"],
+                "widths": {
+                    str(w): n for w, n in
+                    sorted(self._fusion_stats["widths"].items())
+                },
+                "phase_s": dict(self._fusion_stats["phase_s"]),
             },
         }
 

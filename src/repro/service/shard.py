@@ -93,7 +93,13 @@ class FleetShard:
         self._batched = 0
         self._fallback = 0
         self._chunks = 0
+        self._fused = 0
         self._fallback_reasons: Counter = Counter()
+        # Dedup guard behind _fallback_reasons: a tenant blocked across
+        # many consecutive windows still counts once per (tenant,
+        # reason) — the tally answers "how many lanes ever fell back,
+        # and why", not "for how many windows".
+        self._fallback_seen: set[tuple[str, str]] = set()
         self._latency_hist = (
             None if metrics is None else metrics.histogram(
                 "repro_fleet_epoch_latency_seconds",
@@ -172,7 +178,10 @@ class FleetShard:
                     self.engine.step_once()
                 self._fallback += self.active
                 if blockers:
-                    self._fallback_reasons.update(blockers)
+                    for name, why in blockers.items():
+                        if (name, why) not in self._fallback_seen:
+                            self._fallback_seen.add((name, why))
+                            self._fallback_reasons[why] += 1
                 path = "scalar"
             if self.metrics is not None:
                 self.metrics.counter(
@@ -181,17 +190,39 @@ class FleetShard:
                 ).inc(float(self.active))
         return self.reap()
 
-    def _window_blockers(self) -> list[str]:
-        """Why this window cannot batch: one reason per blocked active
-        lane (empty when the whole population is span-eligible)."""
-        reasons: list[str] = []
-        for session in self._sessions.values():
+    def _window_blockers(self) -> dict[str, str]:
+        """Why this window cannot batch: the blocked active lanes and
+        their reasons (empty when the whole population is
+        span-eligible)."""
+        reasons: dict[str, str] = {}
+        for name, session in self._sessions.items():
             if session.done:
                 continue
             why = unbatchable_lane_reason(session)
             if why is not None:
-                reasons.append(why)
+                reasons[name] = why
         return reasons
+
+    def fusible(self) -> bool:
+        """Whether this window can join a cross-shard fused advance:
+        batching on, at least one active lane, and no blocked lane."""
+        return (self.batch and self.active > 0
+                and not self._window_blockers())
+
+    def note_fused_window(self) -> list[Tenant]:
+        """Account one window the fleet's fused driver already advanced
+        (repro.service.fusion) and retire finished tenants — the fused
+        sibling of :meth:`step_epoch`'s bookkeeping tail."""
+        lanes = self.active
+        self._batched += lanes
+        self._fused += lanes
+        self._chunks += 1
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_fleet_epochs_total",
+                scenario=self.scenario.name, path="fused",
+            ).inc(float(lanes))
+        return self.reap()
 
     # -- batching introspection ------------------------------------------
 
@@ -212,6 +243,18 @@ class FleetShard:
         if self._span is None:
             return {}
         return dict(self._span.lane_widths)
+
+    def fused_epochs(self) -> int:
+        """Tenant-epochs served through cross-shard fused windows (a
+        subset of the batched count)."""
+        return self._fused
+
+    def phase_seconds(self) -> dict[str, float]:
+        """Wall seconds per batched-window phase (span advance, epoch
+        close, tuner dispatch) since shard start."""
+        if self._span is None:
+            return {}
+        return dict(self._span.phase_s)
 
     def dispatch_groups(self) -> dict[str, int]:
         """Active tenants per homogeneous dispatch group ("ladder" =

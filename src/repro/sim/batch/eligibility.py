@@ -89,3 +89,42 @@ def unbatchable_lane_reason(session: "TransferSession") -> str | None:
     if session.disk_cap_fn is not None:
         return "disk-cap model"
     return None
+
+
+#: Reasons a lane's window-end dispatch steps its scalar generator
+#: instead of riding a tuner population (repro.sim.batch.dispatch).
+#: Unlike the batch/window reasons above these are advisory per *lane*:
+#: a dispatch-fallback lane still rides the vectorized spans — only its
+#: proposals stay per-lane python.
+DISPATCH_UNSUPPORTED = "dispatch:unsupported-tuner"
+DISPATCH_RECOVERY = "dispatch:recovery-machinery"
+DISPATCH_INSTRUMENTED = "dispatch:instrumented-run"
+DISPATCH_LATE_JOIN = "dispatch:late-join"
+
+
+def dispatch_fallback_reason(
+    engine: "Engine", session: "TransferSession"
+) -> str | None:
+    """Why one lane's epoch dispatch cannot join a tuner population.
+
+    Population dispatch replaces the scalar ladder's clean path
+    (``driver.observe`` → ``_adopt``) with one ``(B,)``-array step, so
+    it requires exactly the lanes on which the ladder is guaranteed to
+    *take* the clean path every epoch: no retry/breaker/fault machinery
+    (those consume extra RNG draws and can reroute the dispatch), no
+    observability bus (the ladder emits per-dispatch tuner events), and
+    a driver that knows its :class:`~repro.core.base.Tuner` so lanes can
+    be grouped by class.  Lanes failing any test keep the scalar ladder,
+    tallied once per lane under these reasons.
+    """
+    if engine.obs is not None:
+        return DISPATCH_INSTRUMENTED
+    if (session.retry_state is not None
+            or session.breaker is not None
+            or session.fault_model is not None
+            or session.fault_schedule is not None):
+        return DISPATCH_RECOVERY
+    driver = session.driver
+    if driver is None or getattr(driver, "tuner", None) is None:
+        return DISPATCH_UNSUPPORTED
+    return None

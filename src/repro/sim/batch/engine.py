@@ -51,10 +51,13 @@ from __future__ import annotations
 
 import math
 from itertools import chain, repeat
+from time import perf_counter
 from typing import Sequence
 
 import numpy as np
 
+from repro.sim.batch.closing import close_epochs
+from repro.sim.batch.dispatch import PopulationDispatcher, take_std_normals
 from repro.sim.batch.eligibility import unbatchable_reason
 from repro.sim.engine import Engine
 from repro.sim.trace import StepRecord, Trace
@@ -78,6 +81,22 @@ class BatchEngine:
         equivalent substrates (same topology/host/client/config
         semantics — e.g. the same scenario and param mapping).  Default
         gives every lane its own group (always correct, fewer hits).
+    population_dispatch:
+        When True (default) window-end dispatches route through
+        :class:`~repro.sim.batch.dispatch.PopulationDispatcher`:
+        homogeneous tuner populations (cd/cs/gss) advance as one array
+        step per window, everything else keeps the scalar ladder with
+        per-lane ``dispatch:*`` fallback reasons.  False forces every
+        lane onto the scalar ladder (the pre-population behavior; the
+        dispatch micro-bench uses it as its baseline).
+    batched_close:
+        When True (default) window boundaries close through the
+        numpy :func:`~repro.sim.batch.closing.close_epochs` helper and
+        lockstep batches take the homogeneous boundary shortcuts.
+        False restores the per-lane scalar boundary (one
+        ``close_epoch`` call per lane, per-lane close/done loops) —
+        the pre-batched-close behavior the dispatch micro-bench uses,
+        with ``population_dispatch=False``, as its baseline.
     """
 
     def __init__(
@@ -85,6 +104,8 @@ class BatchEngine:
         engines: Sequence[Engine],
         *,
         alloc_groups: Sequence[int] | None = None,
+        population_dispatch: bool = True,
+        batched_close: bool = True,
     ) -> None:
         engines = list(engines)
         if not engines:
@@ -129,6 +150,9 @@ class BatchEngine:
         # replaces a full-matrix accumulate for the dt-paced
         # accumulators (epoch_elapsed / elapsed_s).
         self._fold_memo: dict[tuple[float, int], float] = {}
+        # (restart prefix length, span length) -> shared flag row.
+        self._flag_cache: dict[tuple[int, int], list[bool]] = {}
+        self._homog = False
         self._change_ticks = [
             self._compute_change_ticks(e.schedule) for e in engines
         ]
@@ -139,6 +163,13 @@ class BatchEngine:
         self._col_rate: list[list] = [[] for _ in range(n)]
         self._col_mv: list[list] = [[] for _ in range(n)]
         self._col_flag: list[list] = [[] for _ in range(n)]
+        self.dispatcher = (
+            PopulationDispatcher() if population_dispatch else None
+        )
+        self.batched_close = batched_close
+        #: Wall seconds per phase (satellite of the dispatch work):
+        #: vectorized span advance vs batched close vs tuner dispatch.
+        self.phase_s = {"span": 0.0, "close": 0.0, "dispatch": 0.0}
 
     # -- public API ------------------------------------------------------
 
@@ -178,8 +209,9 @@ class BatchEngine:
         # in lockstep for the whole run (their dt-paced counters get
         # identical folds, and nothing batchable ends a lane early), so
         # one lane's span prediction serves the batch.
-        homog = (
-            len(set(done_tick)) == 1
+        homog = self._homog = (
+            self.batched_close
+            and len(set(done_tick)) == 1
             and len({(s.spec.epoch_s, s.spec.epoch_offset_s)
                      for s in sessions}) == 1
             and not any(change_ticks)
@@ -212,26 +244,73 @@ class BatchEngine:
                 raise RuntimeError(
                     "batch span prediction collapsed to zero steps"
                 )
+            t0 = perf_counter()
             self._advance_span(active, tick, k)
             tick += k
             now = tick * dt
-            still = []
+            t1 = perf_counter()
             for i in active:
-                e = engines[i]
-                s = sessions[i]
-                e.clock.tick = tick
-                spec = s.spec
-                target = spec.epoch_s
+                engines[i].clock.tick = tick
+            if homog:
+                # Lockstep lanes share every dt-paced fold: they close
+                # (and finish) together, so one lane answers for all.
+                s = sessions[active[0]]
+                target = s.spec.epoch_s
                 if s.epoch_index == 0:
-                    target += spec.epoch_offset_s
-                boundary = s.epoch_elapsed >= target - 1e-9
-                if boundary or s.done:
-                    rec = s.close_epoch(start_time=now - s.epoch_elapsed)
-                    if not s.done:
+                    target += s.spec.epoch_offset_s
+                closers = (
+                    list(active)
+                    if s.epoch_elapsed >= target - 1e-9 or s.done
+                    else []
+                )
+            else:
+                closers = []
+                for i in active:
+                    s = sessions[i]
+                    spec = s.spec
+                    target = spec.epoch_s
+                    if s.epoch_index == 0:
+                        target += spec.epoch_offset_s
+                    if s.epoch_elapsed >= target - 1e-9 or s.done:
+                        closers.append(i)
+            if closers:
+                if self.batched_close:
+                    recs = close_epochs(
+                        [sessions[i] for i in closers], now)
+                else:
+                    recs = [
+                        sessions[i].close_epoch(
+                            start_time=now - sessions[i].epoch_elapsed)
+                        for i in closers
+                    ]
+                t2 = perf_counter()
+                if homog:
+                    # Lockstep lanes finish together: lane 0's done
+                    # state answers for every closer.
+                    items = ([] if sessions[closers[0]].done else [
+                        (i, engines[i], sessions[i], rec)
+                        for i, rec in zip(closers, recs)
+                    ])
+                else:
+                    items = [
+                        (i, engines[i], sessions[i], rec)
+                        for i, rec in zip(closers, recs)
+                        if not sessions[i].done
+                    ]
+                if self.dispatcher is not None:
+                    self.dispatcher.dispatch(items)
+                else:
+                    for i, e, s, rec in items:
                         e._dispatch_epoch(s, rec)
-                if not s.done:
-                    still.append(i)
-            active = still
+                t3 = perf_counter()
+                self.phase_s["close"] += t2 - t1
+                self.phase_s["dispatch"] += t3 - t2
+            self.phase_s["span"] += t1 - t0
+            # Batched lanes only finish by duration (finite-bytes and
+            # fault-schedule lanes never batch), so lockstep lanes all
+            # end at the shared done tick — skip the property churn.
+            if not homog or tick >= done_tick[active[0]]:
+                active = [i for i in active if not sessions[i].done]
         self._materialize()
         return [{s.name: s.trace} for s in self._sessions]
 
@@ -323,12 +402,29 @@ class BatchEngine:
         RS = np.full((L, k), dt)  # per-step running seconds
         Z = np.zeros((L, k))  # normal draws under the step jitter
         c1 = np.zeros(L)  # alloc * eta * noise_factor
-        tau = np.empty(L)
-        tss0 = np.empty(L)
-        er0 = np.empty(L)
-        eb0 = np.empty(L)
+        # Per-lane scalars gathered as python lists (a list append is
+        # cheaper than a numpy scalar store) and converted once.
+        tau_l: list[float] = []
+        tss0_l: list[float] = []
+        er0_l: list[float] = []
+        eb0_l: list[float] = []
         frozen_tss: list[int] = []
         flag_rows: list[list[bool]] = []
+        # Rows filled with raw buffered standard normals; scaled to
+        # loc + sigma*z in one matrix op after the loop (tiny per-row
+        # ufunc calls cost more than the draws they replace).
+        buf_rows: list[int] = []
+        z_loc = np.zeros(L)
+        z_sig = np.zeros(L)
+        # Lockstep lanes share every dt-paced counter: fold once.
+        hoisted = None
+        if self._homog:
+            s0 = self._sessions[active[0]]
+            hoisted = (fold_dt(s0.epoch_elapsed, k),
+                       fold_dt(s0.state.elapsed_s, k))
+        # Restart-prefix flag rows are tiny and read-only downstream
+        # (materialize just iterates them) — share one list per shape.
+        flag_cache = self._flag_cache
 
         for row, i in enumerate(active):
             e, s, sched_at, sigma, tau_i, jit_gen, const_load = lane[i]
@@ -342,17 +438,20 @@ class BatchEngine:
             # charged at dispatch), so the live cmp_frac is what the
             # scalar loop leaves in _last_cmp_frac at every dispatch.
             e._last_cmp_frac = cmp_frac
-            tau[row] = tau_i
-            tss0[row] = s.time_since_start
-            er0[row] = s.epoch_run_s
-            eb0[row] = s.epoch_bytes
+            tau_l.append(tau_i)
+            tss0_l.append(s.time_since_start)
+            er0_l.append(s.epoch_run_s)
+            eb0_l.append(s.epoch_bytes)
             # The dt-paced counters need no matrix: fold them directly.
-            v = fold_get((s.epoch_elapsed, k))
-            s.epoch_elapsed = v if v is not None else fold_dt(
-                s.epoch_elapsed, k)
-            v = fold_get((s.state.elapsed_s, k))
-            s.state.elapsed_s = v if v is not None else fold_dt(
-                s.state.elapsed_s, k)
+            if hoisted is not None:
+                s.epoch_elapsed, s.state.elapsed_s = hoisted
+            else:
+                v = fold_get((s.epoch_elapsed, k))
+                s.epoch_elapsed = v if v is not None else fold_dt(
+                    s.epoch_elapsed, k)
+                v = fold_get((s.state.elapsed_s, k))
+                s.state.elapsed_s = v if v is not None else fold_dt(
+                    s.state.elapsed_s, k)
 
             # Restart prefix: same sequential float decrements as the
             # scalar loop (run_s = dt - clamp(rr); rr = max(0, rr - dt)).
@@ -373,7 +472,12 @@ class BatchEngine:
             else:
                 nflag = fm
                 s.restart_remaining = rr
-            flag_rows.append([True] * nflag + [False] * (k - nflag))
+            flags = flag_cache.get((nflag, k))
+            if flags is None:
+                flags = flag_cache[(nflag, k)] = (
+                    [True] * nflag + [False] * (k - nflag)
+                )
+            flag_rows.append(flags)
 
             if rate is None:
                 # Session absent from the allocation: the scalar path
@@ -384,17 +488,48 @@ class BatchEngine:
                 if sigma > 0.0 and n_draws > 0:
                     # One jitter per step with run_s > 0, in step order
                     # — the same draws the scalar loop makes.
-                    Z[row, fm:] = jit_gen.normal(
-                        -0.5 * sigma * sigma, sigma, size=n_draws
-                    )
+                    if e._pop_buffered:
+                        # Inlined take_std_normals fast path: the block
+                        # buffer usually holds the whole span's draws.
+                        buf = e._pop_z
+                        pos = e._pop_zpos
+                        end = pos + n_draws
+                        if buf is not None and end <= buf.shape[0]:
+                            Z[row, fm:] = buf[pos:end]
+                            e._pop_zpos = end
+                        else:
+                            Z[row, fm:] = take_std_normals(e, n_draws)
+                        z_loc[row] = -0.5 * sigma * sigma
+                        z_sig[row] = sigma
+                        buf_rows.append(row)
+                    else:
+                        Z[row, fm:] = jit_gen.normal(
+                            -0.5 * sigma * sigma, sigma, size=n_draws
+                        )
                 c1[row] = (rate * eta) * s.noise_factor
+
+        if buf_rows:
+            # loc + sigma*z per element — bitwise the sized normal
+            # draw.  Entries the scalar path never draws (dead steps,
+            # sigma 0 rows) scale to a harmless finite value: their
+            # run_s is 0.0, so rate/bytes records stay exact zeros.
+            scaled = z_loc[:, None] + z_sig[:, None] * Z
+            if len(buf_rows) == L:
+                Z = scaled
+            else:
+                mask = np.zeros(L, dtype=bool)
+                mask[buf_rows] = True
+                Z = np.where(mask[:, None], scaled, Z)
 
         # Ramp-clock bounds: B[:, j] is time_since_start entering step j
         # (dead steps add 0.0 — an exact no-op in the fold).  The chain
         # below reuses buffers via ``out=`` — every reuse is pure
         # notation (same operands, same order as the scalar loop);
         # IEEE division is sign-symmetric, so ``B / -tau == -B / tau``.
-        tau_col = tau[:, None]
+        tau_col = np.asarray(tau_l)[:, None]
+        tss0 = np.asarray(tss0_l)
+        er0 = np.asarray(er0_l)
+        eb0 = np.asarray(eb0_l)
         B = np.add.accumulate(
             np.concatenate([tss0[:, None], RS], axis=1), axis=1
         )
@@ -431,14 +566,17 @@ class BatchEngine:
             np.concatenate([eb0[:, None], MV], axis=1), axis=1)[:, -1]
 
         frozen = set(frozen_tss)
+        # Plain python floats: downstream consumers (close_epoch,
+        # JSON cache entries) must not see np.float64.
+        er_l = er.tolist()
+        eb_l = eb.tolist()
+        tss_l = B[:, -1].tolist()
         for row, i in enumerate(active):
             s = self._sessions[i]
-            # Plain python floats: downstream consumers (close_epoch,
-            # JSON cache entries) must not see np.float64.
-            s.epoch_run_s = float(er[row])
-            s.epoch_bytes = float(eb[row])
-            if row not in frozen:
-                s.time_since_start = float(B[row, -1])
+            s.epoch_run_s = er_l[row]
+            s.epoch_bytes = eb_l[row]
+            if not frozen or row not in frozen:
+                s.time_since_start = tss_l[row]
             self._col_t[i].append(t_row)
             self._col_rate[i].append(RREC[row])
             self._col_mv[i].append(MV[row])

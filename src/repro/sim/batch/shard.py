@@ -50,9 +50,11 @@ from __future__ import annotations
 import math
 from collections import Counter
 from itertools import repeat
+from time import perf_counter
 
 import numpy as np
 
+from repro.sim.batch.closing import close_epochs
 from repro.sim.engine import Engine
 from repro.sim.trace import StepRecord
 from repro.units import MB
@@ -83,6 +85,10 @@ class ShardSpanEngine:
         #: Histogram of realized lane widths: {live lanes -> spans run
         #: at that width}.  The bench reports this distribution.
         self.lane_widths: Counter = Counter()
+        #: Wall seconds per phase: vectorized span advance vs batched
+        #: epoch close vs tuner dispatch.  The fused cross-shard driver
+        #: (repro.service.fusion) accumulates into the same buckets.
+        self.phase_s = {"span": 0.0, "close": 0.0, "dispatch": 0.0}
 
     # -- span prediction -------------------------------------------------
 
@@ -173,18 +179,50 @@ class ShardSpanEngine:
 
     # -- window advance --------------------------------------------------
 
+    def prepare(self) -> None:
+        """One-time window setup (idempotent): start the engine and
+        resolve the shared schedule's change ticks.  The fused
+        cross-shard driver calls this before interleaving spans."""
+        self.engine._ensure_started()
+        if self._change_ticks is None:
+            self._change_ticks = self._compute_change_ticks(
+                self.engine.schedule
+            )
+
+    def span_len(self, active: list, tick: int, kmax: int) -> int:
+        """Longest span from ``tick`` (at most ``kmax``) on which no
+        lane hits a change point — epoch close, duration done, restart
+        crossing — and the shared load stays constant."""
+        k = kmax
+        dt = self.dt
+        for s in active:
+            m = self._steps_to_close(s.epoch_elapsed, s.epoch_target_s())
+            if m < k:
+                k = m
+            limit = s.spec.max_duration_s
+            if limit is not None:
+                m = self._steps_to_done(s.state.elapsed_s, limit)
+                if m < k:
+                    k = m
+            if s.restart_remaining >= dt:
+                m = self._dead_steps(s.restart_remaining)
+                if m < k:
+                    k = m
+        for m in self._change_ticks:
+            if m > tick and m - tick < k:
+                k = m - tick
+        return k
+
     def advance(self, n: int) -> None:
         """Advance the engine ``n`` steps — bit-identical to ``n``
         ``step_once`` calls, including every epoch close and tuner
         dispatch landing on its exact tick."""
         e = self.engine
-        e._ensure_started()
-        if self._change_ticks is None:
-            self._change_ticks = self._compute_change_ticks(e.schedule)
-        dt = self.dt
+        self.prepare()
         sessions = e.sessions
         tick = e.clock.tick
         end = tick + n
+        phase_s = self.phase_s
         while tick < end:
             active = [s for s in sessions if not s.done]
             if not active:
@@ -192,53 +230,18 @@ class ShardSpanEngine:
                 # closes nothing when every session is done.
                 tick = end
                 break
-            # Span length: min over lanes of steps to the next change
-            # point (epoch close, duration done, restart crossing),
-            # plus the shared schedule's load-change ticks.
-            k = end - tick
-            for s in active:
-                m = self._steps_to_close(s.epoch_elapsed,
-                                         s.epoch_target_s())
-                if m < k:
-                    k = m
-                limit = s.spec.max_duration_s
-                if limit is not None:
-                    m = self._steps_to_done(s.state.elapsed_s, limit)
-                    if m < k:
-                        k = m
-                if s.restart_remaining >= dt:
-                    m = self._dead_steps(s.restart_remaining)
-                    if m < k:
-                        k = m
-            for m in self._change_ticks:
-                if m > tick and m - tick < k:
-                    k = m - tick
+            k = self.span_len(active, tick, end - tick)
             if k < 1:
                 raise RuntimeError(
                     "shard span prediction collapsed to zero steps"
                 )
+            t0 = perf_counter()
             self._advance_span(active, tick, k)
             tick += k
             e.clock.tick = tick
-            now = e.clock.now
-            # Boundary processing, in session order as the scalar loop:
-            # close everything first (closes consume no RNG and touch
-            # only their own session), then dispatch in the same order
-            # with sized pre-draws.
-            pending: list = []
-            for s in sessions:
-                if s.epoch_elapsed <= 0:
-                    continue
-                boundary = (
-                    s.epoch_elapsed >= s.epoch_target_s() - 1e-9
-                )
-                if not boundary and not s.done:
-                    continue
-                rec = s.close_epoch(start_time=now - s.epoch_elapsed)
-                if not s.done:
-                    pending.append((s, rec))
-            if pending:
-                self._dispatch_round(pending)
+            t1 = perf_counter()
+            phase_s["span"] += t1 - t0
+            self.close_boundaries()
         e.clock.tick = tick
         # The batched windows bypass the scalar fast path's allocation
         # cache; invalidate it so an interleaved scalar step (the fleet
@@ -246,38 +249,100 @@ class ShardSpanEngine:
         e._alloc_key = None
         e._alloc_val = None
 
-    def _dispatch_round(self, pending: list) -> None:
-        """Dispatch every epoch closed this tick, in session order.
+    def close_boundaries(self) -> None:
+        """Close every epoch at its boundary (batched, in session order
+        as the scalar loop) and dispatch the survivors.  Closes consume
+        no RNG and touch only their own session, so close-all-then-
+        dispatch-all is draw-neutral."""
+        pending = self.close_pending()
+        if pending:
+            t0 = perf_counter()
+            self._dispatch_round(pending)
+            self.phase_s["dispatch"] += perf_counter() - t0
 
-        The per-dispatch (noise, restart-jitter) factors come from one
-        sized draw per stream — numpy's sized draws produce the exact
-        value sequence of m scalar draws, and the two streams are
-        independent generators, so per-stream order is all that
-        matters.  Sigma 0 skips the stream entirely (``lognormal_factor``
-        returns 1.0 without drawing) on both paths.
+    def close_pending(self) -> list:
+        """Close every boundary epoch (batched, in session order) and
+        return the ``(session, record)`` pairs still awaiting their
+        tuner dispatch — *without* dispatching them.  The fused
+        cross-shard driver collects each shard's pending round and
+        batches the dispatch exponentials over all of them."""
+        e = self.engine
+        now = e.clock.now
+        closers = []
+        for s in e.sessions:
+            if s.epoch_elapsed <= 0:
+                continue
+            if s.epoch_elapsed >= s.epoch_target_s() - 1e-9 or s.done:
+                closers.append(s)
+        if not closers:
+            return []
+        t0 = perf_counter()
+        recs = close_epochs(closers, now)
+        pending = [
+            (s, rec) for s, rec in zip(closers, recs) if not s.done
+        ]
+        self.phase_s["close"] += perf_counter() - t0
+        return pending
+
+    def dispatch_normals(self, m: int):
+        """The dispatch round's sized pre-draws for ``m`` epochs:
+        ``(noise_z, rjit_z)`` raw normals per stream, None where the
+        sigma is zero (``lognormal_factor`` draws nothing there).
+
+        numpy's sized draws produce the exact value sequence of ``m``
+        scalar draws, and the two streams are independent generators,
+        so per-stream order is all that matters.  The ``exp`` is left
+        to the caller: the fused cross-shard round batches it over
+        every shard's draws at once.
         """
         e = self.engine
-        m = len(pending)
         sig_n = e.config.noise_sigma_epoch
-        if sig_n > 0.0:
-            noises = np.exp(e._rng_noise.normal(
-                -0.5 * sig_n * sig_n, sig_n, size=m)).tolist()
-        else:
-            noises = repeat(1.0)
+        zn = (e._rng_noise.normal(-0.5 * sig_n * sig_n, sig_n, size=m)
+              if sig_n > 0.0 else None)
         sig_r = e.client.restart.jitter_sigma
-        if sig_r > 0.0:
-            rjits = np.exp(e._rng_rjit.normal(
-                -0.5 * sig_r * sig_r, sig_r, size=m)).tolist()
-        else:
-            rjits = repeat(1.0)
+        zr = (e._rng_rjit.normal(-0.5 * sig_r * sig_r, sig_r, size=m)
+              if sig_r > 0.0 else None)
+        return zn, zr
+
+    def apply_dispatch(self, pending: list, noises, rjits) -> None:
+        """Dispatch closed epochs in session order with pre-drawn
+        per-epoch factors."""
+        e = self.engine
         for (s, rec), noise, rjit in zip(pending, noises, rjits):
             e._dispatch_epoch(s, rec, noise=noise, rjit=rjit)
+
+    def _dispatch_round(self, pending: list) -> None:
+        """Dispatch every epoch closed this tick, in session order,
+        with one sized pre-draw per stream."""
+        zn, zr = self.dispatch_normals(len(pending))
+        noises = np.exp(zn).tolist() if zn is not None else repeat(1.0)
+        rjits = np.exp(zr).tolist() if zr is not None else repeat(1.0)
+        self.apply_dispatch(pending, noises, rjits)
 
     def _advance_span(self, active: list, tick0: int, k: int) -> None:
         """Vectorized equivalent of ``k`` scalar advance phases for the
         span's constant membership/allocation — BatchEngine's
         ``_advance_span`` arithmetic, with the allocation shared across
         rows and the jitter interleave step-major (see module doc)."""
+        ctx = self.collect_span(active, tick0, k)
+        if ctx is None:
+            return
+        out = _span_chain(ctx["RS"], ctx["Z"], ctx["c1"], ctx["tau"],
+                          ctx["tss0"], ctx["er0"], ctx["eb0"], self.dt)
+        self.commit_span(ctx, out, tick0, k)
+
+    def collect_span(self, active: list, tick0: int, k: int):
+        """Phase 1 of a span: fold the dt-paced counters, append dead
+        rows' records, draw the live rows' step jitter, and gather the
+        matrix-chain inputs.  Returns None when no live row needs the
+        chain, else a context dict for :func:`_span_chain` /
+        :meth:`commit_span`.
+
+        The fused cross-shard driver (repro.service.fusion) collects
+        each shard's context, stacks the input rows, and runs ONE chain
+        — exact because the chain is elementwise plus row-local
+        ``axis=1`` folds, so rows are independent of their neighbours.
+        """
         e = self.engine
         dt = self.dt
         load = e.schedule.at(tick0 * dt)
@@ -320,7 +385,7 @@ class ShardSpanEngine:
                         repeat(0.0)),
                 ))
             if not live:
-                return
+                return None
 
         L = len(live)
         RS = np.full((L, k), dt)  # per-step running seconds
@@ -377,43 +442,21 @@ class ShardSpanEngine:
                 -0.5 * sigma * sigma, sigma, size=k * nd
             ).reshape(k, nd).T
 
-        # Ramp-clock bounds and the rate/bytes chain: operand-for-
-        # operand the scalar loop's arithmetic (see BatchEngine's
-        # _advance_span for the derivation; buffer reuse via ``out=``
-        # is pure notation).
-        tau_col = tau[:, None]
-        B = np.add.accumulate(
-            np.concatenate([tss0[:, None], RS], axis=1), axis=1
-        )
-        A = B / np.negative(tau_col)
-        E = np.fromiter(
-            map(math.exp, A.ravel().tolist()),
-            dtype=np.float64,
-            count=L * (k + 1),
-        ).reshape(L, k + 1)
-        RSx = np.where(RS > 0.0, RS, 1.0)  # 0/0 guard on dead steps
-        T = np.subtract(E[:, :-1], E[:, 1:])
-        np.divide(tau_col, RSx, out=RSx)
-        np.multiply(RSx, T, out=T)
-        np.subtract(1.0, T, out=T)  # T = RAMP
-        np.exp(Z, out=Z)  # per-element scalar np.exp (lognormal_factor)
-        np.multiply(c1[:, None], Z, out=Z)
-        np.multiply(Z, T, out=Z)  # Z = RATE = (c1 * J) * RAMP
-        np.multiply(Z, MB, out=T)
-        MV = T * RS  # (RATE * MB) * RS
-        np.divide(MV, MB, out=T)
-        np.divide(T, dt, out=Z)
-        RREC = Z  # step-record rate: (MV / MB) / dt
+        return {
+            "live": live, "RS": RS, "Z": Z, "c1": c1, "tau": tau,
+            "tss0": tss0, "er0": er0, "eb0": eb0,
+            "frozen": set(frozen), "nflags": nflags,
+        }
 
-        # Epoch accumulators: exact sequential left folds.
-        er = np.add.accumulate(
-            np.concatenate([er0[:, None], RS], axis=1), axis=1)[:, -1]
-        eb = np.add.accumulate(
-            np.concatenate([eb0[:, None], MV], axis=1), axis=1)[:, -1]
-
-        t_list = ((tick0 + np.arange(k)) * dt).tolist()
-        frozen_set = set(frozen)
-        for row, s in enumerate(live):
+    def commit_span(self, ctx: dict, out: tuple, tick0: int,
+                    k: int) -> None:
+        """Phase 3 of a span: write the chain outputs back into the
+        sessions and append their step records."""
+        B, MV, RREC, er, eb = out
+        t_list = ((tick0 + np.arange(k)) * self.dt).tolist()
+        frozen_set = ctx["frozen"]
+        nflags = ctx["nflags"]
+        for row, s in enumerate(ctx["live"]):
             # Plain python floats: downstream consumers (close_epoch,
             # status documents) must not see np.float64.
             s.epoch_run_s = float(er[row])
@@ -432,3 +475,51 @@ class ShardSpanEngine:
                 zip(t_list, RREC[row].tolist(), flags,
                     MV[row].tolist()),
             ))
+
+
+def _span_chain(RS, Z, c1, tau, tss0, er0, eb0, dt):
+    """Phase 2 of a span: the ramp/rate/bytes matrix chain.
+
+    Operand-for-operand the scalar loop's arithmetic (see BatchEngine's
+    ``_advance_span`` for the derivation; buffer reuse via ``out=`` is
+    pure notation).  Every operation is elementwise or a row-local
+    ``axis=1`` fold, so rows from *different shards* may be stacked into
+    one call and split back with no change in any row's result — that
+    row independence is what makes cross-shard span fusion bit-exact.
+
+    Returns ``(B, MV, RREC, er, eb)``: ramp-clock bounds, per-step
+    bytes, step-record rates, and the folded epoch accumulators.
+    """
+    L, k = RS.shape
+    tau_col = tau[:, None]
+    B = np.add.accumulate(
+        np.concatenate([tss0[:, None], RS], axis=1), axis=1
+    )
+    A = B / np.negative(tau_col)
+    # The scalar ramp uses math.exp, which differs from np.exp in the
+    # last ulp; evaluate per element.
+    E = np.fromiter(
+        map(math.exp, A.ravel().tolist()),
+        dtype=np.float64,
+        count=L * (k + 1),
+    ).reshape(L, k + 1)
+    RSx = np.where(RS > 0.0, RS, 1.0)  # 0/0 guard on dead steps
+    T = np.subtract(E[:, :-1], E[:, 1:])
+    np.divide(tau_col, RSx, out=RSx)
+    np.multiply(RSx, T, out=T)
+    np.subtract(1.0, T, out=T)  # T = RAMP
+    np.exp(Z, out=Z)  # per-element scalar np.exp (lognormal_factor)
+    np.multiply(c1[:, None], Z, out=Z)
+    np.multiply(Z, T, out=Z)  # Z = RATE = (c1 * J) * RAMP
+    np.multiply(Z, MB, out=T)
+    MV = T * RS  # (RATE * MB) * RS
+    np.divide(MV, MB, out=T)
+    np.divide(T, dt, out=Z)
+    RREC = Z  # step-record rate: (MV / MB) / dt
+
+    # Epoch accumulators: exact sequential left folds.
+    er = np.add.accumulate(
+        np.concatenate([er0[:, None], RS], axis=1), axis=1)[:, -1]
+    eb = np.add.accumulate(
+        np.concatenate([eb0[:, None], MV], axis=1), axis=1)[:, -1]
+    return B, MV, RREC, er, eb

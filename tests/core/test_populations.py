@@ -1,0 +1,156 @@
+"""Tuner populations: batched ``(B,)``-array proposals, bit-identical.
+
+The population protocol (:class:`~repro.core.base.TunerPopulation`,
+built by :meth:`Tuner.propose_batch`) advances many same-class lanes as
+one array step per epoch.  Its contract is the scalar one: every
+proposal must equal — exact tuple equality, no tolerance — what the
+lane's own ``tuner.start(x0)`` driver would have proposed for the same
+observation sequence, including mid-stream divergence (a lane firing
+its watch monitor drops into its scalar generator for the search and
+rejoins), per-lane heterogeneous hyperparameters, and detach back to a
+standalone :class:`~repro.core.base.TunerDriver`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.base import TunerDriver, TunerPopulation
+from repro.core.cd_tuner import CdTuner
+from repro.core.cs_tuner import CsTuner
+from repro.core.gss_tuner import GssTuner
+from repro.core.monitor import DeltaPctMonitor
+from repro.core.nm_tuner import NmTuner
+from repro.core.params import ParamSpace
+
+SPACE_1D = ParamSpace(("nc",), (1,), (64,))
+SPACE_2D = ParamSpace(("nc", "np"), (1, 1), (32, 8))
+
+
+def _observations(rng, n):
+    """A plausible throughput trail: wandering positives with jumps."""
+    base = 200.0 + 150.0 * rng.random()
+    out = []
+    for _ in range(n):
+        if rng.random() < 0.08:
+            base = 100.0 + 400.0 * rng.random()
+        out.append(max(0.0, base * (1.0 + 0.15 * rng.normal())))
+    return out
+
+
+def _lockstep_case(tuners, space, x0s, *, epochs=200, seed=0,
+                   detach_at=None):
+    """Drive a population and per-lane scalar drivers through the same
+    observation streams — random per-epoch lane subsets, so lanes sit
+    at different epochs — asserting exact proposal equality throughout.
+    """
+    rng = np.random.default_rng(seed)
+    pop = tuners[0].propose_batch(space)
+    assert isinstance(pop, TunerPopulation)
+    drivers = []
+    for lane, (tuner, x0) in enumerate(zip(tuners, x0s)):
+        driver = tuner.start(x0, space)
+        cur = pop.add_lane(lane, tuner, x0)
+        assert cur == driver.current
+        drivers.append(driver)
+    streams = [_observations(rng, epochs) for _ in tuners]
+    pos = [0] * len(tuners)
+    gone: set[int] = set()
+    for _ in range(epochs):
+        lanes = [ln for ln in range(len(tuners))
+                 if ln not in gone and pos[ln] < epochs
+                 and rng.random() < 0.9]
+        if not lanes:
+            continue
+        obs = [streams[ln][pos[ln]] for ln in lanes]
+        got = pop.observe_batch(lanes, obs)
+        for j, (ln, f) in enumerate(zip(lanes, obs)):
+            want = drivers[ln].observe(f)
+            assert got[j] == want
+            assert pop.current(ln) == drivers[ln].current
+            pos[ln] += 1
+        if detach_at is not None and detach_at in lanes:
+            solo = pop.detach(detach_at)
+            assert isinstance(solo, TunerDriver)
+            assert solo.current == drivers[detach_at].current
+            # The detached driver continues bit-identically alone.
+            for f in streams[detach_at][pos[detach_at]:]:
+                assert solo.observe(f) == drivers[detach_at].observe(f)
+            gone.add(detach_at)
+            detach_at = None
+    return pop, drivers
+
+
+def test_cd_population_matches_scalar_drivers_heterogeneous():
+    tuners = [
+        CdTuner(eps_pct=5.0),
+        CdTuner(eps_pct=2.0, stable_epochs_to_switch=2),
+        CdTuner(eps_pct=9.0, stable_epochs_to_switch=5),
+        CdTuner(eps_pct=5.0),
+    ]
+    x0s = [(4, 1), (8, 2), (32, 8), (1, 1)]
+    _lockstep_case(tuners, SPACE_2D, x0s, seed=1)
+
+
+def test_cd_population_1d_and_detach():
+    tuners = [CdTuner(eps_pct=3.0) for _ in range(3)]
+    _lockstep_case(tuners, SPACE_1D, [(2,), (16,), (64,)], seed=2,
+                   detach_at=1)
+
+
+def test_cs_population_matches_scalar_drivers():
+    tuners = [
+        CsTuner(seed=11),
+        CsTuner(seed=12, eps_pct=2.0, lam0=4.0),
+        CsTuner(seed=13, restart_from="x0"),
+    ]
+    _lockstep_case(tuners, SPACE_2D, [(4, 2), (16, 4), (8, 8)], seed=3,
+                   detach_at=2)
+
+
+def test_gss_population_matches_scalar_drivers():
+    tuners = [GssTuner(), GssTuner(eps_pct=2.0), GssTuner(eps_pct=8.0)]
+    _lockstep_case(tuners, SPACE_1D, [(4,), (32,), (60,)], seed=4,
+                   detach_at=0)
+
+
+# -- protocol edges ----------------------------------------------------------
+
+
+def test_propose_batch_default_is_none():
+    assert NmTuner().propose_batch(SPACE_1D) is None
+
+
+def test_cs_with_monitor_declines_population():
+    tuner = CsTuner(monitor=DeltaPctMonitor(5.0))
+    assert tuner.propose_batch(SPACE_2D) is None
+
+
+def test_gss_declines_multidim_space():
+    assert GssTuner().propose_batch(SPACE_2D) is None
+
+
+def test_population_rejects_foreign_tuner_class():
+    pop = CdTuner().propose_batch(SPACE_1D)
+    assert pop.add_lane(0, NmTuner(), (4,)) is None
+    # A subclass is also foreign: its overridden behavior cannot be
+    # expressed by the base class's array step.
+    class Derived(CdTuner):
+        pass
+    assert pop.add_lane(1, Derived(), (4,)) is None
+
+
+def test_population_rejects_duplicate_lane():
+    pop = CdTuner().propose_batch(SPACE_1D)
+    assert pop.add_lane(0, CdTuner(), (4,)) == (4,)
+    with pytest.raises(ValueError):
+        pop.add_lane(0, CdTuner(), (4,))
+
+
+def test_population_primes_with_bounds_clamp():
+    pop = CdTuner().propose_batch(SPACE_1D)
+    assert pop.add_lane(0, CdTuner(), (999,)) == (64,)
+
+
+def test_driver_carries_its_tuner():
+    tuner = CdTuner()
+    assert tuner.start((4,), SPACE_1D).tuner is tuner

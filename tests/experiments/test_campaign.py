@@ -140,3 +140,38 @@ class TestCampaignBatch:
         # The per-reason fallback tally is journaled alongside.
         for record in journal.sections.values():
             assert record["fallback_reasons"] == {}
+
+
+class TestReasonAccounting:
+    """Regression: the campaign reason aggregates fold each
+    (unit, reason) cell exactly once.  The old code ``update``-ed a
+    running counter on every ``account`` call, so re-accounting a unit
+    (journal merge replay, shard-merged rerun) doubled its reasons."""
+
+    def test_fold_units_is_idempotent_per_unit(self):
+        from repro.experiments.campaign import _fold_units
+
+        per_unit = {"fig1": {"fault schedule": 2},
+                    "fig2": {"fault schedule": 1, "finite-bytes": 3}}
+        want = {"fault schedule": 3, "finite-bytes": 3}
+        assert _fold_units(per_unit) == want
+        # Re-accounting fig1 overwrites its cell; the fold is stable.
+        per_unit["fig1"] = {"fault schedule": 2}
+        assert _fold_units(per_unit) == want
+
+    def test_result_aggregates_are_the_per_unit_fold(self):
+        from repro.experiments.campaign import _fold_units
+
+        res = run_campaign(
+            CampaignScale(duration_s=300.0, fig1_duration_s=120.0,
+                          fig1_reps=1, seed=0),
+            batch=4,
+        )
+        assert res.fallback_reasons == _fold_units(res.unit_fallback_reasons)
+        assert res.dispatch_reasons == _fold_units(res.unit_dispatch_reasons)
+        assert sum(res.fallback_reasons.values()) == res.batch.fallback
+        # The stock campaign is dispatch-clean on cd/cs lanes; nm and
+        # instrumented lanes keep the ladder with advisory reasons.
+        for reasons in res.unit_dispatch_reasons.values():
+            assert all(r.startswith("dispatch:") for r in reasons)
+        assert set(res.phase_s) <= {"span", "close", "dispatch"}

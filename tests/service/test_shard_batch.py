@@ -160,6 +160,118 @@ class TestMixedShardFallback:
         assert set(batched.fallback_reasons()) == {"fault schedule"}
 
 
+class TestFallbackReasonDedup:
+    def test_multi_window_blocker_counts_each_lane_once(self):
+        """A tenant blocked across several consecutive windows tallies
+        once per (tenant, reason) — the tally answers "how many lanes
+        ever fell back", not "for how many windows"."""
+        shard = _shard(True)
+        tenants = [_tenant(f"d{i}", epochs=6, seed=i) for i in range(8)]
+        _attach_all(shard, tenants)
+        shard.step_epoch()
+        shard.inject_blackout(3)  # blocks the next three windows
+        _drive(shard)
+        occ = shard.occupancy()
+        assert occ.fallback == 24  # 8 lanes x 3 scalar windows
+        assert shard.fallback_reasons() == {"fault schedule": 8}
+
+
+class TestCrossShardFusion:
+    def _fleet(self, *, fusion: bool, batch: bool = True):
+        from repro.service import FleetService
+
+        names = ["anl-uc", "anl-tacc"]
+        fleet = FleetService(
+            {n: SCENARIOS[n] for n in names}, seed=2, dt=1.0,
+            epoch_s=EPOCH_S, batch=batch, fusion=fusion,
+        )
+        i = 0
+        for n in names:
+            for tuner in ("cd", "nm"):
+                i += 1
+                fleet.submit({"tenant": f"f{i}", "scenario": n,
+                              "tuner": tuner, "seed": i,
+                              "epochs": 3 + (i % 2)})
+        fleet.drive()
+        return fleet
+
+    def test_fused_fleet_is_bit_identical_to_unfused_and_scalar(self):
+        fused = self._fleet(fusion=True)
+        plain = self._fleet(fusion=False)
+        scalar = self._fleet(fusion=False, batch=False)
+        for name in fused.tenants:
+            a = fused.tenants[name].records
+            assert a == plain.tenants[name].records, name
+            assert a == scalar.tenants[name].records, name
+
+    def test_fusion_surfaces_in_status_and_metrics(self):
+        fleet = self._fleet(fusion=True)
+        doc = fleet.status()
+        fusion = doc["fusion"]
+        assert fusion["enabled"] is True
+        assert fusion["rounds"] > 0
+        assert fusion["chains"] > 0
+        assert fusion["rows"] >= fusion["chains"]
+        # Chains stacked rows from both shards at least once.
+        assert any(int(w) > 1 for w in fusion["widths"])
+        assert set(fusion["phase_s"]) == {"span", "close", "dispatch"}
+        for name in ("anl-uc", "anl-tacc"):
+            block = doc["batch"][name]
+            assert block["fused_epochs"] > 0
+            assert block["occupancy"]["fallback"] == 0
+        text = fleet.prometheus()
+        assert 'repro_fleet_epochs_total' in text
+        assert 'path="fused"' in text
+
+    def test_singleton_fleet_never_fuses(self):
+        from repro.service import FleetService
+
+        fleet = FleetService({"anl-uc": SCENARIOS["anl-uc"]}, seed=2,
+                             dt=1.0, epoch_s=EPOCH_S, fusion=True)
+        fleet.submit({"tenant": "solo", "scenario": "anl-uc",
+                      "tuner": "cd", "seed": 0, "epochs": 2})
+        fleet.drive()
+        doc = fleet.status()
+        assert doc["fusion"]["rounds"] == 0
+        assert doc["batch"]["anl-uc"]["fused_epochs"] == 0
+        assert doc["batch"]["anl-uc"]["occupancy"]["batched"] > 0
+
+    def test_blocked_shard_drops_out_of_fusion_then_rejoins(self):
+        """A blackout on one shard routes that shard to the scalar
+        window while the other keeps batching; trajectories match the
+        never-fused twins throughout."""
+        from repro.service import FleetService
+
+        def build(fusion):
+            names = ["anl-uc", "anl-tacc"]
+            fleet = FleetService({n: SCENARIOS[n] for n in names},
+                                 seed=4, dt=1.0, epoch_s=EPOCH_S,
+                                 batch=fusion, fusion=fusion)
+            for i, n in enumerate(names):
+                for j in range(3):
+                    fleet.submit({"tenant": f"x{i}{j}", "scenario": n,
+                                  "tuner": "cd", "seed": 10 * i + j,
+                                  "epochs": 5})
+            for rnd in range(100):
+                if rnd == 1:
+                    fleet.inject_blackout("anl-uc", 1)
+                fleet.pump()
+                if not fleet.active_count():
+                    break
+            return fleet
+
+        fused = build(True)
+        scalar = build(False)
+        for name in fused.tenants:
+            assert (fused.tenants[name].records
+                    == scalar.tenants[name].records), name
+        doc = fused.status()
+        assert doc["batch"]["anl-uc"]["fallback_reasons"] == {
+            "fault schedule": 3}
+        # The blacked-out shard still fused before and after the block.
+        assert doc["batch"]["anl-uc"]["fused_epochs"] > 0
+
+
 class TestOccupancySurface:
     def test_scalar_shard_reports_pure_fallback(self):
         shard = _shard(False)

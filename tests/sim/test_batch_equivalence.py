@@ -18,8 +18,11 @@ from repro.core.registry import make_tuner
 from repro.endpoint.load import ExternalLoad
 from repro.experiments.batch import (
     SingleRunSpec,
+    dispatch_fallback_reasons,
+    dispatch_timings,
     fallback_reasons,
     occupancy,
+    resolve_dispatch,
     run_batch,
 )
 from repro.experiments.figures import varying_load_schedule
@@ -139,6 +142,93 @@ def test_unbatchable_specs_fall_back_per_run():
     assert delta.chunks == 1
     assert (fallback_reasons().get("fault schedule", 0)
             == reasons_before.get("fault schedule", 0) + 1)
+
+
+# -- population dispatch -----------------------------------------------------
+
+
+@pytest.mark.parametrize("tuner_name", ["cd", "cs", "gss"])
+@pytest.mark.parametrize("dispatch", [True, False],
+                         ids=["population", "ladder"])
+def test_population_dispatch_matrix_is_bit_identical(tuner_name, dispatch):
+    """Population-dispatch lanes (and the same lanes with the knob off)
+    stay bit-identical to run_single across the supported tuners."""
+    specs = [
+        SingleRunSpec(ANL_UC, make_tuner(tuner_name, seed),
+                      duration_s=DURATION, seed=seed)
+        for seed in range(SEED, SEED + 4)
+    ]
+    refs = [_run_scalar(s) for s in specs]
+    got = run_batch(specs, batch=4, cache=False, dispatch=dispatch)
+    for ref, trace in zip(refs, got):
+        assert_bit_identical(ref, trace)
+
+
+def test_mixed_tuner_population_routes_nm_to_ladder():
+    """Mixed cd/nm lanes: the nm lanes keep the scalar dispatch ladder
+    (tallied once per lane under dispatch:unsupported-tuner), the cd
+    lanes ride one population — everything bit-identical to serial."""
+    specs = [
+        SingleRunSpec(ANL_UC, make_tuner("cd", SEED), duration_s=DURATION,
+                      seed=SEED),
+        SingleRunSpec(ANL_UC, make_tuner("nm", SEED), duration_s=DURATION,
+                      seed=SEED),
+        SingleRunSpec(ANL_UC, make_tuner("cd", SEED + 1),
+                      duration_s=DURATION, seed=SEED + 1),
+        SingleRunSpec(ANL_UC, make_tuner("nm", SEED + 1),
+                      duration_s=DURATION, seed=SEED + 1),
+    ]
+    before = dispatch_fallback_reasons().get(
+        "dispatch:unsupported-tuner", 0)
+    timings_before = dispatch_timings()
+    _assert_batch_matches_scalar(specs, batch=4)
+    assert (dispatch_fallback_reasons()["dispatch:unsupported-tuner"]
+            == before + 2)
+    after = dispatch_timings()
+    assert after["population_lanes"] >= timings_before["population_lanes"] + 2
+    assert after["ladder_lanes"] >= timings_before["ladder_lanes"] + 2
+    # The phase clocks only move forward.
+    for key in ("span", "close", "dispatch"):
+        assert after["phase_s"][key] >= timings_before["phase_s"][key]
+
+
+def test_recovery_machinery_lane_keeps_ladder_with_reason():
+    """A retry-policy lane batches its spans but keeps the scalar
+    dispatch ladder, tallied under dispatch:recovery-machinery."""
+    specs = [
+        SingleRunSpec(ANL_UC, make_tuner("cd", SEED), duration_s=DURATION,
+                      seed=SEED, retry_policy=RetryPolicy()),
+        SingleRunSpec(ANL_UC, make_tuner("cd", SEED + 1),
+                      duration_s=DURATION, seed=SEED + 1),
+    ]
+    before = dispatch_fallback_reasons().get(
+        "dispatch:recovery-machinery", 0)
+    _assert_batch_matches_scalar(specs, batch=2)
+    assert (dispatch_fallback_reasons()["dispatch:recovery-machinery"]
+            == before + 1)
+
+
+def test_resolve_dispatch_env(monkeypatch):
+    monkeypatch.delenv("REPRO_DISPATCH", raising=False)
+    assert resolve_dispatch(None) is True
+    monkeypatch.setenv("REPRO_DISPATCH", "off")
+    assert resolve_dispatch(None) is False
+    assert resolve_dispatch(True) is True  # explicit knob wins
+    monkeypatch.setenv("REPRO_DISPATCH", "1")
+    assert resolve_dispatch(None) is True
+    monkeypatch.setenv("REPRO_DISPATCH", "sideways")
+    with pytest.raises(ValueError):
+        resolve_dispatch(None)
+
+
+def test_dispatch_env_off_is_bit_identical(monkeypatch):
+    monkeypatch.setenv("REPRO_DISPATCH", "off")
+    specs = [
+        SingleRunSpec(ANL_UC, make_tuner("cd", seed), duration_s=DURATION,
+                      seed=seed)
+        for seed in (SEED, SEED + 1)
+    ]
+    _assert_batch_matches_scalar(specs, batch=2)
 
 
 # -- BatchEngine construction-time validation --------------------------------
